@@ -1,0 +1,66 @@
+//! Microbenchmarks of the real primitive kernels (one representative per
+//! family) and of the layout-transformation routines — the measured
+//! counterparts of the analytic model's per-primitive costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pbqp_dnn_bench::registry;
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::transform::{apply_direct, DIRECT_TRANSFORMS};
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+fn family_kernels(c: &mut Criterion) {
+    let reg = registry();
+    // Small representative layer: 16 channels of 24x24, 3x3, 16 filters.
+    let s = ConvScenario::new(16, 24, 24, 1, 3, 16);
+    let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 1);
+    let mut group = c.benchmark_group("primitive_kernels");
+    for name in [
+        "sum2d",
+        "direct_mhwckk",
+        "direct_tile16",
+        "im2col_packed_nn",
+        "im2row_packed_kt",
+        "kn2row_packed",
+        "wino2d_f43_vf8",
+        "wino1d_f23_vf4",
+        "fft_row_radix2",
+        "pointwise_gemm_chw",
+        "sparse_im2col_csr",
+    ] {
+        let Some(prim) = reg.by_name(name) else { continue };
+        // pointwise supports only k=1: give it its own scenario.
+        let s_eff = if !prim.supports(&s) {
+            ConvScenario::new(16, 24, 24, 1, 1, 16).with_pad(0)
+        } else {
+            s
+        };
+        let k_eff = if s_eff == s { kernel.clone() } else { KernelTensor::random(16, 16, 1, 1, 2) };
+        let input = Tensor::random(s_eff.c, s_eff.h, s_eff.w, prim.descriptor().input_layout, 3);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(prim.execute(&input, &k_eff, &s_eff, 1).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn layout_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dt_transforms");
+    for t in
+        DIRECT_TRANSFORMS.iter().filter(|t| ["chw_to_hwc", "hwc_to_chw", "pack_c8"].contains(&t.name))
+    {
+        let input = Tensor::random(64, 56, 56, t.from, 9);
+        group.bench_function(t.name, |b| {
+            b.iter(|| black_box(apply_direct(&input, t.to).expect("registered pair")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(15);
+    targets = family_kernels, layout_transforms
+);
+criterion_main!(kernels);

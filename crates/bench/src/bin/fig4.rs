@@ -1,0 +1,50 @@
+//! Figure 4: the PBQP primitive selections for multithreaded AlexNet on
+//! the Intel-like and ARM-like machine models, side by side.
+
+use pbqp_dnn_bench::registry;
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::models;
+use pbqp_dnn_select::{AssignmentKind, ExecutionPlan, Optimizer, Strategy};
+
+fn main() {
+    let reg = registry();
+    let net = models::alexnet();
+    let machines = [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()];
+    let plans: Vec<ExecutionPlan> = machines
+        .iter()
+        .map(|m| {
+            let cost = AnalyticCost::new(m.clone(), m.cores);
+            Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).expect("AlexNet plans")
+        })
+        .collect();
+
+    println!("Figure 4: PBQP selections for multithreaded AlexNet");
+    println!("{:8} | {:34} | {:34}", "layer", machines[0].name, machines[1].name);
+    println!("{}", "-".repeat(84));
+    for node in net.conv_nodes() {
+        let cell = |p: &ExecutionPlan| match p.assignment(node) {
+            AssignmentKind::Conv { primitive, input_layout, output_layout, .. } => {
+                format!("{primitive} [{input_layout}->{output_layout}]")
+            }
+            AssignmentKind::Dummy { .. } => unreachable!("conv node"),
+        };
+        println!(
+            "{:8} | {:34} | {:34}",
+            net.layer(node).name,
+            cell(&plans[0]),
+            cell(&plans[1])
+        );
+    }
+    for (m, p) in machines.iter().zip(&plans) {
+        let wino1d = p.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino1d")).count();
+        let wino2d = p.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino2d")).count();
+        println!(
+            "{}: {} 1-D / {} 2-D winograd selections, {} layout transforms, optimal = {:?}",
+            m.name,
+            wino1d,
+            wino2d,
+            p.transform_count(),
+            p.optimal
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 5: single-threaded whole-network speedups over sum2d on the
+//! Intel-Haswell-like machine model, for AlexNet, VGG-B/C/E and GoogleNet
+//! across all nine strategies.
+
+use pbqp_dnn_bench::{evaluate_network, figure_strategies, intel_models, registry, render_figure};
+use pbqp_dnn_cost::MachineModel;
+
+fn main() {
+    let reg = registry();
+    let machine = MachineModel::intel_haswell_like();
+    let strategies = figure_strategies(8);
+    let rows: Vec<_> = intel_models()
+        .into_iter()
+        .map(|(name, net)| (name, evaluate_network(&net, &reg, &machine, 1, &strategies)))
+        .collect();
+    let rows: Vec<(&str, _)> = rows.iter().map(|(n, r)| (*n, r.clone())).collect();
+    println!(
+        "{}",
+        render_figure("Figure 5: Whole Network Benchmarking (x86_64), single-threaded", &rows)
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 6: multithreaded (4-core) whole-network speedups over the
+//! single-threaded sum2d baseline on the Intel-Haswell-like machine model.
+
+use pbqp_dnn_bench::{evaluate_network, figure_strategies, intel_models, registry, render_figure};
+use pbqp_dnn_cost::MachineModel;
+
+fn main() {
+    let reg = registry();
+    let machine = MachineModel::intel_haswell_like();
+    let strategies = figure_strategies(8);
+    let rows: Vec<_> = intel_models()
+        .into_iter()
+        .map(|(name, net)| {
+            (name, evaluate_network(&net, &reg, &machine, machine.cores, &strategies))
+        })
+        .collect();
+    let rows: Vec<(&str, _)> = rows.iter().map(|(n, r)| (*n, r.clone())).collect();
+    println!(
+        "{}",
+        render_figure("Figure 6: Whole Network Benchmarking (x86_64), multithreaded", &rows)
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 7: whole-network speedups on the ARM-Cortex-A57-like machine
+//! model — (a) single-threaded and (b) multithreaded. The VGG models are
+//! omitted, as on the paper's physical board they do not fit (§5.7).
+
+use pbqp_dnn_bench::{arm_models, evaluate_network, figure_strategies, registry, render_figure};
+use pbqp_dnn_cost::MachineModel;
+
+fn main() {
+    let reg = registry();
+    let machine = MachineModel::arm_a57_like();
+    let strategies = figure_strategies(4);
+    for (threads, tag) in [(1usize, "(a) single-threaded"), (machine.cores, "(b) multithreaded")] {
+        let rows: Vec<_> = arm_models()
+            .into_iter()
+            .map(|(name, net)| (name, evaluate_network(&net, &reg, &machine, threads, &strategies)))
+            .collect();
+        let rows: Vec<(&str, _)> = rows.iter().map(|(n, r)| (*n, r.clone())).collect();
+        println!(
+            "{}",
+            render_figure(
+                &format!("Figure 7{tag}: Whole Network Benchmarking (aarch64)"),
+                &rows
+            )
+        );
+    }
+}

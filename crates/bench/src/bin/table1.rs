@@ -1,0 +1,104 @@
+//! Table 1: qualitative strengths and weaknesses of the convolution
+//! families, derived empirically from the cost model over a scenario
+//! sweep — the paper's hand-written `+`/`-` grades, regenerated from data.
+//!
+//! Grades: per scenario, each family's best variant is ranked by time and
+//! by workspace; mean ranks are quantized to `++`/`+`/`-`/`--`. The
+//! "Strided" column reports whether the family supports strided scenarios
+//! at all; "Bad cases" names the scenario where the family ranked worst.
+
+use std::collections::BTreeMap;
+
+use pbqp_dnn_bench::registry;
+use pbqp_dnn_cost::{AnalyticCost, CostSource, MachineModel};
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_primitives::Family;
+
+fn main() {
+    let reg = registry();
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    let sweeps: Vec<(&str, ConvScenario)> = vec![
+        ("large image", ConvScenario::new(3, 227, 227, 1, 3, 32)),
+        ("few channels", ConvScenario::new(3, 56, 56, 1, 3, 64)),
+        ("mid layer k3", ConvScenario::new(128, 28, 28, 1, 3, 128)),
+        ("deep layer k3", ConvScenario::new(512, 14, 14, 1, 3, 512)),
+        ("k5 layer", ConvScenario::new(96, 27, 27, 1, 5, 256)),
+        ("k1 pointwise", ConvScenario::new(192, 28, 28, 1, 1, 64).with_pad(0)),
+        ("small kernel k3", ConvScenario::new(64, 56, 56, 1, 3, 64)),
+    ];
+    let strided = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0);
+
+    let families =
+        [Family::Direct, Family::Im2, Family::Kn2, Family::Winograd, Family::Fft];
+    let mut time_rank: BTreeMap<Family, Vec<f64>> = BTreeMap::new();
+    let mut mem_rank: BTreeMap<Family, Vec<f64>> = BTreeMap::new();
+    let mut worst: BTreeMap<Family, (&str, f64)> = BTreeMap::new();
+
+    for (label, s) in &sweeps {
+        // Best (time, workspace) per family on this scenario.
+        let mut best: Vec<(Family, f64, f64)> = Vec::new();
+        for &fam in &families {
+            let cands: Vec<_> = reg
+                .family(fam)
+                .into_iter()
+                .filter(|p| p.supports(s))
+                .collect();
+            if cands.is_empty() {
+                continue;
+            }
+            let t = cands
+                .iter()
+                .map(|p| cost.layer_cost(p.as_ref(), s))
+                .fold(f64::INFINITY, f64::min);
+            let w = cands
+                .iter()
+                .map(|p| p.workspace_elems(s) as f64)
+                .fold(f64::INFINITY, f64::min);
+            best.push((fam, t, w));
+        }
+        let rank_of = |values: Vec<(Family, f64)>| -> BTreeMap<Family, f64> {
+            let mut sorted = values;
+            sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+            sorted.iter().enumerate().map(|(i, &(f, _))| (f, i as f64)).collect()
+        };
+        let tr = rank_of(best.iter().map(|&(f, t, _)| (f, t)).collect());
+        let wr = rank_of(best.iter().map(|&(f, _, w)| (f, w)).collect());
+        for &(fam, t, _) in &best {
+            time_rank.entry(fam).or_default().push(tr[&fam]);
+            mem_rank.entry(fam).or_default().push(wr[&fam]);
+            let slow = t / best.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
+            if worst.get(&fam).is_none_or(|&(_, s0)| slow > s0) {
+                worst.insert(fam, (label, slow));
+            }
+        }
+    }
+
+    let grade = |ranks: &[f64]| -> &'static str {
+        let mean = ranks.iter().sum::<f64>() / ranks.len() as f64;
+        match mean {
+            m if m < 1.0 => "++",
+            m if m < 2.0 => "+",
+            m if m < 3.0 => "-",
+            _ => "--",
+        }
+    };
+
+    println!("Table 1: strengths and weaknesses of the convolution families");
+    println!(
+        "{:10} {:>6} {:>8} {:>9}  {}",
+        "Algorithm", "Time", "Memory", "Strided", "Bad cases (worst relative scenario)"
+    );
+    for &fam in &families {
+        let strided_ok = reg.family(fam).iter().any(|p| p.supports(&strided));
+        let (bad_label, bad_ratio) = worst[&fam];
+        println!(
+            "{:10} {:>6} {:>8} {:>9}  {} ({:.1}x slower than the best family)",
+            fam.name(),
+            grade(&time_rank[&fam]),
+            grade(&mem_rank[&fam]),
+            if strided_ok { "++" } else { "--" },
+            bad_label,
+            bad_ratio
+        );
+    }
+}

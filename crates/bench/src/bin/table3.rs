@@ -1,0 +1,31 @@
+//! Table 3: absolute single-inference times (ms) on the ARM-like machine
+//! model, single- and multi-threaded, for SUM2D / L.OPT / PBQP / CAFFE.
+
+use pbqp_dnn_bench::{arm_models, registry};
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_select::{Optimizer, Strategy};
+
+fn main() {
+    let machine = MachineModel::arm_a57_like();
+    let reg = registry();
+    let models = arm_models();
+    let strategies =
+        [Strategy::Sum2d, Strategy::LocalOptimalChw, Strategy::Pbqp, Strategy::CaffeLike];
+    println!("Table 3: ARM-like: single inference time (ms)");
+    println!("{:16} {:>10} {:>10} {:>10} {:>10}", "Network", "SUM2D", "L.OPT", "PBQP", "CAFFE");
+    for (threads, tag) in [(1usize, "S"), (machine.cores, "M")] {
+        let cost = AnalyticCost::new(machine.clone(), threads);
+        let opt = Optimizer::new(&reg, &cost);
+        for (name, net) in &models {
+            let mut cells = Vec::new();
+            for s in strategies {
+                let plan = opt.plan(net, s).expect("evaluation model plans");
+                cells.push(plan.predicted_us / 1000.0);
+            }
+            println!(
+                "({tag}) {:12} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                name, cells[0], cells[1], cells[2], cells[3]
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! PBQP instance construction (§3.2): maps a DNN graph plus cost tables
+//! onto a [`PbqpGraph`].
+
+use std::collections::HashMap;
+
+use pbqp_dnn_cost::{CostSource, CostTable, DtGraph, DtPathTable};
+use pbqp_dnn_graph::{DnnGraph, NodeId};
+use pbqp_dnn_primitives::registry::Registry;
+use pbqp_dnn_tensor::Layout;
+use pbqp_solver::{CostMatrix, PbqpGraph, PbqpNodeId};
+
+/// The options behind one PBQP node.
+#[derive(Debug, Clone)]
+pub(crate) enum NodeOptions {
+    /// Conv node: option `i` is the `i`-th candidate primitive (by name).
+    Conv(Vec<String>),
+    /// Dummy node: option `i` is `Layout::ALL[i]`.
+    Dummy,
+}
+
+/// A built instance plus the decoding tables.
+pub(crate) struct BuiltInstance {
+    pub pbqp: PbqpGraph,
+    pub pbqp_ids: Vec<PbqpNodeId>,
+    pub options: Vec<NodeOptions>,
+}
+
+/// Caches all-pairs-shortest-path DT tables per tensor size: the transform
+/// cost between two layouts depends only on the tensor dimensions flowing
+/// along the edge (§3.1).
+pub(crate) struct ApspCache<'a> {
+    dt: &'a DtGraph,
+    source: &'a dyn CostSource,
+    cache: HashMap<(usize, usize, usize), DtPathTable>,
+}
+
+impl<'a> ApspCache<'a> {
+    pub(crate) fn new(dt: &'a DtGraph, source: &'a dyn CostSource) -> ApspCache<'a> {
+        ApspCache { dt, source, cache: HashMap::new() }
+    }
+
+    pub(crate) fn table(&mut self, dims: (usize, usize, usize)) -> &DtPathTable {
+        let (dt, source) = (self.dt, self.source);
+        self.cache
+            .entry(dims)
+            .or_insert_with(|| dt.shortest_paths(|t| source.transform_cost(t, dims)))
+    }
+}
+
+/// Resolves the input/output layouts of every option of one node.
+pub(crate) fn option_layouts(
+    registry: &Registry,
+    options: &NodeOptions,
+) -> Vec<(Layout, Layout)> {
+    match options {
+        NodeOptions::Conv(names) => names
+            .iter()
+            .map(|n| {
+                let d = registry.by_name(n).expect("primitive from this registry").descriptor();
+                (d.input_layout, d.output_layout)
+            })
+            .collect(),
+        NodeOptions::Dummy => Layout::ALL.iter().map(|&l| (l, l)).collect(),
+    }
+}
+
+/// Builds the PBQP instance for `graph`.
+///
+/// Conv nodes get their cost-table rows as cost vectors; dummy nodes get a
+/// zero vector over all layouts — except **input** nodes, whose vector is
+/// the cost of converting the canonical-CHW network input into each layout.
+/// Every graph edge contributes the APSP transform-cost matrix evaluated at
+/// the producer's output dimensions.
+pub(crate) fn build(
+    graph: &DnnGraph,
+    shapes: &[(usize, usize, usize)],
+    registry: &Registry,
+    table: &CostTable,
+    apsp: &mut ApspCache<'_>,
+) -> BuiltInstance {
+    let mut pbqp = PbqpGraph::new();
+    let mut pbqp_ids = Vec::with_capacity(graph.len());
+    let mut options = Vec::with_capacity(graph.len());
+
+    for node in graph.node_ids() {
+        if let Some(row) = table.for_node(node) {
+            let costs: Vec<f64> = row.costs.iter().map(|&(_, c)| c).collect();
+            let names: Vec<String> = row.costs.iter().map(|(n, _)| n.clone()).collect();
+            pbqp_ids.push(pbqp.add_node(costs));
+            options.push(NodeOptions::Conv(names));
+        } else {
+            let is_input = graph.predecessors(node).is_empty();
+            let costs: Vec<f64> = if is_input {
+                let t = apsp.table(shapes[node.index()]);
+                Layout::ALL.iter().map(|&l| t.cost(Layout::Chw, l)).collect()
+            } else {
+                vec![0.0; Layout::ALL.len()]
+            };
+            pbqp_ids.push(pbqp.add_node(costs));
+            options.push(NodeOptions::Dummy);
+        }
+    }
+
+    for (from, to) in graph.edges() {
+        let out_layouts = option_layouts(registry, &options[from.index()]);
+        let in_layouts = option_layouts(registry, &options[to.index()]);
+        let t = apsp.table(shapes[from.index()]);
+        let m = CostMatrix::from_fn(out_layouts.len(), in_layouts.len(), |i, j| {
+            t.cost(out_layouts[i].1, in_layouts[j].0)
+        });
+        pbqp
+            .add_edge(pbqp_ids[from.index()], pbqp_ids[to.index()], m)
+            .expect("nodes were just added");
+    }
+
+    BuiltInstance { pbqp, pbqp_ids, options }
+}
+
+/// Decodes a solver selection index into the concrete layout choice of a
+/// dummy node.
+pub(crate) fn dummy_layout(selection: usize) -> Layout {
+    Layout::ALL[selection]
+}
+
+/// Helper: the node id list in insertion order (used by the optimizer for
+/// decoding).
+pub(crate) fn node_ids(graph: &DnnGraph) -> Vec<NodeId> {
+    graph.node_ids().collect()
+}

@@ -1,0 +1,52 @@
+//! Optimal DNN primitive selection with PBQP — the paper's contribution.
+//!
+//! Given a DNN graph, a primitive library and a cost source, this crate
+//! builds the PBQP instance of §3.2:
+//!
+//! * every **convolution layer** becomes a PBQP node whose options are the
+//!   candidate primitives and whose costs are their profiled/modelled
+//!   execution times;
+//! * every **other layer** becomes a dummy node whose options are the
+//!   supported data layouts at zero cost (§5.2);
+//! * every **edge** carries the all-pairs-shortest-path data-layout
+//!   transformation cost matrix between the producer's output layout and
+//!   the consumer's input layout (§3.1).
+//!
+//! Solving the instance with the exact PBQP solver and **legalizing** the
+//! winning assignment (materializing the DT chains on every edge, §3)
+//! yields an [`ExecutionPlan`] the runtime can execute directly.
+//!
+//! The same machinery evaluates the paper's baseline strategies — per-layer
+//! family bests, the canonical-layout local optimum, and the vendor-library
+//! simulacra — so every bar of Figures 5–7 comes from one code path.
+//!
+//! # Example
+//!
+//! ```
+//! use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+//! use pbqp_dnn_graph::models;
+//! use pbqp_dnn_primitives::registry::{full_library, Registry};
+//! use pbqp_dnn_select::{Optimizer, Strategy};
+//!
+//! let registry = Registry::new(full_library());
+//! let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+//! let optimizer = Optimizer::new(&registry, &cost);
+//! let net = models::alexnet();
+//!
+//! let pbqp = optimizer.plan(&net, Strategy::Pbqp).unwrap();
+//! let baseline = optimizer.plan(&net, Strategy::Sum2d).unwrap();
+//! assert!(pbqp.predicted_us < baseline.predicted_us);
+//! assert_eq!(pbqp.optimal, Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instance;
+mod optimizer;
+mod plan;
+mod strategies;
+
+pub use optimizer::{Optimizer, PlanError};
+pub use plan::{AssignmentKind, EdgeLegalization, ExecutionPlan, NodeAssignment};
+pub use strategies::Strategy;

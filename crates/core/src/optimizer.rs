@@ -1,0 +1,463 @@
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use pbqp_dnn_cost::{CostSource, CostTable, DtGraph};
+use pbqp_dnn_graph::{DnnGraph, GraphError, NodeId};
+use pbqp_dnn_primitives::registry::Registry;
+use pbqp_dnn_primitives::{AlgoHint, Family};
+use pbqp_dnn_tensor::Layout;
+use pbqp_solver::{PbqpError, Solver};
+
+use crate::instance::{self, ApspCache, NodeOptions};
+use crate::plan::{AssignmentKind, EdgeLegalization, ExecutionPlan, NodeAssignment};
+use crate::Strategy;
+
+/// Errors from planning.
+#[derive(Debug)]
+pub enum PlanError {
+    /// The DNN graph is malformed.
+    Graph(GraphError),
+    /// The PBQP instance could not be solved (e.g. no legal layout chain
+    /// between two mandatory primitives).
+    Pbqp(PbqpError),
+    /// A strategy produced layouts with no connecting DT chain.
+    NoLegalization {
+        /// Producer layout.
+        from: Layout,
+        /// Consumer layout.
+        to: Layout,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Graph(e) => write!(f, "graph error: {e}"),
+            PlanError::Pbqp(e) => write!(f, "solver error: {e}"),
+            PlanError::NoLegalization { from, to } => {
+                write!(f, "no layout transformation chain from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+impl From<GraphError> for PlanError {
+    fn from(e: GraphError) -> Self {
+        PlanError::Graph(e)
+    }
+}
+
+impl From<PbqpError> for PlanError {
+    fn from(e: PbqpError) -> Self {
+        PlanError::Pbqp(e)
+    }
+}
+
+/// The primitive-selection optimizer: owns the registry/cost-source pair
+/// and produces [`ExecutionPlan`]s under any [`Strategy`].
+pub struct Optimizer<'a> {
+    registry: &'a Registry,
+    source: &'a dyn CostSource,
+    dt: DtGraph,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer over the standard DT graph.
+    pub fn new(registry: &'a Registry, source: &'a dyn CostSource) -> Optimizer<'a> {
+        Optimizer { registry, source, dt: DtGraph::standard() }
+    }
+
+    /// Replaces the DT graph (used by tests and the §8 ensemble example).
+    pub fn with_dt_graph(mut self, dt: DtGraph) -> Optimizer<'a> {
+        self.dt = dt;
+        self
+    }
+
+    /// The registry this optimizer selects from.
+    pub fn registry(&self) -> &Registry {
+        self.registry
+    }
+
+    /// Profiles the cost table for `graph` under this optimizer's source.
+    pub fn cost_table(&self, graph: &DnnGraph) -> CostTable {
+        CostTable::profile(graph, self.registry, self.source)
+    }
+
+    /// Produces a legalized execution plan for `graph` under `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Graph`] for malformed graphs,
+    /// [`PlanError::Pbqp`] if the instance is infeasible, and
+    /// [`PlanError::NoLegalization`] if a baseline strategy pairs layouts
+    /// the DT graph cannot connect.
+    pub fn plan(&self, graph: &DnnGraph, strategy: Strategy) -> Result<ExecutionPlan, PlanError> {
+        let shapes = graph.infer_shapes()?;
+        let table = self.cost_table(graph);
+        self.plan_with_table(graph, &shapes, &table, strategy)
+    }
+
+    /// Like [`Optimizer::plan`] but reusing a precomputed cost table
+    /// (profiling is the expensive step with a measured source).
+    pub fn plan_with_table(
+        &self,
+        graph: &DnnGraph,
+        shapes: &[(usize, usize, usize)],
+        table: &CostTable,
+        strategy: Strategy,
+    ) -> Result<ExecutionPlan, PlanError> {
+        let mut apsp = ApspCache::new(&self.dt, self.source);
+        let (assignments, optimal, stats, solve_time_us) = match strategy {
+            Strategy::Pbqp | Strategy::PbqpHeuristic => {
+                let built = instance::build(graph, shapes, self.registry, table, &mut apsp);
+                let solver = Solver::new().heuristic_only(strategy == Strategy::PbqpHeuristic);
+                let start = Instant::now();
+                let solution = solver.solve(&built.pbqp)?;
+                let solve_time_us = start.elapsed().as_secs_f64() * 1e6;
+                let mut assignments = Vec::with_capacity(graph.len());
+                for (node, options) in instance::node_ids(graph).into_iter().zip(&built.options) {
+                    let sel = solution.selection(built.pbqp_ids[node.index()]);
+                    let kind = match options {
+                        NodeOptions::Conv(names) => {
+                            self.conv_assignment(table, node, &names[sel])
+                        }
+                        NodeOptions::Dummy => {
+                            AssignmentKind::Dummy { layout: instance::dummy_layout(sel) }
+                        }
+                    };
+                    assignments.push(NodeAssignment { node, kind });
+                }
+                (assignments, Some(solution.optimal), Some(solution.stats), solve_time_us)
+            }
+            _ => (self.baseline_assignments(graph, table, strategy), None, None, 0.0),
+        };
+
+        self.legalize(graph, shapes, &mut apsp, assignments, strategy, optimal, stats, solve_time_us)
+    }
+
+    fn conv_assignment(&self, table: &CostTable, node: NodeId, name: &str) -> AssignmentKind {
+        let row = table.for_node(node).expect("conv node has a cost row");
+        let cost_us = row.cost_of(name).expect("selected primitive was profiled");
+        let d = self.registry.by_name(name).expect("registry primitive").descriptor();
+        AssignmentKind::Conv {
+            primitive: name.to_owned(),
+            input_layout: d.input_layout,
+            output_layout: d.output_layout,
+            cost_us,
+        }
+    }
+
+    /// Per-layer selections for the non-PBQP strategies.
+    fn baseline_assignments(
+        &self,
+        graph: &DnnGraph,
+        table: &CostTable,
+        strategy: Strategy,
+    ) -> Vec<NodeAssignment> {
+        let order = graph.topo_order().expect("validated by infer_shapes");
+        let mut kinds: Vec<Option<AssignmentKind>> = vec![None; graph.len()];
+        for node in order {
+            let kind = if let Some(row) = table.for_node(node) {
+                let pick = |pred: &dyn Fn(&str) -> bool| -> Option<(&str, f64)> {
+                    row.costs
+                        .iter()
+                        .filter(|(n, _)| pred(n))
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .map(|(n, c)| (n.as_str(), *c))
+                };
+                let sum2d_cost = row.cost_of("sum2d").expect("sum2d supports everything");
+                let name = match strategy {
+                    Strategy::Sum2d => "sum2d".to_owned(),
+                    Strategy::LocalOptimalChw => {
+                        let chw = |n: &str| {
+                            let d = self.registry.by_name(n).unwrap().descriptor();
+                            d.input_layout == Layout::Chw && d.output_layout == Layout::Chw
+                        };
+                        pick(&chw).map(|(n, _)| n.to_owned()).unwrap_or_else(|| "sum2d".into())
+                    }
+                    Strategy::FamilyBest(fam) => {
+                        let of_family = |n: &str| {
+                            self.registry.by_name(n).unwrap().descriptor().family == fam
+                        };
+                        match pick(&of_family) {
+                            // §5.5: replace sum2d only when actually faster.
+                            Some((n, c)) if c < sum2d_cost => n.to_owned(),
+                            _ => "sum2d".into(),
+                        }
+                    }
+                    Strategy::CaffeLike => {
+                        if row.cost_of("im2col_blocked_nn").is_some() {
+                            "im2col_blocked_nn".into()
+                        } else {
+                            "sum2d".into()
+                        }
+                    }
+                    Strategy::VendorLike { vector_width } => {
+                        let vendor = |n: &str| self.vendor_subset(n, vector_width);
+                        pick(&vendor)
+                            .filter(|&(_, c)| c < sum2d_cost)
+                            .map(|(n, _)| n.to_owned())
+                            .unwrap_or_else(|| "sum2d".into())
+                    }
+                    Strategy::Pbqp | Strategy::PbqpHeuristic => unreachable!("handled above"),
+                };
+                self.conv_assignment(table, node, &name)
+            } else {
+                // Dummy layers flow their producer's layout through;
+                // sources (inputs) stay canonical.
+                let layout = graph
+                    .predecessors(node)
+                    .first()
+                    .map(|p| kinds[p.index()].as_ref().expect("topo order").output_layout())
+                    .unwrap_or(Layout::Chw);
+                AssignmentKind::Dummy { layout }
+            };
+            kinds[node.index()] = Some(kind);
+        }
+        instance::node_ids(graph)
+            .into_iter()
+            .zip(kinds)
+            .map(|(node, kind)| NodeAssignment { node, kind: kind.expect("all nodes visited") })
+            .collect()
+    }
+
+    /// The curated subset a vendor library would ship: vectorized kernels
+    /// matching the platform width, packed-GEMM im2col, 2-D Winograd.
+    fn vendor_subset(&self, name: &str, vector_width: usize) -> bool {
+        let d = self.registry.by_name(name).expect("registry primitive").descriptor();
+        let vf = d.vector_factor as usize;
+        match d.family {
+            Family::Im2 => {
+                matches!(d.hint, AlgoHint::Gemm { efficiency, .. } if efficiency > 0.6)
+                    && d.input_layout == Layout::Chw
+                    && d.output_layout == Layout::Chw
+            }
+            Family::Winograd => {
+                matches!(d.hint, AlgoHint::Winograd { two_d: true, .. })
+                    && vf == vector_width
+                    && d.input_layout == Layout::Chw
+            }
+            Family::Direct => {
+                // Channel-blocked vectorized kernels and pointwise GEMM.
+                d.input_layout.channel_block() == vector_width
+                    || matches!(d.hint, AlgoHint::Gemm { .. })
+            }
+            _ => false,
+        }
+    }
+
+    /// Inserts DT chains on every edge (§3's legalization phase) and
+    /// totals the predicted latency.
+    #[allow(clippy::too_many_arguments)]
+    fn legalize(
+        &self,
+        graph: &DnnGraph,
+        shapes: &[(usize, usize, usize)],
+        apsp: &mut ApspCache<'_>,
+        assignments: Vec<NodeAssignment>,
+        strategy: Strategy,
+        optimal: Option<bool>,
+        stats: Option<pbqp_solver::SolveStats>,
+        solve_time_us: f64,
+    ) -> Result<ExecutionPlan, PlanError> {
+        let mut edges = Vec::new();
+        for (from, to) in graph.edges() {
+            let out = assignments[from.index()].kind.output_layout();
+            let inp = assignments[to.index()].kind.input_layout();
+            let dims = shapes[from.index()];
+            let t = apsp.table(dims);
+            let chain = t
+                .path(out, inp)
+                .ok_or(PlanError::NoLegalization { from: out, to: inp })?;
+            let cost_us = t.cost(out, inp);
+            edges.push(EdgeLegalization { from, to, chain, cost_us });
+        }
+
+        // Network inputs arrive in canonical CHW; convert if the input
+        // node's chosen layout differs.
+        let mut input_conversion = Vec::new();
+        for node in graph.node_ids() {
+            if !graph.predecessors(node).is_empty() {
+                continue;
+            }
+            let layout = assignments[node.index()].kind.output_layout();
+            if layout != Layout::Chw {
+                let dims = shapes[node.index()];
+                let t = apsp.table(dims);
+                let chain = t
+                    .path(Layout::Chw, layout)
+                    .ok_or(PlanError::NoLegalization { from: Layout::Chw, to: layout })?;
+                let cost = t.cost(Layout::Chw, layout);
+                input_conversion.push((node, chain, cost));
+            }
+        }
+
+        let conv_us: f64 = assignments
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AssignmentKind::Conv { cost_us, .. } => Some(*cost_us),
+                AssignmentKind::Dummy { .. } => None,
+            })
+            .sum();
+        let transform_us: f64 = edges.iter().map(|e| e.cost_us).sum::<f64>()
+            + input_conversion.iter().map(|(_, _, c)| c).sum::<f64>();
+        let predicted_us = (conv_us + transform_us) * strategy.framework_overhead();
+
+        Ok(ExecutionPlan {
+            strategy,
+            assignments,
+            edges,
+            input_conversion,
+            predicted_us,
+            optimal,
+            solve_stats: stats,
+            solve_time_us,
+        })
+    }
+}
+
+impl fmt::Debug for Optimizer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Optimizer").field("primitives", &self.registry.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+    use pbqp_dnn_graph::models;
+    use pbqp_dnn_primitives::registry::full_library;
+
+    fn setup() -> (Registry, AnalyticCost) {
+        (
+            Registry::new(full_library()),
+            AnalyticCost::new(MachineModel::intel_haswell_like(), 1),
+        )
+    }
+
+    #[test]
+    fn pbqp_plan_is_optimal_and_beats_every_baseline_on_alexnet() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        let net = models::alexnet();
+        let pbqp = opt.plan(&net, Strategy::Pbqp).unwrap();
+        assert_eq!(pbqp.optimal, Some(true));
+        let mut baselines = vec![
+            Strategy::Sum2d,
+            Strategy::LocalOptimalChw,
+            Strategy::CaffeLike,
+            Strategy::VendorLike { vector_width: 8 },
+            Strategy::PbqpHeuristic,
+        ];
+        baselines.extend(Strategy::family_bars());
+        for b in baselines {
+            let plan = opt.plan(&net, b).unwrap();
+            assert!(
+                pbqp.predicted_us <= plan.predicted_us + 1e-6,
+                "{}: PBQP {:.1} vs {:.1}",
+                b.label(),
+                pbqp.predicted_us,
+                plan.predicted_us
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_layout_consistent_after_legalization() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        for (name, net) in models::evaluation_models() {
+            let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+            for e in &plan.edges {
+                let mut cur = plan.assignment(e.from).output_layout();
+                for hop in &e.chain {
+                    assert_eq!(hop.from, cur, "{name}: broken chain");
+                    cur = hop.to;
+                }
+                assert_eq!(cur, plan.assignment(e.to).input_layout(), "{name}: edge end");
+            }
+        }
+    }
+
+    #[test]
+    fn sum2d_strategy_uses_sum2d_everywhere_with_no_transforms() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        let net = models::alexnet();
+        let plan = opt.plan(&net, Strategy::Sum2d).unwrap();
+        for (_, prim) in plan.selected_primitives() {
+            assert_eq!(prim, "sum2d");
+        }
+        assert_eq!(plan.transform_count(), 0);
+        assert_eq!(plan.transform_us(), 0.0);
+    }
+
+    #[test]
+    fn local_optimal_chw_never_needs_transforms() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&models::googlenet(), Strategy::LocalOptimalChw).unwrap();
+        assert_eq!(plan.transform_count(), 0);
+    }
+
+    #[test]
+    fn family_best_pays_transform_costs_it_ignored() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        let net = models::googlenet();
+        // At least one family strategy must insert transforms on GoogleNet
+        // (the §5.8 direct-family slowdown effect).
+        let any_transforms = Strategy::family_bars().iter().any(|&s| {
+            opt.plan(&net, s).unwrap().transform_count() > 0
+        });
+        assert!(any_transforms);
+    }
+
+    #[test]
+    fn strided_conv1_never_gets_winograd() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        let net = models::alexnet();
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        let conv1 = net.find("conv1").unwrap();
+        if let AssignmentKind::Conv { primitive, .. } = plan.assignment(conv1) {
+            let fam = reg.by_name(primitive).unwrap().descriptor().family;
+            assert!(
+                !matches!(fam, Family::Winograd | Family::Kn2 | Family::Fft),
+                "conv1 (strided) got {primitive}"
+            );
+        } else {
+            panic!("conv1 is a conv node");
+        }
+    }
+
+    #[test]
+    fn heuristic_is_never_better_than_exact() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        for (name, net) in models::evaluation_models() {
+            let exact = opt.plan(&net, Strategy::Pbqp).unwrap();
+            let heur = opt.plan(&net, Strategy::PbqpHeuristic).unwrap();
+            assert!(
+                exact.predicted_us <= heur.predicted_us + 1e-6,
+                "{name}: exact {} vs heuristic {}",
+                exact.predicted_us,
+                heur.predicted_us
+            );
+        }
+    }
+
+    #[test]
+    fn googlenet_pbqp_solves_quickly_and_optimally() {
+        let (reg, cost) = setup();
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&models::googlenet(), Strategy::Pbqp).unwrap();
+        assert_eq!(plan.optimal, Some(true));
+        // §5.4: under a second. Allow generous headroom on CI machines.
+        assert!(plan.solve_time_us < 5_000_000.0, "solve took {} µs", plan.solve_time_us);
+    }
+}

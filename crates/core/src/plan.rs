@@ -1,0 +1,167 @@
+use std::fmt;
+
+use pbqp_dnn_graph::NodeId;
+use pbqp_dnn_tensor::transform::DirectTransform;
+use pbqp_dnn_tensor::Layout;
+use pbqp_solver::SolveStats;
+
+use crate::Strategy;
+
+/// What a plan assigns to one graph node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignmentKind {
+    /// A convolution layer instantiated with a concrete primitive.
+    Conv {
+        /// Primitive name (resolvable via the registry).
+        primitive: String,
+        /// The primitive's `L_in`.
+        input_layout: Layout,
+        /// The primitive's `L_out`.
+        output_layout: Layout,
+        /// Modelled/profiled execution cost in µs.
+        cost_us: f64,
+    },
+    /// A non-conv layer passing data through in a chosen layout (§5.2's
+    /// zero-cost dummy nodes).
+    Dummy {
+        /// The layout the layer operates in.
+        layout: Layout,
+    },
+}
+
+impl AssignmentKind {
+    /// The layout this node produces on its output edges.
+    pub fn output_layout(&self) -> Layout {
+        match self {
+            AssignmentKind::Conv { output_layout, .. } => *output_layout,
+            AssignmentKind::Dummy { layout } => *layout,
+        }
+    }
+
+    /// The layout this node requires on its input edges.
+    pub fn input_layout(&self) -> Layout {
+        match self {
+            AssignmentKind::Conv { input_layout, .. } => *input_layout,
+            AssignmentKind::Dummy { layout } => *layout,
+        }
+    }
+}
+
+/// One node's assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAssignment {
+    /// The graph node.
+    pub node: NodeId,
+    /// What was assigned.
+    pub kind: AssignmentKind,
+}
+
+/// The legalization of one graph edge: the DT chain inserted between the
+/// producer's output layout and the consumer's input layout (§3's
+/// legalization phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeLegalization {
+    /// Producer node.
+    pub from: NodeId,
+    /// Consumer node.
+    pub to: NodeId,
+    /// Direct transformation routines to apply, in order (empty when the
+    /// layouts already agree).
+    pub chain: Vec<DirectTransform>,
+    /// Total modelled cost of the chain in µs.
+    pub cost_us: f64,
+}
+
+/// A complete, legalized instantiation of a DNN: the output of the
+/// optimizer and the input of the runtime.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    /// The strategy that produced this plan.
+    pub strategy: Strategy,
+    /// Per-node assignments, indexed by node insertion order.
+    pub assignments: Vec<NodeAssignment>,
+    /// Per-edge legalizations (same order as `DnnGraph::edges`).
+    pub edges: Vec<EdgeLegalization>,
+    /// Conversion chain applied to the raw network input (which arrives in
+    /// canonical CHW) before the input node's chosen layout, with its cost.
+    pub input_conversion: Vec<(NodeId, Vec<DirectTransform>, f64)>,
+    /// Predicted whole-network latency in µs (conv costs + DT chain costs
+    /// + input conversion), times any framework overhead factor.
+    pub predicted_us: f64,
+    /// Whether the PBQP solver proved the selection optimal (`None` for
+    /// non-PBQP strategies).
+    pub optimal: Option<bool>,
+    /// Solver statistics (PBQP strategies only).
+    pub solve_stats: Option<SolveStats>,
+    /// Wall-clock time spent solving, in µs (PBQP strategies only).
+    pub solve_time_us: f64,
+}
+
+impl ExecutionPlan {
+    /// The assignment for `node`.
+    pub fn assignment(&self, node: NodeId) -> &AssignmentKind {
+        &self.assignments[node.index()].kind
+    }
+
+    /// Names of the primitives selected for conv nodes, in node order.
+    pub fn selected_primitives(&self) -> Vec<(NodeId, &str)> {
+        self.assignments
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AssignmentKind::Conv { primitive, .. } => Some((a.node, primitive.as_str())),
+                AssignmentKind::Dummy { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Total µs spent in DT chains (edge legalizations plus input
+    /// conversion) — the quantity the paper shows can erase a locally
+    /// optimal selection's advantage (§5.8).
+    pub fn transform_us(&self) -> f64 {
+        self.edges.iter().map(|e| e.cost_us).sum::<f64>()
+            + self.input_conversion.iter().map(|(_, _, c)| c).sum::<f64>()
+    }
+
+    /// Total µs spent in convolution primitives.
+    pub fn conv_us(&self) -> f64 {
+        self.assignments
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AssignmentKind::Conv { cost_us, .. } => Some(*cost_us),
+                AssignmentKind::Dummy { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Number of layout transformations inserted by legalization.
+    pub fn transform_count(&self) -> usize {
+        self.edges.iter().map(|e| e.chain.len()).sum::<usize>()
+            + self.input_conversion.iter().map(|(_, c, _)| c.len()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan [{}]: {:.1} µs predicted ({:.1} µs conv, {:.1} µs in {} transforms)",
+            self.strategy.label(),
+            self.predicted_us,
+            self.conv_us(),
+            self.transform_us(),
+            self.transform_count(),
+        )?;
+        for a in &self.assignments {
+            if let AssignmentKind::Conv { primitive, input_layout, output_layout, cost_us } =
+                &a.kind
+            {
+                writeln!(
+                    f,
+                    "  {}: {{{input_layout}, {primitive}, {output_layout}}} {cost_us:.1} µs",
+                    a.node
+                )?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+use pbqp_dnn_primitives::Family;
+
+/// How to choose a primitive for every layer (§5.5's comparison points).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// The paper's contribution: globally optimal selection via PBQP,
+    /// including DT costs (exact branch-and-bound back-end).
+    Pbqp,
+    /// PBQP with the RN heuristic only — the ablation showing what the
+    /// exact back-end buys.
+    PbqpHeuristic,
+    /// The common baseline: the textbook sum-of-single-channels primitive
+    /// everywhere, canonical CHW layout.
+    Sum2d,
+    /// Per-layer fastest member of one family, replacing sum2d only when
+    /// faster (the paper's per-family bars); layouts flow through, DT
+    /// chains are inserted wherever neighbours disagree, and — crucially —
+    /// their cost is *not* considered during selection, only paid after.
+    FamilyBest(Family),
+    /// Fastest primitive per layer among those consuming **and** producing
+    /// the canonical CHW layout: the "Local Optimal (CHW)" bar.
+    LocalOptimalChw,
+    /// Caffe simulacrum: im2col + blocked GEMM for every convolution in
+    /// canonical CHW, plus framework dispatch overhead.
+    CaffeLike,
+    /// Vendor-library simulacrum (MKL-DNN / ARM Compute Library class):
+    /// greedy per-layer choice from a curated subset of vectorized
+    /// primitives whose vector factor matches the platform width.
+    VendorLike {
+        /// The platform SIMD width the vendor library targets (8 ≈ AVX2,
+        /// 4 ≈ NEON).
+        vector_width: usize,
+    },
+}
+
+impl Strategy {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Pbqp => "PBQP".into(),
+            Strategy::PbqpHeuristic => "PBQP (RN heuristic)".into(),
+            Strategy::Sum2d => "sum2d".into(),
+            Strategy::FamilyBest(f) => f.name().into(),
+            Strategy::LocalOptimalChw => "Local Optimal (CHW)".into(),
+            Strategy::CaffeLike => "caffe".into(),
+            Strategy::VendorLike { vector_width: 8 } => "mkldnn".into(),
+            Strategy::VendorLike { vector_width: 4 } => "armcl".into(),
+            Strategy::VendorLike { vector_width } => format!("vendor(vf{vector_width})"),
+        }
+    }
+
+    /// Framework dispatch/marshalling overhead multiplier applied to the
+    /// predicted time. Models Caffe's per-layer blob management; the
+    /// library-call strategies have none.
+    pub fn framework_overhead(&self) -> f64 {
+        match self {
+            Strategy::CaffeLike => 1.3,
+            _ => 1.0,
+        }
+    }
+
+    /// The per-family comparison bars of Figures 5–7, in legend order.
+    pub fn family_bars() -> Vec<Strategy> {
+        [Family::Direct, Family::Im2, Family::Kn2, Family::Winograd, Family::Fft]
+            .into_iter()
+            .map(Strategy::FamilyBest)
+            .collect()
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(Strategy::Pbqp.label(), "PBQP");
+        assert_eq!(Strategy::FamilyBest(Family::Winograd).label(), "winograd");
+        assert_eq!(Strategy::VendorLike { vector_width: 8 }.label(), "mkldnn");
+        assert_eq!(Strategy::VendorLike { vector_width: 4 }.label(), "armcl");
+        assert_eq!(Strategy::LocalOptimalChw.label(), "Local Optimal (CHW)");
+    }
+
+    #[test]
+    fn only_caffe_has_framework_overhead() {
+        assert!(Strategy::CaffeLike.framework_overhead() > 1.0);
+        assert_eq!(Strategy::Pbqp.framework_overhead(), 1.0);
+        assert_eq!(Strategy::family_bars().len(), 5);
+    }
+}

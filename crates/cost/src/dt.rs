@@ -1,0 +1,202 @@
+//! The data-layout transformation (DT) graph and its all-pairs shortest
+//! paths (§3.1 of the paper).
+//!
+//! Nodes are the supported [`Layout`]s; directed edges are the library's
+//! direct transformation routines. The edge set is incomplete, so some
+//! conversions require chains; the optimizer needs both the least cost of
+//! every pair (for PBQP edge matrices) and the realizing chain (for
+//! legalization). Where no path exists the cost is infinite.
+
+use pbqp_dnn_tensor::transform::{DirectTransform, DIRECT_TRANSFORMS};
+use pbqp_dnn_tensor::Layout;
+
+/// The DT graph: a set of direct transformation routines.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_cost::DtGraph;
+/// use pbqp_dnn_tensor::Layout;
+///
+/// let dt = DtGraph::standard();
+/// let table = dt.shortest_paths(|_t| 1.0); // unit edge costs
+/// // WCH → CHW has no direct routine but a 3-hop chain exists.
+/// assert_eq!(table.cost(Layout::Wch, Layout::Chw), 3.0);
+/// assert_eq!(table.path(Layout::Wch, Layout::Chw).unwrap().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DtGraph {
+    edges: Vec<DirectTransform>,
+}
+
+impl DtGraph {
+    /// The DT graph induced by the tensor crate's shipped routines.
+    pub fn standard() -> DtGraph {
+        DtGraph { edges: DIRECT_TRANSFORMS.to_vec() }
+    }
+
+    /// A DT graph over an explicit edge set (used in tests and for the §8
+    /// multi-library ensembles).
+    pub fn with_edges(edges: Vec<DirectTransform>) -> DtGraph {
+        DtGraph { edges }
+    }
+
+    /// The direct routines (edges).
+    pub fn edges(&self) -> &[DirectTransform] {
+        &self.edges
+    }
+
+    /// Floyd–Warshall all-pairs shortest paths under a per-edge cost
+    /// function (typically a [`crate::CostSource`] evaluated at one tensor
+    /// size). Unreachable pairs get infinite cost.
+    pub fn shortest_paths<F>(&self, mut edge_cost: F) -> DtPathTable
+    where
+        F: FnMut(DirectTransform) -> f64,
+    {
+        let n = Layout::ALL.len();
+        let mut cost = vec![vec![f64::INFINITY; n]; n];
+        let mut via: Vec<Vec<Option<DirectTransform>>> = vec![vec![None; n]; n];
+        for (i, row) in cost.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for &t in &self.edges {
+            let (i, j) = (t.from.index(), t.to.index());
+            let c = edge_cost(t);
+            if c < cost[i][j] {
+                cost[i][j] = c;
+                via[i][j] = Some(t);
+            }
+        }
+        // via[i][j] holds the FIRST hop on the best i→j path.
+        for k in 0..n {
+            for i in 0..n {
+                if cost[i][k] == f64::INFINITY {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = cost[i][k] + cost[k][j];
+                    if through < cost[i][j] {
+                        cost[i][j] = through;
+                        via[i][j] = via[i][k];
+                    }
+                }
+            }
+        }
+        DtPathTable { cost, via }
+    }
+}
+
+impl Default for DtGraph {
+    fn default() -> Self {
+        DtGraph::standard()
+    }
+}
+
+/// All-pairs shortest-path result over the DT graph: costs for PBQP edge
+/// matrices and first-hop pointers for chain reconstruction.
+#[derive(Debug, Clone)]
+pub struct DtPathTable {
+    cost: Vec<Vec<f64>>,
+    via: Vec<Vec<Option<DirectTransform>>>,
+}
+
+impl DtPathTable {
+    /// Least-cost conversion from `from` to `to` (0 for identity, infinite
+    /// when unreachable).
+    pub fn cost(&self, from: Layout, to: Layout) -> f64 {
+        self.cost[from.index()][to.index()]
+    }
+
+    /// The chain of direct routines realizing the least-cost conversion.
+    /// Empty for the identity; `None` when unreachable.
+    pub fn path(&self, from: Layout, to: Layout) -> Option<Vec<DirectTransform>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        if self.cost(from, to) == f64::INFINITY {
+            return None;
+        }
+        let mut chain = Vec::new();
+        let mut cur = from;
+        while cur != to {
+            let hop = self.via[cur.index()][to.index()]?;
+            chain.push(hop);
+            cur = hop.to;
+            if chain.len() > Layout::ALL.len() {
+                return None; // corrupt table; avoid looping forever
+            }
+        }
+        Some(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_free_and_direct_edges_cost_their_edge() {
+        let dt = DtGraph::standard();
+        let t = dt.shortest_paths(|_| 2.0);
+        for &l in &Layout::ALL {
+            assert_eq!(t.cost(l, l), 0.0);
+            assert_eq!(t.path(l, l).unwrap().len(), 0);
+        }
+        assert_eq!(t.cost(Layout::Chw, Layout::Hwc), 2.0);
+        assert_eq!(t.path(Layout::Chw, Layout::Hwc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn standard_graph_is_strongly_connected() {
+        let dt = DtGraph::standard();
+        let t = dt.shortest_paths(|_| 1.0);
+        for &a in &Layout::ALL {
+            for &b in &Layout::ALL {
+                assert!(t.cost(a, b).is_finite(), "{a} -> {b} unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn chains_are_consistent_with_costs() {
+        let dt = DtGraph::standard();
+        let t = dt.shortest_paths(|tr| (tr.from.index() + 2 * tr.to.index() + 1) as f64);
+        for &a in &Layout::ALL {
+            for &b in &Layout::ALL {
+                let chain = t.path(a, b).unwrap();
+                let sum: f64 =
+                    chain.iter().map(|tr| (tr.from.index() + 2 * tr.to.index() + 1) as f64).sum();
+                assert!((sum - t.cost(a, b)).abs() < 1e-9, "{a}->{b}");
+                // Chain endpoints must line up.
+                let mut cur = a;
+                for hop in &chain {
+                    assert_eq!(hop.from, cur);
+                    cur = hop.to;
+                }
+                assert_eq!(cur, b);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_routes_are_infinite() {
+        // A graph with a single edge: most pairs unreachable.
+        let only = DIRECT_TRANSFORMS[0];
+        let dt = DtGraph::with_edges(vec![only]);
+        let t = dt.shortest_paths(|_| 1.0);
+        assert!(t.cost(only.from, only.to).is_finite());
+        assert_eq!(t.cost(only.to, only.from), f64::INFINITY);
+        assert!(t.path(only.to, only.from).is_none());
+    }
+
+    #[test]
+    fn indirect_paths_beat_expensive_direct_edges() {
+        // Make the direct CHW→HWC routine absurdly expensive: the solver
+        // should route CHW→HCW→HWC instead.
+        let dt = DtGraph::standard();
+        let t = dt.shortest_paths(|tr| if tr.name == "chw_to_hwc" { 100.0 } else { 1.0 });
+        assert_eq!(t.cost(Layout::Chw, Layout::Hwc), 2.0);
+        let chain = t.path(Layout::Chw, Layout::Hwc).unwrap();
+        assert_eq!(chain.len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Cost modelling for primitive selection (§3.1 of the paper).
+//!
+//! The optimizer needs two kinds of costs:
+//!
+//! 1. **layer costs** — the execution time of every candidate primitive on
+//!    every convolutional scenario in the network;
+//! 2. **data-layout transformation (DT) costs** — the time to convert a
+//!    tensor between any pair of layouts, including multi-step chains,
+//!    obtained as all-pairs shortest paths over the DT graph.
+//!
+//! Both can come from **measured profiling** on the build host
+//! ([`MeasuredCost`], the paper's methodology) or from a deterministic
+//! **analytic machine model** ([`AnalyticCost`]) parameterized like the
+//! paper's two platforms — an 8-wide-vector large-cache desktop
+//! ("Haswell-like") and a 4-wide-vector small-cache embedded core
+//! ("Cortex-A57-like"). The machine models are the documented substitution
+//! for the paper's physical Intel i5-4570 and NVIDIA TX1 boards; §3.1
+//! explicitly allows heuristic costs in place of measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dt;
+mod machine;
+mod model;
+mod profile;
+mod table;
+
+pub use dt::{DtGraph, DtPathTable};
+pub use machine::MachineModel;
+pub use model::AnalyticCost;
+pub use profile::MeasuredCost;
+pub use table::{CostSource, CostTable, LayerCosts};

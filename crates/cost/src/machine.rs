@@ -1,0 +1,123 @@
+use std::fmt;
+
+/// An analytic machine model: the handful of architectural parameters the
+/// cost model needs to reproduce the paper's cross-platform effects.
+///
+/// Two presets mirror the paper's evaluation platforms:
+/// [`MachineModel::intel_haswell_like`] (8-wide AVX2-class vectors, large
+/// last-level cache) and [`MachineModel::arm_a57_like`] (4-wide NEON-class
+/// vectors, small last-level cache). Both have four cores, like the
+/// physical machines in §5.1.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_cost::MachineModel;
+///
+/// let intel = MachineModel::intel_haswell_like();
+/// let arm = MachineModel::arm_a57_like();
+/// assert_eq!(intel.vector_width, 8);
+/// assert_eq!(arm.vector_width, 4);
+/// assert!(intel.llc_bytes > arm.llc_bytes);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Display name used in benchmark output.
+    pub name: &'static str,
+    /// FP32 SIMD lanes (8 for AVX2, 4 for NEON).
+    pub vector_width: usize,
+    /// Physical cores available for multithreaded execution.
+    pub cores: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Last-level cache capacity in bytes (6 MiB Haswell, 2 MiB A57).
+    pub llc_bytes: usize,
+    /// Sustained memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Fused multiply-add issue per lane per cycle (2 on Haswell, 1 on A57).
+    pub fma_per_cycle: f64,
+    /// Fraction of its nominal efficiency the platform BLAS achieves
+    /// (vendor GEMMs are far better tuned on x86 than on embedded parts).
+    pub blas_efficiency: f64,
+}
+
+impl MachineModel {
+    /// The desktop platform of §5.1: Intel Core i5-4570 class.
+    pub fn intel_haswell_like() -> MachineModel {
+        MachineModel {
+            name: "intel-haswell-like",
+            vector_width: 8,
+            cores: 4,
+            freq_ghz: 3.2,
+            llc_bytes: 6 * 1024 * 1024,
+            bandwidth_gbs: 25.0,
+            fma_per_cycle: 2.0,
+            blas_efficiency: 1.0,
+        }
+    }
+
+    /// The embedded platform of §5.1: ARM Cortex-A57 (NVIDIA TX1) class.
+    pub fn arm_a57_like() -> MachineModel {
+        MachineModel {
+            name: "arm-a57-like",
+            vector_width: 4,
+            cores: 4,
+            freq_ghz: 1.9,
+            llc_bytes: 2 * 1024 * 1024,
+            // Effective streaming bandwidth under the strided access DNN
+            // kernels generate; the TX1's LPDDR4 peak is higher but its
+            // achieved bandwidth on non-sequential traffic is far lower.
+            bandwidth_gbs: 1.6,
+            fma_per_cycle: 1.0,
+            blas_efficiency: 0.55,
+        }
+    }
+
+    /// Peak single-core scalar FLOP/s (multiply and add counted
+    /// separately).
+    pub fn scalar_peak_flops(&self) -> f64 {
+        self.freq_ghz * 1e9 * 2.0 * self.fma_per_cycle
+    }
+
+    /// Peak FLOP/s using `threads` cores and `lanes` effective SIMD lanes.
+    pub fn peak_flops(&self, threads: usize, lanes: usize) -> f64 {
+        self.scalar_peak_flops()
+            * threads.clamp(1, self.cores) as f64
+            * lanes.clamp(1, self.vector_width) as f64
+    }
+}
+
+impl fmt::Display for MachineModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} cores, {}-wide, {:.1} GHz, {} KiB LLC)",
+            self.name,
+            self.cores,
+            self.vector_width,
+            self.freq_ghz,
+            self.llc_bytes / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_reflect_the_papers_platforms() {
+        let intel = MachineModel::intel_haswell_like();
+        let arm = MachineModel::arm_a57_like();
+        assert!(intel.scalar_peak_flops() > arm.scalar_peak_flops());
+        assert_eq!(intel.cores, 4);
+        assert_eq!(arm.cores, 4);
+    }
+
+    #[test]
+    fn peak_flops_clamps_to_hardware() {
+        let m = MachineModel::arm_a57_like();
+        assert_eq!(m.peak_flops(16, 16), m.peak_flops(4, 4));
+        assert_eq!(m.peak_flops(1, 1), m.scalar_peak_flops());
+    }
+}

@@ -1,0 +1,125 @@
+use std::time::Instant;
+
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_primitives::ConvAlgorithm;
+use pbqp_dnn_tensor::transform::{apply_direct, DirectTransform};
+use pbqp_dnn_tensor::{KernelTensor, Tensor};
+
+use crate::table::CostSource;
+
+/// Wall-clock profiler: the paper's methodology (§3.1).
+///
+/// "The cost of execution of most DNN layers depends primarily on the
+/// dimensions of the input rather than on the actual input values" — so
+/// each candidate primitive is run on deterministic pseudo-random tensors
+/// of the layer's true dimensions and the best of `reps` timings is
+/// recorded.
+///
+/// Profiling a full network against the whole library takes real time;
+/// [`MeasuredCost::with_scale`] optionally shrinks the spatial dimensions
+/// by an integer factor for quick calibration runs (costs scale
+/// predictably with `H × W` for every family).
+#[derive(Debug, Clone)]
+pub struct MeasuredCost {
+    threads: usize,
+    reps: usize,
+    scale: usize,
+}
+
+impl MeasuredCost {
+    /// Creates a profiler running each primitive `reps` times with the
+    /// given thread count, keeping the minimum.
+    pub fn new(threads: usize, reps: usize) -> MeasuredCost {
+        MeasuredCost { threads: threads.max(1), reps: reps.max(1), scale: 1 }
+    }
+
+    /// Divides profiled spatial dimensions by `scale` (≥ 1).
+    pub fn with_scale(mut self, scale: usize) -> MeasuredCost {
+        self.scale = scale.max(1);
+        self
+    }
+
+    fn scaled(&self, s: &ConvScenario) -> ConvScenario {
+        if self.scale == 1 {
+            return *s;
+        }
+        let mut t = *s;
+        // Keep the scenario executable: never shrink below the kernel.
+        t.h = (t.h / self.scale).max(t.k);
+        t.w = (t.w / self.scale).max(t.k);
+        t
+    }
+}
+
+impl CostSource for MeasuredCost {
+    fn layer_cost(&self, prim: &dyn ConvAlgorithm, scenario: &ConvScenario) -> f64 {
+        let s = self.scaled(scenario);
+        let input = Tensor::random(s.c, s.h, s.w, prim.descriptor().input_layout, 0xA11CE);
+        let mut kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 0xB0B);
+        if s.sparsity_pm > 0 {
+            kernel.sparsify(s.sparsity(), 0xC0FFEE);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..self.reps {
+            let start = Instant::now();
+            let out = prim.execute(&input, &kernel, &s, self.threads);
+            let dt = start.elapsed().as_secs_f64() * 1e6;
+            assert!(out.is_ok(), "profiled primitive failed: {:?}", out.err());
+            best = best.min(dt);
+        }
+        // Scale measured time back up: every family is Θ(H·W) in the
+        // spatial dimensions for fixed C, K, M.
+        best * (self.scale * self.scale) as f64
+    }
+
+    fn transform_cost(&self, transform: DirectTransform, dims: (usize, usize, usize)) -> f64 {
+        let (c, h, w) = dims;
+        let (h, w) = ((h / self.scale).max(1), (w / self.scale).max(1));
+        let input = Tensor::random(c, h, w, transform.from, 0xDA7A);
+        let mut best = f64::INFINITY;
+        for _ in 0..self.reps {
+            let start = Instant::now();
+            let out = apply_direct(&input, transform.to);
+            let dt = start.elapsed().as_secs_f64() * 1e6;
+            assert!(out.is_ok(), "transform failed: {:?}", out.err());
+            best = best.min(dt);
+        }
+        best * (self.scale * self.scale) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbqp_dnn_primitives::registry::{full_library, Registry};
+    use pbqp_dnn_tensor::transform::DIRECT_TRANSFORMS;
+
+    #[test]
+    fn measures_positive_times_and_ranks_obvious_pairs() {
+        let reg = Registry::new(full_library());
+        let prof = MeasuredCost::new(1, 2);
+        let s = ConvScenario::new(8, 24, 24, 1, 3, 16);
+        let naive = prof.layer_cost(reg.by_name("im2col_naive_nn").unwrap().as_ref(), &s);
+        let packed = prof.layer_cost(reg.by_name("im2col_packed_nn").unwrap().as_ref(), &s);
+        assert!(naive > 0.0 && packed > 0.0);
+        // Packed GEMM should never lose to naive GEMM by much; on real
+        // hardware it usually wins outright. Allow slack for CI noise.
+        assert!(packed < naive * 2.0, "packed {packed} vs naive {naive}");
+    }
+
+    #[test]
+    fn scaled_profiling_extrapolates() {
+        let reg = Registry::new(full_library());
+        let prof = MeasuredCost::new(1, 2).with_scale(2);
+        let s = ConvScenario::new(4, 32, 32, 1, 3, 8);
+        let cost = prof.layer_cost(reg.by_name("sum2d").unwrap().as_ref(), &s);
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn transform_cost_is_measurable() {
+        let prof = MeasuredCost::new(1, 2);
+        let t = DIRECT_TRANSFORMS[0];
+        assert!(prof.transform_cost(t, (16, 32, 32)) > 0.0);
+    }
+}

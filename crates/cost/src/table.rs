@@ -1,0 +1,286 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use pbqp_dnn_graph::{ConvScenario, DnnGraph, NodeId};
+use pbqp_dnn_primitives::registry::Registry;
+use pbqp_dnn_primitives::ConvAlgorithm;
+use pbqp_dnn_tensor::transform::DirectTransform;
+
+/// Source of layer and data-layout-transformation costs.
+///
+/// Implemented by the deterministic [`crate::AnalyticCost`] machine model
+/// and the wall-clock [`crate::MeasuredCost`] profiler. All costs are in
+/// microseconds.
+pub trait CostSource {
+    /// Estimated/measured execution time of `prim` on `scenario`.
+    fn layer_cost(&self, prim: &dyn ConvAlgorithm, scenario: &ConvScenario) -> f64;
+
+    /// Estimated/measured execution time of one direct layout
+    /// transformation on a tensor of logical dimensions `dims`.
+    fn transform_cost(&self, transform: DirectTransform, dims: (usize, usize, usize)) -> f64;
+}
+
+/// Profiled costs for one convolution layer: the scenario plus the cost of
+/// every supporting primitive (§3.1's `S × P` product space, one row).
+#[derive(Debug, Clone)]
+pub struct LayerCosts {
+    /// Graph node this row belongs to.
+    pub node: NodeId,
+    /// The layer's convolutional scenario.
+    pub scenario: ConvScenario,
+    /// `(primitive name, cost µs)` for every candidate primitive.
+    pub costs: Vec<(String, f64)>,
+}
+
+impl LayerCosts {
+    /// Cost of a specific primitive, if it is a candidate.
+    pub fn cost_of(&self, name: &str) -> Option<f64> {
+        self.costs.iter().find(|(n, _)| n == name).map(|&(_, c)| c)
+    }
+
+    /// The cheapest `(name, cost)` entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has no candidates (cannot happen for tables
+    /// built by [`CostTable::profile`]: `sum2d` supports everything).
+    pub fn best(&self) -> (&str, f64) {
+        let (n, c) = self
+            .costs
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("layer has at least one candidate");
+        (n.as_str(), *c)
+    }
+}
+
+/// The per-network cost table of §3.1: for every conv layer, the cost of
+/// every candidate primitive. The paper notes these tables are tiny
+/// compared to model weights and can ship with the trained model; the
+/// text round-trip ([`CostTable::to_text`]/[`CostTable::parse`]) mirrors
+/// that deployment story.
+#[derive(Debug, Clone, Default)]
+pub struct CostTable {
+    layers: Vec<LayerCosts>,
+    by_node: HashMap<usize, usize>,
+}
+
+impl CostTable {
+    /// Profiles (or models) every candidate primitive for every conv layer
+    /// of `graph` under `source`.
+    pub fn profile(graph: &DnnGraph, registry: &Registry, source: &dyn CostSource) -> CostTable {
+        let mut table = CostTable::default();
+        for (node, scenario) in graph.conv_scenarios() {
+            let costs = registry
+                .candidates(&scenario)
+                .into_iter()
+                .map(|p| (p.descriptor().name.clone(), source.layer_cost(p.as_ref(), &scenario)))
+                .collect();
+            table.push(LayerCosts { node, scenario, costs });
+        }
+        table
+    }
+
+    fn push(&mut self, layer: LayerCosts) {
+        self.by_node.insert(layer.node.index(), self.layers.len());
+        self.layers.push(layer);
+    }
+
+    /// Rows in graph order.
+    pub fn layers(&self) -> &[LayerCosts] {
+        &self.layers
+    }
+
+    /// The row for a graph node, if it is a profiled conv layer.
+    pub fn for_node(&self, node: NodeId) -> Option<&LayerCosts> {
+        self.by_node.get(&node.index()).map(|&ix| &self.layers[ix])
+    }
+
+    /// Serializes to the simple line-oriented text format:
+    /// `layer <node> <scenario>` then `  <prim> <µs>` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for l in &self.layers {
+            out.push_str(&format!("layer {} {}\n", l.node.index(), l.scenario));
+            for (name, cost) in &l.costs {
+                out.push_str(&format!("  {name} {cost:.4}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`CostTable::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<CostTable, String> {
+        let mut table = CostTable::default();
+        let mut current: Option<LayerCosts> = None;
+        for (lno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("layer ") {
+                if let Some(l) = current.take() {
+                    table.push(l);
+                }
+                let mut parts = rest.split_whitespace();
+                let node: usize = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing node id", lno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: bad node id ({e})", lno + 1))?;
+                let scenario = parse_scenario(&parts.collect::<Vec<_>>().join(" "))
+                    .ok_or_else(|| format!("line {}: bad scenario", lno + 1))?;
+                current = Some(LayerCosts { node: node_id(node), scenario, costs: Vec::new() });
+            } else {
+                let l = current
+                    .as_mut()
+                    .ok_or_else(|| format!("line {}: cost before any layer", lno + 1))?;
+                let mut parts = line.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing primitive", lno + 1))?
+                    .to_owned();
+                let cost: f64 = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing cost", lno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: bad cost ({e})", lno + 1))?;
+                l.costs.push((name, cost));
+            }
+        }
+        if let Some(l) = current.take() {
+            table.push(l);
+        }
+        Ok(table)
+    }
+}
+
+impl fmt::Display for CostTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Reconstructs a `NodeId` from its dense index. `NodeId` construction is
+/// crate-private in the graph crate; round-tripping through a throwaway
+/// graph keeps that encapsulation intact.
+fn node_id(index: usize) -> NodeId {
+    let mut g = DnnGraph::new();
+    for i in 0..=index {
+        let id = g.add(pbqp_dnn_graph::Layer::new(
+            format!("n{i}"),
+            pbqp_dnn_graph::LayerKind::Relu,
+        ));
+        if i == index {
+            return id;
+        }
+    }
+    unreachable!("loop returns at index")
+}
+
+/// Parses the `Display` form of [`ConvScenario`]:
+/// `C3xH227xW227 K11 s4 p0 M96 [spNNN] [NB]`.
+fn parse_scenario(text: &str) -> Option<ConvScenario> {
+    let mut c = None;
+    let mut h = None;
+    let mut w = None;
+    let mut k = None;
+    let mut stride = None;
+    let mut pad = None;
+    let mut m = None;
+    let mut sp = 0u16;
+    let mut batch = 1usize;
+    for tok in text.split_whitespace() {
+        if let Some(dims) = tok.strip_prefix('C').filter(|t| t.contains('x')) {
+            for part in dims.split('x') {
+                if let Some(v) = part.strip_prefix('H') {
+                    h = v.parse().ok();
+                } else if let Some(v) = part.strip_prefix('W') {
+                    w = v.parse().ok();
+                } else {
+                    c = part.parse().ok();
+                }
+            }
+        } else if let Some(v) = tok.strip_prefix("sp") {
+            sp = v.parse().ok()?;
+        } else if let Some(v) = tok.strip_prefix('K') {
+            k = v.parse().ok();
+        } else if let Some(v) = tok.strip_prefix('s') {
+            stride = v.parse().ok();
+        } else if let Some(v) = tok.strip_prefix('p') {
+            pad = v.parse().ok();
+        } else if let Some(v) = tok.strip_prefix('M') {
+            m = v.parse().ok();
+        } else if let Some(v) = tok.strip_prefix('N') {
+            batch = v.parse().ok()?;
+        }
+    }
+    Some(
+        ConvScenario::new(c?, h?, w?, stride?, k?, m?)
+            .with_pad(pad?)
+            .with_sparsity_pm(sp)
+            .with_batch(batch),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyticCost, MachineModel};
+    use pbqp_dnn_graph::models;
+    use pbqp_dnn_primitives::registry::full_library;
+
+    fn table() -> CostTable {
+        let graph = models::alexnet();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        CostTable::profile(&graph, &reg, &cost)
+    }
+
+    #[test]
+    fn profiles_every_conv_layer_with_many_candidates() {
+        let t = table();
+        assert_eq!(t.layers().len(), 5);
+        for l in t.layers() {
+            assert!(l.costs.len() >= 20, "{}: {}", l.scenario, l.costs.len());
+            assert!(l.cost_of("sum2d").is_some());
+            let (_, best) = l.best();
+            assert!(best < l.cost_of("sum2d").unwrap());
+        }
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let t = table();
+        let text = t.to_text();
+        let back = CostTable::parse(&text).unwrap();
+        assert_eq!(back.layers().len(), t.layers().len());
+        for (a, b) in t.layers().iter().zip(back.layers()) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.costs.len(), b.costs.len());
+            for ((n1, c1), (n2, c2)) in a.costs.iter().zip(&b.costs) {
+                assert_eq!(n1, n2);
+                assert!((c1 - c2).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CostTable::parse("  sum2d 5.0\n").is_err());
+        assert!(CostTable::parse("layer x C3xH4xW4 K1 s1 p0 M1\n").is_err());
+        assert!(CostTable::parse("layer 0 C3xH4xW4 K1 s1 p0 M1\n  sum2d nope\n").is_err());
+    }
+
+    #[test]
+    fn scenario_display_round_trips_through_parser() {
+        let s = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0).with_sparsity_pm(250);
+        assert_eq!(parse_scenario(&s.to_string()), Some(s));
+        let plain = ConvScenario::new(64, 56, 56, 1, 3, 64);
+        assert_eq!(parse_scenario(&plain.to_string()), Some(plain));
+    }
+}

@@ -1,0 +1,171 @@
+use crate::radix2::Fft;
+use crate::Complex;
+
+/// Arbitrary-length DFT via Bluestein's chirp-z algorithm.
+///
+/// Re-expresses a length-`n` DFT as a circular convolution of chirp-
+/// modulated sequences, evaluated with a radix-2 FFT of length
+/// `≥ 2n − 1`. Planned once; reusable across calls.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_fft::{Bluestein, Complex};
+///
+/// let plan = Bluestein::new(6); // not a power of two
+/// let mut buf: Vec<Complex> = (0..6).map(|i| Complex::new(i as f32, 0.0)).collect();
+/// let sum: f32 = buf.iter().map(|z| z.re).sum();
+/// plan.forward(&mut buf);
+/// assert!((buf[0].re - sum).abs() < 1e-4); // DC bin equals the sum
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bluestein {
+    n: usize,
+    inner: Fft,
+    /// Chirp `e^{-iπ k² / n}` for k in 0..n.
+    chirp: Vec<Complex>,
+    /// FFT of the zero-padded conjugate-chirp filter.
+    filter_fd: Vec<Complex>,
+}
+
+impl Bluestein {
+    /// Plans a transform of any positive length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Bluestein {
+        assert!(n > 0, "transform length must be positive");
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Fft::new(m);
+        let chirp: Vec<Complex> = (0..n)
+            .map(|k| {
+                // k² mod 2n keeps the angle argument small and exact.
+                let e = (k * k) % (2 * n);
+                Complex::cis(-std::f32::consts::PI * e as f32 / n as f32)
+            })
+            .collect();
+        let mut filter = vec![Complex::ZERO; m];
+        for k in 0..n {
+            let v = chirp[k].conj();
+            filter[k] = v;
+            if k != 0 {
+                filter[m - k] = v;
+            }
+        }
+        inner.forward(&mut filter);
+        Bluestein { n, inner, chirp, filter_fd: filter }
+    }
+
+    /// The planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the planned length is zero (never true; `len`/`is_empty`
+    /// symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT of length [`Bluestein::len`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.transform(buf, false);
+    }
+
+    /// In-place inverse DFT (normalized by `1/n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        // DFT⁻¹(x) = conj(DFT(conj(x))) / n.
+        for v in buf.iter_mut() {
+            *v = v.conj();
+        }
+        self.transform(buf, false);
+        let s = 1.0 / self.n as f32;
+        for v in buf.iter_mut() {
+            *v = v.conj().scale(s);
+        }
+    }
+
+    fn transform(&self, buf: &mut [Complex], _inverse: bool) {
+        assert_eq!(buf.len(), self.n, "buffer length != planned length");
+        let m = self.inner.len();
+        let mut work = vec![Complex::ZERO; m];
+        for k in 0..self.n {
+            work[k] = buf[k] * self.chirp[k];
+        }
+        self.inner.forward(&mut work);
+        for (w, f) in work.iter_mut().zip(&self.filter_fd) {
+            *w = *w * *f;
+        }
+        self.inner.inverse(&mut work);
+        for k in 0..self.n {
+            buf[k] = work[k] * self.chirp[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix2::dft_reference;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<Complex> {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        };
+        (0..len).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_awkward_lengths() {
+        for n in [1usize, 3, 5, 6, 7, 12, 30, 97] {
+            let input = pseudo(n, n as u64 + 1);
+            let mut buf = input.clone();
+            Bluestein::new(n).forward(&mut buf);
+            let want = dft_reference(&input, false);
+            for (i, (g, w)) in buf.iter().zip(&want).enumerate() {
+                assert!(
+                    (g.re - w.re).abs() < 2e-3 && (g.im - w.im).abs() < 2e-3,
+                    "n={n} bin={i}: {g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [3usize, 11, 20, 63] {
+            let input = pseudo(n, 77);
+            let plan = Bluestein::new(n);
+            let mut buf = input.clone();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            for (g, w) in buf.iter().zip(&input) {
+                assert!((g.re - w.re).abs() < 1e-3 && (g.im - w.im).abs() < 1e-3, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_on_powers_of_two() {
+        let n = 16;
+        let input = pseudo(n, 9);
+        let mut a = input.clone();
+        let mut b = input;
+        Bluestein::new(n).forward(&mut a);
+        Fft::new(n).forward(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.re - y.re).abs() < 1e-3 && (x.im - y.im).abs() < 1e-3);
+        }
+    }
+}

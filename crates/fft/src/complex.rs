@@ -1,0 +1,110 @@
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A single-precision complex number.
+///
+/// Small on purpose: only the operations the FFT kernels need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + im·i`.
+    pub fn new(re: f32, im: f32) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}` — the unit phasor with angle `theta` radians.
+    pub fn cis(theta: f32) -> Complex {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales both parts by a real factor.
+    pub fn scale(self, s: f32) -> Complex {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj().conj(), z);
+        assert_eq!((z - z), Complex::ZERO);
+        assert_eq!((-z) + z, Complex::ZERO);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for i in 0..16 {
+            let theta = i as f32 * 0.5;
+            let z = Complex::cis(theta);
+            assert!((z.norm_sqr() - 1.0).abs() < 1e-6);
+        }
+        let i = Complex::cis(std::f32::consts::FRAC_PI_2);
+        assert!((i.re).abs() < 1e-6 && (i.im - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiplication_matches_manual_expansion() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a * b;
+        assert_eq!(p, Complex::new(5.0, 5.0));
+    }
+}

@@ -1,0 +1,152 @@
+//! FFT substrate for the `fft` convolution family.
+//!
+//! The paper's FFT primitives compute 2-D convolution as a sum of 1-D FFT
+//! convolutions (less memory than a full 2-D FFT at the cost of more
+//! operations). This crate supplies the 1-D machinery: an iterative
+//! radix-2 Cooley–Tukey transform, a Bluestein chirp-z wrapper for
+//! arbitrary lengths, and a real cross-correlation helper used directly by
+//! the convolution primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use pbqp_dnn_fft::{correlate_1d, Fft};
+//!
+//! // "Same" correlation of a 5-sample signal with a 3-tap kernel.
+//! let out = correlate_1d(&[1., 2., 3., 4., 5.], &[1., 0., -1.], 1);
+//! for (got, want) in out.iter().zip(&[-2., -2., -2., -2., 4.]) {
+//!     assert!((got - want).abs() < 1e-5);
+//! }
+//!
+//! let fft = Fft::new(8);
+//! assert_eq!(fft.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bluestein;
+mod complex;
+mod radix2;
+
+pub use bluestein::Bluestein;
+pub use complex::Complex;
+pub use radix2::Fft;
+
+/// Real 1-D cross-correlation via FFT, with zero padding `pad` on both ends
+/// and unit stride: `out[x] = Σ_j signal[x + j - pad] · kernel[j]`.
+///
+/// The output has length `signal.len() + 2·pad − kernel.len() + 1`. This is
+/// the inner routine of the fft convolution family: a DNN "convolution" is a
+/// correlation, which we realize as FFT convolution with the reversed
+/// kernel.
+///
+/// # Panics
+///
+/// Panics if `kernel` is empty or longer than the padded signal.
+pub fn correlate_1d(signal: &[f32], kernel: &[f32], pad: usize) -> Vec<f32> {
+    let w = signal.len();
+    let k = kernel.len();
+    assert!(k > 0, "kernel must be non-empty");
+    assert!(w + 2 * pad >= k, "kernel longer than padded signal");
+    let out_len = w + 2 * pad - k + 1;
+
+    // Linear convolution length and transform size.
+    let conv_len = w + k - 1;
+    let n = conv_len.next_power_of_two();
+    let fft = Fft::new(n);
+
+    let mut sig = vec![Complex::ZERO; n];
+    for (dst, &s) in sig.iter_mut().zip(signal) {
+        *dst = Complex::new(s, 0.0);
+    }
+    // Correlation = convolution with the reversed kernel.
+    let mut ker = vec![Complex::ZERO; n];
+    for (j, &kv) in kernel.iter().rev().enumerate() {
+        ker[j] = Complex::new(kv, 0.0);
+    }
+
+    fft.forward(&mut sig);
+    fft.forward(&mut ker);
+    for (s, kv) in sig.iter_mut().zip(&ker) {
+        *s = *s * *kv;
+    }
+    fft.inverse(&mut sig);
+
+    // Linear convolution index `t` corresponds to correlation offset
+    // `t - (k - 1)`; with left padding `pad` the first output reads offset
+    // `-pad`, i.e. convolution index `k - 1 - pad`.
+    let mut out = vec![0.0f32; out_len];
+    for (x, dst) in out.iter_mut().enumerate() {
+        let t = x + k - 1;
+        if t >= pad {
+            let idx = t - pad;
+            if idx < conv_len {
+                *dst = sig[idx].re;
+            }
+        }
+    }
+    out
+}
+
+/// Naive direct cross-correlation, the correctness reference for
+/// [`correlate_1d`].
+pub fn correlate_1d_direct(signal: &[f32], kernel: &[f32], pad: usize) -> Vec<f32> {
+    let w = signal.len();
+    let k = kernel.len();
+    assert!(k > 0 && w + 2 * pad >= k);
+    let out_len = w + 2 * pad - k + 1;
+    let mut out = vec![0.0f32; out_len];
+    for (x, dst) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for (j, &kv) in kernel.iter().enumerate() {
+            let pos = x + j;
+            if pos >= pad && pos - pad < w {
+                acc += signal[pos - pad] * kv;
+            }
+        }
+        *dst = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.max(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_correlation_matches_direct() {
+        for (w, k, pad) in [(5, 3, 1), (16, 3, 1), (11, 5, 2), (32, 11, 0), (7, 7, 3), (1, 1, 0)] {
+            let sig = pseudo(w, 1);
+            let ker = pseudo(k, 2);
+            let fast = correlate_1d(&sig, &ker, pad);
+            let slow = correlate_1d_direct(&sig, &ker, pad);
+            assert_eq!(fast.len(), slow.len(), "w={w} k={k} pad={pad}");
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-4, "w={w} k={k} pad={pad}: {f} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn doc_example_values() {
+        let out = correlate_1d_direct(&[1., 2., 3., 4., 5.], &[1., 0., -1.], 1);
+        assert_eq!(out, vec![-2., -2., -2., -2., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel longer")]
+    fn oversized_kernel_panics() {
+        let _ = correlate_1d(&[1.0], &[1.0, 2.0, 3.0], 0);
+    }
+}

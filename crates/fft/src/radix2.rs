@@ -1,0 +1,192 @@
+use crate::Complex;
+
+/// A planned radix-2 FFT of a fixed power-of-two length.
+///
+/// Twiddle factors and the bit-reversal permutation are precomputed once, so
+/// repeated transforms of the same length (one per image row in the fft
+/// convolution family) avoid per-call trigonometry.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_fft::{Complex, Fft};
+///
+/// let fft = Fft::new(4);
+/// let mut buf = [Complex::ONE; 4];
+/// fft.forward(&mut buf);
+/// assert!((buf[0].re - 4.0).abs() < 1e-6); // DC bin
+/// assert!(buf[1].norm_sqr() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    // Twiddles for each butterfly stage, concatenated: stage with half-size
+    // `h` contributes `h` factors e^{-iπ j / h}.
+    twiddles: Vec<Complex>,
+    bitrev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plans a transform of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two (use [`crate::Bluestein`] for
+    /// arbitrary lengths).
+    pub fn new(n: usize) -> Fft {
+        assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length, got {n}");
+        let mut twiddles = Vec::new();
+        let mut h = 1;
+        while h < n {
+            for j in 0..h {
+                let theta = -std::f32::consts::PI * j as f32 / h as f32;
+                twiddles.push(Complex::cis(theta));
+            }
+            h *= 2;
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        Fft { n, twiddles, bitrev }
+    }
+
+    /// The planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the planned length is zero (never true; present for
+    /// `len`/`is_empty` API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.transform(buf, false);
+    }
+
+    /// In-place inverse DFT, including the `1/n` normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.transform(buf, true);
+        let s = 1.0 / self.n as f32;
+        for v in buf.iter_mut() {
+            *v = v.scale(s);
+        }
+    }
+
+    fn transform(&self, buf: &mut [Complex], inverse: bool) {
+        assert_eq!(buf.len(), self.n, "buffer length != planned FFT length");
+        let n = self.n;
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut h = 1;
+        let mut tw_base = 0;
+        while h < n {
+            for start in (0..n).step_by(2 * h) {
+                for j in 0..h {
+                    let mut w = self.twiddles[tw_base + j];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = buf[start + j];
+                    let v = buf[start + j + h] * w;
+                    buf[start + j] = u + v;
+                    buf[start + j + h] = u - v;
+                }
+            }
+            tw_base += h;
+            h *= 2;
+        }
+    }
+}
+
+/// Naive O(n²) DFT used as the correctness reference in tests.
+#[cfg(test)]
+pub(crate) fn dft_reference(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![Complex::ZERO; n];
+    for (k, dst) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            let theta = sign * 2.0 * std::f32::consts::PI * (k * t % n) as f32 / n as f32;
+            acc = acc + x * Complex::cis(theta);
+        }
+        *dst = if inverse { acc.scale(1.0 / n as f32) } else { acc };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<Complex> {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        };
+        (0..len).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let input = pseudo(n, n as u64);
+            let mut buf = input.clone();
+            Fft::new(n).forward(&mut buf);
+            let want = dft_reference(&input, false);
+            for (g, w) in buf.iter().zip(&want) {
+                assert!((g.re - w.re).abs() < 1e-3 && (g.im - w.im).abs() < 1e-3, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [2usize, 16, 64, 256] {
+            let input = pseudo(n, 3);
+            let fft = Fft::new(n);
+            let mut buf = input.clone();
+            fft.forward(&mut buf);
+            fft.inverse(&mut buf);
+            for (g, w) in buf.iter().zip(&input) {
+                assert!((g.re - w.re).abs() < 1e-4 && (g.im - w.im).abs() < 1e-4, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let input = pseudo(n, 5);
+        let time_energy: f32 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = input;
+        Fft::new(n).forward(&mut buf);
+        let freq_energy: f32 = buf.iter().map(|z| z.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = Fft::new(12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the FFT substrate: inverse round trips, linearity,
+//! agreement between the radix-2 and Bluestein paths, and correlation
+//! equivalence with the direct implementation.
+
+use proptest::prelude::*;
+
+use pbqp_dnn_fft::{correlate_1d, correlate_1d_direct, Bluestein, Complex, Fft};
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn radix2_inverse_round_trips(pow in 1u32..9, data in signal(512)) {
+        let n = 1usize << pow;
+        let fft = Fft::new(n);
+        let mut buf: Vec<Complex> =
+            data[..n].iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let orig = buf.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bluestein_inverse_round_trips(n in 1usize..80, data in signal(80)) {
+        let plan = Bluestein::new(n);
+        let mut buf: Vec<Complex> =
+            data[..n].iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let orig = buf.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 2e-3 && (a.im - b.im).abs() < 2e-3);
+        }
+    }
+
+    /// The DFT is linear: F(x + y) = F(x) + F(y).
+    #[test]
+    fn fft_is_linear(pow in 1u32..8, xs in signal(256), ys in signal(256)) {
+        let n = 1usize << pow;
+        let fft = Fft::new(n);
+        let mut x: Vec<Complex> = xs[..n].iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut y: Vec<Complex> = ys[..n].iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut sum: Vec<Complex> =
+            x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        fft.forward(&mut x);
+        fft.forward(&mut y);
+        fft.forward(&mut sum);
+        for ((a, b), s) in x.iter().zip(&y).zip(&sum) {
+            let lin = *a + *b;
+            prop_assert!((lin.re - s.re).abs() < 1e-2 && (lin.im - s.im).abs() < 1e-2);
+        }
+    }
+
+    /// FFT correlation equals the direct correlation for every shape.
+    #[test]
+    fn correlation_matches_direct(
+        w in 1usize..48,
+        k in 1usize..9,
+        pad in 0usize..4,
+        data in signal(64),
+    ) {
+        prop_assume!(w + 2 * pad >= k);
+        let sig = &data[..w];
+        let ker = &data[w..(w + k).min(64)];
+        prop_assume!(ker.len() == k);
+        let fast = correlate_1d(sig, ker, pad);
+        let slow = correlate_1d_direct(sig, ker, pad);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-3 * (1.0 + s.abs()));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Cache-blocked GEMM: the `i k j` loop nest tiled so that one tile of A,
+//! B and C fits comfortably in L1/L2.
+
+use crate::Trans;
+
+const MB: usize = 64;
+const NB: usize = 256;
+const KB: usize = 128;
+
+/// `C = op(A)·op(B) + β·C` with rectangular cache tiling.
+pub(crate) fn gemm(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    // Scale C by beta once up front so tile passes can accumulate freely.
+    if beta == 0.0 {
+        c[..m * n].fill(0.0);
+    } else if beta != 1.0 {
+        for v in c[..m * n].iter_mut() {
+            *v *= beta;
+        }
+    }
+
+    for i0 in (0..m).step_by(MB) {
+        let i1 = (i0 + MB).min(m);
+        for p0 in (0..k).step_by(KB) {
+            let p1 = (p0 + KB).min(k);
+            for j0 in (0..n).step_by(NB) {
+                let j1 = (j0 + NB).min(n);
+                tile(ta, tb, m, n, k, a, b, c, i0, i1, p0, p1, j0, j1);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn tile(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    i0: usize,
+    i1: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    j1: usize,
+) {
+    let _ = k;
+    for i in i0..i1 {
+        let c_row = &mut c[i * n + j0..i * n + j1];
+        for p in p0..p1 {
+            let av = match ta {
+                Trans::N => a[i * k + p],
+                Trans::T => a[p * m + i],
+            };
+            if av == 0.0 {
+                continue;
+            }
+            match tb {
+                Trans::N => {
+                    let b_row = &b[p * n + j0..p * n + j1];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += av * bv;
+                    }
+                }
+                Trans::T => {
+                    for (jj, cv) in c_row.iter_mut().enumerate() {
+                        *cv += av * b[(j0 + jj) * k + p];
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Single-precision GEMM substrate.
+//!
+//! The paper's `im2` and `kn2` convolution families reduce convolution to
+//! calls into a BLAS `SGEMM`; the authors use OpenBLAS. This crate is the
+//! workspace's from-scratch replacement: a small family of row-major
+//! `C = op(A)·op(B) + β·C` kernels with different blocking strategies, plus
+//! a row-partitioned multithreaded driver.
+//!
+//! Three kernels are provided (see [`GemmKind`]):
+//!
+//! * **Naive** — textbook triple loop, the correctness reference.
+//! * **Blocked** — cache-blocked `i k j` loop nest.
+//! * **Packed** — panel-packing kernel with an unrolled 4×8 micro-kernel,
+//!   the fastest for the matrix shapes produced by im2col.
+//!
+//! # Example
+//!
+//! ```
+//! use pbqp_dnn_gemm::{Gemm, GemmKind, Trans};
+//!
+//! // C(2x2) = A(2x3) * B(3x2)
+//! let a = [1., 2., 3., 4., 5., 6.];
+//! let b = [7., 8., 9., 10., 11., 12.];
+//! let mut c = [0.0f32; 4];
+//! Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, 2, 2, 3, &a, &b, 0.0, &mut c);
+//! assert_eq!(c, [58., 64., 139., 154.]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocked;
+mod naive;
+mod packed;
+
+use std::fmt;
+
+/// Which GEMM kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GemmKind {
+    /// Textbook triple loop; reference implementation.
+    Naive,
+    /// Cache-blocked `i k j` loop nest.
+    Blocked,
+    /// Panel-packed kernel with a 4×8 micro-kernel.
+    #[default]
+    Packed,
+}
+
+impl GemmKind {
+    /// All kernels, for sweeps and tests.
+    pub const ALL: [GemmKind; 3] = [GemmKind::Naive, GemmKind::Blocked, GemmKind::Packed];
+}
+
+impl fmt::Display for GemmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmKind::Naive => f.write_str("naive"),
+            GemmKind::Blocked => f.write_str("blocked"),
+            GemmKind::Packed => f.write_str("packed"),
+        }
+    }
+}
+
+/// Whether an operand is used as stored (`N`) or transposed (`T`).
+///
+/// Operands are row-major; `Trans::T` reinterprets a stored `k × m` matrix
+/// as the logical `m × k` operand without materializing the transpose in
+/// the naive/blocked kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trans {
+    /// Use the operand as stored.
+    N,
+    /// Use the transpose of the stored operand.
+    T,
+}
+
+/// A configured GEMM: kernel choice plus thread count.
+///
+/// The multithreaded driver partitions rows of `C` across `threads` OS
+/// threads; each thread runs the configured serial kernel on its slab.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_gemm::{Gemm, GemmKind, Trans};
+///
+/// let gemm = Gemm::new(GemmKind::Blocked).threads(2);
+/// let a = vec![1.0f32; 8 * 16];
+/// let b = vec![1.0f32; 16 * 4];
+/// let mut c = vec![0.0f32; 8 * 4];
+/// gemm.run(Trans::N, Trans::N, 8, 4, 16, &a, &b, 0.0, &mut c);
+/// assert!(c.iter().all(|&x| x == 16.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gemm {
+    kind: GemmKind,
+    threads: usize,
+}
+
+impl Default for Gemm {
+    fn default() -> Self {
+        Gemm::new(GemmKind::default())
+    }
+}
+
+impl Gemm {
+    /// Creates a single-threaded GEMM with the given kernel.
+    pub fn new(kind: GemmKind) -> Gemm {
+        Gemm { kind, threads: 1 }
+    }
+
+    /// Sets the number of worker threads (minimum 1).
+    pub fn threads(mut self, threads: usize) -> Gemm {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured kernel.
+    pub fn kind(&self) -> GemmKind {
+        self.kind
+    }
+
+    /// Computes `C = op(A)·op(B) + β·C`.
+    ///
+    /// `C` is `m × n` row-major. With `Trans::N`, `a` is `m × k` and `b` is
+    /// `k × n`; with `Trans::T` the stored shapes are transposed
+    /// (`k × m` / `n × k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice is smaller than its operand shape requires.
+    pub fn run(
+        &self,
+        ta: Trans,
+        tb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        assert!(a.len() >= m * k, "A too small: {} < {}", a.len(), m * k);
+        assert!(b.len() >= k * n, "B too small: {} < {}", b.len(), k * n);
+        assert!(c.len() >= m * n, "C too small: {} < {}", c.len(), m * n);
+        if m == 0 || n == 0 {
+            return;
+        }
+
+        if self.threads <= 1 || m < 2 * self.threads {
+            self.run_serial(ta, tb, m, n, k, a, b, beta, c);
+            return;
+        }
+
+        // The parallel driver slabs rows of C, which requires an N-form A;
+        // materialize the transpose once if needed.
+        let a_owned;
+        let a_n: &[f32] = match ta {
+            Trans::N => &a[..m * k],
+            Trans::T => {
+                a_owned = transpose(a, k, m);
+                &a_owned
+            }
+        };
+
+        let rows_per = m.div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            let mut c_rest = &mut c[..m * n];
+            let mut a_rest = a_n;
+            let mut handles = Vec::new();
+            while !c_rest.is_empty() {
+                let rows = rows_per.min(c_rest.len() / n);
+                let (c_slab, c_next) = c_rest.split_at_mut(rows * n);
+                let (a_slab, a_next) = a_rest.split_at(rows * k);
+                c_rest = c_next;
+                a_rest = a_next;
+                let this = *self;
+                handles.push(scope.spawn(move || {
+                    this.run_serial(Trans::N, tb, rows, n, k, a_slab, b, beta, c_slab);
+                }));
+            }
+            for h in handles {
+                h.join().expect("gemm worker panicked");
+            }
+        });
+    }
+
+    fn run_serial(
+        &self,
+        ta: Trans,
+        tb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        match self.kind {
+            GemmKind::Naive => naive::gemm(ta, tb, m, n, k, a, b, beta, c),
+            GemmKind::Blocked => blocked::gemm(ta, tb, m, n, k, a, b, beta, c),
+            GemmKind::Packed => {
+                // The packed micro-kernel consumes N-form operands only.
+                let a_owned;
+                let a_n = match ta {
+                    Trans::N => a,
+                    Trans::T => {
+                        a_owned = transpose(a, k, m);
+                        &a_owned[..]
+                    }
+                };
+                let b_owned;
+                let b_n = match tb {
+                    Trans::N => b,
+                    Trans::T => {
+                        b_owned = transpose(b, n, k);
+                        &b_owned[..]
+                    }
+                };
+                packed::gemm_nn(m, n, k, a_n, b_n, beta, c);
+            }
+        }
+    }
+}
+
+/// Materializes the transpose of a `rows × cols` row-major matrix.
+pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for cidx in 0..cols {
+            out[cidx * rows + r] = src[r * cols + cidx];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(
+        ta: Trans,
+        tb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c0: &[f32],
+    ) -> Vec<f32> {
+        let mut c = c0.to_vec();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    let av = match ta {
+                        Trans::N => a[i * k + p],
+                        Trans::T => a[p * m + i],
+                    };
+                    let bv = match tb {
+                        Trans::N => b[p * n + j],
+                        Trans::T => b[j * k + p],
+                    };
+                    acc += f64::from(av) * f64::from(bv);
+                }
+                c[i * n + j] = (acc + f64::from(beta) * f64::from(c0[i * n + j])) as f32;
+            }
+        }
+        c
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.max(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn check_all(m: usize, n: usize, k: usize) {
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let c0 = fill(m * n, 3);
+        for kind in GemmKind::ALL {
+            for threads in [1, 3] {
+                for ta in [Trans::N, Trans::T] {
+                    for tb in [Trans::N, Trans::T] {
+                        for beta in [0.0f32, 1.0] {
+                            let mut c = c0.clone();
+                            Gemm::new(kind).threads(threads).run(
+                                ta, tb, m, n, k, &a, &b, beta, &mut c,
+                            );
+                            let want = reference(ta, tb, m, n, k, &a, &b, beta, &c0);
+                            for (got, want) in c.iter().zip(&want) {
+                                assert!(
+                                    (got - want).abs() <= 1e-3,
+                                    "{kind} t{threads} {ta:?}{tb:?} beta={beta}: {got} vs {want}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_shapes_match_reference() {
+        check_all(1, 1, 1);
+        check_all(2, 3, 4);
+        check_all(4, 4, 4);
+        check_all(5, 7, 3);
+    }
+
+    #[test]
+    fn awkward_shapes_match_reference() {
+        check_all(13, 17, 9);
+        check_all(33, 5, 40);
+        check_all(8, 64, 1);
+        check_all(1, 31, 31);
+    }
+
+    #[test]
+    fn medium_shape_matches_reference() {
+        check_all(48, 52, 36);
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let a: Vec<f32> = vec![];
+        let b: Vec<f32> = vec![];
+        let mut c: Vec<f32> = vec![];
+        Gemm::default().run(Trans::N, Trans::N, 0, 0, 0, &a, &b, 0.0, &mut c);
+        // k = 0 with nonzero m, n zeroes C (beta = 0).
+        let mut c2 = vec![5.0f32; 4];
+        Gemm::default().run(Trans::N, Trans::N, 2, 2, 0, &a, &b, 0.0, &mut c2);
+        assert_eq!(c2, [0.0; 4]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = fill(6 * 4, 9);
+        let t = transpose(&m, 6, 4);
+        let back = transpose(&t, 4, 6);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn beta_accumulates() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [2.0f32, 0.0, 0.0, 2.0];
+        let mut c = [10.0f32, 0.0, 0.0, 10.0];
+        Gemm::new(GemmKind::Naive).run(Trans::N, Trans::N, 2, 2, 2, &a, &b, 1.0, &mut c);
+        assert_eq!(c, [12.0, 0.0, 0.0, 12.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Textbook triple-loop GEMM; the correctness reference for the other
+//! kernels and the model of "unoptimized BLAS" used by cost-model ablations.
+
+use crate::Trans;
+
+/// `C = op(A)·op(B) + β·C`, straightforward `i j p` loop order.
+pub(crate) fn gemm(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    match (ta, tb) {
+        (Trans::N, Trans::N) => {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                if beta == 0.0 {
+                    c_row.fill(0.0);
+                } else if beta != 1.0 {
+                    for v in c_row.iter_mut() {
+                        *v *= beta;
+                    }
+                }
+                // `i p j` order keeps the inner loop contiguous over B and C.
+                for (p, &av) in a_row.iter().enumerate() {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+        (Trans::N, Trans::T) => {
+            // Dot products of contiguous rows: A row i with B row j.
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    let cv = &mut c[i * n + j];
+                    *cv = acc + beta * *cv;
+                }
+            }
+        }
+        (Trans::T, _) => {
+            // A is stored k×m; index it strided.
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        let bv = match tb {
+                            Trans::N => b[p * n + j],
+                            Trans::T => b[j * k + p],
+                        };
+                        acc += a[p * m + i] * bv;
+                    }
+                    let cv = &mut c[i * n + j];
+                    *cv = acc + beta * *cv;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Panel-packing GEMM with a 4×8 register micro-kernel.
+//!
+//! This follows the classic Goto/BLIS structure: B is packed into
+//! column panels of width [`NR`], A into row panels of height [`MR`], and
+//! the micro-kernel keeps a 4×8 accumulator block entirely in registers so
+//! the compiler can vectorize the `NR`-wide updates.
+
+const MR: usize = 4;
+const NR: usize = 8;
+const KC: usize = 256;
+const MC: usize = 128;
+
+/// `C = A·B + β·C` with both operands in N form.
+pub(crate) fn gemm_nn(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    if beta == 0.0 {
+        c[..m * n].fill(0.0);
+    } else if beta != 1.0 {
+        for v in c[..m * n].iter_mut() {
+            *v *= beta;
+        }
+    }
+
+    let mut a_pack = vec![0.0f32; MC * KC];
+    let mut b_pack = vec![0.0f32; KC * n.div_ceil(NR) * NR];
+
+    for p0 in (0..k).step_by(KC) {
+        let pc = KC.min(k - p0);
+        pack_b(&mut b_pack, b, n, k, p0, pc);
+        for i0 in (0..m).step_by(MC) {
+            let ic = MC.min(m - i0);
+            pack_a(&mut a_pack, a, k, i0, ic, p0, pc);
+            macro_kernel(&a_pack, &b_pack, c, n, i0, ic, pc);
+        }
+    }
+}
+
+/// Packs a `pc × n` horizontal slab of B into `NR`-wide column panels,
+/// zero-padding the final partial panel.
+fn pack_b(dst: &mut [f32], b: &[f32], n: usize, _k: usize, p0: usize, pc: usize) {
+    let panels = n.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let jw = NR.min(n - j0);
+        let base = jp * pc * NR;
+        for p in 0..pc {
+            let src = &b[(p0 + p) * n + j0..(p0 + p) * n + j0 + jw];
+            let out = &mut dst[base + p * NR..base + p * NR + NR];
+            out[..jw].copy_from_slice(src);
+            out[jw..].fill(0.0);
+        }
+    }
+}
+
+/// Packs an `ic × pc` block of A into `MR`-tall row panels, zero-padding the
+/// final partial panel.
+fn pack_a(dst: &mut [f32], a: &[f32], k: usize, i0: usize, ic: usize, p0: usize, pc: usize) {
+    let panels = ic.div_ceil(MR);
+    for ip in 0..panels {
+        let r0 = ip * MR;
+        let rh = MR.min(ic - r0);
+        let base = ip * pc * MR;
+        for p in 0..pc {
+            for r in 0..MR {
+                dst[base + p * MR + r] = if r < rh {
+                    a[(i0 + r0 + r) * k + p0 + p]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Runs the micro-kernel over every (row panel, column panel) pair.
+fn macro_kernel(a_pack: &[f32], b_pack: &[f32], c: &mut [f32], n: usize, i0: usize, ic: usize, pc: usize) {
+    let row_panels = ic.div_ceil(MR);
+    let col_panels = n.div_ceil(NR);
+    for ip in 0..row_panels {
+        let a_panel = &a_pack[ip * pc * MR..(ip + 1) * pc * MR];
+        let r0 = i0 + ip * MR;
+        let rh = MR.min(i0 + ic - r0);
+        for jp in 0..col_panels {
+            let b_panel = &b_pack[jp * pc * NR..(jp + 1) * pc * NR];
+            let j0 = jp * NR;
+            let jw = NR.min(n - j0);
+            micro_kernel(a_panel, b_panel, c, n, pc, r0, rh, j0, jw);
+        }
+    }
+}
+
+/// 4×8 register-blocked inner kernel: accumulates
+/// `C[r0..r0+rh, j0..j0+jw] += A_panel · B_panel`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    c: &mut [f32],
+    n: usize,
+    pc: usize,
+    r0: usize,
+    rh: usize,
+    j0: usize,
+    jw: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..pc {
+        let bp = &b_panel[p * NR..p * NR + NR];
+        let ap = &a_panel[p * MR..p * MR + MR];
+        for r in 0..MR {
+            let av = ap[r];
+            let row = &mut acc[r];
+            for j in 0..NR {
+                row[j] += av * bp[j];
+            }
+        }
+    }
+    for r in 0..rh {
+        let c_row = &mut c[(r0 + r) * n + j0..(r0 + r) * n + j0 + jw];
+        for (cv, &av) in c_row.iter_mut().zip(acc[r].iter()) {
+            *cv += av;
+        }
+    }
+}

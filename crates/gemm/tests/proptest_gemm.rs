@@ -1,0 +1,104 @@
+//! Property tests for the GEMM substrate: every kernel × transpose
+//! combination agrees with a high-precision reference, and the algebraic
+//! identities (transpose involution, beta-linearity) hold.
+
+use proptest::prelude::*;
+
+use pbqp_dnn_gemm::{transpose, Gemm, GemmKind, Trans};
+
+fn reference(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c0: &[f32],
+) -> Vec<f32> {
+    let mut c = c0.to_vec();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                let av = match ta {
+                    Trans::N => a[i * k + p],
+                    Trans::T => a[p * m + i],
+                };
+                let bv = match tb {
+                    Trans::N => b[p * n + j],
+                    Trans::T => b[j * k + p],
+                };
+                acc += f64::from(av) * f64::from(bv);
+            }
+            c[i * n + j] = (acc + f64::from(beta) * f64::from(c0[i * n + j])) as f32;
+        }
+    }
+    c
+}
+
+fn mat(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_kernels_match_reference(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        kind in prop::sample::select(GemmKind::ALL.to_vec()),
+        ta in prop::sample::select(vec![Trans::N, Trans::T]),
+        tb in prop::sample::select(vec![Trans::N, Trans::T]),
+        beta in prop::sample::select(vec![0.0f32, 1.0]),
+        threads in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let gen = |len: usize, s: u64| -> Vec<f32> {
+            let mut state = (seed + s) | 1;
+            (0..len).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+            }).collect()
+        };
+        let a = gen(m * k, 1);
+        let b = gen(k * n, 2);
+        let c0 = gen(m * n, 3);
+        let mut c = c0.clone();
+        Gemm::new(kind).threads(threads).run(ta, tb, m, n, k, &a, &b, beta, &mut c);
+        let want = reference(ta, tb, m, n, k, &a, &b, beta, &c0);
+        for (got, want) in c.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(rows in 1usize..20, cols in 1usize..20, data in mat(400)) {
+        let src = &data[..rows * cols];
+        let back = transpose(&transpose(src, rows, cols), cols, rows);
+        prop_assert_eq!(src.to_vec(), back);
+    }
+
+    /// C = A·B with beta=1 twice equals 2·(A·B) when C starts at zero.
+    #[test]
+    fn beta_one_accumulates_linearly(
+        m in 1usize..10,
+        n in 1usize..10,
+        k in 1usize..10,
+        data in mat(300),
+    ) {
+        let a = &data[..m * k];
+        let b = &data[m * k..m * k + k * n];
+        let mut once = vec![0.0f32; m * n];
+        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, a, b, 0.0, &mut once);
+        let mut twice = vec![0.0f32; m * n];
+        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, a, b, 0.0, &mut twice);
+        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, a, b, 1.0, &mut twice);
+        for (x, y) in once.iter().zip(&twice) {
+            prop_assert!((2.0 * x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+}

@@ -1,0 +1,416 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{ConvScenario, Layer, LayerKind};
+
+/// Identifier of a node in a [`DnnGraph`].
+///
+/// Stable for the life of the graph; also usable as a dense index via
+/// [`NodeId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Dense index of this node (0-based insertion order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Errors raised by graph construction and shape inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint does not exist.
+    UnknownNode(usize),
+    /// The graph contains a cycle, so no topological order exists.
+    Cyclic,
+    /// A node that needs exactly one input has zero or several.
+    ArityMismatch {
+        /// Offending node name.
+        node: String,
+        /// Number of predecessors found.
+        found: usize,
+    },
+    /// A conv scenario's `(c, h, w)` disagrees with its producer's shape.
+    ShapeMismatch {
+        /// Offending node name.
+        node: String,
+        /// Shape the node expected.
+        expected: (usize, usize, usize),
+        /// Shape the producer supplies.
+        found: (usize, usize, usize),
+    },
+    /// Concat inputs disagree on spatial dimensions.
+    ConcatMismatch {
+        /// Offending node name.
+        node: String,
+    },
+    /// Two layers share a name; names must be unique for reporting.
+    DuplicateName(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(ix) => write!(f, "unknown node id {ix}"),
+            GraphError::Cyclic => f.write_str("graph is cyclic"),
+            GraphError::ArityMismatch { node, found } => {
+                write!(f, "layer `{node}` needs exactly one input, found {found}")
+            }
+            GraphError::ShapeMismatch { node, expected, found } => {
+                write!(f, "layer `{node}` expects input {expected:?}, producer supplies {found:?}")
+            }
+            GraphError::ConcatMismatch { node } => {
+                write!(f, "concat `{node}` inputs disagree on spatial dimensions")
+            }
+            GraphError::DuplicateName(name) => write!(f, "duplicate layer name `{name}`"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A directed acyclic graph of DNN layers.
+///
+/// Nodes are added with [`DnnGraph::add`] and wired with
+/// [`DnnGraph::connect`]; layer data flows along directed edges in
+/// topological order (§2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind};
+///
+/// let mut g = DnnGraph::new();
+/// let input = g.add(Layer::new("data", LayerKind::Input { c: 3, h: 32, w: 32 }));
+/// let conv = g.add(Layer::new(
+///     "conv1",
+///     LayerKind::Conv(ConvScenario::new(3, 32, 32, 1, 3, 16)),
+/// ));
+/// g.connect(input, conv).unwrap();
+/// assert_eq!(g.topo_order().unwrap(), vec![input, conv]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DnnGraph {
+    layers: Vec<Layer>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+}
+
+impl DnnGraph {
+    /// Creates an empty graph.
+    pub fn new() -> DnnGraph {
+        DnnGraph::default()
+    }
+
+    /// Adds a layer and returns its id.
+    pub fn add(&mut self, layer: Layer) -> NodeId {
+        let id = NodeId(self.layers.len());
+        self.layers.push(layer);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if either endpoint is not in the
+    /// graph.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        for id in [from, to] {
+            if id.0 >= self.layers.len() {
+                return Err(GraphError::UnknownNode(id.0));
+            }
+        }
+        self.succs[from.0].push(to);
+        self.preds[to.0].push(from);
+        Ok(())
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the graph has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layer stored at `id`.
+    pub fn layer(&self, id: NodeId) -> &Layer {
+        &self.layers[id.0]
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.layers.len()).map(NodeId)
+    }
+
+    /// Direct successors of `id`.
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.0]
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.0]
+    }
+
+    /// All edges as `(from, to)` pairs.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (ix, succs) in self.succs.iter().enumerate() {
+            for &to in succs {
+                out.push((NodeId(ix), to));
+            }
+        }
+        out
+    }
+
+    /// Ids of all convolution nodes, in insertion order.
+    pub fn conv_nodes(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| self.layer(id).kind.is_conv()).collect()
+    }
+
+    /// Convolution scenarios keyed by node, in insertion order.
+    pub fn conv_scenarios(&self) -> Vec<(NodeId, ConvScenario)> {
+        self.conv_nodes()
+            .into_iter()
+            .map(|id| (id, *self.layer(id).kind.scenario().expect("conv node")))
+            .collect()
+    }
+
+    /// Kahn topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cyclic`] if the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<NodeId> =
+            self.node_ids().filter(|id| indeg[id.0] == 0).collect();
+        let mut order = Vec::with_capacity(self.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &s in &self.succs[id.0] {
+                indeg[s.0] -= 1;
+                if indeg[s.0] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() == self.len() {
+            Ok(order)
+        } else {
+            Err(GraphError::Cyclic)
+        }
+    }
+
+    /// Infers the output shape `(c, h, w)` of every node and validates the
+    /// wiring (arity, conv scenario consistency, concat compatibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural or shape error found.
+    pub fn infer_shapes(&self) -> Result<Vec<(usize, usize, usize)>, GraphError> {
+        let mut names = HashMap::new();
+        for layer in &self.layers {
+            if names.insert(layer.name.as_str(), ()).is_some() {
+                return Err(GraphError::DuplicateName(layer.name.clone()));
+            }
+        }
+
+        let order = self.topo_order()?;
+        let mut shapes = vec![(0usize, 0usize, 0usize); self.len()];
+        for id in order {
+            let layer = &self.layers[id.0];
+            let preds = &self.preds[id.0];
+            let single = |found: usize| GraphError::ArityMismatch {
+                node: layer.name.clone(),
+                found,
+            };
+            shapes[id.0] = match &layer.kind {
+                LayerKind::Input { c, h, w } => {
+                    if !preds.is_empty() {
+                        return Err(single(preds.len()));
+                    }
+                    (*c, *h, *w)
+                }
+                LayerKind::Conv(s) => {
+                    if preds.len() != 1 {
+                        return Err(single(preds.len()));
+                    }
+                    let got = shapes[preds[0].0];
+                    if got != (s.c, s.h, s.w) {
+                        return Err(GraphError::ShapeMismatch {
+                            node: layer.name.clone(),
+                            expected: (s.c, s.h, s.w),
+                            found: got,
+                        });
+                    }
+                    (s.m, s.out_h(), s.out_w())
+                }
+                LayerKind::Pool { k, stride, pad, .. } => {
+                    if preds.len() != 1 {
+                        return Err(single(preds.len()));
+                    }
+                    let (c, h, w) = shapes[preds[0].0];
+                    // Caffe's ceil convention for pooling output dims.
+                    let oh = (h + 2 * pad - k).div_ceil(*stride) + 1;
+                    let ow = (w + 2 * pad - k).div_ceil(*stride) + 1;
+                    (c, oh, ow)
+                }
+                LayerKind::Relu | LayerKind::Lrn | LayerKind::Dropout | LayerKind::Softmax => {
+                    if preds.len() != 1 {
+                        return Err(single(preds.len()));
+                    }
+                    shapes[preds[0].0]
+                }
+                LayerKind::FullyConnected { out } => {
+                    if preds.len() != 1 {
+                        return Err(single(preds.len()));
+                    }
+                    (*out, 1, 1)
+                }
+                LayerKind::Concat => {
+                    if preds.is_empty() {
+                        return Err(single(0));
+                    }
+                    let (_, h0, w0) = shapes[preds[0].0];
+                    let mut c_sum = 0;
+                    for p in preds {
+                        let (c, h, w) = shapes[p.0];
+                        if (h, w) != (h0, w0) {
+                            return Err(GraphError::ConcatMismatch { node: layer.name.clone() });
+                        }
+                        c_sum += c;
+                    }
+                    (c_sum, h0, w0)
+                }
+            };
+        }
+        Ok(shapes)
+    }
+
+    /// Total convolution FLOPs of the network (the dominant cost, §2.1).
+    pub fn conv_flops(&self) -> usize {
+        self.conv_scenarios().iter().map(|(_, s)| s.flops()).sum()
+    }
+
+    /// Looks up a node by layer name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.node_ids().find(|&id| self.layer(id).name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolKind;
+
+    fn linear_graph() -> (DnnGraph, NodeId, NodeId, NodeId) {
+        let mut g = DnnGraph::new();
+        let input = g.add(Layer::new("data", LayerKind::Input { c: 3, h: 8, w: 8 }));
+        let conv = g.add(Layer::new("conv1", LayerKind::Conv(ConvScenario::new(3, 8, 8, 1, 3, 4))));
+        let relu = g.add(Layer::new("relu1", LayerKind::Relu));
+        g.connect(input, conv).unwrap();
+        g.connect(conv, relu).unwrap();
+        (g, input, conv, relu)
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, input, conv, relu) = linear_graph();
+        assert_eq!(g.topo_order().unwrap(), vec![input, conv, relu]);
+        assert_eq!(g.predecessors(conv), &[input]);
+        assert_eq!(g.successors(conv), &[relu]);
+        assert_eq!(g.edges().len(), 2);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let (mut g, input, _, relu) = linear_graph();
+        g.connect(relu, input).unwrap();
+        assert_eq!(g.topo_order(), Err(GraphError::Cyclic));
+    }
+
+    #[test]
+    fn shapes_flow_through_pool_and_fc() {
+        let mut g = DnnGraph::new();
+        let input = g.add(Layer::new("data", LayerKind::Input { c: 4, h: 9, w: 9 }));
+        let pool = g.add(Layer::new(
+            "pool",
+            LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 },
+        ));
+        let fc = g.add(Layer::new("fc", LayerKind::FullyConnected { out: 10 }));
+        g.connect(input, pool).unwrap();
+        g.connect(pool, fc).unwrap();
+        let shapes = g.infer_shapes().unwrap();
+        assert_eq!(shapes[pool.index()], (4, 4, 4));
+        assert_eq!(shapes[fc.index()], (10, 1, 1));
+    }
+
+    #[test]
+    fn pool_uses_ceil_convention() {
+        // AlexNet pool1: 55 -> ceil((55-3)/2)+1 = 27.
+        let mut g = DnnGraph::new();
+        let input = g.add(Layer::new("data", LayerKind::Input { c: 96, h: 55, w: 55 }));
+        let pool = g.add(Layer::new(
+            "pool1",
+            LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 },
+        ));
+        g.connect(input, pool).unwrap();
+        assert_eq!(g.infer_shapes().unwrap()[pool.index()], (96, 27, 27));
+    }
+
+    #[test]
+    fn conv_shape_mismatch_is_reported() {
+        let mut g = DnnGraph::new();
+        let input = g.add(Layer::new("data", LayerKind::Input { c: 3, h: 8, w: 8 }));
+        let conv = g.add(Layer::new(
+            "bad",
+            LayerKind::Conv(ConvScenario::new(5, 8, 8, 1, 3, 4)),
+        ));
+        g.connect(input, conv).unwrap();
+        assert!(matches!(g.infer_shapes(), Err(GraphError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn concat_sums_channels_and_checks_spatial_dims() {
+        let mut g = DnnGraph::new();
+        let a = g.add(Layer::new("a", LayerKind::Input { c: 2, h: 4, w: 4 }));
+        let b = g.add(Layer::new("b", LayerKind::Input { c: 3, h: 4, w: 4 }));
+        let cat = g.add(Layer::new("cat", LayerKind::Concat));
+        g.connect(a, cat).unwrap();
+        g.connect(b, cat).unwrap();
+        assert_eq!(g.infer_shapes().unwrap()[cat.index()], (5, 4, 4));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = DnnGraph::new();
+        g.add(Layer::new("x", LayerKind::Input { c: 1, h: 1, w: 1 }));
+        g.add(Layer::new("x", LayerKind::Input { c: 1, h: 1, w: 1 }));
+        assert_eq!(g.infer_shapes(), Err(GraphError::DuplicateName("x".into())));
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (g, _, conv, _) = linear_graph();
+        assert_eq!(g.find("conv1"), Some(conv));
+        assert_eq!(g.find("nope"), None);
+    }
+}

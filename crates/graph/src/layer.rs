@@ -1,0 +1,142 @@
+use std::fmt;
+
+use crate::ConvScenario;
+
+/// Pooling operator flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Arithmetic mean over the window.
+    Avg,
+}
+
+/// The operator a DNN graph node performs.
+///
+/// Only [`LayerKind::Conv`] participates in primitive selection; every other
+/// kind is modelled as a dummy node accepting any layout at zero cost
+/// (§5.2 of the paper). The non-conv kinds still carry enough shape
+/// information for whole-network shape inference and execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Network input producing a `c × h × w` tensor.
+    Input {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// A convolution layer with its full scenario.
+    Conv(ConvScenario),
+    /// Spatial pooling. Output dims use Caffe's ceil convention.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window radix.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Rectified linear activation (shape-preserving).
+    Relu,
+    /// Local response normalization (shape-preserving).
+    Lrn,
+    /// Dropout (identity at inference time).
+    Dropout,
+    /// Fully-connected layer flattening its input to `out` values.
+    FullyConnected {
+        /// Output neuron count.
+        out: usize,
+    },
+    /// Channel-wise concatenation of all predecessors.
+    Concat,
+    /// Softmax over the flattened input (shape-preserving).
+    Softmax,
+}
+
+impl LayerKind {
+    /// Whether this node is a convolution (a PBQP decision node).
+    pub fn is_conv(&self) -> bool {
+        matches!(self, LayerKind::Conv(_))
+    }
+
+    /// The convolution scenario, if this is a conv node.
+    pub fn scenario(&self) -> Option<&ConvScenario> {
+        match self {
+            LayerKind::Conv(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Input { c, h, w } => write!(f, "input {c}x{h}x{w}"),
+            LayerKind::Conv(s) => write!(f, "conv {s}"),
+            LayerKind::Pool { kind: PoolKind::Max, k, stride, .. } => {
+                write!(f, "maxpool {k}x{k}/{stride}")
+            }
+            LayerKind::Pool { kind: PoolKind::Avg, k, stride, .. } => {
+                write!(f, "avgpool {k}x{k}/{stride}")
+            }
+            LayerKind::Relu => f.write_str("relu"),
+            LayerKind::Lrn => f.write_str("lrn"),
+            LayerKind::Dropout => f.write_str("dropout"),
+            LayerKind::FullyConnected { out } => write!(f, "fc {out}"),
+            LayerKind::Concat => f.write_str("concat"),
+            LayerKind::Softmax => f.write_str("softmax"),
+        }
+    }
+}
+
+/// A named node of a [`crate::DnnGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Human-readable unique name, e.g. `"conv2"` or `"inception_3a/5x5"`.
+    pub name: String,
+    /// What the layer computes.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a named layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Layer {
+        Layer { name: name.into(), kind }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_detection() {
+        let conv = LayerKind::Conv(ConvScenario::new(3, 8, 8, 1, 3, 4));
+        assert!(conv.is_conv());
+        assert!(conv.scenario().is_some());
+        assert!(!LayerKind::Relu.is_conv());
+        assert!(LayerKind::Relu.scenario().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 }.to_string(),
+            "maxpool 3x3/2"
+        );
+        assert_eq!(LayerKind::FullyConnected { out: 1000 }.to_string(), "fc 1000");
+        let l = Layer::new("relu1", LayerKind::Relu);
+        assert_eq!(l.to_string(), "relu1 (relu)");
+    }
+}

@@ -1,0 +1,175 @@
+use std::fmt;
+
+/// A convolutional scenario: the paper's 6-tuple `{C, H, W, δ, K, M}`
+/// extended with the explicit zero padding the published models use, and
+/// with the §8 extension parameters (kernel sparsity, minibatch size).
+///
+/// `C` input feature maps of `H × W` are convolved (strictly:
+/// cross-correlated) with `M` filters of `C × K × K` taps at stride `δ`,
+/// producing `M` output maps of `out_h × out_w`.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_graph::ConvScenario;
+///
+/// // AlexNet conv1: 3x227x227 input, 96 11x11 filters at stride 4.
+/// let s = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0);
+/// assert_eq!((s.out_h(), s.out_w()), (55, 55));
+/// assert_eq!(s.flops(), 2 * 96 * 55 * 55 * 3 * 11 * 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConvScenario {
+    /// Number of input feature maps `C`.
+    pub c: usize,
+    /// Input feature-map height `H`.
+    pub h: usize,
+    /// Input feature-map width `W`.
+    pub w: usize,
+    /// Convolution stride `δ` (applied to both spatial dimensions).
+    pub stride: usize,
+    /// Filter radix `K` (filters are `K × K`).
+    pub k: usize,
+    /// Number of output feature maps `M`.
+    pub m: usize,
+    /// Zero padding applied to each spatial border.
+    pub pad: usize,
+    /// Kernel sparsity in per-mille (0 = dense, 900 = 90 % zeros); the
+    /// paper's §8 sparsity extension.
+    pub sparsity_pm: u16,
+    /// Minibatch size; the formulation itself is latency-oriented and uses
+    /// 1 (§3), but §8's minibatch extension is expressible.
+    pub batch: usize,
+}
+
+impl ConvScenario {
+    /// Creates a dense, batch-1 scenario with "same"-style default padding
+    /// `(k − 1) / 2`.
+    pub fn new(c: usize, h: usize, w: usize, stride: usize, k: usize, m: usize) -> ConvScenario {
+        ConvScenario { c, h, w, stride, k, m, pad: (k - 1) / 2, sparsity_pm: 0, batch: 1 }
+    }
+
+    /// Replaces the padding.
+    pub fn with_pad(mut self, pad: usize) -> ConvScenario {
+        self.pad = pad;
+        self
+    }
+
+    /// Sets the kernel sparsity ratio in per-mille (clamped to 1000).
+    pub fn with_sparsity_pm(mut self, pm: u16) -> ConvScenario {
+        self.sparsity_pm = pm.min(1000);
+        self
+    }
+
+    /// Sets the minibatch size (minimum 1).
+    pub fn with_batch(mut self, batch: usize) -> ConvScenario {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Output feature-map height (floor convention, as in Caffe).
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Kernel sparsity as a ratio in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        f64::from(self.sparsity_pm) / 1000.0
+    }
+
+    /// Number of input tensor elements (`C·H·W`, one batch element).
+    pub fn input_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Number of output tensor elements (`M·out_h·out_w`, one batch
+    /// element).
+    pub fn output_len(&self) -> usize {
+        self.m * self.out_h() * self.out_w()
+    }
+
+    /// Number of kernel weights (`M·C·K²`).
+    pub fn kernel_len(&self) -> usize {
+        self.m * self.c * self.k * self.k
+    }
+
+    /// Multiply–accumulate count ×2 for one forward pass of one batch
+    /// element: the `O(H·W·C·K²·M)` of §2.1, evaluated on output pixels.
+    pub fn flops(&self) -> usize {
+        2 * self.batch * self.m * self.out_h() * self.out_w() * self.c * self.k * self.k
+    }
+
+    /// Whether the spatial convolution is pointwise (`K = 1`).
+    pub fn is_pointwise(&self) -> bool {
+        self.k == 1
+    }
+
+    /// Whether the convolution is strided (`δ > 1`).
+    pub fn is_strided(&self) -> bool {
+        self.stride > 1
+    }
+}
+
+impl fmt::Display for ConvScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C{}xH{}xW{} K{} s{} p{} M{}",
+            self.c, self.h, self.w, self.k, self.stride, self.pad, self.m
+        )?;
+        if self.sparsity_pm > 0 {
+            write!(f, " sp{}", self.sparsity_pm)?;
+        }
+        if self.batch > 1 {
+            write!(f, " N{}", self.batch)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv1_dimensions() {
+        let s = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0);
+        assert_eq!(s.out_h(), 55);
+        assert_eq!(s.out_w(), 55);
+        assert!(s.is_strided());
+        assert!(!s.is_pointwise());
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_dims_for_odd_k() {
+        for k in [1usize, 3, 5, 7, 11] {
+            let s = ConvScenario::new(8, 28, 28, 1, k, 16);
+            assert_eq!((s.out_h(), s.out_w()), (28, 28), "k={k}");
+        }
+    }
+
+    #[test]
+    fn flops_counts_macs_twice() {
+        let s = ConvScenario::new(2, 4, 4, 1, 3, 5);
+        // 5 filters * 4*4 outputs * 2 channels * 9 taps * 2
+        assert_eq!(s.flops(), 2 * 5 * 16 * 2 * 9);
+    }
+
+    #[test]
+    fn sparsity_is_clamped_and_scaled() {
+        let s = ConvScenario::new(1, 8, 8, 1, 3, 1).with_sparsity_pm(1500);
+        assert_eq!(s.sparsity_pm, 1000);
+        assert_eq!(s.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0);
+        assert_eq!(s.to_string(), "C3xH227xW227 K11 s4 p0 M96");
+    }
+}

@@ -1,0 +1,225 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::CostMatrix;
+
+/// Identifier of a PBQP node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PbqpNodeId(pub(crate) usize);
+
+impl PbqpNodeId {
+    /// Dense 0-based index of the node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PbqpNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Errors from PBQP instance construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbqpError {
+    /// Edge endpoint is not a node of the graph.
+    UnknownNode(usize),
+    /// Edge matrix shape does not match the endpoints' option counts.
+    MatrixShape {
+        /// Expected (rows, cols).
+        expected: (usize, usize),
+        /// Supplied (rows, cols).
+        found: (usize, usize),
+    },
+    /// A node has an empty cost vector.
+    EmptyCosts(usize),
+    /// Self-loops are not part of the PBQP model.
+    SelfLoop(usize),
+    /// Every complete assignment has infinite cost.
+    Infeasible,
+}
+
+impl fmt::Display for PbqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbqpError::UnknownNode(ix) => write!(f, "unknown PBQP node {ix}"),
+            PbqpError::MatrixShape { expected, found } => {
+                write!(f, "edge matrix is {found:?}, endpoints require {expected:?}")
+            }
+            PbqpError::EmptyCosts(ix) => write!(f, "node {ix} has no selection options"),
+            PbqpError::SelfLoop(ix) => write!(f, "self loop on node {ix}"),
+            PbqpError::Infeasible => f.write_str("every assignment has infinite cost"),
+        }
+    }
+}
+
+impl Error for PbqpError {}
+
+/// A PBQP instance: nodes with selection-cost vectors and edges with
+/// pair-cost matrices.
+///
+/// Parallel edges between the same node pair are merged by matrix
+/// addition, which is exactly the PBQP semantics of multiple cost
+/// contributions on one edge.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_solver::{CostMatrix, PbqpGraph};
+///
+/// let mut g = PbqpGraph::new();
+/// let a = g.add_node(vec![1.0, 2.0]);
+/// let b = g.add_node(vec![3.0]);
+/// g.add_edge(a, b, CostMatrix::from_rows(&[vec![0.0], vec![1.0]])).unwrap();
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PbqpGraph {
+    pub(crate) costs: Vec<Vec<f64>>,
+    /// Keyed by `(lo, hi)` node index; matrix rows index `lo`'s options.
+    pub(crate) edges: BTreeMap<(usize, usize), CostMatrix>,
+}
+
+impl PbqpGraph {
+    /// Creates an empty instance.
+    pub fn new() -> PbqpGraph {
+        PbqpGraph::default()
+    }
+
+    /// Adds a node with the given selection costs and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty — a node must have at least one option.
+    pub fn add_node(&mut self, costs: Vec<f64>) -> PbqpNodeId {
+        assert!(!costs.is_empty(), "node must have at least one selection");
+        let id = PbqpNodeId(self.costs.len());
+        self.costs.push(costs);
+        id
+    }
+
+    /// Adds an edge with cost matrix `m`, where `m[i][j]` is the cost of
+    /// picking option `i` at `from` together with option `j` at `to`.
+    /// Adding a second edge between the same pair sums the matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown endpoints, self loops, or a matrix
+    /// whose shape does not match the endpoints' option counts.
+    pub fn add_edge(
+        &mut self,
+        from: PbqpNodeId,
+        to: PbqpNodeId,
+        m: CostMatrix,
+    ) -> Result<(), PbqpError> {
+        if from.0 >= self.costs.len() {
+            return Err(PbqpError::UnknownNode(from.0));
+        }
+        if to.0 >= self.costs.len() {
+            return Err(PbqpError::UnknownNode(to.0));
+        }
+        if from == to {
+            return Err(PbqpError::SelfLoop(from.0));
+        }
+        let expected = (self.costs[from.0].len(), self.costs[to.0].len());
+        if (m.rows(), m.cols()) != expected {
+            return Err(PbqpError::MatrixShape { expected, found: (m.rows(), m.cols()) });
+        }
+        let (key, oriented) = if from.0 < to.0 {
+            ((from.0, to.0), m)
+        } else {
+            ((to.0, from.0), m.transposed())
+        };
+        match self.edges.get_mut(&key) {
+            Some(existing) => existing.add_assign(&oriented),
+            None => {
+                self.edges.insert(key, oriented);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of (merged) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The cost vector of a node.
+    pub fn node_costs(&self, id: PbqpNodeId) -> &[f64] {
+        &self.costs[id.0]
+    }
+
+    /// Total cost of a complete assignment (`selection[i]` is the option
+    /// picked for node `i`), including all edge costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection` has the wrong length or an option index is
+    /// out of range.
+    pub fn assignment_cost(&self, selection: &[usize]) -> f64 {
+        assert_eq!(selection.len(), self.costs.len(), "selection length mismatch");
+        let mut total = 0.0;
+        for (ix, &sel) in selection.iter().enumerate() {
+            total += self.costs[ix][sel];
+        }
+        for (&(u, v), m) in &self.edges {
+            total += m.at(selection[u], selection[v]);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_merge_by_addition() {
+        let mut g = PbqpGraph::new();
+        let a = g.add_node(vec![0.0, 0.0]);
+        let b = g.add_node(vec![0.0, 0.0]);
+        let m = CostMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        g.add_edge(a, b, m.clone()).unwrap();
+        // Reversed orientation: transposed before merging.
+        g.add_edge(b, a, m).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.assignment_cost(&[0, 1]), 2.0 + 3.0);
+        assert_eq!(g.assignment_cost(&[1, 0]), 3.0 + 2.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut g = PbqpGraph::new();
+        let a = g.add_node(vec![0.0, 0.0]);
+        let b = g.add_node(vec![0.0, 0.0, 0.0]);
+        let bad = CostMatrix::zeros(3, 2);
+        assert!(matches!(g.add_edge(a, b, bad), Err(PbqpError::MatrixShape { .. })));
+        assert!(g.add_edge(a, b, CostMatrix::zeros(2, 3)).is_ok());
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = PbqpGraph::new();
+        let a = g.add_node(vec![0.0]);
+        assert_eq!(g.add_edge(a, a, CostMatrix::zeros(1, 1)), Err(PbqpError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn assignment_cost_includes_nodes_and_edges() {
+        let mut g = PbqpGraph::new();
+        let a = g.add_node(vec![5.0, 1.0]);
+        let b = g.add_node(vec![2.0, 7.0]);
+        g.add_edge(a, b, CostMatrix::from_rows(&[vec![0.0, 10.0], vec![20.0, 0.0]]))
+            .unwrap();
+        assert_eq!(g.assignment_cost(&[0, 0]), 5.0 + 2.0);
+        assert_eq!(g.assignment_cost(&[1, 0]), 1.0 + 2.0 + 20.0);
+    }
+}

@@ -1,0 +1,192 @@
+use std::fmt;
+
+/// A dense edge-cost matrix: `cost(i, j)` is the cost of selecting option
+/// `i` at the edge's source node and option `j` at its target node.
+///
+/// Costs are `f64` and may be `f64::INFINITY` to encode illegal pairings
+/// (e.g. no data-layout transformation chain exists between two layouts).
+///
+/// # Example
+///
+/// ```
+/// use pbqp_solver::CostMatrix;
+///
+/// let m = CostMatrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0]]);
+/// assert_eq!(m.at(1, 0), 2.0);
+/// assert_eq!(m.transposed().at(0, 1), 2.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> CostMatrix {
+        CostMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the matrix is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> CostMatrix {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        CostMatrix { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix from a generator function.
+    pub fn from_fn<F>(rows: usize, cols: usize, mut f: F) -> CostMatrix
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let mut m = CostMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Number of rows (source-node options).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (target-node options).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cost of the pair `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the cost of the pair `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Element-wise sum with another matrix of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &CostMatrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// The transposed matrix.
+    pub fn transposed(&self) -> CostMatrix {
+        CostMatrix::from_fn(self.cols, self.rows, |i, j| self.at(j, i))
+    }
+
+    /// Whether every entry is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0.0)
+    }
+
+    /// Minimum entry of row `i`.
+    pub fn row_min(&self, i: usize) -> f64 {
+        (0..self.cols).map(|j| self.at(i, j)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum entry of column `j`.
+    pub fn col_min(&self, j: usize) -> f64 {
+        (0..self.rows).map(|i| self.at(i, j)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum entry of the whole matrix.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Debug for CostMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CostMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:8.2} ", self.at(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = CostMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.at(0, 2), 3.0);
+        assert_eq!(m.at(1, 0), 4.0);
+        assert_eq!(m.row_min(1), 4.0);
+        assert_eq!(m.col_min(2), 3.0);
+        assert_eq!(m.min(), 1.0);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = CostMatrix::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().at(3, 2), m.at(2, 3));
+    }
+
+    #[test]
+    fn add_assign_sums_elementwise() {
+        let mut a = CostMatrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = CostMatrix::from_rows(&[vec![10.0, 20.0]]);
+        a.add_assign(&b);
+        assert_eq!(a.at(0, 1), 22.0);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(CostMatrix::zeros(2, 2).is_zero());
+        let mut m = CostMatrix::zeros(2, 2);
+        m.set(1, 1, 0.5);
+        assert!(!m.is_zero());
+    }
+
+    #[test]
+    fn infinite_entries_are_legal() {
+        let m = CostMatrix::from_rows(&[vec![f64::INFINITY, 1.0]]);
+        assert_eq!(m.row_min(0), 1.0);
+        assert_eq!(m.col_min(0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = CostMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,90 @@
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{KernelTensor, Tensor};
+
+use crate::{PrimitiveDescriptor, PrimitiveError};
+
+/// A DNN convolution primitive: one concrete routine with fixed input and
+/// output layouts.
+///
+/// Implementations are stateless and thread-safe; weight repacking (e.g.
+/// Winograd kernel transforms) happens inside [`ConvAlgorithm::execute`].
+/// The optimizer never calls `execute` directly — it works from profiled
+/// or modelled costs — but the runtime does, and every implementation is
+/// checked against the sum2d reference in tests.
+pub trait ConvAlgorithm: Send + Sync {
+    /// Static description: name, family, `{L_in, P, L_out}`, vector factor.
+    fn descriptor(&self) -> &PrimitiveDescriptor;
+
+    /// Whether this primitive can implement the scenario (kernel radix,
+    /// stride, channel constraints, …).
+    fn supports(&self, scenario: &ConvScenario) -> bool;
+
+    /// Additional workspace the primitive allocates, in `f32` elements.
+    /// Used by the cost model's memory-pressure term (Table 1's "Memory"
+    /// column).
+    fn workspace_elems(&self, scenario: &ConvScenario) -> usize;
+
+    /// Runs the convolution.
+    ///
+    /// `input` must be in `descriptor().input_layout` with dimensions
+    /// `(scenario.c, scenario.h, scenario.w)`; the kernel is always in
+    /// canonical `M × C × Kh × Kw` order. The output is produced in
+    /// `descriptor().output_layout` with dimensions
+    /// `(scenario.m, scenario.out_h(), scenario.out_w())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimitiveError::UnsupportedScenario`] when `supports` is
+    /// false, [`PrimitiveError::WrongInputLayout`] /
+    /// [`PrimitiveError::ShapeMismatch`] on inconsistent arguments.
+    fn execute(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        scenario: &ConvScenario,
+        threads: usize,
+    ) -> Result<Tensor, PrimitiveError>;
+}
+
+/// Validates the common preconditions shared by every primitive.
+pub(crate) fn check_args(
+    desc: &PrimitiveDescriptor,
+    supported: bool,
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+) -> Result<(), PrimitiveError> {
+    if !supported {
+        return Err(PrimitiveError::UnsupportedScenario {
+            primitive: desc.name.clone(),
+            scenario: *s,
+        });
+    }
+    if input.layout() != desc.input_layout {
+        return Err(PrimitiveError::WrongInputLayout {
+            primitive: desc.name.clone(),
+            expected: desc.input_layout,
+            found: input.layout(),
+        });
+    }
+    if input.dims() != (s.c, s.h, s.w) {
+        return Err(PrimitiveError::ShapeMismatch {
+            primitive: desc.name.clone(),
+            detail: format!("input dims {:?} != scenario ({}, {}, {})", input.dims(), s.c, s.h, s.w),
+        });
+    }
+    if kernel.dims() != (s.m, s.c, s.k, s.k) {
+        return Err(PrimitiveError::ShapeMismatch {
+            primitive: desc.name.clone(),
+            detail: format!(
+                "kernel dims {:?} != scenario ({}, {}, {}, {})",
+                kernel.dims(),
+                s.m,
+                s.c,
+                s.k,
+                s.k
+            ),
+        });
+    }
+    Ok(())
+}

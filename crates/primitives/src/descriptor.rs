@@ -1,0 +1,200 @@
+use std::fmt;
+
+use pbqp_dnn_tensor::Layout;
+
+/// The six primitive families of §4, plus the sparse §8 extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Textbook sum-of-single-channels baseline (`SUM2D` in the paper).
+    Sum2d,
+    /// Direct six-deep loop nests.
+    Direct,
+    /// im2col / im2row Toeplitz GEMM convolution.
+    Im2,
+    /// Low-memory kn2row / kn2col accumulating GEMM convolution.
+    Kn2,
+    /// Winograd minimal-filtering convolution.
+    Winograd,
+    /// FFT convolution.
+    Fft,
+    /// Sparse-kernel GEMM convolution (§8 future-work extension).
+    Sparse,
+}
+
+impl Family {
+    /// All families in display order.
+    pub const ALL: [Family; 7] = [
+        Family::Sum2d,
+        Family::Direct,
+        Family::Im2,
+        Family::Kn2,
+        Family::Winograd,
+        Family::Fft,
+        Family::Sparse,
+    ];
+
+    /// Display name used in benchmark tables/figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Sum2d => "sum2d",
+            Family::Direct => "direct",
+            Family::Im2 => "im2",
+            Family::Kn2 => "kn2",
+            Family::Winograd => "winograd",
+            Family::Fft => "fft",
+            Family::Sparse => "sparse",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Algorithmic shape of a primitive, consumed by the analytic cost model.
+///
+/// These are properties of the algorithm itself (multiplication-count
+/// ratios, GEMM efficiency class, loop-nest locality quality), not of any
+/// particular machine; the cost model combines them with a
+/// machine model to estimate execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgoHint {
+    /// Textbook loop nest with no particular optimization (sum2d).
+    Plain,
+    /// Direct loop nest; `quality` is the fraction of scalar peak the loop
+    /// order/tiling typically sustains (relative locality quality).
+    Loops {
+        /// Fraction of scalar peak sustained (0..1).
+        quality: f64,
+    },
+    /// GEMM-backed routine; `efficiency` is the GEMM kernel's fraction of
+    /// vector peak (naive / blocked / packed), `calls` the number of GEMM
+    /// invocations per layer (1 for im2, `K²` for accumulating kn2).
+    Gemm {
+        /// Fraction of vector peak the GEMM kernel sustains.
+        efficiency: f64,
+        /// GEMM calls per layer execution (call overhead matters for kn2).
+        calls: usize,
+    },
+    /// Winograd `F(m, r)` (or its 2-D square form).
+    Winograd {
+        /// Outputs per tile.
+        m: usize,
+        /// Kernel radix.
+        r: usize,
+        /// Whether the full 2-D transform is used.
+        two_d: bool,
+    },
+    /// FFT convolution.
+    Fft {
+        /// Whether a full 2-D transform is used.
+        two_d: bool,
+        /// Exact-length (Bluestein) transforms instead of padded radix-2.
+        bluestein: bool,
+    },
+    /// Sparse CSR routine: work scales with kernel density.
+    Sparse,
+}
+
+/// Static description of a primitive: the paper's `{L_in, P, L_out}` triple
+/// plus family and vectorization metadata used by the cost model.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_primitives::{Family, PrimitiveDescriptor};
+/// use pbqp_dnn_tensor::Layout;
+///
+/// let d = PrimitiveDescriptor::new("im2row_packed_nn", Family::Im2, Layout::Hwc, Layout::Hwc)
+///     .with_vector_factor(1);
+/// assert_eq!(d.family, Family::Im2);
+/// assert_eq!(d.input_layout, Layout::Hwc);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimitiveDescriptor {
+    /// Unique routine name, e.g. `"wino2d_f43_vf8"`.
+    pub name: String,
+    /// Algorithm family.
+    pub family: Family,
+    /// Layout consumed (`L_in`).
+    pub input_layout: Layout,
+    /// Layout produced (`L_out`).
+    pub output_layout: Layout,
+    /// SIMD-style lane count the variant is written for (1, 4 or 8).
+    pub vector_factor: u8,
+    /// Provenance tag: which "library" the routine belongs to (§8 envisions
+    /// mixing routines from several libraries).
+    pub library: &'static str,
+    /// Algorithmic shape for the analytic cost model.
+    pub hint: AlgoHint,
+}
+
+impl PrimitiveDescriptor {
+    /// Creates a descriptor with vector factor 1 and the default library
+    /// tag.
+    pub fn new(
+        name: impl Into<String>,
+        family: Family,
+        input_layout: Layout,
+        output_layout: Layout,
+    ) -> PrimitiveDescriptor {
+        PrimitiveDescriptor {
+            name: name.into(),
+            family,
+            input_layout,
+            output_layout,
+            vector_factor: 1,
+            library: "pbqp-dnn",
+            hint: AlgoHint::Plain,
+        }
+    }
+
+    /// Sets the vector factor.
+    pub fn with_vector_factor(mut self, vf: u8) -> PrimitiveDescriptor {
+        self.vector_factor = vf;
+        self
+    }
+
+    /// Sets the algorithmic hint for the analytic cost model.
+    pub fn with_hint(mut self, hint: AlgoHint) -> PrimitiveDescriptor {
+        self.hint = hint;
+        self
+    }
+
+    /// Sets the provenance library tag.
+    pub fn with_library(mut self, library: &'static str) -> PrimitiveDescriptor {
+        self.library = library;
+        self
+    }
+}
+
+impl fmt::Display for PrimitiveDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{}, {}, {}}} ({})",
+            self.input_layout, self.name, self.output_layout, self.family
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_the_triple() {
+        let d = PrimitiveDescriptor::new("direct_mchw", Family::Direct, Layout::Chw, Layout::Chw);
+        assert_eq!(d.to_string(), "{CHW, direct_mchw, CHW} (direct)");
+    }
+
+    #[test]
+    fn families_have_unique_names() {
+        let mut names: Vec<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{Layout, TensorError};
+
+/// Errors raised when executing a convolution primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimitiveError {
+    /// The primitive does not support the scenario (wrong kernel size,
+    /// stride, …). Callers should consult `supports` first.
+    UnsupportedScenario {
+        /// Primitive name.
+        primitive: String,
+        /// The offending scenario.
+        scenario: ConvScenario,
+    },
+    /// Input tensor layout differs from the primitive's declared `L_in`.
+    WrongInputLayout {
+        /// Primitive name.
+        primitive: String,
+        /// Layout the primitive consumes.
+        expected: Layout,
+        /// Layout that was supplied.
+        found: Layout,
+    },
+    /// Input or kernel dimensions disagree with the scenario.
+    ShapeMismatch {
+        /// Primitive name.
+        primitive: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for PrimitiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimitiveError::UnsupportedScenario { primitive, scenario } => {
+                write!(f, "primitive `{primitive}` does not support scenario {scenario}")
+            }
+            PrimitiveError::WrongInputLayout { primitive, expected, found } => {
+                write!(f, "primitive `{primitive}` consumes {expected}, input is {found}")
+            }
+            PrimitiveError::ShapeMismatch { primitive, detail } => {
+                write!(f, "primitive `{primitive}`: {detail}")
+            }
+            PrimitiveError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for PrimitiveError {}
+
+impl From<TensorError> for PrimitiveError {
+    fn from(e: TensorError) -> Self {
+        PrimitiveError::Tensor(e)
+    }
+}

@@ -1,0 +1,372 @@
+//! The FFT convolution family (§4): convolution via the convolution
+//! theorem. The paper's variants compute 2-D convolution as a **sum of 1-D
+//! FFT row convolutions**, which needs far less space than a full 2-D FFT;
+//! a 2-D variant is included to expose that trade-off to the optimizer.
+//!
+//! Row variants batch all pointwise products for one input channel in the
+//! frequency domain and run a single inverse transform per `(m, row)`.
+//! All variants require unit stride.
+
+use pbqp_dnn_fft::{Bluestein, Complex, Fft};
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+use crate::algorithm::check_args;
+use crate::util::par_chunks_mut;
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+
+/// Transform backend / decomposition of an [`FftConv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FftVariant {
+    /// Row decomposition, power-of-two padded radix-2 transforms.
+    RowRadix2,
+    /// Row decomposition, exact-length Bluestein transforms.
+    RowBluestein,
+    /// Full 2-D FFT convolution (high memory, fewest transforms).
+    TwoD,
+    /// Row decomposition over interleaved HWC tensors.
+    RowRadix2Hwc,
+}
+
+/// One member of the fft family.
+pub(crate) struct FftConv {
+    desc: PrimitiveDescriptor,
+    variant: FftVariant,
+}
+
+impl FftConv {
+    pub(crate) fn new(name: &str, variant: FftVariant) -> FftConv {
+        let (lin, lout) = match variant {
+            FftVariant::RowRadix2Hwc => (Layout::Hwc, Layout::Hwc),
+            _ => (Layout::Chw, Layout::Chw),
+        };
+        let hint = crate::AlgoHint::Fft {
+            two_d: variant == FftVariant::TwoD,
+            bluestein: variant == FftVariant::RowBluestein,
+        };
+        FftConv { desc: PrimitiveDescriptor::new(name, Family::Fft, lin, lout).with_hint(hint), variant }
+    }
+}
+
+/// Abstraction over the two 1-D transform plans.
+enum RowPlan {
+    Radix2(Fft),
+    Bluestein(Bluestein),
+}
+
+impl RowPlan {
+    fn len(&self) -> usize {
+        match self {
+            RowPlan::Radix2(p) => p.len(),
+            RowPlan::Bluestein(p) => p.len(),
+        }
+    }
+    fn forward(&self, buf: &mut [Complex]) {
+        match self {
+            RowPlan::Radix2(p) => p.forward(buf),
+            RowPlan::Bluestein(p) => p.forward(buf),
+        }
+    }
+    fn inverse(&self, buf: &mut [Complex]) {
+        match self {
+            RowPlan::Radix2(p) => p.inverse(buf),
+            RowPlan::Bluestein(p) => p.inverse(buf),
+        }
+    }
+}
+
+impl ConvAlgorithm for FftConv {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, s: &ConvScenario) -> bool {
+        s.stride == 1
+    }
+
+    fn workspace_elems(&self, s: &ConvScenario) -> usize {
+        match self.variant {
+            FftVariant::TwoD => {
+                let n = (s.h + s.k - 1).max(s.w + s.k - 1).next_power_of_two();
+                // Complex counts as two f32 elements.
+                2 * n * n * (s.c + s.m + 1)
+            }
+            _ => {
+                let n = match self.variant {
+                    FftVariant::RowBluestein => s.w + s.k - 1,
+                    _ => (s.w + s.k - 1).next_power_of_two(),
+                };
+                2 * n * (s.m * s.out_h() + s.h + s.m * s.k)
+            }
+        }
+    }
+
+    fn execute(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+    ) -> Result<Tensor, PrimitiveError> {
+        check_args(&self.desc, self.supports(s), input, kernel, s)?;
+        let out = match self.variant {
+            FftVariant::RowRadix2 | FftVariant::RowBluestein | FftVariant::RowRadix2Hwc => {
+                let plan = match self.variant {
+                    FftVariant::RowBluestein => RowPlan::Bluestein(Bluestein::new(s.w + s.k - 1)),
+                    _ => RowPlan::Radix2(Fft::new((s.w + s.k - 1).next_power_of_two())),
+                };
+                let hwc = self.variant == FftVariant::RowRadix2Hwc;
+                row_fft_conv(input, kernel, s, &plan, hwc, threads)
+            }
+            FftVariant::TwoD => fft_2d_conv(input, kernel, s),
+        };
+        Ok(out)
+    }
+}
+
+/// Row-decomposed FFT convolution: per input channel, transform its rows
+/// and the reversed kernel rows once, accumulate pointwise products into
+/// per-`(m, output-row)` frequency accumulators, then inverse-transform.
+fn row_fft_conv(
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+    plan: &RowPlan,
+    hwc: bool,
+    threads: usize,
+) -> Tensor {
+    let n = plan.len();
+    let (oh, ow) = (s.out_h(), s.out_w());
+    let mut acc = vec![Complex::ZERO; s.m * oh * n];
+
+    let mut row_fft = vec![Complex::ZERO; s.h * n];
+    let mut ker_fft = vec![Complex::ZERO; s.m * s.k * n];
+    for c in 0..s.c {
+        // Transform this channel's image rows.
+        for y in 0..s.h {
+            let buf = &mut row_fft[y * n..(y + 1) * n];
+            buf.fill(Complex::ZERO);
+            for x in 0..s.w {
+                buf[x] = Complex::new(input.at(c, y, x), 0.0);
+            }
+            plan.forward(buf);
+        }
+        // Transform this channel's reversed kernel rows.
+        for m in 0..s.m {
+            for i in 0..s.k {
+                let buf = &mut ker_fft[(m * s.k + i) * n..(m * s.k + i + 1) * n];
+                buf.fill(Complex::ZERO);
+                for j in 0..s.k {
+                    buf[j] = Complex::new(kernel.at(m, c, i, s.k - 1 - j), 0.0);
+                }
+                plan.forward(buf);
+            }
+        }
+        // Frequency-domain accumulation.
+        for m in 0..s.m {
+            for i in 0..s.k {
+                let krow = &ker_fft[(m * s.k + i) * n..(m * s.k + i + 1) * n];
+                for y in 0..oh {
+                    let iy = (y + i) as isize - s.pad as isize;
+                    if iy < 0 || iy >= s.h as isize {
+                        continue;
+                    }
+                    let srow = &row_fft[iy as usize * n..(iy as usize + 1) * n];
+                    let arow = &mut acc[(m * oh + y) * n..(m * oh + y + 1) * n];
+                    for ((a, &sv), &kv) in arow.iter_mut().zip(srow).zip(krow) {
+                        *a = *a + sv * kv;
+                    }
+                }
+            }
+        }
+    }
+
+    // Inverse transforms and extraction. Linear-convolution index
+    // `x + k − 1 − pad` holds the correlation output at `x` (see the fft
+    // crate's `correlate_1d`).
+    let layout = if hwc { Layout::Hwc } else { Layout::Chw };
+    let mut out = Tensor::zeros(s.m, oh, ow, layout);
+    if hwc {
+        let data = out.data_mut();
+        let mut buf = vec![Complex::ZERO; n];
+        for m in 0..s.m {
+            for y in 0..oh {
+                buf.copy_from_slice(&acc[(m * oh + y) * n..(m * oh + y + 1) * n]);
+                plan.inverse(&mut buf);
+                for x in 0..ow {
+                    let t = x + s.k - 1;
+                    if t >= s.pad {
+                        data[(y * ow + x) * s.m + m] = buf[t - s.pad].re;
+                    }
+                }
+            }
+        }
+    } else {
+        let acc = &acc;
+        par_chunks_mut(out.data_mut(), oh * ow, threads, |m, plane| {
+            let mut buf = vec![Complex::ZERO; n];
+            for y in 0..oh {
+                buf.copy_from_slice(&acc[(m * oh + y) * n..(m * oh + y + 1) * n]);
+                plan.inverse(&mut buf);
+                for x in 0..ow {
+                    let t = x + s.k - 1;
+                    if t >= s.pad {
+                        plane[y * ow + x] = buf[t - s.pad].re;
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Full 2-D FFT convolution: one forward 2-D transform per input channel
+/// and per kernel plane, frequency-domain accumulation, one inverse 2-D
+/// transform per output channel.
+fn fft_2d_conv(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+    let n = (s.h + s.k - 1).max(s.w + s.k - 1).next_power_of_two();
+    let plan = Fft::new(n);
+    let (oh, ow) = (s.out_h(), s.out_w());
+    let mut acc = vec![Complex::ZERO; s.m * n * n];
+    let mut sig = vec![Complex::ZERO; n * n];
+    let mut ker = vec![Complex::ZERO; n * n];
+
+    for c in 0..s.c {
+        // 2-D FFT of the channel image.
+        sig.fill(Complex::ZERO);
+        for y in 0..s.h {
+            for x in 0..s.w {
+                sig[y * n + x] = Complex::new(input.at(c, y, x), 0.0);
+            }
+        }
+        fft_2d(&plan, &mut sig, n, false);
+        for m in 0..s.m {
+            // 2-D FFT of the (reversed) kernel plane.
+            ker.fill(Complex::ZERO);
+            for i in 0..s.k {
+                for j in 0..s.k {
+                    ker[i * n + j] = Complex::new(kernel.at(m, c, s.k - 1 - i, s.k - 1 - j), 0.0);
+                }
+            }
+            fft_2d(&plan, &mut ker, n, false);
+            let arow = &mut acc[m * n * n..(m + 1) * n * n];
+            for ((a, &sv), &kv) in arow.iter_mut().zip(&sig).zip(&ker) {
+                *a = *a + sv * kv;
+            }
+        }
+    }
+
+    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+    for m in 0..s.m {
+        let slab = &mut acc[m * n * n..(m + 1) * n * n];
+        fft_2d(&plan, slab, n, true);
+        for y in 0..oh {
+            let ty = y + s.k - 1;
+            if ty < s.pad {
+                continue;
+            }
+            for x in 0..ow {
+                let tx = x + s.k - 1;
+                if tx < s.pad {
+                    continue;
+                }
+                out.set(m, y, x, slab[(ty - s.pad) * n + (tx - s.pad)].re);
+            }
+        }
+    }
+    out
+}
+
+/// In-place 2-D transform of an `n × n` complex grid (rows then columns).
+fn fft_2d(plan: &Fft, grid: &mut [Complex], n: usize, inverse: bool) {
+    let mut col = vec![Complex::ZERO; n];
+    for y in 0..n {
+        let row = &mut grid[y * n..(y + 1) * n];
+        if inverse {
+            plan.inverse(row);
+        } else {
+            plan.forward(row);
+        }
+    }
+    for x in 0..n {
+        for y in 0..n {
+            col[y] = grid[y * n + x];
+        }
+        if inverse {
+            plan.inverse(&mut col);
+        } else {
+            plan.forward(&mut col);
+        }
+        for y in 0..n {
+            grid[y * n + x] = col[y];
+        }
+    }
+}
+
+/// All fft-family primitives for the registry.
+pub(crate) fn all() -> Vec<Box<dyn ConvAlgorithm>> {
+    vec![
+        Box::new(FftConv::new("fft_row_radix2", FftVariant::RowRadix2)) as Box<dyn ConvAlgorithm>,
+        Box::new(FftConv::new("fft_row_bluestein", FftVariant::RowBluestein)),
+        Box::new(FftConv::new("fft_2d_radix2", FftVariant::TwoD)),
+        Box::new(FftConv::new("fft_row_radix2_hwc", FftVariant::RowRadix2Hwc)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sum2d_reference;
+
+    fn scenarios() -> Vec<ConvScenario> {
+        vec![
+            ConvScenario::new(3, 8, 9, 1, 3, 4),
+            ConvScenario::new(2, 9, 7, 1, 5, 3),
+            ConvScenario::new(4, 6, 6, 1, 1, 5).with_pad(0),
+            ConvScenario::new(2, 12, 10, 1, 3, 6).with_pad(0),
+        ]
+    }
+
+    #[test]
+    fn every_fft_variant_matches_the_reference() {
+        for prim in all() {
+            for s in scenarios() {
+                let lin = prim.descriptor().input_layout;
+                let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 81).to_layout(lin);
+                let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 82);
+                let got = prim.execute(&input, &kernel, &s, 1).unwrap();
+                assert_eq!(got.layout(), prim.descriptor().output_layout);
+                let want = sum2d_reference(&input, &kernel, &s);
+                let diff = got.max_abs_diff(&want).unwrap();
+                assert!(diff < 5e-3, "{} on {s}: diff {diff}", prim.descriptor().name);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_scenarios_are_rejected() {
+        let s = ConvScenario::new(3, 8, 8, 2, 3, 4);
+        for prim in all() {
+            assert!(!prim.supports(&s), "{}", prim.descriptor().name);
+        }
+    }
+
+    #[test]
+    fn two_d_variant_needs_more_workspace_than_row_variants() {
+        let s = ConvScenario::new(16, 32, 32, 1, 5, 16);
+        let row = FftConv::new("r", FftVariant::RowRadix2);
+        let twod = FftConv::new("t", FftVariant::TwoD);
+        assert!(twod.workspace_elems(&s) > row.workspace_elems(&s));
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let s = ConvScenario::new(3, 10, 10, 1, 3, 4);
+        let prim = FftConv::new("r", FftVariant::RowRadix2);
+        let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 91);
+        let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 92);
+        let one = prim.execute(&input, &kernel, &s, 1).unwrap();
+        let four = prim.execute(&input, &kernel, &s, 4).unwrap();
+        assert!(one.allclose(&four, 1e-5).unwrap());
+    }
+}

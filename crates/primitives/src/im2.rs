@@ -1,0 +1,366 @@
+//! The `im2` convolution family: im2col/im2row Toeplitz-matrix construction
+//! followed by a single GEMM call (§4; Jia's im2col approach).
+//!
+//! Variants differ in:
+//! * patch-matrix orientation — **im2col** (patches as columns, planar CHW
+//!   input, CHW output) vs **im2row** (patches as rows, interleaved HWC
+//!   input, HWC output);
+//! * the GEMM kernel used (naive / blocked / packed);
+//! * whether the kernel operand is handed to GEMM transposed (`tn`/`nt` —
+//!   the "A Bᵀ" variants visible in Figure 4 of the paper);
+//! * fused output-layout transposition (`*_xout` variants);
+//! * strip-mining, which bounds the Toeplitz workspace to a few image rows.
+
+use pbqp_dnn_gemm::{transpose, Gemm, GemmKind, Trans};
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+use crate::algorithm::check_args;
+use crate::util::padded_at;
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+
+/// Which matrix layout the Toeplitz construction produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Im2Shape {
+    /// `(C·K²) × (OH·OW)` patch columns; CHW in, CHW out.
+    Col,
+    /// `(OH·OW) × (K²·C)` patch rows; HWC in, HWC out.
+    Row,
+    /// Like `Col` but the GEMM result is transposed into HWC output.
+    ColToHwc,
+    /// Like `Row` but the GEMM result is transposed into CHW output.
+    RowToChw,
+    /// Like `Col` but gathers from an HCW input.
+    ColFromHcw,
+    /// `Col` strip-mined over 8 output rows at a time.
+    ColStrip8,
+    /// `Row` strip-mined over 8 output rows at a time.
+    RowStrip8,
+}
+
+/// One member of the im2 family.
+pub(crate) struct Im2Conv {
+    desc: PrimitiveDescriptor,
+    shape: Im2Shape,
+    gemm: GemmKind,
+    /// Hand the kernel operand to GEMM transposed.
+    kernel_transposed: bool,
+}
+
+impl Im2Conv {
+    pub(crate) fn new(
+        name: &str,
+        shape: Im2Shape,
+        gemm: GemmKind,
+        kernel_transposed: bool,
+    ) -> Im2Conv {
+        use Im2Shape::*;
+        let (lin, lout) = match shape {
+            Col | ColStrip8 => (Layout::Chw, Layout::Chw),
+            Row | RowStrip8 => (Layout::Hwc, Layout::Hwc),
+            ColToHwc => (Layout::Chw, Layout::Hwc),
+            RowToChw => (Layout::Hwc, Layout::Chw),
+            ColFromHcw => (Layout::Hcw, Layout::Chw),
+        };
+        let efficiency = match gemm {
+            GemmKind::Naive => 0.08,
+            GemmKind::Blocked => 0.35,
+            GemmKind::Packed => 0.75,
+        } * if kernel_transposed { 1.02 } else { 1.0 };
+        let calls = match shape {
+            Im2Shape::ColStrip8 | Im2Shape::RowStrip8 => 8,
+            _ => 1,
+        };
+        Im2Conv {
+            desc: PrimitiveDescriptor::new(name, Family::Im2, lin, lout)
+                .with_hint(crate::AlgoHint::Gemm { efficiency, calls }),
+            shape,
+            gemm,
+            kernel_transposed,
+        }
+    }
+
+    /// Builds the `(C·K²) × cols` patch matrix for output rows
+    /// `[y0, y1)` (im2col order: patch element `(c, i, j)` is the row).
+    fn build_col(&self, input: &Tensor, s: &ConvScenario, y0: usize, y1: usize) -> Vec<f32> {
+        let ow = s.out_w();
+        let cols = (y1 - y0) * ow;
+        let ckk = s.c * s.k * s.k;
+        let mut b = vec![0.0f32; ckk * cols];
+        for c in 0..s.c {
+            for i in 0..s.k {
+                for j in 0..s.k {
+                    let r = (c * s.k + i) * s.k + j;
+                    let row = &mut b[r * cols..(r + 1) * cols];
+                    for y in y0..y1 {
+                        let iy = (y * s.stride + i) as isize - s.pad as isize;
+                        for x in 0..ow {
+                            let ix = (x * s.stride + j) as isize - s.pad as isize;
+                            row[(y - y0) * ow + x] = padded_at(input, c, iy, ix);
+                        }
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    /// Builds the `rows × (K²·C)` patch matrix for output rows `[y0, y1)`
+    /// (im2row order: patch element `(i, j, c)` is the column, so HWC
+    /// inputs stream contiguously).
+    fn build_row(&self, input: &Tensor, s: &ConvScenario, y0: usize, y1: usize) -> Vec<f32> {
+        let ow = s.out_w();
+        let kkc = s.k * s.k * s.c;
+        let rows = (y1 - y0) * ow;
+        let mut b = vec![0.0f32; rows * kkc];
+        for y in y0..y1 {
+            for x in 0..ow {
+                let r = (y - y0) * ow + x;
+                let dst = &mut b[r * kkc..(r + 1) * kkc];
+                let mut o = 0;
+                for i in 0..s.k {
+                    let iy = (y * s.stride + i) as isize - s.pad as isize;
+                    for j in 0..s.k {
+                        let ix = (x * s.stride + j) as isize - s.pad as isize;
+                        for c in 0..s.c {
+                            dst[o] = padded_at(input, c, iy, ix);
+                            o += 1;
+                        }
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    /// Kernel as an `M × (K²·C)` row-major matrix in `(i, j, c)` column
+    /// order (the order [`Im2Conv::build_row`] produces).
+    fn kernel_kkc(&self, kernel: &KernelTensor, s: &ConvScenario) -> Vec<f32> {
+        let kkc = s.k * s.k * s.c;
+        let mut a = vec![0.0f32; s.m * kkc];
+        for m in 0..s.m {
+            let dst = &mut a[m * kkc..(m + 1) * kkc];
+            let mut o = 0;
+            for i in 0..s.k {
+                for j in 0..s.k {
+                    for c in 0..s.c {
+                        dst[o] = kernel.at(m, c, i, j);
+                        o += 1;
+                    }
+                }
+            }
+        }
+        a
+    }
+}
+
+impl ConvAlgorithm for Im2Conv {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, _scenario: &ConvScenario) -> bool {
+        true
+    }
+
+    fn workspace_elems(&self, s: &ConvScenario) -> usize {
+        let ckk = s.c * s.k * s.k;
+        match self.shape {
+            Im2Shape::ColStrip8 | Im2Shape::RowStrip8 => ckk * 8 * s.out_w(),
+            _ => ckk * s.out_h() * s.out_w(),
+        }
+    }
+
+    fn execute(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+    ) -> Result<Tensor, PrimitiveError> {
+        check_args(&self.desc, true, input, kernel, s)?;
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let ckk = s.c * s.k * s.k;
+        let gemm = Gemm::new(self.gemm).threads(threads);
+
+        let out = match self.shape {
+            Im2Shape::Col | Im2Shape::ColFromHcw => {
+                let b = self.build_col(input, s, 0, oh);
+                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+                // A is the kernel as M × (C·K²), exactly its storage order.
+                if self.kernel_transposed {
+                    let at = transpose(kernel.data(), s.m, ckk);
+                    gemm.run(Trans::T, Trans::N, s.m, oh * ow, ckk, &at, &b, 0.0, out.data_mut());
+                } else {
+                    gemm.run(
+                        Trans::N,
+                        Trans::N,
+                        s.m,
+                        oh * ow,
+                        ckk,
+                        kernel.data(),
+                        &b,
+                        0.0,
+                        out.data_mut(),
+                    );
+                }
+                out
+            }
+            Im2Shape::ColToHwc => {
+                let b = self.build_col(input, s, 0, oh);
+                let mut c = vec![0.0f32; s.m * oh * ow];
+                gemm.run(Trans::N, Trans::N, s.m, oh * ow, ckk, kernel.data(), &b, 0.0, &mut c);
+                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
+                let data = out.data_mut();
+                for m in 0..s.m {
+                    for p in 0..oh * ow {
+                        data[p * s.m + m] = c[m * oh * ow + p];
+                    }
+                }
+                out
+            }
+            Im2Shape::Row | Im2Shape::RowToChw => {
+                let b = self.build_row(input, s, 0, oh);
+                let a = self.kernel_kkc(kernel, s);
+                let mut c = vec![0.0f32; oh * ow * s.m];
+                if self.kernel_transposed {
+                    // B (rows×kkc) · Aᵀ, handing the kernel matrix to GEMM
+                    // transposed — the "A Bᵀ" selection seen in Figure 4.
+                    gemm.run(Trans::N, Trans::T, oh * ow, s.m, ckk, &b, &a, 0.0, &mut c);
+                } else {
+                    let at = transpose(&a, s.m, ckk);
+                    gemm.run(Trans::N, Trans::N, oh * ow, s.m, ckk, &b, &at, 0.0, &mut c);
+                }
+                if self.shape == Im2Shape::Row {
+                    Tensor::from_vec(s.m, oh, ow, Layout::Hwc, c)?
+                } else {
+                    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+                    let data = out.data_mut();
+                    for p in 0..oh * ow {
+                        for m in 0..s.m {
+                            data[m * oh * ow + p] = c[p * s.m + m];
+                        }
+                    }
+                    out
+                }
+            }
+            Im2Shape::ColStrip8 => {
+                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+                for y0 in (0..oh).step_by(8) {
+                    let y1 = (y0 + 8).min(oh);
+                    let b = self.build_col(input, s, y0, y1);
+                    let cols = (y1 - y0) * ow;
+                    let mut c = vec![0.0f32; s.m * cols];
+                    gemm.run(Trans::N, Trans::N, s.m, cols, ckk, kernel.data(), &b, 0.0, &mut c);
+                    let data = out.data_mut();
+                    for m in 0..s.m {
+                        data[m * oh * ow + y0 * ow..m * oh * ow + y1 * ow]
+                            .copy_from_slice(&c[m * cols..(m + 1) * cols]);
+                    }
+                }
+                out
+            }
+            Im2Shape::RowStrip8 => {
+                let a = self.kernel_kkc(kernel, s);
+                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
+                for y0 in (0..oh).step_by(8) {
+                    let y1 = (y0 + 8).min(oh);
+                    let b = self.build_row(input, s, y0, y1);
+                    let rows = (y1 - y0) * ow;
+                    let dst = &mut out.data_mut()[y0 * ow * s.m..y1 * ow * s.m];
+                    gemm.run(Trans::N, Trans::T, rows, s.m, ckk, &b, &a, 0.0, dst);
+                }
+                out
+            }
+        };
+        Ok(out)
+    }
+}
+
+/// All im2-family primitives for the registry.
+pub(crate) fn all() -> Vec<Box<dyn ConvAlgorithm>> {
+    use GemmKind::*;
+    use Im2Shape::*;
+    let mut prims: Vec<Box<dyn ConvAlgorithm>> = Vec::new();
+    for (gk, gname) in [(Naive, "naive"), (Blocked, "blocked"), (Packed, "packed")] {
+        for (kt, tname) in [(false, "nn"), (true, "kt")] {
+            prims.push(Box::new(Im2Conv::new(
+                &format!("im2col_{gname}_{tname}"),
+                Col,
+                gk,
+                kt,
+            )));
+            prims.push(Box::new(Im2Conv::new(
+                &format!("im2row_{gname}_{tname}"),
+                Row,
+                gk,
+                kt,
+            )));
+        }
+    }
+    prims.push(Box::new(Im2Conv::new("im2col_packed_hwc_out", ColToHwc, Packed, false)));
+    prims.push(Box::new(Im2Conv::new("im2row_packed_chw_out", RowToChw, Packed, false)));
+    prims.push(Box::new(Im2Conv::new("im2col_packed_hcw_in", ColFromHcw, Packed, false)));
+    prims.push(Box::new(Im2Conv::new("im2col_strip8_packed", ColStrip8, Packed, false)));
+    prims.push(Box::new(Im2Conv::new("im2row_strip8_packed", RowStrip8, Packed, true)));
+    prims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sum2d_reference;
+
+    fn scenarios() -> Vec<ConvScenario> {
+        vec![
+            ConvScenario::new(3, 8, 9, 1, 3, 4),
+            ConvScenario::new(5, 9, 7, 2, 3, 3),
+            ConvScenario::new(2, 12, 12, 4, 5, 6).with_pad(0),
+            ConvScenario::new(7, 6, 6, 1, 1, 5).with_pad(0),
+            ConvScenario::new(4, 17, 11, 1, 5, 3),
+        ]
+    }
+
+    #[test]
+    fn every_im2_variant_matches_the_reference() {
+        for prim in all() {
+            for s in scenarios() {
+                let lin = prim.descriptor().input_layout;
+                let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 21).to_layout(lin);
+                let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 22);
+                let got = prim.execute(&input, &kernel, &s, 1).unwrap();
+                assert_eq!(got.layout(), prim.descriptor().output_layout);
+                let want = sum2d_reference(&input, &kernel, &s);
+                let diff = got.max_abs_diff(&want).unwrap();
+                assert!(diff < 2e-3, "{} on {s}: diff {diff}", prim.descriptor().name);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let s = ConvScenario::new(6, 13, 13, 1, 3, 8);
+        for prim in all() {
+            let lin = prim.descriptor().input_layout;
+            let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 31).to_layout(lin);
+            let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 32);
+            let one = prim.execute(&input, &kernel, &s, 1).unwrap();
+            let four = prim.execute(&input, &kernel, &s, 4).unwrap();
+            let diff = one.max_abs_diff(&four).unwrap();
+            assert!(diff < 1e-4, "{}: diff {diff}", prim.descriptor().name);
+        }
+    }
+
+    #[test]
+    fn workspace_reflects_strip_mining() {
+        let s = ConvScenario::new(16, 64, 64, 1, 3, 16);
+        let full = Im2Conv::new("x", Im2Shape::Col, GemmKind::Packed, false);
+        let strip = Im2Conv::new("y", Im2Shape::ColStrip8, GemmKind::Packed, false);
+        assert!(strip.workspace_elems(&s) * 4 < full.workspace_elems(&s));
+    }
+
+    #[test]
+    fn family_size() {
+        assert_eq!(all().len(), 17);
+    }
+}

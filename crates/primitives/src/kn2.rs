@@ -1,0 +1,376 @@
+//! The `kn2` convolution family: low-memory GEMM convolution without a
+//! Toeplitz matrix (Vasudevan et al., §4).
+//!
+//! A `K × K` convolution is computed as the sum of `K²` pointwise (1×1)
+//! convolutions, each a GEMM between one kernel tap-plane and the *input*
+//! image matrix, accumulated into the output at the tap's spatial offset
+//! ("shift-add").
+//!
+//! * **accumulating** variants run `K²` small GEMMs reusing one
+//!   `M × H·W` product buffer — the low-memory form the paper highlights;
+//! * **single-GEMM** variants stack all tap-planes into one
+//!   `(K²·M) × C` operand, trading memory for one large GEMM call.
+//!
+//! kn2 cannot implement strided convolution efficiently (Table 1); these
+//! primitives support `δ = 1` only.
+
+use pbqp_dnn_gemm::{Gemm, GemmKind, Trans};
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+use crate::algorithm::check_args;
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+
+/// Patch-matrix orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kn2Shape {
+    /// kn2row: planar CHW input as a `C × (H·W)` matrix; CHW output.
+    Row,
+    /// kn2col: interleaved HWC input as a `(H·W) × C` matrix; HWC output.
+    Col,
+}
+
+/// GEMM granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kn2Mode {
+    /// `K²` GEMMs reusing one product buffer (low memory).
+    Accumulating,
+    /// One stacked GEMM producing all `K²` products at once.
+    SingleGemm,
+}
+
+/// One member of the kn2 family.
+pub(crate) struct Kn2Conv {
+    desc: PrimitiveDescriptor,
+    shape: Kn2Shape,
+    mode: Kn2Mode,
+    gemm: GemmKind,
+}
+
+impl Kn2Conv {
+    pub(crate) fn new(name: &str, shape: Kn2Shape, mode: Kn2Mode, gemm: GemmKind) -> Kn2Conv {
+        let (lin, lout) = match shape {
+            Kn2Shape::Row => (Layout::Chw, Layout::Chw),
+            Kn2Shape::Col => (Layout::Hwc, Layout::Hwc),
+        };
+        let efficiency = match gemm {
+            GemmKind::Naive => 0.08,
+            GemmKind::Blocked => 0.35,
+            GemmKind::Packed => 0.72,
+        };
+        // Accumulating kn2 pays one GEMM call per kernel tap; the count is
+        // scenario-dependent, so record a representative 3x3 tap count.
+        let calls = match mode {
+            Kn2Mode::Accumulating => 9,
+            Kn2Mode::SingleGemm => 1,
+        };
+        Kn2Conv {
+            desc: PrimitiveDescriptor::new(name, Family::Kn2, lin, lout)
+                .with_hint(crate::AlgoHint::Gemm { efficiency, calls }),
+            shape,
+            mode,
+            gemm,
+        }
+    }
+
+    /// One kernel tap-plane as an `M × C` matrix.
+    fn tap_plane(&self, kernel: &KernelTensor, s: &ConvScenario, i: usize, j: usize) -> Vec<f32> {
+        let mut a = vec![0.0f32; s.m * s.c];
+        for m in 0..s.m {
+            for c in 0..s.c {
+                a[m * s.c + c] = kernel.at(m, c, i, j);
+            }
+        }
+        a
+    }
+}
+
+/// Accumulates a full-image `M × (H·W)` product into the CHW output at the
+/// spatial offset of tap `(i, j)`.
+#[allow(clippy::too_many_arguments)]
+fn shift_add_chw(
+    out: &mut Tensor,
+    product: &[f32],
+    s: &ConvScenario,
+    oh: usize,
+    ow: usize,
+    i: usize,
+    j: usize,
+) {
+    let (h, w) = (s.h, s.w);
+    let data = out.data_mut();
+    for m in 0..s.m {
+        let src_plane = &product[m * h * w..(m + 1) * h * w];
+        let dst_plane = &mut data[m * oh * ow..(m + 1) * oh * ow];
+        for y in 0..oh {
+            let ys = y as isize + i as isize - s.pad as isize;
+            if ys < 0 || ys >= h as isize {
+                continue;
+            }
+            let src_row = &src_plane[ys as usize * w..(ys as usize + 1) * w];
+            let dst_row = &mut dst_plane[y * ow..(y + 1) * ow];
+            let off = j as isize - s.pad as isize;
+            for (x, dst) in dst_row.iter_mut().enumerate() {
+                let xs = x as isize + off;
+                if xs >= 0 && xs < w as isize {
+                    *dst += src_row[xs as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates a full-image `(H·W) × M` product into the HWC output at the
+/// spatial offset of tap `(i, j)`.
+fn shift_add_hwc(
+    out: &mut Tensor,
+    product: &[f32],
+    s: &ConvScenario,
+    oh: usize,
+    ow: usize,
+    i: usize,
+    j: usize,
+) {
+    let (h, w, m) = (s.h, s.w, s.m);
+    let data = out.data_mut();
+    for y in 0..oh {
+        let ys = y as isize + i as isize - s.pad as isize;
+        if ys < 0 || ys >= h as isize {
+            continue;
+        }
+        for x in 0..ow {
+            let xs = x as isize + j as isize - s.pad as isize;
+            if xs < 0 || xs >= w as isize {
+                continue;
+            }
+            let src = &product[(ys as usize * w + xs as usize) * m..][..m];
+            let dst = &mut data[(y * ow + x) * m..][..m];
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d += v;
+            }
+        }
+    }
+}
+
+impl ConvAlgorithm for Kn2Conv {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, s: &ConvScenario) -> bool {
+        s.stride == 1
+    }
+
+    fn workspace_elems(&self, s: &ConvScenario) -> usize {
+        match self.mode {
+            Kn2Mode::Accumulating => s.m * s.h * s.w + s.m * s.c,
+            Kn2Mode::SingleGemm => s.k * s.k * s.m * (s.h * s.w + s.c),
+        }
+    }
+
+    fn execute(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+    ) -> Result<Tensor, PrimitiveError> {
+        check_args(&self.desc, self.supports(s), input, kernel, s)?;
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let (h, w) = (s.h, s.w);
+        let gemm = Gemm::new(self.gemm).threads(threads);
+        let mut out = Tensor::zeros(s.m, oh, ow, self.desc.output_layout);
+
+        match (self.shape, self.mode) {
+            (Kn2Shape::Row, Kn2Mode::Accumulating) => {
+                let mut product = vec![0.0f32; s.m * h * w];
+                for i in 0..s.k {
+                    for j in 0..s.k {
+                        let a = self.tap_plane(kernel, s, i, j);
+                        gemm.run(
+                            Trans::N,
+                            Trans::N,
+                            s.m,
+                            h * w,
+                            s.c,
+                            &a,
+                            input.data(),
+                            0.0,
+                            &mut product,
+                        );
+                        shift_add_chw(&mut out, &product, s, oh, ow, i, j);
+                    }
+                }
+            }
+            (Kn2Shape::Row, Kn2Mode::SingleGemm) => {
+                // Stack all tap planes: (K²·M) × C.
+                let kk = s.k * s.k;
+                let mut a = vec![0.0f32; kk * s.m * s.c];
+                for i in 0..s.k {
+                    for j in 0..s.k {
+                        let t = i * s.k + j;
+                        for m in 0..s.m {
+                            for c in 0..s.c {
+                                a[((t * s.m) + m) * s.c + c] = kernel.at(m, c, i, j);
+                            }
+                        }
+                    }
+                }
+                let mut product = vec![0.0f32; kk * s.m * h * w];
+                gemm.run(
+                    Trans::N,
+                    Trans::N,
+                    kk * s.m,
+                    h * w,
+                    s.c,
+                    &a,
+                    input.data(),
+                    0.0,
+                    &mut product,
+                );
+                for i in 0..s.k {
+                    for j in 0..s.k {
+                        let t = i * s.k + j;
+                        let slab = &product[t * s.m * h * w..(t + 1) * s.m * h * w];
+                        shift_add_chw(&mut out, slab, s, oh, ow, i, j);
+                    }
+                }
+            }
+            (Kn2Shape::Col, Kn2Mode::Accumulating) => {
+                let mut product = vec![0.0f32; h * w * s.m];
+                for i in 0..s.k {
+                    for j in 0..s.k {
+                        let a = self.tap_plane(kernel, s, i, j);
+                        // (H·W × C) · (M × C)ᵀ = H·W × M.
+                        gemm.run(
+                            Trans::N,
+                            Trans::T,
+                            h * w,
+                            s.m,
+                            s.c,
+                            input.data(),
+                            &a,
+                            0.0,
+                            &mut product,
+                        );
+                        shift_add_hwc(&mut out, &product, s, oh, ow, i, j);
+                    }
+                }
+            }
+            (Kn2Shape::Col, Kn2Mode::SingleGemm) => {
+                let kk = s.k * s.k;
+                // All taps side by side: C × (K²·M) operand.
+                let mut a = vec![0.0f32; s.c * kk * s.m];
+                for c in 0..s.c {
+                    for i in 0..s.k {
+                        for j in 0..s.k {
+                            let t = i * s.k + j;
+                            for m in 0..s.m {
+                                a[c * kk * s.m + t * s.m + m] = kernel.at(m, c, i, j);
+                            }
+                        }
+                    }
+                }
+                let mut product = vec![0.0f32; h * w * kk * s.m];
+                gemm.run(
+                    Trans::N,
+                    Trans::N,
+                    h * w,
+                    kk * s.m,
+                    s.c,
+                    input.data(),
+                    &a,
+                    0.0,
+                    &mut product,
+                );
+                // Gather per tap into a contiguous H·W × M view for the
+                // shared shift-add.
+                let mut view = vec![0.0f32; h * w * s.m];
+                for t in 0..kk {
+                    for p in 0..h * w {
+                        view[p * s.m..(p + 1) * s.m]
+                            .copy_from_slice(&product[p * kk * s.m + t * s.m..][..s.m]);
+                    }
+                    shift_add_hwc(&mut out, &view, s, oh, ow, t / s.k, t % s.k);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// All kn2-family primitives for the registry.
+pub(crate) fn all() -> Vec<Box<dyn ConvAlgorithm>> {
+    use Kn2Mode::*;
+    use Kn2Shape::*;
+    vec![
+        Box::new(Kn2Conv::new("kn2row_naive", Row, Accumulating, GemmKind::Naive))
+            as Box<dyn ConvAlgorithm>,
+        Box::new(Kn2Conv::new("kn2row_blocked", Row, Accumulating, GemmKind::Blocked)),
+        Box::new(Kn2Conv::new("kn2row_packed", Row, Accumulating, GemmKind::Packed)),
+        Box::new(Kn2Conv::new("kn2row_single_packed", Row, SingleGemm, GemmKind::Packed)),
+        Box::new(Kn2Conv::new("kn2col_blocked", Col, Accumulating, GemmKind::Blocked)),
+        Box::new(Kn2Conv::new("kn2col_packed", Col, Accumulating, GemmKind::Packed)),
+        Box::new(Kn2Conv::new("kn2col_single_packed", Col, SingleGemm, GemmKind::Packed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sum2d_reference;
+
+    fn scenarios() -> Vec<ConvScenario> {
+        vec![
+            ConvScenario::new(3, 8, 9, 1, 3, 4),
+            ConvScenario::new(5, 7, 7, 1, 5, 3),
+            ConvScenario::new(7, 6, 6, 1, 1, 5).with_pad(0),
+            ConvScenario::new(2, 10, 12, 1, 3, 6).with_pad(0),
+        ]
+    }
+
+    #[test]
+    fn every_kn2_variant_matches_the_reference() {
+        for prim in all() {
+            for s in scenarios() {
+                let lin = prim.descriptor().input_layout;
+                let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 41).to_layout(lin);
+                let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 42);
+                let got = prim.execute(&input, &kernel, &s, 1).unwrap();
+                assert_eq!(got.layout(), prim.descriptor().output_layout);
+                let want = sum2d_reference(&input, &kernel, &s);
+                let diff = got.max_abs_diff(&want).unwrap();
+                assert!(diff < 2e-3, "{} on {s}: diff {diff}", prim.descriptor().name);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_scenarios_are_rejected() {
+        let s = ConvScenario::new(3, 8, 8, 2, 3, 4);
+        for prim in all() {
+            assert!(!prim.supports(&s), "{}", prim.descriptor().name);
+        }
+    }
+
+    #[test]
+    fn accumulating_mode_uses_less_workspace() {
+        let s = ConvScenario::new(64, 56, 56, 1, 3, 64);
+        let acc = Kn2Conv::new("a", Kn2Shape::Row, Kn2Mode::Accumulating, GemmKind::Packed);
+        let single = Kn2Conv::new("s", Kn2Shape::Row, Kn2Mode::SingleGemm, GemmKind::Packed);
+        assert!(acc.workspace_elems(&s) * 4 < single.workspace_elems(&s));
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let s = ConvScenario::new(6, 9, 9, 1, 3, 8);
+        for prim in all() {
+            let lin = prim.descriptor().input_layout;
+            let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 51).to_layout(lin);
+            let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 52);
+            let one = prim.execute(&input, &kernel, &s, 1).unwrap();
+            let four = prim.execute(&input, &kernel, &s, 4).unwrap();
+            assert!(one.allclose(&four, 1e-4).unwrap(), "{}", prim.descriptor().name);
+        }
+    }
+}

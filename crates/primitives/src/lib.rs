@@ -1,0 +1,52 @@
+//! The DNN convolution primitive library: 70+ routines in six algorithm
+//! families, each a `{L_in, P, L_out}` triple (§3, §4 of the paper).
+//!
+//! Families:
+//!
+//! * [`sum2d`](crate::Family::Sum2d) — the textbook sum-of-single-channels
+//!   loop nest, the paper's common speedup baseline;
+//! * [`direct`](crate::Family::Direct) — six-deep loop nests with different
+//!   orders, tilings, unrollings and channel-blocked vectorized variants;
+//! * [`im2`](crate::Family::Im2) — im2col/im2row Toeplitz-matrix GEMM
+//!   convolution;
+//! * [`kn2`](crate::Family::Kn2) — the low-memory kn2row/kn2col accumulating
+//!   GEMM family (Vasudevan et al.);
+//! * [`winograd`](crate::Family::Winograd) — Winograd `F(2,3)`, `F(4,3)`,
+//!   `F(6,3)`, `F(2,5)` in 1-D and 2-D forms with tile-batched variants;
+//! * [`fft`](crate::Family::Fft) — FFT convolution computed as a sum of
+//!   1-D row convolutions, plus a full 2-D variant;
+//! * plus sparse extensions (§8): CSR kernels for im2col and kn2row.
+//!
+//! Every primitive implements [`ConvAlgorithm`]; the full library is built
+//! by [`registry::full_library`], and each implementation is validated in
+//! tests against [`reference::sum2d_reference`].
+//!
+//! # Example
+//!
+//! ```
+//! use pbqp_dnn_primitives::registry;
+//!
+//! let lib = registry::full_library();
+//! assert!(lib.len() >= 70, "paper evaluates a library of 70+ primitives");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod descriptor;
+mod direct;
+mod error;
+mod fft_conv;
+mod im2;
+mod kn2;
+mod pointwise;
+pub mod reference;
+pub mod registry;
+mod sparse;
+mod util;
+mod winograd;
+
+pub use algorithm::ConvAlgorithm;
+pub use descriptor::{AlgoHint, Family, PrimitiveDescriptor};
+pub use error::PrimitiveError;

@@ -1,0 +1,158 @@
+//! Pointwise (1×1) convolution specializations.
+//!
+//! GoogleNet and VGG-C contain many `K = 1` layers, where convolution
+//! degenerates to a single matrix product between the kernel and the
+//! unmodified image matrix — no Toeplitz construction, no shifting. These
+//! primitives are zero-copy on both operands.
+
+use pbqp_dnn_gemm::{Gemm, GemmKind, Trans};
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+use crate::algorithm::check_args;
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+
+/// Implementation strategy of a [`PointwiseConv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PointwiseVariant {
+    /// `kernel(M×C) · image(C×HW)` on planar CHW, packed GEMM.
+    GemmChw,
+    /// `image(HW×C) · kernel(M×C)ᵀ` on interleaved HWC, packed GEMM.
+    GemmHwc,
+    /// Plain loop nest on CHW (no GEMM call overhead).
+    LoopChw,
+}
+
+/// One pointwise primitive (direct family; `K = 1`, `δ = 1` only).
+pub(crate) struct PointwiseConv {
+    desc: PrimitiveDescriptor,
+    variant: PointwiseVariant,
+}
+
+impl PointwiseConv {
+    pub(crate) fn new(name: &str, variant: PointwiseVariant) -> PointwiseConv {
+        let (lin, lout) = match variant {
+            PointwiseVariant::GemmChw | PointwiseVariant::LoopChw => (Layout::Chw, Layout::Chw),
+            PointwiseVariant::GemmHwc => (Layout::Hwc, Layout::Hwc),
+        };
+        let hint = match variant {
+            PointwiseVariant::GemmChw | PointwiseVariant::GemmHwc => {
+                crate::AlgoHint::Gemm { efficiency: 0.78, calls: 1 }
+            }
+            PointwiseVariant::LoopChw => crate::AlgoHint::Loops { quality: 0.35 },
+        };
+        PointwiseConv {
+            desc: PrimitiveDescriptor::new(name, Family::Direct, lin, lout).with_hint(hint),
+            variant,
+        }
+    }
+}
+
+impl ConvAlgorithm for PointwiseConv {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, s: &ConvScenario) -> bool {
+        s.k == 1 && s.stride == 1 && s.pad == 0
+    }
+
+    fn workspace_elems(&self, _s: &ConvScenario) -> usize {
+        0
+    }
+
+    fn execute(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+    ) -> Result<Tensor, PrimitiveError> {
+        check_args(&self.desc, self.supports(s), input, kernel, s)?;
+        let hw = s.h * s.w;
+        let mut out = Tensor::zeros(s.m, s.h, s.w, self.desc.output_layout);
+        match self.variant {
+            PointwiseVariant::GemmChw => {
+                // Kernel storage for K=1 is exactly M × C.
+                Gemm::new(GemmKind::Packed).threads(threads).run(
+                    Trans::N,
+                    Trans::N,
+                    s.m,
+                    hw,
+                    s.c,
+                    kernel.data(),
+                    input.data(),
+                    0.0,
+                    out.data_mut(),
+                );
+            }
+            PointwiseVariant::GemmHwc => {
+                Gemm::new(GemmKind::Packed).threads(threads).run(
+                    Trans::N,
+                    Trans::T,
+                    hw,
+                    s.m,
+                    s.c,
+                    input.data(),
+                    kernel.data(),
+                    0.0,
+                    out.data_mut(),
+                );
+            }
+            PointwiseVariant::LoopChw => {
+                let src = input.data();
+                let data = out.data_mut();
+                for m in 0..s.m {
+                    let dst = &mut data[m * hw..(m + 1) * hw];
+                    dst.fill(0.0);
+                    for c in 0..s.c {
+                        let kv = kernel.at(m, c, 0, 0);
+                        let plane = &src[c * hw..(c + 1) * hw];
+                        for (d, &v) in dst.iter_mut().zip(plane) {
+                            *d += kv * v;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// All pointwise primitives for the registry.
+pub(crate) fn all() -> Vec<Box<dyn ConvAlgorithm>> {
+    vec![
+        Box::new(PointwiseConv::new("pointwise_gemm_chw", PointwiseVariant::GemmChw))
+            as Box<dyn ConvAlgorithm>,
+        Box::new(PointwiseConv::new("pointwise_gemm_hwc", PointwiseVariant::GemmHwc)),
+        Box::new(PointwiseConv::new("pointwise_loop_chw", PointwiseVariant::LoopChw)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sum2d_reference;
+
+    #[test]
+    fn pointwise_matches_reference() {
+        let s = ConvScenario::new(7, 9, 8, 1, 1, 5).with_pad(0);
+        for prim in all() {
+            assert!(prim.supports(&s));
+            let lin = prim.descriptor().input_layout;
+            let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 3).to_layout(lin);
+            let kernel = KernelTensor::random(s.m, s.c, 1, 1, 4);
+            let got = prim.execute(&input, &kernel, &s, 2).unwrap();
+            let want = sum2d_reference(&input, &kernel, &s);
+            assert!(got.allclose(&want, 1e-4).unwrap(), "{}", prim.descriptor().name);
+        }
+    }
+
+    #[test]
+    fn larger_kernels_are_rejected() {
+        let s = ConvScenario::new(4, 8, 8, 1, 3, 4);
+        for prim in all() {
+            assert!(!prim.supports(&s), "{}", prim.descriptor().name);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The sum-of-single-channels reference convolution (`SUM2D`).
+//!
+//! This is the paper's common baseline: the textbook loop nest with order
+//! `M × C × H × W × K × K`, summing one single-channel 2-D convolution per
+//! input channel. It doubles as the correctness oracle every other
+//! primitive is validated against.
+
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+use crate::algorithm::check_args;
+use crate::util::{padded_at, par_chunks_mut};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+
+/// Layout-agnostic reference convolution producing CHW output.
+///
+/// Reads through logical accessors, so `input` may be in any layout. Slow
+/// by design; used as the oracle in tests and by the runtime's verifier.
+pub fn sum2d_reference(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+    let (oh, ow) = (s.out_h(), s.out_w());
+    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+    for m in 0..s.m {
+        for c in 0..s.c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = out.at(m, y, x);
+                    for i in 0..s.k {
+                        for j in 0..s.k {
+                            let iy = (y * s.stride + i) as isize - s.pad as isize;
+                            let ix = (x * s.stride + j) as isize - s.pad as isize;
+                            acc += padded_at(input, c, iy, ix) * kernel.at(m, c, i, j);
+                        }
+                    }
+                    out.set(m, y, x, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `SUM2D` primitive: `{CHW, sum2d, CHW}`.
+#[derive(Debug)]
+pub struct Sum2d {
+    desc: PrimitiveDescriptor,
+}
+
+impl Sum2d {
+    /// Creates the baseline primitive.
+    pub fn new() -> Sum2d {
+        Sum2d {
+            desc: PrimitiveDescriptor::new("sum2d", Family::Sum2d, Layout::Chw, Layout::Chw),
+        }
+    }
+}
+
+impl Default for Sum2d {
+    fn default() -> Self {
+        Sum2d::new()
+    }
+}
+
+impl ConvAlgorithm for Sum2d {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, _scenario: &ConvScenario) -> bool {
+        true
+    }
+
+    fn workspace_elems(&self, _scenario: &ConvScenario) -> usize {
+        0
+    }
+
+    fn execute(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+    ) -> Result<Tensor, PrimitiveError> {
+        check_args(&self.desc, true, input, kernel, s)?;
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+        let plane = oh * ow;
+        par_chunks_mut(out.data_mut(), plane, threads, |m, out_plane| {
+            for c in 0..s.c {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = out_plane[y * ow + x];
+                        for i in 0..s.k {
+                            for j in 0..s.k {
+                                let iy = (y * s.stride + i) as isize - s.pad as isize;
+                                let ix = (x * s.stride + j) as isize - s.pad as isize;
+                                acc += padded_at(input, c, iy, ix) * kernel.at(m, c, i, j);
+                            }
+                        }
+                        out_plane[y * ow + x] = acc;
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_matches_reference_and_threads_agree() {
+        let s = ConvScenario::new(3, 9, 8, 1, 3, 4);
+        let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 1);
+        let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 2);
+        let prim = Sum2d::new();
+        let single = prim.execute(&input, &kernel, &s, 1).unwrap();
+        let multi = prim.execute(&input, &kernel, &s, 3).unwrap();
+        let oracle = sum2d_reference(&input, &kernel, &s);
+        assert!(single.allclose(&oracle, 1e-5).unwrap());
+        assert_eq!(single.data(), multi.data());
+    }
+
+    #[test]
+    fn strided_padded_scenarios() {
+        for s in [
+            ConvScenario::new(2, 11, 11, 4, 11, 3).with_pad(0),
+            ConvScenario::new(4, 13, 13, 2, 5, 2),
+            ConvScenario::new(1, 6, 6, 1, 1, 2).with_pad(0),
+        ] {
+            let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 7);
+            let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 8);
+            let got = Sum2d::new().execute(&input, &kernel, &s, 2).unwrap();
+            let want = sum2d_reference(&input, &kernel, &s);
+            assert!(got.allclose(&want, 1e-5).unwrap(), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_layout() {
+        let s = ConvScenario::new(2, 4, 4, 1, 3, 2);
+        let input = Tensor::zeros(2, 4, 4, Layout::Hwc);
+        let kernel = KernelTensor::zeros(2, 2, 3, 3);
+        let err = Sum2d::new().execute(&input, &kernel, &s, 1).unwrap_err();
+        assert!(matches!(err, PrimitiveError::WrongInputLayout { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_kernel_shape() {
+        let s = ConvScenario::new(2, 4, 4, 1, 3, 2);
+        let input = Tensor::zeros(2, 4, 4, Layout::Chw);
+        let kernel = KernelTensor::zeros(2, 2, 5, 5);
+        let err = Sum2d::new().execute(&input, &kernel, &s, 1).unwrap_err();
+        assert!(matches!(err, PrimitiveError::ShapeMismatch { .. }));
+    }
+}

@@ -1,0 +1,191 @@
+//! The primitive registry: assembles the full convolution library the
+//! optimizer selects from.
+//!
+//! The paper's evaluation uses "a library of more than 70 DNN primitives"
+//! spanning six families of convolution algorithm (§1, §3.1). This module
+//! reproduces that inventory; [`full_library`] is the single source of
+//! truth consumed by the cost model, the selector and the runtime.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pbqp_dnn_graph::ConvScenario;
+
+use crate::{direct, fft_conv, im2, kn2, pointwise, reference, sparse, winograd, ConvAlgorithm, Family};
+
+/// Builds the complete primitive library (70+ routines).
+pub fn full_library() -> Vec<Arc<dyn ConvAlgorithm>> {
+    let mut prims: Vec<Box<dyn ConvAlgorithm>> = Vec::new();
+    prims.push(Box::new(reference::Sum2d::new()));
+    prims.extend(direct::all());
+    prims.extend(im2::all());
+    prims.extend(kn2::all());
+    prims.extend(pointwise::all());
+    prims.extend(winograd::all());
+    prims.extend(fft_conv::all());
+    prims.extend(sparse::all());
+    prims.into_iter().map(Arc::from).collect()
+}
+
+/// A name-indexed view over a primitive library.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_primitives::registry::{full_library, Registry};
+///
+/// let reg = Registry::new(full_library());
+/// assert!(reg.by_name("sum2d").is_some());
+/// assert!(reg.len() >= 70);
+/// ```
+#[derive(Clone)]
+pub struct Registry {
+    prims: Vec<Arc<dyn ConvAlgorithm>>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Registry {
+    /// Indexes a library by primitive name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two primitives share a name.
+    pub fn new(prims: Vec<Arc<dyn ConvAlgorithm>>) -> Registry {
+        let mut by_name = HashMap::new();
+        for (ix, p) in prims.iter().enumerate() {
+            let prev = by_name.insert(p.descriptor().name.clone(), ix);
+            assert!(prev.is_none(), "duplicate primitive name {}", p.descriptor().name);
+        }
+        Registry { prims, by_name }
+    }
+
+    /// The full library in registry order.
+    pub fn primitives(&self) -> &[Arc<dyn ConvAlgorithm>] {
+        &self.prims
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prims.is_empty()
+    }
+
+    /// Looks up a primitive by name.
+    pub fn by_name(&self, name: &str) -> Option<&Arc<dyn ConvAlgorithm>> {
+        self.by_name.get(name).map(|&ix| &self.prims[ix])
+    }
+
+    /// All primitives that can implement `scenario`, in registry order.
+    pub fn candidates(&self, scenario: &ConvScenario) -> Vec<&Arc<dyn ConvAlgorithm>> {
+        self.prims.iter().filter(|p| p.supports(scenario)).collect()
+    }
+
+    /// All primitives of one family.
+    pub fn family(&self, family: Family) -> Vec<&Arc<dyn ConvAlgorithm>> {
+        self.prims.iter().filter(|p| p.descriptor().family == family).collect()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("len", &self.prims.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbqp_dnn_tensor::Layout;
+
+    #[test]
+    fn library_has_more_than_70_primitives() {
+        let lib = full_library();
+        assert!(lib.len() >= 70, "only {} primitives", lib.len());
+    }
+
+    #[test]
+    fn all_names_are_unique() {
+        let _ = Registry::new(full_library()); // panics on duplicates
+    }
+
+    #[test]
+    fn six_dense_families_are_represented() {
+        let reg = Registry::new(full_library());
+        for family in [
+            Family::Sum2d,
+            Family::Direct,
+            Family::Im2,
+            Family::Kn2,
+            Family::Winograd,
+            Family::Fft,
+            Family::Sparse,
+        ] {
+            assert!(!reg.family(family).is_empty(), "family {family} missing");
+        }
+    }
+
+    #[test]
+    fn layout_diversity_spans_the_primary_layouts() {
+        let reg = Registry::new(full_library());
+        for layout in [Layout::Chw, Layout::Hwc, Layout::Hcw] {
+            assert!(
+                reg.primitives().iter().any(|p| p.descriptor().input_layout == layout),
+                "no primitive consumes {layout}"
+            );
+        }
+        // Blocked layouts appear too (vectorized direct kernels).
+        assert!(reg.primitives().iter().any(|p| p.descriptor().input_layout == Layout::Chw4));
+        assert!(reg.primitives().iter().any(|p| p.descriptor().input_layout == Layout::Chw8));
+    }
+
+    #[test]
+    fn every_scenario_has_candidates_and_sum2d_is_universal() {
+        let reg = Registry::new(full_library());
+        let scenarios = [
+            ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0), // AlexNet conv1
+            ConvScenario::new(96, 27, 27, 1, 5, 256),              // AlexNet conv2 (k=5)
+            ConvScenario::new(256, 13, 13, 1, 3, 384),             // AlexNet conv3
+            ConvScenario::new(192, 28, 28, 1, 1, 64),              // GoogleNet 1x1
+        ];
+        for s in scenarios {
+            let cands = reg.candidates(&s);
+            assert!(cands.len() >= 20, "{s}: only {} candidates", cands.len());
+            assert!(cands.iter().any(|p| p.descriptor().name == "sum2d"));
+        }
+        // Strided conv1 excludes winograd/kn2/fft.
+        let strided = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0);
+        for p in reg.candidates(&strided) {
+            assert!(
+                !matches!(
+                    p.descriptor().family,
+                    Family::Winograd | Family::Kn2 | Family::Fft
+                ),
+                "{} should not support strided conv",
+                p.descriptor().name
+            );
+        }
+    }
+
+    #[test]
+    fn winograd_candidates_match_kernel_radix() {
+        let reg = Registry::new(full_library());
+        let k3 = ConvScenario::new(64, 56, 56, 1, 3, 64);
+        let k5 = ConvScenario::new(48, 28, 28, 1, 5, 64);
+        let wino_k3 = reg
+            .candidates(&k3)
+            .into_iter()
+            .filter(|p| p.descriptor().family == Family::Winograd)
+            .count();
+        let wino_k5 = reg
+            .candidates(&k5)
+            .into_iter()
+            .filter(|p| p.descriptor().family == Family::Winograd)
+            .count();
+        assert!(wino_k3 >= 12, "k=3 winograd variants: {wino_k3}");
+        assert!(wino_k5 >= 3, "k=5 winograd variants: {wino_k5}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Sparse-kernel convolution primitives — the paper's §8 future-work
+//! extension: "given some convolution routines which leverage sparsity in
+//! the kernel … our approach can be used to decide whether a dense or a
+//! sparse implementation will be faster for any given convolutional layer".
+//!
+//! Two routines are provided, mirroring the dense im2 and kn2 shapes but
+//! with the kernel operand held in CSR form so zero weights cost nothing:
+//! work scales with `1 − sparsity`.
+
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+use crate::algorithm::check_args;
+use crate::util::padded_at;
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+
+/// Compressed sparse row matrix over `f32`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Csr {
+    rows: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds CSR from a dense row-major `rows × cols` matrix, dropping
+    /// exact zeros.
+    pub(crate) fn from_dense(dense: &[f32], rows: usize, cols: usize) -> Csr {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense[r * cols + c];
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows, row_ptr, col_idx, values }
+    }
+
+    /// Number of stored non-zeros.
+    #[cfg(test)]
+    pub(crate) fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `C(rows × n) = self · B(cols × n) + C`, with `B` dense row-major.
+    pub(crate) fn spmm_add(&self, b: &[f32], n: usize, c: &mut [f32]) {
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let c_row = &mut c[r * n..(r + 1) * n];
+            for e in lo..hi {
+                let v = self.values[e];
+                let b_row = &b[self.col_idx[e] * n..self.col_idx[e] * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += v * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Which dense family the sparse routine mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SparseVariant {
+    /// CSR kernel × im2col patch matrix.
+    Im2col,
+    /// kn2row shift-add with a CSR tap-plane per kernel position.
+    Kn2row,
+}
+
+/// One sparse-kernel primitive.
+pub(crate) struct SparseConv {
+    desc: PrimitiveDescriptor,
+    variant: SparseVariant,
+}
+
+impl SparseConv {
+    pub(crate) fn new(name: &str, variant: SparseVariant) -> SparseConv {
+        SparseConv {
+            desc: PrimitiveDescriptor::new(name, Family::Sparse, Layout::Chw, Layout::Chw)
+                .with_hint(crate::AlgoHint::Sparse),
+            variant,
+        }
+    }
+}
+
+impl ConvAlgorithm for SparseConv {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, s: &ConvScenario) -> bool {
+        match self.variant {
+            SparseVariant::Im2col => true,
+            SparseVariant::Kn2row => s.stride == 1,
+        }
+    }
+
+    fn workspace_elems(&self, s: &ConvScenario) -> usize {
+        match self.variant {
+            SparseVariant::Im2col => s.c * s.k * s.k * s.out_h() * s.out_w(),
+            SparseVariant::Kn2row => s.m * s.h * s.w,
+        }
+    }
+
+    fn execute(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        _threads: usize,
+    ) -> Result<Tensor, PrimitiveError> {
+        check_args(&self.desc, self.supports(s), input, kernel, s)?;
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+        match self.variant {
+            SparseVariant::Im2col => {
+                let ckk = s.c * s.k * s.k;
+                // Kernel storage order is exactly M × (C·K²).
+                let a = Csr::from_dense(kernel.data(), s.m, ckk);
+                let mut b = vec![0.0f32; ckk * oh * ow];
+                let cols = oh * ow;
+                for c in 0..s.c {
+                    for i in 0..s.k {
+                        for j in 0..s.k {
+                            let r = (c * s.k + i) * s.k + j;
+                            let row = &mut b[r * cols..(r + 1) * cols];
+                            for y in 0..oh {
+                                let iy = (y * s.stride + i) as isize - s.pad as isize;
+                                for x in 0..ow {
+                                    let ix = (x * s.stride + j) as isize - s.pad as isize;
+                                    row[y * ow + x] = padded_at(input, c, iy, ix);
+                                }
+                            }
+                        }
+                    }
+                }
+                a.spmm_add(&b, cols, out.data_mut());
+            }
+            SparseVariant::Kn2row => {
+                let mut product = vec![0.0f32; s.m * s.h * s.w];
+                let mut plane = vec![0.0f32; s.m * s.c];
+                for i in 0..s.k {
+                    for j in 0..s.k {
+                        for m in 0..s.m {
+                            for c in 0..s.c {
+                                plane[m * s.c + c] = kernel.at(m, c, i, j);
+                            }
+                        }
+                        let a = Csr::from_dense(&plane, s.m, s.c);
+                        product.fill(0.0);
+                        a.spmm_add(input.data(), s.h * s.w, &mut product);
+                        // Shift-add into the output (same scheme as kn2row).
+                        let data = out.data_mut();
+                        for m in 0..s.m {
+                            for y in 0..oh {
+                                let ys = y as isize + i as isize - s.pad as isize;
+                                if ys < 0 || ys >= s.h as isize {
+                                    continue;
+                                }
+                                for x in 0..ow {
+                                    let xs = x as isize + j as isize - s.pad as isize;
+                                    if xs >= 0 && xs < s.w as isize {
+                                        data[m * oh * ow + y * ow + x] += product
+                                            [m * s.h * s.w + ys as usize * s.w + xs as usize];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// All sparse-family primitives for the registry.
+pub(crate) fn all() -> Vec<Box<dyn ConvAlgorithm>> {
+    vec![
+        Box::new(SparseConv::new("sparse_im2col_csr", SparseVariant::Im2col))
+            as Box<dyn ConvAlgorithm>,
+        Box::new(SparseConv::new("sparse_kn2row_csr", SparseVariant::Kn2row)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sum2d_reference;
+
+    #[test]
+    fn sparse_primitives_match_reference_on_sparse_kernels() {
+        for prim in all() {
+            for pm in [0u16, 500, 900] {
+                let s = ConvScenario::new(4, 9, 9, 1, 3, 5).with_sparsity_pm(pm);
+                let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 7);
+                let mut kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 8);
+                kernel.sparsify(s.sparsity(), 9);
+                let got = prim.execute(&input, &kernel, &s, 1).unwrap();
+                let want = sum2d_reference(&input, &kernel, &s);
+                let diff = got.max_abs_diff(&want).unwrap();
+                assert!(diff < 1e-3, "{} pm={pm}: diff {diff}", prim.descriptor().name);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_drops_zeros() {
+        let dense = [1.0f32, 0.0, 0.0, 2.0, 0.0, 0.0];
+        let csr = Csr::from_dense(&dense, 2, 3);
+        assert_eq!(csr.nnz(), 2);
+        let b = [1.0f32, 1.0, 1.0, 1.0, 1.0, 1.0]; // 3 x 2
+        let mut c = [0.0f32; 4];
+        csr.spmm_add(&b, 2, &mut c);
+        assert_eq!(c, [1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn strided_im2col_still_works() {
+        let s = ConvScenario::new(2, 11, 11, 2, 3, 3).with_pad(0);
+        let prim = SparseConv::new("x", SparseVariant::Im2col);
+        let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 17);
+        let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 18);
+        let got = prim.execute(&input, &kernel, &s, 1).unwrap();
+        let want = sum2d_reference(&input, &kernel, &s);
+        assert!(got.allclose(&want, 1e-3).unwrap());
+    }
+}

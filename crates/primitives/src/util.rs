@@ -1,0 +1,137 @@
+//! Shared helpers for the primitive implementations.
+
+use pbqp_dnn_tensor::Tensor;
+
+/// Zero-padded read of logical element `(c, y, x)` where `y`/`x` are
+/// *padded-space* coordinates minus `pad` (i.e. may be negative-as-wrapped).
+/// Callers pass `iy = oh*stride + i` and the pad separately.
+#[inline]
+pub(crate) fn padded_at(input: &Tensor, c: usize, iy: isize, ix: isize) -> f32 {
+    let (_, h, w) = input.dims();
+    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+        0.0
+    } else {
+        input.at(c, iy as usize, ix as usize)
+    }
+}
+
+/// Copies one padded input row `[x0 .. x0+len)` of channel `c`, row `iy`
+/// (already stride-adjusted, may be out of range) into `dst`, zero-filling
+/// outside the image.
+pub(crate) fn gather_row(input: &Tensor, c: usize, iy: isize, x0: isize, dst: &mut [f32]) {
+    let (_, h, w) = input.dims();
+    if iy < 0 || iy >= h as isize {
+        dst.fill(0.0);
+        return;
+    }
+    let iy = iy as usize;
+    for (o, slot) in dst.iter_mut().enumerate() {
+        let x = x0 + o as isize;
+        *slot = if x < 0 || x >= w as isize { 0.0 } else { input.at(c, iy, x as usize) };
+    }
+}
+
+/// Splits `0..m` into at most `threads` contiguous chunks and runs `f` on
+/// each chunk in its own scoped thread (serially when `threads <= 1`).
+#[allow(dead_code)] // kept for primitives that parallelize over index ranges
+pub(crate) fn par_ranges<F>(m: usize, threads: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = threads.max(1).min(m.max(1));
+    if threads <= 1 || m == 0 {
+        f(0..m);
+        return;
+    }
+    let per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut start = 0;
+        while start < m {
+            let end = (start + per).min(m);
+            scope.spawn(move || f(start..end));
+            start = end;
+        }
+    });
+}
+
+/// Splits a mutable slice into `chunks` of `chunk_len` and runs `f(i, chunk)`
+/// on each in parallel. Used to parallelize over output channels when the
+/// output layout stores channels contiguously (planar layouts).
+pub(crate) fn par_chunks_mut<F>(data: &mut [f32], chunk_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0 && data.len() % chunk_len == 0);
+    let threads = threads.max(1);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let n_chunks = data.len() / chunk_len;
+    let per = n_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (t, slab) in data.chunks_mut(per * chunk_len).enumerate() {
+            scope.spawn(move || {
+                for (i, chunk) in slab.chunks_mut(chunk_len).enumerate() {
+                    f(t * per + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbqp_dnn_tensor::Layout;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn padded_at_zero_fills_outside() {
+        let t = Tensor::from_fn(1, 2, 2, Layout::Chw, |_, h, w| (h * 2 + w + 1) as f32);
+        assert_eq!(padded_at(&t, 0, -1, 0), 0.0);
+        assert_eq!(padded_at(&t, 0, 0, -1), 0.0);
+        assert_eq!(padded_at(&t, 0, 2, 0), 0.0);
+        assert_eq!(padded_at(&t, 0, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn gather_row_handles_borders() {
+        let t = Tensor::from_fn(1, 1, 4, Layout::Chw, |_, _, w| w as f32 + 1.0);
+        let mut buf = [9.0f32; 6];
+        gather_row(&t, 0, 0, -1, &mut buf);
+        assert_eq!(buf, [0.0, 1.0, 2.0, 3.0, 4.0, 0.0]);
+        gather_row(&t, 0, 5, 0, &mut buf);
+        assert_eq!(buf, [0.0; 6]);
+    }
+
+    #[test]
+    fn par_ranges_covers_everything_once() {
+        let count = AtomicUsize::new(0);
+        par_ranges(17, 4, |r| {
+            count.fetch_add(r.len(), Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 17);
+        // Serial fallback.
+        let count2 = AtomicUsize::new(0);
+        par_ranges(3, 1, |r| {
+            count2.fetch_add(r.len(), Ordering::SeqCst);
+        });
+        assert_eq!(count2.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjointly() {
+        let mut data = vec![0.0f32; 12];
+        par_chunks_mut(&mut data, 3, 3, |i, chunk| {
+            for v in chunk {
+                *v = i as f32;
+            }
+        });
+        assert_eq!(data, [0., 0., 0., 1., 1., 1., 2., 2., 2., 3., 3., 3.]);
+    }
+}

@@ -1,0 +1,353 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pbqp_dnn_graph::{DnnGraph, GraphError, LayerKind, NodeId};
+use pbqp_dnn_primitives::registry::Registry;
+use pbqp_dnn_primitives::{reference::sum2d_reference, PrimitiveError};
+use pbqp_dnn_select::{AssignmentKind, ExecutionPlan};
+use pbqp_dnn_tensor::transform::{apply_direct, DirectTransform};
+use pbqp_dnn_tensor::{Layout, Tensor, TensorError};
+
+use crate::ops;
+use crate::weights::Weights;
+
+/// Errors from plan execution.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The graph failed validation.
+    Graph(GraphError),
+    /// A selected primitive failed.
+    Primitive(PrimitiveError),
+    /// A layout transformation failed.
+    Tensor(TensorError),
+    /// The plan references a primitive the registry does not contain.
+    UnknownPrimitive(String),
+    /// A parameterized layer has no weights.
+    MissingWeights(String),
+    /// The supplied network input has the wrong shape or layout.
+    BadInput(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Graph(e) => write!(f, "graph error: {e}"),
+            RuntimeError::Primitive(e) => write!(f, "primitive error: {e}"),
+            RuntimeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            RuntimeError::UnknownPrimitive(n) => write!(f, "unknown primitive `{n}`"),
+            RuntimeError::MissingWeights(n) => write!(f, "missing weights for layer `{n}`"),
+            RuntimeError::BadInput(d) => write!(f, "bad network input: {d}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+impl From<GraphError> for RuntimeError {
+    fn from(e: GraphError) -> Self {
+        RuntimeError::Graph(e)
+    }
+}
+impl From<PrimitiveError> for RuntimeError {
+    fn from(e: PrimitiveError) -> Self {
+        RuntimeError::Primitive(e)
+    }
+}
+impl From<TensorError> for RuntimeError {
+    fn from(e: TensorError) -> Self {
+        RuntimeError::Tensor(e)
+    }
+}
+
+/// Executes an [`ExecutionPlan`] on real tensors — the runtime counterpart
+/// of the paper's generated code (§5.2).
+pub struct Executor<'a> {
+    graph: &'a DnnGraph,
+    plan: &'a ExecutionPlan,
+    registry: &'a Registry,
+    weights: &'a Weights,
+}
+
+impl<'a> Executor<'a> {
+    /// Binds a plan to its graph, registry and weights.
+    pub fn new(
+        graph: &'a DnnGraph,
+        plan: &'a ExecutionPlan,
+        registry: &'a Registry,
+        weights: &'a Weights,
+    ) -> Executor<'a> {
+        Executor { graph, plan, registry, weights }
+    }
+
+    /// Runs one forward pass. `input` must be the canonical-CHW network
+    /// input; the plan's input-conversion chain is applied automatically.
+    /// Returns the output of the last layer in topological order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph, primitive, transformation and weight errors.
+    pub fn run(&self, input: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+        if input.layout() != Layout::Chw {
+            return Err(RuntimeError::BadInput(format!(
+                "network inputs are canonical CHW, got {}",
+                input.layout()
+            )));
+        }
+        let order = self.graph.topo_order()?;
+        // Edge chains keyed by (from, to).
+        let chains: HashMap<(usize, usize), &[DirectTransform]> = self
+            .plan
+            .edges
+            .iter()
+            .map(|e| ((e.from.index(), e.to.index()), e.chain.as_slice()))
+            .collect();
+        let input_chains: HashMap<usize, &[DirectTransform]> = self
+            .plan
+            .input_conversion
+            .iter()
+            .map(|(n, c, _)| (n.index(), c.as_slice()))
+            .collect();
+
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        let mut last = None;
+        for node in order {
+            let layer = self.graph.layer(node);
+            // Inputs, converted along each edge's legalization chain.
+            let mut inputs = Vec::new();
+            for &pred in self.graph.predecessors(node) {
+                let mut t = values[pred.index()]
+                    .as_ref()
+                    .expect("topological order guarantees predecessors ran")
+                    .clone();
+                if let Some(chain) = chains.get(&(pred.index(), node.index())) {
+                    for hop in *chain {
+                        t = apply_direct(&t, hop.to)?;
+                    }
+                }
+                inputs.push(t);
+            }
+
+            let out = match (&layer.kind, self.plan.assignment(node)) {
+                (LayerKind::Conv(s), AssignmentKind::Conv { primitive, .. }) => {
+                    let prim = self
+                        .registry
+                        .by_name(primitive)
+                        .ok_or_else(|| RuntimeError::UnknownPrimitive(primitive.clone()))?;
+                    let kernel = self
+                        .weights
+                        .conv_kernel(node)
+                        .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?;
+                    prim.execute(&inputs[0], kernel, s, threads)?
+                }
+                (LayerKind::Input { c, h, w }, AssignmentKind::Dummy { layout }) => {
+                    if input.dims() != (*c, *h, *w) {
+                        return Err(RuntimeError::BadInput(format!(
+                            "expected {:?}, got {:?}",
+                            (c, h, w),
+                            input.dims()
+                        )));
+                    }
+                    let mut t = input.clone();
+                    if let Some(chain) = input_chains.get(&node.index()) {
+                        for hop in *chain {
+                            t = apply_direct(&t, hop.to)?;
+                        }
+                    } else if t.layout() != *layout {
+                        // Defensive: plans always carry the chain, but a
+                        // hand-built plan may not.
+                        t = t.to_layout(*layout);
+                    }
+                    t
+                }
+                (kind, AssignmentKind::Dummy { layout }) => {
+                    self.run_dummy(node, kind, &inputs, *layout)?
+                }
+                (kind, AssignmentKind::Conv { .. }) => {
+                    unreachable!("conv assignment on non-conv layer {kind}")
+                }
+            };
+            values[node.index()] = Some(out);
+            last = Some(node);
+        }
+        let last = last.expect("graph validated as non-empty");
+        Ok(values[last.index()].take().expect("last node ran"))
+    }
+
+    fn run_dummy(
+        &self,
+        node: NodeId,
+        kind: &LayerKind,
+        inputs: &[Tensor],
+        layout: Layout,
+    ) -> Result<Tensor, RuntimeError> {
+        let name = || self.graph.layer(node).name.clone();
+        Ok(match kind {
+            LayerKind::Relu => ops::relu(&inputs[0], layout),
+            LayerKind::Pool { kind, k, stride, pad } => {
+                ops::pool(&inputs[0], layout, *kind, *k, *stride, *pad)
+            }
+            LayerKind::Lrn => ops::lrn(&inputs[0], layout),
+            LayerKind::Dropout => inputs[0].clone(),
+            LayerKind::FullyConnected { out } => {
+                let w = self
+                    .weights
+                    .fc_matrix(node)
+                    .ok_or_else(|| RuntimeError::MissingWeights(name()))?;
+                ops::fully_connected(&inputs[0], w, *out, layout)
+            }
+            LayerKind::Concat => {
+                let refs: Vec<&Tensor> = inputs.iter().collect();
+                ops::concat(&refs, layout)
+            }
+            LayerKind::Softmax => ops::softmax(&inputs[0], layout),
+            LayerKind::Input { .. } | LayerKind::Conv(_) => {
+                unreachable!("handled by run()")
+            }
+        })
+    }
+}
+
+impl fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor").field("nodes", &self.graph.len()).finish()
+    }
+}
+
+/// Independent oracle: executes the network with the textbook reference
+/// convolution and canonical CHW layout throughout. Any plan's output must
+/// match this within floating-point tolerance.
+pub fn reference_forward(graph: &DnnGraph, weights: &Weights, input: &Tensor) -> Tensor {
+    let order = graph.topo_order().expect("valid graph");
+    let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+    let mut last = None;
+    for node in order {
+        let inputs: Vec<Tensor> = graph
+            .predecessors(node)
+            .iter()
+            .map(|p| values[p.index()].as_ref().expect("topo order").clone())
+            .collect();
+        let out = match &graph.layer(node).kind {
+            LayerKind::Input { .. } => input.clone(),
+            LayerKind::Conv(s) => {
+                let k = weights.conv_kernel(node).expect("weights cover conv layers");
+                sum2d_reference(&inputs[0], k, s)
+            }
+            LayerKind::Relu => ops::relu(&inputs[0], inputs[0].layout()),
+            LayerKind::Pool { kind, k, stride, pad } => {
+                ops::pool(&inputs[0], inputs[0].layout(), *kind, *k, *stride, *pad)
+            }
+            LayerKind::Lrn => ops::lrn(&inputs[0], inputs[0].layout()),
+            LayerKind::Dropout => inputs[0].clone(),
+            LayerKind::FullyConnected { out } => {
+                let w = weights.fc_matrix(node).expect("weights cover fc layers");
+                ops::fully_connected(&inputs[0], w, *out, Layout::Chw)
+            }
+            LayerKind::Concat => {
+                let refs: Vec<&Tensor> = inputs.iter().collect();
+                ops::concat(&refs, Layout::Chw)
+            }
+            LayerKind::Softmax => ops::softmax(&inputs[0], inputs[0].layout()),
+        };
+        values[node.index()] = Some(out);
+        last = Some(node);
+    }
+    values[last.expect("non-empty").index()].take().expect("ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+    use pbqp_dnn_graph::{ConvScenario, Layer};
+    use pbqp_dnn_primitives::registry::full_library;
+    use pbqp_dnn_select::{Optimizer, Strategy};
+
+    /// A miniature inception-style network exercising fan-out, concat,
+    /// pooling and two conv sizes.
+    fn mini_inception() -> DnnGraph {
+        let mut g = DnnGraph::new();
+        let data = g.add(Layer::new("data", LayerKind::Input { c: 4, h: 12, w: 12 }));
+        let c1 = g.add(Layer::new("b1", LayerKind::Conv(ConvScenario::new(4, 12, 12, 1, 1, 6).with_pad(0))));
+        let c3 = g.add(Layer::new("b3", LayerKind::Conv(ConvScenario::new(4, 12, 12, 1, 3, 6))));
+        let cat = g.add(Layer::new("cat", LayerKind::Concat));
+        let relu = g.add(Layer::new("relu", LayerKind::Relu));
+        let c_out = g.add(Layer::new(
+            "out",
+            LayerKind::Conv(ConvScenario::new(12, 12, 12, 1, 3, 5)),
+        ));
+        g.connect(data, c1).unwrap();
+        g.connect(data, c3).unwrap();
+        g.connect(c1, cat).unwrap();
+        g.connect(c3, cat).unwrap();
+        g.connect(cat, relu).unwrap();
+        g.connect(relu, c_out).unwrap();
+        g
+    }
+
+    #[test]
+    fn every_strategy_computes_the_same_function() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let weights = Weights::random(&net, 11);
+        let input = Tensor::random(4, 12, 12, Layout::Chw, 12);
+        let oracle = reference_forward(&net, &weights, &input);
+        let mut strategies = vec![
+            Strategy::Pbqp,
+            Strategy::PbqpHeuristic,
+            Strategy::Sum2d,
+            Strategy::LocalOptimalChw,
+            Strategy::CaffeLike,
+            Strategy::VendorLike { vector_width: 8 },
+            Strategy::VendorLike { vector_width: 4 },
+        ];
+        strategies.extend(Strategy::family_bars());
+        for strategy in strategies {
+            let plan = opt.plan(&net, strategy).unwrap();
+            let out = Executor::new(&net, &plan, &reg, &weights).run(&input, 1).unwrap();
+            let diff = out.max_abs_diff(&oracle).unwrap();
+            assert!(diff < 1e-2, "{}: diff {diff}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn multithreaded_execution_matches_single_threaded() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 4);
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        let weights = Weights::random(&net, 21);
+        let input = Tensor::random(4, 12, 12, Layout::Chw, 22);
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        let one = exec.run(&input, 1).unwrap();
+        let four = exec.run(&input, 4).unwrap();
+        assert!(one.allclose(&four, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn wrong_input_layout_is_rejected() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Sum2d).unwrap();
+        let weights = Weights::random(&net, 1);
+        let bad = Tensor::random(4, 12, 12, Layout::Hwc, 2);
+        let err = Executor::new(&net, &plan, &reg, &weights).run(&bad, 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::BadInput(_)));
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Sum2d).unwrap();
+        let weights = Weights::random(&net, 1);
+        let bad = Tensor::random(4, 10, 12, Layout::Chw, 2);
+        let err = Executor::new(&net, &plan, &reg, &weights).run(&bad, 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::BadInput(_)));
+    }
+}

@@ -1,0 +1,53 @@
+//! Runtime execution of legalized primitive-selection plans.
+//!
+//! The paper maps PBQP solutions to code with a simple code generator that
+//! emits calls into the primitive library (§5.2). This crate is the Rust
+//! equivalent: an interpreter that walks the DNN graph in topological
+//! order, applies each edge's data-layout transformation chain, dispatches
+//! every convolution to its selected primitive, and computes the non-conv
+//! layers (pooling, activation, LRN, fully-connected, concat, softmax)
+//! directly.
+//!
+//! [`reference_forward`] is an independent oracle (sum-of-single-channels
+//! convolution, canonical layout throughout) used to verify that *any*
+//! plan — whatever exotic layouts and primitives it selected — computes
+//! the same network function.
+//!
+//! # Example
+//!
+//! ```
+//! use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+//! use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind};
+//! use pbqp_dnn_primitives::registry::{full_library, Registry};
+//! use pbqp_dnn_runtime::{reference_forward, Executor, Weights};
+//! use pbqp_dnn_select::{Optimizer, Strategy};
+//! use pbqp_dnn_tensor::{Layout, Tensor};
+//!
+//! let mut net = DnnGraph::new();
+//! let data = net.add(Layer::new("data", LayerKind::Input { c: 3, h: 16, w: 16 }));
+//! let conv = net.add(Layer::new(
+//!     "conv",
+//!     LayerKind::Conv(ConvScenario::new(3, 16, 16, 1, 3, 8)),
+//! ));
+//! net.connect(data, conv).unwrap();
+//!
+//! let registry = Registry::new(full_library());
+//! let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+//! let plan = Optimizer::new(&registry, &cost).plan(&net, Strategy::Pbqp).unwrap();
+//!
+//! let weights = Weights::random(&net, 42);
+//! let input = Tensor::random(3, 16, 16, Layout::Chw, 7);
+//! let out = Executor::new(&net, &plan, &registry, &weights).run(&input, 1).unwrap();
+//! let oracle = reference_forward(&net, &weights, &input);
+//! assert!(out.allclose(&oracle, 1e-3).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod ops;
+mod weights;
+
+pub use exec::{reference_forward, Executor, RuntimeError};
+pub use weights::Weights;

@@ -1,0 +1,259 @@
+//! Non-convolution layer implementations.
+//!
+//! These operate through the tensor's logical accessors, so they work in
+//! whatever layout the plan assigned to the layer (§5.2's "dummy nodes
+//! accepting any layout"). Convolution is the only layer dispatched to the
+//! primitive library.
+
+use pbqp_dnn_graph::PoolKind;
+use pbqp_dnn_tensor::{Layout, Tensor};
+
+/// Rectified linear unit.
+pub(crate) fn relu(input: &Tensor, layout: Layout) -> Tensor {
+    let (c, h, w) = input.dims();
+    debug_assert_eq!(input.layout(), layout);
+    let mut out = input.clone();
+    for v in out.data_mut() {
+        *v = v.max(0.0);
+    }
+    let _ = (c, h, w);
+    out
+}
+
+/// Spatial max/average pooling with Caffe's ceil output convention.
+pub(crate) fn pool(
+    input: &Tensor,
+    layout: Layout,
+    kind: PoolKind,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (c, h, w) = input.dims();
+    let oh = (h + 2 * pad - k).div_ceil(stride) + 1;
+    let ow = (w + 2 * pad - k).div_ceil(stride) + 1;
+    let mut out = Tensor::zeros(c, oh, ow, layout);
+    for ci in 0..c {
+        for y in 0..oh {
+            for x in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut sum = 0.0f32;
+                let mut count = 0usize;
+                for i in 0..k {
+                    for j in 0..j_limit(k) {
+                        let iy = (y * stride + i) as isize - pad as isize;
+                        let ix = (x * stride + j) as isize - pad as isize;
+                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                            continue;
+                        }
+                        let v = input.at(ci, iy as usize, ix as usize);
+                        best = best.max(v);
+                        sum += v;
+                        count += 1;
+                    }
+                }
+                let v = match kind {
+                    PoolKind::Max => {
+                        if count == 0 {
+                            0.0
+                        } else {
+                            best
+                        }
+                    }
+                    PoolKind::Avg => {
+                        if count == 0 {
+                            0.0
+                        } else {
+                            sum / count as f32
+                        }
+                    }
+                };
+                out.set(ci, y, x, v);
+            }
+        }
+    }
+    out
+}
+
+// Pool windows are square; this indirection exists only to keep the loop
+// shape symmetric and grep-able.
+fn j_limit(k: usize) -> usize {
+    k
+}
+
+/// Local response normalization across channels (AlexNet/GoogleNet
+/// parameters: size 5, α = 1e-4, β = 0.75, k = 1).
+pub(crate) fn lrn(input: &Tensor, layout: Layout) -> Tensor {
+    const SIZE: usize = 5;
+    const ALPHA: f32 = 1e-4;
+    const BETA: f32 = 0.75;
+    const K: f32 = 1.0;
+    let (c, h, w) = input.dims();
+    let mut out = Tensor::zeros(c, h, w, layout);
+    let half = SIZE / 2;
+    for y in 0..h {
+        for x in 0..w {
+            for ci in 0..c {
+                let lo = ci.saturating_sub(half);
+                let hi = (ci + half).min(c - 1);
+                let mut energy = 0.0f32;
+                for cj in lo..=hi {
+                    let v = input.at(cj, y, x);
+                    energy += v * v;
+                }
+                let denom = (K + ALPHA / SIZE as f32 * energy).powf(BETA);
+                out.set(ci, y, x, input.at(ci, y, x) / denom);
+            }
+        }
+    }
+    out
+}
+
+/// Fully-connected layer: flattens logically in `(c, h, w)` order and
+/// multiplies by the row-major `out × (c·h·w)` weight matrix.
+pub(crate) fn fully_connected(input: &Tensor, weights: &[f32], out_n: usize, layout: Layout) -> Tensor {
+    let (c, h, w) = input.dims();
+    let in_len = c * h * w;
+    debug_assert_eq!(weights.len(), out_n * in_len);
+    let mut out = Tensor::zeros(out_n, 1, 1, layout);
+    for o in 0..out_n {
+        let row = &weights[o * in_len..(o + 1) * in_len];
+        let mut acc = 0.0f32;
+        let mut ix = 0;
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    acc += input.at(ci, y, x) * row[ix];
+                    ix += 1;
+                }
+            }
+        }
+        out.set(o, 0, 0, acc);
+    }
+    out
+}
+
+/// Channel concatenation of several same-spatial-size tensors.
+pub(crate) fn concat(inputs: &[&Tensor], layout: Layout) -> Tensor {
+    let (_, h, w) = inputs[0].dims();
+    let c_total: usize = inputs.iter().map(|t| t.channels()).sum();
+    let mut out = Tensor::zeros(c_total, h, w, layout);
+    let mut c_base = 0;
+    for t in inputs {
+        let (c, th, tw) = t.dims();
+        debug_assert_eq!((th, tw), (h, w), "concat inputs must agree spatially");
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    out.set(c_base + ci, y, x, t.at(ci, y, x));
+                }
+            }
+        }
+        c_base += c;
+    }
+    out
+}
+
+/// Numerically-stable softmax over the flattened tensor.
+pub(crate) fn softmax(input: &Tensor, layout: Layout) -> Tensor {
+    let (c, h, w) = input.dims();
+    let mut out = Tensor::zeros(c, h, w, layout);
+    let mut max = f32::NEG_INFINITY;
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                max = max.max(input.at(ci, y, x));
+            }
+        }
+    }
+    let mut total = 0.0f32;
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                total += (input.at(ci, y, x) - max).exp();
+            }
+        }
+    }
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out.set(ci, y, x, (input.at(ci, y, x) - max).exp() / total);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_in_any_layout() {
+        for &layout in &[Layout::Chw, Layout::Hwc, Layout::Chw4] {
+            let t = Tensor::from_fn(3, 2, 2, layout, |c, h, w| (c + h + w) as f32 - 2.0);
+            let r = relu(&t, layout);
+            for c in 0..3 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        assert_eq!(r.at(c, h, w), ((c + h + w) as f32 - 2.0).max(0.0));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_pool_matches_hand_computation() {
+        // 1x4x4 ramp, 2x2/2 max pool -> corners of each quadrant.
+        let t = Tensor::from_fn(1, 4, 4, Layout::Chw, |_, h, w| (h * 4 + w) as f32);
+        let p = pool(&t, Layout::Chw, PoolKind::Max, 2, 2, 0);
+        assert_eq!(p.dims(), (1, 2, 2));
+        assert_eq!(p.at(0, 0, 0), 5.0);
+        assert_eq!(p.at(0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn avg_pool_divides_by_the_actual_window() {
+        let t = Tensor::from_fn(1, 2, 2, Layout::Chw, |_, _, _| 4.0);
+        // 3x3/1 pad 1: corner windows see 4 valid elements.
+        let p = pool(&t, Layout::Chw, PoolKind::Avg, 3, 1, 1);
+        assert_eq!(p.at(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::random(10, 1, 1, Layout::Chw, 3);
+        let s = softmax(&t, Layout::Chw);
+        let total: f32 = (0..10).map(|c| s.at(c, 0, 0)).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::from_fn(1, 2, 2, Layout::Chw, |_, _, _| 1.0);
+        let b = Tensor::from_fn(2, 2, 2, Layout::Hwc, |_, _, _| 2.0);
+        let cat = concat(&[&a, &b], Layout::Chw);
+        assert_eq!(cat.dims(), (3, 2, 2));
+        assert_eq!(cat.at(0, 0, 0), 1.0);
+        assert_eq!(cat.at(2, 1, 1), 2.0);
+    }
+
+    #[test]
+    fn fc_computes_a_dot_product() {
+        let t = Tensor::from_fn(2, 1, 2, Layout::Chw, |c, _, w| (c * 2 + w) as f32);
+        // weights: one output neuron, all ones -> sum of inputs = 0+1+2+3.
+        let out = fully_connected(&t, &[1.0; 4], 1, Layout::Chw);
+        assert_eq!(out.at(0, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn lrn_preserves_shape_and_shrinks_magnitudes() {
+        let t = Tensor::random(8, 3, 3, Layout::Chw, 5);
+        let n = lrn(&t, Layout::Chw);
+        assert_eq!(n.dims(), t.dims());
+        for c in 0..8 {
+            assert!(n.at(c, 1, 1).abs() <= t.at(c, 1, 1).abs() + 1e-6);
+        }
+    }
+}

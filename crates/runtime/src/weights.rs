@@ -1,0 +1,105 @@
+use std::collections::HashMap;
+
+use pbqp_dnn_graph::{DnnGraph, LayerKind, NodeId};
+use pbqp_dnn_tensor::KernelTensor;
+
+/// Trained parameters for a network: convolution kernels and
+/// fully-connected weight matrices (bias-free, like the paper's
+/// convolution-focused formulation).
+///
+/// Convolution kernels honour each scenario's sparsity ratio, so the §8
+/// sparse primitives see genuinely sparse weights.
+#[derive(Debug, Clone)]
+pub struct Weights {
+    conv: HashMap<usize, KernelTensor>,
+    fc: HashMap<usize, Vec<f32>>,
+}
+
+impl Weights {
+    /// Deterministic pseudo-random weights for every parameterized layer.
+    pub fn random(graph: &DnnGraph, seed: u64) -> Weights {
+        let shapes = graph.infer_shapes().expect("valid graph");
+        let mut conv = HashMap::new();
+        let mut fc = HashMap::new();
+        for node in graph.node_ids() {
+            match &graph.layer(node).kind {
+                LayerKind::Conv(s) => {
+                    let mut k = KernelTensor::random(
+                        s.m,
+                        s.c,
+                        s.k,
+                        s.k,
+                        seed ^ (node.index() as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    if s.sparsity_pm > 0 {
+                        k.sparsify(s.sparsity(), seed ^ 0x5EED);
+                    }
+                    conv.insert(node.index(), k);
+                }
+                LayerKind::FullyConnected { out } => {
+                    let (c, h, w) = shapes[graph.predecessors(node)[0].index()];
+                    let len = out * c * h * w;
+                    let mut state =
+                        (seed ^ (node.index() as u64).wrapping_mul(0x2545f4914f6cdd1d)).max(1);
+                    // Scale down so deep stacks of FC layers stay in range.
+                    let scale = 1.0 / (c * h * w) as f32;
+                    let data: Vec<f32> = (0..len)
+                        .map(|_| {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            (((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0) * scale
+                        })
+                        .collect();
+                    fc.insert(node.index(), data);
+                }
+                _ => {}
+            }
+        }
+        Weights { conv, fc }
+    }
+
+    /// Kernel of the conv layer at `node`.
+    pub fn conv_kernel(&self, node: NodeId) -> Option<&KernelTensor> {
+        self.conv.get(&node.index())
+    }
+
+    /// Mutable kernel access (e.g. to sparsify after construction).
+    pub fn conv_kernel_mut(&mut self, node: NodeId) -> Option<&mut KernelTensor> {
+        self.conv.get_mut(&node.index())
+    }
+
+    /// Row-major `out × (c·h·w)` weight matrix of the FC layer at `node`.
+    pub fn fc_matrix(&self, node: NodeId) -> Option<&[f32]> {
+        self.fc.get(&node.index()).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbqp_dnn_graph::models;
+
+    #[test]
+    fn alexnet_weights_cover_all_parameterized_layers() {
+        let net = models::alexnet();
+        let w = Weights::random(&net, 1);
+        for node in net.conv_nodes() {
+            assert!(w.conv_kernel(node).is_some());
+        }
+        assert!(w.fc_matrix(net.find("fc6").unwrap()).is_some());
+        assert!(w.fc_matrix(net.find("fc8").unwrap()).is_some());
+        assert!(w.conv_kernel(net.find("relu1").unwrap()).is_none());
+    }
+
+    #[test]
+    fn weights_are_deterministic_per_seed() {
+        let net = models::alexnet();
+        let a = Weights::random(&net, 9);
+        let b = Weights::random(&net, 9);
+        let c = Weights::random(&net, 10);
+        let conv1 = net.find("conv1").unwrap();
+        assert_eq!(a.conv_kernel(conv1), b.conv_kernel(conv1));
+        assert_ne!(a.conv_kernel(conv1), c.conv_kernel(conv1));
+    }
+}

@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Layout;
+
+/// Errors produced by tensor construction and layout conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A layout name failed to parse.
+    UnknownLayout(String),
+    /// Supplied buffer length does not match the layout's storage length.
+    LengthMismatch {
+        /// Required number of elements for the tensor's dims and layout.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors were expected to share dimensions but do not.
+    ShapeMismatch {
+        /// Dimensions of the left operand.
+        left: (usize, usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize, usize),
+    },
+    /// No direct transformation routine exists between two layouts.
+    NoDirectTransform {
+        /// Source layout.
+        from: Layout,
+        /// Destination layout.
+        to: Layout,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::UnknownLayout(s) => write!(f, "unknown layout name `{s}`"),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer of {actual} elements, layout requires {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::NoDirectTransform { from, to } => {
+                write!(f, "no direct layout transformation from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}

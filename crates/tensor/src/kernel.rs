@@ -1,0 +1,203 @@
+use std::fmt;
+
+use crate::TensorError;
+
+/// A 4-D convolution kernel tensor: `M` filters, each with `C` channels of
+/// `kh × kw` taps, stored in `M × C × Kh × Kw` order.
+///
+/// The paper's optimization problem assigns layouts to the *feature map*
+/// edges of the DNN graph only; kernels are constant after training, so each
+/// primitive is free to repack its weights once at plan-build time. The
+/// canonical storage order here is therefore fixed, and primitives that want
+/// e.g. a transposed GEMM operand derive it internally.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_tensor::KernelTensor;
+///
+/// let k = KernelTensor::from_fn(2, 3, 3, 3, |m, c, i, j| (m + c + i + j) as f32);
+/// assert_eq!(k.at(1, 2, 0, 1), 4.0);
+/// assert_eq!(k.dims(), (2, 3, 3, 3));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct KernelTensor {
+    m: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+    data: Vec<f32>,
+}
+
+impl KernelTensor {
+    /// Creates a zero-filled kernel tensor.
+    pub fn zeros(m: usize, c: usize, kh: usize, kw: usize) -> KernelTensor {
+        KernelTensor { m, c, kh, kw, data: vec![0.0; m * c * kh * kw] }
+    }
+
+    /// Creates a kernel tensor whose element `(m, c, i, j)` is `f(m, c, i, j)`.
+    pub fn from_fn<F>(m: usize, c: usize, kh: usize, kw: usize, mut f: F) -> KernelTensor
+    where
+        F: FnMut(usize, usize, usize, usize) -> f32,
+    {
+        let mut k = KernelTensor::zeros(m, c, kh, kw);
+        for mi in 0..m {
+            for ci in 0..c {
+                for i in 0..kh {
+                    for j in 0..kw {
+                        k.set(mi, ci, i, j, f(mi, ci, i, j));
+                    }
+                }
+            }
+        }
+        k
+    }
+
+    /// Wraps an existing buffer in `M × C × Kh × Kw` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] on a wrong-sized buffer.
+    pub fn from_vec(
+        m: usize,
+        c: usize,
+        kh: usize,
+        kw: usize,
+        data: Vec<f32>,
+    ) -> Result<KernelTensor, TensorError> {
+        let expected = m * c * kh * kw;
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+        }
+        Ok(KernelTensor { m, c, kh, kw, data })
+    }
+
+    /// Deterministic pseudo-random kernel in `[-1, 1)` (see
+    /// [`crate::Tensor::random`]).
+    pub fn random(m: usize, c: usize, kh: usize, kw: usize, seed: u64) -> KernelTensor {
+        let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).max(1);
+        KernelTensor::from_fn(m, c, kh, kw, |_, _, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        })
+    }
+
+    /// Kernel dimensions `(m, c, kh, kw)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.m, self.c, self.kh, self.kw)
+    }
+
+    /// Number of output feature maps `M`.
+    pub fn filters(&self) -> usize {
+        self.m
+    }
+
+    /// Number of input channels `C`.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kw
+    }
+
+    /// Raw storage in `M × C × Kh × Kw` order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Linear offset of `(m, c, i, j)`.
+    #[inline]
+    pub fn offset(&self, m: usize, c: usize, i: usize, j: usize) -> usize {
+        debug_assert!(m < self.m && c < self.c && i < self.kh && j < self.kw);
+        ((m * self.c + c) * self.kh + i) * self.kw + j
+    }
+
+    /// Element at `(m, c, i, j)`.
+    #[inline]
+    pub fn at(&self, m: usize, c: usize, i: usize, j: usize) -> f32 {
+        self.data[self.offset(m, c, i, j)]
+    }
+
+    /// Stores `v` at `(m, c, i, j)`.
+    #[inline]
+    pub fn set(&mut self, m: usize, c: usize, i: usize, j: usize, v: f32) {
+        let off = self.offset(m, c, i, j);
+        self.data[off] = v;
+    }
+
+    /// Applies a sparsity mask: zeroes every weight whose deterministic hash
+    /// falls below `ratio` (0 = dense, 1 = all-zero). Used by the sparse
+    /// primitive extension (§8 of the paper).
+    pub fn sparsify(&mut self, ratio: f64, seed: u64) {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        for v in &mut self.data {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            if u < ratio {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Fraction of exactly-zero weights.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+}
+
+impl fmt::Debug for KernelTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelTensor")
+            .field("m", &self.m)
+            .field("c", &self.c)
+            .field("kh", &self.kh)
+            .field("kw", &self.kw)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_at_round_trip() {
+        let mut k = KernelTensor::zeros(2, 3, 2, 2);
+        k.set(1, 2, 1, 0, 5.5);
+        assert_eq!(k.at(1, 2, 1, 0), 5.5);
+        assert_eq!(k.data().iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(KernelTensor::from_vec(2, 2, 3, 3, vec![0.0; 36]).is_ok());
+        assert!(KernelTensor::from_vec(2, 2, 3, 3, vec![0.0; 35]).is_err());
+    }
+
+    #[test]
+    fn sparsify_hits_requested_ratio_approximately() {
+        let mut k = KernelTensor::random(8, 8, 3, 3, 7);
+        assert_eq!(k.sparsity(), 0.0);
+        k.sparsify(0.5, 99);
+        let s = k.sparsity();
+        assert!((0.4..0.6).contains(&s), "sparsity {s}");
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = KernelTensor::random(2, 2, 3, 3, 11);
+        let b = KernelTensor::random(2, 2, 3, 3, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,225 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::TensorError;
+
+/// Physical memory layout of a `(c, h, w)` feature-map tensor.
+///
+/// The six permutation layouts store the three logical dimensions in the
+/// named order, outermost first; e.g. [`Layout::Hwc`] stores rows outermost
+/// and channels innermost (the "channels-last" layout). The blocked layouts
+/// [`Layout::Chw4`] and [`Layout::Chw8`] pad the channel count up to a
+/// multiple of the block and interleave one channel block innermost
+/// (`[C/b][H][W][b]`), which is the natural input format for 4- and 8-lane
+/// vectorized kernels.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_tensor::Layout;
+///
+/// assert_eq!(Layout::Hwc.to_string(), "HWC");
+/// assert_eq!("CHWc8".parse::<Layout>().unwrap(), Layout::Chw8);
+/// assert_eq!(Layout::ALL.len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layout {
+    /// Channel-major planar layout (`C × H × W`), Caffe's canonical layout.
+    Chw,
+    /// `C × W × H`: channel-major with transposed spatial plane.
+    Cwh,
+    /// `H × C × W`: row-major over channel strips.
+    Hcw,
+    /// `H × W × C`: channels-last (interleaved) layout.
+    Hwc,
+    /// `W × C × H`: column-major over channel strips.
+    Wch,
+    /// `W × H × C`: column-major channels-last layout.
+    Whc,
+    /// Channel-blocked `[C/4][H][W][4]` layout for 4-lane vector kernels.
+    Chw4,
+    /// Channel-blocked `[C/8][H][W][8]` layout for 8-lane vector kernels.
+    Chw8,
+}
+
+impl Layout {
+    /// Every layout supported by the system, in a stable order.
+    ///
+    /// The order is used to index the data-layout transformation graph, so
+    /// it must not change between runs.
+    pub const ALL: [Layout; 8] = [
+        Layout::Chw,
+        Layout::Cwh,
+        Layout::Hcw,
+        Layout::Hwc,
+        Layout::Wch,
+        Layout::Whc,
+        Layout::Chw4,
+        Layout::Chw8,
+    ];
+
+    /// The three plain permutation layouts used by published convolution
+    /// algorithms (§5.3 of the paper): `CHW`, `HCW` and `HWC`.
+    pub const PRIMARY: [Layout; 3] = [Layout::Chw, Layout::Hcw, Layout::Hwc];
+
+    /// Stable small integer id of this layout (its index in [`Layout::ALL`]).
+    pub fn index(self) -> usize {
+        Layout::ALL.iter().position(|&l| l == self).expect("layout in ALL")
+    }
+
+    /// Channel-block width: 4 or 8 for the blocked layouts, 1 otherwise.
+    pub fn channel_block(self) -> usize {
+        match self {
+            Layout::Chw4 => 4,
+            Layout::Chw8 => 8,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is one of the channel-blocked layouts.
+    pub fn is_blocked(self) -> bool {
+        self.channel_block() > 1
+    }
+
+    /// Number of `f32` elements a `(c, h, w)` tensor occupies in this layout
+    /// (channel counts are padded up to the block width for blocked layouts).
+    pub fn storage_len(self, c: usize, h: usize, w: usize) -> usize {
+        let b = self.channel_block();
+        c.div_ceil(b) * b * h * w
+    }
+
+    /// Linear offset of logical element `(c, h, w)` in a tensor of logical
+    /// dimensions `(dims_c, dims_h, dims_w)` stored in this layout.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the coordinates are in range.
+    #[inline]
+    pub fn offset(
+        self,
+        (dims_c, dims_h, dims_w): (usize, usize, usize),
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> usize {
+        debug_assert!(c < dims_c && h < dims_h && w < dims_w);
+        match self {
+            Layout::Chw => (c * dims_h + h) * dims_w + w,
+            Layout::Cwh => (c * dims_w + w) * dims_h + h,
+            Layout::Hcw => (h * dims_c + c) * dims_w + w,
+            Layout::Hwc => (h * dims_w + w) * dims_c + c,
+            Layout::Wch => (w * dims_c + c) * dims_h + h,
+            Layout::Whc => (w * dims_h + h) * dims_c + c,
+            Layout::Chw4 => {
+                let cb = dims_c.div_ceil(4);
+                debug_assert!(c / 4 < cb);
+                (((c / 4) * dims_h + h) * dims_w + w) * 4 + c % 4
+            }
+            Layout::Chw8 => {
+                let cb = dims_c.div_ceil(8);
+                debug_assert!(c / 8 < cb);
+                (((c / 8) * dims_h + h) * dims_w + w) * 8 + c % 8
+            }
+        }
+    }
+
+    /// Short human-readable name, e.g. `"CHW"` or `"CHWc8"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Chw => "CHW",
+            Layout::Cwh => "CWH",
+            Layout::Hcw => "HCW",
+            Layout::Hwc => "HWC",
+            Layout::Wch => "WCH",
+            Layout::Whc => "WHC",
+            Layout::Chw4 => "CHWc4",
+            Layout::Chw8 => "CHWc8",
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Layout {
+    type Err = TensorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Layout::ALL
+            .iter()
+            .copied()
+            .find(|l| l.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| TensorError::UnknownLayout(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn indices_are_stable_and_unique() {
+        let ids: HashSet<usize> = Layout::ALL.iter().map(|l| l.index()).collect();
+        assert_eq!(ids.len(), Layout::ALL.len());
+        assert_eq!(Layout::Chw.index(), 0);
+        assert_eq!(Layout::Chw8.index(), 7);
+    }
+
+    #[test]
+    fn offsets_are_bijective_for_every_layout() {
+        let dims = (5, 3, 4);
+        for &layout in &Layout::ALL {
+            let mut seen = HashSet::new();
+            let len = layout.storage_len(dims.0, dims.1, dims.2);
+            for c in 0..dims.0 {
+                for h in 0..dims.1 {
+                    for w in 0..dims.2 {
+                        let off = layout.offset(dims, c, h, w);
+                        assert!(off < len, "{layout}: offset {off} >= len {len}");
+                        assert!(seen.insert(off), "{layout}: duplicate offset {off}");
+                    }
+                }
+            }
+            assert_eq!(seen.len(), dims.0 * dims.1 * dims.2);
+        }
+    }
+
+    #[test]
+    fn blocked_storage_is_padded() {
+        assert_eq!(Layout::Chw4.storage_len(3, 2, 2), 4 * 2 * 2);
+        assert_eq!(Layout::Chw8.storage_len(3, 2, 2), 8 * 2 * 2);
+        assert_eq!(Layout::Chw.storage_len(3, 2, 2), 12);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for &layout in &Layout::ALL {
+            assert_eq!(layout.name().parse::<Layout>().unwrap(), layout);
+        }
+        assert!("NCHW16".parse::<Layout>().is_err());
+    }
+
+    #[test]
+    fn contiguity_of_innermost_dimension() {
+        let dims = (8, 4, 4);
+        // In CHW, consecutive w are adjacent.
+        assert_eq!(
+            Layout::Chw.offset(dims, 1, 2, 3),
+            Layout::Chw.offset(dims, 1, 2, 2) + 1
+        );
+        // In HWC, consecutive c are adjacent.
+        assert_eq!(
+            Layout::Hwc.offset(dims, 3, 2, 1),
+            Layout::Hwc.offset(dims, 2, 2, 1) + 1
+        );
+        // In CHWc8, channels within one block are adjacent.
+        assert_eq!(
+            Layout::Chw8.offset(dims, 5, 2, 1),
+            Layout::Chw8.offset(dims, 4, 2, 1) + 1
+        );
+    }
+}

@@ -1,0 +1,302 @@
+use std::fmt;
+
+use crate::{Layout, TensorError};
+
+/// A dense single-precision feature-map tensor with logical dimensions
+/// `(c, h, w)` stored in one of the supported [`Layout`]s.
+///
+/// All convolution primitives in the workspace consume and produce
+/// `Tensor`s. The logical view is always `(channel, row, column)`;
+/// [`Tensor::at`] and [`Tensor::set`] translate through the layout, while
+/// [`Tensor::data`] exposes the raw storage for layout-aware kernels.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_tensor::{Layout, Tensor};
+///
+/// let mut t = Tensor::zeros(2, 3, 3, Layout::Hwc);
+/// t.set(1, 2, 0, 7.0);
+/// assert_eq!(t.at(1, 2, 0), 7.0);
+/// assert_eq!(t.data().len(), 2 * 3 * 3);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    dims: (usize, usize, usize),
+    layout: Layout,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of logical dimensions `(c, h, w)`.
+    pub fn zeros(c: usize, h: usize, w: usize, layout: Layout) -> Tensor {
+        Tensor {
+            dims: (c, h, w),
+            layout,
+            data: vec![0.0; layout.storage_len(c, h, w)],
+        }
+    }
+
+    /// Creates a tensor whose element `(c, h, w)` is `f(c, h, w)`.
+    pub fn from_fn<F>(c: usize, h: usize, w: usize, layout: Layout, mut f: F) -> Tensor
+    where
+        F: FnMut(usize, usize, usize) -> f32,
+    {
+        let mut t = Tensor::zeros(c, h, w, layout);
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    t.set(ci, hi, wi, f(ci, hi, wi));
+                }
+            }
+        }
+        t
+    }
+
+    /// Wraps an existing buffer as a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the storage length required by `layout` for the given dimensions.
+    pub fn from_vec(
+        c: usize,
+        h: usize,
+        w: usize,
+        layout: Layout,
+        data: Vec<f32>,
+    ) -> Result<Tensor, TensorError> {
+        let expected = layout.storage_len(c, h, w);
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+        }
+        Ok(Tensor { dims: (c, h, w), layout, data })
+    }
+
+    /// Creates a deterministic pseudo-random tensor.
+    ///
+    /// This is the input generator used by the profiler: layer cost depends
+    /// on dimensions rather than values (§3.1 of the paper), but correctness
+    /// tests want reproducible data. A small multiplicative LCG keeps the
+    /// crate free of external dependencies.
+    pub fn random(c: usize, h: usize, w: usize, layout: Layout, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        Tensor::from_fn(c, h, w, layout, |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Map the top 24 bits to [-1, 1).
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        })
+    }
+
+    /// Logical dimensions `(c, h, w)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.dims.0
+    }
+
+    /// Feature-map height.
+    pub fn height(&self) -> usize {
+        self.dims.1
+    }
+
+    /// Feature-map width.
+    pub fn width(&self) -> usize {
+        self.dims.2
+    }
+
+    /// The physical layout of the storage.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Raw storage slice (layout order, including any blocked padding).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw storage slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at logical position `(c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a coordinate is out of range.
+    #[inline]
+    pub fn at(&self, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.layout.offset(self.dims, c, h, w)]
+    }
+
+    /// Stores `v` at logical position `(c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a coordinate is out of range.
+    #[inline]
+    pub fn set(&mut self, c: usize, h: usize, w: usize, v: f32) {
+        let off = self.layout.offset(self.dims, c, h, w);
+        self.data[off] = v;
+    }
+
+    /// Linear offset of `(c, h, w)` in [`Tensor::data`].
+    #[inline]
+    pub fn offset(&self, c: usize, h: usize, w: usize) -> usize {
+        self.layout.offset(self.dims, c, h, w)
+    }
+
+    /// Copies this tensor into a new tensor with layout `layout`.
+    ///
+    /// This is the generic (slow-path) conversion; the optimized direct
+    /// transformation primitives live in [`crate::transform`].
+    pub fn to_layout(&self, layout: Layout) -> Tensor {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let (c, h, w) = self.dims;
+        let mut out = Tensor::zeros(c, h, w, layout);
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    out.set(ci, hi, wi, self.at(ci, hi, wi));
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference to `other`, comparing
+    /// logical values (layouts may differ).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dimensions differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch { left: self.dims, right: other.dims });
+        }
+        let (c, h, w) = self.dims;
+        let mut worst = 0.0f32;
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    worst = worst.max((self.at(ci, hi, wi) - other.at(ci, hi, wi)).abs());
+                }
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Whether every element matches `other` within absolute tolerance
+    /// `tol`, irrespective of layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dimensions differ.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> Result<bool, TensorError> {
+        Ok(self.max_abs_diff(other)? <= tol)
+    }
+
+    /// Sum of all logical elements (useful as a cheap checksum in tests).
+    pub fn checksum(&self) -> f64 {
+        let (c, h, w) = self.dims;
+        let mut acc = 0.0f64;
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    acc += f64::from(self.at(ci, hi, wi));
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tensor")
+            .field("dims", &self.dims)
+            .field("layout", &self.layout)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_all_zero_in_every_layout() {
+        for &layout in &Layout::ALL {
+            let t = Tensor::zeros(5, 3, 2, layout);
+            assert!(t.data().iter().all(|&x| x == 0.0));
+            assert_eq!(t.checksum(), 0.0);
+        }
+    }
+
+    #[test]
+    fn set_then_at_round_trips_everywhere() {
+        for &layout in &Layout::ALL {
+            let mut t = Tensor::zeros(5, 4, 3, layout);
+            let mut v = 0.0;
+            for c in 0..5 {
+                for h in 0..4 {
+                    for w in 0..3 {
+                        v += 1.0;
+                        t.set(c, h, w, v);
+                    }
+                }
+            }
+            let mut expect = 0.0;
+            for c in 0..5 {
+                for h in 0..4 {
+                    for w in 0..3 {
+                        expect += 1.0;
+                        assert_eq!(t.at(c, h, w), expect, "layout {layout}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_layout_preserves_values() {
+        let t = Tensor::from_fn(6, 5, 4, Layout::Chw, |c, h, w| (c * 100 + h * 10 + w) as f32);
+        for &layout in &Layout::ALL {
+            let u = t.to_layout(layout);
+            assert_eq!(u.max_abs_diff(&t).unwrap(), 0.0, "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(2, 2, 2, Layout::Chw, vec![0.0; 8]).is_ok());
+        let err = Tensor::from_vec(2, 2, 2, Layout::Chw, vec![0.0; 7]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 8, actual: 7 });
+        // Blocked layout requires padded storage.
+        assert!(Tensor::from_vec(3, 2, 2, Layout::Chw4, vec![0.0; 16]).is_ok());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_seed_sensitive() {
+        let a = Tensor::random(3, 4, 5, Layout::Chw, 42);
+        let b = Tensor::random(3, 4, 5, Layout::Chw, 42);
+        let c = Tensor::random(3, 4, 5, Layout::Chw, 43);
+        assert_eq!(a, b);
+        assert!(a.max_abs_diff(&c).unwrap() > 0.0);
+        assert!(a.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Tensor::zeros(1, 2, 3, Layout::Chw);
+        let b = Tensor::zeros(1, 2, 4, Layout::Chw);
+        assert!(matches!(a.max_abs_diff(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+}

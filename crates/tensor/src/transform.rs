@@ -1,0 +1,223 @@
+//! Direct data-layout transformation routines.
+//!
+//! The paper (§3.1) models layout conversion with a *data-layout
+//! transformation graph*: nodes are layouts, directed edges are the direct
+//! conversion routines the library happens to provide. The edge set is
+//! deliberately **incomplete** — converting between two layouts without a
+//! direct routine requires a chain through intermediate layouts, found by
+//! all-pairs shortest path in the cost crate.
+//!
+//! This module provides the direct routines themselves. A handful of hot
+//! pairs (planar ↔ interleaved, planar ↔ blocked) have hand-written loops;
+//! the remaining registered pairs go through the generic permutation copy.
+
+use crate::{Layout, Tensor, TensorError};
+
+/// A direct layout transformation: source layout, destination layout, and
+/// the routine's registry name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectTransform {
+    /// Layout consumed.
+    pub from: Layout,
+    /// Layout produced.
+    pub to: Layout,
+    /// Stable routine name, e.g. `"chw_to_hwc"`.
+    pub name: &'static str,
+}
+
+/// The direct transformation routines shipped with the library.
+///
+/// This is the edge set of the data-layout transformation (DT) graph. It is
+/// intentionally not the complete 8×7 pair set: several conversions (e.g.
+/// `WCH → CHW`, `CHWc8 → HWC`) require chains, exercising the paper's
+/// shortest-path machinery.
+pub const DIRECT_TRANSFORMS: [DirectTransform; 18] = [
+    DirectTransform { from: Layout::Chw, to: Layout::Hwc, name: "chw_to_hwc" },
+    DirectTransform { from: Layout::Hwc, to: Layout::Chw, name: "hwc_to_chw" },
+    DirectTransform { from: Layout::Chw, to: Layout::Hcw, name: "chw_to_hcw" },
+    DirectTransform { from: Layout::Hcw, to: Layout::Chw, name: "hcw_to_chw" },
+    DirectTransform { from: Layout::Hcw, to: Layout::Hwc, name: "hcw_to_hwc" },
+    DirectTransform { from: Layout::Hwc, to: Layout::Hcw, name: "hwc_to_hcw" },
+    DirectTransform { from: Layout::Chw, to: Layout::Cwh, name: "chw_to_cwh" },
+    DirectTransform { from: Layout::Cwh, to: Layout::Chw, name: "cwh_to_chw" },
+    DirectTransform { from: Layout::Hwc, to: Layout::Whc, name: "hwc_to_whc" },
+    DirectTransform { from: Layout::Whc, to: Layout::Hwc, name: "whc_to_hwc" },
+    DirectTransform { from: Layout::Whc, to: Layout::Wch, name: "whc_to_wch" },
+    DirectTransform { from: Layout::Wch, to: Layout::Whc, name: "wch_to_whc" },
+    DirectTransform { from: Layout::Cwh, to: Layout::Wch, name: "cwh_to_wch" },
+    DirectTransform { from: Layout::Chw, to: Layout::Chw4, name: "pack_c4" },
+    DirectTransform { from: Layout::Chw4, to: Layout::Chw, name: "unpack_c4" },
+    DirectTransform { from: Layout::Chw, to: Layout::Chw8, name: "pack_c8" },
+    DirectTransform { from: Layout::Chw8, to: Layout::Chw, name: "unpack_c8" },
+    DirectTransform { from: Layout::Chw4, to: Layout::Chw8, name: "rebl_c4_c8" },
+];
+
+/// Whether a direct routine exists from `from` to `to`.
+pub fn has_direct(from: Layout, to: Layout) -> bool {
+    DIRECT_TRANSFORMS.iter().any(|t| t.from == from && t.to == to)
+}
+
+/// Applies the direct transformation routine from `t.layout()` to `to`.
+///
+/// Hot pairs use specialized loops that walk the destination contiguously;
+/// other registered pairs use the generic permutation copy.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NoDirectTransform`] when the pair is not in
+/// [`DIRECT_TRANSFORMS`]; callers that need an arbitrary conversion should
+/// run a chain computed from the DT graph instead.
+pub fn apply_direct(t: &Tensor, to: Layout) -> Result<Tensor, TensorError> {
+    let from = t.layout();
+    if !has_direct(from, to) {
+        return Err(TensorError::NoDirectTransform { from, to });
+    }
+    Ok(match (from, to) {
+        (Layout::Chw, Layout::Hwc) => chw_to_hwc(t),
+        (Layout::Hwc, Layout::Chw) => hwc_to_chw(t),
+        (Layout::Chw, Layout::Chw4) => pack_blocked(t, Layout::Chw4),
+        (Layout::Chw, Layout::Chw8) => pack_blocked(t, Layout::Chw8),
+        (Layout::Chw4, Layout::Chw) | (Layout::Chw8, Layout::Chw) => unpack_blocked(t),
+        _ => t.to_layout(to),
+    })
+}
+
+/// Planar → interleaved with destination-contiguous inner loop.
+fn chw_to_hwc(t: &Tensor) -> Tensor {
+    let (c, h, w) = t.dims();
+    debug_assert_eq!(t.layout(), Layout::Chw);
+    let src = t.data();
+    let mut dst = vec![0.0f32; c * h * w];
+    for hi in 0..h {
+        for wi in 0..w {
+            let out_base = (hi * w + wi) * c;
+            let in_base = hi * w + wi;
+            for ci in 0..c {
+                dst[out_base + ci] = src[ci * h * w + in_base];
+            }
+        }
+    }
+    Tensor::from_vec(c, h, w, Layout::Hwc, dst).expect("sized correctly")
+}
+
+/// Interleaved → planar with destination-contiguous inner loop.
+fn hwc_to_chw(t: &Tensor) -> Tensor {
+    let (c, h, w) = t.dims();
+    debug_assert_eq!(t.layout(), Layout::Hwc);
+    let src = t.data();
+    let mut dst = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        let out_plane = ci * h * w;
+        for hi in 0..h {
+            for wi in 0..w {
+                dst[out_plane + hi * w + wi] = src[(hi * w + wi) * c + ci];
+            }
+        }
+    }
+    Tensor::from_vec(c, h, w, Layout::Chw, dst).expect("sized correctly")
+}
+
+/// Planar → channel-blocked (pads the channel tail with zeros).
+fn pack_blocked(t: &Tensor, to: Layout) -> Tensor {
+    let (c, h, w) = t.dims();
+    debug_assert_eq!(t.layout(), Layout::Chw);
+    let b = to.channel_block();
+    let src = t.data();
+    let mut out = Tensor::zeros(c, h, w, to);
+    let dst = out.data_mut();
+    for ci in 0..c {
+        let blk = ci / b;
+        let lane = ci % b;
+        let in_plane = ci * h * w;
+        for hi in 0..h {
+            for wi in 0..w {
+                dst[((blk * h + hi) * w + wi) * b + lane] = src[in_plane + hi * w + wi];
+            }
+        }
+    }
+    out
+}
+
+/// Channel-blocked → planar (drops padding lanes).
+fn unpack_blocked(t: &Tensor) -> Tensor {
+    let (c, h, w) = t.dims();
+    let b = t.layout().channel_block();
+    debug_assert!(b > 1);
+    let src = t.data();
+    let mut dst = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        let blk = ci / b;
+        let lane = ci % b;
+        let out_plane = ci * h * w;
+        for hi in 0..h {
+            for wi in 0..w {
+                dst[out_plane + hi * w + wi] = src[((blk * h + hi) * w + wi) * b + lane];
+            }
+        }
+    }
+    Tensor::from_vec(c, h, w, Layout::Chw, dst).expect("sized correctly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: usize, h: usize, w: usize, layout: Layout) -> Tensor {
+        Tensor::from_fn(c, h, w, layout, |ci, hi, wi| (ci * 1000 + hi * 10 + wi) as f32)
+    }
+
+    #[test]
+    fn every_registered_transform_preserves_values() {
+        for t in DIRECT_TRANSFORMS {
+            let src = sample(7, 5, 6, t.from);
+            let dst = apply_direct(&src, t.to).unwrap();
+            assert_eq!(dst.layout(), t.to, "{}", t.name);
+            assert_eq!(dst.max_abs_diff(&src).unwrap(), 0.0, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn unregistered_pairs_are_rejected() {
+        let src = sample(4, 4, 4, Layout::Wch);
+        let err = apply_direct(&src, Layout::Chw).unwrap_err();
+        assert_eq!(err, TensorError::NoDirectTransform { from: Layout::Wch, to: Layout::Chw });
+    }
+
+    #[test]
+    fn dt_graph_is_not_complete_but_has_nontrivial_edges() {
+        let pairs = DIRECT_TRANSFORMS.len();
+        let complete = Layout::ALL.len() * (Layout::ALL.len() - 1);
+        assert!(pairs < complete, "DT graph must be incomplete to exercise chains");
+        assert!(pairs >= 16);
+    }
+
+    #[test]
+    fn specialized_loops_match_generic_copy() {
+        let src = sample(9, 6, 5, Layout::Chw);
+        assert_eq!(
+            apply_direct(&src, Layout::Hwc).unwrap().data(),
+            src.to_layout(Layout::Hwc).data()
+        );
+        let inter = sample(9, 6, 5, Layout::Hwc);
+        assert_eq!(
+            apply_direct(&inter, Layout::Chw).unwrap().data(),
+            inter.to_layout(Layout::Chw).data()
+        );
+        let blocked = apply_direct(&src, Layout::Chw8).unwrap();
+        assert_eq!(blocked.data(), src.to_layout(Layout::Chw8).data());
+        assert_eq!(apply_direct(&blocked, Layout::Chw).unwrap().data(), src.data());
+    }
+
+    #[test]
+    fn pack_pads_channel_tail_with_zeros() {
+        let src = sample(3, 2, 2, Layout::Chw);
+        let blocked = apply_direct(&src, Layout::Chw4).unwrap();
+        // Lane 3 of the single block is padding.
+        let data = blocked.data();
+        for hi in 0..2 {
+            for wi in 0..2 {
+                assert_eq!(data[(hi * 2 + wi) * 4 + 3], 0.0);
+            }
+        }
+    }
+}

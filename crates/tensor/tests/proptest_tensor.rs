@@ -1,0 +1,82 @@
+//! Property tests for the tensor substrate: layout round trips, storage
+//! bijectivity, and direct-transform equivalence with the generic copy.
+
+use proptest::prelude::*;
+
+use pbqp_dnn_tensor::transform::{apply_direct, DIRECT_TRANSFORMS};
+use pbqp_dnn_tensor::{Layout, Tensor};
+
+fn layout_strategy() -> impl Strategy<Value = Layout> {
+    prop::sample::select(Layout::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Converting to any layout and back preserves every element.
+    #[test]
+    fn to_layout_round_trips(
+        c in 1usize..12,
+        h in 1usize..12,
+        w in 1usize..12,
+        a in layout_strategy(),
+        b in layout_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let t = Tensor::random(c, h, w, a, seed);
+        let back = t.to_layout(b).to_layout(a);
+        prop_assert_eq!(t.data(), back.data());
+    }
+
+    /// `set` followed by `at` returns the stored value in every layout,
+    /// and touches exactly one storage slot.
+    #[test]
+    fn set_at_is_a_bijection_into_storage(
+        c in 1usize..10,
+        h in 1usize..10,
+        w in 1usize..10,
+        layout in layout_strategy(),
+        ci in 0usize..10,
+        hi in 0usize..10,
+        wi in 0usize..10,
+    ) {
+        let (ci, hi, wi) = (ci % c, hi % h, wi % w);
+        let mut t = Tensor::zeros(c, h, w, layout);
+        t.set(ci, hi, wi, 7.5);
+        prop_assert_eq!(t.at(ci, hi, wi), 7.5);
+        let nonzero = t.data().iter().filter(|&&v| v != 0.0).count();
+        prop_assert_eq!(nonzero, 1);
+    }
+
+    /// Every registered direct transform equals the generic permutation
+    /// copy on random tensors.
+    #[test]
+    fn direct_transforms_match_generic_copy(
+        c in 1usize..10,
+        h in 1usize..10,
+        w in 1usize..10,
+        ix in 0usize..DIRECT_TRANSFORMS.len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let tr = DIRECT_TRANSFORMS[ix];
+        let src = Tensor::random(c, h, w, tr.from, seed);
+        let fast = apply_direct(&src, tr.to).unwrap();
+        let slow = src.to_layout(tr.to);
+        prop_assert_eq!(fast.data(), slow.data(), "{}", tr.name);
+    }
+
+    /// Checksums are layout-invariant.
+    #[test]
+    fn checksum_is_layout_invariant(
+        c in 1usize..8,
+        h in 1usize..8,
+        w in 1usize..8,
+        a in layout_strategy(),
+        b in layout_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let t = Tensor::random(c, h, w, a, seed);
+        let u = t.to_layout(b);
+        prop_assert!((t.checksum() - u.checksum()).abs() < 1e-3);
+    }
+}

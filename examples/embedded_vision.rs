@@ -1,0 +1,68 @@
+//! Embedded vision deployment — the paper's motivating scenario (§1).
+//!
+//! Optimizes AlexNet for two platforms (a desktop-class 8-wide-vector
+//! machine and an embedded 4-wide-vector machine with a small cache) and
+//! prints the per-layer PBQP selections side by side, reproducing the
+//! Figure 4 comparison: im2 for the strided conv1 everywhere, 2-D Winograd
+//! on the big-cache machine vs mostly 1-D Winograd on the embedded one.
+//!
+//! ```sh
+//! cargo run --release --example embedded_vision
+//! ```
+
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::models;
+use pbqp_dnn_primitives::registry::{full_library, Registry};
+use pbqp_dnn_select::{AssignmentKind, Optimizer, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = Registry::new(full_library());
+    let net = models::alexnet();
+
+    let machines = [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()];
+    let mut columns = Vec::new();
+    for machine in &machines {
+        // Multithreaded deployment, as in Figure 4.
+        let cost = AnalyticCost::new(machine.clone(), machine.cores);
+        let optimizer = Optimizer::new(&registry, &cost);
+        let plan = optimizer.plan(&net, Strategy::Pbqp)?;
+        assert_eq!(plan.optimal, Some(true));
+        let sum2d = optimizer.plan(&net, Strategy::Sum2d)?;
+        println!(
+            "{}: PBQP {:.1} ms vs sum2d {:.1} ms ({:.1}x), {} layout transforms",
+            machine,
+            plan.predicted_us / 1000.0,
+            sum2d.predicted_us / 1000.0,
+            sum2d.predicted_us / plan.predicted_us,
+            plan.transform_count()
+        );
+        columns.push(plan);
+    }
+
+    println!("\nPer-layer selections (multithreaded), after Figure 4:");
+    println!("{:10} {:32} {:32}", "layer", machines[0].name, machines[1].name);
+    for node in net.conv_nodes() {
+        let name = &net.layer(node).name;
+        let cell = |plan: &pbqp_dnn_select::ExecutionPlan| match plan.assignment(node) {
+            AssignmentKind::Conv { primitive, input_layout, output_layout, .. } => {
+                format!("{primitive} [{input_layout}->{output_layout}]")
+            }
+            AssignmentKind::Dummy { .. } => unreachable!("conv node"),
+        };
+        println!("{:10} {:32} {:32}", name, cell(&columns[0]), cell(&columns[1]));
+    }
+
+    // The headline cross-platform effect: count 1-D vs 2-D Winograd picks.
+    for (machine, plan) in machines.iter().zip(&columns) {
+        let (mut one_d, mut two_d) = (0, 0);
+        for (_, prim) in plan.selected_primitives() {
+            if prim.starts_with("wino1d") {
+                one_d += 1;
+            } else if prim.starts_with("wino2d") {
+                two_d += 1;
+            }
+        }
+        println!("{}: {} 1-D winograd, {} 2-D winograd", machine.name, one_d, two_d);
+    }
+    Ok(())
+}

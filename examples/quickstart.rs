@@ -1,0 +1,74 @@
+//! Quickstart: optimize a small CNN with PBQP, inspect the selection, and
+//! run the legalized plan on real data.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind, PoolKind};
+use pbqp_dnn_primitives::registry::{full_library, Registry};
+use pbqp_dnn_runtime::{reference_forward, Executor, Weights};
+use pbqp_dnn_select::{Optimizer, Strategy};
+use pbqp_dnn_tensor::{Layout, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a small convolutional network (a LeNet-ish classifier).
+    let mut net = DnnGraph::new();
+    let data = net.add(Layer::new("data", LayerKind::Input { c: 3, h: 32, w: 32 }));
+    let conv1 = net.add(Layer::new(
+        "conv1",
+        LayerKind::Conv(ConvScenario::new(3, 32, 32, 1, 5, 16)),
+    ));
+    let relu1 = net.add(Layer::new("relu1", LayerKind::Relu));
+    let pool1 = net.add(Layer::new(
+        "pool1",
+        LayerKind::Pool { kind: PoolKind::Max, k: 2, stride: 2, pad: 0 },
+    ));
+    let conv2 = net.add(Layer::new(
+        "conv2",
+        LayerKind::Conv(ConvScenario::new(16, 16, 16, 1, 3, 32)),
+    ));
+    let relu2 = net.add(Layer::new("relu2", LayerKind::Relu));
+    let fc = net.add(Layer::new("fc", LayerKind::FullyConnected { out: 10 }));
+    let prob = net.add(Layer::new("prob", LayerKind::Softmax));
+    for (a, b) in [(data, conv1), (conv1, relu1), (relu1, pool1), (pool1, conv2), (conv2, relu2), (relu2, fc), (fc, prob)] {
+        net.connect(a, b)?;
+    }
+
+    // 2. Build the primitive library (70+ routines) and a cost model.
+    let registry = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    println!("library: {} primitives", registry.len());
+
+    // 3. Solve for the globally optimal selection, DT costs included.
+    let optimizer = Optimizer::new(&registry, &cost);
+    let plan = optimizer.plan(&net, Strategy::Pbqp)?;
+    println!("{plan}");
+    println!(
+        "solver: optimal = {:?}, solve time = {:.1} µs",
+        plan.optimal, plan.solve_time_us
+    );
+
+    // 4. Compare against the baselines of the paper's §5.
+    for strategy in [Strategy::Sum2d, Strategy::LocalOptimalChw, Strategy::CaffeLike] {
+        let p = optimizer.plan(&net, strategy)?;
+        println!(
+            "{:24} {:10.1} µs predicted ({:.2}x vs sum2d)",
+            strategy.label(),
+            p.predicted_us,
+            optimizer.plan(&net, Strategy::Sum2d)?.predicted_us / p.predicted_us
+        );
+    }
+
+    // 5. Execute the winning plan on real data and verify it against the
+    //    textbook reference implementation.
+    let weights = Weights::random(&net, 42);
+    let input = Tensor::random(3, 32, 32, Layout::Chw, 7);
+    let out = Executor::new(&net, &plan, &registry, &weights).run(&input, 1)?;
+    let oracle = reference_forward(&net, &weights, &input);
+    let diff = out.max_abs_diff(&oracle)?;
+    println!("plan output matches reference: max |Δ| = {diff:.2e}");
+    assert!(diff < 1e-3);
+    Ok(())
+}

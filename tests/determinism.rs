@@ -1,0 +1,63 @@
+//! Determinism and serialization round trips: the cost tables the paper
+//! ships alongside trained models (§4, "the resulting cost tables are
+//! tiny … and ship them with the trained model") must be reproducible and
+//! parse back losslessly, and planning must be a pure function of them.
+
+use pbqp_dnn_cost::{AnalyticCost, CostTable, MachineModel};
+use pbqp_dnn_graph::models;
+use pbqp_dnn_primitives::registry::{full_library, Registry};
+use pbqp_dnn_select::{Optimizer, Strategy};
+
+#[test]
+fn analytic_cost_tables_are_identical_across_runs() {
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 4);
+    let net = models::googlenet();
+    let a = CostTable::profile(&net, &reg, &cost);
+    let b = CostTable::profile(&net, &reg, &cost);
+    assert_eq!(a.to_text(), b.to_text());
+}
+
+#[test]
+fn cost_table_text_round_trips_for_googlenet() {
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    let net = models::googlenet();
+    let table = CostTable::profile(&net, &reg, &cost);
+    let parsed = CostTable::parse(&table.to_text()).expect("own output parses");
+    assert_eq!(parsed.layers().len(), table.layers().len());
+    for (a, b) in table.layers().iter().zip(parsed.layers()) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.costs.len(), b.costs.len());
+    }
+}
+
+#[test]
+fn plans_are_identical_across_runs() {
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 4);
+    let opt = Optimizer::new(&reg, &cost);
+    let net = models::alexnet();
+    let p1 = opt.plan(&net, Strategy::Pbqp).unwrap();
+    let p2 = opt.plan(&net, Strategy::Pbqp).unwrap();
+    assert_eq!(p1.selected_primitives(), p2.selected_primitives());
+    assert_eq!(p1.predicted_us, p2.predicted_us);
+    assert_eq!(p1.transform_count(), p2.transform_count());
+}
+
+#[test]
+fn planning_from_a_parsed_table_matches_planning_from_the_original() {
+    // The deployment story: profile once, ship the text table, plan on
+    // device from the parsed copy.
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+    let opt = Optimizer::new(&reg, &cost);
+    let net = models::alexnet();
+    let shapes = net.infer_shapes().unwrap();
+    let original = CostTable::profile(&net, &reg, &cost);
+    let shipped = CostTable::parse(&original.to_text()).unwrap();
+    let p1 = opt.plan_with_table(&net, &shapes, &original, Strategy::Pbqp).unwrap();
+    let p2 = opt.plan_with_table(&net, &shapes, &shipped, Strategy::Pbqp).unwrap();
+    assert_eq!(p1.selected_primitives(), p2.selected_primitives());
+    assert!((p1.predicted_us - p2.predicted_us).abs() < 1.0);
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the core invariants:
+//!
+//! * the reduction-based PBQP solver agrees with exhaustive enumeration;
+//! * a plan's predicted cost always decomposes into its parts, and the
+//!   PBQP plan is never beaten by any baseline strategy;
+//! * layout transformation chains preserve tensor contents;
+//! * randomly chosen primitives agree with the reference convolution.
+
+use proptest::prelude::*;
+
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind};
+use pbqp_dnn_primitives::registry::{full_library, Registry};
+use pbqp_dnn_select::{Optimizer, Strategy};
+use pbqp_dnn_tensor::transform::{apply_direct, DIRECT_TRANSFORMS};
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+use pbqp_solver::{CostMatrix, PbqpGraph, Solver};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Solver vs exhaustive enumeration on random instances.
+    #[test]
+    fn pbqp_solver_matches_exhaustive(
+        costs in prop::collection::vec(prop::collection::vec(0u32..40, 1..4), 2..5),
+        edge_density in 0u32..100,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut g = PbqpGraph::new();
+        let ids: Vec<_> = costs.iter().map(|c| {
+            g.add_node(c.iter().map(|&v| f64::from(v)).collect())
+        }).collect();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                if next() % 100 < edge_density {
+                    let rows = g.node_costs(ids[i]).len();
+                    let cols = g.node_costs(ids[j]).len();
+                    let m = CostMatrix::from_fn(rows, cols, |_, _| {
+                        let v = next() % 25;
+                        if v == 0 { f64::INFINITY } else { f64::from(v) }
+                    });
+                    g.add_edge(ids[i], ids[j], m).unwrap();
+                }
+            }
+        }
+        let fast = Solver::new().solve(&g);
+        let brute = Solver::new().solve_exhaustive(&g);
+        match (fast, brute) {
+            (Ok(f), Ok(b)) => {
+                prop_assert!(f.optimal);
+                prop_assert!((f.total_cost - b.total_cost).abs() < 1e-9);
+            }
+            (Err(_), Err(_)) => {}
+            (f, b) => prop_assert!(false, "divergent: {f:?} vs {b:?}"),
+        }
+    }
+
+    /// Any chain of registered direct transforms preserves tensor values.
+    #[test]
+    fn transform_chains_preserve_contents(
+        c in 1usize..9,
+        h in 1usize..9,
+        w in 1usize..9,
+        hops in prop::collection::vec(0usize..DIRECT_TRANSFORMS.len(), 1..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        let original = Tensor::random(c, h, w, Layout::Chw, seed);
+        let mut t = original.clone();
+        for hop in hops {
+            // Walk only edges that start at the current layout.
+            if let Some(tr) = DIRECT_TRANSFORMS.iter().find(|x| x.from == t.layout()) {
+                let _ = hop;
+                t = apply_direct(&t, tr.to).unwrap();
+            }
+        }
+        prop_assert!(t.max_abs_diff(&original).unwrap() == 0.0);
+    }
+
+    /// A randomly chosen supporting primitive equals the reference.
+    #[test]
+    fn random_primitive_matches_reference(
+        c in 1usize..7,
+        hw in 6usize..12,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        m in 1usize..6,
+        stride in 1usize..3,
+        prim_ix in 0usize..1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let s = ConvScenario::new(c, hw, hw, stride, k, m);
+        let reg = Registry::new(full_library());
+        let cands = reg.candidates(&s);
+        let prim = cands[prim_ix % cands.len()];
+        let input = Tensor::random(c, hw, hw, Layout::Chw, seed)
+            .to_layout(prim.descriptor().input_layout);
+        let kernel = KernelTensor::random(m, c, k, k, seed ^ 0xABCD);
+        let got = prim.execute(&input, &kernel, &s, 1).unwrap();
+        let want = pbqp_dnn_primitives::reference::sum2d_reference(&input, &kernel, &s);
+        let diff = got.max_abs_diff(&want).unwrap();
+        // Winograd F(6,3) is the loosest numerically.
+        prop_assert!(diff < 5e-2, "{}: {diff}", prim.descriptor().name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On random conv chains, the PBQP plan cost decomposes exactly and is
+    /// never beaten by the canonical-layout local optimum.
+    #[test]
+    fn pbqp_dominates_local_optimal_on_random_chains(
+        specs in prop::collection::vec((1usize..17, prop::sample::select(vec![1usize, 3, 5])), 1..5),
+        hw in 8usize..20,
+    ) {
+        let mut g = DnnGraph::new();
+        let mut c = 3usize;
+        let mut dims = hw;
+        let mut prev = g.add(Layer::new("data", LayerKind::Input { c, h: dims, w: dims }));
+        for (i, (m, k)) in specs.into_iter().enumerate() {
+            let s = ConvScenario::new(c, dims, dims, 1, k, m);
+            let conv = g.add(Layer::new(format!("conv{i}"), LayerKind::Conv(s)));
+            g.connect(prev, conv).unwrap();
+            let relu = g.add(Layer::new(format!("relu{i}"), LayerKind::Relu));
+            g.connect(conv, relu).unwrap();
+            prev = relu;
+            c = m;
+            dims = s.out_h();
+        }
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 2);
+        let opt = Optimizer::new(&reg, &cost);
+        let pbqp = opt.plan(&g, Strategy::Pbqp).unwrap();
+        let lopt = opt.plan(&g, Strategy::LocalOptimalChw).unwrap();
+        prop_assert!(pbqp.optimal == Some(true));
+        prop_assert!(pbqp.predicted_us <= lopt.predicted_us + 1e-6);
+        // Cost decomposition: conv + transforms == total (no overhead for
+        // the PBQP strategy).
+        let parts = pbqp.conv_us() + pbqp.transform_us();
+        prop_assert!((parts - pbqp.predicted_us).abs() < 1e-6 * pbqp.predicted_us.max(1.0));
+    }
+}

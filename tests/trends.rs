@@ -1,0 +1,170 @@
+//! The §5.8 experimental trends, asserted over the full evaluation models
+//! on the analytic machine models (no tensor execution — pure planning).
+
+use pbqp_dnn_bench::{evaluate_network, figure_strategies, registry};
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::models::{self, VggVariant};
+use pbqp_dnn_primitives::Family;
+use pbqp_dnn_select::{Optimizer, Strategy};
+
+fn speedup_of(results: &[pbqp_dnn_bench::StrategyResult], s: Strategy) -> f64 {
+    results.iter().find(|r| r.strategy == s).map(|r| r.speedup).expect("strategy evaluated")
+}
+
+#[test]
+fn no_single_family_excels_everywhere() {
+    // §5.8: "there is no one convolution algorithm which excels in every
+    // scenario": winograd dominates the families on VGG-E (all K=3), but
+    // is far from the PBQP optimum on AlexNet and GoogleNet, whose strided
+    // and pointwise layers it cannot serve.
+    let reg = registry();
+    let machine = MachineModel::intel_haswell_like();
+    let strategies = figure_strategies(8);
+
+    let vgg = evaluate_network(&models::vgg(VggVariant::E), &reg, &machine, 1, &strategies);
+    let families = [Family::Direct, Family::Im2, Family::Kn2, Family::Winograd, Family::Fft];
+    let wino = speedup_of(&vgg, Strategy::FamilyBest(Family::Winograd));
+    for f in families {
+        assert!(wino >= speedup_of(&vgg, Strategy::FamilyBest(f)), "{f} beat winograd on VGG-E");
+    }
+
+    for net in [models::alexnet(), models::googlenet()] {
+        let r = evaluate_network(&net, &reg, &machine, 1, &strategies);
+        let wino = speedup_of(&r, Strategy::FamilyBest(Family::Winograd));
+        let pbqp = speedup_of(&r, Strategy::Pbqp);
+        assert!(
+            pbqp > 2.0 * wino,
+            "winograd alone should be far from optimal on strided/pointwise networks"
+        );
+    }
+}
+
+#[test]
+fn pbqp_wins_every_cell_of_every_figure() {
+    let reg = registry();
+    for (machine, vendor_vw) in
+        [(MachineModel::intel_haswell_like(), 8), (MachineModel::arm_a57_like(), 4)]
+    {
+        let strategies = figure_strategies(vendor_vw);
+        for (name, net) in models::evaluation_models() {
+            for threads in [1usize, 4] {
+                let r = evaluate_network(&net, &reg, &machine, threads, &strategies);
+                let pbqp = speedup_of(&r, Strategy::Pbqp);
+                for row in &r {
+                    assert!(
+                        pbqp + 1e-9 >= row.speedup,
+                        "{name}/{}/t{threads}: {} beat PBQP",
+                        machine.name,
+                        row.strategy.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn local_optimal_is_strictly_suboptimal_on_the_evaluation_networks() {
+    // §6: fixing a canonical layout "is always outperformed by the optimal
+    // selection".
+    let reg = registry();
+    for machine in [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()] {
+        let cost = AnalyticCost::new(machine, 4);
+        let opt = Optimizer::new(&reg, &cost);
+        for (name, net) in models::evaluation_models() {
+            let pbqp = opt.plan(&net, Strategy::Pbqp).unwrap();
+            let lopt = opt.plan(&net, Strategy::LocalOptimalChw).unwrap();
+            assert!(
+                pbqp.predicted_us < lopt.predicted_us,
+                "{name}: PBQP {} !< L.OPT {}",
+                pbqp.predicted_us,
+                lopt.predicted_us
+            );
+        }
+    }
+}
+
+#[test]
+fn pbqp_exploits_non_canonical_layouts_and_pays_for_transforms() {
+    // The crux of the paper: the optimum inserts layout transformations
+    // because their cost is outweighed by faster primitives.
+    let reg = registry();
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 4);
+    let opt = Optimizer::new(&reg, &cost);
+    let plan = opt.plan(&models::alexnet(), Strategy::Pbqp).unwrap();
+    assert!(plan.transform_count() > 0, "optimal AlexNet plan should use layout transforms");
+    assert!(plan.transform_us() > 0.0);
+    assert!(
+        plan.transform_us() < 0.2 * plan.predicted_us,
+        "transforms must stay a small fraction of the total"
+    );
+}
+
+#[test]
+fn figure4_cross_platform_winograd_split() {
+    // Figure 4: the large-cache machine picks 2-D winograd variants; the
+    // small-cache machine picks mostly 1-D ones.
+    let reg = registry();
+    let net = models::alexnet();
+    let count = |machine: MachineModel| {
+        let cost = AnalyticCost::new(machine.clone(), machine.cores);
+        let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).unwrap();
+        let one = plan.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino1d")).count();
+        let two = plan.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino2d")).count();
+        (one, two)
+    };
+    let (intel_1d, intel_2d) = count(MachineModel::intel_haswell_like());
+    let (arm_1d, arm_2d) = count(MachineModel::arm_a57_like());
+    assert_eq!(intel_1d, 0, "the big-cache machine should use 2-D winograd only");
+    assert!(intel_2d >= 3);
+    assert!(arm_1d > arm_2d, "the embedded machine should prefer 1-D winograd");
+}
+
+#[test]
+fn conv1_gets_an_im2_primitive_on_both_machines() {
+    // Figure 4: AlexNet's strided K=11 conv1 selects an im2 routine with a
+    // row-oriented layout on both platforms.
+    let reg = registry();
+    let net = models::alexnet();
+    let conv1 = net.find("conv1").unwrap();
+    for machine in [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()] {
+        let cost = AnalyticCost::new(machine, 4);
+        let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).unwrap();
+        let (_, prim) = plan
+            .selected_primitives()
+            .into_iter()
+            .find(|(n, _)| *n == conv1)
+            .expect("conv1 selected");
+        assert!(prim.starts_with("im2row"), "conv1 selected {prim}");
+    }
+}
+
+#[test]
+fn solver_reports_optimality_in_under_a_second_for_all_networks() {
+    // §5.4.
+    let reg = registry();
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 4);
+    let opt = Optimizer::new(&reg, &cost);
+    for (name, net) in models::evaluation_models() {
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        assert_eq!(plan.optimal, Some(true), "{name}");
+        assert!(plan.solve_time_us < 1_000_000.0, "{name}: {} µs", plan.solve_time_us);
+    }
+}
+
+#[test]
+fn absolute_time_orderings_match_tables_2_and_3() {
+    let reg = registry();
+    for machine in [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()] {
+        for threads in [1usize, 4] {
+            let cost = AnalyticCost::new(machine.clone(), threads);
+            let opt = Optimizer::new(&reg, &cost);
+            for (name, net) in models::evaluation_models() {
+                let sum2d = opt.plan(&net, Strategy::Sum2d).unwrap().predicted_us;
+                let lopt = opt.plan(&net, Strategy::LocalOptimalChw).unwrap().predicted_us;
+                let pbqp = opt.plan(&net, Strategy::Pbqp).unwrap().predicted_us;
+                assert!(pbqp < lopt && lopt < sum2d, "{name}/{}/t{threads}", machine.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration: optimize miniature networks with every
+//! strategy, execute the legalized plans on real tensors, and verify each
+//! against the independent reference implementation.
+
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind, PoolKind};
+use pbqp_dnn_primitives::registry::{full_library, Registry};
+use pbqp_dnn_runtime::{reference_forward, Executor, Weights};
+use pbqp_dnn_select::{Optimizer, Strategy};
+use pbqp_dnn_tensor::{Layout, Tensor};
+
+/// AlexNet's structure at 1/4 scale: strided K11 head, K5 middle, K3 tail,
+/// LRN and pooling in between.
+fn micro_alexnet() -> DnnGraph {
+    let mut g = DnnGraph::new();
+    let mut prev = g.add(Layer::new("data", LayerKind::Input { c: 3, h: 57, w: 57 }));
+    let mut tack = |g: &mut DnnGraph, layer: Layer, prev: &mut pbqp_dnn_graph::NodeId| {
+        let id = g.add(layer);
+        g.connect(*prev, id).unwrap();
+        *prev = id;
+    };
+    tack(&mut g, Layer::new("conv1", LayerKind::Conv(ConvScenario::new(3, 57, 57, 4, 11, 12).with_pad(0))), &mut prev);
+    tack(&mut g, Layer::new("relu1", LayerKind::Relu), &mut prev);
+    tack(&mut g, Layer::new("norm1", LayerKind::Lrn), &mut prev);
+    tack(&mut g, Layer::new("pool1", LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 }), &mut prev);
+    tack(&mut g, Layer::new("conv2", LayerKind::Conv(ConvScenario::new(12, 6, 6, 1, 5, 24))), &mut prev);
+    tack(&mut g, Layer::new("relu2", LayerKind::Relu), &mut prev);
+    tack(&mut g, Layer::new("conv3", LayerKind::Conv(ConvScenario::new(24, 6, 6, 1, 3, 16))), &mut prev);
+    tack(&mut g, Layer::new("fc", LayerKind::FullyConnected { out: 10 }), &mut prev);
+    tack(&mut g, Layer::new("prob", LayerKind::Softmax), &mut prev);
+    g
+}
+
+/// A GoogleNet-style module: fan-out into 1x1 / 3x3 / 5x5 / pool-proj
+/// branches joined by concat.
+fn micro_inception() -> DnnGraph {
+    let mut g = DnnGraph::new();
+    let data = g.add(Layer::new("data", LayerKind::Input { c: 8, h: 14, w: 14 }));
+    let conv = |c, k, m| LayerKind::Conv(ConvScenario::new(c, 14, 14, 1, k, m));
+    let b1 = g.add(Layer::new("1x1", conv(8, 1, 4)));
+    let b2r = g.add(Layer::new("3x3_reduce", conv(8, 1, 4)));
+    let b2 = g.add(Layer::new("3x3", conv(4, 3, 6)));
+    let b3r = g.add(Layer::new("5x5_reduce", conv(8, 1, 2)));
+    let b3 = g.add(Layer::new("5x5", conv(2, 5, 4)));
+    let pool = g.add(Layer::new("pool", LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 1, pad: 1 }));
+    let b4 = g.add(Layer::new("pool_proj", conv(8, 1, 2)));
+    let cat = g.add(Layer::new("concat", LayerKind::Concat));
+    let out = g.add(Layer::new("out", conv(16, 3, 8)));
+    for (a, b) in [
+        (data, b1), (data, b2r), (b2r, b2), (data, b3r), (b3r, b3), (data, pool), (pool, b4),
+        (b1, cat), (b2, cat), (b3, cat), (b4, cat), (cat, out),
+    ] {
+        g.connect(a, b).unwrap();
+    }
+    g
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    let mut v = vec![
+        Strategy::Pbqp,
+        Strategy::PbqpHeuristic,
+        Strategy::Sum2d,
+        Strategy::LocalOptimalChw,
+        Strategy::CaffeLike,
+        Strategy::VendorLike { vector_width: 8 },
+        Strategy::VendorLike { vector_width: 4 },
+    ];
+    v.extend(Strategy::family_bars());
+    v
+}
+
+fn check_network(name: &str, net: &DnnGraph, machine: MachineModel) {
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(machine, 2);
+    let opt = Optimizer::new(&reg, &cost);
+    let weights = Weights::random(net, 0xFEED);
+    let (c, h, w) = net.infer_shapes().unwrap()[0];
+    let input = Tensor::random(c, h, w, Layout::Chw, 0xF00D);
+    let oracle = reference_forward(net, &weights, &input);
+
+    for strategy in all_strategies() {
+        let plan = opt.plan(net, strategy).unwrap_or_else(|e| panic!("{name}/{strategy:?}: {e}"));
+        let out = Executor::new(net, &plan, &reg, &weights)
+            .run(&input, 2)
+            .unwrap_or_else(|e| panic!("{name}/{strategy:?}: {e}"));
+        let diff = out.max_abs_diff(&oracle).unwrap();
+        assert!(diff < 1e-2, "{name}/{}: diff {diff}", strategy.label());
+    }
+}
+
+#[test]
+fn micro_alexnet_all_strategies_compute_the_network_function() {
+    check_network("micro_alexnet", &micro_alexnet(), MachineModel::intel_haswell_like());
+}
+
+#[test]
+fn micro_alexnet_on_the_embedded_model_too() {
+    check_network("micro_alexnet_arm", &micro_alexnet(), MachineModel::arm_a57_like());
+}
+
+#[test]
+fn micro_inception_all_strategies_compute_the_network_function() {
+    check_network("micro_inception", &micro_inception(), MachineModel::intel_haswell_like());
+}
+
+#[test]
+fn pbqp_plan_quality_dominates_on_the_micro_networks() {
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 2);
+    let opt = Optimizer::new(&reg, &cost);
+    for net in [micro_alexnet(), micro_inception()] {
+        let pbqp = opt.plan(&net, Strategy::Pbqp).unwrap();
+        assert_eq!(pbqp.optimal, Some(true));
+        for s in all_strategies() {
+            let p = opt.plan(&net, s).unwrap();
+            assert!(pbqp.predicted_us <= p.predicted_us + 1e-6, "{} beat PBQP", s.label());
+        }
+    }
+}
+
+#[test]
+fn transform_chains_in_executed_plans_are_exact() {
+    // Force a plan with layout churn: vendor strategy pins blocked layouts,
+    // so chains CHW -> CHWc8 -> CHW appear, and execution must still be
+    // bit-accurate vs reference.
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    let opt = Optimizer::new(&reg, &cost);
+    let net = micro_inception();
+    let plan = opt.plan(&net, Strategy::VendorLike { vector_width: 8 }).unwrap();
+    let weights = Weights::random(&net, 3);
+    let input = Tensor::random(8, 14, 14, Layout::Chw, 4);
+    let out = Executor::new(&net, &plan, &reg, &weights).run(&input, 1).unwrap();
+    let oracle = reference_forward(&net, &weights, &input);
+    assert!(out.allclose(&oracle, 1e-3).unwrap());
+}
