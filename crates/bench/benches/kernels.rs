@@ -2,20 +2,20 @@
 //! family) and of the layout-transformation routines — the measured
 //! counterparts of the analytic model's per-primitive costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pbqp_dnn_bench::harness::Bench;
 use pbqp_dnn_bench::registry;
 use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_tensor::transform::{apply_direct, DIRECT_TRANSFORMS};
-use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+use pbqp_dnn_tensor::{KernelTensor, Tensor};
 
-fn family_kernels(c: &mut Criterion) {
+fn family_kernels() {
     let reg = registry();
     // Small representative layer: 16 channels of 24x24, 3x3, 16 filters.
     let s = ConvScenario::new(16, 24, 24, 1, 3, 16);
     let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 1);
-    let mut group = c.benchmark_group("primitive_kernels");
+    let mut group = Bench::new("primitive_kernels").samples(15);
     for name in [
         "sum2d",
         "direct_mhwckk",
@@ -38,29 +38,24 @@ fn family_kernels(c: &mut Criterion) {
         };
         let k_eff = if s_eff == s { kernel.clone() } else { KernelTensor::random(16, 16, 1, 1, 2) };
         let input = Tensor::random(s_eff.c, s_eff.h, s_eff.w, prim.descriptor().input_layout, 3);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(prim.execute(&input, &k_eff, &s_eff, 1).expect("runs")))
-        });
+        group.run(name, || black_box(prim.execute(&input, &k_eff, &s_eff, 1).expect("runs")));
     }
-    group.finish();
+    print!("{}", group.report());
 }
 
-fn layout_transforms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dt_transforms");
-    for t in
-        DIRECT_TRANSFORMS.iter().filter(|t| ["chw_to_hwc", "hwc_to_chw", "pack_c8"].contains(&t.name))
+fn layout_transforms() {
+    let mut group = Bench::new("dt_transforms").samples(15);
+    for t in DIRECT_TRANSFORMS
+        .iter()
+        .filter(|t| ["chw_to_hwc", "hwc_to_chw", "pack_c8"].contains(&t.name))
     {
         let input = Tensor::random(64, 56, 56, t.from, 9);
-        group.bench_function(t.name, |b| {
-            b.iter(|| black_box(apply_direct(&input, t.to).expect("registered pair")))
-        });
+        group.run(t.name, || black_box(apply_direct(&input, t.to).expect("registered pair")));
     }
-    group.finish();
+    print!("{}", group.report());
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(15);
-    targets = family_kernels, layout_transforms
-);
-criterion_main!(kernels);
+fn main() {
+    family_kernels();
+    layout_transforms();
+}

@@ -1,65 +1,60 @@
-//! Criterion benches regenerating every table and figure of the paper:
-//! one benchmark group per artifact. Each iteration recomputes the
-//! artifact's underlying data (cost tables, PBQP solutions, strategy
-//! evaluations) on the analytic machine models.
+//! Benches regenerating every table and figure of the paper: one
+//! benchmark group per artifact. Each iteration recomputes the artifact's
+//! underlying data (cost tables, PBQP solutions, strategy evaluations) on
+//! the analytic machine models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pbqp_dnn_bench::harness::Bench;
 use pbqp_dnn_bench::{arm_models, evaluate_network, figure_strategies, intel_models, registry};
 use pbqp_dnn_cost::{AnalyticCost, CostSource, MachineModel};
 use pbqp_dnn_graph::{models, ConvScenario};
 use pbqp_dnn_select::{Optimizer, Strategy};
 
 /// Figure 4: PBQP selection for AlexNet on both machine models.
-fn fig4_selection(c: &mut Criterion) {
+fn fig4_selection(bench: &mut Bench) {
     let reg = registry();
     let net = models::alexnet();
-    c.bench_function("fig4_alexnet_selection_both_machines", |b| {
-        b.iter(|| {
-            for machine in [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()] {
-                let cost = AnalyticCost::new(machine, 4);
-                let plan =
-                    Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).expect("plans");
-                black_box(plan.predicted_us);
-            }
-        })
+    bench.run("fig4_alexnet_selection_both_machines", || {
+        for machine in [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()] {
+            let cost = AnalyticCost::new(machine, 4);
+            let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).expect("plans");
+            black_box(plan.predicted_us);
+        }
     });
 }
 
 /// Figures 5 and 6: the full Intel strategy sweep, single- and
 /// multi-threaded (AlexNet cell; the binaries sweep all five networks).
-fn fig5_fig6_intel(c: &mut Criterion) {
+fn fig5_fig6_intel(bench: &mut Bench) {
     let reg = registry();
     let machine = MachineModel::intel_haswell_like();
     let strategies = figure_strategies(8);
     let net = models::alexnet();
-    c.bench_function("fig5_intel_st_alexnet_all_strategies", |b| {
-        b.iter(|| black_box(evaluate_network(&net, &reg, &machine, 1, &strategies)))
+    bench.run("fig5_intel_st_alexnet_all_strategies", || {
+        black_box(evaluate_network(&net, &reg, &machine, 1, &strategies))
     });
-    c.bench_function("fig6_intel_mt_alexnet_all_strategies", |b| {
-        b.iter(|| black_box(evaluate_network(&net, &reg, &machine, 4, &strategies)))
+    bench.run("fig6_intel_mt_alexnet_all_strategies", || {
+        black_box(evaluate_network(&net, &reg, &machine, 4, &strategies))
     });
 }
 
 /// Figure 7: the ARM sweep on both thread counts (GoogleNet cell — the
 /// largest instance, exercising the DAG-shaped PBQP problem).
-fn fig7_arm(c: &mut Criterion) {
+fn fig7_arm(bench: &mut Bench) {
     let reg = registry();
     let machine = MachineModel::arm_a57_like();
     let strategies = figure_strategies(4);
     let (_, net) = arm_models().pop().expect("GoogleNet");
-    c.bench_function("fig7_arm_googlenet_st_and_mt", |b| {
-        b.iter(|| {
-            black_box(evaluate_network(&net, &reg, &machine, 1, &strategies));
-            black_box(evaluate_network(&net, &reg, &machine, 4, &strategies));
-        })
+    bench.run("fig7_arm_googlenet_st_and_mt", || {
+        black_box(evaluate_network(&net, &reg, &machine, 1, &strategies));
+        black_box(evaluate_network(&net, &reg, &machine, 4, &strategies));
     });
 }
 
 /// Table 1: the family strengths sweep (best time/workspace per family
 /// over the scenario grid).
-fn table1_families(c: &mut Criterion) {
+fn table1_families(bench: &mut Bench) {
     let reg = registry();
     let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
     let sweeps = [
@@ -68,21 +63,19 @@ fn table1_families(c: &mut Criterion) {
         ConvScenario::new(96, 27, 27, 1, 5, 256),
         ConvScenario::new(192, 28, 28, 1, 1, 64).with_pad(0),
     ];
-    c.bench_function("table1_family_grades", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for s in &sweeps {
-                for p in reg.candidates(s) {
-                    acc += cost.layer_cost(p.as_ref(), s);
-                }
+    bench.run("table1_family_grades", || {
+        let mut acc = 0.0;
+        for s in &sweeps {
+            for p in reg.candidates(s) {
+                acc += cost.layer_cost(p.as_ref(), s);
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
 }
 
 /// Tables 2 and 3: the four tabulated strategies on both machines.
-fn table2_table3_absolute(c: &mut Criterion) {
+fn table2_table3_absolute(bench: &mut Bench) {
     let reg = registry();
     let strategies =
         [Strategy::Sum2d, Strategy::LocalOptimalChw, Strategy::Pbqp, Strategy::CaffeLike];
@@ -90,50 +83,44 @@ fn table2_table3_absolute(c: &mut Criterion) {
         (MachineModel::intel_haswell_like(), "table2_intel_absolute_times"),
         (MachineModel::arm_a57_like(), "table3_arm_absolute_times"),
     ] {
-        c.bench_function(tag, |b| {
-            b.iter(|| {
-                for (_, net) in intel_models().iter().take(1).chain(arm_models().iter().skip(1)) {
-                    let cost = AnalyticCost::new(machine.clone(), 1);
-                    let opt = Optimizer::new(&reg, &cost);
-                    for s in strategies {
-                        black_box(opt.plan(net, s).expect("plans").predicted_us);
-                    }
+        bench.run(tag, || {
+            for (_, net) in intel_models().iter().take(1).chain(arm_models().iter().skip(1)) {
+                let cost = AnalyticCost::new(machine.clone(), 1);
+                let opt = Optimizer::new(&reg, &cost);
+                for s in strategies {
+                    black_box(opt.plan(net, s).expect("plans").predicted_us);
                 }
-            })
+            }
         });
     }
 }
 
 /// §5.4: raw PBQP solve time per network (construction + solve), the
 /// paper's sub-second claim.
-fn overhead_solver(c: &mut Criterion) {
+fn overhead_solver(bench: &mut Bench) {
     let reg = registry();
     let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 4);
     let opt = Optimizer::new(&reg, &cost);
     for (name, net) in [("alexnet", models::alexnet()), ("googlenet", models::googlenet())] {
         let shapes = net.infer_shapes().expect("valid");
         let table = opt.cost_table(&net);
-        c.bench_function(&format!("overhead_pbqp_solve_{name}"), |b| {
-            b.iter(|| {
-                black_box(
-                    opt.plan_with_table(&net, &shapes, &table, Strategy::Pbqp)
-                        .expect("plans")
-                        .predicted_us,
-                )
-            })
+        bench.run(&format!("overhead_pbqp_solve_{name}"), || {
+            black_box(
+                opt.plan_with_table(&net, &shapes, &table, Strategy::Pbqp)
+                    .expect("plans")
+                    .predicted_us,
+            )
         });
     }
 }
 
-criterion_group!(
-    name = artifacts;
-    config = Criterion::default().sample_size(20);
-    targets =
-        fig4_selection,
-        fig5_fig6_intel,
-        fig7_arm,
-        table1_families,
-        table2_table3_absolute,
-        overhead_solver
-);
-criterion_main!(artifacts);
+fn main() {
+    let mut bench = Bench::new("paper_artifacts").samples(20);
+    fig4_selection(&mut bench);
+    fig5_fig6_intel(&mut bench);
+    fig7_arm(&mut bench);
+    table1_families(&mut bench);
+    table2_table3_absolute(&mut bench);
+    overhead_solver(&mut bench);
+    print!("{}", bench.report());
+}

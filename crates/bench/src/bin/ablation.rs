@@ -28,12 +28,9 @@ fn main() {
             let shapes = net.infer_shapes().expect("valid model");
             let table = opt.cost_table(&net);
             let exact = opt.plan_with_table(&net, &shapes, &table, Strategy::Pbqp).unwrap();
-            let rn = opt
-                .plan_with_table(&net, &shapes, &table, Strategy::PbqpHeuristic)
-                .unwrap();
-            let lopt = opt
-                .plan_with_table(&net, &shapes, &table, Strategy::LocalOptimalChw)
-                .unwrap();
+            let rn = opt.plan_with_table(&net, &shapes, &table, Strategy::PbqpHeuristic).unwrap();
+            let lopt =
+                opt.plan_with_table(&net, &shapes, &table, Strategy::LocalOptimalChw).unwrap();
             let no_dt = ignore_dt_selection(&opt, &net, &shapes, &table);
             println!(
                 "{:12} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>9.2}%",

@@ -28,16 +28,13 @@ fn main() {
             }
             AssignmentKind::Dummy { .. } => unreachable!("conv node"),
         };
-        println!(
-            "{:8} | {:34} | {:34}",
-            net.layer(node).name,
-            cell(&plans[0]),
-            cell(&plans[1])
-        );
+        println!("{:8} | {:34} | {:34}", net.layer(node).name, cell(&plans[0]), cell(&plans[1]));
     }
     for (m, p) in machines.iter().zip(&plans) {
-        let wino1d = p.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino1d")).count();
-        let wino2d = p.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino2d")).count();
+        let wino1d =
+            p.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino1d")).count();
+        let wino2d =
+            p.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino2d")).count();
         println!(
             "{}: {} 1-D / {} 2-D winograd selections, {} layout transforms, optimal = {:?}",
             m.name,

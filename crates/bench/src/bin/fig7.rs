@@ -17,10 +17,7 @@ fn main() {
         let rows: Vec<(&str, _)> = rows.iter().map(|(n, r)| (*n, r.clone())).collect();
         println!(
             "{}",
-            render_figure(
-                &format!("Figure 7{tag}: Whole Network Benchmarking (aarch64)"),
-                &rows
-            )
+            render_figure(&format!("Figure 7{tag}: Whole Network Benchmarking (aarch64)"), &rows)
         );
     }
 }

@@ -42,11 +42,10 @@ fn main() {
     println!("\nexecuting competing plans (full-size AlexNet, {threads} threads):");
     println!("{:22} {:>14} {:>14}", "strategy", "predicted ms", "measured ms");
     let mut rows = Vec::new();
-    for strategy in [Strategy::Pbqp, Strategy::LocalOptimalChw, Strategy::CaffeLike, Strategy::Sum2d]
+    for strategy in
+        [Strategy::Pbqp, Strategy::LocalOptimalChw, Strategy::CaffeLike, Strategy::Sum2d]
     {
-        let plan = opt
-            .plan_with_table(&net, &shapes, &table, strategy)
-            .expect("alexnet plans");
+        let plan = opt.plan_with_table(&net, &shapes, &table, strategy).expect("alexnet plans");
         let exec = Executor::new(&net, &plan, &reg, &weights);
         // Warm-up pass, then the timed pass (the paper averages five; one
         // timed pass keeps the sum2d row tolerable).

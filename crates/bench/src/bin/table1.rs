@@ -28,8 +28,7 @@ fn main() {
     ];
     let strided = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0);
 
-    let families =
-        [Family::Direct, Family::Im2, Family::Kn2, Family::Winograd, Family::Fft];
+    let families = [Family::Direct, Family::Im2, Family::Kn2, Family::Winograd, Family::Fft];
     let mut time_rank: BTreeMap<Family, Vec<f64>> = BTreeMap::new();
     let mut mem_rank: BTreeMap<Family, Vec<f64>> = BTreeMap::new();
     let mut worst: BTreeMap<Family, (&str, f64)> = BTreeMap::new();
@@ -38,22 +37,13 @@ fn main() {
         // Best (time, workspace) per family on this scenario.
         let mut best: Vec<(Family, f64, f64)> = Vec::new();
         for &fam in &families {
-            let cands: Vec<_> = reg
-                .family(fam)
-                .into_iter()
-                .filter(|p| p.supports(s))
-                .collect();
+            let cands: Vec<_> = reg.family(fam).into_iter().filter(|p| p.supports(s)).collect();
             if cands.is_empty() {
                 continue;
             }
-            let t = cands
-                .iter()
-                .map(|p| cost.layer_cost(p.as_ref(), s))
-                .fold(f64::INFINITY, f64::min);
-            let w = cands
-                .iter()
-                .map(|p| p.workspace_elems(s) as f64)
-                .fold(f64::INFINITY, f64::min);
+            let t =
+                cands.iter().map(|p| cost.layer_cost(p.as_ref(), s)).fold(f64::INFINITY, f64::min);
+            let w = cands.iter().map(|p| p.workspace_elems(s) as f64).fold(f64::INFINITY, f64::min);
             best.push((fam, t, w));
         }
         let rank_of = |values: Vec<(Family, f64)>| -> BTreeMap<Family, f64> {
@@ -85,8 +75,8 @@ fn main() {
 
     println!("Table 1: strengths and weaknesses of the convolution families");
     println!(
-        "{:10} {:>6} {:>8} {:>9}  {}",
-        "Algorithm", "Time", "Memory", "Strided", "Bad cases (worst relative scenario)"
+        "{:10} {:>6} {:>8} {:>9}  Bad cases (worst relative scenario)",
+        "Algorithm", "Time", "Memory", "Strided"
     );
     for &fam in &families {
         let strided_ok = reg.family(fam).iter().any(|p| p.supports(&strided));

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use pbqp_dnn_cost::{AnalyticCost, MachineModel};
 use pbqp_dnn_graph::DnnGraph;
 use pbqp_dnn_primitives::registry::{full_library, Registry};
@@ -77,7 +79,11 @@ pub fn evaluate_network(
             let plan = optimizer
                 .plan_with_table(net, &shapes, &table, strategy)
                 .expect("evaluation strategies always plan");
-            StrategyResult { strategy, predicted_us: plan.predicted_us, speedup: baseline / plan.predicted_us }
+            StrategyResult {
+                strategy,
+                predicted_us: plan.predicted_us,
+                speedup: baseline / plan.predicted_us,
+            }
         })
         .collect()
 }
@@ -132,7 +138,17 @@ mod tests {
         let labels: Vec<String> = s.iter().map(|x| x.label()).collect();
         assert_eq!(
             labels,
-            ["direct", "im2", "kn2", "winograd", "fft", "Local Optimal (CHW)", "PBQP", "mkldnn", "caffe"]
+            [
+                "direct",
+                "im2",
+                "kn2",
+                "winograd",
+                "fft",
+                "Local Optimal (CHW)",
+                "PBQP",
+                "mkldnn",
+                "caffe"
+            ]
         );
     }
 

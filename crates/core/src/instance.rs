@@ -48,10 +48,7 @@ impl<'a> ApspCache<'a> {
 }
 
 /// Resolves the input/output layouts of every option of one node.
-pub(crate) fn option_layouts(
-    registry: &Registry,
-    options: &NodeOptions,
-) -> Vec<(Layout, Layout)> {
+pub(crate) fn option_layouts(registry: &Registry, options: &NodeOptions) -> Vec<(Layout, Layout)> {
     match options {
         NodeOptions::Conv(names) => names
             .iter()
@@ -108,8 +105,7 @@ pub(crate) fn build(
         let m = CostMatrix::from_fn(out_layouts.len(), in_layouts.len(), |i, j| {
             t.cost(out_layouts[i].1, in_layouts[j].0)
         });
-        pbqp
-            .add_edge(pbqp_ids[from.index()], pbqp_ids[to.index()], m)
+        pbqp.add_edge(pbqp_ids[from.index()], pbqp_ids[to.index()], m)
             .expect("nodes were just added");
     }
 

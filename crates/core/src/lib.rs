@@ -20,6 +20,12 @@
 //! family bests, the canonical-layout local optimum, and the vendor-library
 //! simulacra — so every bar of Figures 5–7 comes from one code path.
 //!
+//! For serving workloads, the [`PlanCache`] memoizes legalized plans by
+//! (graph fingerprint, strategy, cost source): repeated requests for a
+//! deployed model skip the profile and the solve entirely, and the cached
+//! `Arc<ExecutionPlan>` feeds straight into the runtime's batched
+//! executor (`Executor::run_batch` in `pbqp-dnn-runtime`).
+//!
 //! # Example
 //!
 //! ```
@@ -38,15 +44,37 @@
 //! assert!(pbqp.predicted_us < baseline.predicted_us);
 //! assert_eq!(pbqp.optimal, Some(true));
 //! ```
+//!
+//! # Example: cached planning for repeated requests
+//!
+//! ```
+//! use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+//! use pbqp_dnn_graph::models;
+//! use pbqp_dnn_primitives::registry::{full_library, Registry};
+//! use pbqp_dnn_select::{Optimizer, PlanCache, Strategy};
+//!
+//! let registry = Registry::new(full_library());
+//! let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 4);
+//! let optimizer = Optimizer::new(&registry, &cost);
+//! let net = models::alexnet();
+//!
+//! let cache = PlanCache::new();
+//! let first = cache.plan(&optimizer, &net, Strategy::Pbqp).unwrap();
+//! let second = cache.plan(&optimizer, &net, Strategy::Pbqp).unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&first, &second), "second request skipped the solve");
+//! assert_eq!((cache.hits(), cache.misses()), (1, 1));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod instance;
 mod optimizer;
 mod plan;
 mod strategies;
 
+pub use cache::PlanCache;
 pub use optimizer::{Optimizer, PlanError};
 pub use plan::{AssignmentKind, EdgeLegalization, ExecutionPlan, NodeAssignment};
 pub use strategies::Strategy;

@@ -81,6 +81,16 @@ impl<'a> Optimizer<'a> {
         self.registry
     }
 
+    /// The cost source this optimizer prices primitives with.
+    pub fn source(&self) -> &dyn CostSource {
+        self.source
+    }
+
+    /// The data-layout transformation graph legalization routes through.
+    pub fn dt_graph(&self) -> &DtGraph {
+        &self.dt
+    }
+
     /// Profiles the cost table for `graph` under this optimizer's source.
     pub fn cost_table(&self, graph: &DnnGraph) -> CostTable {
         CostTable::profile(graph, self.registry, self.source)
@@ -121,9 +131,7 @@ impl<'a> Optimizer<'a> {
                 for (node, options) in instance::node_ids(graph).into_iter().zip(&built.options) {
                     let sel = solution.selection(built.pbqp_ids[node.index()]);
                     let kind = match options {
-                        NodeOptions::Conv(names) => {
-                            self.conv_assignment(table, node, &names[sel])
-                        }
+                        NodeOptions::Conv(names) => self.conv_assignment(table, node, &names[sel]),
                         NodeOptions::Dummy => {
                             AssignmentKind::Dummy { layout: instance::dummy_layout(sel) }
                         }
@@ -135,7 +143,16 @@ impl<'a> Optimizer<'a> {
             _ => (self.baseline_assignments(graph, table, strategy), None, None, 0.0),
         };
 
-        self.legalize(graph, shapes, &mut apsp, assignments, strategy, optimal, stats, solve_time_us)
+        self.legalize(
+            graph,
+            shapes,
+            &mut apsp,
+            assignments,
+            strategy,
+            optimal,
+            stats,
+            solve_time_us,
+        )
     }
 
     fn conv_assignment(&self, table: &CostTable, node: NodeId, name: &str) -> AssignmentKind {
@@ -179,9 +196,8 @@ impl<'a> Optimizer<'a> {
                         pick(&chw).map(|(n, _)| n.to_owned()).unwrap_or_else(|| "sum2d".into())
                     }
                     Strategy::FamilyBest(fam) => {
-                        let of_family = |n: &str| {
-                            self.registry.by_name(n).unwrap().descriptor().family == fam
-                        };
+                        let of_family =
+                            |n: &str| self.registry.by_name(n).unwrap().descriptor().family == fam;
                         match pick(&of_family) {
                             // §5.5: replace sum2d only when actually faster.
                             Some((n, c)) if c < sum2d_cost => n.to_owned(),
@@ -269,9 +285,7 @@ impl<'a> Optimizer<'a> {
             let inp = assignments[to.index()].kind.input_layout();
             let dims = shapes[from.index()];
             let t = apsp.table(dims);
-            let chain = t
-                .path(out, inp)
-                .ok_or(PlanError::NoLegalization { from: out, to: inp })?;
+            let chain = t.path(out, inp).ok_or(PlanError::NoLegalization { from: out, to: inp })?;
             let cost_us = t.cost(out, inp);
             edges.push(EdgeLegalization { from, to, chain, cost_us });
         }
@@ -333,10 +347,7 @@ mod tests {
     use pbqp_dnn_primitives::registry::full_library;
 
     fn setup() -> (Registry, AnalyticCost) {
-        (
-            Registry::new(full_library()),
-            AnalyticCost::new(MachineModel::intel_haswell_like(), 1),
-        )
+        (Registry::new(full_library()), AnalyticCost::new(MachineModel::intel_haswell_like(), 1))
     }
 
     #[test]
@@ -411,9 +422,9 @@ mod tests {
         let net = models::googlenet();
         // At least one family strategy must insert transforms on GoogleNet
         // (the §5.8 direct-family slowdown effect).
-        let any_transforms = Strategy::family_bars().iter().any(|&s| {
-            opt.plan(&net, s).unwrap().transform_count() > 0
-        });
+        let any_transforms = Strategy::family_bars()
+            .iter()
+            .any(|&s| opt.plan(&net, s).unwrap().transform_count() > 0);
         assert!(any_transforms);
     }
 

@@ -51,6 +51,22 @@ impl Strategy {
         }
     }
 
+    /// A unique, stable key for plan caching. Unlike [`Strategy::label`]
+    /// (which mirrors the paper's figure legends and can collide — e.g.
+    /// `Sum2d` and `FamilyBest(Family::Sum2d)` both display as "sum2d"),
+    /// every variant maps to a distinct key.
+    pub fn cache_key(&self) -> String {
+        match self {
+            Strategy::Pbqp => "pbqp".into(),
+            Strategy::PbqpHeuristic => "pbqp-heuristic".into(),
+            Strategy::Sum2d => "sum2d".into(),
+            Strategy::FamilyBest(f) => format!("family:{}", f.name()),
+            Strategy::LocalOptimalChw => "local-optimal-chw".into(),
+            Strategy::CaffeLike => "caffe-like".into(),
+            Strategy::VendorLike { vector_width } => format!("vendor:{vector_width}"),
+        }
+    }
+
     /// Framework dispatch/marshalling overhead multiplier applied to the
     /// predicted time. Models Caffe's per-layer blob management; the
     /// library-call strategies have none.

@@ -93,11 +93,8 @@ impl AnalyticCost {
                 // streams channel runs contiguously, while planar im2col
                 // gathers K² strided rows per channel — the reason the
                 // paper's Figure 4 selects im2row for AlexNet conv1.
-                let gather = if d.input_layout == pbqp_dnn_tensor::Layout::Hwc {
-                    1.08
-                } else {
-                    1.0
-                };
+                let gather =
+                    if d.input_layout == pbqp_dnn_tensor::Layout::Hwc { 1.08 } else { 1.0 };
                 (
                     base * patch_overhead,
                     efficiency * gather * 0.4 * self.machine.blas_efficiency * vw as f64,
@@ -183,13 +180,7 @@ impl AnalyticCost {
     /// Deterministic ±3 % jitter.
     fn jitter(&self, name: &str, s: &ConvScenario) -> f64 {
         let mut h = 0xcbf29ce484222325u64;
-        for b in self
-            .machine
-            .name
-            .bytes()
-            .chain(name.bytes())
-            .chain(format!("{s}").bytes())
-        {
+        for b in self.machine.name.bytes().chain(name.bytes()).chain(format!("{s}").bytes()) {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
@@ -231,6 +222,25 @@ impl CostSource for AnalyticCost {
         let compute_us = elems / (self.machine.freq_ghz * 1e9 * elems_per_cycle) * 1e6;
         let memory_us = elems * 8.0 / (self.machine.bandwidth_gbs * 1e9) * 1e6;
         compute_us.max(memory_us) + 2.0
+    }
+
+    /// The analytic model is a pure function of the machine parameters and
+    /// thread count, so those spell the whole key. All fields participate:
+    /// a custom model reusing a preset's name must not collide with it.
+    fn cache_key(&self) -> String {
+        let m = &self.machine;
+        format!(
+            "analytic:{}:v{}c{}f{}l{}b{}fma{}e{}:t{}",
+            m.name,
+            m.vector_width,
+            m.cores,
+            m.freq_ghz,
+            m.llc_bytes,
+            m.bandwidth_gbs,
+            m.fma_per_cycle,
+            m.blas_efficiency,
+            self.threads,
+        )
     }
 }
 

@@ -18,6 +18,17 @@ pub trait CostSource {
     /// Estimated/measured execution time of one direct layout
     /// transformation on a tensor of logical dimensions `dims`.
     fn transform_cost(&self, transform: DirectTransform, dims: (usize, usize, usize)) -> f64;
+
+    /// A key identifying this source's cost function for plan caching:
+    /// two sources with the same key must assign the same cost to every
+    /// (primitive, scenario) and (transform, dims) pair.
+    ///
+    /// The default is deliberately pessimistic — a process-unique sentinel
+    /// per call site would defeat caching, so unknown sources share the
+    /// `"uncacheable"` key and plan caches treat it as never matching.
+    fn cache_key(&self) -> String {
+        "uncacheable".into()
+    }
 }
 
 /// Profiled costs for one convolution layer: the scenario plus the cost of
@@ -170,10 +181,8 @@ impl fmt::Display for CostTable {
 fn node_id(index: usize) -> NodeId {
     let mut g = DnnGraph::new();
     for i in 0..=index {
-        let id = g.add(pbqp_dnn_graph::Layer::new(
-            format!("n{i}"),
-            pbqp_dnn_graph::LayerKind::Relu,
-        ));
+        let id =
+            g.add(pbqp_dnn_graph::Layer::new(format!("n{i}"), pbqp_dnn_graph::LayerKind::Relu));
         if i == index {
             return id;
         }

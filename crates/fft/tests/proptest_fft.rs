@@ -1,80 +1,94 @@
 //! Property tests for the FFT substrate: inverse round trips, linearity,
 //! agreement between the radix-2 and Bluestein paths, and correlation
 //! equivalence with the direct implementation.
-
-use proptest::prelude::*;
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! each test derives its random cases from a fixed-seed splitmix64
+//! generator — deterministic, but covering the same input space.
 
 use pbqp_dnn_fft::{correlate_1d, correlate_1d_direct, Bluestein, Complex, Fft};
+use pbqp_dnn_tensor::rng::SplitMix64;
 
-fn signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-3.0f32..3.0, len..=len)
+fn signal(rng: &mut SplitMix64, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.f32(-3.0, 3.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn radix2_inverse_round_trips(pow in 1u32..9, data in signal(512)) {
-        let n = 1usize << pow;
+#[test]
+fn radix2_inverse_round_trips() {
+    let mut rng = SplitMix64::new(10);
+    for _ in 0..64 {
+        let n = 1usize << rng.usize(1, 9);
+        let data = signal(&mut rng, n);
         let fft = Fft::new(n);
-        let mut buf: Vec<Complex> =
-            data[..n].iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let mut buf: Vec<Complex> = data.iter().map(|&x| Complex::new(x, 0.0)).collect();
         let orig = buf.clone();
         fft.forward(&mut buf);
         fft.inverse(&mut buf);
         for (a, b) in buf.iter().zip(&orig) {
-            prop_assert!((a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3);
+            assert!((a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn bluestein_inverse_round_trips(n in 1usize..80, data in signal(80)) {
+#[test]
+fn bluestein_inverse_round_trips() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..64 {
+        let n = rng.usize(1, 80);
+        let data = signal(&mut rng, n);
         let plan = Bluestein::new(n);
-        let mut buf: Vec<Complex> =
-            data[..n].iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let mut buf: Vec<Complex> = data.iter().map(|&x| Complex::new(x, 0.0)).collect();
         let orig = buf.clone();
         plan.forward(&mut buf);
         plan.inverse(&mut buf);
         for (a, b) in buf.iter().zip(&orig) {
-            prop_assert!((a.re - b.re).abs() < 2e-3 && (a.im - b.im).abs() < 2e-3);
+            assert!((a.re - b.re).abs() < 2e-3 && (a.im - b.im).abs() < 2e-3);
         }
     }
+}
 
-    /// The DFT is linear: F(x + y) = F(x) + F(y).
-    #[test]
-    fn fft_is_linear(pow in 1u32..8, xs in signal(256), ys in signal(256)) {
-        let n = 1usize << pow;
+/// The DFT is linear: F(x + y) = F(x) + F(y).
+#[test]
+fn fft_is_linear() {
+    let mut rng = SplitMix64::new(12);
+    for _ in 0..64 {
+        let n = 1usize << rng.usize(1, 8);
+        let xs = signal(&mut rng, n);
+        let ys = signal(&mut rng, n);
         let fft = Fft::new(n);
-        let mut x: Vec<Complex> = xs[..n].iter().map(|&v| Complex::new(v, 0.0)).collect();
-        let mut y: Vec<Complex> = ys[..n].iter().map(|&v| Complex::new(v, 0.0)).collect();
-        let mut sum: Vec<Complex> =
-            x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        let mut x: Vec<Complex> = xs.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut y: Vec<Complex> = ys.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
         fft.forward(&mut x);
         fft.forward(&mut y);
         fft.forward(&mut sum);
         for ((a, b), s) in x.iter().zip(&y).zip(&sum) {
             let lin = *a + *b;
-            prop_assert!((lin.re - s.re).abs() < 1e-2 && (lin.im - s.im).abs() < 1e-2);
+            assert!((lin.re - s.re).abs() < 1e-2 && (lin.im - s.im).abs() < 1e-2);
         }
     }
+}
 
-    /// FFT correlation equals the direct correlation for every shape.
-    #[test]
-    fn correlation_matches_direct(
-        w in 1usize..48,
-        k in 1usize..9,
-        pad in 0usize..4,
-        data in signal(64),
-    ) {
-        prop_assume!(w + 2 * pad >= k);
-        let sig = &data[..w];
-        let ker = &data[w..(w + k).min(64)];
-        prop_assume!(ker.len() == k);
-        let fast = correlate_1d(sig, ker, pad);
-        let slow = correlate_1d_direct(sig, ker, pad);
-        prop_assert_eq!(fast.len(), slow.len());
+/// FFT correlation equals the direct correlation for every shape.
+#[test]
+fn correlation_matches_direct() {
+    let mut rng = SplitMix64::new(13);
+    let mut cases = 0;
+    while cases < 64 {
+        let w = rng.usize(1, 48);
+        let k = rng.usize(1, 9);
+        let pad = rng.usize(0, 4);
+        if w + 2 * pad < k {
+            continue;
+        }
+        cases += 1;
+        let sig = signal(&mut rng, w);
+        let ker = signal(&mut rng, k);
+        let fast = correlate_1d(&sig, &ker, pad);
+        let slow = correlate_1d_direct(&sig, &ker, pad);
+        assert_eq!(fast.len(), slow.len());
         for (f, s) in fast.iter().zip(&slow) {
-            prop_assert!((f - s).abs() < 1e-3 * (1.0 + s.abs()));
+            assert!((f - s).abs() < 1e-3 * (1.0 + s.abs()));
         }
     }
 }

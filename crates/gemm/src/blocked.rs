@@ -8,6 +8,7 @@ const NB: usize = 256;
 const KB: usize = 128;
 
 /// `C = op(A)·op(B) + β·C` with rectangular cache tiling.
+#[allow(clippy::too_many_arguments)] // BLAS-shaped signature
 pub(crate) fn gemm(
     ta: Trans,
     tb: Trans,

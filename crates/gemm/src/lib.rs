@@ -130,6 +130,7 @@ impl Gemm {
     /// # Panics
     ///
     /// Panics if a slice is smaller than its operand shape requires.
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
     pub fn run(
         &self,
         ta: Trans,
@@ -154,7 +155,7 @@ impl Gemm {
             return;
         }
 
-        // The parallel driver slabs rows of C, which requires an N-form A;
+        // The parallel drivers slab rows of C, which requires an N-form A;
         // materialize the transpose once if needed.
         let a_owned;
         let a_n: &[f32] = match ta {
@@ -164,6 +165,22 @@ impl Gemm {
                 &a_owned
             }
         };
+
+        if self.kind == GemmKind::Packed {
+            // The packed kernel gets a dedicated driver that packs B once
+            // and shares the panels read-only across workers, instead of
+            // letting every row-slab worker re-pack all of B.
+            let b_owned;
+            let b_n: &[f32] = match tb {
+                Trans::N => &b[..k * n],
+                Trans::T => {
+                    b_owned = transpose(b, n, k);
+                    &b_owned
+                }
+            };
+            packed::gemm_nn_mt(m, n, k, a_n, b_n, beta, c, self.threads);
+            return;
+        }
 
         let rows_per = m.div_ceil(self.threads);
         std::thread::scope(|scope| {
@@ -187,6 +204,7 @@ impl Gemm {
         });
     }
 
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
     fn run_serial(
         &self,
         ta: Trans,
@@ -241,6 +259,7 @@ pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
 mod tests {
     use super::*;
 
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
     fn reference(
         ta: Trans,
         tb: Trans,
@@ -293,9 +312,9 @@ mod tests {
                     for tb in [Trans::N, Trans::T] {
                         for beta in [0.0f32, 1.0] {
                             let mut c = c0.clone();
-                            Gemm::new(kind).threads(threads).run(
-                                ta, tb, m, n, k, &a, &b, beta, &mut c,
-                            );
+                            Gemm::new(kind)
+                                .threads(threads)
+                                .run(ta, tb, m, n, k, &a, &b, beta, &mut c);
                             let want = reference(ta, tb, m, n, k, &a, &b, beta, &c0);
                             for (got, want) in c.iter().zip(&want) {
                                 assert!(
@@ -349,6 +368,46 @@ mod tests {
         let t = transpose(&m, 6, 4);
         let back = transpose(&t, 4, 6);
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn threaded_packed_is_bit_identical_to_serial() {
+        // The shared-panel driver must preserve the serial accumulation
+        // order exactly, not just within tolerance.
+        for (m, n, k) in [(8, 8, 8), (33, 17, 300), (130, 64, 40), (256, 9, 257)] {
+            let a = fill(m * k, 4);
+            let b = fill(k * n, 5);
+            let c0 = fill(m * n, 6);
+            for beta in [0.0f32, 0.5, 1.0] {
+                let mut serial = c0.clone();
+                Gemm::new(GemmKind::Packed).run(
+                    Trans::N,
+                    Trans::N,
+                    m,
+                    n,
+                    k,
+                    &a,
+                    &b,
+                    beta,
+                    &mut serial,
+                );
+                for threads in [2, 3, 7] {
+                    let mut par = c0.clone();
+                    Gemm::new(GemmKind::Packed).threads(threads).run(
+                        Trans::N,
+                        Trans::N,
+                        m,
+                        n,
+                        k,
+                        &a,
+                        &b,
+                        beta,
+                        &mut par,
+                    );
+                    assert_eq!(serial, par, "m={m} n={n} k={k} t={threads} beta={beta}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::Trans;
 
 /// `C = op(A)·op(B) + β·C`, straightforward `i j p` loop order.
+#[allow(clippy::too_many_arguments)] // BLAS-shaped signature
 pub(crate) fn gemm(
     ta: Trans,
     tb: Trans,

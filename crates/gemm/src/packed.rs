@@ -42,6 +42,80 @@ pub(crate) fn gemm_nn(
     }
 }
 
+/// Multithreaded `C = A·B + β·C`: each k-slab of B is packed **once** and
+/// shared read-only by every worker (the row-slab driver would re-pack it
+/// per thread), with contiguous row ranges of C fanned out over scoped
+/// threads per slab. The packing workspace stays at the serial kernel's
+/// `O(KC·n)` — one slab at a time — and each worker keeps a persistent
+/// A-panel buffer across slabs.
+///
+/// The k-slabs advance in the same ascending order as [`gemm_nn`] and
+/// worker boundaries fall on `MC` row-block boundaries, so every element
+/// of C accumulates its partial products in exactly the serial order —
+/// the parallel path is bit-identical to the serial one.
+#[allow(clippy::too_many_arguments)] // BLAS-shaped signature
+pub(crate) fn gemm_nn_mt(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    threads: usize,
+) {
+    // With a single row block there is nothing to fan out.
+    let blocks = m.div_ceil(MC);
+    let workers = threads.max(1).min(blocks.max(1));
+    if workers <= 1 {
+        return gemm_nn(m, n, k, a, b, beta, c);
+    }
+
+    // Scale C by beta once up front, exactly like the serial kernel.
+    if beta == 0.0 {
+        c[..m * n].fill(0.0);
+    } else if beta != 1.0 {
+        for v in c[..m * n].iter_mut() {
+            *v *= beta;
+        }
+    }
+
+    // Pre-split C into per-worker row slabs (on MC block boundaries) and
+    // give each worker a persistent A-panel buffer.
+    let blocks_per = blocks.div_ceil(workers);
+    let mut parts: Vec<(usize, &mut [f32])> = Vec::with_capacity(workers);
+    let mut c_rest = &mut c[..m * n];
+    let mut row = 0;
+    while !c_rest.is_empty() {
+        let rows = (blocks_per * MC).min(c_rest.len() / n);
+        let (c_slab, c_next) = c_rest.split_at_mut(rows * n);
+        c_rest = c_next;
+        parts.push((row, c_slab));
+        row += rows;
+    }
+    let mut a_packs = vec![vec![0.0f32; MC * KC]; parts.len()];
+
+    let mut b_pack = vec![0.0f32; KC * n.div_ceil(NR) * NR];
+    for p0 in (0..k).step_by(KC) {
+        let pc = KC.min(k - p0);
+        pack_b(&mut b_pack, b, n, k, p0, pc);
+        let b_pack = &b_pack;
+        std::thread::scope(|scope| {
+            for ((row0, c_slab), a_pack) in parts.iter_mut().zip(a_packs.iter_mut()) {
+                let row0 = *row0;
+                scope.spawn(move || {
+                    let rows = c_slab.len() / n;
+                    for i0 in (0..rows).step_by(MC) {
+                        let ic = MC.min(rows - i0);
+                        pack_a(a_pack, a, k, row0 + i0, ic, p0, pc);
+                        macro_kernel(a_pack, b_pack, c_slab, n, i0, ic, pc);
+                    }
+                });
+            }
+        });
+    }
+}
+
 /// Packs a `pc × n` horizontal slab of B into `NR`-wide column panels,
 /// zero-padding the final partial panel.
 fn pack_b(dst: &mut [f32], b: &[f32], n: usize, _k: usize, p0: usize, pc: usize) {
@@ -69,18 +143,22 @@ fn pack_a(dst: &mut [f32], a: &[f32], k: usize, i0: usize, ic: usize, p0: usize,
         let base = ip * pc * MR;
         for p in 0..pc {
             for r in 0..MR {
-                dst[base + p * MR + r] = if r < rh {
-                    a[(i0 + r0 + r) * k + p0 + p]
-                } else {
-                    0.0
-                };
+                dst[base + p * MR + r] = if r < rh { a[(i0 + r0 + r) * k + p0 + p] } else { 0.0 };
             }
         }
     }
 }
 
 /// Runs the micro-kernel over every (row panel, column panel) pair.
-fn macro_kernel(a_pack: &[f32], b_pack: &[f32], c: &mut [f32], n: usize, i0: usize, ic: usize, pc: usize) {
+fn macro_kernel(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+    n: usize,
+    i0: usize,
+    ic: usize,
+    pc: usize,
+) {
     let row_panels = ic.div_ceil(MR);
     let col_panels = n.div_ceil(NR);
     for ip in 0..row_panels {

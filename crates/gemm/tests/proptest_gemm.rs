@@ -1,11 +1,19 @@
 //! Property tests for the GEMM substrate: every kernel × transpose
 //! combination agrees with a high-precision reference, and the algebraic
 //! identities (transpose involution, beta-linearity) hold.
-
-use proptest::prelude::*;
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! each test derives its random cases from a fixed-seed splitmix64
+//! generator — deterministic, but covering the same input space.
 
 use pbqp_dnn_gemm::{transpose, Gemm, GemmKind, Trans};
+use pbqp_dnn_tensor::rng::SplitMix64;
 
+fn mat(rng: &mut SplitMix64, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.f32(-2.0, 2.0)).collect()
+}
+
+#[allow(clippy::too_many_arguments)] // BLAS-shaped signature
 fn reference(
     ta: Trans,
     tb: Trans,
@@ -38,67 +46,62 @@ fn reference(
     c
 }
 
-fn mat(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-2.0f32..2.0, len..=len)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_kernels_match_reference(
-        m in 1usize..24,
-        n in 1usize..24,
-        k in 1usize..24,
-        kind in prop::sample::select(GemmKind::ALL.to_vec()),
-        ta in prop::sample::select(vec![Trans::N, Trans::T]),
-        tb in prop::sample::select(vec![Trans::N, Trans::T]),
-        beta in prop::sample::select(vec![0.0f32, 1.0]),
-        threads in 1usize..4,
-        seed in 0u64..1000,
-    ) {
-        let gen = |len: usize, s: u64| -> Vec<f32> {
-            let mut state = (seed + s) | 1;
-            (0..len).map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
-            }).collect()
-        };
-        let a = gen(m * k, 1);
-        let b = gen(k * n, 2);
-        let c0 = gen(m * n, 3);
+#[test]
+fn all_kernels_match_reference() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for case in 0..48 {
+        let m = rng.usize(1, 24);
+        let n = rng.usize(1, 24);
+        let k = rng.usize(1, 24);
+        let kind = GemmKind::ALL[rng.usize(0, GemmKind::ALL.len())];
+        let ta = [Trans::N, Trans::T][rng.usize(0, 2)];
+        let tb = [Trans::N, Trans::T][rng.usize(0, 2)];
+        let beta = [0.0f32, 1.0][rng.usize(0, 2)];
+        let threads = rng.usize(1, 4);
+        let a = mat(&mut rng, m * k);
+        let b = mat(&mut rng, k * n);
+        let c0 = mat(&mut rng, m * n);
         let mut c = c0.clone();
         Gemm::new(kind).threads(threads).run(ta, tb, m, n, k, &a, &b, beta, &mut c);
         let want = reference(ta, tb, m, n, k, &a, &b, beta, &c0);
         for (got, want) in c.iter().zip(&want) {
-            prop_assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()));
+            assert!(
+                (got - want).abs() < 1e-3 * (1.0 + want.abs()),
+                "case {case}: {kind} t{threads} {ta:?}{tb:?} beta={beta}: {got} vs {want}"
+            );
         }
     }
+}
 
-    #[test]
-    fn transpose_is_an_involution(rows in 1usize..20, cols in 1usize..20, data in mat(400)) {
-        let src = &data[..rows * cols];
-        let back = transpose(&transpose(src, rows, cols), cols, rows);
-        prop_assert_eq!(src.to_vec(), back);
+#[test]
+fn transpose_is_an_involution() {
+    let mut rng = SplitMix64::new(0xDADA);
+    for _ in 0..48 {
+        let rows = rng.usize(1, 20);
+        let cols = rng.usize(1, 20);
+        let src = mat(&mut rng, rows * cols);
+        let back = transpose(&transpose(&src, rows, cols), cols, rows);
+        assert_eq!(src, back);
     }
+}
 
-    /// C = A·B with beta=1 twice equals 2·(A·B) when C starts at zero.
-    #[test]
-    fn beta_one_accumulates_linearly(
-        m in 1usize..10,
-        n in 1usize..10,
-        k in 1usize..10,
-        data in mat(300),
-    ) {
-        let a = &data[..m * k];
-        let b = &data[m * k..m * k + k * n];
+/// C = A·B with beta=1 twice equals 2·(A·B) when C starts at zero.
+#[test]
+fn beta_one_accumulates_linearly() {
+    let mut rng = SplitMix64::new(0xBEBA);
+    for _ in 0..48 {
+        let m = rng.usize(1, 10);
+        let n = rng.usize(1, 10);
+        let k = rng.usize(1, 10);
+        let a = mat(&mut rng, m * k);
+        let b = mat(&mut rng, k * n);
         let mut once = vec![0.0f32; m * n];
-        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, a, b, 0.0, &mut once);
+        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, &a, &b, 0.0, &mut once);
         let mut twice = vec![0.0f32; m * n];
-        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, a, b, 0.0, &mut twice);
-        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, a, b, 1.0, &mut twice);
+        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, &a, &b, 0.0, &mut twice);
+        Gemm::new(GemmKind::Packed).run(Trans::N, Trans::N, m, n, k, &a, &b, 1.0, &mut twice);
         for (x, y) in once.iter().zip(&twice) {
-            prop_assert!((2.0 * x - y).abs() < 1e-3 * (1.0 + y.abs()));
+            assert!((2.0 * x - y).abs() < 1e-3 * (1.0 + y.abs()));
         }
     }
 }

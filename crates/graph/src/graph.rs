@@ -197,8 +197,7 @@ impl DnnGraph {
     /// Returns [`GraphError::Cyclic`] if the graph has a cycle.
     pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
         let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
-        let mut queue: Vec<NodeId> =
-            self.node_ids().filter(|id| indeg[id.0] == 0).collect();
+        let mut queue: Vec<NodeId> = self.node_ids().filter(|id| indeg[id.0] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         let mut head = 0;
         while head < queue.len() {
@@ -238,10 +237,8 @@ impl DnnGraph {
         for id in order {
             let layer = &self.layers[id.0];
             let preds = &self.preds[id.0];
-            let single = |found: usize| GraphError::ArityMismatch {
-                node: layer.name.clone(),
-                found,
-            };
+            let single =
+                |found: usize| GraphError::ArityMismatch { node: layer.name.clone(), found };
             shapes[id.0] = match &layer.kind {
                 LayerKind::Input { c, h, w } => {
                     if !preds.is_empty() {
@@ -314,6 +311,80 @@ impl DnnGraph {
     pub fn find(&self, name: &str) -> Option<NodeId> {
         self.node_ids().find(|&id| self.layer(id).name == name)
     }
+
+    /// A structural fingerprint of the graph: a 64-bit FNV-1a hash over
+    /// every layer (name and kind, including full conv scenarios) and every
+    /// edge, in insertion order.
+    ///
+    /// Two graphs with the same fingerprint describe the same network, so
+    /// the fingerprint keys plan caches: repeated requests for a known
+    /// (graph, strategy, cost source) triple can skip the PBQP solve.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pbqp_dnn_graph::{DnnGraph, Layer, LayerKind};
+    ///
+    /// let mut a = DnnGraph::new();
+    /// a.add(Layer::new("data", LayerKind::Input { c: 3, h: 8, w: 8 }));
+    /// let mut b = a.clone();
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// b.add(Layer::new("relu", LayerKind::Relu));
+    /// assert_ne!(a.fingerprint(), b.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a::default();
+        self.layers.len().hash(&mut h);
+        for layer in &self.layers {
+            layer.name.hash(&mut h);
+            layer.kind.hash(&mut h);
+        }
+        for (from, to) in self.edges() {
+            from.index().hash(&mut h);
+            to.index().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// 64-bit FNV-1a: a tiny, stable, dependency-free hasher behind the
+/// workspace's structural fingerprints (the std `DefaultHasher` is
+/// explicitly not stable across releases, so it cannot key anything that
+/// should be reproducible).
+///
+/// # Example
+///
+/// ```
+/// use std::hash::Hasher;
+///
+/// let mut h = pbqp_dnn_graph::Fnv1a::default();
+/// h.write(b"conv1");
+/// let fp = h.finish();
+/// let mut h2 = pbqp_dnn_graph::Fnv1a::default();
+/// h2.write(b"conv1");
+/// assert_eq!(fp, h2.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -380,10 +451,7 @@ mod tests {
     fn conv_shape_mismatch_is_reported() {
         let mut g = DnnGraph::new();
         let input = g.add(Layer::new("data", LayerKind::Input { c: 3, h: 8, w: 8 }));
-        let conv = g.add(Layer::new(
-            "bad",
-            LayerKind::Conv(ConvScenario::new(5, 8, 8, 1, 3, 4)),
-        ));
+        let conv = g.add(Layer::new("bad", LayerKind::Conv(ConvScenario::new(5, 8, 8, 1, 3, 4))));
         g.connect(input, conv).unwrap();
         assert!(matches!(g.infer_shapes(), Err(GraphError::ShapeMismatch { .. })));
     }
@@ -412,5 +480,32 @@ mod tests {
         let (g, _, conv, _) = linear_graph();
         assert_eq!(g.find("conv1"), Some(conv));
         assert_eq!(g.find("nope"), None);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_structure() {
+        let (g, _, _, _) = linear_graph();
+        let (h, _, _, _) = linear_graph();
+        assert_eq!(g.fingerprint(), h.fingerprint());
+
+        // Same layers, different wiring.
+        let mut rewired = DnnGraph::new();
+        let input = rewired.add(Layer::new("data", LayerKind::Input { c: 3, h: 8, w: 8 }));
+        let conv =
+            rewired.add(Layer::new("conv1", LayerKind::Conv(ConvScenario::new(3, 8, 8, 1, 3, 4))));
+        let relu = rewired.add(Layer::new("relu1", LayerKind::Relu));
+        rewired.connect(input, relu).unwrap();
+        rewired.connect(relu, conv).unwrap();
+        assert_ne!(g.fingerprint(), rewired.fingerprint());
+
+        // A changed scenario parameter changes the fingerprint.
+        let mut scaled = DnnGraph::new();
+        let input = scaled.add(Layer::new("data", LayerKind::Input { c: 3, h: 8, w: 8 }));
+        let conv =
+            scaled.add(Layer::new("conv1", LayerKind::Conv(ConvScenario::new(3, 8, 8, 1, 3, 5))));
+        let relu = scaled.add(Layer::new("relu1", LayerKind::Relu));
+        scaled.connect(input, conv).unwrap();
+        scaled.connect(conv, relu).unwrap();
+        assert_ne!(g.fingerprint(), scaled.fingerprint());
     }
 }

@@ -30,6 +30,6 @@ mod layer;
 pub mod models;
 mod scenario;
 
-pub use graph::{DnnGraph, GraphError, NodeId};
+pub use graph::{DnnGraph, Fnv1a, GraphError, NodeId};
 pub use layer::{Layer, LayerKind, PoolKind};
 pub use scenario::ConvScenario;

@@ -123,11 +123,8 @@ impl<'g> Chain<'g> {
         self.g.connect(self.tip, id).expect("valid ids");
         self.tip = id;
         let (c, h, w) = self.shape;
-        self.shape = (
-            c,
-            (h + 2 * pad - k).div_ceil(stride) + 1,
-            (w + 2 * pad - k).div_ceil(stride) + 1,
-        );
+        self.shape =
+            (c, (h + 2 * pad - k).div_ceil(stride) + 1, (w + 2 * pad - k).div_ceil(stride) + 1);
     }
 
     fn fc(&mut self, name: &str, out: usize) {
@@ -311,6 +308,83 @@ pub fn evaluation_models() -> Vec<(&'static str, DnnGraph)> {
     ]
 }
 
+/// AlexNet's structure at roughly 1/4 scale: strided K11 head, K5 middle,
+/// K3 tail, LRN and pooling in between. Small enough for tests and
+/// benchmarks that execute on real tensors, while still exercising every
+/// layer kind of the full network.
+pub fn micro_alexnet() -> DnnGraph {
+    let mut g = DnnGraph::new();
+    let mut prev = g.add(Layer::new("data", LayerKind::Input { c: 3, h: 57, w: 57 }));
+    let tack = |g: &mut DnnGraph, layer: Layer, prev: &mut NodeId| {
+        let id = g.add(layer);
+        g.connect(*prev, id).unwrap();
+        *prev = id;
+    };
+    tack(
+        &mut g,
+        Layer::new("conv1", LayerKind::Conv(ConvScenario::new(3, 57, 57, 4, 11, 12).with_pad(0))),
+        &mut prev,
+    );
+    tack(&mut g, Layer::new("relu1", LayerKind::Relu), &mut prev);
+    tack(&mut g, Layer::new("norm1", LayerKind::Lrn), &mut prev);
+    tack(
+        &mut g,
+        Layer::new("pool1", LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 }),
+        &mut prev,
+    );
+    tack(
+        &mut g,
+        Layer::new("conv2", LayerKind::Conv(ConvScenario::new(12, 6, 6, 1, 5, 24))),
+        &mut prev,
+    );
+    tack(&mut g, Layer::new("relu2", LayerKind::Relu), &mut prev);
+    tack(
+        &mut g,
+        Layer::new("conv3", LayerKind::Conv(ConvScenario::new(24, 6, 6, 1, 3, 16))),
+        &mut prev,
+    );
+    tack(&mut g, Layer::new("fc", LayerKind::FullyConnected { out: 10 }), &mut prev);
+    tack(&mut g, Layer::new("prob", LayerKind::Softmax), &mut prev);
+    g
+}
+
+/// A GoogleNet-style inception module at miniature scale: fan-out into
+/// 1×1 / 3×3 / 5×5 / pool-proj branches joined by concat — the branching
+/// shape that gives a wavefront scheduler independent nodes to run
+/// concurrently.
+pub fn micro_inception() -> DnnGraph {
+    let mut g = DnnGraph::new();
+    let data = g.add(Layer::new("data", LayerKind::Input { c: 8, h: 14, w: 14 }));
+    let conv = |c, k, m| LayerKind::Conv(ConvScenario::new(c, 14, 14, 1, k, m));
+    let b1 = g.add(Layer::new("1x1", conv(8, 1, 4)));
+    let b2r = g.add(Layer::new("3x3_reduce", conv(8, 1, 4)));
+    let b2 = g.add(Layer::new("3x3", conv(4, 3, 6)));
+    let b3r = g.add(Layer::new("5x5_reduce", conv(8, 1, 2)));
+    let b3 = g.add(Layer::new("5x5", conv(2, 5, 4)));
+    let pool =
+        g.add(Layer::new("pool", LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 1, pad: 1 }));
+    let b4 = g.add(Layer::new("pool_proj", conv(8, 1, 2)));
+    let cat = g.add(Layer::new("concat", LayerKind::Concat));
+    let out = g.add(Layer::new("out", conv(16, 3, 8)));
+    for (a, b) in [
+        (data, b1),
+        (data, b2r),
+        (b2r, b2),
+        (data, b3r),
+        (b3r, b3),
+        (data, pool),
+        (pool, b4),
+        (b1, cat),
+        (b2, cat),
+        (b3, cat),
+        (b4, cat),
+        (cat, out),
+    ] {
+        g.connect(a, b).unwrap();
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,8 +424,7 @@ mod tests {
     #[test]
     fn vgg_c_contains_pointwise_convs() {
         let net = vgg(VggVariant::C);
-        let pointwise =
-            net.conv_scenarios().iter().filter(|(_, s)| s.is_pointwise()).count();
+        let pointwise = net.conv_scenarios().iter().filter(|(_, s)| s.is_pointwise()).count();
         assert_eq!(pointwise, 3);
         // VGG-D is the same depth but all 3×3.
         let d = vgg(VggVariant::D);

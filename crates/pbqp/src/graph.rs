@@ -128,11 +128,8 @@ impl PbqpGraph {
         if (m.rows(), m.cols()) != expected {
             return Err(PbqpError::MatrixShape { expected, found: (m.rows(), m.cols()) });
         }
-        let (key, oriented) = if from.0 < to.0 {
-            ((from.0, to.0), m)
-        } else {
-            ((to.0, from.0), m.transposed())
-        };
+        let (key, oriented) =
+            if from.0 < to.0 { ((from.0, to.0), m) } else { ((to.0, from.0), m.transposed()) };
         match self.edges.get_mut(&key) {
             Some(existing) => existing.add_assign(&oriented),
             None => {
@@ -217,8 +214,7 @@ mod tests {
         let mut g = PbqpGraph::new();
         let a = g.add_node(vec![5.0, 1.0]);
         let b = g.add_node(vec![2.0, 7.0]);
-        g.add_edge(a, b, CostMatrix::from_rows(&[vec![0.0, 10.0], vec![20.0, 0.0]]))
-            .unwrap();
+        g.add_edge(a, b, CostMatrix::from_rows(&[vec![0.0, 10.0], vec![20.0, 0.0]])).unwrap();
         assert_eq!(g.assignment_cost(&[0, 0]), 5.0 + 2.0);
         assert_eq!(g.assignment_cost(&[1, 0]), 1.0 + 2.0 + 20.0);
     }

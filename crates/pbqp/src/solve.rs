@@ -198,17 +198,8 @@ impl Solver {
         let mut best_cost = incumbent_cost;
         let mut steps = 0u64;
         let mut sel = vec![usize::MAX; core.len()];
-        let complete = self.branch(
-            st,
-            core,
-            &order,
-            0,
-            0.0,
-            &mut sel,
-            &mut best,
-            &mut best_cost,
-            &mut steps,
-        );
+        let complete =
+            self.branch(st, core, &order, 0, 0.0, &mut sel, &mut best, &mut best_cost, &mut steps);
         stats.bb_steps = steps;
         (best, complete)
     }
@@ -217,8 +208,7 @@ impl Solver {
     /// option given already-assigned neighbours (optimistic minima toward
     /// unassigned ones).
     fn rn_greedy(&self, st: &State, core: &[usize], order: &[usize]) -> Vec<usize> {
-        let pos: HashMap<usize, usize> =
-            core.iter().enumerate().map(|(ci, &u)| (u, ci)).collect();
+        let pos: HashMap<usize, usize> = core.iter().enumerate().map(|(ci, &u)| (u, ci)).collect();
         let mut sel = vec![usize::MAX; core.len()];
         for &ci in order {
             let u = core[ci];
@@ -246,8 +236,7 @@ impl Solver {
     }
 
     fn core_cost(&self, st: &State, core: &[usize], sel: &[usize]) -> f64 {
-        let pos: HashMap<usize, usize> =
-            core.iter().enumerate().map(|(ci, &u)| (u, ci)).collect();
+        let pos: HashMap<usize, usize> = core.iter().enumerate().map(|(ci, &u)| (u, ci)).collect();
         let mut total = 0.0;
         for (ci, &u) in core.iter().enumerate() {
             total += st.costs[u][sel[ci]];
@@ -287,8 +276,7 @@ impl Solver {
             return true;
         }
 
-        let pos: HashMap<usize, usize> =
-            core.iter().enumerate().map(|(ci, &u)| (u, ci)).collect();
+        let pos: HashMap<usize, usize> = core.iter().enumerate().map(|(ci, &u)| (u, ci)).collect();
         let ci = order[depth];
         let u = core[ci];
         let opts = st.costs[u].len();
@@ -348,6 +336,7 @@ impl Solver {
 }
 
 /// Back-propagation record for one eliminated node.
+#[allow(clippy::upper_case_acronyms)] // RI/RII are the literature's names
 enum Reduction {
     R0 { node: usize, choice: usize },
     RI { node: usize, neighbor: usize, best: Vec<usize> },
@@ -381,7 +370,11 @@ impl State {
     fn normalize_all(&mut self) {
         let pairs: Vec<(usize, usize)> = (0..self.adj.len())
             .flat_map(|u| {
-                self.adj[u].keys().filter(move |&&v| v > u).map(move |&v| (u, v)).collect::<Vec<_>>()
+                self.adj[u]
+                    .keys()
+                    .filter(move |&&v| v > u)
+                    .map(move |&v| (u, v))
+                    .collect::<Vec<_>>()
             })
             .collect();
         for (u, v) in pairs {
@@ -475,6 +468,7 @@ impl State {
 
         let v_opts = self.costs[v].len();
         let mut best = vec![0usize; v_opts];
+        #[allow(clippy::needless_range_loop)] // j also indexes the matrix column
         for j in 0..v_opts {
             let mut bi = 0;
             let mut bv = f64::INFINITY;
@@ -587,21 +581,13 @@ mod tests {
         g.add_edge(
             c1,
             c2,
-            CostMatrix::from_rows(&[
-                vec![0.0, 2.0, 4.0],
-                vec![4.0, 0.0, 5.0],
-                vec![2.0, 1.0, 0.0],
-            ]),
+            CostMatrix::from_rows(&[vec![0.0, 2.0, 4.0], vec![4.0, 0.0, 5.0], vec![2.0, 1.0, 0.0]]),
         )
         .unwrap();
         g.add_edge(
             c2,
             c3,
-            CostMatrix::from_rows(&[
-                vec![0.0, 3.0, 5.0],
-                vec![6.0, 0.0, 5.0],
-                vec![1.0, 5.0, 0.0],
-            ]),
+            CostMatrix::from_rows(&[vec![0.0, 3.0, 5.0], vec![6.0, 0.0, 5.0], vec![1.0, 5.0, 0.0]]),
         )
         .unwrap();
         let s = Solver::new().solve(&g).unwrap();
@@ -634,12 +620,8 @@ mod tests {
         let mut g = PbqpGraph::new();
         let a = g.add_node(vec![1.0, 10.0]);
         let b = g.add_node(vec![1.0, 10.0]);
-        g.add_edge(
-            a,
-            b,
-            CostMatrix::from_rows(&[vec![f64::INFINITY, 0.0], vec![0.0, 0.0]]),
-        )
-        .unwrap();
+        g.add_edge(a, b, CostMatrix::from_rows(&[vec![f64::INFINITY, 0.0], vec![0.0, 0.0]]))
+            .unwrap();
         let s = Solver::new().solve(&g).unwrap();
         assert!(s.optimal);
         assert_eq!(s.total_cost, 11.0);

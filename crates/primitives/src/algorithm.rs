@@ -70,7 +70,13 @@ pub(crate) fn check_args(
     if input.dims() != (s.c, s.h, s.w) {
         return Err(PrimitiveError::ShapeMismatch {
             primitive: desc.name.clone(),
-            detail: format!("input dims {:?} != scenario ({}, {}, {})", input.dims(), s.c, s.h, s.w),
+            detail: format!(
+                "input dims {:?} != scenario ({}, {}, {})",
+                input.dims(),
+                s.c,
+                s.h,
+                s.w
+            ),
         });
     }
     if kernel.dims() != (s.m, s.c, s.k, s.k) {

@@ -242,8 +242,8 @@ fn hwkkcm_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor
                     }
                 }
             }
-            for m in 0..s.m {
-                out.set(m, y, x, acc[m]);
+            for (m, &v) in acc.iter().enumerate() {
+                out.set(m, y, x, v);
             }
         }
     }

@@ -44,7 +44,10 @@ impl FftConv {
             two_d: variant == FftVariant::TwoD,
             bluestein: variant == FftVariant::RowBluestein,
         };
-        FftConv { desc: PrimitiveDescriptor::new(name, Family::Fft, lin, lout).with_hint(hint), variant }
+        FftConv {
+            desc: PrimitiveDescriptor::new(name, Family::Fft, lin, lout).with_hint(hint),
+            variant,
+        }
     }
 }
 
@@ -146,8 +149,8 @@ fn row_fft_conv(
         for y in 0..s.h {
             let buf = &mut row_fft[y * n..(y + 1) * n];
             buf.fill(Complex::ZERO);
-            for x in 0..s.w {
-                buf[x] = Complex::new(input.at(c, y, x), 0.0);
+            for (x, slot) in buf.iter_mut().enumerate().take(s.w) {
+                *slot = Complex::new(input.at(c, y, x), 0.0);
             }
             plan.forward(buf);
         }
@@ -156,8 +159,8 @@ fn row_fft_conv(
             for i in 0..s.k {
                 let buf = &mut ker_fft[(m * s.k + i) * n..(m * s.k + i + 1) * n];
                 buf.fill(Complex::ZERO);
-                for j in 0..s.k {
-                    buf[j] = Complex::new(kernel.at(m, c, i, s.k - 1 - j), 0.0);
+                for (j, slot) in buf.iter_mut().enumerate().take(s.k) {
+                    *slot = Complex::new(kernel.at(m, c, i, s.k - 1 - j), 0.0);
                 }
                 plan.forward(buf);
             }

@@ -284,18 +284,8 @@ pub(crate) fn all() -> Vec<Box<dyn ConvAlgorithm>> {
     let mut prims: Vec<Box<dyn ConvAlgorithm>> = Vec::new();
     for (gk, gname) in [(Naive, "naive"), (Blocked, "blocked"), (Packed, "packed")] {
         for (kt, tname) in [(false, "nn"), (true, "kt")] {
-            prims.push(Box::new(Im2Conv::new(
-                &format!("im2col_{gname}_{tname}"),
-                Col,
-                gk,
-                kt,
-            )));
-            prims.push(Box::new(Im2Conv::new(
-                &format!("im2row_{gname}_{tname}"),
-                Row,
-                gk,
-                kt,
-            )));
+            prims.push(Box::new(Im2Conv::new(&format!("im2col_{gname}_{tname}"), Col, gk, kt)));
+            prims.push(Box::new(Im2Conv::new(&format!("im2row_{gname}_{tname}"), Row, gk, kt)));
         }
     }
     prims.push(Box::new(Im2Conv::new("im2col_packed_hwc_out", ColToHwc, Packed, false)));

@@ -48,9 +48,7 @@ pub struct Sum2d {
 impl Sum2d {
     /// Creates the baseline primitive.
     pub fn new() -> Sum2d {
-        Sum2d {
-            desc: PrimitiveDescriptor::new("sum2d", Family::Sum2d, Layout::Chw, Layout::Chw),
-        }
+        Sum2d { desc: PrimitiveDescriptor::new("sum2d", Family::Sum2d, Layout::Chw, Layout::Chw) }
     }
 }
 

@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 use pbqp_dnn_graph::ConvScenario;
 
-use crate::{direct, fft_conv, im2, kn2, pointwise, reference, sparse, winograd, ConvAlgorithm, Family};
+use crate::{
+    direct, fft_conv, im2, kn2, pointwise, reference, sparse, winograd, ConvAlgorithm, Family,
+};
 
 /// Builds the complete primitive library (70+ routines).
 pub fn full_library() -> Vec<Arc<dyn ConvAlgorithm>> {
@@ -160,10 +162,7 @@ mod tests {
         let strided = ConvScenario::new(3, 227, 227, 4, 11, 96).with_pad(0);
         for p in reg.candidates(&strided) {
             assert!(
-                !matches!(
-                    p.descriptor().family,
-                    Family::Winograd | Family::Kn2 | Family::Fft
-                ),
+                !matches!(p.descriptor().family, Family::Winograd | Family::Kn2 | Family::Fft),
                 "{} should not support strided conv",
                 p.descriptor().name
             );

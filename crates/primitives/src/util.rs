@@ -62,7 +62,7 @@ pub(crate) fn par_chunks_mut<F>(data: &mut [f32], chunk_len: usize, threads: usi
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    assert!(chunk_len > 0 && data.len() % chunk_len == 0);
+    assert!(chunk_len > 0 && data.len().is_multiple_of(chunk_len));
     let threads = threads.max(1);
     if threads <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {

@@ -1,16 +1,19 @@
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
 use pbqp_dnn_graph::{DnnGraph, GraphError, LayerKind, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
-use pbqp_dnn_primitives::{reference::sum2d_reference, PrimitiveError};
+use pbqp_dnn_primitives::{reference::sum2d_reference, ConvAlgorithm, PrimitiveError};
 use pbqp_dnn_select::{AssignmentKind, ExecutionPlan};
 use pbqp_dnn_tensor::transform::{apply_direct, DirectTransform};
-use pbqp_dnn_tensor::{Layout, Tensor, TensorError};
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor, TensorError};
 
 use crate::ops;
 use crate::weights::Weights;
+use crate::Parallelism;
 
 /// Errors from plan execution.
 #[derive(Debug)]
@@ -60,13 +63,265 @@ impl From<TensorError> for RuntimeError {
     }
 }
 
+/// What one compiled step computes.
+enum StepOp<'a> {
+    /// A convolution dispatched to its selected primitive.
+    Conv {
+        prim: &'a dyn ConvAlgorithm,
+        kernel: &'a KernelTensor,
+        scenario: &'a pbqp_dnn_graph::ConvScenario,
+    },
+    /// The network input node: shape check plus the plan's conversion
+    /// chain into the node's chosen layout.
+    Input { c: usize, h: usize, w: usize, layout: Layout, chain: &'a [DirectTransform] },
+    /// A non-conv layer computed directly in its assigned layout.
+    Dummy { kind: &'a LayerKind, layout: Layout, fc_weights: Option<&'a [f32]> },
+}
+
+/// One node of the compiled schedule: resolved operator plus the
+/// legalization chains of its incoming edges.
+struct Step<'a> {
+    node: NodeId,
+    /// `(predecessor node index, edge chain)` in predecessor order.
+    preds: Vec<(usize, &'a [DirectTransform])>,
+    op: StepOp<'a>,
+}
+
+/// A plan compiled against its graph, registry and weights: topological
+/// step order, wavefront levels, and every per-run lookup (primitive
+/// resolution, edge chains, weight references) hoisted out of the
+/// execution loop. Built once per [`Executor`] run family and shared by
+/// every batch item and wavefront worker.
+struct Schedule<'a> {
+    /// Steps in topological order. `Step::node` indexes the value slots.
+    steps: Vec<Step<'a>>,
+    /// Wavefront levels: indices into `steps` whose nodes have no
+    /// dependencies among each other — safe to run concurrently.
+    levels: Vec<Vec<usize>>,
+    /// Dense value-slot count (`graph.len()`).
+    slots: usize,
+    /// The node whose value is the network output.
+    last: NodeId,
+}
+
+impl<'a> Schedule<'a> {
+    fn compile(ex: &Executor<'a>) -> Result<Schedule<'a>, RuntimeError> {
+        let order = ex.graph.topo_order()?;
+        let chains: HashMap<(usize, usize), &[DirectTransform]> = ex
+            .plan
+            .edges
+            .iter()
+            .map(|e| ((e.from.index(), e.to.index()), e.chain.as_slice()))
+            .collect();
+        let input_chains: HashMap<usize, &[DirectTransform]> =
+            ex.plan.input_conversion.iter().map(|(n, c, _)| (n.index(), c.as_slice())).collect();
+
+        let mut steps = Vec::with_capacity(order.len());
+        let mut level_of = vec![0usize; ex.graph.len()];
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        for (step_ix, &node) in order.iter().enumerate() {
+            let layer = ex.graph.layer(node);
+            let preds: Vec<(usize, &[DirectTransform])> = ex
+                .graph
+                .predecessors(node)
+                .iter()
+                .map(|p| {
+                    let chain = chains.get(&(p.index(), node.index())).copied().unwrap_or(&[]);
+                    (p.index(), chain)
+                })
+                .collect();
+
+            let op = match (&layer.kind, ex.plan.assignment(node)) {
+                (LayerKind::Conv(s), AssignmentKind::Conv { primitive, .. }) => {
+                    let prim = ex
+                        .registry
+                        .by_name(primitive)
+                        .ok_or_else(|| RuntimeError::UnknownPrimitive(primitive.clone()))?;
+                    let kernel = ex
+                        .weights
+                        .conv_kernel(node)
+                        .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?;
+                    StepOp::Conv { prim: prim.as_ref(), kernel, scenario: s }
+                }
+                (LayerKind::Input { c, h, w }, AssignmentKind::Dummy { layout }) => {
+                    let chain = input_chains.get(&node.index()).copied().unwrap_or(&[]);
+                    StepOp::Input { c: *c, h: *h, w: *w, layout: *layout, chain }
+                }
+                (kind, AssignmentKind::Dummy { layout }) => {
+                    let fc_weights = if let LayerKind::FullyConnected { .. } = kind {
+                        Some(
+                            ex.weights
+                                .fc_matrix(node)
+                                .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?,
+                        )
+                    } else {
+                        None
+                    };
+                    StepOp::Dummy { kind, layout: *layout, fc_weights }
+                }
+                (kind, AssignmentKind::Conv { .. }) => {
+                    unreachable!("conv assignment on non-conv layer {kind}")
+                }
+            };
+
+            let level = preds.iter().map(|&(p, _)| level_of[p] + 1).max().unwrap_or(0);
+            level_of[node.index()] = level;
+            if levels.len() <= level {
+                levels.resize_with(level + 1, Vec::new);
+            }
+            levels[level].push(step_ix);
+            steps.push(Step { node, preds, op });
+        }
+
+        let last = *order.last().expect("graph validated as non-empty");
+        Ok(Schedule { steps, levels, slots: ex.graph.len(), last })
+    }
+
+    /// Evaluates one step against the already-computed `values`.
+    fn eval(
+        &self,
+        step: &Step<'a>,
+        values: &[Option<Tensor>],
+        input: &Tensor,
+        intra_op: usize,
+    ) -> Result<Tensor, RuntimeError> {
+        // Inputs, converted along each edge's legalization chain. The
+        // common case — an empty chain — borrows the stored activation
+        // instead of copying it; only real conversions materialize.
+        let mut inputs: Vec<Cow<'_, Tensor>> = Vec::with_capacity(step.preds.len());
+        for &(pred, chain) in &step.preds {
+            let stored = values[pred].as_ref().expect("scheduling guarantees predecessors ran");
+            match chain.split_first() {
+                None => inputs.push(Cow::Borrowed(stored)),
+                Some((first, rest)) => {
+                    let mut t = apply_direct(stored, first.to)?;
+                    for hop in rest {
+                        t = apply_direct(&t, hop.to)?;
+                    }
+                    inputs.push(Cow::Owned(t));
+                }
+            }
+        }
+
+        Ok(match &step.op {
+            StepOp::Conv { prim, kernel, scenario } => {
+                prim.execute(&inputs[0], kernel, scenario, intra_op)?
+            }
+            StepOp::Input { c, h, w, layout, chain } => {
+                if input.dims() != (*c, *h, *w) {
+                    return Err(RuntimeError::BadInput(format!(
+                        "expected {:?}, got {:?}",
+                        (c, h, w),
+                        input.dims()
+                    )));
+                }
+                let mut t = input.clone();
+                if chain.is_empty() {
+                    if t.layout() != *layout {
+                        // Defensive: plans always carry the chain, but a
+                        // hand-built plan may not.
+                        t = t.to_layout(*layout);
+                    }
+                } else {
+                    for hop in *chain {
+                        t = apply_direct(&t, hop.to)?;
+                    }
+                }
+                t
+            }
+            StepOp::Dummy { kind, layout, fc_weights } => match kind {
+                LayerKind::Relu => ops::relu(&inputs[0], *layout),
+                LayerKind::Pool { kind, k, stride, pad } => {
+                    ops::pool(&inputs[0], *layout, *kind, *k, *stride, *pad)
+                }
+                LayerKind::Lrn => ops::lrn(&inputs[0], *layout),
+                LayerKind::Dropout => inputs.swap_remove(0).into_owned(),
+                LayerKind::FullyConnected { out } => {
+                    let w = fc_weights.expect("resolved at compile time");
+                    ops::fully_connected(&inputs[0], w, *out, *layout)
+                }
+                LayerKind::Concat => {
+                    let refs: Vec<&Tensor> = inputs.iter().map(|c| c.as_ref()).collect();
+                    ops::concat(&refs, *layout)
+                }
+                LayerKind::Softmax => ops::softmax(&inputs[0], *layout),
+                LayerKind::Input { .. } | LayerKind::Conv(_) => {
+                    unreachable!("compiled as StepOp::Input / StepOp::Conv")
+                }
+            },
+        })
+    }
+
+    /// Runs every step in topological order on the calling thread.
+    fn execute_serial(&self, input: &Tensor, intra_op: usize) -> Result<Tensor, RuntimeError> {
+        let mut values: Vec<Option<Tensor>> = (0..self.slots).map(|_| None).collect();
+        for step in &self.steps {
+            values[step.node.index()] = Some(self.eval(step, &values, input, intra_op)?);
+        }
+        Ok(values[self.last.index()].take().expect("last node ran"))
+    }
+
+    /// Walks the DAG level by level, running each level's independent
+    /// nodes concurrently on up to `par.inter_op` scoped threads.
+    fn execute_wavefront(&self, input: &Tensor, par: Parallelism) -> Result<Tensor, RuntimeError> {
+        let mut values: Vec<Option<Tensor>> = (0..self.slots).map(|_| None).collect();
+        for level in &self.levels {
+            if level.len() <= 1 || par.inter_op <= 1 {
+                for &six in level {
+                    let step = &self.steps[six];
+                    values[step.node.index()] =
+                        Some(self.eval(step, &values, input, par.intra_op)?);
+                }
+                continue;
+            }
+            // Fan the level out; commit results only after every worker
+            // joined, so `values` stays immutable while shared.
+            let per = level.len().div_ceil(par.inter_op);
+            let computed: Vec<Vec<(usize, Result<Tensor, RuntimeError>)>> =
+                std::thread::scope(|scope| {
+                    let values = &values;
+                    let handles: Vec<_> = level
+                        .chunks(per)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk
+                                    .iter()
+                                    .map(|&six| {
+                                        let step = &self.steps[six];
+                                        (
+                                            step.node.index(),
+                                            self.eval(step, values, input, par.intra_op),
+                                        )
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("wavefront worker panicked"))
+                        .collect()
+                });
+            for (slot, result) in computed.into_iter().flatten() {
+                values[slot] = Some(result?);
+            }
+        }
+        Ok(values[self.last.index()].take().expect("last node ran"))
+    }
+}
+
 /// Executes an [`ExecutionPlan`] on real tensors — the runtime counterpart
-/// of the paper's generated code (§5.2).
+/// of the paper's generated code (§5.2), grown into a parallel batched
+/// engine (see [`Executor::run_with`] and [`Executor::run_batch`]).
 pub struct Executor<'a> {
     graph: &'a DnnGraph,
     plan: &'a ExecutionPlan,
     registry: &'a Registry,
     weights: &'a Weights,
+    /// Memoized compiled schedule: every execution mode shares one
+    /// compilation per executor. (`Schedule` borrows only the `'a`-lived
+    /// inputs above, not the executor itself.)
+    schedule: OnceLock<Schedule<'a>>,
 }
 
 impl<'a> Executor<'a> {
@@ -77,134 +332,114 @@ impl<'a> Executor<'a> {
         registry: &'a Registry,
         weights: &'a Weights,
     ) -> Executor<'a> {
-        Executor { graph, plan, registry, weights }
+        Executor { graph, plan, registry, weights, schedule: OnceLock::new() }
     }
 
-    /// Runs one forward pass. `input` must be the canonical-CHW network
-    /// input; the plan's input-conversion chain is applied automatically.
-    /// Returns the output of the last layer in topological order.
-    ///
-    /// # Errors
-    ///
-    /// Propagates graph, primitive, transformation and weight errors.
-    pub fn run(&self, input: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+    /// The compiled schedule, built on first use. Compilation errors
+    /// (unknown primitive, missing weights, malformed graph) are not
+    /// cached — they surface on every call.
+    fn schedule(&self) -> Result<&Schedule<'a>, RuntimeError> {
+        if let Some(s) = self.schedule.get() {
+            return Ok(s);
+        }
+        let compiled = Schedule::compile(self)?;
+        Ok(self.schedule.get_or_init(|| compiled))
+    }
+
+    fn check_input(input: &Tensor) -> Result<(), RuntimeError> {
         if input.layout() != Layout::Chw {
             return Err(RuntimeError::BadInput(format!(
                 "network inputs are canonical CHW, got {}",
                 input.layout()
             )));
         }
-        let order = self.graph.topo_order()?;
-        // Edge chains keyed by (from, to).
-        let chains: HashMap<(usize, usize), &[DirectTransform]> = self
-            .plan
-            .edges
-            .iter()
-            .map(|e| ((e.from.index(), e.to.index()), e.chain.as_slice()))
-            .collect();
-        let input_chains: HashMap<usize, &[DirectTransform]> = self
-            .plan
-            .input_conversion
-            .iter()
-            .map(|(n, c, _)| (n.index(), c.as_slice()))
-            .collect();
-
-        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
-        let mut last = None;
-        for node in order {
-            let layer = self.graph.layer(node);
-            // Inputs, converted along each edge's legalization chain.
-            let mut inputs = Vec::new();
-            for &pred in self.graph.predecessors(node) {
-                let mut t = values[pred.index()]
-                    .as_ref()
-                    .expect("topological order guarantees predecessors ran")
-                    .clone();
-                if let Some(chain) = chains.get(&(pred.index(), node.index())) {
-                    for hop in *chain {
-                        t = apply_direct(&t, hop.to)?;
-                    }
-                }
-                inputs.push(t);
-            }
-
-            let out = match (&layer.kind, self.plan.assignment(node)) {
-                (LayerKind::Conv(s), AssignmentKind::Conv { primitive, .. }) => {
-                    let prim = self
-                        .registry
-                        .by_name(primitive)
-                        .ok_or_else(|| RuntimeError::UnknownPrimitive(primitive.clone()))?;
-                    let kernel = self
-                        .weights
-                        .conv_kernel(node)
-                        .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?;
-                    prim.execute(&inputs[0], kernel, s, threads)?
-                }
-                (LayerKind::Input { c, h, w }, AssignmentKind::Dummy { layout }) => {
-                    if input.dims() != (*c, *h, *w) {
-                        return Err(RuntimeError::BadInput(format!(
-                            "expected {:?}, got {:?}",
-                            (c, h, w),
-                            input.dims()
-                        )));
-                    }
-                    let mut t = input.clone();
-                    if let Some(chain) = input_chains.get(&node.index()) {
-                        for hop in *chain {
-                            t = apply_direct(&t, hop.to)?;
-                        }
-                    } else if t.layout() != *layout {
-                        // Defensive: plans always carry the chain, but a
-                        // hand-built plan may not.
-                        t = t.to_layout(*layout);
-                    }
-                    t
-                }
-                (kind, AssignmentKind::Dummy { layout }) => {
-                    self.run_dummy(node, kind, &inputs, *layout)?
-                }
-                (kind, AssignmentKind::Conv { .. }) => {
-                    unreachable!("conv assignment on non-conv layer {kind}")
-                }
-            };
-            values[node.index()] = Some(out);
-            last = Some(node);
-        }
-        let last = last.expect("graph validated as non-empty");
-        Ok(values[last.index()].take().expect("last node ran"))
+        Ok(())
     }
 
-    fn run_dummy(
+    /// Runs one forward pass. `input` must be the canonical-CHW network
+    /// input; the plan's input-conversion chain is applied automatically.
+    /// Returns the output of the last layer in topological order.
+    ///
+    /// `threads` is the intra-op worker count handed to each primitive;
+    /// the graph itself is walked serially. Use [`Executor::run_with`]
+    /// for inter-op (wavefront) parallelism and [`Executor::run_batch`]
+    /// for whole-batch amortization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph, primitive, transformation and weight errors.
+    pub fn run(&self, input: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+        self.run_with(input, Parallelism::serial().with_intra_op(threads))
+    }
+
+    /// Runs one forward pass under an explicit [`Parallelism`] mapping.
+    ///
+    /// With `inter_op > 1` the executor walks the plan's DAG in wavefront
+    /// levels and runs independent nodes (e.g. the branches of an
+    /// inception module) concurrently on scoped threads. Outputs are
+    /// bit-identical to [`Parallelism::serial`]: scheduling never changes
+    /// any kernel's per-element accumulation order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph, primitive, transformation and weight errors.
+    pub fn run_with(&self, input: &Tensor, par: Parallelism) -> Result<Tensor, RuntimeError> {
+        Self::check_input(input)?;
+        let schedule = self.schedule()?;
+        if par.inter_op > 1 {
+            schedule.execute_wavefront(input, par)
+        } else {
+            schedule.execute_serial(input, par.intra_op)
+        }
+    }
+
+    /// Runs one plan over a whole batch of inputs, amortizing schedule
+    /// compilation across all of them and partitioning items over
+    /// `par.inter_op` worker threads (each item itself executes with
+    /// `par.intra_op` primitive threads).
+    ///
+    /// Outputs are returned in input order and are bit-identical to
+    /// calling [`Executor::run`] per item: batch items never share
+    /// accumulators, so the partitioning cannot change any result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in input order) item's error, if any.
+    pub fn run_batch(
         &self,
-        node: NodeId,
-        kind: &LayerKind,
         inputs: &[Tensor],
-        layout: Layout,
-    ) -> Result<Tensor, RuntimeError> {
-        let name = || self.graph.layer(node).name.clone();
-        Ok(match kind {
-            LayerKind::Relu => ops::relu(&inputs[0], layout),
-            LayerKind::Pool { kind, k, stride, pad } => {
-                ops::pool(&inputs[0], layout, *kind, *k, *stride, *pad)
-            }
-            LayerKind::Lrn => ops::lrn(&inputs[0], layout),
-            LayerKind::Dropout => inputs[0].clone(),
-            LayerKind::FullyConnected { out } => {
-                let w = self
-                    .weights
-                    .fc_matrix(node)
-                    .ok_or_else(|| RuntimeError::MissingWeights(name()))?;
-                ops::fully_connected(&inputs[0], w, *out, layout)
-            }
-            LayerKind::Concat => {
-                let refs: Vec<&Tensor> = inputs.iter().collect();
-                ops::concat(&refs, layout)
-            }
-            LayerKind::Softmax => ops::softmax(&inputs[0], layout),
-            LayerKind::Input { .. } | LayerKind::Conv(_) => {
-                unreachable!("handled by run()")
-            }
-        })
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, RuntimeError> {
+        for input in inputs {
+            Self::check_input(input)?;
+        }
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let schedule = self.schedule()?;
+        let workers = par.inter_op.min(inputs.len());
+        if workers <= 1 {
+            return inputs
+                .iter()
+                .map(|input| schedule.execute_serial(input, par.intra_op))
+                .collect();
+        }
+        let per = inputs.len().div_ceil(workers);
+        let results: Vec<Vec<Result<Tensor, RuntimeError>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(per)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|input| schedule.execute_serial(input, par.intra_op))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+        });
+        results.into_iter().flatten().collect()
     }
 }
 
@@ -268,14 +503,15 @@ mod tests {
     fn mini_inception() -> DnnGraph {
         let mut g = DnnGraph::new();
         let data = g.add(Layer::new("data", LayerKind::Input { c: 4, h: 12, w: 12 }));
-        let c1 = g.add(Layer::new("b1", LayerKind::Conv(ConvScenario::new(4, 12, 12, 1, 1, 6).with_pad(0))));
+        let c1 = g.add(Layer::new(
+            "b1",
+            LayerKind::Conv(ConvScenario::new(4, 12, 12, 1, 1, 6).with_pad(0)),
+        ));
         let c3 = g.add(Layer::new("b3", LayerKind::Conv(ConvScenario::new(4, 12, 12, 1, 3, 6))));
         let cat = g.add(Layer::new("cat", LayerKind::Concat));
         let relu = g.add(Layer::new("relu", LayerKind::Relu));
-        let c_out = g.add(Layer::new(
-            "out",
-            LayerKind::Conv(ConvScenario::new(12, 12, 12, 1, 3, 5)),
-        ));
+        let c_out =
+            g.add(Layer::new("out", LayerKind::Conv(ConvScenario::new(12, 12, 12, 1, 3, 5))));
         g.connect(data, c1).unwrap();
         g.connect(data, c3).unwrap();
         g.connect(c1, cat).unwrap();
@@ -328,6 +564,61 @@ mod tests {
     }
 
     #[test]
+    fn wavefront_execution_is_bit_identical_to_serial() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let weights = Weights::random(&net, 31);
+        let input = Tensor::random(4, 12, 12, Layout::Chw, 32);
+        for strategy in [Strategy::Pbqp, Strategy::VendorLike { vector_width: 8 }] {
+            let plan = opt.plan(&net, strategy).unwrap();
+            let exec = Executor::new(&net, &plan, &reg, &weights);
+            let serial = exec.run_with(&input, Parallelism::serial()).unwrap();
+            let wave = exec.run_with(&input, Parallelism::serial().with_inter_op(4)).unwrap();
+            assert_eq!(serial.data(), wave.data(), "{}", strategy.label());
+            assert_eq!(serial.layout(), wave.layout());
+        }
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_serial_runs_in_input_order() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        let weights = Weights::random(&net, 41);
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        let inputs: Vec<Tensor> =
+            (0..9).map(|i| Tensor::random(4, 12, 12, Layout::Chw, 100 + i)).collect();
+        for par in [
+            Parallelism::serial(),
+            Parallelism::serial().with_inter_op(3),
+            Parallelism::serial().with_inter_op(16),
+        ] {
+            let batch = exec.run_batch(&inputs, par).unwrap();
+            assert_eq!(batch.len(), inputs.len());
+            for (input, out) in inputs.iter().zip(&batch) {
+                let one = exec.run(input, 1).unwrap();
+                assert_eq!(one.data(), out.data(), "{par}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&net, Strategy::Sum2d).unwrap();
+        let weights = Weights::random(&net, 1);
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        assert!(exec.run_batch(&[], Parallelism::available()).unwrap().is_empty());
+    }
+
+    #[test]
     fn wrong_input_layout_is_rejected() {
         let net = mini_inception();
         let reg = Registry::new(full_library());
@@ -336,6 +627,10 @@ mod tests {
         let weights = Weights::random(&net, 1);
         let bad = Tensor::random(4, 12, 12, Layout::Hwc, 2);
         let err = Executor::new(&net, &plan, &reg, &weights).run(&bad, 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::BadInput(_)));
+        let err = Executor::new(&net, &plan, &reg, &weights)
+            .run_batch(&[bad], Parallelism::serial())
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::BadInput(_)));
     }
 

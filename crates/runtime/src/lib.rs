@@ -2,24 +2,38 @@
 //!
 //! The paper maps PBQP solutions to code with a simple code generator that
 //! emits calls into the primitive library (§5.2). This crate is the Rust
-//! equivalent: an interpreter that walks the DNN graph in topological
-//! order, applies each edge's data-layout transformation chain, dispatches
-//! every convolution to its selected primitive, and computes the non-conv
-//! layers (pooling, activation, LRN, fully-connected, concat, softmax)
-//! directly.
+//! equivalent grown into a small execution engine. Three execution modes
+//! share one compiled schedule (topological step order plus wavefront
+//! levels, with every primitive/weight lookup resolved up front):
+//!
+//! * **serial** ([`Executor::run`]) — walks the graph in topological
+//!   order, applies each edge's data-layout transformation chain,
+//!   dispatches every convolution to its selected primitive, and computes
+//!   the non-conv layers (pooling, activation, LRN, fully-connected,
+//!   concat, softmax) directly;
+//! * **wavefront** ([`Executor::run_with`] with `inter_op > 1`) — runs
+//!   the independent nodes of each DAG level (e.g. GoogleNet inception
+//!   branches) concurrently on scoped threads;
+//! * **batched** ([`Executor::run_batch`]) — amortizes one plan across a
+//!   whole batch of inputs, partitioning items over worker threads.
+//!
+//! All modes are configured by [`Parallelism`] (inter-op × intra-op) and
+//! produce **bit-identical** outputs to the serial reference: the engine
+//! partitions work between threads but never changes a kernel's
+//! per-element accumulation order.
 //!
 //! [`reference_forward`] is an independent oracle (sum-of-single-channels
 //! convolution, canonical layout throughout) used to verify that *any*
 //! plan — whatever exotic layouts and primitives it selected — computes
 //! the same network function.
 //!
-//! # Example
+//! # Example: optimize, then serve a batch
 //!
 //! ```
 //! use pbqp_dnn_cost::{AnalyticCost, MachineModel};
 //! use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind};
 //! use pbqp_dnn_primitives::registry::{full_library, Registry};
-//! use pbqp_dnn_runtime::{reference_forward, Executor, Weights};
+//! use pbqp_dnn_runtime::{reference_forward, Executor, Parallelism, Weights};
 //! use pbqp_dnn_select::{Optimizer, Strategy};
 //! use pbqp_dnn_tensor::{Layout, Tensor};
 //!
@@ -36,10 +50,21 @@
 //! let plan = Optimizer::new(&registry, &cost).plan(&net, Strategy::Pbqp).unwrap();
 //!
 //! let weights = Weights::random(&net, 42);
+//! let executor = Executor::new(&net, &plan, &registry, &weights);
+//!
+//! // One request, checked against the independent oracle.
 //! let input = Tensor::random(3, 16, 16, Layout::Chw, 7);
-//! let out = Executor::new(&net, &plan, &registry, &weights).run(&input, 1).unwrap();
+//! let out = executor.run(&input, 1).unwrap();
 //! let oracle = reference_forward(&net, &weights, &input);
 //! assert!(out.allclose(&oracle, 1e-3).unwrap());
+//!
+//! // A batch of eight, fanned over the available cores; item 0 is
+//! // bit-identical to the single-request answer.
+//! let batch: Vec<Tensor> =
+//!     (0..8).map(|i| Tensor::random(3, 16, 16, Layout::Chw, 7 + i)).collect();
+//! let outs = executor.run_batch(&batch, Parallelism::available()).unwrap();
+//! assert_eq!(outs.len(), 8);
+//! assert_eq!(outs[0].data(), out.data());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,7 +72,9 @@
 
 mod exec;
 mod ops;
+mod par;
 mod weights;
 
 pub use exec::{reference_forward, Executor, RuntimeError};
+pub use par::Parallelism;
 pub use weights::Weights;

@@ -111,7 +111,12 @@ pub(crate) fn lrn(input: &Tensor, layout: Layout) -> Tensor {
 
 /// Fully-connected layer: flattens logically in `(c, h, w)` order and
 /// multiplies by the row-major `out × (c·h·w)` weight matrix.
-pub(crate) fn fully_connected(input: &Tensor, weights: &[f32], out_n: usize, layout: Layout) -> Tensor {
+pub(crate) fn fully_connected(
+    input: &Tensor,
+    weights: &[f32],
+    out_n: usize,
+    layout: Layout,
+) -> Tensor {
     let (c, h, w) = input.dims();
     let in_len = c * h * w;
     debug_assert_eq!(weights.len(), out_n * in_len);

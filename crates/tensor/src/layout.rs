@@ -207,19 +207,10 @@ mod tests {
     fn contiguity_of_innermost_dimension() {
         let dims = (8, 4, 4);
         // In CHW, consecutive w are adjacent.
-        assert_eq!(
-            Layout::Chw.offset(dims, 1, 2, 3),
-            Layout::Chw.offset(dims, 1, 2, 2) + 1
-        );
+        assert_eq!(Layout::Chw.offset(dims, 1, 2, 3), Layout::Chw.offset(dims, 1, 2, 2) + 1);
         // In HWC, consecutive c are adjacent.
-        assert_eq!(
-            Layout::Hwc.offset(dims, 3, 2, 1),
-            Layout::Hwc.offset(dims, 2, 2, 1) + 1
-        );
+        assert_eq!(Layout::Hwc.offset(dims, 3, 2, 1), Layout::Hwc.offset(dims, 2, 2, 1) + 1);
         // In CHWc8, channels within one block are adjacent.
-        assert_eq!(
-            Layout::Chw8.offset(dims, 5, 2, 1),
-            Layout::Chw8.offset(dims, 4, 2, 1) + 1
-        );
+        assert_eq!(Layout::Chw8.offset(dims, 5, 2, 1), Layout::Chw8.offset(dims, 4, 2, 1) + 1);
     }
 }

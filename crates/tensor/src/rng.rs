@@ -1,0 +1,74 @@
+//! A tiny deterministic pseudo-random generator for tests and examples.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! property tests cannot use `proptest`; instead they draw their cases
+//! from this fixed-seed splitmix64 generator. It lives here — in the
+//! bottom crate of the workspace — so every other crate can share one
+//! copy through a dev-dependency.
+//!
+//! Not a statistical-quality or cryptographic RNG; `usize` uses a plain
+//! modulo reduction (negligible bias for the small test ranges it
+//! serves).
+
+/// Deterministic splitmix64 sequence.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_tensor::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.usize(3, 10);
+/// assert!((3..10).contains(&x));
+/// let f = a.f32(-1.0, 1.0);
+/// assert!((-1.0..1.0).contains(&f));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if the range is empty.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform in `[lo, hi)` from the top 24 bits.
+    pub fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + ((self.next_u64() >> 40) as f32 / (1u64 << 24) as f32) * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_ranged() {
+        let mut r = SplitMix64::new(123);
+        let vals: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = SplitMix64::new(123);
+        assert_eq!(vals, (0..4).map(|_| r2.next_u64()).collect::<Vec<_>>());
+        for _ in 0..100 {
+            assert!((5..9).contains(&r.usize(5, 9)));
+            let f = r.f32(2.0, 3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+}

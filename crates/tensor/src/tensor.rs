@@ -30,11 +30,7 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a zero-filled tensor of logical dimensions `(c, h, w)`.
     pub fn zeros(c: usize, h: usize, w: usize, layout: Layout) -> Tensor {
-        Tensor {
-            dims: (c, h, w),
-            layout,
-            data: vec![0.0; layout.storage_len(c, h, w)],
-        }
+        Tensor { dims: (c, h, w), layout, data: vec![0.0; layout.storage_len(c, h, w)] }
     }
 
     /// Creates a tensor whose element `(c, h, w)` is `f(c, h, w)`.

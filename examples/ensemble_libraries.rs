@@ -60,11 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan_bridged = bridged.plan(&net, Strategy::Pbqp)?;
 
     // Remove every edge crossing the planar/interleaved boundary.
-    let isolated_edges: Vec<_> = DIRECT_TRANSFORMS
-        .iter()
-        .copied()
-        .filter(|t| lib_of(t.from) == lib_of(t.to))
-        .collect();
+    let isolated_edges: Vec<_> =
+        DIRECT_TRANSFORMS.iter().copied().filter(|t| lib_of(t.from) == lib_of(t.to)).collect();
     let isolated =
         Optimizer::new(&registry, &cost).with_dt_graph(DtGraph::with_edges(isolated_edges));
     let plan_isolated = isolated.plan(&net, Strategy::Pbqp)?;

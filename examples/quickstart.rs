@@ -16,23 +16,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe a small convolutional network (a LeNet-ish classifier).
     let mut net = DnnGraph::new();
     let data = net.add(Layer::new("data", LayerKind::Input { c: 3, h: 32, w: 32 }));
-    let conv1 = net.add(Layer::new(
-        "conv1",
-        LayerKind::Conv(ConvScenario::new(3, 32, 32, 1, 5, 16)),
-    ));
+    let conv1 =
+        net.add(Layer::new("conv1", LayerKind::Conv(ConvScenario::new(3, 32, 32, 1, 5, 16))));
     let relu1 = net.add(Layer::new("relu1", LayerKind::Relu));
-    let pool1 = net.add(Layer::new(
-        "pool1",
-        LayerKind::Pool { kind: PoolKind::Max, k: 2, stride: 2, pad: 0 },
-    ));
-    let conv2 = net.add(Layer::new(
-        "conv2",
-        LayerKind::Conv(ConvScenario::new(16, 16, 16, 1, 3, 32)),
-    ));
+    let pool1 = net
+        .add(Layer::new("pool1", LayerKind::Pool { kind: PoolKind::Max, k: 2, stride: 2, pad: 0 }));
+    let conv2 =
+        net.add(Layer::new("conv2", LayerKind::Conv(ConvScenario::new(16, 16, 16, 1, 3, 32))));
     let relu2 = net.add(Layer::new("relu2", LayerKind::Relu));
     let fc = net.add(Layer::new("fc", LayerKind::FullyConnected { out: 10 }));
     let prob = net.add(Layer::new("prob", LayerKind::Softmax));
-    for (a, b) in [(data, conv1), (conv1, relu1), (relu1, pool1), (pool1, conv2), (conv2, relu2), (relu2, fc), (fc, prob)] {
+    for (a, b) in [
+        (data, conv1),
+        (conv1, relu1),
+        (relu1, pool1),
+        (pool1, conv2),
+        (conv2, relu2),
+        (relu2, fc),
+        (fc, prob),
+    ] {
         net.connect(a, b)?;
     }
 
@@ -45,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimizer = Optimizer::new(&registry, &cost);
     let plan = optimizer.plan(&net, Strategy::Pbqp)?;
     println!("{plan}");
-    println!(
-        "solver: optimal = {:?}, solve time = {:.1} µs",
-        plan.optimal, plan.solve_time_us
-    );
+    println!("solver: optimal = {:?}, solve time = {:.1} µs", plan.optimal, plan.solve_time_us);
 
     // 4. Compare against the baselines of the paper's §5.
     for strategy in [Strategy::Sum2d, Strategy::LocalOptimalChw, Strategy::CaffeLike] {

@@ -1,0 +1,36 @@
+//! Front door for the PBQP-DNN workspace — a reproduction of Anderson &
+//! Gregg, *Optimal DNN Primitive Selection with Partitioned Boolean
+//! Quadratic Programming* (CGO 2018) — grown into a parallel batched
+//! execution engine.
+//!
+//! This facade crate re-exports every workspace crate under one name so
+//! downstream users (and the integration tests in `tests/`) can depend on
+//! a single package. The layering, bottom to top:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tensor`] | `pbqp-dnn-tensor` | dense `f32` tensors + data layouts |
+//! | [`fft`] | `pbqp-dnn-fft` | radix-2 / Bluestein FFTs |
+//! | [`gemm`] | `pbqp-dnn-gemm` | blocked / packed SGEMM kernels |
+//! | [`solver`] | `pbqp-solver` | exact branch-and-bound PBQP solver |
+//! | [`graph`] | `pbqp-dnn-graph` | DNN graph IR + model zoo |
+//! | [`primitives`] | `pbqp-dnn-primitives` | the 70+ convolution primitives |
+//! | [`cost`] | `pbqp-dnn-cost` | analytic / measured cost sources |
+//! | [`select`] | `pbqp-dnn-select` | PBQP instance, strategies, plan cache |
+//! | [`runtime`] | `pbqp-dnn-runtime` | serial / wavefront / batched executor |
+//!
+//! See the workspace `README.md` for the paper-section map and quickstart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pbqp_dnn_bench as bench;
+pub use pbqp_dnn_cost as cost;
+pub use pbqp_dnn_fft as fft;
+pub use pbqp_dnn_gemm as gemm;
+pub use pbqp_dnn_graph as graph;
+pub use pbqp_dnn_primitives as primitives;
+pub use pbqp_dnn_runtime as runtime;
+pub use pbqp_dnn_select as select;
+pub use pbqp_dnn_tensor as tensor;
+pub use pbqp_solver as solver;

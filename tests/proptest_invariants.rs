@@ -5,44 +5,46 @@
 //!   PBQP plan is never beaten by any baseline strategy;
 //! * layout transformation chains preserve tensor contents;
 //! * randomly chosen primitives agree with the reference convolution.
-
-use proptest::prelude::*;
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! each test derives its random cases from a fixed-seed splitmix64
+//! generator — deterministic, but covering the same input space.
 
 use pbqp_dnn_cost::{AnalyticCost, MachineModel};
 use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind};
 use pbqp_dnn_primitives::registry::{full_library, Registry};
 use pbqp_dnn_select::{Optimizer, Strategy};
+use pbqp_dnn_tensor::rng::SplitMix64;
 use pbqp_dnn_tensor::transform::{apply_direct, DIRECT_TRANSFORMS};
 use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 use pbqp_solver::{CostMatrix, PbqpGraph, Solver};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Solver vs exhaustive enumeration on random instances.
-    #[test]
-    fn pbqp_solver_matches_exhaustive(
-        costs in prop::collection::vec(prop::collection::vec(0u32..40, 1..4), 2..5),
-        edge_density in 0u32..100,
-        seed in 0u64..u64::MAX,
-    ) {
+/// Solver vs exhaustive enumeration on random instances.
+#[test]
+fn pbqp_solver_matches_exhaustive() {
+    let mut rng = SplitMix64::new(100);
+    for case in 0..24 {
+        let nodes = rng.usize(2, 5);
+        let edge_density = rng.usize(0, 100);
         let mut g = PbqpGraph::new();
-        let ids: Vec<_> = costs.iter().map(|c| {
-            g.add_node(c.iter().map(|&v| f64::from(v)).collect())
-        }).collect();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (state >> 33) as u32
-        };
+        let ids: Vec<_> = (0..nodes)
+            .map(|_| {
+                let options = rng.usize(1, 4);
+                g.add_node((0..options).map(|_| (rng.usize(0, 40)) as f64).collect())
+            })
+            .collect();
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
-                if next() % 100 < edge_density {
+                if rng.usize(0, 100) < edge_density {
                     let rows = g.node_costs(ids[i]).len();
                     let cols = g.node_costs(ids[j]).len();
                     let m = CostMatrix::from_fn(rows, cols, |_, _| {
-                        let v = next() % 25;
-                        if v == 0 { f64::INFINITY } else { f64::from(v) }
+                        let v = rng.usize(0, 25);
+                        if v == 0 {
+                            f64::INFINITY
+                        } else {
+                            v as f64
+                        }
                     });
                     g.add_edge(ids[i], ids[j], m).unwrap();
                 }
@@ -52,76 +54,77 @@ proptest! {
         let brute = Solver::new().solve_exhaustive(&g);
         match (fast, brute) {
             (Ok(f), Ok(b)) => {
-                prop_assert!(f.optimal);
-                prop_assert!((f.total_cost - b.total_cost).abs() < 1e-9);
+                assert!(f.optimal, "case {case}");
+                assert!((f.total_cost - b.total_cost).abs() < 1e-9, "case {case}");
             }
             (Err(_), Err(_)) => {}
-            (f, b) => prop_assert!(false, "divergent: {f:?} vs {b:?}"),
+            (f, b) => panic!("case {case} divergent: {f:?} vs {b:?}"),
         }
     }
+}
 
-    /// Any chain of registered direct transforms preserves tensor values.
-    #[test]
-    fn transform_chains_preserve_contents(
-        c in 1usize..9,
-        h in 1usize..9,
-        w in 1usize..9,
-        hops in prop::collection::vec(0usize..DIRECT_TRANSFORMS.len(), 1..6),
-        seed in 0u64..u64::MAX,
-    ) {
-        let original = Tensor::random(c, h, w, Layout::Chw, seed);
+/// Any chain of registered direct transforms preserves tensor values.
+#[test]
+fn transform_chains_preserve_contents() {
+    let mut rng = SplitMix64::new(200);
+    for _ in 0..24 {
+        let (c, h, w) = (rng.usize(1, 9), rng.usize(1, 9), rng.usize(1, 9));
+        let hops = rng.usize(1, 6);
+        let original = Tensor::random(c, h, w, Layout::Chw, rng.next_u64());
         let mut t = original.clone();
-        for hop in hops {
+        for _ in 0..hops {
             // Walk only edges that start at the current layout.
             if let Some(tr) = DIRECT_TRANSFORMS.iter().find(|x| x.from == t.layout()) {
-                let _ = hop;
                 t = apply_direct(&t, tr.to).unwrap();
             }
         }
-        prop_assert!(t.max_abs_diff(&original).unwrap() == 0.0);
+        assert!(t.max_abs_diff(&original).unwrap() == 0.0);
     }
+}
 
-    /// A randomly chosen supporting primitive equals the reference.
-    #[test]
-    fn random_primitive_matches_reference(
-        c in 1usize..7,
-        hw in 6usize..12,
-        k in prop::sample::select(vec![1usize, 3, 5]),
-        m in 1usize..6,
-        stride in 1usize..3,
-        prim_ix in 0usize..1000,
-        seed in 0u64..u64::MAX,
-    ) {
+/// A randomly chosen supporting primitive equals the reference.
+#[test]
+fn random_primitive_matches_reference() {
+    let mut rng = SplitMix64::new(300);
+    let reg = Registry::new(full_library());
+    for _ in 0..24 {
+        let c = rng.usize(1, 7);
+        let hw = rng.usize(6, 12);
+        let k = [1usize, 3, 5][rng.usize(0, 3)];
+        let m = rng.usize(1, 6);
+        let stride = rng.usize(1, 3);
         let s = ConvScenario::new(c, hw, hw, stride, k, m);
-        let reg = Registry::new(full_library());
         let cands = reg.candidates(&s);
-        let prim = cands[prim_ix % cands.len()];
-        let input = Tensor::random(c, hw, hw, Layout::Chw, seed)
+        let prim = cands[rng.usize(0, cands.len())];
+        let input = Tensor::random(c, hw, hw, Layout::Chw, rng.next_u64())
             .to_layout(prim.descriptor().input_layout);
-        let kernel = KernelTensor::random(m, c, k, k, seed ^ 0xABCD);
+        let kernel = KernelTensor::random(m, c, k, k, rng.next_u64());
         let got = prim.execute(&input, &kernel, &s, 1).unwrap();
         let want = pbqp_dnn_primitives::reference::sum2d_reference(&input, &kernel, &s);
         let diff = got.max_abs_diff(&want).unwrap();
         // Winograd F(6,3) is the loosest numerically.
-        prop_assert!(diff < 5e-2, "{}: {diff}", prim.descriptor().name);
+        assert!(diff < 5e-2, "{}: {diff}", prim.descriptor().name);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// On random conv chains, the PBQP plan cost decomposes exactly and is
-    /// never beaten by the canonical-layout local optimum.
-    #[test]
-    fn pbqp_dominates_local_optimal_on_random_chains(
-        specs in prop::collection::vec((1usize..17, prop::sample::select(vec![1usize, 3, 5])), 1..5),
-        hw in 8usize..20,
-    ) {
+/// On random conv chains, the PBQP plan cost decomposes exactly and is
+/// never beaten by the canonical-layout local optimum.
+#[test]
+fn pbqp_dominates_local_optimal_on_random_chains() {
+    let mut rng = SplitMix64::new(400);
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 2);
+    let opt = Optimizer::new(&reg, &cost);
+    for _ in 0..12 {
+        let layers = rng.usize(1, 5);
+        let hw = rng.usize(8, 20);
         let mut g = DnnGraph::new();
         let mut c = 3usize;
         let mut dims = hw;
         let mut prev = g.add(Layer::new("data", LayerKind::Input { c, h: dims, w: dims }));
-        for (i, (m, k)) in specs.into_iter().enumerate() {
+        for i in 0..layers {
+            let m = rng.usize(1, 17);
+            let k = [1usize, 3, 5][rng.usize(0, 3)];
             let s = ConvScenario::new(c, dims, dims, 1, k, m);
             let conv = g.add(Layer::new(format!("conv{i}"), LayerKind::Conv(s)));
             g.connect(prev, conv).unwrap();
@@ -131,16 +134,13 @@ proptest! {
             c = m;
             dims = s.out_h();
         }
-        let reg = Registry::new(full_library());
-        let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 2);
-        let opt = Optimizer::new(&reg, &cost);
         let pbqp = opt.plan(&g, Strategy::Pbqp).unwrap();
         let lopt = opt.plan(&g, Strategy::LocalOptimalChw).unwrap();
-        prop_assert!(pbqp.optimal == Some(true));
-        prop_assert!(pbqp.predicted_us <= lopt.predicted_us + 1e-6);
+        assert_eq!(pbqp.optimal, Some(true));
+        assert!(pbqp.predicted_us <= lopt.predicted_us + 1e-6);
         // Cost decomposition: conv + transforms == total (no overhead for
         // the PBQP strategy).
         let parts = pbqp.conv_us() + pbqp.transform_us();
-        prop_assert!((parts - pbqp.predicted_us).abs() < 1e-6 * pbqp.predicted_us.max(1.0));
+        assert!((parts - pbqp.predicted_us).abs() < 1e-6 * pbqp.predicted_us.max(1.0));
     }
 }

@@ -109,8 +109,10 @@ fn figure4_cross_platform_winograd_split() {
     let count = |machine: MachineModel| {
         let cost = AnalyticCost::new(machine.clone(), machine.cores);
         let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).unwrap();
-        let one = plan.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino1d")).count();
-        let two = plan.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino2d")).count();
+        let one =
+            plan.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino1d")).count();
+        let two =
+            plan.selected_primitives().iter().filter(|(_, n)| n.starts_with("wino2d")).count();
         (one, two)
     };
     let (intel_1d, intel_2d) = count(MachineModel::intel_haswell_like());
