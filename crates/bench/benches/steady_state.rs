@@ -1,0 +1,171 @@
+//! The steady-state serving benchmark: allocations/run and ns/run for
+//! the three execution APIs on micro-AlexNet, proving the memory half of
+//! the engine's amortization story (PR 1 amortized *planning* via the
+//! plan cache; the workspace subsystem amortizes *memory*).
+//!
+//! Tiers, all computing identical outputs:
+//!
+//! 1. **cold run** — a fresh executor per request: schedule compilation,
+//!    pooled-buffer construction and every scratch allocation on the hot
+//!    path;
+//! 2. **steady `run`** — one warmed executor; the only remaining heap
+//!    traffic is the returned output tensor;
+//! 3. **steady `run_into`** — the serving loop: caller-recycled output,
+//!    **zero** heap allocations per pass.
+//!
+//! Emits machine-readable `BENCH_PR2.json` at the repo root so the perf
+//! trajectory is tracked across PRs. Run with
+//! `cargo bench -p pbqp-dnn-bench --bench steady_state`. The allocation
+//! assertions are deterministic; set `STEADY_STATE_NO_ASSERT=1` (as the
+//! CI smoke step does, mirroring `BATCH_ENGINE_NO_ASSERT`) to print the
+//! numbers without asserting.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use pbqp_dnn_bench::harness::fmt_duration;
+use pbqp_dnn_bench::registry;
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::models::micro_alexnet;
+use pbqp_dnn_runtime::{Executor, Parallelism, Weights};
+use pbqp_dnn_select::{Optimizer, Strategy};
+use pbqp_dnn_tensor::{Layout, Tensor};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const REPS: usize = 20;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// `(allocations per call, best ns per call)` over `REPS` calls.
+fn measure(reps: usize, mut f: impl FnMut()) -> (f64, u128) {
+    let before = allocs();
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos());
+    }
+    ((allocs() - before) as f64 / reps as f64, best)
+}
+
+fn main() {
+    let net = micro_alexnet();
+    let reg = registry();
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    let opt = Optimizer::new(&reg, &cost);
+    let weights = Weights::random(&net, 0xBA7C);
+    let (c, h, w) = net.infer_shapes().expect("valid model")[0];
+    let input = Tensor::random(c, h, w, Layout::Chw, 7);
+    let plan = opt.plan(&net, Strategy::Pbqp).expect("plans");
+
+    // Tier 1: cold — fresh executor (schedule + buffers) per request.
+    let (cold_allocs, cold_ns) = measure(REPS, || {
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        std::hint::black_box(exec.run(&input, 1).expect("runs"));
+    });
+
+    // Warmed executor shared by the steady tiers.
+    let exec = Executor::new(&net, &plan, &reg, &weights);
+    let mut out = Tensor::empty();
+    exec.run_into(&input, &mut out, 1).expect("warmup");
+
+    // Tier 2: steady `run` — allocates only the returned output.
+    let (run_allocs, run_ns) = measure(REPS, || {
+        std::hint::black_box(exec.run(&input, 1).expect("runs"));
+    });
+
+    // Tier 3: steady `run_into` — the zero-allocation serving loop.
+    let (into_allocs, into_ns) = measure(REPS, || {
+        exec.run_into(&input, &mut out, 1).expect("runs");
+        std::hint::black_box(&out);
+    });
+
+    // Batch serving, serial mode, recycled outputs.
+    let inputs: Vec<Tensor> =
+        (0..8).map(|i| Tensor::random(c, h, w, Layout::Chw, 40 + i)).collect();
+    let mut outs = Vec::new();
+    exec.run_batch_into(&inputs, &mut outs, Parallelism::serial()).expect("warmup");
+    let (batch_allocs, batch_ns) = measure(REPS, || {
+        exec.run_batch_into(&inputs, &mut outs, Parallelism::serial()).expect("runs");
+        std::hint::black_box(&outs);
+    });
+
+    println!("steady_state: micro-AlexNet serving, allocations/run and ns/run");
+    println!(
+        "  cold (new executor per request)    {:>12}  {:>8.1} allocs/run",
+        fmt_duration(std::time::Duration::from_nanos(cold_ns as u64)),
+        cold_allocs
+    );
+    println!(
+        "  steady run (output alloc only)     {:>12}  {:>8.1} allocs/run",
+        fmt_duration(std::time::Duration::from_nanos(run_ns as u64)),
+        run_allocs
+    );
+    println!(
+        "  steady run_into (serving loop)     {:>12}  {:>8.1} allocs/run",
+        fmt_duration(std::time::Duration::from_nanos(into_ns as u64)),
+        into_allocs
+    );
+    println!(
+        "  steady run_batch_into (8 items)    {:>12}  {:>8.1} allocs/run",
+        fmt_duration(std::time::Duration::from_nanos(batch_ns as u64)),
+        batch_allocs
+    );
+    println!(
+        "  cold-run speedup from warmed serving loop: {:.2}x",
+        cold_ns as f64 / into_ns as f64
+    );
+
+    // Machine-readable trajectory artifact at the repo root.
+    let json = format!(
+        "{{\n  \"bench\": \"steady_state\",\n  \"model\": \"micro_alexnet\",\n  \"strategy\": \"pbqp\",\n  \"reps\": {REPS},\n  \"cold_allocs_per_run\": {cold_allocs:.1},\n  \"cold_ns_per_run\": {cold_ns},\n  \"steady_run_allocs_per_run\": {run_allocs:.1},\n  \"steady_run_ns_per_run\": {run_ns},\n  \"steady_run_into_allocs_per_run\": {into_allocs:.1},\n  \"steady_run_into_ns_per_run\": {into_ns},\n  \"steady_batch8_allocs_per_run\": {batch_allocs:.1},\n  \"steady_batch8_ns_per_run\": {batch_ns}\n}}\n"
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_PR2.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write {}: {e}", path.display()),
+    }
+
+    // The allocation counts are deterministic, so assert them even in
+    // benchmark context; wall-clock is never asserted here.
+    if std::env::var_os("STEADY_STATE_NO_ASSERT").is_none() {
+        assert_eq!(into_allocs, 0.0, "steady-state run_into must not touch the heap");
+        assert_eq!(batch_allocs, 0.0, "steady-state run_batch_into must not touch the heap");
+        assert!(run_allocs <= 2.0, "steady-state run should only allocate its output");
+        assert!(
+            cold_allocs > 10.0,
+            "cold tier should show the per-request schedule/buffer allocation tax"
+        );
+    }
+}

@@ -68,44 +68,79 @@ impl Bluestein {
         self.n == 0
     }
 
+    /// Scratch elements [`Bluestein::forward_with`] /
+    /// [`Bluestein::inverse_with`] need (the inner radix-2 length).
+    pub fn work_len(&self) -> usize {
+        self.inner.len()
+    }
+
     /// In-place forward DFT of length [`Bluestein::len`].
+    ///
+    /// Allocates its chirp work buffer internally; allocation-free
+    /// callers use [`Bluestein::forward_with`].
     ///
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
     pub fn forward(&self, buf: &mut [Complex]) {
-        self.transform(buf, false);
+        let mut work = vec![Complex::ZERO; self.work_len()];
+        self.forward_with(buf, &mut work);
+    }
+
+    /// [`Bluestein::forward`] with a caller-provided work buffer of at
+    /// least [`Bluestein::work_len`] elements (contents irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()` or `work` is too short.
+    pub fn forward_with(&self, buf: &mut [Complex], work: &mut [Complex]) {
+        self.transform_with(buf, work);
     }
 
     /// In-place inverse DFT (normalized by `1/n`).
+    ///
+    /// Allocates its chirp work buffer internally; allocation-free
+    /// callers use [`Bluestein::inverse_with`].
     ///
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
     pub fn inverse(&self, buf: &mut [Complex]) {
+        let mut work = vec![Complex::ZERO; self.work_len()];
+        self.inverse_with(buf, &mut work);
+    }
+
+    /// [`Bluestein::inverse`] with a caller-provided work buffer of at
+    /// least [`Bluestein::work_len`] elements (contents irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()` or `work` is too short.
+    pub fn inverse_with(&self, buf: &mut [Complex], work: &mut [Complex]) {
         // DFT⁻¹(x) = conj(DFT(conj(x))) / n.
         for v in buf.iter_mut() {
             *v = v.conj();
         }
-        self.transform(buf, false);
+        self.transform_with(buf, work);
         let s = 1.0 / self.n as f32;
         for v in buf.iter_mut() {
             *v = v.conj().scale(s);
         }
     }
 
-    fn transform(&self, buf: &mut [Complex], _inverse: bool) {
+    fn transform_with(&self, buf: &mut [Complex], work: &mut [Complex]) {
         assert_eq!(buf.len(), self.n, "buffer length != planned length");
         let m = self.inner.len();
-        let mut work = vec![Complex::ZERO; m];
+        let work = &mut work[..m];
+        work[self.n..].fill(Complex::ZERO);
         for k in 0..self.n {
             work[k] = buf[k] * self.chirp[k];
         }
-        self.inner.forward(&mut work);
+        self.inner.forward(work);
         for (w, f) in work.iter_mut().zip(&self.filter_fd) {
             *w = *w * *f;
         }
-        self.inner.inverse(&mut work);
+        self.inner.inverse(work);
         for k in 0..self.n {
             buf[k] = work[k] * self.chirp[k];
         }

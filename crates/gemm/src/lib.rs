@@ -127,6 +127,10 @@ impl Gemm {
     /// `k × n`; with `Trans::T` the stored shapes are transposed
     /// (`k × m` / `n × k`).
     ///
+    /// Allocates its packing/transpose workspace internally; steady-state
+    /// callers that must stay off the heap use [`Gemm::run_with_scratch`]
+    /// with a buffer of [`Gemm::scratch_elems`] elements instead.
+    ///
     /// # Panics
     ///
     /// Panics if a slice is smaller than its operand shape requires.
@@ -143,26 +147,103 @@ impl Gemm {
         beta: f32,
         c: &mut [f32],
     ) {
+        let mut scratch = vec![0.0f32; self.scratch_elems(ta, tb, m, n, k)];
+        self.run_with_scratch(ta, tb, m, n, k, a, b, beta, c, &mut scratch);
+    }
+
+    /// Workspace elements [`Gemm::run_with_scratch`] needs for these
+    /// operand shapes: pack panels for the packed kernel (per worker in
+    /// the multithreaded driver) plus any `Trans::T` materialization.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pbqp_dnn_gemm::{Gemm, GemmKind, Trans};
+    ///
+    /// let gemm = Gemm::new(GemmKind::Packed);
+    /// let (m, n, k) = (8, 8, 8);
+    /// let mut scratch = vec![0.0f32; gemm.scratch_elems(Trans::N, Trans::N, m, n, k)];
+    /// let a = vec![1.0f32; m * k];
+    /// let b = vec![1.0f32; k * n];
+    /// let mut c = vec![0.0f32; m * n];
+    /// // The serving loop reuses `scratch` across calls: zero allocations.
+    /// gemm.run_with_scratch(Trans::N, Trans::N, m, n, k, &a, &b, 0.0, &mut c, &mut scratch);
+    /// assert!(c.iter().all(|&x| x == 8.0));
+    /// ```
+    pub fn scratch_elems(&self, ta: Trans, tb: Trans, m: usize, n: usize, k: usize) -> usize {
+        if m == 0 || n == 0 {
+            return 0;
+        }
+        let mt = self.threads > 1 && m >= 2 * self.threads;
+        match self.kind {
+            // The loop kernels consume T-form operands natively; only the
+            // row-slab fan-out needs an N-form A.
+            GemmKind::Naive | GemmKind::Blocked => {
+                if mt && ta == Trans::T {
+                    m * k
+                } else {
+                    0
+                }
+            }
+            GemmKind::Packed => {
+                let mut elems = 0;
+                if ta == Trans::T {
+                    elems += m * k;
+                }
+                if tb == Trans::T {
+                    elems += k * n;
+                }
+                let workers = if mt { packed::mt_workers(m, self.threads) } else { 1 };
+                elems + packed::b_pack_elems(n) + workers * packed::a_pack_elems()
+            }
+        }
+    }
+
+    /// [`Gemm::run`] with a caller-provided workspace of at least
+    /// [`Gemm::scratch_elems`] elements — the zero-allocation path used
+    /// by the steady-state serving engine. Scratch contents on entry are
+    /// irrelevant; results are bit-identical to [`Gemm::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand slice or `scratch` is too small.
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
+    pub fn run_with_scratch(
+        &self,
+        ta: Trans,
+        tb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+        scratch: &mut [f32],
+    ) {
         assert!(a.len() >= m * k, "A too small: {} < {}", a.len(), m * k);
         assert!(b.len() >= k * n, "B too small: {} < {}", b.len(), k * n);
         assert!(c.len() >= m * n, "C too small: {} < {}", c.len(), m * n);
+        let need = self.scratch_elems(ta, tb, m, n, k);
+        assert!(scratch.len() >= need, "scratch too small: {} < {need}", scratch.len());
         if m == 0 || n == 0 {
             return;
         }
 
         if self.threads <= 1 || m < 2 * self.threads {
-            self.run_serial(ta, tb, m, n, k, a, b, beta, c);
-            return;
+            return self.run_serial(ta, tb, m, n, k, a, b, beta, c, scratch);
         }
 
         // The parallel drivers slab rows of C, which requires an N-form A;
         // materialize the transpose once if needed.
-        let a_owned;
+        let mut rest = scratch;
         let a_n: &[f32] = match ta {
             Trans::N => &a[..m * k],
             Trans::T => {
-                a_owned = transpose(a, k, m);
-                &a_owned
+                let (t, r) = std::mem::take(&mut rest).split_at_mut(m * k);
+                transpose_into(a, k, m, t);
+                rest = r;
+                t
             }
         };
 
@@ -170,15 +251,16 @@ impl Gemm {
             // The packed kernel gets a dedicated driver that packs B once
             // and shares the panels read-only across workers, instead of
             // letting every row-slab worker re-pack all of B.
-            let b_owned;
             let b_n: &[f32] = match tb {
                 Trans::N => &b[..k * n],
                 Trans::T => {
-                    b_owned = transpose(b, n, k);
-                    &b_owned
+                    let (t, r) = std::mem::take(&mut rest).split_at_mut(k * n);
+                    transpose_into(b, n, k, t);
+                    rest = r;
+                    t
                 }
             };
-            packed::gemm_nn_mt(m, n, k, a_n, b_n, beta, c, self.threads);
+            packed::gemm_nn_mt_ws(m, n, k, a_n, b_n, beta, c, self.threads, rest);
             return;
         }
 
@@ -195,7 +277,7 @@ impl Gemm {
                 a_rest = a_next;
                 let this = *self;
                 handles.push(scope.spawn(move || {
-                    this.run_serial(Trans::N, tb, rows, n, k, a_slab, b, beta, c_slab);
+                    this.run_serial(Trans::N, tb, rows, n, k, a_slab, b, beta, c_slab, &mut []);
                 }));
             }
             for h in handles {
@@ -216,29 +298,35 @@ impl Gemm {
         b: &[f32],
         beta: f32,
         c: &mut [f32],
+        scratch: &mut [f32],
     ) {
         match self.kind {
             GemmKind::Naive => naive::gemm(ta, tb, m, n, k, a, b, beta, c),
             GemmKind::Blocked => blocked::gemm(ta, tb, m, n, k, a, b, beta, c),
             GemmKind::Packed => {
                 // The packed micro-kernel consumes N-form operands only.
-                let a_owned;
-                let a_n = match ta {
+                let mut rest = scratch;
+                let a_n: &[f32] = match ta {
                     Trans::N => a,
                     Trans::T => {
-                        a_owned = transpose(a, k, m);
-                        &a_owned[..]
+                        let (t, r) = std::mem::take(&mut rest).split_at_mut(m * k);
+                        transpose_into(a, k, m, t);
+                        rest = r;
+                        t
                     }
                 };
-                let b_owned;
-                let b_n = match tb {
+                let b_n: &[f32] = match tb {
                     Trans::N => b,
                     Trans::T => {
-                        b_owned = transpose(b, n, k);
-                        &b_owned[..]
+                        let (t, r) = std::mem::take(&mut rest).split_at_mut(k * n);
+                        transpose_into(b, n, k, t);
+                        rest = r;
+                        t
                     }
                 };
-                packed::gemm_nn(m, n, k, a_n, b_n, beta, c);
+                let (a_pack, rest) = rest.split_at_mut(packed::a_pack_elems());
+                let (b_pack, _) = rest.split_at_mut(packed::b_pack_elems(n));
+                packed::gemm_nn_ws(m, n, k, a_n, b_n, beta, c, a_pack, b_pack);
             }
         }
     }
@@ -247,12 +335,22 @@ impl Gemm {
 /// Materializes the transpose of a `rows × cols` row-major matrix.
 pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; rows * cols];
+    transpose_into(src, rows, cols, &mut out);
+    out
+}
+
+/// Writes the transpose of a `rows × cols` row-major matrix into `dst`
+/// (allocation-free form of [`transpose`]).
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than `rows * cols`.
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
     for r in 0..rows {
         for cidx in 0..cols {
-            out[cidx * rows + r] = src[r * cols + cidx];
+            dst[cidx * rows + r] = src[r * cols + cidx];
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -408,6 +506,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_and_reusable() {
+        let (m, n, k) = (33, 17, 40);
+        let a = fill(m * k, 11);
+        let b = fill(k * n, 12);
+        let c0 = fill(m * n, 13);
+        // One dirty scratch buffer reused across every configuration,
+        // sized for the worst case encountered.
+        let mut scratch: Vec<f32> = Vec::new();
+        for kind in GemmKind::ALL {
+            for threads in [1, 3] {
+                for ta in [Trans::N, Trans::T] {
+                    for tb in [Trans::N, Trans::T] {
+                        let gemm = Gemm::new(kind).threads(threads);
+                        let need = gemm.scratch_elems(ta, tb, m, n, k);
+                        if scratch.len() < need {
+                            scratch.resize(need, 0.0);
+                        }
+                        scratch.fill(f32::NAN); // contents must not matter
+                        let mut plain = c0.clone();
+                        gemm.run(ta, tb, m, n, k, &a, &b, 1.0, &mut plain);
+                        let mut ws = c0.clone();
+                        gemm.run_with_scratch(ta, tb, m, n, k, &a, &b, 1.0, &mut ws, &mut scratch);
+                        assert_eq!(plain, ws, "{kind} t{threads} {ta:?}{tb:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let src = fill(5 * 7, 21);
+        let mut dst = vec![f32::NAN; 5 * 7];
+        transpose_into(&src, 5, 7, &mut dst);
+        assert_eq!(dst, transpose(&src, 5, 7));
     }
 
     #[test]

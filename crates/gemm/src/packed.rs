@@ -10,8 +10,27 @@ const NR: usize = 8;
 const KC: usize = 256;
 const MC: usize = 128;
 
-/// `C = A·B + β·C` with both operands in N form.
-pub(crate) fn gemm_nn(
+/// Elements of one A row-panel buffer (one per worker).
+pub(crate) const fn a_pack_elems() -> usize {
+    MC * KC
+}
+
+/// Elements of the shared B column-panel buffer for an `n`-wide C.
+pub(crate) fn b_pack_elems(n: usize) -> usize {
+    KC * n.div_ceil(NR) * NR
+}
+
+/// Worker count the multithreaded driver will actually use.
+pub(crate) fn mt_workers(m: usize, threads: usize) -> usize {
+    let blocks = m.div_ceil(MC);
+    threads.max(1).min(blocks.max(1))
+}
+
+/// `C = A·B + β·C` with both operands in N form, using caller-provided
+/// pack panels: `a_pack` holds at least [`a_pack_elems`], `b_pack` at
+/// least [`b_pack_elems`]`(n)` elements.
+#[allow(clippy::too_many_arguments)] // BLAS-shaped signature
+pub(crate) fn gemm_nn_ws(
     m: usize,
     n: usize,
     k: usize,
@@ -19,6 +38,8 @@ pub(crate) fn gemm_nn(
     b: &[f32],
     beta: f32,
     c: &mut [f32],
+    a_pack: &mut [f32],
+    b_pack: &mut [f32],
 ) {
     if beta == 0.0 {
         c[..m * n].fill(0.0);
@@ -28,16 +49,16 @@ pub(crate) fn gemm_nn(
         }
     }
 
-    let mut a_pack = vec![0.0f32; MC * KC];
-    let mut b_pack = vec![0.0f32; KC * n.div_ceil(NR) * NR];
+    let a_pack = &mut a_pack[..a_pack_elems()];
+    let b_pack = &mut b_pack[..b_pack_elems(n)];
 
     for p0 in (0..k).step_by(KC) {
         let pc = KC.min(k - p0);
-        pack_b(&mut b_pack, b, n, k, p0, pc);
+        pack_b(b_pack, b, n, k, p0, pc);
         for i0 in (0..m).step_by(MC) {
             let ic = MC.min(m - i0);
-            pack_a(&mut a_pack, a, k, i0, ic, p0, pc);
-            macro_kernel(&a_pack, &b_pack, c, n, i0, ic, pc);
+            pack_a(a_pack, a, k, i0, ic, p0, pc);
+            macro_kernel(a_pack, b_pack, c, n, i0, ic, pc);
         }
     }
 }
@@ -49,12 +70,16 @@ pub(crate) fn gemm_nn(
 /// `O(KC·n)` — one slab at a time — and each worker keeps a persistent
 /// A-panel buffer across slabs.
 ///
-/// The k-slabs advance in the same ascending order as [`gemm_nn`] and
+/// The k-slabs advance in the same ascending order as [`gemm_nn_ws`] and
 /// worker boundaries fall on `MC` row-block boundaries, so every element
 /// of C accumulates its partial products in exactly the serial order —
 /// the parallel path is bit-identical to the serial one.
+/// The caller provides the packing workspace: `packs` holds at least
+/// [`b_pack_elems`]`(n) + `[`mt_workers`]`(m, threads) ·`
+/// [`a_pack_elems`] elements (B panel first, then one A panel per
+/// worker).
 #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
-pub(crate) fn gemm_nn_mt(
+pub(crate) fn gemm_nn_mt_ws(
     m: usize,
     n: usize,
     k: usize,
@@ -63,12 +88,14 @@ pub(crate) fn gemm_nn_mt(
     beta: f32,
     c: &mut [f32],
     threads: usize,
+    packs: &mut [f32],
 ) {
     // With a single row block there is nothing to fan out.
     let blocks = m.div_ceil(MC);
-    let workers = threads.max(1).min(blocks.max(1));
+    let workers = mt_workers(m, threads);
     if workers <= 1 {
-        return gemm_nn(m, n, k, a, b, beta, c);
+        let (b_pack, a_pack) = packs.split_at_mut(b_pack_elems(n));
+        return gemm_nn_ws(m, n, k, a, b, beta, c, a_pack, b_pack);
     }
 
     // Scale C by beta once up front, exactly like the serial kernel.
@@ -93,15 +120,15 @@ pub(crate) fn gemm_nn_mt(
         parts.push((row, c_slab));
         row += rows;
     }
-    let mut a_packs = vec![vec![0.0f32; MC * KC]; parts.len()];
 
-    let mut b_pack = vec![0.0f32; KC * n.div_ceil(NR) * NR];
+    let (b_pack, a_packs) = packs.split_at_mut(b_pack_elems(n));
     for p0 in (0..k).step_by(KC) {
         let pc = KC.min(k - p0);
-        pack_b(&mut b_pack, b, n, k, p0, pc);
-        let b_pack = &b_pack;
+        pack_b(b_pack, b, n, k, p0, pc);
+        let b_pack = &*b_pack;
         std::thread::scope(|scope| {
-            for ((row0, c_slab), a_pack) in parts.iter_mut().zip(a_packs.iter_mut()) {
+            for ((row0, c_slab), a_pack) in parts.iter_mut().zip(a_packs.chunks_mut(a_pack_elems()))
+            {
                 let row0 = *row0;
                 scope.spawn(move || {
                     let rows = c_slab.len() / n;

@@ -1,16 +1,23 @@
 use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_tensor::{KernelTensor, Tensor};
 
-use crate::{PrimitiveDescriptor, PrimitiveError};
+use crate::{PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq};
 
 /// A DNN convolution primitive: one concrete routine with fixed input and
 /// output layouts.
 ///
 /// Implementations are stateless and thread-safe; weight repacking (e.g.
-/// Winograd kernel transforms) happens inside [`ConvAlgorithm::execute`].
-/// The optimizer never calls `execute` directly — it works from profiled
+/// Winograd kernel transforms) happens inside the execute path. The
+/// optimizer never executes primitives directly — it works from profiled
 /// or modelled costs — but the runtime does, and every implementation is
 /// checked against the sum2d reference in tests.
+///
+/// Execution comes in two forms: [`ConvAlgorithm::execute_into`] (the
+/// required method) is the steady-state path — all scratch is carved
+/// from a caller [`Workspace`] and the output lands in a recycled
+/// tensor, so a warmed serving loop performs zero heap allocations;
+/// [`ConvAlgorithm::execute`] is the provided allocating convenience
+/// wrapper around it.
 pub trait ConvAlgorithm: Send + Sync {
     /// Static description: name, family, `{L_in, P, L_out}`, vector factor.
     fn descriptor(&self) -> &PrimitiveDescriptor;
@@ -23,6 +30,18 @@ pub trait ConvAlgorithm: Send + Sync {
     /// Used by the cost model's memory-pressure term (Table 1's "Memory"
     /// column).
     fn workspace_elems(&self, scenario: &ConvScenario) -> usize;
+
+    /// Exact scratch [`ConvAlgorithm::execute_into`] carves for this
+    /// scenario at `threads == 1`, per arena.
+    ///
+    /// A [`Workspace`] pre-sized to this requirement makes the serial
+    /// execute path allocation-free from the first call. Intra-op
+    /// parallel execution may need more (per-worker panels); the arenas
+    /// grow once on the warmup run and stay allocation-free afterwards.
+    fn workspace_req(&self, scenario: &ConvScenario) -> WorkspaceReq {
+        let _ = scenario;
+        WorkspaceReq::ZERO
+    }
 
     /// Runs the convolution.
     ///
@@ -43,7 +62,33 @@ pub trait ConvAlgorithm: Send + Sync {
         kernel: &KernelTensor,
         scenario: &ConvScenario,
         threads: usize,
-    ) -> Result<Tensor, PrimitiveError>;
+    ) -> Result<Tensor, PrimitiveError> {
+        let mut ws = Workspace::new();
+        let mut out = Tensor::empty();
+        self.execute_into(input, kernel, scenario, threads, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// Runs the convolution out of a caller workspace into a recycled
+    /// output tensor — the zero-allocation steady-state path.
+    ///
+    /// All transient buffers are carved from `ws` (which the caller
+    /// resets between calls; arenas grow at most once per watermark) and
+    /// `out` is re-shaped in place via [`Tensor::reuse_as`]. Results are
+    /// bit-identical to [`ConvAlgorithm::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ConvAlgorithm::execute`].
+    fn execute_into(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        scenario: &ConvScenario,
+        threads: usize,
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError>;
 }
 
 /// Validates the common preconditions shared by every primitive.

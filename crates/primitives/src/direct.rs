@@ -6,8 +6,8 @@ use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 
 use crate::algorithm::check_args;
-use crate::util::{padded_at, par_chunks_mut};
-use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+use crate::util::{padded_at, par_chunks_mut, par_chunks_scratch};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq};
 
 /// Loop-nest flavour of a [`DirectConv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,36 +105,56 @@ impl ConvAlgorithm for DirectConv {
         }
     }
 
-    fn execute(
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        match self.variant {
+            DirectVariant::HwkkcmHwc => WorkspaceReq::f32s(s.m),
+            DirectVariant::Blocked4 => WorkspaceReq::f32s(4),
+            DirectVariant::Blocked8 => WorkspaceReq::f32s(8),
+            _ => WorkspaceReq::ZERO,
+        }
+    }
+
+    fn execute_into(
         &self,
         input: &Tensor,
         kernel: &KernelTensor,
         s: &ConvScenario,
         threads: usize,
-    ) -> Result<Tensor, PrimitiveError> {
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
         check_args(&self.desc, self.supports(s), input, kernel, s)?;
-        let out = match self.variant {
-            DirectVariant::Mhwckk => mhwckk(input, kernel, s, threads),
-            DirectVariant::Cmhwkk => cmhwkk(input, kernel, s, threads),
-            DirectVariant::MhwkkcHwc => mhwkkc_hwc(input, kernel, s),
-            DirectVariant::HwkkcmHwc => hwkkcm_hwc(input, kernel, s),
-            DirectVariant::MhcwHcw => mhcw_hcw(input, kernel, s),
-            DirectVariant::Tiled(t) => tiled(input, kernel, s, threads, t),
-            DirectVariant::Unroll4 => unroll4(input, kernel, s, threads),
-            DirectVariant::Blocked4 => blocked(input, kernel, s, threads, Layout::Chw4),
-            DirectVariant::Blocked8 => blocked(input, kernel, s, threads, Layout::Chw8),
-            DirectVariant::Strided => strided(input, kernel, s, threads),
-            DirectVariant::FusedChwHwc => fused_chw_hwc(input, kernel, s),
-            DirectVariant::WhcNest => whc_nest(input, kernel, s),
-            DirectVariant::HwcVec8 => hwc_vec8(input, kernel, s),
-        };
-        Ok(out)
+        out.reuse_as(s.m, s.out_h(), s.out_w(), self.desc.output_layout);
+        // Several loop orders accumulate into the output in place.
+        out.data_mut().fill(0.0);
+        match self.variant {
+            DirectVariant::Mhwckk => mhwckk(input, kernel, s, threads, out),
+            DirectVariant::Cmhwkk => cmhwkk(input, kernel, s, threads, out),
+            DirectVariant::MhwkkcHwc => mhwkkc_hwc(input, kernel, s, out),
+            DirectVariant::HwkkcmHwc => hwkkcm_hwc(input, kernel, s, ws, out),
+            DirectVariant::MhcwHcw => mhcw_hcw(input, kernel, s, out),
+            DirectVariant::Tiled(t) => tiled(input, kernel, s, threads, t, out),
+            DirectVariant::Unroll4 => unroll4(input, kernel, s, threads, out),
+            DirectVariant::Blocked4 | DirectVariant::Blocked8 => {
+                blocked(input, kernel, s, threads, ws, out)
+            }
+            DirectVariant::Strided => strided(input, kernel, s, threads, out),
+            DirectVariant::FusedChwHwc => fused_chw_hwc(input, kernel, s, out),
+            DirectVariant::WhcNest => whc_nest(input, kernel, s, out),
+            DirectVariant::HwcVec8 => hwc_vec8(input, kernel, s, out),
+        }
+        Ok(())
     }
 }
 
-fn mhwckk(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usize) -> Tensor {
+fn mhwckk(
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+    threads: usize,
+    out: &mut Tensor,
+) {
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
     par_chunks_mut(out.data_mut(), oh * ow, threads, |m, plane| {
         for y in 0..oh {
             for x in 0..ow {
@@ -152,12 +172,16 @@ fn mhwckk(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usiz
             }
         }
     });
-    out
 }
 
-fn cmhwkk(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usize) -> Tensor {
+fn cmhwkk(
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+    threads: usize,
+    out: &mut Tensor,
+) {
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
     // Input-channel stationary: each worker owns a range of output planes
     // and walks channels outermost within it, maximizing kernel-row reuse.
     par_chunks_mut(out.data_mut(), oh * ow, threads, |m, plane| {
@@ -177,14 +201,12 @@ fn cmhwkk(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usiz
             }
         }
     });
-    out
 }
 
-fn mhwkkc_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+fn mhwkkc_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, out: &mut Tensor) {
     let (oh, ow) = (s.out_h(), s.out_w());
     let (_, h, w) = input.dims();
     let src = input.data();
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
     for m in 0..s.m {
         for y in 0..oh {
             for x in 0..ow {
@@ -211,15 +233,20 @@ fn mhwkkc_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor
             }
         }
     }
-    out
 }
 
-fn hwkkcm_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+fn hwkkcm_hwc(
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+    ws: &mut Workspace,
+    out: &mut Tensor,
+) {
     let (oh, ow) = (s.out_h(), s.out_w());
     let (_, h, w) = input.dims();
     let src = input.data();
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
-    let mut acc = vec![0.0f32; s.m];
+    let mark = ws.reals.mark();
+    let [acc] = ws.reals.take([s.m]);
     for y in 0..oh {
         for x in 0..ow {
             acc.fill(0.0);
@@ -247,12 +274,11 @@ fn hwkkcm_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor
             }
         }
     }
-    out
+    ws.reals.release(mark);
 }
 
-fn mhcw_hcw(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+fn mhcw_hcw(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, out: &mut Tensor) {
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hcw);
     for m in 0..s.m {
         for y in 0..oh {
             for c in 0..s.c {
@@ -270,7 +296,6 @@ fn mhcw_hcw(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
             }
         }
     }
-    out
 }
 
 fn tiled(
@@ -279,9 +304,9 @@ fn tiled(
     s: &ConvScenario,
     threads: usize,
     tile: usize,
-) -> Tensor {
+    out: &mut Tensor,
+) {
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
     par_chunks_mut(out.data_mut(), oh * ow, threads, |m, plane| {
         for y0 in (0..oh).step_by(tile) {
             for x0 in (0..ow).step_by(tile) {
@@ -305,12 +330,16 @@ fn tiled(
             }
         }
     });
-    out
 }
 
-fn unroll4(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usize) -> Tensor {
+fn unroll4(
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+    threads: usize,
+    out: &mut Tensor,
+) {
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
     let k4 = s.k / 4 * 4;
     par_chunks_mut(out.data_mut(), oh * ow, threads, |m, plane| {
         for y in 0..oh {
@@ -342,7 +371,6 @@ fn unroll4(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usi
             }
         }
     });
-    out
 }
 
 fn blocked(
@@ -350,44 +378,55 @@ fn blocked(
     kernel: &KernelTensor,
     s: &ConvScenario,
     threads: usize,
-    layout: Layout,
-) -> Tensor {
-    let b = layout.channel_block();
+    ws: &mut Workspace,
+    out: &mut Tensor,
+) {
+    let b = out.layout().channel_block();
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, layout);
     let blocks = s.m.div_ceil(b);
     let block_len = oh * ow * b;
-    par_chunks_mut(out.data_mut(), block_len, threads.min(blocks), |ob, slab| {
-        let lanes = b.min(s.m - ob * b);
-        let mut acc = vec![0.0f32; b];
-        for y in 0..oh {
-            for x in 0..ow {
-                acc.fill(0.0);
-                for c in 0..s.c {
-                    for i in 0..s.k {
-                        let iy = (y * s.stride + i) as isize - s.pad as isize;
-                        for j in 0..s.k {
-                            let ix = (x * s.stride + j) as isize - s.pad as isize;
-                            let v = padded_at(input, c, iy, ix);
-                            for (lane, slot) in acc.iter_mut().enumerate().take(lanes) {
-                                *slot += v * kernel.at(ob * b + lane, c, i, j);
+    let arena = &mut ws.reals;
+    par_chunks_scratch(
+        out.data_mut(),
+        block_len,
+        threads.min(blocks),
+        b,
+        arena,
+        |ob, slab, acc| {
+            let lanes = b.min(s.m - ob * b);
+            for y in 0..oh {
+                for x in 0..ow {
+                    acc.fill(0.0);
+                    for c in 0..s.c {
+                        for i in 0..s.k {
+                            let iy = (y * s.stride + i) as isize - s.pad as isize;
+                            for j in 0..s.k {
+                                let ix = (x * s.stride + j) as isize - s.pad as isize;
+                                let v = padded_at(input, c, iy, ix);
+                                for (lane, slot) in acc.iter_mut().enumerate().take(lanes) {
+                                    *slot += v * kernel.at(ob * b + lane, c, i, j);
+                                }
                             }
                         }
                     }
+                    let base = (y * ow + x) * b;
+                    slab[base..base + b].copy_from_slice(acc);
                 }
-                let base = (y * ow + x) * b;
-                slab[base..base + b].copy_from_slice(&acc);
             }
-        }
-    });
-    out
+        },
+    );
 }
 
-fn strided(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usize) -> Tensor {
+fn strided(
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+    threads: usize,
+    out: &mut Tensor,
+) {
     let (oh, ow) = (s.out_h(), s.out_w());
     let (_, h, w) = input.dims();
     let src = input.data();
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
     // Strided specialization: interior region needs no bounds checks, so it
     // is split from the border. With δ > 1 the interior dominates.
     let y_lo = s.pad.div_ceil(s.stride);
@@ -429,12 +468,10 @@ fn strided(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, threads: usi
             }
         }
     });
-    out
 }
 
-fn fused_chw_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+fn fused_chw_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, out: &mut Tensor) {
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
     let data = out.data_mut();
     for y in 0..oh {
         for x in 0..ow {
@@ -454,12 +491,10 @@ fn fused_chw_hwc(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Ten
             }
         }
     }
-    out
 }
 
-fn whc_nest(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+fn whc_nest(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, out: &mut Tensor) {
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Whc);
     for x in 0..ow {
         for y in 0..oh {
             for m in 0..s.m {
@@ -477,15 +512,13 @@ fn whc_nest(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
             }
         }
     }
-    out
 }
 
-fn hwc_vec8(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
+fn hwc_vec8(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario, out: &mut Tensor) {
     let (oh, ow) = (s.out_h(), s.out_w());
     let (_, h, w) = input.dims();
     let src = input.data();
     let c8 = s.c / 8 * 8;
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
     for m in 0..s.m {
         for y in 0..oh {
             for x in 0..ow {
@@ -519,7 +552,6 @@ fn hwc_vec8(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// All direct-family primitives for the registry.

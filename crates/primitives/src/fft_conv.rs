@@ -7,13 +7,15 @@
 //! frequency domain and run a single inverse transform per `(m, row)`.
 //! All variants require unit stride.
 
+use std::sync::{Arc, Mutex};
+
 use pbqp_dnn_fft::{Bluestein, Complex, Fft};
 use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 
 use crate::algorithm::check_args;
 use crate::util::par_chunks_mut;
-use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq};
 
 /// Transform backend / decomposition of an [`FftConv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +34,9 @@ pub(crate) enum FftVariant {
 pub(crate) struct FftConv {
     desc: PrimitiveDescriptor,
     variant: FftVariant,
+    /// Transform plans (twiddle/chirp tables) memoized by length:
+    /// building them per call would be a hidden steady-state allocation.
+    plans: Mutex<Vec<(usize, Arc<RowPlan>)>>,
 }
 
 impl FftConv {
@@ -47,7 +52,41 @@ impl FftConv {
         FftConv {
             desc: PrimitiveDescriptor::new(name, Family::Fft, lin, lout).with_hint(hint),
             variant,
+            plans: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Transform length for this variant on scenario `s`.
+    fn plan_len(&self, s: &ConvScenario) -> usize {
+        match self.variant {
+            FftVariant::RowBluestein => s.w + s.k - 1,
+            FftVariant::TwoD => (s.h + s.k - 1).max(s.w + s.k - 1).next_power_of_two(),
+            _ => (s.w + s.k - 1).next_power_of_two(),
+        }
+    }
+
+    /// Chirp work-buffer length (Bluestein only; see
+    /// [`Bluestein::work_len`]).
+    fn work_len_for(&self, n: usize) -> usize {
+        match self.variant {
+            FftVariant::RowBluestein => (2 * n - 1).next_power_of_two(),
+            _ => 0,
+        }
+    }
+
+    /// The memoized plan of length `len` (built on first use; an `Arc`
+    /// clone — no allocation — afterwards).
+    fn plan_for(&self, len: usize) -> Arc<RowPlan> {
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        if let Some((_, plan)) = plans.iter().find(|(l, _)| *l == len) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(match self.variant {
+            FftVariant::RowBluestein => RowPlan::Bluestein(Bluestein::new(len)),
+            _ => RowPlan::Radix2(Fft::new(len)),
+        });
+        plans.push((len, Arc::clone(&plan)));
+        plan
     }
 }
 
@@ -64,16 +103,24 @@ impl RowPlan {
             RowPlan::Bluestein(p) => p.len(),
         }
     }
-    fn forward(&self, buf: &mut [Complex]) {
+    /// Scratch elements the transforms need (Bluestein's chirp work
+    /// buffer; the radix-2 transform is fully in-place).
+    fn work_len(&self) -> usize {
         match self {
-            RowPlan::Radix2(p) => p.forward(buf),
-            RowPlan::Bluestein(p) => p.forward(buf),
+            RowPlan::Radix2(_) => 0,
+            RowPlan::Bluestein(p) => p.work_len(),
         }
     }
-    fn inverse(&self, buf: &mut [Complex]) {
+    fn forward(&self, buf: &mut [Complex], work: &mut [Complex]) {
+        match self {
+            RowPlan::Radix2(p) => p.forward(buf),
+            RowPlan::Bluestein(p) => p.forward_with(buf, work),
+        }
+    }
+    fn inverse(&self, buf: &mut [Complex], work: &mut [Complex]) {
         match self {
             RowPlan::Radix2(p) => p.inverse(buf),
-            RowPlan::Bluestein(p) => p.inverse(buf),
+            RowPlan::Bluestein(p) => p.inverse_with(buf, work),
         }
     }
 }
@@ -104,32 +151,45 @@ impl ConvAlgorithm for FftConv {
         }
     }
 
-    fn execute(
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        let n = self.plan_len(s);
+        let work = self.work_len_for(n);
+        match self.variant {
+            FftVariant::TwoD => WorkspaceReq::complexes(s.m * n * n + 2 * n * n + n + work),
+            _ => WorkspaceReq::complexes((s.m * s.out_h() + s.h + s.m * s.k + 1) * n + work),
+        }
+    }
+
+    fn execute_into(
         &self,
         input: &Tensor,
         kernel: &KernelTensor,
         s: &ConvScenario,
         threads: usize,
-    ) -> Result<Tensor, PrimitiveError> {
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
         check_args(&self.desc, self.supports(s), input, kernel, s)?;
-        let out = match self.variant {
+        let plan = self.plan_for(self.plan_len(s));
+        out.reuse_as(s.m, s.out_h(), s.out_w(), self.desc.output_layout);
+        // Extraction skips positions below the pad offset; a recycled
+        // buffer holds stale values there.
+        out.data_mut().fill(0.0);
+        match self.variant {
             FftVariant::RowRadix2 | FftVariant::RowBluestein | FftVariant::RowRadix2Hwc => {
-                let plan = match self.variant {
-                    FftVariant::RowBluestein => RowPlan::Bluestein(Bluestein::new(s.w + s.k - 1)),
-                    _ => RowPlan::Radix2(Fft::new((s.w + s.k - 1).next_power_of_two())),
-                };
                 let hwc = self.variant == FftVariant::RowRadix2Hwc;
-                row_fft_conv(input, kernel, s, &plan, hwc, threads)
+                row_fft_conv(input, kernel, s, &plan, hwc, threads, ws, out);
             }
-            FftVariant::TwoD => fft_2d_conv(input, kernel, s),
-        };
-        Ok(out)
+            FftVariant::TwoD => fft_2d_conv(input, kernel, s, &plan, ws, out),
+        }
+        Ok(())
     }
 }
 
 /// Row-decomposed FFT convolution: per input channel, transform its rows
 /// and the reversed kernel rows once, accumulate pointwise products into
 /// per-`(m, output-row)` frequency accumulators, then inverse-transform.
+#[allow(clippy::too_many_arguments)]
 fn row_fft_conv(
     input: &Tensor,
     kernel: &KernelTensor,
@@ -137,13 +197,15 @@ fn row_fft_conv(
     plan: &RowPlan,
     hwc: bool,
     threads: usize,
-) -> Tensor {
+    ws: &mut Workspace,
+    out: &mut Tensor,
+) {
     let n = plan.len();
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut acc = vec![Complex::ZERO; s.m * oh * n];
+    let mark = ws.complexes.mark();
+    let [acc, row_fft, ker_fft, ibuf, work] =
+        ws.complexes.take([s.m * oh * n, s.h * n, s.m * s.k * n, n, plan.work_len()]);
 
-    let mut row_fft = vec![Complex::ZERO; s.h * n];
-    let mut ker_fft = vec![Complex::ZERO; s.m * s.k * n];
     for c in 0..s.c {
         // Transform this channel's image rows.
         for y in 0..s.h {
@@ -152,7 +214,7 @@ fn row_fft_conv(
             for (x, slot) in buf.iter_mut().enumerate().take(s.w) {
                 *slot = Complex::new(input.at(c, y, x), 0.0);
             }
-            plan.forward(buf);
+            plan.forward(buf, work);
         }
         // Transform this channel's reversed kernel rows.
         for m in 0..s.m {
@@ -162,7 +224,7 @@ fn row_fft_conv(
                 for (j, slot) in buf.iter_mut().enumerate().take(s.k) {
                     *slot = Complex::new(kernel.at(m, c, i, s.k - 1 - j), 0.0);
                 }
-                plan.forward(buf);
+                plan.forward(buf, work);
             }
         }
         // Frequency-domain accumulation.
@@ -187,30 +249,44 @@ fn row_fft_conv(
     // Inverse transforms and extraction. Linear-convolution index
     // `x + k − 1 − pad` holds the correlation output at `x` (see the fft
     // crate's `correlate_1d`).
-    let layout = if hwc { Layout::Hwc } else { Layout::Chw };
-    let mut out = Tensor::zeros(s.m, oh, ow, layout);
     if hwc {
         let data = out.data_mut();
-        let mut buf = vec![Complex::ZERO; n];
         for m in 0..s.m {
             for y in 0..oh {
-                buf.copy_from_slice(&acc[(m * oh + y) * n..(m * oh + y + 1) * n]);
-                plan.inverse(&mut buf);
+                ibuf.copy_from_slice(&acc[(m * oh + y) * n..(m * oh + y + 1) * n]);
+                plan.inverse(ibuf, work);
                 for x in 0..ow {
                     let t = x + s.k - 1;
                     if t >= s.pad {
-                        data[(y * ow + x) * s.m + m] = buf[t - s.pad].re;
+                        data[(y * ow + x) * s.m + m] = ibuf[t - s.pad].re;
+                    }
+                }
+            }
+        }
+    } else if threads.max(1) <= 1 {
+        // Steady-state path: the hoisted workspace row buffer, no spawn.
+        let data = out.data_mut();
+        for (m, plane) in data.chunks_mut(oh * ow).enumerate() {
+            for y in 0..oh {
+                ibuf.copy_from_slice(&acc[(m * oh + y) * n..(m * oh + y + 1) * n]);
+                plan.inverse(ibuf, work);
+                for x in 0..ow {
+                    let t = x + s.k - 1;
+                    if t >= s.pad {
+                        plane[y * ow + x] = ibuf[t - s.pad].re;
                     }
                 }
             }
         }
     } else {
-        let acc = &acc;
+        let acc = &*acc;
         par_chunks_mut(out.data_mut(), oh * ow, threads, |m, plane| {
+            // Hoisted out of the per-row loop: one buffer per worker chunk.
             let mut buf = vec![Complex::ZERO; n];
+            let mut wk = vec![Complex::ZERO; plan.work_len()];
             for y in 0..oh {
                 buf.copy_from_slice(&acc[(m * oh + y) * n..(m * oh + y + 1) * n]);
-                plan.inverse(&mut buf);
+                plan.inverse(&mut buf, &mut wk);
                 for x in 0..ow {
                     let t = x + s.k - 1;
                     if t >= s.pad {
@@ -220,19 +296,25 @@ fn row_fft_conv(
             }
         });
     }
-    out
+    ws.complexes.release(mark);
 }
 
 /// Full 2-D FFT convolution: one forward 2-D transform per input channel
 /// and per kernel plane, frequency-domain accumulation, one inverse 2-D
 /// transform per output channel.
-fn fft_2d_conv(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tensor {
-    let n = (s.h + s.k - 1).max(s.w + s.k - 1).next_power_of_two();
-    let plan = Fft::new(n);
+fn fft_2d_conv(
+    input: &Tensor,
+    kernel: &KernelTensor,
+    s: &ConvScenario,
+    plan: &RowPlan,
+    ws: &mut Workspace,
+    out: &mut Tensor,
+) {
+    let n = plan.len();
     let (oh, ow) = (s.out_h(), s.out_w());
-    let mut acc = vec![Complex::ZERO; s.m * n * n];
-    let mut sig = vec![Complex::ZERO; n * n];
-    let mut ker = vec![Complex::ZERO; n * n];
+    let mark = ws.complexes.mark();
+    let [acc, sig, ker, col, work] =
+        ws.complexes.take([s.m * n * n, n * n, n * n, n, plan.work_len()]);
 
     for c in 0..s.c {
         // 2-D FFT of the channel image.
@@ -242,7 +324,7 @@ fn fft_2d_conv(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tenso
                 sig[y * n + x] = Complex::new(input.at(c, y, x), 0.0);
             }
         }
-        fft_2d(&plan, &mut sig, n, false);
+        fft_2d(plan, sig, col, work, n, false);
         for m in 0..s.m {
             // 2-D FFT of the (reversed) kernel plane.
             ker.fill(Complex::ZERO);
@@ -251,18 +333,17 @@ fn fft_2d_conv(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tenso
                     ker[i * n + j] = Complex::new(kernel.at(m, c, s.k - 1 - i, s.k - 1 - j), 0.0);
                 }
             }
-            fft_2d(&plan, &mut ker, n, false);
+            fft_2d(plan, ker, col, work, n, false);
             let arow = &mut acc[m * n * n..(m + 1) * n * n];
-            for ((a, &sv), &kv) in arow.iter_mut().zip(&sig).zip(&ker) {
+            for ((a, &sv), &kv) in arow.iter_mut().zip(&*sig).zip(&*ker) {
                 *a = *a + sv * kv;
             }
         }
     }
 
-    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
     for m in 0..s.m {
         let slab = &mut acc[m * n * n..(m + 1) * n * n];
-        fft_2d(&plan, slab, n, true);
+        fft_2d(plan, slab, col, work, n, true);
         for y in 0..oh {
             let ty = y + s.k - 1;
             if ty < s.pad {
@@ -277,18 +358,26 @@ fn fft_2d_conv(input: &Tensor, kernel: &KernelTensor, s: &ConvScenario) -> Tenso
             }
         }
     }
-    out
+    ws.complexes.release(mark);
 }
 
-/// In-place 2-D transform of an `n × n` complex grid (rows then columns).
-fn fft_2d(plan: &Fft, grid: &mut [Complex], n: usize, inverse: bool) {
-    let mut col = vec![Complex::ZERO; n];
+/// In-place 2-D transform of an `n × n` complex grid (rows then columns),
+/// using a caller-provided column buffer (hoisted out of the per-grid
+/// loops for the zero-allocation steady state).
+fn fft_2d(
+    plan: &RowPlan,
+    grid: &mut [Complex],
+    col: &mut [Complex],
+    work: &mut [Complex],
+    n: usize,
+    inverse: bool,
+) {
     for y in 0..n {
         let row = &mut grid[y * n..(y + 1) * n];
         if inverse {
-            plan.inverse(row);
+            plan.inverse(row, work);
         } else {
-            plan.forward(row);
+            plan.forward(row, work);
         }
     }
     for x in 0..n {
@@ -296,9 +385,9 @@ fn fft_2d(plan: &Fft, grid: &mut [Complex], n: usize, inverse: bool) {
             col[y] = grid[y * n + x];
         }
         if inverse {
-            plan.inverse(&mut col);
+            plan.inverse(col, work);
         } else {
-            plan.forward(&mut col);
+            plan.forward(col, work);
         }
         for y in 0..n {
             grid[y * n + x] = col[y];

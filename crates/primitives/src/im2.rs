@@ -11,13 +11,13 @@
 //! * fused output-layout transposition (`*_xout` variants);
 //! * strip-mining, which bounds the Toeplitz workspace to a few image rows.
 
-use pbqp_dnn_gemm::{transpose, Gemm, GemmKind, Trans};
+use pbqp_dnn_gemm::{transpose_into, Gemm, GemmKind, Trans};
 use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 
 use crate::algorithm::check_args;
 use crate::util::padded_at;
-use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq};
 
 /// Which matrix layout the Toeplitz construction produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,12 +81,11 @@ impl Im2Conv {
     }
 
     /// Builds the `(C·K²) × cols` patch matrix for output rows
-    /// `[y0, y1)` (im2col order: patch element `(c, i, j)` is the row).
-    fn build_col(&self, input: &Tensor, s: &ConvScenario, y0: usize, y1: usize) -> Vec<f32> {
+    /// `[y0, y1)` (im2col order: patch element `(c, i, j)` is the row)
+    /// into workspace-carved `b`.
+    fn build_col(&self, input: &Tensor, s: &ConvScenario, y0: usize, y1: usize, b: &mut [f32]) {
         let ow = s.out_w();
         let cols = (y1 - y0) * ow;
-        let ckk = s.c * s.k * s.k;
-        let mut b = vec![0.0f32; ckk * cols];
         for c in 0..s.c {
             for i in 0..s.k {
                 for j in 0..s.k {
@@ -102,17 +101,14 @@ impl Im2Conv {
                 }
             }
         }
-        b
     }
 
     /// Builds the `rows × (K²·C)` patch matrix for output rows `[y0, y1)`
     /// (im2row order: patch element `(i, j, c)` is the column, so HWC
-    /// inputs stream contiguously).
-    fn build_row(&self, input: &Tensor, s: &ConvScenario, y0: usize, y1: usize) -> Vec<f32> {
+    /// inputs stream contiguously) into workspace-carved `b`.
+    fn build_row(&self, input: &Tensor, s: &ConvScenario, y0: usize, y1: usize, b: &mut [f32]) {
         let ow = s.out_w();
         let kkc = s.k * s.k * s.c;
-        let rows = (y1 - y0) * ow;
-        let mut b = vec![0.0f32; rows * kkc];
         for y in y0..y1 {
             for x in 0..ow {
                 let r = (y - y0) * ow + x;
@@ -130,14 +126,13 @@ impl Im2Conv {
                 }
             }
         }
-        b
     }
 
     /// Kernel as an `M × (K²·C)` row-major matrix in `(i, j, c)` column
-    /// order (the order [`Im2Conv::build_row`] produces).
-    fn kernel_kkc(&self, kernel: &KernelTensor, s: &ConvScenario) -> Vec<f32> {
+    /// order (the order [`Im2Conv::build_row`] produces), written into
+    /// workspace-carved `a`.
+    fn kernel_kkc(&self, kernel: &KernelTensor, s: &ConvScenario, a: &mut [f32]) {
         let kkc = s.k * s.k * s.c;
-        let mut a = vec![0.0f32; s.m * kkc];
         for m in 0..s.m {
             let dst = &mut a[m * kkc..(m + 1) * kkc];
             let mut o = 0;
@@ -150,7 +145,46 @@ impl Im2Conv {
                 }
             }
         }
-        a
+    }
+
+    /// `(b_elems, a_elems, c_elems)` scratch partition of one execute
+    /// call: Toeplitz matrix, kernel re-layout/transpose, staging output.
+    fn scratch_parts(&self, s: &ConvScenario) -> (usize, usize, usize) {
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let ckk = s.c * s.k * s.k;
+        match self.shape {
+            Im2Shape::Col | Im2Shape::ColFromHcw => {
+                (ckk * oh * ow, if self.kernel_transposed { s.m * ckk } else { 0 }, 0)
+            }
+            Im2Shape::ColToHwc => (ckk * oh * ow, 0, s.m * oh * ow),
+            Im2Shape::Row | Im2Shape::RowToChw => {
+                let a = s.m * ckk + if self.kernel_transposed { 0 } else { s.m * ckk };
+                let c = if self.shape == Im2Shape::RowToChw { oh * ow * s.m } else { 0 };
+                (oh * ow * ckk, a, c)
+            }
+            Im2Shape::ColStrip8 => (ckk * 8 * ow, 0, s.m * 8 * ow),
+            Im2Shape::RowStrip8 => (8 * ow * ckk, s.m * ckk, 0),
+        }
+    }
+
+    /// Worst-case GEMM packing scratch across the calls one execute makes.
+    fn gemm_scratch(&self, s: &ConvScenario, gemm: &Gemm) -> usize {
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let ckk = s.c * s.k * s.k;
+        let kt = self.kernel_transposed;
+        match self.shape {
+            Im2Shape::Col | Im2Shape::ColFromHcw => {
+                let ta = if kt { Trans::T } else { Trans::N };
+                gemm.scratch_elems(ta, Trans::N, s.m, oh * ow, ckk)
+            }
+            Im2Shape::ColToHwc => gemm.scratch_elems(Trans::N, Trans::N, s.m, oh * ow, ckk),
+            Im2Shape::Row | Im2Shape::RowToChw => {
+                let tb = if kt { Trans::T } else { Trans::N };
+                gemm.scratch_elems(Trans::N, tb, oh * ow, s.m, ckk)
+            }
+            Im2Shape::ColStrip8 => gemm.scratch_elems(Trans::N, Trans::N, s.m, 8 * ow, ckk),
+            Im2Shape::RowStrip8 => gemm.scratch_elems(Trans::N, Trans::T, 8 * ow, s.m, ckk),
+        }
     }
 }
 
@@ -171,109 +205,169 @@ impl ConvAlgorithm for Im2Conv {
         }
     }
 
-    fn execute(
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        let (b, a, c) = self.scratch_parts(s);
+        let gemm = Gemm::new(self.gemm);
+        WorkspaceReq::f32s(b + a + c + self.gemm_scratch(s, &gemm))
+    }
+
+    fn execute_into(
         &self,
         input: &Tensor,
         kernel: &KernelTensor,
         s: &ConvScenario,
         threads: usize,
-    ) -> Result<Tensor, PrimitiveError> {
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
         check_args(&self.desc, true, input, kernel, s)?;
         let (oh, ow) = (s.out_h(), s.out_w());
         let ckk = s.c * s.k * s.k;
         let gemm = Gemm::new(self.gemm).threads(threads);
+        out.reuse_as(s.m, oh, ow, self.desc.output_layout);
 
-        let out = match self.shape {
+        let mark = ws.reals.mark();
+        let (b_elems, a_elems, c_elems) = self.scratch_parts(s);
+        let [b, a, c, gbuf] =
+            ws.reals.take([b_elems, a_elems, c_elems, self.gemm_scratch(s, &gemm)]);
+
+        match self.shape {
             Im2Shape::Col | Im2Shape::ColFromHcw => {
-                let b = self.build_col(input, s, 0, oh);
-                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+                self.build_col(input, s, 0, oh, b);
                 // A is the kernel as M × (C·K²), exactly its storage order.
                 if self.kernel_transposed {
-                    let at = transpose(kernel.data(), s.m, ckk);
-                    gemm.run(Trans::T, Trans::N, s.m, oh * ow, ckk, &at, &b, 0.0, out.data_mut());
+                    transpose_into(kernel.data(), s.m, ckk, a);
+                    gemm.run_with_scratch(
+                        Trans::T,
+                        Trans::N,
+                        s.m,
+                        oh * ow,
+                        ckk,
+                        a,
+                        b,
+                        0.0,
+                        out.data_mut(),
+                        gbuf,
+                    );
                 } else {
-                    gemm.run(
+                    gemm.run_with_scratch(
                         Trans::N,
                         Trans::N,
                         s.m,
                         oh * ow,
                         ckk,
                         kernel.data(),
-                        &b,
+                        b,
                         0.0,
                         out.data_mut(),
+                        gbuf,
                     );
                 }
-                out
             }
             Im2Shape::ColToHwc => {
-                let b = self.build_col(input, s, 0, oh);
-                let mut c = vec![0.0f32; s.m * oh * ow];
-                gemm.run(Trans::N, Trans::N, s.m, oh * ow, ckk, kernel.data(), &b, 0.0, &mut c);
-                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
+                self.build_col(input, s, 0, oh, b);
+                gemm.run_with_scratch(
+                    Trans::N,
+                    Trans::N,
+                    s.m,
+                    oh * ow,
+                    ckk,
+                    kernel.data(),
+                    b,
+                    0.0,
+                    c,
+                    gbuf,
+                );
                 let data = out.data_mut();
                 for m in 0..s.m {
                     for p in 0..oh * ow {
                         data[p * s.m + m] = c[m * oh * ow + p];
                     }
                 }
-                out
             }
             Im2Shape::Row | Im2Shape::RowToChw => {
-                let b = self.build_row(input, s, 0, oh);
-                let a = self.kernel_kkc(kernel, s);
-                let mut c = vec![0.0f32; oh * ow * s.m];
+                self.build_row(input, s, 0, oh, b);
+                // `a` holds the (i, j, c)-ordered kernel matrix, and — for
+                // the untransposed form — its materialized transpose after.
+                let (akkc, at) = a.split_at_mut(s.m * ckk);
+                self.kernel_kkc(kernel, s, akkc);
+                let dst = if self.shape == Im2Shape::Row { out.data_mut() } else { &mut *c };
                 if self.kernel_transposed {
                     // B (rows×kkc) · Aᵀ, handing the kernel matrix to GEMM
                     // transposed — the "A Bᵀ" selection seen in Figure 4.
-                    gemm.run(Trans::N, Trans::T, oh * ow, s.m, ckk, &b, &a, 0.0, &mut c);
+                    gemm.run_with_scratch(
+                        Trans::N,
+                        Trans::T,
+                        oh * ow,
+                        s.m,
+                        ckk,
+                        b,
+                        akkc,
+                        0.0,
+                        dst,
+                        gbuf,
+                    );
                 } else {
-                    let at = transpose(&a, s.m, ckk);
-                    gemm.run(Trans::N, Trans::N, oh * ow, s.m, ckk, &b, &at, 0.0, &mut c);
+                    transpose_into(akkc, s.m, ckk, at);
+                    gemm.run_with_scratch(
+                        Trans::N,
+                        Trans::N,
+                        oh * ow,
+                        s.m,
+                        ckk,
+                        b,
+                        at,
+                        0.0,
+                        dst,
+                        gbuf,
+                    );
                 }
-                if self.shape == Im2Shape::Row {
-                    Tensor::from_vec(s.m, oh, ow, Layout::Hwc, c)?
-                } else {
-                    let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+                if self.shape == Im2Shape::RowToChw {
                     let data = out.data_mut();
                     for p in 0..oh * ow {
                         for m in 0..s.m {
                             data[m * oh * ow + p] = c[p * s.m + m];
                         }
                     }
-                    out
                 }
             }
             Im2Shape::ColStrip8 => {
-                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
                 for y0 in (0..oh).step_by(8) {
                     let y1 = (y0 + 8).min(oh);
-                    let b = self.build_col(input, s, y0, y1);
+                    self.build_col(input, s, y0, y1, b);
                     let cols = (y1 - y0) * ow;
-                    let mut c = vec![0.0f32; s.m * cols];
-                    gemm.run(Trans::N, Trans::N, s.m, cols, ckk, kernel.data(), &b, 0.0, &mut c);
+                    gemm.run_with_scratch(
+                        Trans::N,
+                        Trans::N,
+                        s.m,
+                        cols,
+                        ckk,
+                        kernel.data(),
+                        b,
+                        0.0,
+                        c,
+                        gbuf,
+                    );
                     let data = out.data_mut();
                     for m in 0..s.m {
                         data[m * oh * ow + y0 * ow..m * oh * ow + y1 * ow]
                             .copy_from_slice(&c[m * cols..(m + 1) * cols]);
                     }
                 }
-                out
             }
             Im2Shape::RowStrip8 => {
-                let a = self.kernel_kkc(kernel, s);
-                let mut out = Tensor::zeros(s.m, oh, ow, Layout::Hwc);
+                self.kernel_kkc(kernel, s, a);
                 for y0 in (0..oh).step_by(8) {
                     let y1 = (y0 + 8).min(oh);
-                    let b = self.build_row(input, s, y0, y1);
+                    self.build_row(input, s, y0, y1, b);
                     let rows = (y1 - y0) * ow;
                     let dst = &mut out.data_mut()[y0 * ow * s.m..y1 * ow * s.m];
-                    gemm.run(Trans::N, Trans::T, rows, s.m, ckk, &b, &a, 0.0, dst);
+                    gemm.run_with_scratch(Trans::N, Trans::T, rows, s.m, ckk, b, a, 0.0, dst, gbuf);
                 }
-                out
             }
-        };
-        Ok(out)
+        }
+        ws.reals.release(mark);
+        Ok(())
     }
 }
 

@@ -19,7 +19,7 @@ use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 
 use crate::algorithm::check_args;
-use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq};
 
 /// Patch-matrix orientation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,15 +73,49 @@ impl Kn2Conv {
         }
     }
 
-    /// One kernel tap-plane as an `M × C` matrix.
-    fn tap_plane(&self, kernel: &KernelTensor, s: &ConvScenario, i: usize, j: usize) -> Vec<f32> {
-        let mut a = vec![0.0f32; s.m * s.c];
+    /// One kernel tap-plane as an `M × C` matrix, written into `a`.
+    fn tap_plane(
+        &self,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        i: usize,
+        j: usize,
+        a: &mut [f32],
+    ) {
         for m in 0..s.m {
             for c in 0..s.c {
                 a[m * s.c + c] = kernel.at(m, c, i, j);
             }
         }
-        a
+    }
+
+    /// `(a_elems, product_elems, view_elems)` scratch partition.
+    fn scratch_parts(&self, s: &ConvScenario) -> (usize, usize, usize) {
+        let (h, w, kk) = (s.h, s.w, s.k * s.k);
+        match (self.shape, self.mode) {
+            (_, Kn2Mode::Accumulating) => (s.m * s.c, s.m * h * w, 0),
+            (Kn2Shape::Row, Kn2Mode::SingleGemm) => (kk * s.m * s.c, kk * s.m * h * w, 0),
+            (Kn2Shape::Col, Kn2Mode::SingleGemm) => (s.c * kk * s.m, h * w * kk * s.m, h * w * s.m),
+        }
+    }
+
+    /// GEMM packing scratch for the calls one execute makes.
+    fn gemm_scratch(&self, s: &ConvScenario, gemm: &Gemm) -> usize {
+        let (h, w, kk) = (s.h, s.w, s.k * s.k);
+        match (self.shape, self.mode) {
+            (Kn2Shape::Row, Kn2Mode::Accumulating) => {
+                gemm.scratch_elems(Trans::N, Trans::N, s.m, h * w, s.c)
+            }
+            (Kn2Shape::Row, Kn2Mode::SingleGemm) => {
+                gemm.scratch_elems(Trans::N, Trans::N, kk * s.m, h * w, s.c)
+            }
+            (Kn2Shape::Col, Kn2Mode::Accumulating) => {
+                gemm.scratch_elems(Trans::N, Trans::T, h * w, s.m, s.c)
+            }
+            (Kn2Shape::Col, Kn2Mode::SingleGemm) => {
+                gemm.scratch_elems(Trans::N, Trans::N, h * w, kk * s.m, s.c)
+            }
+        }
     }
 }
 
@@ -168,44 +202,56 @@ impl ConvAlgorithm for Kn2Conv {
         }
     }
 
-    fn execute(
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        let (a, product, view) = self.scratch_parts(s);
+        WorkspaceReq::f32s(a + product + view + self.gemm_scratch(s, &Gemm::new(self.gemm)))
+    }
+
+    fn execute_into(
         &self,
         input: &Tensor,
         kernel: &KernelTensor,
         s: &ConvScenario,
         threads: usize,
-    ) -> Result<Tensor, PrimitiveError> {
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
         check_args(&self.desc, self.supports(s), input, kernel, s)?;
         let (oh, ow) = (s.out_h(), s.out_w());
         let (h, w) = (s.h, s.w);
         let gemm = Gemm::new(self.gemm).threads(threads);
-        let mut out = Tensor::zeros(s.m, oh, ow, self.desc.output_layout);
+        out.reuse_as(s.m, oh, ow, self.desc.output_layout);
+        // Shift-add accumulates into the output.
+        out.data_mut().fill(0.0);
+        let mark = ws.reals.mark();
+        let (a_elems, product_elems, view_elems) = self.scratch_parts(s);
+        let [a, product, view, gbuf] =
+            ws.reals.take([a_elems, product_elems, view_elems, self.gemm_scratch(s, &gemm)]);
 
         match (self.shape, self.mode) {
             (Kn2Shape::Row, Kn2Mode::Accumulating) => {
-                let mut product = vec![0.0f32; s.m * h * w];
                 for i in 0..s.k {
                     for j in 0..s.k {
-                        let a = self.tap_plane(kernel, s, i, j);
-                        gemm.run(
+                        self.tap_plane(kernel, s, i, j, a);
+                        gemm.run_with_scratch(
                             Trans::N,
                             Trans::N,
                             s.m,
                             h * w,
                             s.c,
-                            &a,
+                            a,
                             input.data(),
                             0.0,
-                            &mut product,
+                            product,
+                            gbuf,
                         );
-                        shift_add_chw(&mut out, &product, s, oh, ow, i, j);
+                        shift_add_chw(out, product, s, oh, ow, i, j);
                     }
                 }
             }
             (Kn2Shape::Row, Kn2Mode::SingleGemm) => {
                 // Stack all tap planes: (K²·M) × C.
                 let kk = s.k * s.k;
-                let mut a = vec![0.0f32; kk * s.m * s.c];
                 for i in 0..s.k {
                     for j in 0..s.k {
                         let t = i * s.k + j;
@@ -216,51 +262,50 @@ impl ConvAlgorithm for Kn2Conv {
                         }
                     }
                 }
-                let mut product = vec![0.0f32; kk * s.m * h * w];
-                gemm.run(
+                gemm.run_with_scratch(
                     Trans::N,
                     Trans::N,
                     kk * s.m,
                     h * w,
                     s.c,
-                    &a,
+                    a,
                     input.data(),
                     0.0,
-                    &mut product,
+                    product,
+                    gbuf,
                 );
                 for i in 0..s.k {
                     for j in 0..s.k {
                         let t = i * s.k + j;
                         let slab = &product[t * s.m * h * w..(t + 1) * s.m * h * w];
-                        shift_add_chw(&mut out, slab, s, oh, ow, i, j);
+                        shift_add_chw(out, slab, s, oh, ow, i, j);
                     }
                 }
             }
             (Kn2Shape::Col, Kn2Mode::Accumulating) => {
-                let mut product = vec![0.0f32; h * w * s.m];
                 for i in 0..s.k {
                     for j in 0..s.k {
-                        let a = self.tap_plane(kernel, s, i, j);
+                        self.tap_plane(kernel, s, i, j, a);
                         // (H·W × C) · (M × C)ᵀ = H·W × M.
-                        gemm.run(
+                        gemm.run_with_scratch(
                             Trans::N,
                             Trans::T,
                             h * w,
                             s.m,
                             s.c,
                             input.data(),
-                            &a,
+                            a,
                             0.0,
-                            &mut product,
+                            product,
+                            gbuf,
                         );
-                        shift_add_hwc(&mut out, &product, s, oh, ow, i, j);
+                        shift_add_hwc(out, product, s, oh, ow, i, j);
                     }
                 }
             }
             (Kn2Shape::Col, Kn2Mode::SingleGemm) => {
                 let kk = s.k * s.k;
                 // All taps side by side: C × (K²·M) operand.
-                let mut a = vec![0.0f32; s.c * kk * s.m];
                 for c in 0..s.c {
                     for i in 0..s.k {
                         for j in 0..s.k {
@@ -271,31 +316,31 @@ impl ConvAlgorithm for Kn2Conv {
                         }
                     }
                 }
-                let mut product = vec![0.0f32; h * w * kk * s.m];
-                gemm.run(
+                gemm.run_with_scratch(
                     Trans::N,
                     Trans::N,
                     h * w,
                     kk * s.m,
                     s.c,
                     input.data(),
-                    &a,
+                    a,
                     0.0,
-                    &mut product,
+                    product,
+                    gbuf,
                 );
                 // Gather per tap into a contiguous H·W × M view for the
                 // shared shift-add.
-                let mut view = vec![0.0f32; h * w * s.m];
                 for t in 0..kk {
                     for p in 0..h * w {
                         view[p * s.m..(p + 1) * s.m]
                             .copy_from_slice(&product[p * kk * s.m + t * s.m..][..s.m]);
                     }
-                    shift_add_hwc(&mut out, &view, s, oh, ow, t / s.k, t % s.k);
+                    shift_add_hwc(out, view, s, oh, ow, t / s.k, t % s.k);
                 }
             }
         }
-        Ok(out)
+        ws.reals.release(mark);
+        Ok(())
     }
 }
 

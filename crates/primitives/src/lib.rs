@@ -46,7 +46,9 @@ pub mod registry;
 mod sparse;
 mod util;
 mod winograd;
+mod workspace;
 
 pub use algorithm::ConvAlgorithm;
 pub use descriptor::{AlgoHint, Family, PrimitiveDescriptor};
 pub use error::PrimitiveError;
+pub use workspace::{Workspace, WorkspaceReq};

@@ -10,7 +10,7 @@ use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 
 use crate::algorithm::check_args;
-use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq};
 
 /// Implementation strategy of a [`PointwiseConv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,20 +61,35 @@ impl ConvAlgorithm for PointwiseConv {
         0
     }
 
-    fn execute(
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        let hw = s.h * s.w;
+        let gemm = Gemm::new(GemmKind::Packed);
+        WorkspaceReq::f32s(match self.variant {
+            PointwiseVariant::GemmChw => gemm.scratch_elems(Trans::N, Trans::N, s.m, hw, s.c),
+            PointwiseVariant::GemmHwc => gemm.scratch_elems(Trans::N, Trans::T, hw, s.m, s.c),
+            PointwiseVariant::LoopChw => 0,
+        })
+    }
+
+    fn execute_into(
         &self,
         input: &Tensor,
         kernel: &KernelTensor,
         s: &ConvScenario,
         threads: usize,
-    ) -> Result<Tensor, PrimitiveError> {
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
         check_args(&self.desc, self.supports(s), input, kernel, s)?;
         let hw = s.h * s.w;
-        let mut out = Tensor::zeros(s.m, s.h, s.w, self.desc.output_layout);
+        let gemm = Gemm::new(GemmKind::Packed).threads(threads);
+        out.reuse_as(s.m, s.h, s.w, self.desc.output_layout);
+        let mark = ws.reals.mark();
         match self.variant {
             PointwiseVariant::GemmChw => {
+                let [gbuf] = ws.reals.take([gemm.scratch_elems(Trans::N, Trans::N, s.m, hw, s.c)]);
                 // Kernel storage for K=1 is exactly M × C.
-                Gemm::new(GemmKind::Packed).threads(threads).run(
+                gemm.run_with_scratch(
                     Trans::N,
                     Trans::N,
                     s.m,
@@ -84,10 +99,12 @@ impl ConvAlgorithm for PointwiseConv {
                     input.data(),
                     0.0,
                     out.data_mut(),
+                    gbuf,
                 );
             }
             PointwiseVariant::GemmHwc => {
-                Gemm::new(GemmKind::Packed).threads(threads).run(
+                let [gbuf] = ws.reals.take([gemm.scratch_elems(Trans::N, Trans::T, hw, s.m, s.c)]);
+                gemm.run_with_scratch(
                     Trans::N,
                     Trans::T,
                     hw,
@@ -97,6 +114,7 @@ impl ConvAlgorithm for PointwiseConv {
                     kernel.data(),
                     0.0,
                     out.data_mut(),
+                    gbuf,
                 );
             }
             PointwiseVariant::LoopChw => {
@@ -115,7 +133,8 @@ impl ConvAlgorithm for PointwiseConv {
                 }
             }
         }
-        Ok(out)
+        ws.reals.release(mark);
+        Ok(())
     }
 }
 

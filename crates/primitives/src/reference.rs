@@ -10,7 +10,7 @@ use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 
 use crate::algorithm::check_args;
 use crate::util::{padded_at, par_chunks_mut};
-use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace};
 
 /// Layout-agnostic reference convolution producing CHW output.
 ///
@@ -71,16 +71,20 @@ impl ConvAlgorithm for Sum2d {
         0
     }
 
-    fn execute(
+    fn execute_into(
         &self,
         input: &Tensor,
         kernel: &KernelTensor,
         s: &ConvScenario,
         threads: usize,
-    ) -> Result<Tensor, PrimitiveError> {
+        _ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
         check_args(&self.desc, true, input, kernel, s)?;
         let (oh, ow) = (s.out_h(), s.out_w());
-        let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+        out.reuse_as(s.m, oh, ow, Layout::Chw);
+        // The loop nest accumulates into the output in place.
+        out.data_mut().fill(0.0);
         let plane = oh * ow;
         par_chunks_mut(out.data_mut(), plane, threads, |m, out_plane| {
             for c in 0..s.c {
@@ -99,7 +103,7 @@ impl ConvAlgorithm for Sum2d {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -12,9 +12,12 @@ use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
 
 use crate::algorithm::check_args;
 use crate::util::padded_at;
-use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError};
+use crate::{ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq};
 
-/// Compressed sparse row matrix over `f32`.
+/// Compressed sparse row matrix over `f32`. The execute path builds the
+/// same structure into workspace-carved slices via [`fill_csr`]; this
+/// owning form remains as the readable reference (and for tests).
+#[cfg(test)]
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Csr {
     rows: usize,
@@ -23,6 +26,7 @@ pub(crate) struct Csr {
     values: Vec<f32>,
 }
 
+#[cfg(test)]
 impl Csr {
     /// Builds CSR from a dense row-major `rows × cols` matrix, dropping
     /// exact zeros.
@@ -52,16 +56,59 @@ impl Csr {
 
     /// `C(rows × n) = self · B(cols × n) + C`, with `B` dense row-major.
     pub(crate) fn spmm_add(&self, b: &[f32], n: usize, c: &mut [f32]) {
-        for r in 0..self.rows {
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
-            let c_row = &mut c[r * n..(r + 1) * n];
-            for e in lo..hi {
-                let v = self.values[e];
-                let b_row = &b[self.col_idx[e] * n..self.col_idx[e] * n + n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += v * bv;
-                }
+        spmm_add_csr(self.rows, &self.row_ptr, &self.col_idx, &self.values, b, n, c);
+    }
+}
+
+/// Builds CSR structure from a dense row-major `rows × cols` matrix into
+/// caller-carved slices (`row_ptr` holds `rows + 1` entries; `col_idx` /
+/// `values` hold up to `rows · cols`), dropping exact zeros. Returns the
+/// non-zero count actually stored — the workspace-backed counterpart of
+/// [`Csr::from_dense`].
+fn fill_csr(
+    dense: &[f32],
+    rows: usize,
+    cols: usize,
+    row_ptr: &mut [usize],
+    col_idx: &mut [usize],
+    values: &mut [f32],
+) -> usize {
+    let mut nnz = 0;
+    row_ptr[0] = 0;
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = dense[r * cols + c];
+            if v != 0.0 {
+                col_idx[nnz] = c;
+                values[nnz] = v;
+                nnz += 1;
+            }
+        }
+        row_ptr[r + 1] = nnz;
+    }
+    nnz
+}
+
+/// Slice-based sparse × dense kernel shared by [`Csr::spmm_add`] and the
+/// workspace execute path.
+fn spmm_add_csr(
+    rows: usize,
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f32],
+    b: &[f32],
+    n: usize,
+    c: &mut [f32],
+) {
+    for r in 0..rows {
+        let lo = row_ptr[r];
+        let hi = row_ptr[r + 1];
+        let c_row = &mut c[r * n..(r + 1) * n];
+        for e in lo..hi {
+            let v = values[e];
+            let b_row = &b[col_idx[e] * n..col_idx[e] * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += v * bv;
             }
         }
     }
@@ -111,22 +158,47 @@ impl ConvAlgorithm for SparseConv {
         }
     }
 
-    fn execute(
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        match self.variant {
+            SparseVariant::Im2col => {
+                let ckk = s.c * s.k * s.k;
+                WorkspaceReq {
+                    f32_elems: ckk * s.out_h() * s.out_w() + s.m * ckk,
+                    complex_elems: 0,
+                    index_elems: (s.m + 1) + s.m * ckk,
+                }
+            }
+            SparseVariant::Kn2row => WorkspaceReq {
+                f32_elems: s.m * s.h * s.w + 2 * s.m * s.c,
+                complex_elems: 0,
+                index_elems: (s.m + 1) + s.m * s.c,
+            },
+        }
+    }
+
+    fn execute_into(
         &self,
         input: &Tensor,
         kernel: &KernelTensor,
         s: &ConvScenario,
         _threads: usize,
-    ) -> Result<Tensor, PrimitiveError> {
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
         check_args(&self.desc, self.supports(s), input, kernel, s)?;
         let (oh, ow) = (s.out_h(), s.out_w());
-        let mut out = Tensor::zeros(s.m, oh, ow, Layout::Chw);
+        out.reuse_as(s.m, oh, ow, Layout::Chw);
+        // Both variants accumulate into the output.
+        out.data_mut().fill(0.0);
+        let fmark = ws.reals.mark();
+        let imark = ws.indices.mark();
         match self.variant {
             SparseVariant::Im2col => {
                 let ckk = s.c * s.k * s.k;
+                let [b, values] = ws.reals.take([ckk * oh * ow, s.m * ckk]);
+                let [row_ptr, col_idx] = ws.indices.take([s.m + 1, s.m * ckk]);
                 // Kernel storage order is exactly M × (C·K²).
-                let a = Csr::from_dense(kernel.data(), s.m, ckk);
-                let mut b = vec![0.0f32; ckk * oh * ow];
+                fill_csr(kernel.data(), s.m, ckk, row_ptr, col_idx, values);
                 let cols = oh * ow;
                 for c in 0..s.c {
                     for i in 0..s.k {
@@ -143,11 +215,12 @@ impl ConvAlgorithm for SparseConv {
                         }
                     }
                 }
-                a.spmm_add(&b, cols, out.data_mut());
+                spmm_add_csr(s.m, row_ptr, col_idx, values, b, cols, out.data_mut());
             }
             SparseVariant::Kn2row => {
-                let mut product = vec![0.0f32; s.m * s.h * s.w];
-                let mut plane = vec![0.0f32; s.m * s.c];
+                let [product, plane, values] =
+                    ws.reals.take([s.m * s.h * s.w, s.m * s.c, s.m * s.c]);
+                let [row_ptr, col_idx] = ws.indices.take([s.m + 1, s.m * s.c]);
                 for i in 0..s.k {
                     for j in 0..s.k {
                         for m in 0..s.m {
@@ -155,9 +228,17 @@ impl ConvAlgorithm for SparseConv {
                                 plane[m * s.c + c] = kernel.at(m, c, i, j);
                             }
                         }
-                        let a = Csr::from_dense(&plane, s.m, s.c);
+                        fill_csr(plane, s.m, s.c, row_ptr, col_idx, values);
                         product.fill(0.0);
-                        a.spmm_add(input.data(), s.h * s.w, &mut product);
+                        spmm_add_csr(
+                            s.m,
+                            row_ptr,
+                            col_idx,
+                            values,
+                            input.data(),
+                            s.h * s.w,
+                            product,
+                        );
                         // Shift-add into the output (same scheme as kn2row).
                         let data = out.data_mut();
                         for m in 0..s.m {
@@ -179,7 +260,9 @@ impl ConvAlgorithm for SparseConv {
                 }
             }
         }
-        Ok(out)
+        ws.reals.release(fmark);
+        ws.indices.release(imark);
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Shared helpers for the primitive implementations.
 
+use pbqp_dnn_tensor::pool::Arena;
 use pbqp_dnn_tensor::Tensor;
 
 /// Zero-padded read of logical element `(c, y, x)` where `y`/`x` are
@@ -84,6 +85,50 @@ where
     });
 }
 
+/// [`par_chunks_mut`] for kernels that need per-worker scratch: `f(i,
+/// chunk, scratch)` receives a zero-filled scratch slice of
+/// `scratch_len` elements. Serially (`threads <= 1`) the scratch is
+/// carved from `arena` — no allocation after warmup; in parallel each
+/// spawned worker owns a fresh local buffer (spawning already allocates).
+pub(crate) fn par_chunks_scratch<T, F>(
+    data: &mut [f32],
+    chunk_len: usize,
+    threads: usize,
+    scratch_len: usize,
+    arena: &mut Arena<T>,
+    f: F,
+) where
+    T: Copy + Default + Send,
+    F: Fn(usize, &mut [f32], &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0 && data.len().is_multiple_of(chunk_len));
+    let threads = threads.max(1);
+    if threads <= 1 {
+        let mark = arena.mark();
+        let [scratch] = arena.take([scratch_len]);
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            scratch.fill(T::default());
+            f(i, chunk, scratch);
+        }
+        arena.release(mark);
+        return;
+    }
+    let n_chunks = data.len() / chunk_len;
+    let per = n_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (t, slab) in data.chunks_mut(per * chunk_len).enumerate() {
+            scope.spawn(move || {
+                let mut scratch = vec![T::default(); scratch_len];
+                for (i, chunk) in slab.chunks_mut(chunk_len).enumerate() {
+                    scratch.fill(T::default());
+                    f(t * per + i, chunk, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +167,23 @@ mod tests {
             count2.fetch_add(r.len(), Ordering::SeqCst);
         });
         assert_eq!(count2.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn par_chunks_scratch_zeroes_between_chunks() {
+        for threads in [1, 3] {
+            let mut arena: Arena<f32> = Arena::new();
+            let mut data = vec![0.0f32; 9];
+            par_chunks_scratch(&mut data, 3, threads, 2, &mut arena, |i, chunk, scratch| {
+                assert!(scratch.iter().all(|&v| v == 0.0), "stale scratch at chunk {i}");
+                scratch[0] = 1.0 + i as f32;
+                for v in chunk {
+                    *v = scratch[0];
+                }
+            });
+            assert_eq!(data, [1., 1., 1., 2., 2., 2., 3., 3., 3.]);
+            assert_eq!(arena.in_use(), 0, "serial scratch must be released");
+        }
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Primitive scratch workspaces — the memory half of the paper's
+//! time/memory trade-off, made explicit.
+//!
+//! Every [`ConvAlgorithm`](crate::ConvAlgorithm) reports its scratch
+//! footprint as a [`WorkspaceReq`] and executes out of a caller-owned
+//! [`Workspace`]: a set of typed bump arenas ([`Arena`]) sized once —
+//! at schedule-compile time, or grown during the first warmup run — so
+//! the steady-state serving loop never allocates.
+//!
+//! # Example
+//!
+//! ```
+//! use pbqp_dnn_graph::ConvScenario;
+//! use pbqp_dnn_primitives::registry::full_library;
+//! use pbqp_dnn_primitives::Workspace;
+//! use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+//!
+//! let lib = full_library();
+//! let prim = lib.iter().find(|p| p.descriptor().name == "im2col_packed_nn").unwrap();
+//! let s = ConvScenario::new(3, 8, 8, 1, 3, 4);
+//!
+//! // Size the workspace once from the primitive's declared requirement…
+//! let mut ws = Workspace::with_req(prim.workspace_req(&s));
+//! let input = Tensor::random(3, 8, 8, Layout::Chw, 1);
+//! let kernel = KernelTensor::random(4, 3, 3, 3, 2);
+//! let mut out = Tensor::empty();
+//!
+//! // …then run as often as needed: after the first call neither the
+//! // workspace nor the recycled output tensor touches the heap.
+//! for _ in 0..3 {
+//!     ws.reset();
+//!     prim.execute_into(&input, &kernel, &s, 1, &mut ws, &mut out).unwrap();
+//! }
+//! assert_eq!(out.dims(), (4, 8, 8));
+//! ```
+
+use pbqp_dnn_fft::Complex;
+pub use pbqp_dnn_tensor::pool::Arena;
+
+/// Exact scratch requirement of one [`execute_into`] call at `threads
+/// == 1`, in elements per arena.
+///
+/// Requirements compose with [`WorkspaceReq::max`] (slots reused across
+/// sequential calls — how a schedule sizes one shared workspace) or
+/// [`WorkspaceReq::plus`] (simultaneously live regions).
+///
+/// [`execute_into`]: crate::ConvAlgorithm::execute_into
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceReq {
+    /// `f32` elements carved from [`Workspace::reals`].
+    pub f32_elems: usize,
+    /// [`Complex`] elements carved from [`Workspace::complexes`].
+    pub complex_elems: usize,
+    /// `usize` elements carved from [`Workspace::indices`].
+    pub index_elems: usize,
+}
+
+impl WorkspaceReq {
+    /// No scratch at all.
+    pub const ZERO: WorkspaceReq = WorkspaceReq { f32_elems: 0, complex_elems: 0, index_elems: 0 };
+
+    /// A requirement of `elems` f32 elements only.
+    pub fn f32s(elems: usize) -> WorkspaceReq {
+        WorkspaceReq { f32_elems: elems, ..WorkspaceReq::ZERO }
+    }
+
+    /// A requirement of `elems` complex elements only.
+    pub fn complexes(elems: usize) -> WorkspaceReq {
+        WorkspaceReq { complex_elems: elems, ..WorkspaceReq::ZERO }
+    }
+
+    /// Element-wise maximum: a workspace satisfying the result satisfies
+    /// both inputs *sequentially* (with a reset in between).
+    pub fn max(self, other: WorkspaceReq) -> WorkspaceReq {
+        WorkspaceReq {
+            f32_elems: self.f32_elems.max(other.f32_elems),
+            complex_elems: self.complex_elems.max(other.complex_elems),
+            index_elems: self.index_elems.max(other.index_elems),
+        }
+    }
+
+    /// Element-wise sum: both regions live at the same time.
+    pub fn plus(self, other: WorkspaceReq) -> WorkspaceReq {
+        WorkspaceReq {
+            f32_elems: self.f32_elems + other.f32_elems,
+            complex_elems: self.complex_elems + other.complex_elems,
+            index_elems: self.index_elems + other.index_elems,
+        }
+    }
+}
+
+/// Caller-owned scratch for primitive execution: one bump arena per
+/// element type a primitive may need. Fields are public so a kernel can
+/// carve from several arenas while earlier carves are still borrowed
+/// (each arena borrows independently).
+///
+/// The executor resets the workspace between schedule steps; capacity is
+/// retained, so one workspace sized to the peak step serves the whole
+/// network.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Scratch for patch matrices, transformed kernels, GEMM panels, …
+    pub reals: Arena<f32>,
+    /// Scratch for FFT frequency-domain buffers.
+    pub complexes: Arena<Complex>,
+    /// Scratch for CSR index structures (sparse primitives).
+    pub indices: Arena<usize>,
+}
+
+impl Workspace {
+    /// An empty workspace; arenas grow on first use.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// A workspace pre-sized to `req`.
+    pub fn with_req(req: WorkspaceReq) -> Workspace {
+        let mut ws = Workspace::new();
+        ws.reserve(req);
+        ws
+    }
+
+    /// Grows every arena to satisfy `req` without further allocation.
+    pub fn reserve(&mut self, req: WorkspaceReq) {
+        self.reals.reserve(req.f32_elems);
+        self.complexes.reserve(req.complex_elems);
+        self.indices.reserve(req.index_elems);
+    }
+
+    /// Rewinds all arenas; capacity is retained.
+    pub fn reset(&mut self) {
+        self.reals.reset();
+        self.complexes.reset();
+        self.indices.reset();
+    }
+
+    /// Carves zero-filled `f32` slices (see [`Arena::take`]).
+    pub fn take_f32<const N: usize>(&mut self, lens: [usize; N]) -> [&mut [f32]; N] {
+        self.reals.take(lens)
+    }
+
+    /// Carves zero-filled [`Complex`] slices (see [`Arena::take`]).
+    pub fn take_complex<const N: usize>(&mut self, lens: [usize; N]) -> [&mut [Complex]; N] {
+        self.complexes.take(lens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_algebra() {
+        let a = WorkspaceReq::f32s(10);
+        let b = WorkspaceReq { f32_elems: 4, complex_elems: 8, index_elems: 2 };
+        assert_eq!(a.max(b), WorkspaceReq { f32_elems: 10, complex_elems: 8, index_elems: 2 });
+        assert_eq!(a.plus(b), WorkspaceReq { f32_elems: 14, complex_elems: 8, index_elems: 2 });
+        assert_eq!(WorkspaceReq::ZERO.max(a), a);
+        assert_eq!(WorkspaceReq::complexes(3).complex_elems, 3);
+    }
+
+    #[test]
+    fn workspace_reserve_presizes_all_arenas() {
+        let mut ws =
+            Workspace::with_req(WorkspaceReq { f32_elems: 5, complex_elems: 6, index_elems: 7 });
+        assert!(ws.reals.capacity() >= 5);
+        assert!(ws.complexes.capacity() >= 6);
+        assert!(ws.indices.capacity() >= 7);
+        // Simultaneous carving from different arenas borrows independently.
+        let [f] = ws.reals.take([5]);
+        let [i] = ws.indices.take([7]);
+        f[0] = 1.0;
+        i[0] = 1;
+        ws.reset();
+        assert_eq!(ws.reals.in_use(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Every primitive's workspace execute path must be bit-identical to its
+//! allocating path, safe to re-run out of a dirty recycled workspace and
+//! output tensor, and honest about its declared scratch requirement —
+//! the three properties the zero-allocation serving engine relies on.
+
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_primitives::registry::full_library;
+use pbqp_dnn_primitives::Workspace;
+use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor};
+
+fn scenarios() -> Vec<ConvScenario> {
+    vec![
+        // Unit stride, k = 3 (Winograd f23/f43/f63 territory).
+        ConvScenario::new(3, 9, 10, 1, 3, 4),
+        // Unit stride, k = 5 (f25, larger taps).
+        ConvScenario::new(2, 8, 8, 1, 5, 3),
+        // Pointwise.
+        ConvScenario::new(5, 6, 7, 1, 1, 4).with_pad(0),
+        // Strided (direct/im2/sum2d only).
+        ConvScenario::new(4, 11, 11, 2, 3, 3),
+    ]
+}
+
+#[test]
+fn scratch_path_matches_allocating_path_and_req_is_exact() {
+    for prim in full_library() {
+        // One dirty workspace and output per primitive, reused across
+        // scenarios and repetitions — exactly the serving-engine pattern.
+        let mut ws = Workspace::new();
+        let mut out = Tensor::empty();
+        for s in scenarios() {
+            if !prim.supports(&s) {
+                continue;
+            }
+            let name = &prim.descriptor().name;
+            let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 0xA11C)
+                .to_layout(prim.descriptor().input_layout);
+            let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 0xB22D);
+            let reference = prim.execute(&input, &kernel, &s, 1).unwrap();
+
+            ws.reserve(prim.workspace_req(&s));
+            let caps = (ws.reals.capacity(), ws.complexes.capacity(), ws.indices.capacity());
+            for rep in 0..2 {
+                ws.reset();
+                prim.execute_into(&input, &kernel, &s, 1, &mut ws, &mut out).unwrap();
+                assert_eq!(out.layout(), reference.layout(), "{name} on {s}");
+                assert_eq!(out.dims(), reference.dims(), "{name} on {s}");
+                assert_eq!(
+                    out.data(),
+                    reference.data(),
+                    "{name} on {s} rep {rep}: scratch path diverged"
+                );
+            }
+            assert_eq!(
+                (ws.reals.capacity(), ws.complexes.capacity(), ws.indices.capacity()),
+                caps,
+                "{name} on {s}: workspace_req under-reports its serial scratch use"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_scratch_path_matches_threaded_allocating_path() {
+    let s = ConvScenario::new(6, 12, 12, 1, 3, 8);
+    for prim in full_library() {
+        if !prim.supports(&s) {
+            continue;
+        }
+        let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 0xC33E)
+            .to_layout(prim.descriptor().input_layout);
+        let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 0xD44F);
+        let reference = prim.execute(&input, &kernel, &s, 4).unwrap();
+        let mut ws = Workspace::new();
+        let mut out = Tensor::empty();
+        prim.execute_into(&input, &kernel, &s, 4, &mut ws, &mut out).unwrap();
+        assert_eq!(out.data(), reference.data(), "{}", prim.descriptor().name);
+    }
+}

@@ -1,19 +1,22 @@
-use std::borrow::Cow;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
-use pbqp_dnn_graph::{DnnGraph, GraphError, LayerKind, NodeId};
+use pbqp_dnn_graph::{ConvScenario, DnnGraph, GraphError, LayerKind, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
-use pbqp_dnn_primitives::{reference::sum2d_reference, ConvAlgorithm, PrimitiveError};
+use pbqp_dnn_primitives::{reference::sum2d_reference, ConvAlgorithm, PrimitiveError, Workspace};
 use pbqp_dnn_select::{AssignmentKind, ExecutionPlan};
-use pbqp_dnn_tensor::transform::{apply_direct, DirectTransform};
+use pbqp_dnn_tensor::transform::{apply_direct_into, to_layout_into, DirectTransform};
 use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor, TensorError};
 
 use crate::ops;
 use crate::weights::Weights;
 use crate::Parallelism;
+
+/// Executors recycle at most this many buffer sets; the pool vector is
+/// pre-sized so returning a set never reallocates.
+const BUFFER_POOL_CAP: usize = 64;
 
 /// Errors from plan execution.
 #[derive(Debug)]
@@ -66,42 +69,91 @@ impl From<TensorError> for RuntimeError {
 /// What one compiled step computes.
 enum StepOp<'a> {
     /// A convolution dispatched to its selected primitive.
-    Conv {
-        prim: &'a dyn ConvAlgorithm,
-        kernel: &'a KernelTensor,
-        scenario: &'a pbqp_dnn_graph::ConvScenario,
-    },
+    Conv { prim: &'a dyn ConvAlgorithm, kernel: &'a KernelTensor, scenario: &'a ConvScenario },
     /// The network input node: shape check plus the plan's conversion
-    /// chain into the node's chosen layout.
-    Input { c: usize, h: usize, w: usize, layout: Layout, chain: &'a [DirectTransform] },
+    /// chain into the node's chosen layout. The chain's intermediate hops
+    /// stage through conversion buffers `conv_base..`; the final hop
+    /// lands in the node's pooled output buffer.
+    Input {
+        c: usize,
+        h: usize,
+        w: usize,
+        layout: Layout,
+        chain: &'a [DirectTransform],
+        conv_base: usize,
+    },
     /// A non-conv layer computed directly in its assigned layout.
     Dummy { kind: &'a LayerKind, layout: Layout, fc_weights: Option<&'a [f32]> },
 }
 
-/// One node of the compiled schedule: resolved operator plus the
-/// legalization chains of its incoming edges.
+/// One incoming edge of a step: where the predecessor's value lives and
+/// how to legalize it into this node's input layout.
+struct PredEdge<'a> {
+    /// Pooled value-buffer index of the predecessor (holds the
+    /// predecessor's *node* index until slot assignment remaps it).
+    buf: usize,
+    /// The edge's layout-conversion chain (empty = borrow directly).
+    chain: &'a [DirectTransform],
+    /// First conversion-buffer index; the chain uses
+    /// `conv_base .. conv_base + chain.len()`.
+    conv_base: usize,
+}
+
+/// One node of the compiled schedule: resolved operator, incoming edges,
+/// and the pooled buffer its output lands in.
 struct Step<'a> {
     node: NodeId,
-    /// `(predecessor node index, edge chain)` in predecessor order.
-    preds: Vec<(usize, &'a [DirectTransform])>,
+    /// Incoming edges in predecessor order.
+    preds: Vec<PredEdge<'a>>,
     op: StepOp<'a>,
+    /// Pooled value buffer receiving this node's output.
+    out_buf: usize,
+    /// Output dims and layout, inferred at compile time (drives buffer
+    /// sizing and lets ops like concat pre-shape their output).
+    out_shape: (usize, usize, usize, Layout),
+}
+
+/// Per-worker execution state: the pooled activation buffers, conversion
+/// staging tensors and primitive scratch workspace for one in-flight
+/// forward pass. Created from the schedule's memory plan (or recycled
+/// from the executor's pool) — after the first run every buffer is at its
+/// steady-state size and execution performs zero heap allocations.
+pub(crate) struct ExecBuffers {
+    /// Pooled value buffers, indexed by the schedule's slot assignment.
+    values: Vec<Tensor>,
+    /// Per-edge-hop conversion staging buffers.
+    convs: Vec<Tensor>,
+    /// Primitive scratch arenas, reset between steps.
+    ws: Workspace,
+    /// Extra per-worker workspaces for wavefront levels, grown to the
+    /// fan-out width on first use and reused across levels and runs.
+    wave_ws: Vec<Workspace>,
 }
 
 /// A plan compiled against its graph, registry and weights: topological
-/// step order, wavefront levels, and every per-run lookup (primitive
+/// step order, wavefront levels, every per-run lookup (primitive
 /// resolution, edge chains, weight references) hoisted out of the
-/// execution loop. Built once per [`Executor`] run family and shared by
-/// every batch item and wavefront worker.
+/// execution loop, **and** an activation memory plan — liveness-reduced
+/// output slots plus the peak primitive workspace — so steady-state
+/// execution never allocates. Built once per [`Executor`] run family and
+/// shared by every batch item and wavefront worker.
 struct Schedule<'a> {
-    /// Steps in topological order. `Step::node` indexes the value slots.
+    /// Steps in topological order.
     steps: Vec<Step<'a>>,
     /// Wavefront levels: indices into `steps` whose nodes have no
     /// dependencies among each other — safe to run concurrently.
     levels: Vec<Vec<usize>>,
-    /// Dense value-slot count (`graph.len()`).
-    slots: usize,
-    /// The node whose value is the network output.
-    last: NodeId,
+    /// Pooled value-buffer sizes (f32 storage elements). Liveness
+    /// analysis lets nodes whose lifetimes do not overlap share one
+    /// buffer, so this is sized by peak activation memory, not by node
+    /// count.
+    buf_elems: Vec<usize>,
+    /// Conversion-buffer shapes, one per edge-chain hop.
+    conv_shapes: Vec<(usize, usize, usize, Layout)>,
+    /// Peak serial primitive scratch across all steps.
+    ws_req: pbqp_dnn_primitives::WorkspaceReq,
+    /// Pooled buffer holding the network output after a pass.
+    last_buf: usize,
 }
 
 impl<'a> Schedule<'a> {
@@ -119,19 +171,29 @@ impl<'a> Schedule<'a> {
         let mut steps = Vec::with_capacity(order.len());
         let mut level_of = vec![0usize; ex.graph.len()];
         let mut levels: Vec<Vec<usize>> = Vec::new();
+        // The graph's own shape inference (one source of truth for the
+        // pool/FC/concat output rules) drives all buffer sizing.
+        let shapes = ex.graph.infer_shapes()?;
+        let mut conv_shapes: Vec<(usize, usize, usize, Layout)> = Vec::new();
+        let mut ws_req = pbqp_dnn_primitives::WorkspaceReq::ZERO;
         for (step_ix, &node) in order.iter().enumerate() {
             let layer = ex.graph.layer(node);
-            let preds: Vec<(usize, &[DirectTransform])> = ex
+            let preds: Vec<PredEdge<'a>> = ex
                 .graph
                 .predecessors(node)
                 .iter()
                 .map(|p| {
                     let chain = chains.get(&(p.index(), node.index())).copied().unwrap_or(&[]);
-                    (p.index(), chain)
+                    let conv_base = conv_shapes.len();
+                    let (pc, ph, pw) = shapes[p.index()];
+                    for hop in chain {
+                        conv_shapes.push((pc, ph, pw, hop.to));
+                    }
+                    PredEdge { buf: p.index(), chain, conv_base }
                 })
                 .collect();
 
-            let op = match (&layer.kind, ex.plan.assignment(node)) {
+            let (op, out_shape) = match (&layer.kind, ex.plan.assignment(node)) {
                 (LayerKind::Conv(s), AssignmentKind::Conv { primitive, .. }) => {
                     let prim = ex
                         .registry
@@ -141,11 +203,22 @@ impl<'a> Schedule<'a> {
                         .weights
                         .conv_kernel(node)
                         .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?;
-                    StepOp::Conv { prim: prim.as_ref(), kernel, scenario: s }
+                    ws_req = ws_req.max(prim.workspace_req(s));
+                    let layout = prim.descriptor().output_layout;
+                    let op = StepOp::Conv { prim: prim.as_ref(), kernel, scenario: s };
+                    (op, (s.m, s.out_h(), s.out_w(), layout))
                 }
                 (LayerKind::Input { c, h, w }, AssignmentKind::Dummy { layout }) => {
                     let chain = input_chains.get(&node.index()).copied().unwrap_or(&[]);
-                    StepOp::Input { c: *c, h: *h, w: *w, layout: *layout, chain }
+                    let conv_base = conv_shapes.len();
+                    if chain.len() > 1 {
+                        for hop in &chain[..chain.len() - 1] {
+                            conv_shapes.push((*c, *h, *w, hop.to));
+                        }
+                    }
+                    let op =
+                        StepOp::Input { c: *c, h: *h, w: *w, layout: *layout, chain, conv_base };
+                    (op, (*c, *h, *w, *layout))
                 }
                 (kind, AssignmentKind::Dummy { layout }) => {
                     let fc_weights = if let LayerKind::FullyConnected { .. } = kind {
@@ -157,57 +230,172 @@ impl<'a> Schedule<'a> {
                     } else {
                         None
                     };
-                    StepOp::Dummy { kind, layout: *layout, fc_weights }
+                    let dims = shapes[node.index()];
+                    let op = StepOp::Dummy { kind, layout: *layout, fc_weights };
+                    (op, (dims.0, dims.1, dims.2, *layout))
                 }
                 (kind, AssignmentKind::Conv { .. }) => {
                     unreachable!("conv assignment on non-conv layer {kind}")
                 }
             };
-
-            let level = preds.iter().map(|&(p, _)| level_of[p] + 1).max().unwrap_or(0);
+            let level = preds.iter().map(|pe| level_of[pe.buf] + 1).max().unwrap_or(0);
             level_of[node.index()] = level;
             if levels.len() <= level {
                 levels.resize_with(level + 1, Vec::new);
             }
             levels[level].push(step_ix);
-            steps.push(Step { node, preds, op });
+            steps.push(Step { node, preds, op, out_buf: usize::MAX, out_shape });
         }
 
         let last = *order.last().expect("graph validated as non-empty");
-        Ok(Schedule { steps, levels, slots: ex.graph.len(), last })
-    }
 
-    /// Evaluates one step against the already-computed `values`.
-    fn eval(
-        &self,
-        step: &Step<'a>,
-        values: &[Option<Tensor>],
-        input: &Tensor,
-        intra_op: usize,
-    ) -> Result<Tensor, RuntimeError> {
-        // Inputs, converted along each edge's legalization chain. The
-        // common case — an empty chain — borrows the stored activation
-        // instead of copying it; only real conversions materialize.
-        let mut inputs: Vec<Cow<'_, Tensor>> = Vec::with_capacity(step.preds.len());
-        for &(pred, chain) in &step.preds {
-            let stored = values[pred].as_ref().expect("scheduling guarantees predecessors ran");
-            match chain.split_first() {
-                None => inputs.push(Cow::Borrowed(stored)),
-                Some((first, rest)) => {
-                    let mut t = apply_direct(stored, first.to)?;
-                    for hop in rest {
-                        t = apply_direct(&t, hop.to)?;
-                    }
-                    inputs.push(Cow::Owned(t));
-                }
+        // ---- Activation memory plan -------------------------------------
+        // A value dies after the last wavefront *level* that reads it
+        // (level granularity keeps slot reuse race-free under concurrent
+        // level execution); the network output never dies. Dead slots go
+        // to a free list and are re-issued best-fit.
+        let mut last_use_level = level_of.clone();
+        for step in &steps {
+            for pe in &step.preds {
+                let lvl = level_of[step.node.index()];
+                last_use_level[pe.buf] = last_use_level[pe.buf].max(lvl);
+            }
+        }
+        last_use_level[last.index()] = usize::MAX;
+
+        let mut release_at: Vec<Vec<usize>> = vec![Vec::new(); levels.len()];
+        for (node, &lul) in last_use_level.iter().enumerate() {
+            if lul != usize::MAX && lul + 1 < levels.len() {
+                release_at[lul + 1].push(node);
             }
         }
 
-        Ok(match &step.op {
-            StepOp::Conv { prim, kernel, scenario } => {
-                prim.execute(&inputs[0], kernel, scenario, intra_op)?
+        let mut node_buf = vec![usize::MAX; ex.graph.len()];
+        let mut buf_elems: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        for (lv, level) in levels.iter().enumerate() {
+            for &node in &release_at[lv] {
+                free.push(node_buf[node]);
             }
-            StepOp::Input { c, h, w, layout, chain } => {
+            for &six in level {
+                let node = steps[six].node.index();
+                let (c, h, w, layout) = steps[six].out_shape;
+                let elems = layout.storage_len(c, h, w);
+                // Best fit: smallest free buffer that already holds the
+                // value; otherwise grow the largest free one; otherwise a
+                // new buffer.
+                let pick = free
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| buf_elems[b] >= elems)
+                    .min_by_key(|&(_, &b)| buf_elems[b])
+                    .map(|(i, _)| i)
+                    .or_else(|| {
+                        free.iter().enumerate().max_by_key(|&(_, &b)| buf_elems[b]).map(|(i, _)| i)
+                    });
+                let buf = match pick {
+                    Some(i) => free.swap_remove(i),
+                    None => {
+                        buf_elems.push(0);
+                        buf_elems.len() - 1
+                    }
+                };
+                buf_elems[buf] = buf_elems[buf].max(elems);
+                node_buf[node] = buf;
+            }
+        }
+        for step in &mut steps {
+            step.out_buf = node_buf[step.node.index()];
+            for pe in &mut step.preds {
+                pe.buf = node_buf[pe.buf];
+            }
+        }
+
+        let last_buf = node_buf[last.index()];
+        Ok(Schedule { steps, levels, buf_elems, conv_shapes, ws_req, last_buf })
+    }
+
+    /// Materializes one worker's buffer set, pre-sized so the first run
+    /// settles every capacity and later runs never allocate.
+    fn make_buffers(&self) -> ExecBuffers {
+        let values = self
+            .buf_elems
+            .iter()
+            .map(|&elems| {
+                let mut t = Tensor::empty();
+                t.reserve_storage(elems);
+                t
+            })
+            .collect();
+        let convs = self
+            .conv_shapes
+            .iter()
+            .map(|&(c, h, w, layout)| {
+                let mut t = Tensor::empty();
+                t.reserve_storage(layout.storage_len(c, h, w));
+                t
+            })
+            .collect();
+        ExecBuffers { values, convs, ws: Workspace::with_req(self.ws_req), wave_ws: Vec::new() }
+    }
+
+    /// Runs a step's edge legalization chains (and the input node's
+    /// intermediate hops) into the conversion buffers.
+    fn run_conversions(
+        &self,
+        step: &Step<'a>,
+        values: &[Tensor],
+        convs: &mut [Tensor],
+        input: &Tensor,
+    ) -> Result<(), RuntimeError> {
+        for pe in &step.preds {
+            for (j, hop) in pe.chain.iter().enumerate() {
+                let (done, rest) = convs.split_at_mut(pe.conv_base + j);
+                let src: &Tensor =
+                    if j == 0 { &values[pe.buf] } else { &done[pe.conv_base + j - 1] };
+                apply_direct_into(src, hop.to, &mut rest[0])?;
+            }
+        }
+        if let StepOp::Input { chain, conv_base, .. } = &step.op {
+            if chain.len() > 1 {
+                for (j, hop) in chain[..chain.len() - 1].iter().enumerate() {
+                    let (done, rest) = convs.split_at_mut(conv_base + j);
+                    let src: &Tensor = if j == 0 { input } else { &done[conv_base + j - 1] };
+                    apply_direct_into(src, hop.to, &mut rest[0])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes one step into `out`, reading already-converted inputs.
+    /// Conversion buffers must be current (see
+    /// [`Schedule::run_conversions`]).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_into(
+        &self,
+        step: &Step<'a>,
+        values: &[Tensor],
+        convs: &[Tensor],
+        input: &Tensor,
+        intra_op: usize,
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), RuntimeError> {
+        // The common case — an empty chain — borrows the stored
+        // activation; only real conversions read the staging buffers.
+        let resolve = |pe: &PredEdge<'a>| -> &Tensor {
+            match pe.chain.len() {
+                0 => &values[pe.buf],
+                l => &convs[pe.conv_base + l - 1],
+            }
+        };
+        match &step.op {
+            StepOp::Conv { prim, kernel, scenario } => {
+                ws.reset();
+                prim.execute_into(resolve(&step.preds[0]), kernel, scenario, intra_op, ws, out)?;
+            }
+            StepOp::Input { c, h, w, layout, chain, conv_base } => {
                 if input.dims() != (*c, *h, *w) {
                     return Err(RuntimeError::BadInput(format!(
                         "expected {:?}, got {:?}",
@@ -215,104 +403,172 @@ impl<'a> Schedule<'a> {
                         input.dims()
                     )));
                 }
-                let mut t = input.clone();
-                if chain.is_empty() {
-                    if t.layout() != *layout {
-                        // Defensive: plans always carry the chain, but a
-                        // hand-built plan may not.
-                        t = t.to_layout(*layout);
+                match chain.len() {
+                    0 => {
+                        if input.layout() == *layout {
+                            out.assign_from(input);
+                        } else {
+                            // Defensive: plans always carry the chain,
+                            // but a hand-built plan may not.
+                            to_layout_into(input, *layout, out);
+                        }
                     }
-                } else {
-                    for hop in *chain {
-                        t = apply_direct(&t, hop.to)?;
-                    }
+                    1 => apply_direct_into(input, chain[0].to, out)?,
+                    l => apply_direct_into(&convs[conv_base + l - 2], chain[l - 1].to, out)?,
                 }
-                t
             }
             StepOp::Dummy { kind, layout, fc_weights } => match kind {
-                LayerKind::Relu => ops::relu(&inputs[0], *layout),
+                LayerKind::Relu => ops::relu_into(resolve(&step.preds[0]), *layout, out),
                 LayerKind::Pool { kind, k, stride, pad } => {
-                    ops::pool(&inputs[0], *layout, *kind, *k, *stride, *pad)
+                    ops::pool_into(resolve(&step.preds[0]), *layout, *kind, *k, *stride, *pad, out)
                 }
-                LayerKind::Lrn => ops::lrn(&inputs[0], *layout),
-                LayerKind::Dropout => inputs.swap_remove(0).into_owned(),
-                LayerKind::FullyConnected { out } => {
-                    let w = fc_weights.expect("resolved at compile time");
-                    ops::fully_connected(&inputs[0], w, *out, *layout)
+                LayerKind::Lrn => ops::lrn_into(resolve(&step.preds[0]), *layout, out),
+                LayerKind::Dropout => out.assign_from(resolve(&step.preds[0])),
+                LayerKind::FullyConnected { out: out_n } => {
+                    let wts = fc_weights.expect("resolved at compile time");
+                    ops::fully_connected_into(resolve(&step.preds[0]), wts, *out_n, *layout, out);
                 }
                 LayerKind::Concat => {
-                    let refs: Vec<&Tensor> = inputs.iter().map(|c| c.as_ref()).collect();
-                    ops::concat(&refs, *layout)
+                    let (c, h, w, lay) = step.out_shape;
+                    out.reuse_as(c, h, w, lay);
+                    out.data_mut().fill(0.0);
+                    let mut c_base = 0;
+                    for pe in &step.preds {
+                        let t = resolve(pe);
+                        ops::concat_part_into(t, c_base, out);
+                        c_base += t.channels();
+                    }
                 }
-                LayerKind::Softmax => ops::softmax(&inputs[0], *layout),
+                LayerKind::Softmax => ops::softmax_into(resolve(&step.preds[0]), *layout, out),
                 LayerKind::Input { .. } | LayerKind::Conv(_) => {
                     unreachable!("compiled as StepOp::Input / StepOp::Conv")
                 }
             },
-        })
+        }
+        Ok(())
     }
 
-    /// Runs every step in topological order on the calling thread.
-    fn execute_serial(&self, input: &Tensor, intra_op: usize) -> Result<Tensor, RuntimeError> {
-        let mut values: Vec<Option<Tensor>> = (0..self.slots).map(|_| None).collect();
+    /// Evaluates one step entirely: conversions, then computation into
+    /// the step's pooled output buffer.
+    fn eval_into(
+        &self,
+        step: &Step<'a>,
+        bufs: &mut ExecBuffers,
+        input: &Tensor,
+        intra_op: usize,
+    ) -> Result<(), RuntimeError> {
+        self.run_conversions(step, &bufs.values, &mut bufs.convs, input)?;
+        // Take the output buffer out of the pool so the remaining slots
+        // can be borrowed immutably as inputs (liveness guarantees no
+        // live predecessor shares this slot). `Tensor::empty` is free.
+        let mut out = std::mem::replace(&mut bufs.values[step.out_buf], Tensor::empty());
+        let result = self.dispatch_into(
+            step,
+            &bufs.values,
+            &bufs.convs,
+            input,
+            intra_op,
+            &mut bufs.ws,
+            &mut out,
+        );
+        bufs.values[step.out_buf] = out;
+        result
+    }
+
+    /// Runs every step in topological order on the calling thread. The
+    /// network output is left in `bufs.values[self.last_buf]`.
+    fn execute_serial(
+        &self,
+        input: &Tensor,
+        intra_op: usize,
+        bufs: &mut ExecBuffers,
+    ) -> Result<(), RuntimeError> {
         for step in &self.steps {
-            values[step.node.index()] = Some(self.eval(step, &values, input, intra_op)?);
+            self.eval_into(step, bufs, input, intra_op)?;
         }
-        Ok(values[self.last.index()].take().expect("last node ran"))
+        Ok(())
     }
 
     /// Walks the DAG level by level, running each level's independent
     /// nodes concurrently on up to `par.inter_op` scoped threads.
-    fn execute_wavefront(&self, input: &Tensor, par: Parallelism) -> Result<Tensor, RuntimeError> {
-        let mut values: Vec<Option<Tensor>> = (0..self.slots).map(|_| None).collect();
+    fn execute_wavefront(
+        &self,
+        input: &Tensor,
+        par: Parallelism,
+        bufs: &mut ExecBuffers,
+    ) -> Result<(), RuntimeError> {
         for level in &self.levels {
             if level.len() <= 1 || par.inter_op <= 1 {
                 for &six in level {
-                    let step = &self.steps[six];
-                    values[step.node.index()] =
-                        Some(self.eval(step, &values, input, par.intra_op)?);
+                    self.eval_into(&self.steps[six], bufs, input, par.intra_op)?;
                 }
                 continue;
             }
-            // Fan the level out; commit results only after every worker
-            // joined, so `values` stays immutable while shared.
+            // Stage all conversions serially (they are cheap and write
+            // per-step-distinct buffers), then take every output tensor
+            // out of the pool and fan the level out. Level-granular
+            // liveness guarantees no worker's output slot aliases any
+            // buffer read concurrently.
+            for &six in level {
+                self.run_conversions(&self.steps[six], &bufs.values, &mut bufs.convs, input)?;
+            }
+            let mut outs: Vec<(usize, Tensor)> = level
+                .iter()
+                .map(|&six| {
+                    let buf = self.steps[six].out_buf;
+                    (six, std::mem::replace(&mut bufs.values[buf], Tensor::empty()))
+                })
+                .collect();
             let per = level.len().div_ceil(par.inter_op);
-            let computed: Vec<Vec<(usize, Result<Tensor, RuntimeError>)>> =
-                std::thread::scope(|scope| {
-                    let values = &values;
-                    let handles: Vec<_> = level
-                        .chunks(per)
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk
-                                    .iter()
-                                    .map(|&six| {
-                                        let step = &self.steps[six];
-                                        (
-                                            step.node.index(),
-                                            self.eval(step, values, input, par.intra_op),
-                                        )
-                                    })
-                                    .collect()
-                            })
+            let n_chunks = level.len().div_ceil(per);
+            if bufs.wave_ws.len() < n_chunks {
+                // Grown once to the fan-out width; each worker's arenas
+                // then settle during its first level and are reused
+                // across levels and runs.
+                bufs.wave_ws.resize_with(n_chunks, Workspace::new);
+            }
+            let values = &bufs.values;
+            let convs = &bufs.convs;
+            let results: Vec<Result<(), RuntimeError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = outs
+                    .chunks_mut(per)
+                    .zip(bufs.wave_ws.iter_mut())
+                    .map(|(chunk, ws)| {
+                        scope.spawn(move || {
+                            for (six, out) in chunk {
+                                self.dispatch_into(
+                                    &self.steps[*six],
+                                    values,
+                                    convs,
+                                    input,
+                                    par.intra_op,
+                                    ws,
+                                    out,
+                                )?;
+                            }
+                            Ok(())
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("wavefront worker panicked"))
-                        .collect()
-                });
-            for (slot, result) in computed.into_iter().flatten() {
-                values[slot] = Some(result?);
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("wavefront worker panicked")).collect()
+            });
+            // Commit every buffer back before surfacing errors so the
+            // pool stays intact.
+            for (six, out) in outs {
+                bufs.values[self.steps[six].out_buf] = out;
+            }
+            for result in results {
+                result?;
             }
         }
-        Ok(values[self.last.index()].take().expect("last node ran"))
+        Ok(())
     }
 }
 
 /// Executes an [`ExecutionPlan`] on real tensors — the runtime counterpart
 /// of the paper's generated code (§5.2), grown into a parallel batched
-/// engine (see [`Executor::run_with`] and [`Executor::run_batch`]).
+/// engine with allocation-free steady-state serving (see
+/// [`Executor::run_into`] and [`Executor::run_batch`]).
 pub struct Executor<'a> {
     graph: &'a DnnGraph,
     plan: &'a ExecutionPlan,
@@ -322,6 +578,10 @@ pub struct Executor<'a> {
     /// compilation per executor. (`Schedule` borrows only the `'a`-lived
     /// inputs above, not the executor itself.)
     schedule: OnceLock<Schedule<'a>>,
+    /// Recycled per-worker buffer sets: activation slots, conversion
+    /// staging and primitive workspaces. Checked out per run, returned
+    /// afterwards — the steady-state serving loop allocates nothing.
+    buffers: Mutex<Vec<ExecBuffers>>,
 }
 
 impl<'a> Executor<'a> {
@@ -332,7 +592,14 @@ impl<'a> Executor<'a> {
         registry: &'a Registry,
         weights: &'a Weights,
     ) -> Executor<'a> {
-        Executor { graph, plan, registry, weights, schedule: OnceLock::new() }
+        Executor {
+            graph,
+            plan,
+            registry,
+            weights,
+            schedule: OnceLock::new(),
+            buffers: Mutex::new(Vec::with_capacity(BUFFER_POOL_CAP)),
+        }
     }
 
     /// The compiled schedule, built on first use. Compilation errors
@@ -356,20 +623,53 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
+    /// Checks a buffer set out of the pool (building one on first use),
+    /// runs `f`, and returns the set for the next run.
+    fn with_buffers<R>(&self, schedule: &Schedule<'a>, f: impl FnOnce(&mut ExecBuffers) -> R) -> R {
+        let recycled = self.buffers.lock().expect("buffer pool poisoned").pop();
+        let mut bufs = recycled.unwrap_or_else(|| schedule.make_buffers());
+        let result = f(&mut bufs);
+        let mut pool = self.buffers.lock().expect("buffer pool poisoned");
+        if pool.len() < BUFFER_POOL_CAP {
+            pool.push(bufs);
+        }
+        result
+    }
+
     /// Runs one forward pass. `input` must be the canonical-CHW network
     /// input; the plan's input-conversion chain is applied automatically.
     /// Returns the output of the last layer in topological order.
     ///
     /// `threads` is the intra-op worker count handed to each primitive;
     /// the graph itself is walked serially. Use [`Executor::run_with`]
-    /// for inter-op (wavefront) parallelism and [`Executor::run_batch`]
-    /// for whole-batch amortization.
+    /// for inter-op (wavefront) parallelism, [`Executor::run_batch`] for
+    /// whole-batch amortization, and [`Executor::run_into`] for the
+    /// allocation-free serving loop.
     ///
     /// # Errors
     ///
     /// Propagates graph, primitive, transformation and weight errors.
     pub fn run(&self, input: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
         self.run_with(input, Parallelism::serial().with_intra_op(threads))
+    }
+
+    /// [`Executor::run`] writing into a caller-recycled output tensor —
+    /// the steady-state serving API. After one warmup run (which settles
+    /// pooled buffer and workspace capacities), serial calls perform
+    /// **zero heap allocations**: activations live in liveness-pooled
+    /// slots, primitive scratch in bump arenas, and the output lands in
+    /// `out`'s existing storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph, primitive, transformation and weight errors.
+    pub fn run_into(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+    ) -> Result<(), RuntimeError> {
+        self.run_with_into(input, out, Parallelism::serial().with_intra_op(threads))
     }
 
     /// Runs one forward pass under an explicit [`Parallelism`] mapping.
@@ -384,13 +684,35 @@ impl<'a> Executor<'a> {
     ///
     /// Propagates graph, primitive, transformation and weight errors.
     pub fn run_with(&self, input: &Tensor, par: Parallelism) -> Result<Tensor, RuntimeError> {
+        let mut out = Tensor::empty();
+        self.run_with_into(input, &mut out, par)?;
+        Ok(out)
+    }
+
+    /// [`Executor::run_with`] writing into a caller-recycled output
+    /// tensor (see [`Executor::run_into`] for the zero-allocation
+    /// contract of the serial configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph, primitive, transformation and weight errors.
+    pub fn run_with_into(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        par: Parallelism,
+    ) -> Result<(), RuntimeError> {
         Self::check_input(input)?;
         let schedule = self.schedule()?;
-        if par.inter_op > 1 {
-            schedule.execute_wavefront(input, par)
-        } else {
-            schedule.execute_serial(input, par.intra_op)
-        }
+        self.with_buffers(schedule, |bufs| {
+            if par.inter_op > 1 {
+                schedule.execute_wavefront(input, par, bufs)?;
+            } else {
+                schedule.execute_serial(input, par.intra_op, bufs)?;
+            }
+            out.assign_from(&bufs.values[schedule.last_buf]);
+            Ok(())
+        })
     }
 
     /// Runs one plan over a whole batch of inputs, amortizing schedule
@@ -410,36 +732,65 @@ impl<'a> Executor<'a> {
         inputs: &[Tensor],
         par: Parallelism,
     ) -> Result<Vec<Tensor>, RuntimeError> {
+        let mut outs = Vec::new();
+        self.run_batch_into(inputs, &mut outs, par)?;
+        Ok(outs)
+    }
+
+    /// [`Executor::run_batch`] writing into caller-recycled output
+    /// tensors: `outs` is resized to `inputs.len()` and each slot's
+    /// storage is reused. With serial [`Parallelism`] a warmed engine
+    /// serves the whole batch without heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in input order) item's error, if any.
+    pub fn run_batch_into(
+        &self,
+        inputs: &[Tensor],
+        outs: &mut Vec<Tensor>,
+        par: Parallelism,
+    ) -> Result<(), RuntimeError> {
         for input in inputs {
             Self::check_input(input)?;
         }
+        if outs.len() != inputs.len() {
+            outs.resize_with(inputs.len(), Tensor::empty);
+        }
         if inputs.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let schedule = self.schedule()?;
         let workers = par.inter_op.min(inputs.len());
         if workers <= 1 {
-            return inputs
-                .iter()
-                .map(|input| schedule.execute_serial(input, par.intra_op))
-                .collect();
+            return self.with_buffers(schedule, |bufs| {
+                for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+                    schedule.execute_serial(input, par.intra_op, bufs)?;
+                    out.assign_from(&bufs.values[schedule.last_buf]);
+                }
+                Ok(())
+            });
         }
         let per = inputs.len().div_ceil(workers);
-        let results: Vec<Vec<Result<Tensor, RuntimeError>>> = std::thread::scope(|scope| {
+        let results: Vec<Result<(), RuntimeError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = inputs
                 .chunks(per)
-                .map(|chunk| {
+                .zip(outs.chunks_mut(per))
+                .map(|(in_chunk, out_chunk)| {
                     scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|input| schedule.execute_serial(input, par.intra_op))
-                            .collect()
+                        self.with_buffers(schedule, |bufs| {
+                            for (input, out) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                                schedule.execute_serial(input, par.intra_op, bufs)?;
+                                out.assign_from(&bufs.values[schedule.last_buf]);
+                            }
+                            Ok(())
+                        })
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
         });
-        results.into_iter().flatten().collect()
+        results.into_iter().collect()
     }
 }
 
@@ -457,33 +808,33 @@ pub fn reference_forward(graph: &DnnGraph, weights: &Weights, input: &Tensor) ->
     let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
     let mut last = None;
     for node in order {
-        let inputs: Vec<Tensor> = graph
+        // Borrow predecessor activations in place — cloning whole
+        // tensors per node made the oracle quadratic in activation bytes.
+        let inputs: Vec<&Tensor> = graph
             .predecessors(node)
             .iter()
-            .map(|p| values[p.index()].as_ref().expect("topo order").clone())
+            .map(|p| values[p.index()].as_ref().expect("topo order"))
             .collect();
         let out = match &graph.layer(node).kind {
             LayerKind::Input { .. } => input.clone(),
             LayerKind::Conv(s) => {
                 let k = weights.conv_kernel(node).expect("weights cover conv layers");
-                sum2d_reference(&inputs[0], k, s)
+                sum2d_reference(inputs[0], k, s)
             }
-            LayerKind::Relu => ops::relu(&inputs[0], inputs[0].layout()),
+            LayerKind::Relu => ops::relu(inputs[0], inputs[0].layout()),
             LayerKind::Pool { kind, k, stride, pad } => {
-                ops::pool(&inputs[0], inputs[0].layout(), *kind, *k, *stride, *pad)
+                ops::pool(inputs[0], inputs[0].layout(), *kind, *k, *stride, *pad)
             }
-            LayerKind::Lrn => ops::lrn(&inputs[0], inputs[0].layout()),
+            LayerKind::Lrn => ops::lrn(inputs[0], inputs[0].layout()),
             LayerKind::Dropout => inputs[0].clone(),
             LayerKind::FullyConnected { out } => {
                 let w = weights.fc_matrix(node).expect("weights cover fc layers");
-                ops::fully_connected(&inputs[0], w, *out, Layout::Chw)
+                ops::fully_connected(inputs[0], w, *out, Layout::Chw)
             }
-            LayerKind::Concat => {
-                let refs: Vec<&Tensor> = inputs.iter().collect();
-                ops::concat(&refs, Layout::Chw)
-            }
-            LayerKind::Softmax => ops::softmax(&inputs[0], inputs[0].layout()),
+            LayerKind::Concat => ops::concat(&inputs, Layout::Chw),
+            LayerKind::Softmax => ops::softmax(inputs[0], inputs[0].layout()),
         };
+        drop(inputs);
         values[node.index()] = Some(out);
         last = Some(node);
     }
@@ -604,6 +955,70 @@ mod tests {
                 assert_eq!(one.data(), out.data(), "{par}");
             }
         }
+    }
+
+    #[test]
+    fn run_into_matches_run_across_repeated_recycled_calls() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let weights = Weights::random(&net, 51);
+        let exec_strategies = [Strategy::Pbqp, Strategy::CaffeLike];
+        for strategy in exec_strategies {
+            let plan = opt.plan(&net, strategy).unwrap();
+            let exec = Executor::new(&net, &plan, &reg, &weights);
+            let mut out = Tensor::empty();
+            for seed in 0..4 {
+                let input = Tensor::random(4, 12, 12, Layout::Chw, 200 + seed);
+                let fresh = exec.run(&input, 1).unwrap();
+                exec.run_into(&input, &mut out, 1).unwrap();
+                assert_eq!(out.data(), fresh.data(), "{} seed {seed}", strategy.label());
+                assert_eq!(out.layout(), fresh.layout());
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_into_recycles_outputs() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        let weights = Weights::random(&net, 61);
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        let mut outs = Vec::new();
+        for round in 0..3 {
+            let inputs: Vec<Tensor> =
+                (0..5).map(|i| Tensor::random(4, 12, 12, Layout::Chw, round * 10 + i)).collect();
+            exec.run_batch_into(&inputs, &mut outs, Parallelism::serial()).unwrap();
+            assert_eq!(outs.len(), inputs.len());
+            for (input, out) in inputs.iter().zip(&outs) {
+                let one = exec.run(input, 1).unwrap();
+                assert_eq!(one.data(), out.data(), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn activation_slots_are_fewer_than_nodes() {
+        // Liveness must let the linear micro-AlexNet chain reuse output
+        // slots instead of holding one live buffer per node.
+        let net = pbqp_dnn_graph::models::micro_alexnet();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        let weights = Weights::random(&net, 71);
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        let schedule = exec.schedule().unwrap();
+        assert!(
+            schedule.buf_elems.len() < net.len(),
+            "{} slots for {} nodes",
+            schedule.buf_elems.len(),
+            net.len()
+        );
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //! partitions work between threads but never changes a kernel's
 //! per-element accumulation order.
 //!
+//! The schedule also compiles an *activation memory plan*: node output
+//! shapes are inferred up front, liveness over the wavefront levels lets
+//! dead activations donate their buffers to later nodes, and every
+//! primitive runs out of a recycled bump-arena
+//! [`Workspace`](pbqp_dnn_primitives::Workspace). Serve through
+//! [`Executor::run_into`] / [`Executor::run_batch_into`] and — after one
+//! warmup pass — the serial steady-state loop performs **zero heap
+//! allocations** per request.
+//!
 //! [`reference_forward`] is an independent oracle (sum-of-single-channels
 //! convolution, canonical layout throughout) used to verify that *any*
 //! plan — whatever exotic layouts and primitives it selected — computes
@@ -65,6 +74,15 @@
 //! let outs = executor.run_batch(&batch, Parallelism::available()).unwrap();
 //! assert_eq!(outs.len(), 8);
 //! assert_eq!(outs[0].data(), out.data());
+//!
+//! // The steady-state serving loop: recycled output, pooled activation
+//! // slots, workspace-backed primitives — zero heap allocations per
+//! // pass once warmed (proven by `tests/steady_state_alloc.rs`).
+//! let mut served = Tensor::empty();
+//! for request in &batch {
+//!     executor.run_into(request, &mut served, 1).unwrap();
+//! }
+//! assert_eq!(served.data(), outs[7].data());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -4,20 +4,28 @@
 //! whatever layout the plan assigned to the layer (§5.2's "dummy nodes
 //! accepting any layout"). Convolution is the only layer dispatched to the
 //! primitive library.
+//!
+//! Every op has an `_into` form writing into a recycled output tensor —
+//! the zero-allocation path the executor's pooled buffers use; the
+//! allocating forms are thin wrappers kept for the reference oracle.
 
 use pbqp_dnn_graph::PoolKind;
 use pbqp_dnn_tensor::{Layout, Tensor};
 
 /// Rectified linear unit.
 pub(crate) fn relu(input: &Tensor, layout: Layout) -> Tensor {
-    let (c, h, w) = input.dims();
+    let mut out = Tensor::empty();
+    relu_into(input, layout, &mut out);
+    out
+}
+
+/// [`relu`] into a recycled tensor.
+pub(crate) fn relu_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
     debug_assert_eq!(input.layout(), layout);
-    let mut out = input.clone();
+    out.assign_from(input);
     for v in out.data_mut() {
         *v = v.max(0.0);
     }
-    let _ = (c, h, w);
-    out
 }
 
 /// Spatial max/average pooling with Caffe's ceil output convention.
@@ -29,10 +37,27 @@ pub(crate) fn pool(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    let mut out = Tensor::empty();
+    pool_into(input, layout, kind, k, stride, pad, &mut out);
+    out
+}
+
+/// [`pool`] into a recycled tensor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pool_into(
+    input: &Tensor,
+    layout: Layout,
+    kind: PoolKind,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut Tensor,
+) {
     let (c, h, w) = input.dims();
     let oh = (h + 2 * pad - k).div_ceil(stride) + 1;
     let ow = (w + 2 * pad - k).div_ceil(stride) + 1;
-    let mut out = Tensor::zeros(c, oh, ow, layout);
+    out.reuse_as(c, oh, ow, layout);
+    out.data_mut().fill(0.0);
     for ci in 0..c {
         for y in 0..oh {
             for x in 0..ow {
@@ -72,7 +97,6 @@ pub(crate) fn pool(
             }
         }
     }
-    out
 }
 
 // Pool windows are square; this indirection exists only to keep the loop
@@ -84,12 +108,20 @@ fn j_limit(k: usize) -> usize {
 /// Local response normalization across channels (AlexNet/GoogleNet
 /// parameters: size 5, α = 1e-4, β = 0.75, k = 1).
 pub(crate) fn lrn(input: &Tensor, layout: Layout) -> Tensor {
+    let mut out = Tensor::empty();
+    lrn_into(input, layout, &mut out);
+    out
+}
+
+/// [`lrn`] into a recycled tensor.
+pub(crate) fn lrn_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
     const SIZE: usize = 5;
     const ALPHA: f32 = 1e-4;
     const BETA: f32 = 0.75;
     const K: f32 = 1.0;
     let (c, h, w) = input.dims();
-    let mut out = Tensor::zeros(c, h, w, layout);
+    out.reuse_as(c, h, w, layout);
+    out.data_mut().fill(0.0);
     let half = SIZE / 2;
     for y in 0..h {
         for x in 0..w {
@@ -106,7 +138,6 @@ pub(crate) fn lrn(input: &Tensor, layout: Layout) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Fully-connected layer: flattens logically in `(c, h, w)` order and
@@ -117,10 +148,24 @@ pub(crate) fn fully_connected(
     out_n: usize,
     layout: Layout,
 ) -> Tensor {
+    let mut out = Tensor::empty();
+    fully_connected_into(input, weights, out_n, layout, &mut out);
+    out
+}
+
+/// [`fully_connected`] into a recycled tensor.
+pub(crate) fn fully_connected_into(
+    input: &Tensor,
+    weights: &[f32],
+    out_n: usize,
+    layout: Layout,
+    out: &mut Tensor,
+) {
     let (c, h, w) = input.dims();
     let in_len = c * h * w;
     debug_assert_eq!(weights.len(), out_n * in_len);
-    let mut out = Tensor::zeros(out_n, 1, 1, layout);
+    out.reuse_as(out_n, 1, 1, layout);
+    out.data_mut().fill(0.0);
     for o in 0..out_n {
         let row = &weights[o * in_len..(o + 1) * in_len];
         let mut acc = 0.0f32;
@@ -135,34 +180,50 @@ pub(crate) fn fully_connected(
         }
         out.set(o, 0, 0, acc);
     }
-    out
 }
 
 /// Channel concatenation of several same-spatial-size tensors.
 pub(crate) fn concat(inputs: &[&Tensor], layout: Layout) -> Tensor {
     let (_, h, w) = inputs[0].dims();
     let c_total: usize = inputs.iter().map(|t| t.channels()).sum();
-    let mut out = Tensor::zeros(c_total, h, w, layout);
+    let mut out = Tensor::empty();
+    out.reuse_as(c_total, h, w, layout);
+    out.data_mut().fill(0.0);
     let mut c_base = 0;
     for t in inputs {
-        let (c, th, tw) = t.dims();
-        debug_assert_eq!((th, tw), (h, w), "concat inputs must agree spatially");
-        for ci in 0..c {
-            for y in 0..h {
-                for x in 0..w {
-                    out.set(c_base + ci, y, x, t.at(ci, y, x));
-                }
-            }
-        }
-        c_base += c;
+        concat_part_into(t, c_base, &mut out);
+        c_base += t.channels();
     }
     out
 }
 
+/// Copies one concat operand into channels `[c_base, c_base + t.c)` of a
+/// pre-shaped output — the executor streams operands through this without
+/// collecting a reference vector.
+pub(crate) fn concat_part_into(t: &Tensor, c_base: usize, out: &mut Tensor) {
+    let (c, h, w) = t.dims();
+    debug_assert_eq!((out.height(), out.width()), (h, w), "concat inputs must agree spatially");
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out.set(c_base + ci, y, x, t.at(ci, y, x));
+            }
+        }
+    }
+}
+
 /// Numerically-stable softmax over the flattened tensor.
 pub(crate) fn softmax(input: &Tensor, layout: Layout) -> Tensor {
+    let mut out = Tensor::empty();
+    softmax_into(input, layout, &mut out);
+    out
+}
+
+/// [`softmax`] into a recycled tensor.
+pub(crate) fn softmax_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
     let (c, h, w) = input.dims();
-    let mut out = Tensor::zeros(c, h, w, layout);
+    out.reuse_as(c, h, w, layout);
+    out.data_mut().fill(0.0);
     let mut max = f32::NEG_INFINITY;
     for ci in 0..c {
         for y in 0..h {
@@ -186,7 +247,6 @@ pub(crate) fn softmax(input: &Tensor, layout: Layout) -> Tensor {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -260,5 +320,23 @@ mod tests {
         for c in 0..8 {
             assert!(n.at(c, 1, 1).abs() <= t.at(c, 1, 1).abs() + 1e-6);
         }
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_recycled_tensors() {
+        let input = Tensor::random(4, 5, 5, Layout::Chw, 7);
+        let mut dirty = Tensor::empty();
+        dirty.reuse_as(9, 9, 9, Layout::Hwc);
+        dirty.data_mut().fill(f32::NAN);
+        relu_into(&input, Layout::Chw, &mut dirty);
+        assert_eq!(dirty.data(), relu(&input, Layout::Chw).data());
+        dirty.data_mut().fill(f32::NAN);
+        // Shape mismatch on entry is fine — reuse_as re-shapes.
+        pool_into(&input, Layout::Chw, PoolKind::Max, 2, 2, 0, &mut dirty);
+        assert_eq!(dirty.data(), pool(&input, Layout::Chw, PoolKind::Max, 2, 2, 0).data());
+        softmax_into(&input, Layout::Chw, &mut dirty);
+        assert_eq!(dirty.data(), softmax(&input, Layout::Chw).data());
+        lrn_into(&input, Layout::Chw, &mut dirty);
+        assert_eq!(dirty.data(), lrn(&input, Layout::Chw).data());
     }
 }

@@ -32,6 +32,7 @@
 mod error;
 mod kernel;
 mod layout;
+pub mod pool;
 pub mod rng;
 mod tensor;
 pub mod transform;

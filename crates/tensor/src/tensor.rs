@@ -33,6 +33,49 @@ impl Tensor {
         Tensor { dims: (c, h, w), layout, data: vec![0.0; layout.storage_len(c, h, w)] }
     }
 
+    /// Creates an empty placeholder tensor (`(0, 0, 0)`, no storage).
+    ///
+    /// Empty tensors allocate nothing; they exist to be re-shaped in
+    /// place with [`Tensor::reuse_as`] / [`Tensor::assign_from`] by
+    /// buffer-pooling code.
+    pub fn empty() -> Tensor {
+        Tensor { dims: (0, 0, 0), layout: Layout::Chw, data: Vec::new() }
+    }
+
+    /// Re-shapes this tensor in place to `(c, h, w)` in `layout`,
+    /// recycling the existing storage.
+    ///
+    /// The storage is resized to the new layout's requirement but its
+    /// capacity never shrinks, so repeated reuse at steady-state sizes is
+    /// allocation-free. Element values are unspecified after the call
+    /// (previous contents may remain); callers overwrite or zero them.
+    pub fn reuse_as(&mut self, c: usize, h: usize, w: usize, layout: Layout) {
+        self.dims = (c, h, w);
+        self.layout = layout;
+        let need = layout.storage_len(c, h, w);
+        if self.data.len() != need {
+            self.data.resize(need, 0.0);
+        }
+    }
+
+    /// Grows the storage capacity to hold `elems` elements without
+    /// changing the logical shape. Used by buffer pools to pre-size slots
+    /// at plan-compile time.
+    pub fn reserve_storage(&mut self, elems: usize) {
+        if self.data.capacity() < elems {
+            self.data.reserve(elems - self.data.len());
+        }
+    }
+
+    /// Makes this tensor a copy of `src` (dims, layout and data),
+    /// recycling the existing storage — the steady-state counterpart of
+    /// `src.clone()`.
+    pub fn assign_from(&mut self, src: &Tensor) {
+        let (c, h, w) = src.dims;
+        self.reuse_as(c, h, w, src.layout);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Creates a tensor whose element `(c, h, w)` is `f(c, h, w)`.
     pub fn from_fn<F>(c: usize, h: usize, w: usize, layout: Layout, mut f: F) -> Tensor
     where
@@ -287,6 +330,26 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.max_abs_diff(&c).unwrap() > 0.0);
         assert!(a.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn empty_reuse_and_assign_recycle_storage() {
+        let mut slot = Tensor::empty();
+        assert_eq!(slot.dims(), (0, 0, 0));
+        assert_eq!(slot.data().len(), 0);
+        slot.reserve_storage(3 * 4 * 5);
+        let cap = slot.data.capacity();
+        slot.reuse_as(3, 4, 5, Layout::Hwc);
+        assert_eq!(slot.dims(), (3, 4, 5));
+        assert_eq!(slot.data().len(), Layout::Hwc.storage_len(3, 4, 5));
+        assert_eq!(slot.data.capacity(), cap, "reuse within capacity must not reallocate");
+        let src = Tensor::random(2, 4, 5, Layout::Chw4, 9);
+        slot.assign_from(&src);
+        assert_eq!(slot.layout(), Layout::Chw4);
+        assert_eq!(slot.data(), src.data());
+        // Shrinking keeps capacity for later growth.
+        slot.reuse_as(1, 1, 1, Layout::Chw);
+        assert!(slot.data.capacity() >= Layout::Hwc.storage_len(3, 4, 5));
     }
 
     #[test]

@@ -68,26 +68,81 @@ pub fn has_direct(from: Layout, to: Layout) -> bool {
 /// [`DIRECT_TRANSFORMS`]; callers that need an arbitrary conversion should
 /// run a chain computed from the DT graph instead.
 pub fn apply_direct(t: &Tensor, to: Layout) -> Result<Tensor, TensorError> {
+    let mut dst = Tensor::empty();
+    apply_direct_into(t, to, &mut dst)?;
+    Ok(dst)
+}
+
+/// Allocation-free form of [`apply_direct`]: writes the converted tensor
+/// into `dst`, recycling its storage (see [`Tensor::reuse_as`]). The
+/// steady-state serving engine keeps one `dst` per plan edge so layout
+/// legalization never touches the heap after warmup.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NoDirectTransform`] when the pair is not in
+/// [`DIRECT_TRANSFORMS`]; `dst` is left untouched in that case.
+pub fn apply_direct_into(t: &Tensor, to: Layout, dst: &mut Tensor) -> Result<(), TensorError> {
     let from = t.layout();
     if !has_direct(from, to) {
         return Err(TensorError::NoDirectTransform { from, to });
     }
-    Ok(match (from, to) {
-        (Layout::Chw, Layout::Hwc) => chw_to_hwc(t),
-        (Layout::Hwc, Layout::Chw) => hwc_to_chw(t),
-        (Layout::Chw, Layout::Chw4) => pack_blocked(t, Layout::Chw4),
-        (Layout::Chw, Layout::Chw8) => pack_blocked(t, Layout::Chw8),
-        (Layout::Chw4, Layout::Chw) | (Layout::Chw8, Layout::Chw) => unpack_blocked(t),
-        _ => t.to_layout(to),
-    })
+    let (c, h, w) = t.dims();
+    dst.reuse_as(c, h, w, to);
+    if to.is_blocked() {
+        // Padding lanes are not written by the copy loops; a recycled
+        // buffer may hold stale values there.
+        dst.data_mut().fill(0.0);
+    }
+    match (from, to) {
+        (Layout::Chw, Layout::Hwc) => chw_to_hwc_into(t, dst),
+        (Layout::Hwc, Layout::Chw) => hwc_to_chw_into(t, dst),
+        (Layout::Chw, Layout::Chw4) | (Layout::Chw, Layout::Chw8) => pack_blocked_into(t, dst),
+        (Layout::Chw4, Layout::Chw) | (Layout::Chw8, Layout::Chw) => unpack_blocked_into(t, dst),
+        _ => copy_logical_into(t, dst),
+    }
+    Ok(())
+}
+
+/// Converts `t` into layout `to`, writing into recycled `dst` storage:
+/// the specialized direct routine when one is registered, the generic
+/// permutation copy otherwise — the allocation-free counterpart of
+/// [`Tensor::to_layout`]. Same-layout conversion degenerates to a copy.
+pub fn to_layout_into(t: &Tensor, to: Layout, dst: &mut Tensor) {
+    if to == t.layout() {
+        dst.assign_from(t);
+        return;
+    }
+    if apply_direct_into(t, to, dst).is_ok() {
+        return;
+    }
+    let (c, h, w) = t.dims();
+    dst.reuse_as(c, h, w, to);
+    if to.is_blocked() {
+        dst.data_mut().fill(0.0);
+    }
+    copy_logical_into(t, dst);
+}
+
+/// Generic permutation copy through the logical accessors (the slow path
+/// behind [`Tensor::to_layout`], writing into recycled storage).
+fn copy_logical_into(t: &Tensor, dst: &mut Tensor) {
+    let (c, h, w) = t.dims();
+    for ci in 0..c {
+        for hi in 0..h {
+            for wi in 0..w {
+                dst.set(ci, hi, wi, t.at(ci, hi, wi));
+            }
+        }
+    }
 }
 
 /// Planar → interleaved with destination-contiguous inner loop.
-fn chw_to_hwc(t: &Tensor) -> Tensor {
+fn chw_to_hwc_into(t: &Tensor, out: &mut Tensor) {
     let (c, h, w) = t.dims();
     debug_assert_eq!(t.layout(), Layout::Chw);
     let src = t.data();
-    let mut dst = vec![0.0f32; c * h * w];
+    let dst = out.data_mut();
     for hi in 0..h {
         for wi in 0..w {
             let out_base = (hi * w + wi) * c;
@@ -97,15 +152,14 @@ fn chw_to_hwc(t: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(c, h, w, Layout::Hwc, dst).expect("sized correctly")
 }
 
 /// Interleaved → planar with destination-contiguous inner loop.
-fn hwc_to_chw(t: &Tensor) -> Tensor {
+fn hwc_to_chw_into(t: &Tensor, out: &mut Tensor) {
     let (c, h, w) = t.dims();
     debug_assert_eq!(t.layout(), Layout::Hwc);
     let src = t.data();
-    let mut dst = vec![0.0f32; c * h * w];
+    let dst = out.data_mut();
     for ci in 0..c {
         let out_plane = ci * h * w;
         for hi in 0..h {
@@ -114,16 +168,14 @@ fn hwc_to_chw(t: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(c, h, w, Layout::Chw, dst).expect("sized correctly")
 }
 
-/// Planar → channel-blocked (pads the channel tail with zeros).
-fn pack_blocked(t: &Tensor, to: Layout) -> Tensor {
+/// Planar → channel-blocked (padding lanes pre-zeroed by the caller).
+fn pack_blocked_into(t: &Tensor, out: &mut Tensor) {
     let (c, h, w) = t.dims();
     debug_assert_eq!(t.layout(), Layout::Chw);
-    let b = to.channel_block();
+    let b = out.layout().channel_block();
     let src = t.data();
-    let mut out = Tensor::zeros(c, h, w, to);
     let dst = out.data_mut();
     for ci in 0..c {
         let blk = ci / b;
@@ -135,16 +187,15 @@ fn pack_blocked(t: &Tensor, to: Layout) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Channel-blocked → planar (drops padding lanes).
-fn unpack_blocked(t: &Tensor) -> Tensor {
+fn unpack_blocked_into(t: &Tensor, out: &mut Tensor) {
     let (c, h, w) = t.dims();
     let b = t.layout().channel_block();
     debug_assert!(b > 1);
     let src = t.data();
-    let mut dst = vec![0.0f32; c * h * w];
+    let dst = out.data_mut();
     for ci in 0..c {
         let blk = ci / b;
         let lane = ci % b;
@@ -155,7 +206,6 @@ fn unpack_blocked(t: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(c, h, w, Layout::Chw, dst).expect("sized correctly")
 }
 
 #[cfg(test)]
@@ -206,6 +256,21 @@ mod tests {
         let blocked = apply_direct(&src, Layout::Chw8).unwrap();
         assert_eq!(blocked.data(), src.to_layout(Layout::Chw8).data());
         assert_eq!(apply_direct(&blocked, Layout::Chw).unwrap().data(), src.data());
+    }
+
+    #[test]
+    fn into_variant_recycles_dirty_buffers_correctly() {
+        let mut dst = Tensor::empty();
+        for t in DIRECT_TRANSFORMS {
+            let src = sample(5, 4, 3, t.from);
+            // Poison the recycled buffer with a larger, dirty tensor.
+            dst.reuse_as(9, 9, 9, Layout::Chw);
+            dst.data_mut().fill(f32::NAN);
+            apply_direct_into(&src, t.to, &mut dst).unwrap();
+            let fresh = apply_direct(&src, t.to).unwrap();
+            assert_eq!(dst.data(), fresh.data(), "{}", t.name);
+            assert_eq!(dst.layout(), t.to);
+        }
     }
 
     #[test]

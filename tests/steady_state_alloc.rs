@@ -1,0 +1,126 @@
+//! Proof of the zero-allocation steady state: after one warmup run, the
+//! serving APIs (`run_into` / `run_batch_into` with serial parallelism)
+//! perform **zero** heap allocations per forward pass on micro-AlexNet —
+//! activations come from liveness-pooled slots, primitive scratch from
+//! bump arenas, and outputs land in caller-recycled tensors.
+//!
+//! The counter is a `#[global_allocator]` wrapper over the system
+//! allocator (no external deps). Everything runs inside a single `#[test]`
+//! so no concurrent test can perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pbqp_dnn::cost::{AnalyticCost, MachineModel};
+use pbqp_dnn::graph::models::micro_alexnet;
+use pbqp_dnn::primitives::registry::{full_library, Registry};
+use pbqp_dnn::runtime::{Executor, Parallelism, Weights};
+use pbqp_dnn::select::{Optimizer, Strategy};
+use pbqp_dnn::tensor::{Layout, Tensor};
+
+/// Counts every allocation and reallocation crossing the heap.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_serving_performs_zero_heap_allocations() {
+    let net = micro_alexnet();
+    let reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    let opt = Optimizer::new(&reg, &cost);
+    let weights = Weights::random(&net, 0x5EED);
+    let (c, h, w) = net.infer_shapes().expect("valid model")[0];
+    let input = Tensor::random(c, h, w, Layout::Chw, 7);
+    let inputs: Vec<Tensor> =
+        (0..3).map(|i| Tensor::random(c, h, w, Layout::Chw, 20 + i)).collect();
+
+    // The paper's full PBQP selection plus the vendor/Caffe baselines —
+    // zero-alloc steady state must hold whatever primitives get picked.
+    for strategy in [Strategy::Pbqp, Strategy::CaffeLike, Strategy::VendorLike { vector_width: 8 }]
+    {
+        let plan = opt.plan(&net, strategy).expect("plans");
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        let mut out = Tensor::empty();
+        let mut outs = Vec::new();
+
+        // Warmup: compiles the schedule, builds the pooled buffers and
+        // settles every arena watermark and output capacity.
+        let expected = exec.run(&input, 1).expect("warmup run");
+        exec.run_into(&input, &mut out, 1).expect("warmup run_into");
+        exec.run_batch_into(&inputs, &mut outs, Parallelism::serial()).expect("warmup batch");
+
+        // Steady state: repeated single-input serving.
+        let before = allocs();
+        for _ in 0..5 {
+            exec.run_into(&input, &mut out, 1).expect("steady run_into");
+        }
+        let run_allocs = allocs() - before;
+        assert_eq!(
+            run_allocs,
+            0,
+            "{}: {run_allocs} allocations across 5 steady-state run_into calls",
+            strategy.label()
+        );
+
+        // Steady state: repeated batch serving (serial mode — thread
+        // fan-out necessarily allocates stacks, so it is exercised by the
+        // equivalence suite instead).
+        let before = allocs();
+        for _ in 0..3 {
+            exec.run_batch_into(&inputs, &mut outs, Parallelism::serial())
+                .expect("steady run_batch_into");
+        }
+        let batch_allocs = allocs() - before;
+        assert_eq!(
+            batch_allocs,
+            0,
+            "{}: {batch_allocs} allocations across 3 steady-state run_batch_into calls",
+            strategy.label()
+        );
+
+        // The allocation-free path must still compute the right answer.
+        assert_eq!(out.data(), expected.data(), "{}", strategy.label());
+        assert_eq!(out.dims(), expected.dims());
+
+        // The allocating convenience wrapper stays cheap: its only
+        // steady-state heap traffic is the returned output tensor.
+        let before = allocs();
+        let fresh = exec.run(&input, 1).expect("steady run");
+        let wrapper_allocs = allocs() - before;
+        assert!(
+            wrapper_allocs <= 2,
+            "{}: plain run should only allocate its output, saw {wrapper_allocs}",
+            strategy.label()
+        );
+        assert_eq!(fresh.data(), expected.data());
+    }
+}
