@@ -1,0 +1,122 @@
+//! The mixed-precision benchmark: f32-only vs mixed (f32 + int8) PBQP
+//! plans on the same model and machine model — the per-PR perf artifact
+//! for the precision axis of the selection space.
+//!
+//! Reports, for both plans:
+//!
+//! * **predicted µs** — the cost model's whole-network latency (this is
+//!   what the solver optimizes, and what the assertion compares: the
+//!   superset search can never be predicted slower);
+//! * **measured ns/run** — warmed `run_into` serving on this host;
+//! * **activation bytes moved** — bytes crossing layer boundaries, where
+//!   int8 edges move a quarter of the f32 bytes.
+//!
+//! Emits machine-readable `BENCH_PR3.json` at the repo root. Run with
+//! `cargo bench -p pbqp-dnn-bench --bench mixed_precision`; set
+//! `MIXED_PRECISION_NO_ASSERT=1` (as the CI smoke step does) to print
+//! without asserting.
+
+use pbqp_dnn_bench::harness::{fmt_duration, write_repo_artifact, Bench};
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::models::micro_mixed;
+use pbqp_dnn_graph::DnnGraph;
+use pbqp_dnn_primitives::registry::{full_library, mixed_precision_library, Registry};
+use pbqp_dnn_runtime::{Executor, Weights};
+use pbqp_dnn_select::{ExecutionPlan, Optimizer, Strategy};
+use pbqp_dnn_tensor::{Layout, Tensor};
+
+const REPS: usize = 30;
+
+/// Activation bytes crossing layer boundaries under a plan: every graph
+/// edge moves the producer's output tensor once, in the producer's
+/// output representation (int8 = 1 byte/elem, f32 = 4).
+fn activation_bytes(net: &DnnGraph, plan: &ExecutionPlan) -> usize {
+    let shapes = net.infer_shapes().expect("valid model");
+    plan.edges
+        .iter()
+        .map(|e| {
+            let (c, h, w) = shapes[e.from.index()];
+            let repr = plan.assignment(e.from).output_repr();
+            repr.layout.storage_len(c, h, w) * repr.dtype.bytes()
+        })
+        .sum()
+}
+
+fn main() {
+    // The shared mixed-precision fixture: a big strided conv
+    // (int8-friendly) feeding a pointwise tail (stays f32).
+    let net = micro_mixed();
+    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    let weights = Weights::random(&net, 0xBEEF);
+    let input = Tensor::random(16, 20, 20, Layout::Chw, 5);
+
+    let f32_reg = Registry::new(full_library());
+    let mixed_reg = Registry::new(mixed_precision_library());
+    let f32_plan = Optimizer::new(&f32_reg, &cost).plan(&net, Strategy::Pbqp).expect("plans");
+    let mixed_plan = Optimizer::new(&mixed_reg, &cost).plan(&net, Strategy::Pbqp).expect("plans");
+
+    let f32_exec = Executor::new(&net, &f32_plan, &f32_reg, &weights);
+    let mixed_exec = Executor::new(&net, &mixed_plan, &mixed_reg, &weights);
+    let mut out = Tensor::empty();
+    let mut timer = Bench::new("mixed_precision").samples(REPS);
+    let f32_ns = timer
+        .run("f32-only run_into", || {
+            f32_exec.run_into(&input, &mut out, 1).expect("runs");
+        })
+        .as_nanos();
+    let mixed_ns = timer
+        .run("mixed run_into", || {
+            mixed_exec.run_into(&input, &mut out, 1).expect("runs");
+        })
+        .as_nanos();
+
+    let f32_bytes = activation_bytes(&net, &f32_plan);
+    let mixed_bytes = activation_bytes(&net, &mixed_plan);
+    let int8_layers = mixed_plan.int8_layers().len();
+
+    println!("mixed_precision: f32-only vs mixed PBQP plan ({})", cost.machine());
+    println!(
+        "  f32-only : {:9.1} µs predicted  {:>12} measured  {:>8} activation bytes",
+        f32_plan.predicted_us,
+        fmt_duration(std::time::Duration::from_nanos(f32_ns as u64)),
+        f32_bytes,
+    );
+    println!(
+        "  mixed    : {:9.1} µs predicted  {:>12} measured  {:>8} activation bytes  ({} int8 layers, {} quant edges)",
+        mixed_plan.predicted_us,
+        fmt_duration(std::time::Duration::from_nanos(mixed_ns as u64)),
+        mixed_bytes,
+        int8_layers,
+        mixed_plan.quant_edge_count(),
+    );
+    println!(
+        "  predicted speedup {:.2}x, activation bytes {:.2}x",
+        f32_plan.predicted_us / mixed_plan.predicted_us,
+        f32_bytes as f64 / mixed_bytes as f64,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"mixed_precision\",\n  \"machine\": \"{}\",\n  \"reps\": {REPS},\n  \"f32_predicted_us\": {:.1},\n  \"mixed_predicted_us\": {:.1},\n  \"f32_ns_per_run\": {f32_ns},\n  \"mixed_ns_per_run\": {mixed_ns},\n  \"f32_activation_bytes\": {f32_bytes},\n  \"mixed_activation_bytes\": {mixed_bytes},\n  \"int8_layers\": {int8_layers},\n  \"quant_edges\": {},\n  \"mixed_plan_is_mixed\": {}\n}}\n",
+        cost.machine().name,
+        f32_plan.predicted_us,
+        mixed_plan.predicted_us,
+        mixed_plan.quant_edge_count(),
+        mixed_plan.is_mixed_precision(),
+    );
+    match write_repo_artifact("BENCH_PR3.json", &json) {
+        Ok(path) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write BENCH_PR3.json: {e}"),
+    }
+
+    // The predicted comparison is deterministic (the solver optimizes
+    // exactly this quantity over a superset space), so assert it even in
+    // benchmark context; measured wall-clock is reported, not asserted.
+    if std::env::var_os("MIXED_PRECISION_NO_ASSERT").is_none() {
+        assert!(
+            mixed_plan.predicted_us <= f32_plan.predicted_us + 1e-6,
+            "mixed plan must never be predicted slower than f32-only"
+        );
+        assert!(mixed_plan.is_mixed_precision(), "plan should mix precisions on this network");
+        assert!(mixed_bytes < f32_bytes, "int8 edges should cut activation bytes moved");
+    }
+}

@@ -150,11 +150,9 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"steady_state\",\n  \"model\": \"micro_alexnet\",\n  \"strategy\": \"pbqp\",\n  \"reps\": {REPS},\n  \"cold_allocs_per_run\": {cold_allocs:.1},\n  \"cold_ns_per_run\": {cold_ns},\n  \"steady_run_allocs_per_run\": {run_allocs:.1},\n  \"steady_run_ns_per_run\": {run_ns},\n  \"steady_run_into_allocs_per_run\": {into_allocs:.1},\n  \"steady_run_into_ns_per_run\": {into_ns},\n  \"steady_batch8_allocs_per_run\": {batch_allocs:.1},\n  \"steady_batch8_ns_per_run\": {batch_ns}\n}}\n"
     );
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = std::path::Path::new(root).join("BENCH_PR2.json");
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("  wrote {}", path.display()),
-        Err(e) => println!("  could not write {}: {e}", path.display()),
+    match pbqp_dnn_bench::harness::write_repo_artifact("BENCH_PR2.json", &json) {
+        Ok(path) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write BENCH_PR2.json: {e}"),
     }
 
     // The allocation counts are deterministic, so assert them even in

@@ -23,8 +23,8 @@ fn main() {
     println!("{}", "-".repeat(84));
     for node in net.conv_nodes() {
         let cell = |p: &ExecutionPlan| match p.assignment(node) {
-            AssignmentKind::Conv { primitive, input_layout, output_layout, .. } => {
-                format!("{primitive} [{input_layout}->{output_layout}]")
+            AssignmentKind::Conv { primitive, input_repr, output_repr, .. } => {
+                format!("{primitive} [{input_repr}->{output_repr}]")
             }
             AssignmentKind::Dummy { .. } => unreachable!("conv node"),
         };

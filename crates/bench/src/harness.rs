@@ -97,6 +97,16 @@ impl Bench {
     }
 }
 
+/// Writes a machine-readable benchmark artifact (`BENCH_*.json`) at the
+/// repository root, returning the path written. The benches use this to
+/// leave a perf trajectory the PR log can track.
+pub fn write_repo_artifact(file_name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join(file_name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
 /// Formats a duration with an adaptive unit, Criterion-style.
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();

@@ -148,7 +148,10 @@ fn optimizer_fingerprint(optimizer: &Optimizer<'_>) -> u64 {
         eat(&prim.descriptor().name);
     }
     for edge in optimizer.dt_graph().edges() {
-        eat(edge.name);
+        // Name alone is ambiguous across repr edges ("quantize" exists
+        // per layout, and i8 permutations reuse the f32 routine names),
+        // so the endpoints participate too.
+        eat(&format!("{}:{}>{}", edge.name(), edge.from(), edge.to()));
     }
     h.finish()
 }

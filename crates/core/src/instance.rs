@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use pbqp_dnn_cost::{CostSource, CostTable, DtGraph, DtPathTable};
 use pbqp_dnn_graph::{DnnGraph, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
-use pbqp_dnn_tensor::Layout;
+use pbqp_dnn_tensor::{Layout, Repr};
 use pbqp_solver::{CostMatrix, PbqpGraph, PbqpNodeId};
 
 /// The options behind one PBQP node.
@@ -47,17 +47,22 @@ impl<'a> ApspCache<'a> {
     }
 }
 
-/// Resolves the input/output layouts of every option of one node.
-pub(crate) fn option_layouts(registry: &Registry, options: &NodeOptions) -> Vec<(Layout, Layout)> {
+/// Resolves the input/output representations of every option of one node.
+///
+/// Conv options carry their descriptor's full `{R_in, P, R_out}` triple —
+/// including dtype, so int8 candidates participate in the same instance;
+/// dummy (non-conv) layers compute in f32, so their options remain the
+/// f32 layouts.
+pub(crate) fn option_reprs(registry: &Registry, options: &NodeOptions) -> Vec<(Repr, Repr)> {
     match options {
         NodeOptions::Conv(names) => names
             .iter()
             .map(|n| {
                 let d = registry.by_name(n).expect("primitive from this registry").descriptor();
-                (d.input_layout, d.output_layout)
+                (d.input_repr(), d.output_repr())
             })
             .collect(),
-        NodeOptions::Dummy => Layout::ALL.iter().map(|&l| (l, l)).collect(),
+        NodeOptions::Dummy => Layout::ALL.iter().map(|&l| (Repr::f32(l), Repr::f32(l))).collect(),
     }
 }
 
@@ -81,15 +86,27 @@ pub(crate) fn build(
 
     for node in graph.node_ids() {
         if let Some(row) = table.for_node(node) {
-            let costs: Vec<f64> = row.costs.iter().map(|&(_, c)| c).collect();
+            let mut costs: Vec<f64> = row.costs.iter().map(|&(_, c)| c).collect();
             let names: Vec<String> = row.costs.iter().map(|(n, _)| n.clone()).collect();
+            if graph.successors(node).is_empty() {
+                // Network outputs are delivered in f32: sink options that
+                // produce a quantized representation carry their
+                // dequantization cost in the node vector, so the solver
+                // cannot pick int8 at the boundary for free (f32 options
+                // add the identity, i.e. zero).
+                let t = apsp.table(shapes[node.index()]);
+                for (c, name) in costs.iter_mut().zip(&names) {
+                    let r = registry.by_name(name).expect("profiled").descriptor().output_repr();
+                    *c += t.cost(r, Repr::f32(r.layout));
+                }
+            }
             pbqp_ids.push(pbqp.add_node(costs));
             options.push(NodeOptions::Conv(names));
         } else {
             let is_input = graph.predecessors(node).is_empty();
             let costs: Vec<f64> = if is_input {
                 let t = apsp.table(shapes[node.index()]);
-                Layout::ALL.iter().map(|&l| t.cost(Layout::Chw, l)).collect()
+                Layout::ALL.iter().map(|&l| t.cost(Repr::f32(Layout::Chw), Repr::f32(l))).collect()
             } else {
                 vec![0.0; Layout::ALL.len()]
             };
@@ -99,11 +116,11 @@ pub(crate) fn build(
     }
 
     for (from, to) in graph.edges() {
-        let out_layouts = option_layouts(registry, &options[from.index()]);
-        let in_layouts = option_layouts(registry, &options[to.index()]);
+        let out_reprs = option_reprs(registry, &options[from.index()]);
+        let in_reprs = option_reprs(registry, &options[to.index()]);
         let t = apsp.table(shapes[from.index()]);
-        let m = CostMatrix::from_fn(out_layouts.len(), in_layouts.len(), |i, j| {
-            t.cost(out_layouts[i].1, in_layouts[j].0)
+        let m = CostMatrix::from_fn(out_reprs.len(), in_reprs.len(), |i, j| {
+            t.cost(out_reprs[i].1, in_reprs[j].0)
         });
         pbqp.add_edge(pbqp_ids[from.index()], pbqp_ids[to.index()], m)
             .expect("nodes were just added");

@@ -6,7 +6,7 @@ use pbqp_dnn_cost::{CostSource, CostTable, DtGraph};
 use pbqp_dnn_graph::{DnnGraph, GraphError, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
 use pbqp_dnn_primitives::{AlgoHint, Family};
-use pbqp_dnn_tensor::Layout;
+use pbqp_dnn_tensor::{DType, Layout, Repr};
 use pbqp_solver::{PbqpError, Solver};
 
 use crate::instance::{self, ApspCache, NodeOptions};
@@ -21,12 +21,12 @@ pub enum PlanError {
     /// The PBQP instance could not be solved (e.g. no legal layout chain
     /// between two mandatory primitives).
     Pbqp(PbqpError),
-    /// A strategy produced layouts with no connecting DT chain.
+    /// A strategy produced representations with no connecting DT chain.
     NoLegalization {
-        /// Producer layout.
-        from: Layout,
-        /// Consumer layout.
-        to: Layout,
+        /// Producer representation.
+        from: Repr,
+        /// Consumer representation.
+        to: Repr,
     },
 }
 
@@ -36,7 +36,7 @@ impl fmt::Display for PlanError {
             PlanError::Graph(e) => write!(f, "graph error: {e}"),
             PlanError::Pbqp(e) => write!(f, "solver error: {e}"),
             PlanError::NoLegalization { from, to } => {
-                write!(f, "no layout transformation chain from {from} to {to}")
+                write!(f, "no representation transformation chain from {from} to {to}")
             }
         }
     }
@@ -161,8 +161,8 @@ impl<'a> Optimizer<'a> {
         let d = self.registry.by_name(name).expect("registry primitive").descriptor();
         AssignmentKind::Conv {
             primitive: name.to_owned(),
-            input_layout: d.input_layout,
-            output_layout: d.output_layout,
+            input_repr: d.input_repr(),
+            output_repr: d.output_repr(),
             cost_us,
         }
     }
@@ -178,10 +178,17 @@ impl<'a> Optimizer<'a> {
         let mut kinds: Vec<Option<AssignmentKind>> = vec![None; graph.len()];
         for node in order {
             let kind = if let Some(row) = table.for_node(node) {
+                // Baseline strategies model existing f32 frameworks, so
+                // they never pick int8 candidates even when the registry
+                // carries them; only the PBQP search sees the full
+                // mixed-precision space.
                 let pick = |pred: &dyn Fn(&str) -> bool| -> Option<(&str, f64)> {
                     row.costs
                         .iter()
-                        .filter(|(n, _)| pred(n))
+                        .filter(|(n, _)| {
+                            let d = self.registry.by_name(n).expect("profiled").descriptor();
+                            d.input_dtype == DType::F32 && pred(n)
+                        })
                         .min_by(|a, b| a.1.total_cmp(&b.1))
                         .map(|(n, c)| (n.as_str(), *c))
                 };
@@ -222,7 +229,8 @@ impl<'a> Optimizer<'a> {
                 };
                 self.conv_assignment(table, node, &name)
             } else {
-                // Dummy layers flow their producer's layout through;
+                // Dummy layers flow their producer's layout through
+                // (baselines never pick int8, so the flowed repr is f32);
                 // sources (inputs) stay canonical.
                 let layout = graph
                     .predecessors(node)
@@ -281,8 +289,8 @@ impl<'a> Optimizer<'a> {
     ) -> Result<ExecutionPlan, PlanError> {
         let mut edges = Vec::new();
         for (from, to) in graph.edges() {
-            let out = assignments[from.index()].kind.output_layout();
-            let inp = assignments[to.index()].kind.input_layout();
+            let out = assignments[from.index()].kind.output_repr();
+            let inp = assignments[to.index()].kind.input_repr();
             let dims = shapes[from.index()];
             let t = apsp.table(dims);
             let chain = t.path(out, inp).ok_or(PlanError::NoLegalization { from: out, to: inp })?;
@@ -290,22 +298,45 @@ impl<'a> Optimizer<'a> {
             edges.push(EdgeLegalization { from, to, chain, cost_us });
         }
 
-        // Network inputs arrive in canonical CHW; convert if the input
-        // node's chosen layout differs.
+        // Network inputs arrive in canonical CHW f32; convert if the
+        // input node's chosen representation differs.
+        let canonical = Repr::f32(Layout::Chw);
         let mut input_conversion = Vec::new();
         for node in graph.node_ids() {
             if !graph.predecessors(node).is_empty() {
                 continue;
             }
-            let layout = assignments[node.index()].kind.output_layout();
-            if layout != Layout::Chw {
+            let repr = assignments[node.index()].kind.output_repr();
+            if repr != canonical {
                 let dims = shapes[node.index()];
                 let t = apsp.table(dims);
                 let chain = t
-                    .path(Layout::Chw, layout)
-                    .ok_or(PlanError::NoLegalization { from: Layout::Chw, to: layout })?;
-                let cost = t.cost(Layout::Chw, layout);
+                    .path(canonical, repr)
+                    .ok_or(PlanError::NoLegalization { from: canonical, to: repr })?;
+                let cost = t.cost(canonical, repr);
                 input_conversion.push((node, chain, cost));
+            }
+        }
+
+        // Network outputs are delivered in f32 (in the sink's layout,
+        // which has always been the caller-visible contract); a sink that
+        // chose a quantized representation pays its dequantization here,
+        // so boundary layers cannot leave the quantized domain for free.
+        let mut output_conversion = Vec::new();
+        for node in graph.node_ids() {
+            if !graph.successors(node).is_empty() {
+                continue;
+            }
+            let repr = assignments[node.index()].kind.output_repr();
+            if repr.dtype != pbqp_dnn_tensor::DType::F32 {
+                let target = Repr::f32(repr.layout);
+                let dims = shapes[node.index()];
+                let t = apsp.table(dims);
+                let chain = t
+                    .path(repr, target)
+                    .ok_or(PlanError::NoLegalization { from: repr, to: target })?;
+                let cost = t.cost(repr, target);
+                output_conversion.push((node, chain, cost));
             }
         }
 
@@ -317,7 +348,8 @@ impl<'a> Optimizer<'a> {
             })
             .sum();
         let transform_us: f64 = edges.iter().map(|e| e.cost_us).sum::<f64>()
-            + input_conversion.iter().map(|(_, _, c)| c).sum::<f64>();
+            + input_conversion.iter().map(|(_, _, c)| c).sum::<f64>()
+            + output_conversion.iter().map(|(_, _, c)| c).sum::<f64>();
         let predicted_us = (conv_us + transform_us) * strategy.framework_overhead();
 
         Ok(ExecutionPlan {
@@ -325,6 +357,7 @@ impl<'a> Optimizer<'a> {
             assignments,
             edges,
             input_conversion,
+            output_conversion,
             predicted_us,
             optimal,
             solve_stats: stats,
@@ -384,13 +417,44 @@ mod tests {
         for (name, net) in models::evaluation_models() {
             let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
             for e in &plan.edges {
-                let mut cur = plan.assignment(e.from).output_layout();
+                let mut cur = plan.assignment(e.from).output_repr();
                 for hop in &e.chain {
-                    assert_eq!(hop.from, cur, "{name}: broken chain");
-                    cur = hop.to;
+                    assert_eq!(hop.from(), cur, "{name}: broken chain");
+                    cur = hop.to();
                 }
-                assert_eq!(cur, plan.assignment(e.to).input_layout(), "{name}: edge end");
+                assert_eq!(cur, plan.assignment(e.to).input_repr(), "{name}: edge end");
             }
+        }
+    }
+
+    #[test]
+    fn mixed_precision_registry_yields_a_mixed_plan_on_alexnet() {
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        let reg = Registry::new(mixed_precision_library());
+        // On the small-cache ARM model, int8 im2col wins the big
+        // GEMM-bound layers while F(2,5) Winograd keeps conv2 in f32 —
+        // a genuinely mixed selection from one solve.
+        let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let net = models::alexnet();
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        assert_eq!(plan.optimal, Some(true));
+        assert!(
+            plan.is_mixed_precision(),
+            "expected both precisions; int8 layers: {:?}\n{plan}",
+            plan.int8_layers()
+        );
+        assert!(plan.quant_edge_count() >= 2, "int8 islands need quant/dequant edges\n{plan}");
+        // One solve over the superset space can never lose to the
+        // f32-only optimum.
+        let f32_reg = Registry::new(pbqp_dnn_primitives::registry::full_library());
+        let f32_opt = Optimizer::new(&f32_reg, &cost);
+        let f32_plan = f32_opt.plan(&net, Strategy::Pbqp).unwrap();
+        assert!(plan.predicted_us <= f32_plan.predicted_us + 1e-6);
+        // Baselines stay f32 even with the mixed registry.
+        for strategy in [Strategy::LocalOptimalChw, Strategy::VendorLike { vector_width: 8 }] {
+            let base = opt.plan(&net, strategy).unwrap();
+            assert!(base.int8_layers().is_empty(), "{} picked int8", strategy.label());
         }
     }
 
@@ -444,6 +508,40 @@ mod tests {
         } else {
             panic!("conv1 is a conv node");
         }
+    }
+
+    #[test]
+    fn int8_sink_pays_output_dequantization() {
+        use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind};
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        use pbqp_dnn_tensor::transform::ReprTransform;
+        use pbqp_dnn_tensor::DType;
+        // A network ending directly in the int8-friendly conv: the sink's
+        // quantized output must be dequantized back to f32 at the network
+        // boundary, and the plan must carry (and price) that chain.
+        let mut g = DnnGraph::new();
+        let data = g.add(Layer::new("data", LayerKind::Input { c: 16, h: 20, w: 20 }));
+        let conv = g.add(Layer::new(
+            "conv",
+            LayerKind::Conv(ConvScenario::new(16, 20, 20, 2, 5, 32).with_pad(0)),
+        ));
+        g.connect(data, conv).unwrap();
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let plan = Optimizer::new(&reg, &cost).plan(&g, Strategy::Pbqp).unwrap();
+        assert_eq!(plan.assignment(conv).output_repr().dtype, DType::I8, "{plan}");
+        let (node, chain, dq_cost) = &plan.output_conversion[0];
+        assert_eq!(*node, conv);
+        assert!(chain.iter().any(|h| matches!(h, ReprTransform::Dequantize(_))));
+        assert!(*dq_cost > 0.0);
+        // The boundary cost participates in the prediction (conv + edges
+        // + output dequant decompose exactly).
+        let parts = plan.conv_us() + plan.transform_us();
+        assert!((parts - plan.predicted_us).abs() < 1e-6 * plan.predicted_us);
+        // All-f32 plans never carry an output conversion.
+        let f32_reg = Registry::new(full_library());
+        let f32_plan = Optimizer::new(&f32_reg, &cost).plan(&g, Strategy::Pbqp).unwrap();
+        assert!(f32_plan.output_conversion.is_empty());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 use std::fmt;
 
 use pbqp_dnn_graph::NodeId;
-use pbqp_dnn_tensor::transform::DirectTransform;
-use pbqp_dnn_tensor::Layout;
+use pbqp_dnn_tensor::transform::ReprTransform;
+use pbqp_dnn_tensor::{Layout, Repr};
 use pbqp_solver::SolveStats;
 
 use crate::Strategy;
@@ -14,15 +14,15 @@ pub enum AssignmentKind {
     Conv {
         /// Primitive name (resolvable via the registry).
         primitive: String,
-        /// The primitive's `L_in`.
-        input_layout: Layout,
-        /// The primitive's `L_out`.
-        output_layout: Layout,
+        /// The primitive's `R_in` (layout × dtype).
+        input_repr: Repr,
+        /// The primitive's `R_out`.
+        output_repr: Repr,
         /// Modelled/profiled execution cost in µs.
         cost_us: f64,
     },
     /// A non-conv layer passing data through in a chosen layout (§5.2's
-    /// zero-cost dummy nodes).
+    /// zero-cost dummy nodes). Dummy layers always compute in f32.
     Dummy {
         /// The layout the layer operates in.
         layout: Layout,
@@ -30,20 +30,30 @@ pub enum AssignmentKind {
 }
 
 impl AssignmentKind {
+    /// The representation this node produces on its output edges.
+    pub fn output_repr(&self) -> Repr {
+        match self {
+            AssignmentKind::Conv { output_repr, .. } => *output_repr,
+            AssignmentKind::Dummy { layout } => Repr::f32(*layout),
+        }
+    }
+
+    /// The representation this node requires on its input edges.
+    pub fn input_repr(&self) -> Repr {
+        match self {
+            AssignmentKind::Conv { input_repr, .. } => *input_repr,
+            AssignmentKind::Dummy { layout } => Repr::f32(*layout),
+        }
+    }
+
     /// The layout this node produces on its output edges.
     pub fn output_layout(&self) -> Layout {
-        match self {
-            AssignmentKind::Conv { output_layout, .. } => *output_layout,
-            AssignmentKind::Dummy { layout } => *layout,
-        }
+        self.output_repr().layout
     }
 
     /// The layout this node requires on its input edges.
     pub fn input_layout(&self) -> Layout {
-        match self {
-            AssignmentKind::Conv { input_layout, .. } => *input_layout,
-            AssignmentKind::Dummy { layout } => *layout,
-        }
+        self.input_repr().layout
     }
 }
 
@@ -66,8 +76,9 @@ pub struct EdgeLegalization {
     /// Consumer node.
     pub to: NodeId,
     /// Direct transformation routines to apply, in order (empty when the
-    /// layouts already agree).
-    pub chain: Vec<DirectTransform>,
+    /// representations already agree). Alongside layout conversions these
+    /// may be quantize/dequantize hops at mixed-precision boundaries.
+    pub chain: Vec<ReprTransform>,
     /// Total modelled cost of the chain in µs.
     pub cost_us: f64,
 }
@@ -83,8 +94,16 @@ pub struct ExecutionPlan {
     /// Per-edge legalizations (same order as `DnnGraph::edges`).
     pub edges: Vec<EdgeLegalization>,
     /// Conversion chain applied to the raw network input (which arrives in
-    /// canonical CHW) before the input node's chosen layout, with its cost.
-    pub input_conversion: Vec<(NodeId, Vec<DirectTransform>, f64)>,
+    /// canonical CHW f32) before the input node's chosen layout, with its
+    /// cost.
+    pub input_conversion: Vec<(NodeId, Vec<ReprTransform>, f64)>,
+    /// Dequantization chain applied after each sink node whose chosen
+    /// representation is not f32, with its cost. Network outputs are
+    /// delivered in f32 (in the sink's layout), mirroring the canonical
+    /// input contract — so the solver pays for leaving the quantized
+    /// domain even at the network boundary and an int8 terminal layer is
+    /// never "free".
+    pub output_conversion: Vec<(NodeId, Vec<ReprTransform>, f64)>,
     /// Predicted whole-network latency in µs (conv costs + DT chain costs
     /// + input conversion), times any framework overhead factor.
     pub predicted_us: f64,
@@ -120,6 +139,7 @@ impl ExecutionPlan {
     pub fn transform_us(&self) -> f64 {
         self.edges.iter().map(|e| e.cost_us).sum::<f64>()
             + self.input_conversion.iter().map(|(_, _, c)| c).sum::<f64>()
+            + self.output_conversion.iter().map(|(_, _, c)| c).sum::<f64>()
     }
 
     /// Total µs spent in convolution primitives.
@@ -137,6 +157,39 @@ impl ExecutionPlan {
     pub fn transform_count(&self) -> usize {
         self.edges.iter().map(|e| e.chain.len()).sum::<usize>()
             + self.input_conversion.iter().map(|(_, c, _)| c.len()).sum::<usize>()
+            + self.output_conversion.iter().map(|(_, c, _)| c.len()).sum::<usize>()
+    }
+
+    /// Conv nodes assigned an int8 primitive.
+    pub fn int8_layers(&self) -> Vec<NodeId> {
+        self.assignments
+            .iter()
+            .filter(|a| {
+                matches!(&a.kind, AssignmentKind::Conv { input_repr, .. }
+                    if input_repr.dtype == pbqp_dnn_tensor::DType::I8)
+            })
+            .map(|a| a.node)
+            .collect()
+    }
+
+    /// Whether the plan genuinely mixes precisions: at least one int8 and
+    /// at least one f32 convolution selection.
+    pub fn is_mixed_precision(&self) -> bool {
+        let int8 = self.int8_layers().len();
+        let convs = self.selected_primitives().len();
+        int8 > 0 && int8 < convs
+    }
+
+    /// Number of quantize/dequantize hops inserted by legalization.
+    pub fn quant_edge_count(&self) -> usize {
+        let quantish = |c: &[ReprTransform]| {
+            c.iter()
+                .filter(|t| matches!(t, ReprTransform::Quantize(_) | ReprTransform::Dequantize(_)))
+                .count()
+        };
+        self.edges.iter().map(|e| quantish(&e.chain)).sum::<usize>()
+            + self.input_conversion.iter().map(|(_, c, _)| quantish(c)).sum::<usize>()
+            + self.output_conversion.iter().map(|(_, c, _)| quantish(c)).sum::<usize>()
     }
 }
 
@@ -152,12 +205,10 @@ impl fmt::Display for ExecutionPlan {
             self.transform_count(),
         )?;
         for a in &self.assignments {
-            if let AssignmentKind::Conv { primitive, input_layout, output_layout, cost_us } =
-                &a.kind
-            {
+            if let AssignmentKind::Conv { primitive, input_repr, output_repr, cost_us } = &a.kind {
                 writeln!(
                     f,
-                    "  {}: {{{input_layout}, {primitive}, {output_layout}}} {cost_us:.1} µs",
+                    "  {}: {{{input_repr}, {primitive}, {output_repr}}} {cost_us:.1} µs",
                     a.node
                 )?;
             }

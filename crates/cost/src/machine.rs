@@ -39,6 +39,11 @@ pub struct MachineModel {
     /// Fraction of its nominal efficiency the platform BLAS achieves
     /// (vendor GEMMs are far better tuned on x86 than on embedded parts).
     pub blas_efficiency: f64,
+    /// Throughput multiplier of int8 arithmetic over f32 (8-bit
+    /// multiply-accumulate packs more lanes per vector: ~2× via
+    /// `pmaddubsw`-style pairs on AVX2-class parts, more on NEON where
+    /// `smlal` quadruples the lane count).
+    pub int8_speedup: f64,
 }
 
 impl MachineModel {
@@ -53,6 +58,7 @@ impl MachineModel {
             bandwidth_gbs: 25.0,
             fma_per_cycle: 2.0,
             blas_efficiency: 1.0,
+            int8_speedup: 2.2,
         }
     }
 
@@ -70,6 +76,7 @@ impl MachineModel {
             bandwidth_gbs: 1.6,
             fma_per_cycle: 1.0,
             blas_efficiency: 0.55,
+            int8_speedup: 3.0,
         }
     }
 

@@ -1,6 +1,7 @@
 use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_primitives::{AlgoHint, ConvAlgorithm};
-use pbqp_dnn_tensor::transform::DirectTransform;
+use pbqp_dnn_tensor::transform::ReprTransform;
+use pbqp_dnn_tensor::DType;
 
 use crate::table::CostSource;
 use crate::MachineModel;
@@ -82,9 +83,15 @@ impl AnalyticCost {
                 0.12 * vw as f64
             }
         };
+        // Int8 arithmetic packs more lanes per vector: the machine's
+        // measured speedup applies on top of the algorithm's f32 quality
+        // (requantization overhead is folded into the factor).
+        let dtype_boost = if d.input_dtype == DType::I8 { self.machine.int8_speedup } else { 1.0 };
         match d.hint {
-            AlgoHint::Plain => (base, 0.25),
-            AlgoHint::Loops { quality } => (base, quality * lane_eff(d.vector_factor as usize)),
+            AlgoHint::Plain => (base, 0.25 * dtype_boost),
+            AlgoHint::Loops { quality } => {
+                (base, quality * lane_eff(d.vector_factor as usize) * dtype_boost)
+            }
             AlgoHint::Gemm { efficiency, calls: _ } => {
                 // GEMM kernels vectorize for whatever machine they run on
                 // (the paper's OpenBLAS role).
@@ -97,7 +104,12 @@ impl AnalyticCost {
                     if d.input_layout == pbqp_dnn_tensor::Layout::Hwc { 1.08 } else { 1.0 };
                 (
                     base * patch_overhead,
-                    efficiency * gather * 0.4 * self.machine.blas_efficiency * vw as f64,
+                    efficiency
+                        * gather
+                        * 0.4
+                        * self.machine.blas_efficiency
+                        * vw as f64
+                        * dtype_boost,
                 )
             }
             AlgoHint::Winograd { m, r, two_d } => {
@@ -163,9 +175,15 @@ impl AnalyticCost {
     }
 
     /// Bytes streamed for one execution, including cache-spill inflation.
+    /// Element sizes follow the primitive's dtypes: int8 layers move a
+    /// quarter of the activation and weight bytes — the "bytes moved"
+    /// half of the mixed-precision win.
     fn memory_bytes(&self, prim: &dyn ConvAlgorithm, s: &ConvScenario) -> f64 {
+        let d = prim.descriptor();
         let ws = prim.workspace_elems(s) as f64 * 4.0;
-        let io = (s.input_len() + s.output_len() + s.kernel_len()) as f64 * 4.0;
+        let io = s.input_len() as f64 * d.input_dtype.bytes() as f64
+            + s.output_len() as f64 * d.output_dtype.bytes() as f64
+            + s.kernel_len() as f64 * d.input_dtype.bytes() as f64;
         let working_set = ws + io;
         let llc = self.machine.llc_bytes as f64;
         // Workspace is written once and read back at least once; when the
@@ -211,16 +229,26 @@ impl CostSource for AnalyticCost {
         (compute_us.max(memory_us) + overhead_us) * self.jitter(&d.name, s)
     }
 
-    fn transform_cost(&self, t: DirectTransform, dims: (usize, usize, usize)) -> f64 {
+    fn transform_cost(&self, t: ReprTransform, dims: (usize, usize, usize)) -> f64 {
         let elems = (dims.0 * dims.1 * dims.2) as f64;
-        // Specialized loops (planar↔interleaved, pack/unpack) stream well;
-        // generic permutations stride badly on one side.
-        let elems_per_cycle = match t.name {
-            "chw_to_hwc" | "hwc_to_chw" | "pack_c4" | "unpack_c4" | "pack_c8" | "unpack_c8" => 2.0,
-            _ => 0.75,
+        // Throughput class and bytes moved per element, by edge kind:
+        // specialized f32 loops (planar↔interleaved, pack/unpack) stream
+        // well, generic permutations stride badly on one side; quantize
+        // pays a range-calibration scan on top of the convert pass;
+        // int8 permutations move a quarter of the bytes.
+        let (elems_per_cycle, bytes_per_elem) = match t {
+            ReprTransform::Layout(d) => match d.name {
+                "chw_to_hwc" | "hwc_to_chw" | "pack_c4" | "unpack_c4" | "pack_c8" | "unpack_c8" => {
+                    (2.0, 8.0)
+                }
+                _ => (0.75, 8.0),
+            },
+            ReprTransform::LayoutI8(_) => (0.75, 2.0),
+            ReprTransform::Quantize(_) => (0.8, 6.0),
+            ReprTransform::Dequantize(_) => (1.5, 5.0),
         };
         let compute_us = elems / (self.machine.freq_ghz * 1e9 * elems_per_cycle) * 1e6;
-        let memory_us = elems * 8.0 / (self.machine.bandwidth_gbs * 1e9) * 1e6;
+        let memory_us = elems * bytes_per_elem / (self.machine.bandwidth_gbs * 1e9) * 1e6;
         compute_us.max(memory_us) + 2.0
     }
 
@@ -230,7 +258,7 @@ impl CostSource for AnalyticCost {
     fn cache_key(&self) -> String {
         let m = &self.machine;
         format!(
-            "analytic:{}:v{}c{}f{}l{}b{}fma{}e{}:t{}",
+            "analytic:{}:v{}c{}f{}l{}b{}fma{}e{}q{}:t{}",
             m.name,
             m.vector_width,
             m.cores,
@@ -239,6 +267,7 @@ impl CostSource for AnalyticCost {
             m.bandwidth_gbs,
             m.fma_per_cycle,
             m.blas_efficiency,
+            m.int8_speedup,
             self.threads,
         )
     }
@@ -368,11 +397,52 @@ mod tests {
     #[test]
     fn transform_costs_scale_with_size_and_favour_specialized_loops() {
         let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
-        let hot = DIRECT_TRANSFORMS.iter().find(|t| t.name == "chw_to_hwc").unwrap();
-        let cold = DIRECT_TRANSFORMS.iter().find(|t| t.name == "chw_to_hcw").unwrap();
-        let small = cost.transform_cost(*hot, (64, 28, 28));
-        let big = cost.transform_cost(*hot, (256, 56, 56));
+        let hot = ReprTransform::Layout(
+            *DIRECT_TRANSFORMS.iter().find(|t| t.name == "chw_to_hwc").unwrap(),
+        );
+        let cold = ReprTransform::Layout(
+            *DIRECT_TRANSFORMS.iter().find(|t| t.name == "chw_to_hcw").unwrap(),
+        );
+        let small = cost.transform_cost(hot, (64, 28, 28));
+        let big = cost.transform_cost(hot, (256, 56, 56));
         assert!(big > small);
-        assert!(cost.transform_cost(*cold, (256, 56, 56)) > big);
+        assert!(cost.transform_cost(cold, (256, 56, 56)) > big);
+    }
+
+    #[test]
+    fn quantize_edges_are_priced_like_conversions_not_convolutions() {
+        use pbqp_dnn_tensor::Layout;
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let dims = (96, 27, 27);
+        let q = cost.transform_cost(ReprTransform::Quantize(Layout::Chw), dims);
+        let dq = cost.transform_cost(ReprTransform::Dequantize(Layout::Chw), dims);
+        let layout = cost.transform_cost(
+            ReprTransform::Layout(
+                *DIRECT_TRANSFORMS.iter().find(|t| t.name == "chw_to_hwc").unwrap(),
+            ),
+            dims,
+        );
+        assert!(q > 0.0 && dq > 0.0);
+        // Same order of magnitude as a layout pass — cheap relative to a
+        // large convolution, so big layers can afford the round trip.
+        assert!(q < layout * 20.0 && dq < layout * 20.0);
+        let reg = reg();
+        let s = ConvScenario::new(96, 27, 27, 1, 5, 256);
+        let conv = cost_of(&reg, &cost, "im2col_packed_nn", &s);
+        assert!(q + dq < conv / 10.0, "edges {q}+{dq} vs conv {conv}");
+    }
+
+    #[test]
+    fn int8_candidates_undercut_their_f32_counterparts_on_big_layers() {
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        let reg = Registry::new(mixed_precision_library());
+        for machine in [MachineModel::intel_haswell_like(), MachineModel::arm_a57_like()] {
+            let cost = AnalyticCost::new(machine, 1);
+            // A large strided layer (no Winograd/FFT competition).
+            let s = ConvScenario::new(96, 27, 27, 1, 5, 256);
+            let q = cost_of(&reg, &cost, "qint8_im2col_chw", &s);
+            let f = cost_of(&reg, &cost, "im2col_packed_nn", &s);
+            assert!(q < f, "{}: int8 {q} vs f32 {f}", cost.machine().name);
+        }
     }
 }

@@ -2,8 +2,8 @@ use std::time::Instant;
 
 use pbqp_dnn_graph::ConvScenario;
 use pbqp_dnn_primitives::ConvAlgorithm;
-use pbqp_dnn_tensor::transform::{apply_direct, DirectTransform};
-use pbqp_dnn_tensor::{KernelTensor, Tensor};
+use pbqp_dnn_tensor::transform::{apply_repr_into, quantize_dynamic_into, ReprTransform};
+use pbqp_dnn_tensor::{DType, KernelTensor, Tensor};
 
 use crate::table::CostSource;
 
@@ -54,7 +54,16 @@ impl MeasuredCost {
 impl CostSource for MeasuredCost {
     fn layer_cost(&self, prim: &dyn ConvAlgorithm, scenario: &ConvScenario) -> f64 {
         let s = self.scaled(scenario);
-        let input = Tensor::random(s.c, s.h, s.w, prim.descriptor().input_layout, 0xA11CE);
+        let f32_input = Tensor::random(s.c, s.h, s.w, prim.descriptor().input_layout, 0xA11CE);
+        // Quantized primitives are profiled on quantized activations,
+        // matching what the executor feeds them at run time.
+        let input = if prim.descriptor().input_dtype == DType::I8 {
+            let mut q = Tensor::empty_dtype(DType::I8);
+            quantize_dynamic_into(&f32_input, &mut q);
+            q
+        } else {
+            f32_input
+        };
         let mut kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 0xB0B);
         if s.sparsity_pm > 0 {
             kernel.sparsify(s.sparsity(), 0xC0FFEE);
@@ -72,14 +81,23 @@ impl CostSource for MeasuredCost {
         best * (self.scale * self.scale) as f64
     }
 
-    fn transform_cost(&self, transform: DirectTransform, dims: (usize, usize, usize)) -> f64 {
+    fn transform_cost(&self, transform: ReprTransform, dims: (usize, usize, usize)) -> f64 {
         let (c, h, w) = dims;
         let (h, w) = ((h / self.scale).max(1), (w / self.scale).max(1));
-        let input = Tensor::random(c, h, w, transform.from, 0xDA7A);
+        let from = transform.from();
+        let f32_input = Tensor::random(c, h, w, from.layout, 0xDA7A);
+        let input = if from.dtype == DType::I8 {
+            let mut q = Tensor::empty_dtype(DType::I8);
+            quantize_dynamic_into(&f32_input, &mut q);
+            q
+        } else {
+            f32_input
+        };
+        let mut dst = Tensor::empty_dtype(transform.to().dtype);
         let mut best = f64::INFINITY;
         for _ in 0..self.reps {
             let start = Instant::now();
-            let out = apply_direct(&input, transform.to);
+            let out = apply_repr_into(&input, transform, &mut dst);
             let dt = start.elapsed().as_secs_f64() * 1e6;
             assert!(out.is_ok(), "transform failed: {:?}", out.err());
             best = best.min(dt);
@@ -119,7 +137,21 @@ mod tests {
     #[test]
     fn transform_cost_is_measurable() {
         let prof = MeasuredCost::new(1, 2);
-        let t = DIRECT_TRANSFORMS[0];
+        let t = ReprTransform::Layout(DIRECT_TRANSFORMS[0]);
         assert!(prof.transform_cost(t, (16, 32, 32)) > 0.0);
+        // Quantize/dequantize edges are measurable too.
+        use pbqp_dnn_tensor::Layout;
+        assert!(prof.transform_cost(ReprTransform::Quantize(Layout::Chw), (8, 16, 16)) > 0.0);
+        assert!(prof.transform_cost(ReprTransform::Dequantize(Layout::Hwc), (8, 16, 16)) > 0.0);
+    }
+
+    #[test]
+    fn quantized_primitives_are_profiled_on_quantized_inputs() {
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        let reg = Registry::new(mixed_precision_library());
+        let prof = MeasuredCost::new(1, 1);
+        let s = ConvScenario::new(4, 12, 12, 1, 3, 4);
+        let q = prof.layer_cost(reg.by_name("qint8_im2col_chw").unwrap().as_ref(), &s);
+        assert!(q > 0.0);
     }
 }

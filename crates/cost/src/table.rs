@@ -4,9 +4,9 @@ use std::fmt;
 use pbqp_dnn_graph::{ConvScenario, DnnGraph, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
 use pbqp_dnn_primitives::ConvAlgorithm;
-use pbqp_dnn_tensor::transform::DirectTransform;
+use pbqp_dnn_tensor::transform::ReprTransform;
 
-/// Source of layer and data-layout-transformation costs.
+/// Source of layer and data-transformation costs.
 ///
 /// Implemented by the deterministic [`crate::AnalyticCost`] machine model
 /// and the wall-clock [`crate::MeasuredCost`] profiler. All costs are in
@@ -15,9 +15,10 @@ pub trait CostSource {
     /// Estimated/measured execution time of `prim` on `scenario`.
     fn layer_cost(&self, prim: &dyn ConvAlgorithm, scenario: &ConvScenario) -> f64;
 
-    /// Estimated/measured execution time of one direct layout
-    /// transformation on a tensor of logical dimensions `dims`.
-    fn transform_cost(&self, transform: DirectTransform, dims: (usize, usize, usize)) -> f64;
+    /// Estimated/measured execution time of one direct representation
+    /// transformation (layout conversion, quantize or dequantize) on a
+    /// tensor of logical dimensions `dims`.
+    fn transform_cost(&self, transform: ReprTransform, dims: (usize, usize, usize)) -> f64;
 
     /// A key identifying this source's cost function for plan caching:
     /// two sources with the same key must assign the same cost to every

@@ -32,6 +32,9 @@
 mod blocked;
 mod naive;
 mod packed;
+mod quant;
+
+pub use quant::QuantGemm;
 
 use std::fmt;
 

@@ -1,0 +1,300 @@
+//! Quantized integer GEMM: `C = (A − a_zp)·(B − b_zp)` over `i8` operands
+//! with `i32` accumulation — the int8 counterpart of the crate's `SGEMM`
+//! family, consumed by the quantized `im2` convolution drivers.
+//!
+//! Zero points are folded out algebraically instead of widening the
+//! operands:
+//!
+//! ```text
+//! (A − a_zp)(B − b_zp) = A·B − a_zp·colsum(B) − b_zp·rowsum(A) + a_zp·b_zp·k
+//! ```
+//!
+//! so the hot loop is a plain `i8 × i8 → i32` product; the row/column
+//! sums live in the caller-provided scratch (see
+//! [`QuantGemm::scratch_elems`]), preserving the workspace-planner
+//! contract of the f32 [`crate::Gemm`].
+
+/// A configured quantized GEMM: thread count only (one kernel flavour —
+/// a cache-blocked `i k j` nest).
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_gemm::QuantGemm;
+///
+/// // C(2x2) = A(2x3) · B(3x2) with both zero points at 0.
+/// let a: [i8; 6] = [1, 2, 3, 4, 5, 6];
+/// let b: [i8; 6] = [7, 8, 9, 10, 11, 12];
+/// let mut c = [0i32; 4];
+/// QuantGemm::new().run(2, 2, 3, &a, 0, &b, 0, &mut c);
+/// assert_eq!(c, [58, 64, 139, 154]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantGemm {
+    threads: usize,
+}
+
+/// Block width of the `k` dimension: keeps one A-row strip and the
+/// matching B panel rows in cache.
+const KC: usize = 256;
+
+impl QuantGemm {
+    /// Creates a single-threaded quantized GEMM.
+    pub fn new() -> QuantGemm {
+        QuantGemm { threads: 1 }
+    }
+
+    /// Sets the number of worker threads (minimum 1).
+    pub fn threads(mut self, threads: usize) -> QuantGemm {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// `i32` scratch elements [`QuantGemm::run_with_scratch`] needs for an
+    /// `m × n × k` product: the row sums of `A` and the column sums of
+    /// `B` used by the zero-point correction.
+    pub fn scratch_elems(&self, m: usize, n: usize, _k: usize) -> usize {
+        if m == 0 || n == 0 {
+            return 0;
+        }
+        m + n
+    }
+
+    /// Computes `C = (A − a_zp)·(B − b_zp)`.
+    ///
+    /// `A` is `m × k`, `B` is `k × n`, `C` is `m × n`, all row-major; `C`
+    /// is overwritten. Allocates its correction scratch internally;
+    /// steady-state callers use [`QuantGemm::run_with_scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice is smaller than its operand shape requires.
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
+    pub fn run(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        a_zp: i32,
+        b: &[i8],
+        b_zp: i32,
+        c: &mut [i32],
+    ) {
+        let mut scratch = vec![0i32; self.scratch_elems(m, n, k)];
+        self.run_with_scratch(m, n, k, a, a_zp, b, b_zp, c, &mut scratch);
+    }
+
+    /// [`QuantGemm::run`] with a caller-provided `i32` workspace of at
+    /// least [`QuantGemm::scratch_elems`] elements — the zero-allocation
+    /// path. Scratch contents on entry are irrelevant; results are
+    /// bit-identical to [`QuantGemm::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand slice or `scratch` is too small.
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
+    pub fn run_with_scratch(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        a_zp: i32,
+        b: &[i8],
+        b_zp: i32,
+        c: &mut [i32],
+        scratch: &mut [i32],
+    ) {
+        assert!(a.len() >= m * k, "A too small: {} < {}", a.len(), m * k);
+        assert!(b.len() >= k * n, "B too small: {} < {}", b.len(), k * n);
+        assert!(c.len() >= m * n, "C too small: {} < {}", c.len(), m * n);
+        let need = self.scratch_elems(m, n, k);
+        assert!(scratch.len() >= need, "scratch too small: {} < {need}", scratch.len());
+        if m == 0 || n == 0 {
+            return;
+        }
+
+        let (rowsum, rest) = scratch.split_at_mut(m);
+        let colsum = &mut rest[..n];
+        if b_zp != 0 {
+            for (i, slot) in rowsum.iter_mut().enumerate() {
+                *slot = a[i * k..(i + 1) * k].iter().map(|&v| i32::from(v)).sum();
+            }
+        } else {
+            rowsum.fill(0);
+        }
+        if a_zp != 0 {
+            colsum.fill(0);
+            for p in 0..k {
+                let row = &b[p * n..(p + 1) * n];
+                for (slot, &v) in colsum.iter_mut().zip(row) {
+                    *slot += i32::from(v);
+                }
+            }
+        } else {
+            colsum.fill(0);
+        }
+        let zz = a_zp * b_zp * k as i32;
+
+        let c = &mut c[..m * n];
+        let threads = self.threads.max(1);
+        if threads <= 1 || m < 2 * threads {
+            product_rows(0, m, n, k, a, b, c);
+            correct_rows(0, n, a_zp, b_zp, zz, rowsum, colsum, c);
+            return;
+        }
+        let rows_per = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut c_rest = &mut *c;
+            let mut row0 = 0usize;
+            while !c_rest.is_empty() {
+                let rows = rows_per.min(c_rest.len() / n);
+                let (c_slab, next) = c_rest.split_at_mut(rows * n);
+                c_rest = next;
+                let (rs, cs) = (&*rowsum, &*colsum);
+                let start = row0;
+                scope.spawn(move || {
+                    product_rows(start, rows, n, k, a, b, c_slab);
+                    correct_rows(start, n, a_zp, b_zp, zz, rs, cs, c_slab);
+                });
+                row0 += rows;
+            }
+        });
+    }
+}
+
+/// Raw `i8·i8 → i32` product of `rows` rows of `C` starting at absolute
+/// row `row0`, blocked over `k` in [`KC`] strips.
+fn product_rows(row0: usize, rows: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    c.fill(0);
+    for i in 0..rows {
+        let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for (p, &av) in a_row[k0..k1].iter().enumerate() {
+                if av == 0 {
+                    continue;
+                }
+                let av = i32::from(av);
+                let b_row = &b[(k0 + p) * n..(k0 + p) * n + n];
+                for (slot, &bv) in c_row.iter_mut().zip(b_row) {
+                    *slot += av * i32::from(bv);
+                }
+            }
+        }
+    }
+}
+
+/// Applies the zero-point correction to a slab of `C` rows whose first
+/// absolute row index is `row0`.
+#[allow(clippy::too_many_arguments)]
+fn correct_rows(
+    row0: usize,
+    n: usize,
+    a_zp: i32,
+    b_zp: i32,
+    zz: i32,
+    rowsum: &[i32],
+    colsum: &[i32],
+    c: &mut [i32],
+) {
+    if a_zp == 0 && b_zp == 0 {
+        return;
+    }
+    for (i, c_row) in c.chunks_mut(n).enumerate() {
+        let row_term = b_zp * rowsum[row0 + i] - zz;
+        for (slot, &cs) in c_row.iter_mut().zip(colsum) {
+            *slot -= a_zp * cs + row_term;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_i8(len: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed.max(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as i64 % 255 - 127) as i8
+            })
+            .collect()
+    }
+
+    fn reference(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        a_zp: i32,
+        b: &[i8],
+        b_zp: i32,
+    ) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for p in 0..k {
+                    acc += i64::from(i32::from(a[i * k + p]) - a_zp)
+                        * i64::from(i32::from(b[p * n + j]) - b_zp);
+                }
+                c[i * n + j] = acc as i32;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_reference_across_shapes_zero_points_and_threads() {
+        for (m, n, k) in [(1, 1, 1), (2, 3, 4), (5, 7, 3), (13, 17, 9), (33, 5, 300), (8, 64, 1)] {
+            let a = fill_i8(m * k, 1);
+            let b = fill_i8(k * n, 2);
+            for (a_zp, b_zp) in [(0, 0), (-7, 0), (0, 11), (5, -3), (127, -127)] {
+                let want = reference(m, n, k, &a, a_zp, &b, b_zp);
+                for threads in [1, 3] {
+                    let mut c = vec![99i32; m * n];
+                    QuantGemm::new().threads(threads).run(m, n, k, &a, a_zp, &b, b_zp, &mut c);
+                    assert_eq!(c, want, "m={m} n={n} k={k} zp=({a_zp},{b_zp}) t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_and_reusable() {
+        let (m, n, k) = (19, 23, 40);
+        let a = fill_i8(m * k, 3);
+        let b = fill_i8(k * n, 4);
+        let gemm = QuantGemm::new().threads(2);
+        let mut scratch = vec![0i32; gemm.scratch_elems(m, n, k)];
+        for round in 0..3 {
+            scratch.fill(i32::MIN); // contents must not matter
+            let mut plain = vec![0i32; m * n];
+            gemm.run(m, n, k, &a, 9, &b, -4, &mut plain);
+            let mut ws = vec![round; m * n];
+            gemm.run_with_scratch(m, n, k, &a, 9, &b, -4, &mut ws, &mut scratch);
+            assert_eq!(plain, ws, "round {round}");
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let mut c: Vec<i32> = vec![];
+        QuantGemm::new().run(0, 0, 0, &[], 0, &[], 0, &mut c);
+        // k = 0 with nonzero m, n zeroes C.
+        let mut c2 = vec![5i32; 4];
+        QuantGemm::new().run(2, 2, 0, &[], 1, &[], 2, &mut c2);
+        assert_eq!(c2, [0; 4]);
+    }
+
+    #[test]
+    fn scratch_elems_covers_the_correction_sums() {
+        let g = QuantGemm::new();
+        assert_eq!(g.scratch_elems(4, 6, 100), 10);
+        assert_eq!(g.scratch_elems(0, 6, 100), 0);
+    }
+}

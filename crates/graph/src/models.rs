@@ -348,6 +348,30 @@ pub fn micro_alexnet() -> DnnGraph {
     g
 }
 
+/// A miniature mixed-precision serving chain: one big strided 5×5
+/// convolution (GEMM-bound, no Winograd/FFT candidates because of the
+/// stride — the layer shape that tips to int8 under a mixed-precision
+/// registry) feeding a pointwise tail too small to amortize a
+/// quantize/dequantize round trip. The canonical fixture shared by the
+/// mixed-precision tests, example and benchmark.
+pub fn micro_mixed() -> DnnGraph {
+    let mut g = DnnGraph::new();
+    let data = g.add(Layer::new("data", LayerKind::Input { c: 16, h: 20, w: 20 }));
+    let big = g.add(Layer::new(
+        "conv_big",
+        LayerKind::Conv(ConvScenario::new(16, 20, 20, 2, 5, 32).with_pad(0)),
+    ));
+    let relu = g.add(Layer::new("relu", LayerKind::Relu));
+    let small = g.add(Layer::new(
+        "conv_small",
+        LayerKind::Conv(ConvScenario::new(32, 8, 8, 1, 1, 8).with_pad(0)),
+    ));
+    g.connect(data, big).unwrap();
+    g.connect(big, relu).unwrap();
+    g.connect(relu, small).unwrap();
+    g
+}
+
 /// A GoogleNet-style inception module at miniature scale: fan-out into
 /// 1×1 / 3×3 / 5×5 / pool-proj branches joined by concat — the branching
 /// shape that gives a wavefront scheduler independent nodes to run

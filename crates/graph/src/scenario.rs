@@ -45,7 +45,15 @@ pub struct ConvScenario {
 impl ConvScenario {
     /// Creates a dense, batch-1 scenario with "same"-style default padding
     /// `(k − 1) / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (the default-padding formula `(k − 1) / 2`
+    /// would underflow, and a 0×0 filter is meaningless) or if
+    /// `stride == 0` (the output-size formulas divide by the stride).
     pub fn new(c: usize, h: usize, w: usize, stride: usize, k: usize, m: usize) -> ConvScenario {
+        assert!(k >= 1, "ConvScenario requires a kernel radix k >= 1, got k = 0");
+        assert!(stride >= 1, "ConvScenario requires stride >= 1, got stride = 0");
         ConvScenario { c, h, w, stride, k, m, pad: (k - 1) / 2, sparsity_pm: 0, batch: 1 }
     }
 
@@ -165,6 +173,18 @@ mod tests {
         let s = ConvScenario::new(1, 8, 8, 1, 3, 1).with_sparsity_pm(1500);
         assert_eq!(s.sparsity_pm, 1000);
         assert_eq!(s.sparsity(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel radix k >= 1")]
+    fn zero_kernel_radix_is_rejected() {
+        let _ = ConvScenario::new(3, 8, 8, 1, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride >= 1")]
+    fn zero_stride_is_rejected() {
+        let _ = ConvScenario::new(3, 8, 8, 0, 3, 4);
     }
 
     #[test]

@@ -112,6 +112,13 @@ pub(crate) fn check_args(
             found: input.layout(),
         });
     }
+    if input.dtype() != desc.input_dtype {
+        return Err(PrimitiveError::WrongInputDType {
+            primitive: desc.name.clone(),
+            expected: desc.input_dtype,
+            found: input.dtype(),
+        });
+    }
     if input.dims() != (s.c, s.h, s.w) {
         return Err(PrimitiveError::ShapeMismatch {
             primitive: desc.name.clone(),

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use pbqp_dnn_tensor::Layout;
+use pbqp_dnn_tensor::{DType, Layout, Repr};
 
 /// The six primitive families of §4, plus the sparse §8 extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -122,6 +122,11 @@ pub struct PrimitiveDescriptor {
     pub input_layout: Layout,
     /// Layout produced (`L_out`).
     pub output_layout: Layout,
+    /// Element type consumed (`f32` for the classic library; `i8` for the
+    /// quantized primitives).
+    pub input_dtype: DType,
+    /// Element type produced.
+    pub output_dtype: DType,
     /// SIMD-style lane count the variant is written for (1, 4 or 8).
     pub vector_factor: u8,
     /// Provenance tag: which "library" the routine belongs to (§8 envisions
@@ -145,10 +150,29 @@ impl PrimitiveDescriptor {
             family,
             input_layout,
             output_layout,
+            input_dtype: DType::F32,
+            output_dtype: DType::F32,
             vector_factor: 1,
             library: "pbqp-dnn",
             hint: AlgoHint::Plain,
         }
+    }
+
+    /// Sets the input and output element types (defaults are `f32`).
+    pub fn with_dtypes(mut self, input: DType, output: DType) -> PrimitiveDescriptor {
+        self.input_dtype = input;
+        self.output_dtype = output;
+        self
+    }
+
+    /// The representation consumed: `{L_in, dtype_in}`.
+    pub fn input_repr(&self) -> Repr {
+        Repr { layout: self.input_layout, dtype: self.input_dtype }
+    }
+
+    /// The representation produced: `{L_out, dtype_out}`.
+    pub fn output_repr(&self) -> Repr {
+        Repr { layout: self.output_layout, dtype: self.output_dtype }
     }
 
     /// Sets the vector factor.
@@ -175,7 +199,10 @@ impl fmt::Display for PrimitiveDescriptor {
         write!(
             f,
             "{{{}, {}, {}}} ({})",
-            self.input_layout, self.name, self.output_layout, self.family
+            self.input_repr(),
+            self.name,
+            self.output_repr(),
+            self.family
         )
     }
 }

@@ -2,7 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use pbqp_dnn_graph::ConvScenario;
-use pbqp_dnn_tensor::{Layout, TensorError};
+use pbqp_dnn_tensor::{DType, Layout, TensorError};
 
 /// Errors raised when executing a convolution primitive.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +24,16 @@ pub enum PrimitiveError {
         /// Layout that was supplied.
         found: Layout,
     },
+    /// Input tensor element type differs from the primitive's declared
+    /// input dtype (e.g. an f32 tensor handed to an int8 kernel).
+    WrongInputDType {
+        /// Primitive name.
+        primitive: String,
+        /// Element type the primitive consumes.
+        expected: DType,
+        /// Element type that was supplied.
+        found: DType,
+    },
     /// Input or kernel dimensions disagree with the scenario.
     ShapeMismatch {
         /// Primitive name.
@@ -43,6 +53,9 @@ impl fmt::Display for PrimitiveError {
             }
             PrimitiveError::WrongInputLayout { primitive, expected, found } => {
                 write!(f, "primitive `{primitive}` consumes {expected}, input is {found}")
+            }
+            PrimitiveError::WrongInputDType { primitive, expected, found } => {
+                write!(f, "primitive `{primitive}` consumes {expected} storage, input is {found}")
             }
             PrimitiveError::ShapeMismatch { primitive, detail } => {
                 write!(f, "primitive `{primitive}`: {detail}")

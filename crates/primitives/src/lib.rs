@@ -41,6 +41,7 @@ mod fft_conv;
 mod im2;
 mod kn2;
 mod pointwise;
+mod quantized;
 pub mod reference;
 pub mod registry;
 mod sparse;

@@ -1,0 +1,429 @@
+//! Quantized (int8) convolution primitives — the precision axis of the
+//! selection space.
+//!
+//! These routines consume `i8` activations (affine per-tensor
+//! quantization), multiply against the kernel's cached symmetric int8
+//! image ([`pbqp_dnn_tensor::QuantizedKernel`], built once at
+//! schedule-compile time), accumulate in `i32`, and requantize the result
+//! dynamically to `i8` output. To the optimizer they are ordinary
+//! candidates: `{CHW·i8, P, CHW·i8}` triples whose boundary with f32
+//! layers is paid for by quantize/dequantize DT edges, exactly as layout
+//! disagreements are paid for by layout transforms (§3.1).
+//!
+//! Two algorithm shapes mirror the f32 library:
+//!
+//! * **im2col** — int8 Toeplitz patch matrix plus one [`QuantGemm`] call;
+//! * **direct** — six-deep loop nest with `i32` accumulators, in planar
+//!   and interleaved variants.
+//!
+//! All scratch (patch matrix, accumulators, GEMM correction sums) is
+//! carved from the [`Workspace`]'s `i8`/`i32` arenas, so the zero-alloc
+//! steady-state contract of the f32 primitives carries over unchanged.
+
+use pbqp_dnn_gemm::QuantGemm;
+use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_tensor::{DType, KernelTensor, Layout, QuantParams, Tensor};
+
+use crate::algorithm::check_args;
+use crate::{
+    AlgoHint, ConvAlgorithm, Family, PrimitiveDescriptor, PrimitiveError, Workspace, WorkspaceReq,
+};
+
+/// Requantizes an `i32` accumulator tensor (`real = acc · eff_scale`) to
+/// symmetric per-tensor `i8`, returning the output parameters.
+///
+/// The range is calibrated from the accumulator itself, so the whole int8
+/// layer is self-contained and deterministic: same inputs, same codes.
+fn requantize_params(acc: &[i32], eff_scale: f32) -> (QuantParams, f32) {
+    let maxabs = acc.iter().fold(0i32, |m, &v| m.max(v.abs()));
+    if maxabs == 0 {
+        return (QuantParams { scale: eff_scale.max(f32::MIN_POSITIVE), zero_point: 0 }, 0.0);
+    }
+    let scale = maxabs as f32 * eff_scale / 127.0;
+    let factor = 127.0 / maxabs as f32;
+    (QuantParams { scale, zero_point: 0 }, factor)
+}
+
+/// Quantized im2col convolution: `{CHW·i8, qint8_im2col_chw, CHW·i8}`.
+///
+/// Builds the `(C·K²) × (OH·OW)` patch matrix in `i8` (zero padding is
+/// the input's zero point, i.e. real `0.0`), multiplies the cached int8
+/// kernel image against it with [`QuantGemm`] (the activation zero point
+/// folds out via the GEMM's correction sums), and requantizes the `i32`
+/// result dynamically.
+pub(crate) struct QuantIm2col {
+    desc: PrimitiveDescriptor,
+}
+
+impl QuantIm2col {
+    pub(crate) fn new() -> QuantIm2col {
+        QuantIm2col {
+            desc: PrimitiveDescriptor::new(
+                "qint8_im2col_chw",
+                Family::Im2,
+                Layout::Chw,
+                Layout::Chw,
+            )
+            .with_dtypes(DType::I8, DType::I8)
+            .with_library("pbqp-dnn-int8")
+            .with_hint(AlgoHint::Gemm { efficiency: 0.65, calls: 1 }),
+        }
+    }
+
+    /// `(patch_i8, acc_i32, gemm_i32)` scratch partition.
+    fn scratch_parts(s: &ConvScenario) -> (usize, usize, usize) {
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let ckk = s.c * s.k * s.k;
+        let gemm = QuantGemm::new();
+        (ckk * oh * ow, s.m * oh * ow, gemm.scratch_elems(s.m, oh * ow, ckk))
+    }
+}
+
+impl ConvAlgorithm for QuantIm2col {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, _scenario: &ConvScenario) -> bool {
+        true
+    }
+
+    fn workspace_elems(&self, s: &ConvScenario) -> usize {
+        // In f32-equivalent elements (4 bytes each): the i8 patch matrix
+        // counts a quarter, the i32 accumulators count full.
+        let (patch, acc, gemm) = Self::scratch_parts(s);
+        patch.div_ceil(4) + acc + gemm
+    }
+
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        let (patch, acc, gemm) = Self::scratch_parts(s);
+        WorkspaceReq::quantized(patch, acc + gemm)
+    }
+
+    fn execute_into(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
+        check_args(&self.desc, true, input, kernel, s)?;
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let ckk = s.c * s.k * s.k;
+        let qk = kernel.quantized();
+        let in_params = input.qparams();
+        let zp = in_params.zero_point as i8;
+
+        let (patch_elems, acc_elems, gemm_elems) = Self::scratch_parts(s);
+        let q_mark = ws.quants.mark();
+        let a_mark = ws.accums.mark();
+        let [patch] = ws.quants.take([patch_elems]);
+        let [acc, gemm_scratch] = ws.accums.take([acc_elems, gemm_elems]);
+
+        // Patch matrix in im2col order: row (c, i, j), column (y, x).
+        // Out-of-image taps are the zero point — real 0.0 — so the GEMM's
+        // zero-point correction cancels them exactly.
+        let src = input.data_i8();
+        let (h, w) = (s.h, s.w);
+        let cols = oh * ow;
+        for c in 0..s.c {
+            let plane = &src[c * h * w..(c + 1) * h * w];
+            for i in 0..s.k {
+                for j in 0..s.k {
+                    let r = (c * s.k + i) * s.k + j;
+                    let row = &mut patch[r * cols..(r + 1) * cols];
+                    for y in 0..oh {
+                        let iy = (y * s.stride + i) as isize - s.pad as isize;
+                        let in_row = (iy >= 0 && iy < h as isize)
+                            .then(|| &plane[iy as usize * w..(iy as usize + 1) * w]);
+                        for x in 0..ow {
+                            let ix = (x * s.stride + j) as isize - s.pad as isize;
+                            row[y * ow + x] = match (&in_row, ix >= 0 && ix < w as isize) {
+                                (Some(r), true) => r[ix as usize],
+                                _ => zp,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+
+        // Raw product; the activation zero point folds out afterwards via
+        // the kernel's schedule-time filter sums — C = W·(P − zp) =
+        // W·P − zp·Σ(W row) — so no per-run rescan of the weight matrix.
+        QuantGemm::new().threads(threads).run_with_scratch(
+            s.m,
+            cols,
+            ckk,
+            &qk.data,
+            0,
+            patch,
+            0,
+            acc,
+            gemm_scratch,
+        );
+        if in_params.zero_point != 0 {
+            for (mi, plane) in acc.chunks_mut(cols).enumerate() {
+                let corr = in_params.zero_point * qk.filter_sums[mi];
+                for v in plane {
+                    *v -= corr;
+                }
+            }
+        }
+
+        // Dynamic requantization: real = acc · (s_in · s_w).
+        let (params, factor) = requantize_params(acc, in_params.scale * qk.scale);
+        out.reuse_as_dtype(s.m, oh, ow, Layout::Chw, DType::I8);
+        out.set_qparams(params);
+        for (slot, &v) in out.data_i8_mut().iter_mut().zip(acc.iter()) {
+            *slot = (v as f32 * factor).round().clamp(-127.0, 127.0) as i8;
+        }
+
+        ws.quants.release(q_mark);
+        ws.accums.release(a_mark);
+        Ok(())
+    }
+}
+
+/// Loop order of a [`QuantDirect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QuantDirectLayout {
+    /// Planar `M, Y, X, C, K, K` nest over CHW·i8.
+    Chw,
+    /// Interleaved `Y, X, K, K, C, M`-flavoured nest over HWC·i8.
+    Hwc,
+}
+
+/// Quantized direct convolution: a six-deep loop nest with `i32`
+/// accumulators, no patch materialization — the low-memory int8 option.
+pub(crate) struct QuantDirect {
+    desc: PrimitiveDescriptor,
+}
+
+impl QuantDirect {
+    pub(crate) fn new(layout: QuantDirectLayout) -> QuantDirect {
+        let (name, l) = match layout {
+            QuantDirectLayout::Chw => ("qint8_direct_chw", Layout::Chw),
+            QuantDirectLayout::Hwc => ("qint8_direct_hwc", Layout::Hwc),
+        };
+        QuantDirect {
+            desc: PrimitiveDescriptor::new(name, Family::Direct, l, l)
+                .with_dtypes(DType::I8, DType::I8)
+                .with_library("pbqp-dnn-int8")
+                .with_hint(AlgoHint::Loops { quality: 0.33 }),
+        }
+    }
+}
+
+impl ConvAlgorithm for QuantDirect {
+    fn descriptor(&self) -> &PrimitiveDescriptor {
+        &self.desc
+    }
+
+    fn supports(&self, _scenario: &ConvScenario) -> bool {
+        true
+    }
+
+    fn workspace_elems(&self, s: &ConvScenario) -> usize {
+        s.m * s.out_h() * s.out_w()
+    }
+
+    fn workspace_req(&self, s: &ConvScenario) -> WorkspaceReq {
+        WorkspaceReq::quantized(0, s.m * s.out_h() * s.out_w())
+    }
+
+    fn execute_into(
+        &self,
+        input: &Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        _threads: usize,
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
+        check_args(&self.desc, true, input, kernel, s)?;
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let qk = kernel.quantized();
+        let in_params = input.qparams();
+        let zp = in_params.zero_point;
+        let src = input.data_i8();
+        let dims = input.dims();
+        let layout = input.layout();
+        let ckk = s.c * s.k * s.k;
+
+        let mark = ws.accums.mark();
+        let [acc] = ws.accums.take([s.m * oh * ow]);
+        // Accumulate (q − zp) · w directly; taps outside the image are the
+        // zero point and contribute nothing, so they are simply skipped.
+        for m in 0..s.m {
+            let w_taps = &qk.data[m * ckk..(m + 1) * ckk];
+            let plane = &mut acc[m * oh * ow..(m + 1) * oh * ow];
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut sum = 0i32;
+                    for c in 0..s.c {
+                        for i in 0..s.k {
+                            let iy = (y * s.stride + i) as isize - s.pad as isize;
+                            if iy < 0 || iy >= s.h as isize {
+                                continue;
+                            }
+                            for j in 0..s.k {
+                                let ix = (x * s.stride + j) as isize - s.pad as isize;
+                                if ix < 0 || ix >= s.w as isize {
+                                    continue;
+                                }
+                                let q = i32::from(
+                                    src[layout.offset(dims, c, iy as usize, ix as usize)],
+                                );
+                                let wq = i32::from(w_taps[(c * s.k + i) * s.k + j]);
+                                sum += (q - zp) * wq;
+                            }
+                        }
+                    }
+                    plane[y * ow + x] = sum;
+                }
+            }
+        }
+
+        let (params, factor) = requantize_params(acc, in_params.scale * qk.scale);
+        let out_layout = self.desc.output_layout;
+        out.reuse_as_dtype(s.m, oh, ow, out_layout, DType::I8);
+        out.set_qparams(params);
+        let out_dims = (s.m, oh, ow);
+        let data = out.data_i8_mut();
+        for m in 0..s.m {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let q = (acc[(m * oh + y) * ow + x] as f32 * factor)
+                        .round()
+                        .clamp(-127.0, 127.0) as i8;
+                    data[out_layout.offset(out_dims, m, y, x)] = q;
+                }
+            }
+        }
+        ws.accums.release(mark);
+        Ok(())
+    }
+}
+
+/// All quantized primitives for the registry extension.
+pub(crate) fn all() -> Vec<Box<dyn ConvAlgorithm>> {
+    vec![
+        Box::new(QuantIm2col::new()),
+        Box::new(QuantDirect::new(QuantDirectLayout::Chw)),
+        Box::new(QuantDirect::new(QuantDirectLayout::Hwc)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sum2d_reference;
+    use pbqp_dnn_tensor::transform::quantize_dynamic_into;
+
+    fn scenarios() -> Vec<ConvScenario> {
+        vec![
+            ConvScenario::new(3, 8, 9, 1, 3, 4),
+            ConvScenario::new(5, 9, 7, 2, 3, 3),
+            ConvScenario::new(2, 12, 12, 4, 5, 6).with_pad(0),
+            ConvScenario::new(7, 6, 6, 1, 1, 5).with_pad(0),
+            ConvScenario::new(4, 11, 11, 1, 5, 3),
+        ]
+    }
+
+    /// Quantized input for a scenario, plus the f32 original.
+    fn quantized_input(s: &ConvScenario, layout: Layout, seed: u64) -> (Tensor, Tensor) {
+        let f = Tensor::random(s.c, s.h, s.w, layout, seed);
+        let mut q = Tensor::empty_dtype(DType::I8);
+        quantize_dynamic_into(&f, &mut q);
+        (f, q)
+    }
+
+    #[test]
+    fn quantized_primitives_track_the_f32_reference() {
+        for prim in all() {
+            for s in scenarios() {
+                let lin = prim.descriptor().input_layout;
+                let (f, q) = quantized_input(&s, lin, 21);
+                let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 22);
+                let got = prim.execute(&q, &kernel, &s, 1).unwrap();
+                assert_eq!(got.dtype(), DType::I8, "{}", prim.descriptor().name);
+                assert_eq!(got.layout(), prim.descriptor().output_layout);
+                let want = sum2d_reference(&f, &kernel, &s);
+                let diff = got.max_abs_diff(&want).unwrap();
+                // Error budget: input and weight quantization each add
+                // ~scale/2 per tap, requantization another half step.
+                let taps = (s.c * s.k * s.k) as f32;
+                let tol = taps * (q.qparams().scale + kernel.quantized().scale) * 0.5
+                    + got.qparams().scale;
+                assert!(diff <= tol, "{} on {s}: diff {diff} > tol {tol}", prim.descriptor().name);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_and_direct_agree_exactly() {
+        // Both compute identical i32 accumulators, so after identical
+        // requantization the codes must match bit for bit.
+        let s = ConvScenario::new(4, 10, 10, 1, 3, 5);
+        let (_, q) = quantized_input(&s, Layout::Chw, 31);
+        let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 32);
+        let a = QuantIm2col::new().execute(&q, &kernel, &s, 1).unwrap();
+        let b = QuantDirect::new(QuantDirectLayout::Chw).execute(&q, &kernel, &s, 1).unwrap();
+        assert_eq!(a.data_i8(), b.data_i8());
+        assert_eq!(a.qparams(), b.qparams());
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let s = ConvScenario::new(6, 13, 13, 1, 3, 8);
+        for prim in all() {
+            let (_, q) = quantized_input(&s, prim.descriptor().input_layout, 41);
+            let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 42);
+            let one = prim.execute(&q, &kernel, &s, 1).unwrap();
+            let four = prim.execute(&q, &kernel, &s, 4).unwrap();
+            assert_eq!(one.data_i8(), four.data_i8(), "{}", prim.descriptor().name);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_exact_and_capacity_stable() {
+        let s = ConvScenario::new(5, 9, 9, 1, 3, 7);
+        for prim in all() {
+            let (_, q) = quantized_input(&s, prim.descriptor().input_layout, 51);
+            let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 52);
+            let fresh = prim.execute(&q, &kernel, &s, 1).unwrap();
+            let mut ws = Workspace::with_req(prim.workspace_req(&s));
+            let mut out = Tensor::empty_dtype(DType::I8);
+            for round in 0..3 {
+                ws.reset();
+                prim.execute_into(&q, &kernel, &s, 1, &mut ws, &mut out).unwrap();
+                assert_eq!(out.data_i8(), fresh.data_i8(), "round {round}");
+            }
+            // The declared requirement covers the serial path exactly: no
+            // arena may have grown past its pre-sized capacity.
+            let req = prim.workspace_req(&s);
+            assert!(
+                ws.quants.capacity() <= req.i8_elems.max(1)
+                    && ws.accums.capacity() <= req.i32_elems,
+                "{}: workspace_req under-reports ({} i8 / {} i32 used, {} / {} declared)",
+                prim.descriptor().name,
+                ws.quants.capacity(),
+                ws.accums.capacity(),
+                req.i8_elems,
+                req.i32_elems,
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_f32_input() {
+        let s = ConvScenario::new(2, 5, 5, 1, 3, 2);
+        let f = Tensor::random(s.c, s.h, s.w, Layout::Chw, 61);
+        let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 62);
+        let err = QuantIm2col::new().execute(&f, &kernel, &s, 1).unwrap_err();
+        assert!(matches!(err, PrimitiveError::WrongInputDType { .. }));
+    }
+}

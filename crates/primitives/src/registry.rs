@@ -12,10 +12,11 @@ use std::sync::Arc;
 use pbqp_dnn_graph::ConvScenario;
 
 use crate::{
-    direct, fft_conv, im2, kn2, pointwise, reference, sparse, winograd, ConvAlgorithm, Family,
+    direct, fft_conv, im2, kn2, pointwise, quantized, reference, sparse, winograd, ConvAlgorithm,
+    Family,
 };
 
-/// Builds the complete primitive library (70+ routines).
+/// Builds the complete f32 primitive library (70+ routines).
 pub fn full_library() -> Vec<Arc<dyn ConvAlgorithm>> {
     let mut prims: Vec<Box<dyn ConvAlgorithm>> = Vec::new();
     prims.push(Box::new(reference::Sum2d::new()));
@@ -27,6 +28,16 @@ pub fn full_library() -> Vec<Arc<dyn ConvAlgorithm>> {
     prims.extend(fft_conv::all());
     prims.extend(sparse::all());
     prims.into_iter().map(Arc::from).collect()
+}
+
+/// [`full_library`] plus the int8 quantized primitives: the
+/// mixed-precision selection space. Int8 candidates only enter the PBQP
+/// instance when the caller opts into this library, so f32-only
+/// deployments are byte-for-byte unaffected.
+pub fn mixed_precision_library() -> Vec<Arc<dyn ConvAlgorithm>> {
+    let mut prims = full_library();
+    prims.extend(quantized::all().into_iter().map(Arc::from));
+    prims
 }
 
 /// A name-indexed view over a primitive library.
@@ -167,6 +178,25 @@ mod tests {
                 p.descriptor().name
             );
         }
+    }
+
+    #[test]
+    fn mixed_precision_library_extends_f32_with_int8_candidates() {
+        use pbqp_dnn_tensor::DType;
+        let f32_only = full_library();
+        let mixed = Registry::new(mixed_precision_library());
+        assert!(mixed.len() > f32_only.len());
+        assert!(f32_only.iter().all(|p| p.descriptor().input_dtype == DType::F32));
+        let int8: Vec<_> =
+            mixed.primitives().iter().filter(|p| p.descriptor().input_dtype == DType::I8).collect();
+        assert_eq!(int8.len(), 3);
+        for p in int8 {
+            assert_eq!(p.descriptor().output_dtype, DType::I8);
+            // Int8 candidates join the usual scenario enumeration.
+            let s = ConvScenario::new(96, 27, 27, 1, 5, 256);
+            assert!(p.supports(&s));
+        }
+        assert!(mixed.by_name("qint8_im2col_chw").is_some());
     }
 
     #[test]

@@ -164,14 +164,14 @@ impl ConvAlgorithm for SparseConv {
                 let ckk = s.c * s.k * s.k;
                 WorkspaceReq {
                     f32_elems: ckk * s.out_h() * s.out_w() + s.m * ckk,
-                    complex_elems: 0,
                     index_elems: (s.m + 1) + s.m * ckk,
+                    ..WorkspaceReq::ZERO
                 }
             }
             SparseVariant::Kn2row => WorkspaceReq {
                 f32_elems: s.m * s.h * s.w + 2 * s.m * s.c,
-                complex_elems: 0,
                 index_elems: (s.m + 1) + s.m * s.c,
+                ..WorkspaceReq::ZERO
             },
         }
     }

@@ -53,11 +53,18 @@ pub struct WorkspaceReq {
     pub complex_elems: usize,
     /// `usize` elements carved from [`Workspace::indices`].
     pub index_elems: usize,
+    /// `i8` elements carved from [`Workspace::quants`] (quantized patch
+    /// matrices and repacked int8 operands).
+    pub i8_elems: usize,
+    /// `i32` elements carved from [`Workspace::accums`] (int8-GEMM
+    /// accumulators and correction sums).
+    pub i32_elems: usize,
 }
 
 impl WorkspaceReq {
     /// No scratch at all.
-    pub const ZERO: WorkspaceReq = WorkspaceReq { f32_elems: 0, complex_elems: 0, index_elems: 0 };
+    pub const ZERO: WorkspaceReq =
+        WorkspaceReq { f32_elems: 0, complex_elems: 0, index_elems: 0, i8_elems: 0, i32_elems: 0 };
 
     /// A requirement of `elems` f32 elements only.
     pub fn f32s(elems: usize) -> WorkspaceReq {
@@ -69,6 +76,12 @@ impl WorkspaceReq {
         WorkspaceReq { complex_elems: elems, ..WorkspaceReq::ZERO }
     }
 
+    /// A requirement of `i8s` quantized plus `i32s` accumulator elements
+    /// (the int8 execution path's shape).
+    pub fn quantized(i8s: usize, i32s: usize) -> WorkspaceReq {
+        WorkspaceReq { i8_elems: i8s, i32_elems: i32s, ..WorkspaceReq::ZERO }
+    }
+
     /// Element-wise maximum: a workspace satisfying the result satisfies
     /// both inputs *sequentially* (with a reset in between).
     pub fn max(self, other: WorkspaceReq) -> WorkspaceReq {
@@ -76,6 +89,8 @@ impl WorkspaceReq {
             f32_elems: self.f32_elems.max(other.f32_elems),
             complex_elems: self.complex_elems.max(other.complex_elems),
             index_elems: self.index_elems.max(other.index_elems),
+            i8_elems: self.i8_elems.max(other.i8_elems),
+            i32_elems: self.i32_elems.max(other.i32_elems),
         }
     }
 
@@ -85,6 +100,8 @@ impl WorkspaceReq {
             f32_elems: self.f32_elems + other.f32_elems,
             complex_elems: self.complex_elems + other.complex_elems,
             index_elems: self.index_elems + other.index_elems,
+            i8_elems: self.i8_elems + other.i8_elems,
+            i32_elems: self.i32_elems + other.i32_elems,
         }
     }
 }
@@ -105,6 +122,10 @@ pub struct Workspace {
     pub complexes: Arena<Complex>,
     /// Scratch for CSR index structures (sparse primitives).
     pub indices: Arena<usize>,
+    /// Scratch for quantized (`i8`) patch matrices and operands.
+    pub quants: Arena<i8>,
+    /// Scratch for int8-GEMM `i32` accumulators.
+    pub accums: Arena<i32>,
 }
 
 impl Workspace {
@@ -125,6 +146,8 @@ impl Workspace {
         self.reals.reserve(req.f32_elems);
         self.complexes.reserve(req.complex_elems);
         self.indices.reserve(req.index_elems);
+        self.quants.reserve(req.i8_elems);
+        self.accums.reserve(req.i32_elems);
     }
 
     /// Rewinds all arenas; capacity is retained.
@@ -132,6 +155,8 @@ impl Workspace {
         self.reals.reset();
         self.complexes.reset();
         self.indices.reset();
+        self.quants.reset();
+        self.accums.reset();
     }
 
     /// Carves zero-filled `f32` slices (see [`Arena::take`]).
@@ -152,20 +177,38 @@ mod tests {
     #[test]
     fn req_algebra() {
         let a = WorkspaceReq::f32s(10);
-        let b = WorkspaceReq { f32_elems: 4, complex_elems: 8, index_elems: 2 };
-        assert_eq!(a.max(b), WorkspaceReq { f32_elems: 10, complex_elems: 8, index_elems: 2 });
-        assert_eq!(a.plus(b), WorkspaceReq { f32_elems: 14, complex_elems: 8, index_elems: 2 });
+        let b =
+            WorkspaceReq { f32_elems: 4, complex_elems: 8, index_elems: 2, ..WorkspaceReq::ZERO };
+        assert_eq!(
+            a.max(b),
+            WorkspaceReq { f32_elems: 10, complex_elems: 8, index_elems: 2, ..WorkspaceReq::ZERO }
+        );
+        assert_eq!(
+            a.plus(b),
+            WorkspaceReq { f32_elems: 14, complex_elems: 8, index_elems: 2, ..WorkspaceReq::ZERO }
+        );
         assert_eq!(WorkspaceReq::ZERO.max(a), a);
         assert_eq!(WorkspaceReq::complexes(3).complex_elems, 3);
+        let q = WorkspaceReq::quantized(6, 9);
+        assert_eq!((q.i8_elems, q.i32_elems), (6, 9));
+        assert_eq!(q.plus(q).i8_elems, 12);
+        assert_eq!(q.max(WorkspaceReq::quantized(2, 20)).i32_elems, 20);
     }
 
     #[test]
     fn workspace_reserve_presizes_all_arenas() {
-        let mut ws =
-            Workspace::with_req(WorkspaceReq { f32_elems: 5, complex_elems: 6, index_elems: 7 });
+        let mut ws = Workspace::with_req(WorkspaceReq {
+            f32_elems: 5,
+            complex_elems: 6,
+            index_elems: 7,
+            i8_elems: 8,
+            i32_elems: 9,
+        });
         assert!(ws.reals.capacity() >= 5);
         assert!(ws.complexes.capacity() >= 6);
         assert!(ws.indices.capacity() >= 7);
+        assert!(ws.quants.capacity() >= 8);
+        assert!(ws.accums.capacity() >= 9);
         // Simultaneous carving from different arenas borrows independently.
         let [f] = ws.reals.take([5]);
         let [i] = ws.indices.take([7]);

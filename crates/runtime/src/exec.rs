@@ -7,8 +7,8 @@ use pbqp_dnn_graph::{ConvScenario, DnnGraph, GraphError, LayerKind, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
 use pbqp_dnn_primitives::{reference::sum2d_reference, ConvAlgorithm, PrimitiveError, Workspace};
 use pbqp_dnn_select::{AssignmentKind, ExecutionPlan};
-use pbqp_dnn_tensor::transform::{apply_direct_into, to_layout_into, DirectTransform};
-use pbqp_dnn_tensor::{KernelTensor, Layout, Tensor, TensorError};
+use pbqp_dnn_tensor::transform::{apply_repr_into, to_layout_into, ReprTransform};
+use pbqp_dnn_tensor::{DType, KernelTensor, Layout, Repr, Tensor, TensorError};
 
 use crate::ops;
 use crate::weights::Weights;
@@ -79,7 +79,7 @@ enum StepOp<'a> {
         h: usize,
         w: usize,
         layout: Layout,
-        chain: &'a [DirectTransform],
+        chain: &'a [ReprTransform],
         conv_base: usize,
     },
     /// A non-conv layer computed directly in its assigned layout.
@@ -92,8 +92,10 @@ struct PredEdge<'a> {
     /// Pooled value-buffer index of the predecessor (holds the
     /// predecessor's *node* index until slot assignment remaps it).
     buf: usize,
-    /// The edge's layout-conversion chain (empty = borrow directly).
-    chain: &'a [DirectTransform],
+    /// The edge's representation-conversion chain — layout hops and any
+    /// quantize/dequantize at mixed-precision boundaries (empty = borrow
+    /// directly).
+    chain: &'a [ReprTransform],
     /// First conversion-buffer index; the chain uses
     /// `conv_base .. conv_base + chain.len()`.
     conv_base: usize,
@@ -108,9 +110,9 @@ struct Step<'a> {
     op: StepOp<'a>,
     /// Pooled value buffer receiving this node's output.
     out_buf: usize,
-    /// Output dims and layout, inferred at compile time (drives buffer
-    /// sizing and lets ops like concat pre-shape their output).
-    out_shape: (usize, usize, usize, Layout),
+    /// Output dims and representation, inferred at compile time (drives
+    /// buffer sizing and lets ops like concat pre-shape their output).
+    out_shape: (usize, usize, usize, Repr),
 }
 
 /// Per-worker execution state: the pooled activation buffers, conversion
@@ -143,29 +145,36 @@ struct Schedule<'a> {
     /// Wavefront levels: indices into `steps` whose nodes have no
     /// dependencies among each other — safe to run concurrently.
     levels: Vec<Vec<usize>>,
-    /// Pooled value-buffer sizes (f32 storage elements). Liveness
-    /// analysis lets nodes whose lifetimes do not overlap share one
-    /// buffer, so this is sized by peak activation memory, not by node
-    /// count.
-    buf_elems: Vec<usize>,
+    /// Pooled value-buffer sizes (storage elements of the slot's dtype).
+    /// Liveness analysis lets nodes whose lifetimes do not overlap share
+    /// one buffer, so this is sized by peak activation memory, not by
+    /// node count; slots are segregated by dtype so a recycled buffer
+    /// never swaps its backing store between runs.
+    buf_elems: Vec<(usize, DType)>,
     /// Conversion-buffer shapes, one per edge-chain hop.
-    conv_shapes: Vec<(usize, usize, usize, Layout)>,
+    conv_shapes: Vec<(usize, usize, usize, Repr)>,
     /// Peak serial primitive scratch across all steps.
     ws_req: pbqp_dnn_primitives::WorkspaceReq,
     /// Pooled buffer holding the network output after a pass.
     last_buf: usize,
+    /// The plan's output conversion for the terminal node (dequantization
+    /// back to f32 when the sink chose a quantized representation);
+    /// intermediate hops stage through `out_conv_base..`.
+    out_chain: &'a [ReprTransform],
+    /// First conversion-buffer index of the output chain's staging.
+    out_conv_base: usize,
 }
 
 impl<'a> Schedule<'a> {
     fn compile(ex: &Executor<'a>) -> Result<Schedule<'a>, RuntimeError> {
         let order = ex.graph.topo_order()?;
-        let chains: HashMap<(usize, usize), &[DirectTransform]> = ex
+        let chains: HashMap<(usize, usize), &[ReprTransform]> = ex
             .plan
             .edges
             .iter()
             .map(|e| ((e.from.index(), e.to.index()), e.chain.as_slice()))
             .collect();
-        let input_chains: HashMap<usize, &[DirectTransform]> =
+        let input_chains: HashMap<usize, &[ReprTransform]> =
             ex.plan.input_conversion.iter().map(|(n, c, _)| (n.index(), c.as_slice())).collect();
 
         let mut steps = Vec::with_capacity(order.len());
@@ -174,7 +183,7 @@ impl<'a> Schedule<'a> {
         // The graph's own shape inference (one source of truth for the
         // pool/FC/concat output rules) drives all buffer sizing.
         let shapes = ex.graph.infer_shapes()?;
-        let mut conv_shapes: Vec<(usize, usize, usize, Layout)> = Vec::new();
+        let mut conv_shapes: Vec<(usize, usize, usize, Repr)> = Vec::new();
         let mut ws_req = pbqp_dnn_primitives::WorkspaceReq::ZERO;
         for (step_ix, &node) in order.iter().enumerate() {
             let layer = ex.graph.layer(node);
@@ -187,7 +196,7 @@ impl<'a> Schedule<'a> {
                     let conv_base = conv_shapes.len();
                     let (pc, ph, pw) = shapes[p.index()];
                     for hop in chain {
-                        conv_shapes.push((pc, ph, pw, hop.to));
+                        conv_shapes.push((pc, ph, pw, hop.to()));
                     }
                     PredEdge { buf: p.index(), chain, conv_base }
                 })
@@ -204,21 +213,27 @@ impl<'a> Schedule<'a> {
                         .conv_kernel(node)
                         .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?;
                     ws_req = ws_req.max(prim.workspace_req(s));
-                    let layout = prim.descriptor().output_layout;
+                    if prim.descriptor().input_dtype == DType::I8 {
+                        // Pre-quantize the weights at schedule-compile
+                        // time: the serving loop reads the cached int8
+                        // image and never touches the f32 taps.
+                        let _ = kernel.quantized();
+                    }
+                    let repr = prim.descriptor().output_repr();
                     let op = StepOp::Conv { prim: prim.as_ref(), kernel, scenario: s };
-                    (op, (s.m, s.out_h(), s.out_w(), layout))
+                    (op, (s.m, s.out_h(), s.out_w(), repr))
                 }
                 (LayerKind::Input { c, h, w }, AssignmentKind::Dummy { layout }) => {
                     let chain = input_chains.get(&node.index()).copied().unwrap_or(&[]);
                     let conv_base = conv_shapes.len();
                     if chain.len() > 1 {
                         for hop in &chain[..chain.len() - 1] {
-                            conv_shapes.push((*c, *h, *w, hop.to));
+                            conv_shapes.push((*c, *h, *w, hop.to()));
                         }
                     }
                     let op =
                         StepOp::Input { c: *c, h: *h, w: *w, layout: *layout, chain, conv_base };
-                    (op, (*c, *h, *w, *layout))
+                    (op, (*c, *h, *w, Repr::f32(*layout)))
                 }
                 (kind, AssignmentKind::Dummy { layout }) => {
                     let fc_weights = if let LayerKind::FullyConnected { .. } = kind {
@@ -232,7 +247,7 @@ impl<'a> Schedule<'a> {
                     };
                     let dims = shapes[node.index()];
                     let op = StepOp::Dummy { kind, layout: *layout, fc_weights };
-                    (op, (dims.0, dims.1, dims.2, *layout))
+                    (op, (dims.0, dims.1, dims.2, Repr::f32(*layout)))
                 }
                 (kind, AssignmentKind::Conv { .. }) => {
                     unreachable!("conv assignment on non-conv layer {kind}")
@@ -248,6 +263,20 @@ impl<'a> Schedule<'a> {
         }
 
         let last = *order.last().expect("graph validated as non-empty");
+        let out_chain: &[ReprTransform] = ex
+            .plan
+            .output_conversion
+            .iter()
+            .find(|(n, _, _)| *n == last)
+            .map(|(_, c, _)| c.as_slice())
+            .unwrap_or(&[]);
+        let out_conv_base = conv_shapes.len();
+        if out_chain.len() > 1 {
+            let (c, h, w) = shapes[last.index()];
+            for hop in &out_chain[..out_chain.len() - 1] {
+                conv_shapes.push((c, h, w, hop.to()));
+            }
+        }
 
         // ---- Activation memory plan -------------------------------------
         // A value dies after the last wavefront *level* that reads it
@@ -271,7 +300,7 @@ impl<'a> Schedule<'a> {
         }
 
         let mut node_buf = vec![usize::MAX; ex.graph.len()];
-        let mut buf_elems: Vec<usize> = Vec::new();
+        let mut buf_elems: Vec<(usize, DType)> = Vec::new();
         let mut free: Vec<usize> = Vec::new();
         for (lv, level) in levels.iter().enumerate() {
             for &node in &release_at[lv] {
@@ -279,28 +308,34 @@ impl<'a> Schedule<'a> {
             }
             for &six in level {
                 let node = steps[six].node.index();
-                let (c, h, w, layout) = steps[six].out_shape;
-                let elems = layout.storage_len(c, h, w);
-                // Best fit: smallest free buffer that already holds the
-                // value; otherwise grow the largest free one; otherwise a
-                // new buffer.
+                let (c, h, w, repr) = steps[six].out_shape;
+                let elems = repr.layout.storage_len(c, h, w);
+                // Best fit among free buffers of the SAME dtype (reusing
+                // a slot across dtypes would swap its backing store every
+                // run): smallest that already holds the value; otherwise
+                // grow the largest; otherwise a new buffer.
+                let same_dtype = |b: usize| buf_elems[b].1 == repr.dtype;
                 let pick = free
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &b)| buf_elems[b] >= elems)
-                    .min_by_key(|&(_, &b)| buf_elems[b])
+                    .filter(|&(_, &b)| same_dtype(b) && buf_elems[b].0 >= elems)
+                    .min_by_key(|&(_, &b)| buf_elems[b].0)
                     .map(|(i, _)| i)
                     .or_else(|| {
-                        free.iter().enumerate().max_by_key(|&(_, &b)| buf_elems[b]).map(|(i, _)| i)
+                        free.iter()
+                            .enumerate()
+                            .filter(|&(_, &b)| same_dtype(b))
+                            .max_by_key(|&(_, &b)| buf_elems[b].0)
+                            .map(|(i, _)| i)
                     });
                 let buf = match pick {
                     Some(i) => free.swap_remove(i),
                     None => {
-                        buf_elems.push(0);
+                        buf_elems.push((0, repr.dtype));
                         buf_elems.len() - 1
                     }
                 };
-                buf_elems[buf] = buf_elems[buf].max(elems);
+                buf_elems[buf].0 = buf_elems[buf].0.max(elems);
                 node_buf[node] = buf;
             }
         }
@@ -312,7 +347,39 @@ impl<'a> Schedule<'a> {
         }
 
         let last_buf = node_buf[last.index()];
-        Ok(Schedule { steps, levels, buf_elems, conv_shapes, ws_req, last_buf })
+        Ok(Schedule {
+            steps,
+            levels,
+            buf_elems,
+            conv_shapes,
+            ws_req,
+            last_buf,
+            out_chain,
+            out_conv_base,
+        })
+    }
+
+    /// Delivers the network output into `out`: a plain recycled copy when
+    /// the terminal value is already f32, otherwise the plan's output
+    /// conversion chain (dequantization), staged through the dedicated
+    /// conversion buffers — allocation-free once warmed, like every
+    /// other chain.
+    fn finish_output(&self, bufs: &mut ExecBuffers, out: &mut Tensor) -> Result<(), RuntimeError> {
+        let src = &bufs.values[self.last_buf];
+        match self.out_chain.len() {
+            0 => out.assign_from(src),
+            1 => apply_repr_into(src, self.out_chain[0], out)?,
+            l => {
+                let convs = &mut bufs.convs;
+                for (j, hop) in self.out_chain[..l - 1].iter().enumerate() {
+                    let (done, rest) = convs.split_at_mut(self.out_conv_base + j);
+                    let s: &Tensor = if j == 0 { src } else { &done[self.out_conv_base + j - 1] };
+                    apply_repr_into(s, *hop, &mut rest[0])?;
+                }
+                apply_repr_into(&convs[self.out_conv_base + l - 2], self.out_chain[l - 1], out)?;
+            }
+        }
+        Ok(())
     }
 
     /// Materializes one worker's buffer set, pre-sized so the first run
@@ -321,8 +388,8 @@ impl<'a> Schedule<'a> {
         let values = self
             .buf_elems
             .iter()
-            .map(|&elems| {
-                let mut t = Tensor::empty();
+            .map(|&(elems, dtype)| {
+                let mut t = Tensor::empty_dtype(dtype);
                 t.reserve_storage(elems);
                 t
             })
@@ -330,9 +397,9 @@ impl<'a> Schedule<'a> {
         let convs = self
             .conv_shapes
             .iter()
-            .map(|&(c, h, w, layout)| {
-                let mut t = Tensor::empty();
-                t.reserve_storage(layout.storage_len(c, h, w));
+            .map(|&(c, h, w, repr)| {
+                let mut t = Tensor::empty_dtype(repr.dtype);
+                t.reserve_storage(repr.layout.storage_len(c, h, w));
                 t
             })
             .collect();
@@ -353,7 +420,7 @@ impl<'a> Schedule<'a> {
                 let (done, rest) = convs.split_at_mut(pe.conv_base + j);
                 let src: &Tensor =
                     if j == 0 { &values[pe.buf] } else { &done[pe.conv_base + j - 1] };
-                apply_direct_into(src, hop.to, &mut rest[0])?;
+                apply_repr_into(src, *hop, &mut rest[0])?;
             }
         }
         if let StepOp::Input { chain, conv_base, .. } = &step.op {
@@ -361,7 +428,7 @@ impl<'a> Schedule<'a> {
                 for (j, hop) in chain[..chain.len() - 1].iter().enumerate() {
                     let (done, rest) = convs.split_at_mut(conv_base + j);
                     let src: &Tensor = if j == 0 { input } else { &done[conv_base + j - 1] };
-                    apply_direct_into(src, hop.to, &mut rest[0])?;
+                    apply_repr_into(src, *hop, &mut rest[0])?;
                 }
             }
         }
@@ -413,8 +480,8 @@ impl<'a> Schedule<'a> {
                             to_layout_into(input, *layout, out);
                         }
                     }
-                    1 => apply_direct_into(input, chain[0].to, out)?,
-                    l => apply_direct_into(&convs[conv_base + l - 2], chain[l - 1].to, out)?,
+                    1 => apply_repr_into(input, chain[0], out)?,
+                    l => apply_repr_into(&convs[conv_base + l - 2], chain[l - 1], out)?,
                 }
             }
             StepOp::Dummy { kind, layout, fc_weights } => match kind {
@@ -429,8 +496,8 @@ impl<'a> Schedule<'a> {
                     ops::fully_connected_into(resolve(&step.preds[0]), wts, *out_n, *layout, out);
                 }
                 LayerKind::Concat => {
-                    let (c, h, w, lay) = step.out_shape;
-                    out.reuse_as(c, h, w, lay);
+                    let (c, h, w, repr) = step.out_shape;
+                    out.reuse_as(c, h, w, repr.layout);
                     out.data_mut().fill(0.0);
                     let mut c_base = 0;
                     for pe in &step.preds {
@@ -710,7 +777,7 @@ impl<'a> Executor<'a> {
             } else {
                 schedule.execute_serial(input, par.intra_op, bufs)?;
             }
-            out.assign_from(&bufs.values[schedule.last_buf]);
+            schedule.finish_output(bufs, out)?;
             Ok(())
         })
     }
@@ -766,7 +833,7 @@ impl<'a> Executor<'a> {
             return self.with_buffers(schedule, |bufs| {
                 for (input, out) in inputs.iter().zip(outs.iter_mut()) {
                     schedule.execute_serial(input, par.intra_op, bufs)?;
-                    out.assign_from(&bufs.values[schedule.last_buf]);
+                    schedule.finish_output(bufs, out)?;
                 }
                 Ok(())
             });
@@ -781,7 +848,7 @@ impl<'a> Executor<'a> {
                         self.with_buffers(schedule, |bufs| {
                             for (input, out) in in_chunk.iter().zip(out_chunk.iter_mut()) {
                                 schedule.execute_serial(input, par.intra_op, bufs)?;
-                                out.assign_from(&bufs.values[schedule.last_buf]);
+                                schedule.finish_output(bufs, out)?;
                             }
                             Ok(())
                         })
@@ -999,6 +1066,76 @@ mod tests {
                 assert_eq!(one.data(), out.data(), "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn mixed_precision_plan_executes_end_to_end() {
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        // The big strided conv tips to int8 under the mixed-precision
+        // registry while the pointwise tail stays f32.
+        let net = pbqp_dnn_graph::models::micro_mixed();
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let plan = opt.plan(&net, pbqp_dnn_select::Strategy::Pbqp).unwrap();
+        assert!(plan.is_mixed_precision(), "expected a mixed plan:\n{plan}");
+        assert!(plan.quant_edge_count() >= 2, "expected quant/dequant edges:\n{plan}");
+
+        let weights = Weights::random(&net, 81);
+        let input = Tensor::random(16, 20, 20, Layout::Chw, 82);
+        let oracle = reference_forward(&net, &weights, &input);
+        let exec = Executor::new(&net, &plan, &reg, &weights);
+        let out = exec.run(&input, 1).unwrap();
+        // Int8 error budget: per-tap half-steps across the 16·5·5 = 400
+        // taps of the quantized layer, diluted through the f32 tail.
+        let maxabs = oracle.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let diff = out.max_abs_diff(&oracle).unwrap();
+        assert!(diff < 0.05 * maxabs + 0.05, "diff {diff} vs maxabs {maxabs}");
+
+        // Recycled serving and wavefront modes are bit-identical to the
+        // plain run on the same plan.
+        let mut recycled = Tensor::empty();
+        exec.run_into(&input, &mut recycled, 1).unwrap();
+        assert_eq!(recycled.data(), out.data());
+        let wave = exec.run_with(&input, Parallelism::serial().with_inter_op(4)).unwrap();
+        assert_eq!(wave.data(), out.data());
+        let four = exec.run(&input, 4).unwrap();
+        assert_eq!(four.data(), out.data(), "int8 GEMM threading must stay bit-exact");
+    }
+
+    #[test]
+    fn int8_terminal_layer_still_delivers_f32_output() {
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        // A network ending in the int8-friendly conv: the executor must
+        // apply the plan's output dequantization so callers always get
+        // f32, exactly as before mixed precision existed.
+        let mut g = DnnGraph::new();
+        let data = g.add(Layer::new("data", LayerKind::Input { c: 16, h: 20, w: 20 }));
+        let conv = g.add(Layer::new(
+            "conv",
+            LayerKind::Conv(ConvScenario::new(16, 20, 20, 2, 5, 32).with_pad(0)),
+        ));
+        g.connect(data, conv).unwrap();
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let plan = Optimizer::new(&reg, &cost).plan(&g, pbqp_dnn_select::Strategy::Pbqp).unwrap();
+        assert!(!plan.output_conversion.is_empty(), "precondition: int8 sink\n{plan}");
+        let weights = Weights::random(&g, 91);
+        let input = Tensor::random(16, 20, 20, Layout::Chw, 92);
+        let exec = Executor::new(&g, &plan, &reg, &weights);
+        let out = exec.run(&input, 1).unwrap();
+        assert_eq!(out.dtype(), pbqp_dnn_tensor::DType::F32);
+        let oracle = reference_forward(&g, &weights, &input);
+        let maxabs = oracle.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let diff = out.max_abs_diff(&oracle).unwrap();
+        assert!(diff < 0.05 * maxabs + 0.05, "diff {diff} vs maxabs {maxabs}");
+        // Recycled serving path agrees bit-for-bit.
+        let mut recycled = Tensor::empty();
+        exec.run_into(&input, &mut recycled, 1).unwrap();
+        assert_eq!(recycled.data(), out.data());
+        // Batch path too.
+        let batch = exec.run_batch(std::slice::from_ref(&input), Parallelism::serial()).unwrap();
+        assert_eq!(batch[0].data(), out.data());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::Layout;
+use crate::{DType, Layout};
 
 /// Errors produced by tensor construction and layout conversion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +29,14 @@ pub enum TensorError {
         /// Destination layout.
         to: Layout,
     },
+    /// A transformation expected a tensor of one element type but was
+    /// handed another (e.g. dequantizing an `f32` tensor).
+    DTypeMismatch {
+        /// Element type the operation requires.
+        expected: DType,
+        /// Element type actually supplied.
+        found: DType,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -43,6 +51,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::NoDirectTransform { from, to } => {
                 write!(f, "no direct layout transformation from {from} to {to}")
+            }
+            TensorError::DTypeMismatch { expected, found } => {
+                write!(f, "dtype mismatch: operation requires {expected}, tensor is {found}")
             }
         }
     }

@@ -1,6 +1,28 @@
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::TensorError;
+
+/// A kernel tensor pre-quantized to symmetric per-tensor `i8`: the weight
+/// half of the int8 execution path.
+///
+/// Weights are constant after training, so quantization happens **once**
+/// (at schedule-compile time, via [`KernelTensor::quantized`]) and the
+/// serving loop reads the cached codes. The scheme is symmetric
+/// (`zero_point = 0`, codes in `[-127, 127]`), which keeps the GEMM
+/// zero-point correction to the activation operand only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedKernel {
+    /// Quantized taps in the same `M × C × Kh × Kw` order as the source.
+    pub data: Vec<i8>,
+    /// Per-tensor scale: `real = q * scale`.
+    pub scale: f32,
+    /// Per-filter sums of the quantized taps (`M` entries): quantized
+    /// convolutions fold the activation zero point out of the raw GEMM
+    /// accumulator as `acc − zp · filter_sums[m]`, so the weight matrix
+    /// is never rescanned at run time.
+    pub filter_sums: Vec<i32>,
+}
 
 /// A 4-D convolution kernel tensor: `M` filters, each with `C` channels of
 /// `kh × kw` taps, stored in `M × C × Kh × Kw` order.
@@ -20,19 +42,42 @@ use crate::TensorError;
 /// assert_eq!(k.at(1, 2, 0, 1), 4.0);
 /// assert_eq!(k.dims(), (2, 3, 3, 3));
 /// ```
-#[derive(Clone, PartialEq)]
 pub struct KernelTensor {
     m: usize,
     c: usize,
     kh: usize,
     kw: usize,
     data: Vec<f32>,
+    /// Lazily built int8 image of the weights; invalidated by mutation.
+    quant: OnceLock<QuantizedKernel>,
+}
+
+impl Clone for KernelTensor {
+    fn clone(&self) -> Self {
+        // The quantization cache is cheap to rebuild and rarely cloned
+        // around; a fresh cell keeps Clone simple and correct.
+        KernelTensor {
+            m: self.m,
+            c: self.c,
+            kh: self.kh,
+            kw: self.kw,
+            data: self.data.clone(),
+            quant: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for KernelTensor {
+    fn eq(&self, other: &Self) -> bool {
+        (self.m, self.c, self.kh, self.kw) == (other.m, other.c, other.kh, other.kw)
+            && self.data == other.data
+    }
 }
 
 impl KernelTensor {
     /// Creates a zero-filled kernel tensor.
     pub fn zeros(m: usize, c: usize, kh: usize, kw: usize) -> KernelTensor {
-        KernelTensor { m, c, kh, kw, data: vec![0.0; m * c * kh * kw] }
+        KernelTensor { m, c, kh, kw, data: vec![0.0; m * c * kh * kw], quant: OnceLock::new() }
     }
 
     /// Creates a kernel tensor whose element `(m, c, i, j)` is `f(m, c, i, j)`.
@@ -69,7 +114,7 @@ impl KernelTensor {
         if data.len() != expected {
             return Err(TensorError::LengthMismatch { expected, actual: data.len() });
         }
-        Ok(KernelTensor { m, c, kh, kw, data })
+        Ok(KernelTensor { m, c, kh, kw, data, quant: OnceLock::new() })
     }
 
     /// Deterministic pseudo-random kernel in `[-1, 1)` (see
@@ -130,12 +175,33 @@ impl KernelTensor {
     pub fn set(&mut self, m: usize, c: usize, i: usize, j: usize, v: f32) {
         let off = self.offset(m, c, i, j);
         self.data[off] = v;
+        self.quant = OnceLock::new();
+    }
+
+    /// The int8 image of these weights: symmetric per-tensor quantization,
+    /// built on first use and cached (weights are constant after
+    /// training, §3.1 — so the runtime pre-quantizes at schedule-compile
+    /// time and the serving loop never touches the f32 taps).
+    pub fn quantized(&self) -> &QuantizedKernel {
+        self.quant.get_or_init(|| {
+            let maxabs = self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if maxabs > 0.0 { maxabs / 127.0 } else { 1.0 };
+            let data: Vec<i8> =
+                self.data.iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect();
+            let per_filter = self.c * self.kh * self.kw;
+            let filter_sums = data
+                .chunks(per_filter.max(1))
+                .map(|taps| taps.iter().map(|&q| i32::from(q)).sum())
+                .collect();
+            QuantizedKernel { data, scale, filter_sums }
+        })
     }
 
     /// Applies a sparsity mask: zeroes every weight whose deterministic hash
     /// falls below `ratio` (0 = dense, 1 = all-zero). Used by the sparse
     /// primitive extension (§8 of the paper).
     pub fn sparsify(&mut self, ratio: f64, seed: u64) {
+        self.quant = OnceLock::new();
         let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
         for v in &mut self.data {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -199,5 +265,36 @@ mod tests {
         let a = KernelTensor::random(2, 2, 3, 3, 11);
         let b = KernelTensor::random(2, 2, 3, 3, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_weights_reconstruct_within_half_step() {
+        let k = KernelTensor::random(3, 4, 3, 3, 5);
+        let q = k.quantized();
+        assert_eq!(q.data.len(), k.data().len());
+        assert_eq!(q.filter_sums.len(), 3);
+        for (&code, &real) in q.data.iter().zip(k.data()) {
+            let back = f32::from(code) * q.scale;
+            assert!((back - real).abs() <= q.scale / 2.0 + 1e-6);
+        }
+        // Filter sums match a direct recomputation.
+        let per = 4 * 3 * 3;
+        for (m, &sum) in q.filter_sums.iter().enumerate() {
+            let want: i32 = q.data[m * per..(m + 1) * per].iter().map(|&c| i32::from(c)).sum();
+            assert_eq!(sum, want);
+        }
+    }
+
+    #[test]
+    fn quantization_cache_invalidates_on_mutation() {
+        let mut k = KernelTensor::random(1, 1, 2, 2, 3);
+        let before = k.quantized().clone();
+        k.set(0, 0, 0, 0, 100.0);
+        let after = k.quantized();
+        assert_ne!(before.scale, after.scale);
+        // All-zero kernels quantize with a benign scale.
+        let z = KernelTensor::zeros(1, 1, 1, 1);
+        assert_eq!(z.quantized().scale, 1.0);
+        assert_eq!(z.quantized().data, vec![0]);
     }
 }

@@ -1,10 +1,14 @@
 //! Tensor substrate for the PBQP-DNN primitive-selection system.
 //!
-//! This crate provides the dense single-precision tensors that every
-//! convolution primitive in the workspace operates on, together with the
-//! *data layouts* that are the heart of the paper's optimization problem:
-//! a convolution primitive is a triple `{L_in, P, L_out}` and connecting two
-//! primitives whose layouts disagree requires a data-layout transformation.
+//! This crate provides the dense tensors that every convolution primitive
+//! in the workspace operates on — `f32` by default, with `i8` (affine
+//! quantized) and `i32` (accumulator) storage behind the same API —
+//! together with the *data layouts* that are the heart of the paper's
+//! optimization problem: a convolution primitive is a triple
+//! `{L_in, P, L_out}` and connecting two primitives whose layouts
+//! disagree requires a data-layout transformation. Precision extends the
+//! same idea: [`Repr`] pairs a layout with a [`DType`], and
+//! quantize/dequantize are just more edges of the transformation graph.
 //!
 //! # Layouts
 //!
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dtype;
 mod error;
 mod kernel;
 mod layout;
@@ -37,7 +42,8 @@ pub mod rng;
 mod tensor;
 pub mod transform;
 
+pub use dtype::{DType, QuantParams, Repr};
 pub use error::TensorError;
-pub use kernel::KernelTensor;
+pub use kernel::{KernelTensor, QuantizedKernel};
 pub use layout::Layout;
 pub use tensor::Tensor;

@@ -1,14 +1,86 @@
 use std::fmt;
 
-use crate::{Layout, TensorError};
+use crate::{DType, Layout, QuantParams, Repr, TensorError};
 
-/// A dense single-precision feature-map tensor with logical dimensions
-/// `(c, h, w)` stored in one of the supported [`Layout`]s.
+/// Element storage of a [`Tensor`], tagged by [`DType`].
+///
+/// The `f32` variant is the historical dense storage every existing
+/// primitive operates on; `I8` carries affine-quantized activations for
+/// the int8 execution path; `I32` holds raw GEMM accumulators.
+#[derive(Clone, PartialEq)]
+enum Storage {
+    F32(Vec<f32>),
+    I8(Vec<i8>),
+    I32(Vec<i32>),
+}
+
+impl Storage {
+    fn dtype(&self) -> DType {
+        match self {
+            Storage::F32(_) => DType::F32,
+            Storage::I8(_) => DType::I8,
+            Storage::I32(_) => DType::I32,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Storage::F32(v) => v.len(),
+            Storage::I8(v) => v.len(),
+            Storage::I32(v) => v.len(),
+        }
+    }
+
+    fn new(dtype: DType, len: usize) -> Storage {
+        match dtype {
+            DType::F32 => Storage::F32(vec![0.0; len]),
+            DType::I8 => Storage::I8(vec![0; len]),
+            DType::I32 => Storage::I32(vec![0; len]),
+        }
+    }
+
+    /// Resizes in place when the dtype already matches (keeping capacity);
+    /// otherwise swaps in fresh storage of the right type.
+    fn reuse(&mut self, dtype: DType, len: usize) {
+        match (&mut *self, dtype) {
+            (Storage::F32(v), DType::F32) => v.resize(len, 0.0),
+            (Storage::I8(v), DType::I8) => v.resize(len, 0),
+            (Storage::I32(v), DType::I32) => v.resize(len, 0),
+            (slot, _) => *slot = Storage::new(dtype, len),
+        }
+    }
+
+    fn reserve(&mut self, elems: usize) {
+        match self {
+            Storage::F32(v) => {
+                if v.capacity() < elems {
+                    v.reserve(elems - v.len());
+                }
+            }
+            Storage::I8(v) => {
+                if v.capacity() < elems {
+                    v.reserve(elems - v.len());
+                }
+            }
+            Storage::I32(v) => {
+                if v.capacity() < elems {
+                    v.reserve(elems - v.len());
+                }
+            }
+        }
+    }
+}
+
+/// A dense feature-map tensor with logical dimensions `(c, h, w)` stored
+/// in one of the supported [`Layout`]s at one of the supported [`DType`]s
+/// (dense `f32` by default).
 ///
 /// All convolution primitives in the workspace consume and produce
 /// `Tensor`s. The logical view is always `(channel, row, column)`;
-/// [`Tensor::at`] and [`Tensor::set`] translate through the layout, while
-/// [`Tensor::data`] exposes the raw storage for layout-aware kernels.
+/// [`Tensor::at`] and [`Tensor::set`] translate through the layout **and
+/// the dtype** (quantized tensors dequantize on read), while the typed
+/// accessors ([`Tensor::data`], [`Tensor::data_i8`], [`Tensor::data_i32`])
+/// expose the raw storage for layout-aware kernels.
 ///
 /// # Example
 ///
@@ -24,59 +96,98 @@ use crate::{Layout, TensorError};
 pub struct Tensor {
     dims: (usize, usize, usize),
     layout: Layout,
-    data: Vec<f32>,
+    storage: Storage,
+    qparams: QuantParams,
 }
 
 impl Tensor {
-    /// Creates a zero-filled tensor of logical dimensions `(c, h, w)`.
+    /// Creates a zero-filled `f32` tensor of logical dimensions `(c, h, w)`.
     pub fn zeros(c: usize, h: usize, w: usize, layout: Layout) -> Tensor {
-        Tensor { dims: (c, h, w), layout, data: vec![0.0; layout.storage_len(c, h, w)] }
+        Tensor::zeros_dtype(c, h, w, layout, DType::F32)
     }
 
-    /// Creates an empty placeholder tensor (`(0, 0, 0)`, no storage).
+    /// Creates a zero-filled tensor of the given dtype. Quantization
+    /// parameters start at [`QuantParams::IDENTITY`]; set them with
+    /// [`Tensor::set_qparams`].
+    pub fn zeros_dtype(c: usize, h: usize, w: usize, layout: Layout, dtype: DType) -> Tensor {
+        Tensor {
+            dims: (c, h, w),
+            layout,
+            storage: Storage::new(dtype, layout.storage_len(c, h, w)),
+            qparams: QuantParams::IDENTITY,
+        }
+    }
+
+    /// Creates an empty `f32` placeholder tensor (`(0, 0, 0)`, no storage).
     ///
     /// Empty tensors allocate nothing; they exist to be re-shaped in
     /// place with [`Tensor::reuse_as`] / [`Tensor::assign_from`] by
     /// buffer-pooling code.
     pub fn empty() -> Tensor {
-        Tensor { dims: (0, 0, 0), layout: Layout::Chw, data: Vec::new() }
+        Tensor::empty_dtype(DType::F32)
     }
 
-    /// Re-shapes this tensor in place to `(c, h, w)` in `layout`,
-    /// recycling the existing storage.
-    ///
-    /// The storage is resized to the new layout's requirement but its
-    /// capacity never shrinks, so repeated reuse at steady-state sizes is
-    /// allocation-free. Element values are unspecified after the call
-    /// (previous contents may remain); callers overwrite or zero them.
+    /// [`Tensor::empty`] with an explicit dtype, so buffer pools can
+    /// pre-commit a slot to the element type it will recycle (switching a
+    /// slot's dtype later discards its storage — see
+    /// [`Tensor::reuse_as_dtype`]).
+    pub fn empty_dtype(dtype: DType) -> Tensor {
+        Tensor {
+            dims: (0, 0, 0),
+            layout: Layout::Chw,
+            storage: Storage::new(dtype, 0),
+            qparams: QuantParams::IDENTITY,
+        }
+    }
+
+    /// Re-shapes this tensor in place to `(c, h, w)` in `layout` at `f32`,
+    /// recycling the existing storage (see [`Tensor::reuse_as_dtype`]).
     pub fn reuse_as(&mut self, c: usize, h: usize, w: usize, layout: Layout) {
+        self.reuse_as_dtype(c, h, w, layout, DType::F32);
+    }
+
+    /// Re-shapes this tensor in place to `(c, h, w)` in `layout` with
+    /// element type `dtype`, recycling the existing storage.
+    ///
+    /// When the dtype is unchanged, the storage is resized but its
+    /// capacity never shrinks, so repeated reuse at steady-state sizes is
+    /// allocation-free; **changing the dtype swaps the backing store**
+    /// (steady-state buffer pools keep one slot per dtype). Element values
+    /// are unspecified after the call; quantization parameters reset to
+    /// [`QuantParams::IDENTITY`].
+    pub fn reuse_as_dtype(&mut self, c: usize, h: usize, w: usize, layout: Layout, dtype: DType) {
         self.dims = (c, h, w);
         self.layout = layout;
+        self.qparams = QuantParams::IDENTITY;
         let need = layout.storage_len(c, h, w);
-        if self.data.len() != need {
-            self.data.resize(need, 0.0);
+        if self.storage.len() != need || self.storage.dtype() != dtype {
+            self.storage.reuse(dtype, need);
         }
     }
 
-    /// Grows the storage capacity to hold `elems` elements without
-    /// changing the logical shape. Used by buffer pools to pre-size slots
-    /// at plan-compile time.
+    /// Grows the storage capacity (in the tensor's current dtype) to hold
+    /// `elems` elements without changing the logical shape. Used by buffer
+    /// pools to pre-size slots at plan-compile time.
     pub fn reserve_storage(&mut self, elems: usize) {
-        if self.data.capacity() < elems {
-            self.data.reserve(elems - self.data.len());
-        }
+        self.storage.reserve(elems);
     }
 
-    /// Makes this tensor a copy of `src` (dims, layout and data),
-    /// recycling the existing storage — the steady-state counterpart of
-    /// `src.clone()`.
+    /// Makes this tensor a copy of `src` (dims, layout, dtype,
+    /// quantization parameters and data), recycling the existing storage —
+    /// the steady-state counterpart of `src.clone()`.
     pub fn assign_from(&mut self, src: &Tensor) {
         let (c, h, w) = src.dims;
-        self.reuse_as(c, h, w, src.layout);
-        self.data.copy_from_slice(&src.data);
+        self.reuse_as_dtype(c, h, w, src.layout, src.dtype());
+        self.qparams = src.qparams;
+        match (&mut self.storage, &src.storage) {
+            (Storage::F32(d), Storage::F32(s)) => d.copy_from_slice(s),
+            (Storage::I8(d), Storage::I8(s)) => d.copy_from_slice(s),
+            (Storage::I32(d), Storage::I32(s)) => d.copy_from_slice(s),
+            _ => unreachable!("reuse_as_dtype matched the dtypes"),
+        }
     }
 
-    /// Creates a tensor whose element `(c, h, w)` is `f(c, h, w)`.
+    /// Creates an `f32` tensor whose element `(c, h, w)` is `f(c, h, w)`.
     pub fn from_fn<F>(c: usize, h: usize, w: usize, layout: Layout, mut f: F) -> Tensor
     where
         F: FnMut(usize, usize, usize) -> f32,
@@ -92,7 +203,7 @@ impl Tensor {
         t
     }
 
-    /// Wraps an existing buffer as a tensor.
+    /// Wraps an existing `f32` buffer as a tensor.
     ///
     /// # Errors
     ///
@@ -109,10 +220,15 @@ impl Tensor {
         if data.len() != expected {
             return Err(TensorError::LengthMismatch { expected, actual: data.len() });
         }
-        Ok(Tensor { dims: (c, h, w), layout, data })
+        Ok(Tensor {
+            dims: (c, h, w),
+            layout,
+            storage: Storage::F32(data),
+            qparams: QuantParams::IDENTITY,
+        })
     }
 
-    /// Creates a deterministic pseudo-random tensor.
+    /// Creates a deterministic pseudo-random `f32` tensor.
     ///
     /// This is the input generator used by the profiler: layer cost depends
     /// on dimensions rather than values (§3.1 of the paper), but correctness
@@ -152,27 +268,120 @@ impl Tensor {
         self.layout
     }
 
-    /// Raw storage slice (layout order, including any blocked padding).
+    /// The element type of the storage.
+    pub fn dtype(&self) -> DType {
+        self.storage.dtype()
+    }
+
+    /// The representation (layout × dtype) of this tensor.
+    pub fn repr(&self) -> Repr {
+        Repr { layout: self.layout, dtype: self.dtype() }
+    }
+
+    /// Quantization parameters ([`QuantParams::IDENTITY`] for non-`i8`
+    /// tensors).
+    pub fn qparams(&self) -> QuantParams {
+        self.qparams
+    }
+
+    /// Replaces the quantization parameters (meaningful for `i8` tensors).
+    pub fn set_qparams(&mut self, qparams: QuantParams) {
+        self.qparams = qparams;
+    }
+
+    /// Raw `f32` storage slice (layout order, including any blocked
+    /// padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `f32`; use [`Tensor::data_i8`] /
+    /// [`Tensor::data_i32`] for quantized storage.
     pub fn data(&self) -> &[f32] {
-        &self.data
+        match &self.storage {
+            Storage::F32(v) => v,
+            s => panic!("Tensor::data on a {} tensor", s.dtype()),
+        }
     }
 
-    /// Mutable raw storage slice.
+    /// Mutable raw `f32` storage slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `f32`.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        match &mut self.storage {
+            Storage::F32(v) => v,
+            s => panic!("Tensor::data_mut on a {} tensor", s.dtype()),
+        }
     }
 
-    /// Element at logical position `(c, h, w)`.
+    /// Raw `i8` storage slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `i8`.
+    pub fn data_i8(&self) -> &[i8] {
+        match &self.storage {
+            Storage::I8(v) => v,
+            s => panic!("Tensor::data_i8 on a {} tensor", s.dtype()),
+        }
+    }
+
+    /// Mutable raw `i8` storage slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `i8`.
+    pub fn data_i8_mut(&mut self) -> &mut [i8] {
+        match &mut self.storage {
+            Storage::I8(v) => v,
+            s => panic!("Tensor::data_i8_mut on a {} tensor", s.dtype()),
+        }
+    }
+
+    /// Raw `i32` storage slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `i32`.
+    pub fn data_i32(&self) -> &[i32] {
+        match &self.storage {
+            Storage::I32(v) => v,
+            s => panic!("Tensor::data_i32 on a {} tensor", s.dtype()),
+        }
+    }
+
+    /// Mutable raw `i32` storage slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `i32`.
+    pub fn data_i32_mut(&mut self) -> &mut [i32] {
+        match &mut self.storage {
+            Storage::I32(v) => v,
+            s => panic!("Tensor::data_i32_mut on a {} tensor", s.dtype()),
+        }
+    }
+
+    /// Logical (real-valued) element at `(c, h, w)`: quantized storage is
+    /// dequantized through the tensor's [`QuantParams`].
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if a coordinate is out of range.
     #[inline]
     pub fn at(&self, c: usize, h: usize, w: usize) -> f32 {
-        self.data[self.layout.offset(self.dims, c, h, w)]
+        let off = self.layout.offset(self.dims, c, h, w);
+        match &self.storage {
+            Storage::F32(v) => v[off],
+            Storage::I8(v) => self.qparams.dequantize(v[off]),
+            Storage::I32(v) => (v[off] - self.qparams.zero_point) as f32 * self.qparams.scale,
+        }
     }
 
-    /// Stores `v` at logical position `(c, h, w)`.
+    /// Stores the real value `v` at logical position `(c, h, w)`,
+    /// quantizing through the tensor's [`QuantParams`] for integer
+    /// storage.
     ///
     /// # Panics
     ///
@@ -180,21 +389,28 @@ impl Tensor {
     #[inline]
     pub fn set(&mut self, c: usize, h: usize, w: usize, v: f32) {
         let off = self.layout.offset(self.dims, c, h, w);
-        self.data[off] = v;
+        match &mut self.storage {
+            Storage::F32(s) => s[off] = v,
+            Storage::I8(s) => s[off] = self.qparams.quantize(v),
+            Storage::I32(s) => {
+                s[off] = (v / self.qparams.scale).round() as i32 + self.qparams.zero_point
+            }
+        }
     }
 
-    /// Linear offset of `(c, h, w)` in [`Tensor::data`].
+    /// Linear offset of `(c, h, w)` in the raw storage.
     #[inline]
     pub fn offset(&self, c: usize, h: usize, w: usize) -> usize {
         self.layout.offset(self.dims, c, h, w)
     }
 
-    /// Copies this tensor into a new tensor with layout `layout`.
+    /// Copies this tensor into a new **f32** tensor with layout `layout`
+    /// (quantized sources are dequantized).
     ///
     /// This is the generic (slow-path) conversion; the optimized direct
     /// transformation primitives live in [`crate::transform`].
     pub fn to_layout(&self, layout: Layout) -> Tensor {
-        if layout == self.layout {
+        if layout == self.layout && self.dtype() == DType::F32 {
             return self.clone();
         }
         let (c, h, w) = self.dims;
@@ -210,7 +426,7 @@ impl Tensor {
     }
 
     /// Maximum absolute element-wise difference to `other`, comparing
-    /// logical values (layouts may differ).
+    /// logical (dequantized) values — layouts and dtypes may differ.
     ///
     /// # Errors
     ///
@@ -232,7 +448,7 @@ impl Tensor {
     }
 
     /// Whether every element matches `other` within absolute tolerance
-    /// `tol`, irrespective of layout.
+    /// `tol`, irrespective of layout or dtype.
     ///
     /// # Errors
     ///
@@ -254,6 +470,16 @@ impl Tensor {
         }
         acc
     }
+
+    /// Backing-store capacity in elements of the current dtype (test and
+    /// pool-sizing aid).
+    pub fn storage_capacity(&self) -> usize {
+        match &self.storage {
+            Storage::F32(v) => v.capacity(),
+            Storage::I8(v) => v.capacity(),
+            Storage::I32(v) => v.capacity(),
+        }
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -261,7 +487,8 @@ impl fmt::Debug for Tensor {
         f.debug_struct("Tensor")
             .field("dims", &self.dims)
             .field("layout", &self.layout)
-            .field("len", &self.data.len())
+            .field("dtype", &self.dtype())
+            .field("len", &self.storage.len())
             .finish()
     }
 }
@@ -338,18 +565,18 @@ mod tests {
         assert_eq!(slot.dims(), (0, 0, 0));
         assert_eq!(slot.data().len(), 0);
         slot.reserve_storage(3 * 4 * 5);
-        let cap = slot.data.capacity();
+        let cap = slot.storage_capacity();
         slot.reuse_as(3, 4, 5, Layout::Hwc);
         assert_eq!(slot.dims(), (3, 4, 5));
         assert_eq!(slot.data().len(), Layout::Hwc.storage_len(3, 4, 5));
-        assert_eq!(slot.data.capacity(), cap, "reuse within capacity must not reallocate");
+        assert_eq!(slot.storage_capacity(), cap, "reuse within capacity must not reallocate");
         let src = Tensor::random(2, 4, 5, Layout::Chw4, 9);
         slot.assign_from(&src);
         assert_eq!(slot.layout(), Layout::Chw4);
         assert_eq!(slot.data(), src.data());
         // Shrinking keeps capacity for later growth.
         slot.reuse_as(1, 1, 1, Layout::Chw);
-        assert!(slot.data.capacity() >= Layout::Hwc.storage_len(3, 4, 5));
+        assert!(slot.storage_capacity() >= Layout::Hwc.storage_len(3, 4, 5));
     }
 
     #[test]
@@ -357,5 +584,52 @@ mod tests {
         let a = Tensor::zeros(1, 2, 3, Layout::Chw);
         let b = Tensor::zeros(1, 2, 4, Layout::Chw);
         assert!(matches!(a.max_abs_diff(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn quantized_tensor_round_trips_through_logical_accessors() {
+        let p = QuantParams::from_range(-2.0, 2.0);
+        for &layout in &Repr::I8_LAYOUTS {
+            let mut q = Tensor::zeros_dtype(3, 4, 4, layout, DType::I8);
+            q.set_qparams(p);
+            q.set(1, 2, 3, 1.25);
+            assert!((q.at(1, 2, 3) - 1.25).abs() <= p.scale / 2.0 + 1e-6);
+            assert_eq!(q.dtype(), DType::I8);
+            assert_eq!(q.repr(), Repr::i8(layout));
+            assert_eq!(q.data_i8().len(), 3 * 4 * 4);
+        }
+    }
+
+    #[test]
+    fn assign_from_carries_dtype_and_qparams() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        let mut src = Tensor::zeros_dtype(2, 2, 2, Layout::Chw, DType::I8);
+        src.set_qparams(p);
+        src.set(0, 0, 0, 0.5);
+        let mut dst = Tensor::empty();
+        dst.assign_from(&src);
+        assert_eq!(dst.dtype(), DType::I8);
+        assert_eq!(dst.qparams(), p);
+        assert_eq!(dst.data_i8(), src.data_i8());
+        assert_eq!(dst.max_abs_diff(&src).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reuse_as_dtype_switches_storage_and_resets_qparams() {
+        let mut t = Tensor::zeros_dtype(2, 2, 2, Layout::Chw, DType::I8);
+        t.set_qparams(QuantParams::from_range(-4.0, 4.0));
+        t.reuse_as_dtype(2, 3, 2, Layout::Chw, DType::I32);
+        assert_eq!(t.dtype(), DType::I32);
+        assert_eq!(t.qparams(), QuantParams::IDENTITY);
+        assert_eq!(t.data_i32().len(), 12);
+        t.reuse_as(1, 1, 1, Layout::Chw);
+        assert_eq!(t.dtype(), DType::F32);
+    }
+
+    #[test]
+    #[should_panic(expected = "Tensor::data on a i8 tensor")]
+    fn f32_accessor_rejects_quantized_storage() {
+        let t = Tensor::zeros_dtype(1, 1, 1, Layout::Chw, DType::I8);
+        let _ = t.data();
     }
 }

@@ -11,7 +11,7 @@
 //! pairs (planar ↔ interleaved, planar ↔ blocked) have hand-written loops;
 //! the remaining registered pairs go through the generic permutation copy.
 
-use crate::{Layout, Tensor, TensorError};
+use crate::{DType, Layout, QuantParams, Repr, Tensor, TensorError};
 
 /// A direct layout transformation: source layout, destination layout, and
 /// the routine's registry name.
@@ -122,6 +122,202 @@ pub fn to_layout_into(t: &Tensor, to: Layout, dst: &mut Tensor) {
         dst.data_mut().fill(0.0);
     }
     copy_logical_into(t, dst);
+}
+
+// ---------------------------------------------------------------------
+// Representation transforms: the precision-extended DT edge set.
+// ---------------------------------------------------------------------
+
+/// One edge of the precision-extended data-transformation graph: a
+/// conversion between two [`Repr`]s (layout × dtype).
+///
+/// The f32 layout edges wrap the classic [`DirectTransform`] routines;
+/// the quantized subgraph adds per-layout quantize/dequantize edges plus
+/// i8 layout permutations, so a PBQP solve can route activations through
+/// int8 exactly the way it routes them through alternative layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReprTransform {
+    /// An f32 layout conversion (one of [`DIRECT_TRANSFORMS`]).
+    Layout(DirectTransform),
+    /// The same permutation applied to `i8` storage (quantization
+    /// parameters carry through unchanged).
+    LayoutI8(DirectTransform),
+    /// Dynamic affine quantization `f32 → i8` at a fixed layout.
+    Quantize(Layout),
+    /// Dequantization `i8 → f32` at a fixed layout.
+    Dequantize(Layout),
+}
+
+impl ReprTransform {
+    /// Representation consumed.
+    pub fn from(&self) -> Repr {
+        match self {
+            ReprTransform::Layout(t) => Repr::f32(t.from),
+            ReprTransform::LayoutI8(t) => Repr { layout: t.from, dtype: DType::I8 },
+            ReprTransform::Quantize(l) => Repr::f32(*l),
+            ReprTransform::Dequantize(l) => Repr { layout: *l, dtype: DType::I8 },
+        }
+    }
+
+    /// Representation produced.
+    pub fn to(&self) -> Repr {
+        match self {
+            ReprTransform::Layout(t) => Repr::f32(t.to),
+            ReprTransform::LayoutI8(t) => Repr { layout: t.to, dtype: DType::I8 },
+            ReprTransform::Quantize(l) => Repr { layout: *l, dtype: DType::I8 },
+            ReprTransform::Dequantize(l) => Repr::f32(*l),
+        }
+    }
+
+    /// Stable routine name for cost tables and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReprTransform::Layout(t) | ReprTransform::LayoutI8(t) => t.name,
+            ReprTransform::Quantize(_) => "quantize",
+            ReprTransform::Dequantize(_) => "dequantize",
+        }
+    }
+}
+
+/// The full edge set of the precision-extended transformation graph:
+/// every f32 direct routine, quantize/dequantize at each layout of
+/// [`Repr::I8_LAYOUTS`], and the i8 planar↔interleaved permutations.
+pub fn repr_transforms() -> Vec<ReprTransform> {
+    let mut edges: Vec<ReprTransform> =
+        DIRECT_TRANSFORMS.iter().copied().map(ReprTransform::Layout).collect();
+    for layout in Repr::I8_LAYOUTS {
+        edges.push(ReprTransform::Quantize(layout));
+        edges.push(ReprTransform::Dequantize(layout));
+    }
+    for t in DIRECT_TRANSFORMS {
+        if Repr::I8_LAYOUTS.contains(&t.from) && Repr::I8_LAYOUTS.contains(&t.to) {
+            edges.push(ReprTransform::LayoutI8(t));
+        }
+    }
+    edges
+}
+
+/// Applies one representation transform into recycled `dst` storage —
+/// the allocation-free dispatch point the runtime's legalization chains
+/// go through.
+///
+/// Quantize edges compute per-tensor dynamic [`QuantParams`] from the
+/// source (see [`quantize_dynamic_into`]); dequantize and i8 layout edges
+/// honour the source's parameters.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DTypeMismatch`] when the source dtype disagrees
+/// with the edge, [`TensorError::NoDirectTransform`] when the source
+/// layout does (the edge does not start at this tensor's representation)
+/// or for unregistered layout pairs.
+pub fn apply_repr_into(t: &Tensor, tr: ReprTransform, dst: &mut Tensor) -> Result<(), TensorError> {
+    let from = tr.from();
+    if t.dtype() != from.dtype {
+        return Err(TensorError::DTypeMismatch { expected: from.dtype, found: t.dtype() });
+    }
+    if t.layout() != from.layout {
+        // Applying an edge to a tensor it does not start at would produce
+        // a result whose repr disagrees with `tr.to()` — callers size
+        // staging buffers from the edge label, so reject loudly.
+        return Err(TensorError::NoDirectTransform { from: t.layout(), to: tr.to().layout });
+    }
+    match tr {
+        ReprTransform::Layout(hop) => apply_direct_into(t, hop.to, dst),
+        ReprTransform::LayoutI8(hop) => {
+            if !has_direct(t.layout(), hop.to) {
+                return Err(TensorError::NoDirectTransform { from: t.layout(), to: hop.to });
+            }
+            let (c, h, w) = t.dims();
+            dst.reuse_as_dtype(c, h, w, hop.to, DType::I8);
+            dst.set_qparams(t.qparams());
+            copy_logical_i8_into(t, dst);
+            Ok(())
+        }
+        ReprTransform::Quantize(_) => {
+            quantize_dynamic_into(t, dst);
+            Ok(())
+        }
+        ReprTransform::Dequantize(_) => {
+            dequantize_into(t, dst);
+            Ok(())
+        }
+    }
+}
+
+/// Quantizes an `f32` tensor into recycled `i8` storage under explicit
+/// parameters, preserving dims and layout — a layout-style transform in
+/// the sense of §3.1, but along the precision axis.
+///
+/// # Panics
+///
+/// Panics if `t` is not `f32`.
+pub fn quantize_into(t: &Tensor, params: QuantParams, dst: &mut Tensor) {
+    let (c, h, w) = t.dims();
+    dst.reuse_as_dtype(c, h, w, t.layout(), DType::I8);
+    dst.set_qparams(params);
+    let src = t.data();
+    for (d, &v) in dst.data_i8_mut().iter_mut().zip(src) {
+        *d = params.quantize(v);
+    }
+}
+
+/// [`quantize_into`] with per-tensor dynamic range calibration: scans the
+/// source once for its min/max, derives [`QuantParams`] (real zero always
+/// exactly representable) and quantizes. Returns the parameters, which are
+/// also stored on `dst`.
+///
+/// Deterministic — the same tensor always produces the same parameters —
+/// and allocation-free once `dst`'s storage has settled.
+///
+/// # Panics
+///
+/// Panics if `t` is not `f32`.
+pub fn quantize_dynamic_into(t: &Tensor, dst: &mut Tensor) -> QuantParams {
+    let src = t.data();
+    let mut lo = 0.0f32;
+    let mut hi = 0.0f32;
+    for &v in src {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let params = QuantParams::from_range(lo, hi);
+    quantize_into(t, params, dst);
+    params
+}
+
+/// Dequantizes an `i8` tensor into recycled `f32` storage, preserving
+/// dims and layout.
+///
+/// # Panics
+///
+/// Panics if `t` is not `i8`.
+pub fn dequantize_into(t: &Tensor, dst: &mut Tensor) {
+    let (c, h, w) = t.dims();
+    let params = t.qparams();
+    let src = t.data_i8();
+    dst.reuse_as_dtype(c, h, w, t.layout(), DType::F32);
+    for (d, &q) in dst.data_mut().iter_mut().zip(src) {
+        *d = params.dequantize(q);
+    }
+}
+
+/// Generic i8 permutation copy through raw offsets (both layouts in
+/// [`Repr::I8_LAYOUTS`], so no blocked padding is involved).
+fn copy_logical_i8_into(t: &Tensor, dst: &mut Tensor) {
+    let (c, h, w) = t.dims();
+    let src = t.data_i8();
+    let src_layout = t.layout();
+    let dst_layout = dst.layout();
+    let data = dst.data_i8_mut();
+    for ci in 0..c {
+        for hi in 0..h {
+            for wi in 0..w {
+                data[dst_layout.offset((c, h, w), ci, hi, wi)] =
+                    src[src_layout.offset((c, h, w), ci, hi, wi)];
+            }
+        }
+    }
 }
 
 /// Generic permutation copy through the logical accessors (the slow path
@@ -271,6 +467,83 @@ mod tests {
             assert_eq!(dst.data(), fresh.data(), "{}", t.name);
             assert_eq!(dst.layout(), t.to);
         }
+    }
+
+    #[test]
+    fn repr_edge_set_extends_the_layout_graph() {
+        let edges = repr_transforms();
+        assert_eq!(edges.len(), DIRECT_TRANSFORMS.len() + 2 * Repr::I8_LAYOUTS.len() + 2);
+        // Each quantized layout has a quantize and a dequantize edge.
+        for layout in Repr::I8_LAYOUTS {
+            assert!(edges.iter().any(|e| matches!(e, ReprTransform::Quantize(l) if *l == layout)));
+            assert!(edges
+                .iter()
+                .any(|e| matches!(e, ReprTransform::Dequantize(l) if *l == layout)));
+        }
+        // Edge endpoints are always inside the selection space.
+        for e in &edges {
+            let _ = e.from().index();
+            let _ = e.to().index();
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip_is_bounded_and_exact_on_grid() {
+        let src = Tensor::random(5, 7, 6, Layout::Chw, 77);
+        let mut q = Tensor::empty_dtype(crate::DType::I8);
+        let params = quantize_dynamic_into(&src, &mut q);
+        assert_eq!(q.repr(), Repr::i8(Layout::Chw));
+        let mut back = Tensor::empty();
+        dequantize_into(&q, &mut back);
+        let diff = back.max_abs_diff(&src).unwrap();
+        assert!(diff <= params.scale / 2.0 + 1e-6, "diff {diff} vs scale {}", params.scale);
+        // Values already on the grid survive a second round trip exactly.
+        let mut q2 = Tensor::empty_dtype(crate::DType::I8);
+        quantize_into(&back, params, &mut q2);
+        assert_eq!(q.data_i8(), q2.data_i8());
+    }
+
+    #[test]
+    fn apply_repr_into_covers_every_edge() {
+        let mut staged = Tensor::empty();
+        for e in repr_transforms() {
+            let src_f32 = sample(4, 5, 3, e.from().layout);
+            let src = if e.from().dtype == crate::DType::I8 {
+                let mut q = Tensor::empty_dtype(crate::DType::I8);
+                quantize_dynamic_into(&src_f32, &mut q);
+                q
+            } else {
+                src_f32.clone()
+            };
+            let mut dst = Tensor::empty();
+            apply_repr_into(&src, e, &mut dst).unwrap();
+            assert_eq!(dst.repr(), e.to(), "{}", e.name());
+            // Logical values survive within quantization error.
+            let worst = dst.max_abs_diff(&src).unwrap();
+            let tol = match e {
+                ReprTransform::Layout(_)
+                | ReprTransform::LayoutI8(_)
+                | ReprTransform::Dequantize(_) => 1e-6,
+                ReprTransform::Quantize(_) => dst.qparams().scale / 2.0 + 1e-6,
+            };
+            assert!(worst <= tol, "{}: {worst} > {tol}", e.name());
+            let _ = &mut staged;
+        }
+    }
+
+    #[test]
+    fn apply_repr_into_rejects_wrong_dtype_and_wrong_layout() {
+        let f = sample(2, 2, 2, Layout::Chw);
+        let mut dst = Tensor::empty();
+        let err =
+            apply_repr_into(&f, ReprTransform::Dequantize(Layout::Chw), &mut dst).unwrap_err();
+        assert!(matches!(err, TensorError::DTypeMismatch { .. }));
+        // A quantize edge anchored at a different layout must not run at
+        // the tensor's actual layout and mislabel the result.
+        let hwc = sample(2, 2, 2, Layout::Hwc);
+        let err =
+            apply_repr_into(&hwc, ReprTransform::Quantize(Layout::Chw), &mut dst).unwrap_err();
+        assert!(matches!(err, TensorError::NoDirectTransform { .. }));
     }
 
     #[test]

@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for node in net.conv_nodes() {
         let name = &net.layer(node).name;
         let cell = |plan: &pbqp_dnn_select::ExecutionPlan| match plan.assignment(node) {
-            AssignmentKind::Conv { primitive, input_layout, output_layout, .. } => {
-                format!("{primitive} [{input_layout}->{output_layout}]")
+            AssignmentKind::Conv { primitive, input_repr, output_repr, .. } => {
+                format!("{primitive} [{input_repr}->{output_repr}]")
             }
             AssignmentKind::Dummy { .. } => unreachable!("conv node"),
         };

@@ -1,0 +1,82 @@
+//! Mixed-precision serving: precision as just another axis of the PBQP
+//! selection space.
+//!
+//! The paper's formulation (§3.1) prices every candidate primitive per
+//! layer and every representation conversion per edge, then solves for
+//! the global optimum. Int8 kernels are simply more candidates, and
+//! quantize/dequantize are simply more DT-graph edges — so one solve
+//! decides, per layer, whether the int8 compute win outweighs the
+//! conversion cost. Big GEMM-bound layers go int8; layers where a strong
+//! f32 algorithm (Winograd) already wins, or where the tensors are too
+//! small to amortize the quantize/dequantize round trip, stay f32.
+//!
+//! ```sh
+//! cargo run --release --example quantized_serving
+//! ```
+
+use pbqp_dnn::cost::{AnalyticCost, MachineModel};
+use pbqp_dnn::graph::models;
+use pbqp_dnn::primitives::registry::{full_library, mixed_precision_library, Registry};
+use pbqp_dnn::runtime::{reference_forward, Executor, Weights};
+use pbqp_dnn::select::{AssignmentKind, Optimizer, Strategy};
+use pbqp_dnn::tensor::{DType, Layout, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. The solver mixes precisions on a published model ----------
+    let mixed_reg = Registry::new(mixed_precision_library());
+    let f32_reg = Registry::new(full_library());
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 4);
+    let net = models::alexnet();
+
+    let mixed = Optimizer::new(&mixed_reg, &cost).plan(&net, Strategy::Pbqp)?;
+    let f32_only = Optimizer::new(&f32_reg, &cost).plan(&net, Strategy::Pbqp)?;
+
+    println!("AlexNet on {}:", cost.machine());
+    for a in &mixed.assignments {
+        if let AssignmentKind::Conv { primitive, input_repr, output_repr, cost_us } = &a.kind {
+            let tag = if input_repr.dtype == DType::I8 { "int8" } else { " f32" };
+            println!("  [{tag}] {{{input_repr}, {primitive}, {output_repr}}} {cost_us:9.1} µs");
+        }
+    }
+    println!("  f32-only optimum : {:9.1} µs predicted", f32_only.predicted_us);
+    println!(
+        "  mixed optimum    : {:9.1} µs predicted  ({} int8 layers, {} quant/dequant edges, {:.1}% faster)",
+        mixed.predicted_us,
+        mixed.int8_layers().len(),
+        mixed.quant_edge_count(),
+        100.0 * (1.0 - mixed.predicted_us / f32_only.predicted_us)
+    );
+    assert!(mixed.is_mixed_precision(), "solver should keep Winograd-friendly layers in f32");
+    assert!(mixed.predicted_us <= f32_only.predicted_us);
+
+    // ---- 2. …and the runtime executes the mixed plan end to end -------
+    // A small serving network whose big strided layer tips to int8.
+    let g = models::micro_mixed();
+
+    let intel = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+    let plan = Optimizer::new(&mixed_reg, &intel).plan(&g, Strategy::Pbqp)?;
+    println!("\nserving network: {plan}");
+
+    let weights = Weights::random(&g, 0xFEED);
+    let exec = Executor::new(&g, &plan, &mixed_reg, &weights);
+    let input = Tensor::random(16, 20, 20, Layout::Chw, 7);
+    let oracle = reference_forward(&g, &weights, &input);
+
+    // Warm once, then serve allocation-free out of recycled storage:
+    // weights were quantized at schedule-compile time, activations
+    // quantize/dequantize through pooled staging buffers.
+    let mut out = Tensor::empty();
+    exec.run_into(&input, &mut out, 1)?;
+    for _ in 0..3 {
+        exec.run_into(&input, &mut out, 1)?;
+    }
+    let diff = out.max_abs_diff(&oracle)?;
+    let maxabs = oracle.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    println!(
+        "mixed-precision serving: max |err| {diff:.4} vs f32 oracle (range ±{maxabs:.2}) over {} int8 + {} f32 conv layers",
+        plan.int8_layers().len(),
+        plan.selected_primitives().len() - plan.int8_layers().len(),
+    );
+    assert!(diff < 0.05 * maxabs + 0.05, "int8 error must stay within quantization budget");
+    Ok(())
+}

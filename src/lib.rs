@@ -9,7 +9,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
-//! | [`tensor`] | `pbqp-dnn-tensor` | dense `f32` tensors + data layouts |
+//! | [`tensor`] | `pbqp-dnn-tensor` | dtype-generic tensors (`f32`/`i8`/`i32`) + data layouts |
 //! | [`fft`] | `pbqp-dnn-fft` | radix-2 / Bluestein FFTs |
 //! | [`gemm`] | `pbqp-dnn-gemm` | blocked / packed SGEMM kernels |
 //! | [`solver`] | `pbqp-solver` | exact branch-and-bound PBQP solver |

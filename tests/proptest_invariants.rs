@@ -4,7 +4,9 @@
 //! * a plan's predicted cost always decomposes into its parts, and the
 //!   PBQP plan is never beaten by any baseline strategy;
 //! * layout transformation chains preserve tensor contents;
-//! * randomly chosen primitives agree with the reference convolution.
+//! * randomly chosen primitives agree with the reference convolution;
+//! * quantize→dequantize round trips are bounded by `scale/2` per
+//!   element, exact for on-grid values, and deterministic across runs.
 //!
 //! The build environment has no crates.io access, so instead of proptest
 //! each test derives its random cases from a fixed-seed splitmix64
@@ -104,6 +106,56 @@ fn random_primitive_matches_reference() {
         let diff = got.max_abs_diff(&want).unwrap();
         // Winograd F(6,3) is the loosest numerically.
         assert!(diff < 5e-2, "{}: {diff}", prim.descriptor().name);
+    }
+}
+
+/// Quantize→dequantize round trips on random tensors: error bounded by
+/// `scale/2` per element, exact round trip for values already on the
+/// quantization grid, and bit-identical codes across repeated runs.
+#[test]
+fn quantize_dequantize_round_trip_properties() {
+    use pbqp_dnn_tensor::transform::{dequantize_into, quantize_dynamic_into, quantize_into};
+    use pbqp_dnn_tensor::{DType, Repr};
+    let mut rng = SplitMix64::new(500);
+    for case in 0..24 {
+        let (c, h, w) = (rng.usize(1, 9), rng.usize(1, 9), rng.usize(1, 9));
+        let layout = Repr::I8_LAYOUTS[rng.usize(0, Repr::I8_LAYOUTS.len())];
+        // Stretch the value range so scales vary across cases.
+        let scale_up = 1 + rng.usize(0, 50) as i32;
+        let base = Tensor::random(c, h, w, layout, rng.next_u64());
+        let src =
+            Tensor::from_fn(c, h, w, layout, |ci, hi, wi| base.at(ci, hi, wi) * scale_up as f32);
+
+        let mut q = Tensor::empty_dtype(DType::I8);
+        let params = quantize_dynamic_into(&src, &mut q);
+        let mut back = Tensor::empty();
+        dequantize_into(&q, &mut back);
+
+        // Property 1: per-element error bounded by scale/2.
+        let bound = params.scale / 2.0 + params.scale * 1e-4;
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let err = (back.at(ci, hi, wi) - src.at(ci, hi, wi)).abs();
+                    assert!(err <= bound, "case {case}: err {err} > {bound}");
+                }
+            }
+        }
+
+        // Property 2: values already on the grid round-trip exactly —
+        // requantizing the dequantized tensor reproduces the codes.
+        let mut q2 = Tensor::empty_dtype(DType::I8);
+        quantize_into(&back, params, &mut q2);
+        assert_eq!(q.data_i8(), q2.data_i8(), "case {case}: grid values must be fixed points");
+
+        // Property 3: determinism — same input, same params and codes.
+        let mut q3 = Tensor::empty_dtype(DType::I8);
+        let params3 = quantize_dynamic_into(&src, &mut q3);
+        assert_eq!(params, params3, "case {case}");
+        assert_eq!(q.data_i8(), q3.data_i8(), "case {case}");
+
+        // Real zero is always exactly representable.
+        assert_eq!(params.dequantize(params.quantize(0.0)), 0.0, "case {case}");
     }
 }
 
