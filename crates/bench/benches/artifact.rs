@@ -1,0 +1,115 @@
+//! Compiled-artifact benchmark: cold compile vs `load` latency, and
+//! artifact size per model — the numbers behind the "solve once, ship
+//! the plan" story. Emits `BENCH_PR4.json` at the repo root.
+//!
+//! ```sh
+//! cargo bench -p pbqp-dnn-bench --bench artifact
+//! ```
+//!
+//! Two cold-compile flavours are timed. With **analytic** costs the
+//! solve is nearly free, so on micro models loading is merely
+//! comparable — reported honestly, not asserted. With **measured**
+//! costs (the paper's §3.1 methodology: wall-clock profile every
+//! candidate on every layer), compiling pays for real kernel
+//! executions, and `CompiledModel::load` — decode + checksum + schedule
+//! recompile, no profiling, no solver — must win. That gap is what
+//! shipping the artifact buys an edge deployment. Set
+//! `ARTIFACT_NO_ASSERT=1` (CI smoke) to report without asserting.
+
+use pbqp_dnn::prelude::*;
+use pbqp_dnn_bench::harness::{fmt_duration, write_repo_artifact, Bench};
+
+struct Case {
+    name: &'static str,
+    graph: DnnGraph,
+    mixed: bool,
+}
+
+fn main() {
+    let cases = [
+        Case { name: "micro_alexnet", graph: models::micro_alexnet(), mixed: false },
+        Case { name: "micro_inception", graph: models::micro_inception(), mixed: false },
+        Case { name: "micro_mixed", graph: models::micro_mixed(), mixed: true },
+    ];
+
+    let mut bench = Bench::new("compiled artifacts: cold compile vs load").samples(9);
+    let mut rows = Vec::new();
+    for case in &cases {
+        let weights = Weights::random(&case.graph, 0x5EED);
+        let options =
+            CompileOptions::new().machine(MachineModel::arm_a57_like()).mixed_precision(case.mixed);
+
+        // Cold compiles: a fresh Compiler each iteration so the plan
+        // cache never hides the profile + solve. Analytic costs model
+        // the machine; measured costs execute every candidate kernel
+        // (the paper's methodology — what a real build host pays).
+        let analytic = bench.run(&format!("{}: cold compile (analytic)", case.name), || {
+            Compiler::new(options.clone()).compile(&case.graph, &weights).expect("compiles")
+        });
+        let measured_options = options.clone().measured_costs(1, 1);
+        let measured = bench.run(&format!("{}: cold compile (measured)", case.name), || {
+            Compiler::new(measured_options.clone())
+                .compile(&case.graph, &weights)
+                .expect("compiles")
+        });
+
+        let model = Compiler::new(options.clone()).compile(&case.graph, &weights).unwrap();
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).expect("saves");
+
+        let load = bench.run(&format!("{}: load artifact", case.name), || {
+            CompiledModel::load(&mut bytes.as_slice()).expect("loads")
+        });
+
+        // The loaded model must serve bit-identically to the fresh one.
+        let loaded = CompiledModel::load(&mut bytes.as_slice()).unwrap();
+        let (c, h, w) = case.graph.infer_shapes().unwrap()[0];
+        let input = Tensor::random(c, h, w, Layout::Chw, 7);
+        let a = model.engine().infer(&input).unwrap();
+        let b = loaded.engine().infer(&input).unwrap();
+        assert_eq!(a.data(), b.data(), "{}: loaded model must match", case.name);
+
+        let speedup = measured.as_secs_f64() / load.as_secs_f64().max(1e-9);
+        println!(
+            "{:16} artifact {:>8} bytes  analytic {:>11}  measured {:>11}  load {:>11}  ({speedup:.1}x vs measured)",
+            case.name,
+            bytes.len(),
+            fmt_duration(analytic),
+            fmt_duration(measured),
+            fmt_duration(load),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"mixed_precision\": {}, ",
+                "\"artifact_bytes\": {}, \"analytic_compile_ns\": {}, ",
+                "\"measured_compile_ns\": {}, \"load_ns\": {}, ",
+                "\"load_speedup_vs_measured\": {:.2}}}"
+            ),
+            case.name,
+            case.mixed,
+            bytes.len(),
+            analytic.as_nanos(),
+            measured.as_nanos(),
+            load.as_nanos(),
+            speedup,
+        ));
+
+        if std::env::var("ARTIFACT_NO_ASSERT").is_err() {
+            assert!(
+                load < measured,
+                "{}: loading ({}) should beat a measured-cost cold compile ({})",
+                case.name,
+                fmt_duration(load),
+                fmt_duration(measured),
+            );
+        }
+    }
+
+    println!("\n{}", bench.report());
+    let json =
+        format!("{{\n  \"bench\": \"artifact\",\n  \"models\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    match write_repo_artifact("BENCH_PR4.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_PR4.json: {e}"),
+    }
+}

@@ -57,6 +57,11 @@ const UNCACHEABLE: &str = "uncacheable";
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: Mutex<HashMap<Key, Arc<ExecutionPlan>>>,
+    /// Plans keyed by compiled-artifact fingerprint (see
+    /// [`artifact_fingerprint`]) — the front-door compiler's index, kept
+    /// separate from the optimizer-keyed map so the two keying schemes
+    /// can never collide.
+    by_fingerprint: Mutex<HashMap<u64, Arc<ExecutionPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -130,7 +135,56 @@ impl PlanCache {
     /// that keeps the same cache key).
     pub fn clear(&self) {
         self.plans.lock().expect("cache lock").clear();
+        self.by_fingerprint.lock().expect("cache lock").clear();
     }
+
+    /// Returns the plan cached under a compiled-artifact `fingerprint`
+    /// (see [`artifact_fingerprint`]), or solves via `solve` and inserts
+    /// on a miss. This is the front-door compiler's cache entry point:
+    /// recompiling the same (graph, strategy, cost source, library)
+    /// quadruple skips the profile and the PBQP solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from `solve`; errors are never cached.
+    pub fn plan_by_fingerprint(
+        &self,
+        fingerprint: u64,
+        solve: impl FnOnce() -> Result<ExecutionPlan, PlanError>,
+    ) -> Result<Arc<ExecutionPlan>, PlanError> {
+        if let Some(plan) = self.by_fingerprint.lock().expect("cache lock").get(&fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        // Solve outside the lock, exactly like [`PlanCache::plan`]: a
+        // racing duplicate solve is harmless and last-insert wins.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(solve()?);
+        self.by_fingerprint.lock().expect("cache lock").insert(fingerprint, Arc::clone(&plan));
+        Ok(plan)
+    }
+}
+
+/// The stable identity of a compiled-model artifact: a 64-bit FNV-1a hash
+/// over the graph's structural fingerprint, the strategy's cache key, the
+/// cost source's cache key and the primitive-library key. Two compiles
+/// with the same artifact fingerprint produce the same plan, so the
+/// fingerprint keys both [`PlanCache::plan_by_fingerprint`] and the
+/// saved artifact's header.
+pub fn artifact_fingerprint(
+    graph: &DnnGraph,
+    strategy: Strategy,
+    cost_key: &str,
+    library_key: &str,
+) -> u64 {
+    use std::hash::Hasher;
+    let mut h = pbqp_dnn_graph::Fnv1a::default();
+    h.write_u64(graph.fingerprint());
+    for part in [strategy.cache_key().as_str(), cost_key, library_key] {
+        h.write(part.as_bytes());
+        h.write_u8(0xff);
+    }
+    h.finish()
 }
 
 /// Fingerprint of the optimizer's registry contents and DT-graph edges:

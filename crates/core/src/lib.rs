@@ -73,8 +73,9 @@ mod instance;
 mod optimizer;
 mod plan;
 mod strategies;
+pub mod wire;
 
-pub use cache::PlanCache;
+pub use cache::{artifact_fingerprint, PlanCache};
 pub use optimizer::{Optimizer, PlanError};
 pub use plan::{AssignmentKind, EdgeLegalization, ExecutionPlan, NodeAssignment};
 pub use strategies::Strategy;

@@ -1,0 +1,457 @@
+//! Plan ⇄ bytes: the stable binary encoding of graphs and legalized
+//! execution plans.
+//!
+//! The paper's deployment story — "the resulting cost tables are tiny …
+//! and ship them with the trained model" — extends naturally to the
+//! *solution*: a PBQP plan solved once on a big build host should ship to
+//! the serving fleet as bytes. This module provides the section encoders
+//! the facade crate's compiled-model artifact is assembled from:
+//!
+//! * [`put_graph`] / [`get_graph`] — every layer (including full conv
+//!   scenarios) and every edge, enough to reconstruct the [`DnnGraph`]
+//!   and recompute its structural fingerprint for validation;
+//! * [`put_strategy`] / [`get_strategy`] — the [`Strategy`] lineup;
+//! * [`put_plan`] / [`get_plan`] — assignments, legalization chains,
+//!   boundary conversions, predictions and solver statistics.
+//!
+//! Encodings build on the little-endian primitives and representation
+//! codecs of [`pbqp_dnn_tensor::wire`]; decoding never panics on corrupt
+//! input — every failure surfaces as a [`WireError`].
+
+use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind, PoolKind};
+use pbqp_dnn_primitives::Family;
+use pbqp_dnn_tensor::wire::{self, WireError, WireReader};
+use pbqp_solver::SolveStats;
+
+use crate::{AssignmentKind, EdgeLegalization, ExecutionPlan, NodeAssignment, Strategy};
+
+// ---------------------------------------------------------------------
+// Graph.
+// ---------------------------------------------------------------------
+
+/// Encodes a [`DnnGraph`]: layer count, each layer (name + kind), edge
+/// count, each edge as a dense index pair.
+pub fn put_graph(out: &mut Vec<u8>, graph: &DnnGraph) {
+    wire::put_usize(out, graph.len());
+    for node in graph.node_ids() {
+        let layer = graph.layer(node);
+        wire::put_str(out, &layer.name);
+        put_layer_kind(out, &layer.kind);
+    }
+    let edges = graph.edges();
+    wire::put_usize(out, edges.len());
+    for (from, to) in edges {
+        wire::put_usize(out, from.index());
+        wire::put_usize(out, to.index());
+    }
+}
+
+/// Decodes a graph written by [`put_graph`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, unknown tags, or invalid structure
+/// (out-of-range edge endpoints, zero-kernel conv scenarios).
+pub fn get_graph(r: &mut WireReader<'_>) -> Result<DnnGraph, WireError> {
+    let n = r.len_prefix(1)?;
+    let mut graph = DnnGraph::new();
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let kind = get_layer_kind(r)?;
+        ids.push(graph.add(Layer::new(name, kind)));
+    }
+    let edges = r.len_prefix(16)?;
+    for _ in 0..edges {
+        let from = r.usize()?;
+        let to = r.usize()?;
+        let (from, to) = match (ids.get(from), ids.get(to)) {
+            (Some(&f), Some(&t)) => (f, t),
+            _ => return Err(WireError::Corrupt(format!("edge {from} -> {to} out of range"))),
+        };
+        graph.connect(from, to).map_err(|e| WireError::Corrupt(e.to_string()))?;
+    }
+    Ok(graph)
+}
+
+fn put_layer_kind(out: &mut Vec<u8>, kind: &LayerKind) {
+    match kind {
+        LayerKind::Input { c, h, w } => {
+            wire::put_u8(out, 0);
+            wire::put_usize(out, *c);
+            wire::put_usize(out, *h);
+            wire::put_usize(out, *w);
+        }
+        LayerKind::Conv(s) => {
+            wire::put_u8(out, 1);
+            for dim in [s.c, s.h, s.w, s.stride, s.k, s.m, s.pad, s.batch] {
+                wire::put_usize(out, dim);
+            }
+            wire::put_u32(out, u32::from(s.sparsity_pm));
+        }
+        LayerKind::Pool { kind, k, stride, pad } => {
+            wire::put_u8(out, 2);
+            wire::put_u8(out, matches!(kind, PoolKind::Avg) as u8);
+            wire::put_usize(out, *k);
+            wire::put_usize(out, *stride);
+            wire::put_usize(out, *pad);
+        }
+        LayerKind::Relu => wire::put_u8(out, 3),
+        LayerKind::Lrn => wire::put_u8(out, 4),
+        LayerKind::Dropout => wire::put_u8(out, 5),
+        LayerKind::FullyConnected { out: neurons } => {
+            wire::put_u8(out, 6);
+            wire::put_usize(out, *neurons);
+        }
+        LayerKind::Concat => wire::put_u8(out, 7),
+        LayerKind::Softmax => wire::put_u8(out, 8),
+    }
+}
+
+fn get_layer_kind(r: &mut WireReader<'_>) -> Result<LayerKind, WireError> {
+    Ok(match r.u8()? {
+        0 => LayerKind::Input { c: r.usize()?, h: r.usize()?, w: r.usize()? },
+        1 => {
+            let (c, h, w) = (r.usize()?, r.usize()?, r.usize()?);
+            let (stride, k, m) = (r.usize()?, r.usize()?, r.usize()?);
+            let (pad, batch) = (r.usize()?, r.usize()?);
+            let sparsity = r.u32()?;
+            if k == 0 || stride == 0 {
+                return Err(WireError::Corrupt("conv scenario with k or stride 0".into()));
+            }
+            let sparsity = u16::try_from(sparsity)
+                .map_err(|_| WireError::Corrupt("sparsity out of range".into()))?;
+            LayerKind::Conv(
+                ConvScenario::new(c, h, w, stride, k, m)
+                    .with_pad(pad)
+                    .with_sparsity_pm(sparsity)
+                    .with_batch(batch),
+            )
+        }
+        2 => {
+            let kind = match r.u8()? {
+                0 => PoolKind::Max,
+                1 => PoolKind::Avg,
+                code => return Err(WireError::Corrupt(format!("pool kind {code}"))),
+            };
+            LayerKind::Pool { kind, k: r.usize()?, stride: r.usize()?, pad: r.usize()? }
+        }
+        3 => LayerKind::Relu,
+        4 => LayerKind::Lrn,
+        5 => LayerKind::Dropout,
+        6 => LayerKind::FullyConnected { out: r.usize()? },
+        7 => LayerKind::Concat,
+        8 => LayerKind::Softmax,
+        tag => return Err(WireError::Corrupt(format!("layer kind tag {tag}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Strategy.
+// ---------------------------------------------------------------------
+
+fn family_code(f: Family) -> u8 {
+    Family::ALL.iter().position(|&x| x == f).expect("family in ALL") as u8
+}
+
+/// Encodes a [`Strategy`] as a variant tag plus parameters.
+pub fn put_strategy(out: &mut Vec<u8>, strategy: Strategy) {
+    match strategy {
+        Strategy::Pbqp => wire::put_u8(out, 0),
+        Strategy::PbqpHeuristic => wire::put_u8(out, 1),
+        Strategy::Sum2d => wire::put_u8(out, 2),
+        Strategy::FamilyBest(f) => {
+            wire::put_u8(out, 3);
+            wire::put_u8(out, family_code(f));
+        }
+        Strategy::LocalOptimalChw => wire::put_u8(out, 4),
+        Strategy::CaffeLike => wire::put_u8(out, 5),
+        Strategy::VendorLike { vector_width } => {
+            wire::put_u8(out, 6);
+            wire::put_usize(out, vector_width);
+        }
+    }
+}
+
+/// Decodes a [`Strategy`] written by [`put_strategy`].
+///
+/// # Errors
+///
+/// [`WireError::Corrupt`] on unknown variant or family tags.
+pub fn get_strategy(r: &mut WireReader<'_>) -> Result<Strategy, WireError> {
+    Ok(match r.u8()? {
+        0 => Strategy::Pbqp,
+        1 => Strategy::PbqpHeuristic,
+        2 => Strategy::Sum2d,
+        3 => {
+            let code = r.u8()? as usize;
+            let family = Family::ALL
+                .get(code)
+                .copied()
+                .ok_or_else(|| WireError::Corrupt(format!("family code {code}")))?;
+            Strategy::FamilyBest(family)
+        }
+        4 => Strategy::LocalOptimalChw,
+        5 => Strategy::CaffeLike,
+        6 => Strategy::VendorLike { vector_width: r.usize()? },
+        tag => return Err(WireError::Corrupt(format!("strategy tag {tag}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Plan.
+// ---------------------------------------------------------------------
+
+/// Encodes a legalized [`ExecutionPlan`] (everything except the graph it
+/// refers to, which is encoded separately and revalidated on load).
+pub fn put_plan(out: &mut Vec<u8>, plan: &ExecutionPlan) {
+    put_strategy(out, plan.strategy);
+    wire::put_usize(out, plan.assignments.len());
+    for a in &plan.assignments {
+        wire::put_usize(out, a.node.index());
+        match &a.kind {
+            AssignmentKind::Conv { primitive, input_repr, output_repr, cost_us } => {
+                wire::put_u8(out, 0);
+                wire::put_str(out, primitive);
+                wire::put_repr(out, *input_repr);
+                wire::put_repr(out, *output_repr);
+                wire::put_f64(out, *cost_us);
+            }
+            AssignmentKind::Dummy { layout } => {
+                wire::put_u8(out, 1);
+                wire::put_layout(out, *layout);
+            }
+        }
+    }
+    wire::put_usize(out, plan.edges.len());
+    for e in &plan.edges {
+        wire::put_usize(out, e.from.index());
+        wire::put_usize(out, e.to.index());
+        wire::put_chain(out, &e.chain);
+        wire::put_f64(out, e.cost_us);
+    }
+    for conversions in [&plan.input_conversion, &plan.output_conversion] {
+        wire::put_usize(out, conversions.len());
+        for (node, chain, cost) in conversions {
+            wire::put_usize(out, node.index());
+            wire::put_chain(out, chain);
+            wire::put_f64(out, *cost);
+        }
+    }
+    wire::put_f64(out, plan.predicted_us);
+    wire::put_u8(
+        out,
+        match plan.optimal {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+    );
+    match &plan.solve_stats {
+        None => wire::put_u8(out, 0),
+        Some(s) => {
+            wire::put_u8(out, 1);
+            for v in [s.r0, s.r1, s.r2, s.core_nodes] {
+                wire::put_usize(out, v);
+            }
+            wire::put_u64(out, s.bb_steps);
+        }
+    }
+    wire::put_f64(out, plan.solve_time_us);
+}
+
+/// Decodes a plan written by [`put_plan`], resolving node references
+/// against `graph` (which must be the graph the plan was produced for —
+/// the artifact layer guarantees this by fingerprint validation).
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, unknown tags, or node references the
+/// graph cannot resolve.
+pub fn get_plan(r: &mut WireReader<'_>, graph: &DnnGraph) -> Result<ExecutionPlan, WireError> {
+    let node = |r: &mut WireReader<'_>| -> Result<_, WireError> {
+        let ix = r.usize()?;
+        graph.node_id(ix).ok_or_else(|| WireError::Corrupt(format!("node index {ix} out of range")))
+    };
+
+    let strategy = get_strategy(r)?;
+    let n = r.len_prefix(1)?;
+    if n != graph.len() {
+        return Err(WireError::Corrupt(format!(
+            "plan covers {n} nodes, graph has {}",
+            graph.len()
+        )));
+    }
+    let mut assignments = Vec::with_capacity(n);
+    for ix in 0..n {
+        let id = node(r)?;
+        if id.index() != ix {
+            return Err(WireError::Corrupt("assignments out of node order".into()));
+        }
+        let kind = match r.u8()? {
+            0 => AssignmentKind::Conv {
+                primitive: r.str()?,
+                input_repr: wire::get_repr(r)?,
+                output_repr: wire::get_repr(r)?,
+                cost_us: r.f64()?,
+            },
+            1 => AssignmentKind::Dummy { layout: wire::get_layout(r)? },
+            tag => return Err(WireError::Corrupt(format!("assignment tag {tag}"))),
+        };
+        assignments.push(NodeAssignment { node: id, kind });
+    }
+    let n_edges = r.len_prefix(1)?;
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edges.push(EdgeLegalization {
+            from: node(r)?,
+            to: node(r)?,
+            chain: wire::get_chain(r)?,
+            cost_us: r.f64()?,
+        });
+    }
+    let mut conversions = [Vec::new(), Vec::new()];
+    for list in &mut conversions {
+        let n = r.len_prefix(1)?;
+        for _ in 0..n {
+            list.push((node(r)?, wire::get_chain(r)?, r.f64()?));
+        }
+    }
+    let [input_conversion, output_conversion] = conversions;
+    let predicted_us = r.f64()?;
+    let optimal = match r.u8()? {
+        0 => None,
+        1 => Some(false),
+        2 => Some(true),
+        tag => return Err(WireError::Corrupt(format!("optimal tag {tag}"))),
+    };
+    let solve_stats = match r.u8()? {
+        0 => None,
+        1 => Some(SolveStats {
+            r0: r.usize()?,
+            r1: r.usize()?,
+            r2: r.usize()?,
+            core_nodes: r.usize()?,
+            bb_steps: r.u64()?,
+        }),
+        tag => return Err(WireError::Corrupt(format!("solve-stats tag {tag}"))),
+    };
+    let solve_time_us = r.f64()?;
+    Ok(ExecutionPlan {
+        strategy,
+        assignments,
+        edges,
+        input_conversion,
+        output_conversion,
+        predicted_us,
+        optimal,
+        solve_stats,
+        solve_time_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Optimizer;
+    use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+    use pbqp_dnn_graph::models;
+    use pbqp_dnn_primitives::registry::{mixed_precision_library, Registry};
+
+    fn round_trip_plan(plan: &ExecutionPlan, graph: &DnnGraph) -> ExecutionPlan {
+        let mut buf = Vec::new();
+        put_plan(&mut buf, plan);
+        let mut r = WireReader::new(&buf);
+        let back = get_plan(&mut r, graph).expect("plan decodes");
+        assert!(r.is_empty(), "trailing bytes after plan");
+        back
+    }
+
+    #[test]
+    fn graphs_round_trip_with_identical_fingerprints() {
+        for (name, graph) in [
+            ("alexnet", models::alexnet()),
+            ("googlenet", models::googlenet()),
+            ("micro_mixed", models::micro_mixed()),
+        ] {
+            let mut buf = Vec::new();
+            put_graph(&mut buf, &graph);
+            let mut r = WireReader::new(&buf);
+            let back = get_graph(&mut r).expect("graph decodes");
+            assert!(r.is_empty());
+            assert_eq!(back.fingerprint(), graph.fingerprint(), "{name}");
+            assert_eq!(back.len(), graph.len());
+            assert_eq!(back.edges(), graph.edges());
+        }
+    }
+
+    #[test]
+    fn strategies_round_trip() {
+        let mut all = vec![
+            Strategy::Pbqp,
+            Strategy::PbqpHeuristic,
+            Strategy::Sum2d,
+            Strategy::LocalOptimalChw,
+            Strategy::CaffeLike,
+            Strategy::VendorLike { vector_width: 8 },
+            Strategy::VendorLike { vector_width: 4 },
+        ];
+        all.extend(Strategy::family_bars());
+        for s in all {
+            let mut buf = Vec::new();
+            put_strategy(&mut buf, s);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(get_strategy(&mut r).unwrap(), s, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn mixed_precision_plans_round_trip_exactly() {
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let graph = models::alexnet();
+        for strategy in [Strategy::Pbqp, Strategy::CaffeLike] {
+            let plan = opt.plan(&graph, strategy).unwrap();
+            let back = round_trip_plan(&plan, &graph);
+            assert_eq!(back.strategy, plan.strategy);
+            assert_eq!(back.assignments, plan.assignments);
+            assert_eq!(back.edges, plan.edges);
+            assert_eq!(back.input_conversion, plan.input_conversion);
+            assert_eq!(back.output_conversion, plan.output_conversion);
+            assert_eq!(back.predicted_us.to_bits(), plan.predicted_us.to_bits());
+            assert_eq!(back.optimal, plan.optimal);
+            assert_eq!(back.solve_stats, plan.solve_stats);
+            assert_eq!(back.solve_time_us.to_bits(), plan.solve_time_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn decoding_against_the_wrong_graph_is_rejected() {
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let graph = models::micro_alexnet();
+        let plan = opt.plan(&graph, Strategy::Pbqp).unwrap();
+        let mut buf = Vec::new();
+        put_plan(&mut buf, &plan);
+        let smaller = models::micro_mixed();
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(get_plan(&mut r, &smaller), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_plan_streams_error_cleanly() {
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let graph = models::micro_mixed();
+        let plan = opt.plan(&graph, Strategy::Pbqp).unwrap();
+        let mut buf = Vec::new();
+        put_plan(&mut buf, &plan);
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            assert!(get_plan(&mut r, &graph).is_err(), "prefix {cut} decoded");
+        }
+    }
+}

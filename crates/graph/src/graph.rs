@@ -312,6 +312,13 @@ impl DnnGraph {
         self.node_ids().find(|&id| self.layer(id).name == name)
     }
 
+    /// The [`NodeId`] at dense index `index`, if the graph has one —
+    /// the safe inverse of [`NodeId::index`] used when rehydrating
+    /// serialized plans against their graph.
+    pub fn node_id(&self, index: usize) -> Option<NodeId> {
+        (index < self.layers.len()).then_some(NodeId(index))
+    }
+
     /// A structural fingerprint of the graph: a 64-bit FNV-1a hash over
     /// every layer (name and kind, including full conv scenarios) and every
     /// edge, in insertion order.

@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pbqp_dnn_graph::{ConvScenario, DnnGraph, GraphError, LayerKind, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
@@ -67,9 +67,12 @@ impl From<TensorError> for RuntimeError {
 }
 
 /// What one compiled step computes.
-enum StepOp<'a> {
-    /// A convolution dispatched to its selected primitive.
-    Conv { prim: &'a dyn ConvAlgorithm, kernel: &'a KernelTensor, scenario: &'a ConvScenario },
+enum StepOp {
+    /// A convolution dispatched to its selected primitive. The primitive
+    /// and kernel are shared handles, so a compiled schedule is fully
+    /// self-contained: it outlives the registry and weights it was built
+    /// from (the lifetime-ergonomics fix behind the front-door `Engine`).
+    Conv { prim: Arc<dyn ConvAlgorithm>, kernel: Arc<KernelTensor>, scenario: ConvScenario },
     /// The network input node: shape check plus the plan's conversion
     /// chain into the node's chosen layout. The chain's intermediate hops
     /// stage through conversion buffers `conv_base..`; the final hop
@@ -79,23 +82,23 @@ enum StepOp<'a> {
         h: usize,
         w: usize,
         layout: Layout,
-        chain: &'a [ReprTransform],
+        chain: Vec<ReprTransform>,
         conv_base: usize,
     },
     /// A non-conv layer computed directly in its assigned layout.
-    Dummy { kind: &'a LayerKind, layout: Layout, fc_weights: Option<&'a [f32]> },
+    Dummy { kind: LayerKind, layout: Layout, fc_weights: Option<Arc<Vec<f32>>> },
 }
 
 /// One incoming edge of a step: where the predecessor's value lives and
 /// how to legalize it into this node's input layout.
-struct PredEdge<'a> {
+struct PredEdge {
     /// Pooled value-buffer index of the predecessor (holds the
     /// predecessor's *node* index until slot assignment remaps it).
     buf: usize,
     /// The edge's representation-conversion chain — layout hops and any
     /// quantize/dequantize at mixed-precision boundaries (empty = borrow
     /// directly).
-    chain: &'a [ReprTransform],
+    chain: Vec<ReprTransform>,
     /// First conversion-buffer index; the chain uses
     /// `conv_base .. conv_base + chain.len()`.
     conv_base: usize,
@@ -103,11 +106,11 @@ struct PredEdge<'a> {
 
 /// One node of the compiled schedule: resolved operator, incoming edges,
 /// and the pooled buffer its output lands in.
-struct Step<'a> {
+struct Step {
     node: NodeId,
     /// Incoming edges in predecessor order.
-    preds: Vec<PredEdge<'a>>,
-    op: StepOp<'a>,
+    preds: Vec<PredEdge>,
+    op: StepOp,
     /// Pooled value buffer receiving this node's output.
     out_buf: usize,
     /// Output dims and representation, inferred at compile time (drives
@@ -117,10 +120,14 @@ struct Step<'a> {
 
 /// Per-worker execution state: the pooled activation buffers, conversion
 /// staging tensors and primitive scratch workspace for one in-flight
-/// forward pass. Created from the schedule's memory plan (or recycled
-/// from the executor's pool) — after the first run every buffer is at its
+/// forward pass. Created by [`Schedule::make_buffers`] (or recycled from
+/// an executor's pool) — after the first run every buffer is at its
 /// steady-state size and execution performs zero heap allocations.
-pub(crate) struct ExecBuffers {
+///
+/// Buffer sets are the *per-caller* half of the split execution state:
+/// one immutable [`Schedule`] shared by every thread, one `ExecBuffers`
+/// owned by each (the front door's `Session` owns exactly one).
+pub struct ExecBuffers {
     /// Pooled value buffers, indexed by the schedule's slot assignment.
     values: Vec<Tensor>,
     /// Per-edge-hop conversion staging buffers.
@@ -137,11 +144,45 @@ pub(crate) struct ExecBuffers {
 /// resolution, edge chains, weight references) hoisted out of the
 /// execution loop, **and** an activation memory plan — liveness-reduced
 /// output slots plus the peak primitive workspace — so steady-state
-/// execution never allocates. Built once per [`Executor`] run family and
-/// shared by every batch item and wavefront worker.
-struct Schedule<'a> {
+/// execution never allocates.
+///
+/// A schedule is **owned and immutable**: conv steps hold shared handles
+/// to their primitives and kernels, so the schedule does not borrow the
+/// registry or weights it was compiled from. One schedule (it is `Sync`)
+/// serves any number of threads, each running out of its own
+/// [`ExecBuffers`] — this split is what the front-door `Engine`/`Session`
+/// API is built on, and what [`Executor`] uses internally.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+/// use pbqp_dnn_graph::models;
+/// use pbqp_dnn_primitives::registry::{full_library, Registry};
+/// use pbqp_dnn_runtime::{Parallelism, Schedule, Weights};
+/// use pbqp_dnn_select::{Optimizer, Strategy};
+/// use pbqp_dnn_tensor::{Layout, Tensor};
+///
+/// let net = models::micro_alexnet();
+/// let registry = Registry::new(full_library());
+/// let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+/// let plan = Optimizer::new(&registry, &cost).plan(&net, Strategy::Pbqp).unwrap();
+/// let weights = Weights::random(&net, 1);
+///
+/// // Compile once; the schedule owns everything it needs.
+/// let schedule = Schedule::compile(&net, &plan, &registry, &weights).unwrap();
+/// drop(registry); // no borrows retained
+///
+/// let mut bufs = schedule.make_buffers();
+/// let mut out = Tensor::empty();
+/// let (c, h, w) = net.infer_shapes().unwrap()[0];
+/// let input = Tensor::random(c, h, w, Layout::Chw, 7);
+/// schedule.run_into(&input, &mut bufs, &mut out, Parallelism::serial()).unwrap();
+/// assert_eq!(out.dims(), net.infer_shapes().unwrap().last().copied().unwrap());
+/// ```
+pub struct Schedule {
     /// Steps in topological order.
-    steps: Vec<Step<'a>>,
+    steps: Vec<Step>,
     /// Wavefront levels: indices into `steps` whose nodes have no
     /// dependencies among each other — safe to run concurrently.
     levels: Vec<Vec<usize>>,
@@ -160,35 +201,53 @@ struct Schedule<'a> {
     /// The plan's output conversion for the terminal node (dequantization
     /// back to f32 when the sink chose a quantized representation);
     /// intermediate hops stage through `out_conv_base..`.
-    out_chain: &'a [ReprTransform],
+    out_chain: Vec<ReprTransform>,
     /// First conversion-buffer index of the output chain's staging.
     out_conv_base: usize,
 }
 
-impl<'a> Schedule<'a> {
-    fn compile(ex: &Executor<'a>) -> Result<Schedule<'a>, RuntimeError> {
-        let order = ex.graph.topo_order()?;
-        let chains: HashMap<(usize, usize), &[ReprTransform]> = ex
-            .plan
+impl Schedule {
+    /// Compiles `plan` against its graph, registry and weights into a
+    /// self-contained schedule: primitive and kernel lookups resolved to
+    /// shared handles, legalization chains materialized per edge, and the
+    /// activation memory plan (liveness-pooled slots, conversion staging
+    /// shapes, peak primitive workspace) computed up front.
+    ///
+    /// Int8-assigned conv layers have their weights quantized here, once
+    /// — the serving loop reads the cached image and never touches the
+    /// f32 taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] for malformed graphs, plans referencing
+    /// primitives the registry does not contain, or parameterized layers
+    /// without weights.
+    pub fn compile(
+        graph: &DnnGraph,
+        plan: &ExecutionPlan,
+        registry: &Registry,
+        weights: &Weights,
+    ) -> Result<Schedule, RuntimeError> {
+        let order = graph.topo_order()?;
+        let chains: HashMap<(usize, usize), &[ReprTransform]> = plan
             .edges
             .iter()
             .map(|e| ((e.from.index(), e.to.index()), e.chain.as_slice()))
             .collect();
         let input_chains: HashMap<usize, &[ReprTransform]> =
-            ex.plan.input_conversion.iter().map(|(n, c, _)| (n.index(), c.as_slice())).collect();
+            plan.input_conversion.iter().map(|(n, c, _)| (n.index(), c.as_slice())).collect();
 
         let mut steps = Vec::with_capacity(order.len());
-        let mut level_of = vec![0usize; ex.graph.len()];
+        let mut level_of = vec![0usize; graph.len()];
         let mut levels: Vec<Vec<usize>> = Vec::new();
         // The graph's own shape inference (one source of truth for the
         // pool/FC/concat output rules) drives all buffer sizing.
-        let shapes = ex.graph.infer_shapes()?;
+        let shapes = graph.infer_shapes()?;
         let mut conv_shapes: Vec<(usize, usize, usize, Repr)> = Vec::new();
         let mut ws_req = pbqp_dnn_primitives::WorkspaceReq::ZERO;
         for (step_ix, &node) in order.iter().enumerate() {
-            let layer = ex.graph.layer(node);
-            let preds: Vec<PredEdge<'a>> = ex
-                .graph
+            let layer = graph.layer(node);
+            let preds: Vec<PredEdge> = graph
                 .predecessors(node)
                 .iter()
                 .map(|p| {
@@ -198,19 +257,17 @@ impl<'a> Schedule<'a> {
                     for hop in chain {
                         conv_shapes.push((pc, ph, pw, hop.to()));
                     }
-                    PredEdge { buf: p.index(), chain, conv_base }
+                    PredEdge { buf: p.index(), chain: chain.to_vec(), conv_base }
                 })
                 .collect();
 
-            let (op, out_shape) = match (&layer.kind, ex.plan.assignment(node)) {
+            let (op, out_shape) = match (&layer.kind, plan.assignment(node)) {
                 (LayerKind::Conv(s), AssignmentKind::Conv { primitive, .. }) => {
-                    let prim = ex
-                        .registry
+                    let prim = registry
                         .by_name(primitive)
                         .ok_or_else(|| RuntimeError::UnknownPrimitive(primitive.clone()))?;
-                    let kernel = ex
-                        .weights
-                        .conv_kernel(node)
+                    let kernel = weights
+                        .conv_kernel_shared(node)
                         .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?;
                     ws_req = ws_req.max(prim.workspace_req(s));
                     if prim.descriptor().input_dtype == DType::I8 {
@@ -220,7 +277,7 @@ impl<'a> Schedule<'a> {
                         let _ = kernel.quantized();
                     }
                     let repr = prim.descriptor().output_repr();
-                    let op = StepOp::Conv { prim: prim.as_ref(), kernel, scenario: s };
+                    let op = StepOp::Conv { prim: Arc::clone(prim), kernel, scenario: *s };
                     (op, (s.m, s.out_h(), s.out_w(), repr))
                 }
                 (LayerKind::Input { c, h, w }, AssignmentKind::Dummy { layout }) => {
@@ -231,22 +288,28 @@ impl<'a> Schedule<'a> {
                             conv_shapes.push((*c, *h, *w, hop.to()));
                         }
                     }
-                    let op =
-                        StepOp::Input { c: *c, h: *h, w: *w, layout: *layout, chain, conv_base };
+                    let op = StepOp::Input {
+                        c: *c,
+                        h: *h,
+                        w: *w,
+                        layout: *layout,
+                        chain: chain.to_vec(),
+                        conv_base,
+                    };
                     (op, (*c, *h, *w, Repr::f32(*layout)))
                 }
                 (kind, AssignmentKind::Dummy { layout }) => {
                     let fc_weights = if let LayerKind::FullyConnected { .. } = kind {
                         Some(
-                            ex.weights
-                                .fc_matrix(node)
+                            weights
+                                .fc_matrix_shared(node)
                                 .ok_or_else(|| RuntimeError::MissingWeights(layer.name.clone()))?,
                         )
                     } else {
                         None
                     };
                     let dims = shapes[node.index()];
-                    let op = StepOp::Dummy { kind, layout: *layout, fc_weights };
+                    let op = StepOp::Dummy { kind: *kind, layout: *layout, fc_weights };
                     (op, (dims.0, dims.1, dims.2, Repr::f32(*layout)))
                 }
                 (kind, AssignmentKind::Conv { .. }) => {
@@ -263,8 +326,7 @@ impl<'a> Schedule<'a> {
         }
 
         let last = *order.last().expect("graph validated as non-empty");
-        let out_chain: &[ReprTransform] = ex
-            .plan
+        let out_chain: &[ReprTransform] = plan
             .output_conversion
             .iter()
             .find(|(n, _, _)| *n == last)
@@ -299,7 +361,7 @@ impl<'a> Schedule<'a> {
             }
         }
 
-        let mut node_buf = vec![usize::MAX; ex.graph.len()];
+        let mut node_buf = vec![usize::MAX; graph.len()];
         let mut buf_elems: Vec<(usize, DType)> = Vec::new();
         let mut free: Vec<usize> = Vec::new();
         for (lv, level) in levels.iter().enumerate() {
@@ -354,9 +416,53 @@ impl<'a> Schedule<'a> {
             conv_shapes,
             ws_req,
             last_buf,
-            out_chain,
+            out_chain: out_chain.to_vec(),
             out_conv_base,
         })
+    }
+
+    /// Runs one forward pass out of a caller-owned buffer set, writing
+    /// the network output into `out` — the per-thread serving primitive
+    /// the front door's `Session::infer` is built on. `input` must be the
+    /// canonical-CHW network input; the plan's input-conversion chain is
+    /// applied automatically and quantized sinks are dequantized back to
+    /// f32 through the plan's output chain.
+    ///
+    /// With serial [`Parallelism`] a warmed `(bufs, out)` pair makes this
+    /// call perform **zero heap allocations**; `inter_op > 1` walks the
+    /// DAG in wavefront levels on scoped threads, bit-identical to
+    /// serial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph, primitive, transformation and input-shape
+    /// errors.
+    pub fn run_into(
+        &self,
+        input: &Tensor,
+        bufs: &mut ExecBuffers,
+        out: &mut Tensor,
+        par: Parallelism,
+    ) -> Result<(), RuntimeError> {
+        check_input(input)?;
+        if par.inter_op > 1 {
+            self.execute_wavefront(input, par, bufs)?;
+        } else {
+            self.execute_serial(input, par.intra_op, bufs)?;
+        }
+        self.finish_output(bufs, out)
+    }
+
+    /// Number of pooled activation slots in the memory plan. Liveness
+    /// analysis lets non-overlapping values share slots, so this is
+    /// bounded by peak activation working set, not node count.
+    pub fn activation_slots(&self) -> usize {
+        self.buf_elems.len()
+    }
+
+    /// Number of wavefront levels (the DAG's critical-path length).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
     }
 
     /// Delivers the network output into `out`: a plain recycled copy when
@@ -384,7 +490,7 @@ impl<'a> Schedule<'a> {
 
     /// Materializes one worker's buffer set, pre-sized so the first run
     /// settles every capacity and later runs never allocate.
-    fn make_buffers(&self) -> ExecBuffers {
+    pub fn make_buffers(&self) -> ExecBuffers {
         let values = self
             .buf_elems
             .iter()
@@ -410,7 +516,7 @@ impl<'a> Schedule<'a> {
     /// intermediate hops) into the conversion buffers.
     fn run_conversions(
         &self,
-        step: &Step<'a>,
+        step: &Step,
         values: &[Tensor],
         convs: &mut [Tensor],
         input: &Tensor,
@@ -441,7 +547,7 @@ impl<'a> Schedule<'a> {
     #[allow(clippy::too_many_arguments)]
     fn dispatch_into(
         &self,
-        step: &Step<'a>,
+        step: &Step,
         values: &[Tensor],
         convs: &[Tensor],
         input: &Tensor,
@@ -451,7 +557,7 @@ impl<'a> Schedule<'a> {
     ) -> Result<(), RuntimeError> {
         // The common case — an empty chain — borrows the stored
         // activation; only real conversions read the staging buffers.
-        let resolve = |pe: &PredEdge<'a>| -> &Tensor {
+        let resolve = |pe: &PredEdge| -> &Tensor {
             match pe.chain.len() {
                 0 => &values[pe.buf],
                 l => &convs[pe.conv_base + l - 1],
@@ -492,7 +598,7 @@ impl<'a> Schedule<'a> {
                 LayerKind::Lrn => ops::lrn_into(resolve(&step.preds[0]), *layout, out),
                 LayerKind::Dropout => out.assign_from(resolve(&step.preds[0])),
                 LayerKind::FullyConnected { out: out_n } => {
-                    let wts = fc_weights.expect("resolved at compile time");
+                    let wts = fc_weights.as_ref().expect("resolved at compile time");
                     ops::fully_connected_into(resolve(&step.preds[0]), wts, *out_n, *layout, out);
                 }
                 LayerKind::Concat => {
@@ -519,7 +625,7 @@ impl<'a> Schedule<'a> {
     /// the step's pooled output buffer.
     fn eval_into(
         &self,
-        step: &Step<'a>,
+        step: &Step,
         bufs: &mut ExecBuffers,
         input: &Tensor,
         intra_op: usize,
@@ -642,9 +748,9 @@ pub struct Executor<'a> {
     registry: &'a Registry,
     weights: &'a Weights,
     /// Memoized compiled schedule: every execution mode shares one
-    /// compilation per executor. (`Schedule` borrows only the `'a`-lived
-    /// inputs above, not the executor itself.)
-    schedule: OnceLock<Schedule<'a>>,
+    /// compilation per executor. (The schedule is owned — it holds shared
+    /// handles to primitives and kernels, not borrows of the executor.)
+    schedule: OnceLock<Schedule>,
     /// Recycled per-worker buffer sets: activation slots, conversion
     /// staging and primitive workspaces. Checked out per run, returned
     /// afterwards — the steady-state serving loop allocates nothing.
@@ -672,27 +778,17 @@ impl<'a> Executor<'a> {
     /// The compiled schedule, built on first use. Compilation errors
     /// (unknown primitive, missing weights, malformed graph) are not
     /// cached — they surface on every call.
-    fn schedule(&self) -> Result<&Schedule<'a>, RuntimeError> {
+    fn schedule(&self) -> Result<&Schedule, RuntimeError> {
         if let Some(s) = self.schedule.get() {
             return Ok(s);
         }
-        let compiled = Schedule::compile(self)?;
+        let compiled = Schedule::compile(self.graph, self.plan, self.registry, self.weights)?;
         Ok(self.schedule.get_or_init(|| compiled))
-    }
-
-    fn check_input(input: &Tensor) -> Result<(), RuntimeError> {
-        if input.layout() != Layout::Chw {
-            return Err(RuntimeError::BadInput(format!(
-                "network inputs are canonical CHW, got {}",
-                input.layout()
-            )));
-        }
-        Ok(())
     }
 
     /// Checks a buffer set out of the pool (building one on first use),
     /// runs `f`, and returns the set for the next run.
-    fn with_buffers<R>(&self, schedule: &Schedule<'a>, f: impl FnOnce(&mut ExecBuffers) -> R) -> R {
+    fn with_buffers<R>(&self, schedule: &Schedule, f: impl FnOnce(&mut ExecBuffers) -> R) -> R {
         let recycled = self.buffers.lock().expect("buffer pool poisoned").pop();
         let mut bufs = recycled.unwrap_or_else(|| schedule.make_buffers());
         let result = f(&mut bufs);
@@ -769,17 +865,8 @@ impl<'a> Executor<'a> {
         out: &mut Tensor,
         par: Parallelism,
     ) -> Result<(), RuntimeError> {
-        Self::check_input(input)?;
         let schedule = self.schedule()?;
-        self.with_buffers(schedule, |bufs| {
-            if par.inter_op > 1 {
-                schedule.execute_wavefront(input, par, bufs)?;
-            } else {
-                schedule.execute_serial(input, par.intra_op, bufs)?;
-            }
-            schedule.finish_output(bufs, out)?;
-            Ok(())
-        })
+        self.with_buffers(schedule, |bufs| schedule.run_into(input, bufs, out, par))
     }
 
     /// Runs one plan over a whole batch of inputs, amortizing schedule
@@ -819,7 +906,7 @@ impl<'a> Executor<'a> {
         par: Parallelism,
     ) -> Result<(), RuntimeError> {
         for input in inputs {
-            Self::check_input(input)?;
+            check_input(input)?;
         }
         if outs.len() != inputs.len() {
             outs.resize_with(inputs.len(), Tensor::empty);
@@ -865,6 +952,19 @@ impl fmt::Debug for Executor<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Executor").field("nodes", &self.graph.len()).finish()
     }
+}
+
+/// Network inputs arrive in the canonical CHW f32 representation; plans
+/// price and carry the conversion into whatever layout the input node
+/// chose, so anything else is a caller error.
+fn check_input(input: &Tensor) -> Result<(), RuntimeError> {
+    if input.layout() != Layout::Chw {
+        return Err(RuntimeError::BadInput(format!(
+            "network inputs are canonical CHW, got {}",
+            input.layout()
+        )));
+    }
+    Ok(())
 }
 
 /// Independent oracle: executes the network with the textbook reference

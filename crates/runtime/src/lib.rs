@@ -93,6 +93,6 @@ mod ops;
 mod par;
 mod weights;
 
-pub use exec::{reference_forward, Executor, RuntimeError};
+pub use exec::{reference_forward, ExecBuffers, Executor, RuntimeError, Schedule};
 pub use par::Parallelism;
 pub use weights::Weights;

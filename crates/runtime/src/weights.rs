@@ -1,18 +1,24 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pbqp_dnn_graph::{DnnGraph, LayerKind, NodeId};
-use pbqp_dnn_tensor::KernelTensor;
+use pbqp_dnn_tensor::wire::{self, WireError, WireReader};
+use pbqp_dnn_tensor::{KernelTensor, QuantizedKernel};
 
 /// Trained parameters for a network: convolution kernels and
 /// fully-connected weight matrices (bias-free, like the paper's
 /// convolution-focused formulation).
 ///
+/// Parameters are stored behind [`Arc`]s, so cloning a `Weights` (or
+/// sharing it between a compiled model and its serving engine) is a
+/// handful of reference-count bumps, not a copy of the taps.
+///
 /// Convolution kernels honour each scenario's sparsity ratio, so the §8
 /// sparse primitives see genuinely sparse weights.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Weights {
-    conv: HashMap<usize, KernelTensor>,
-    fc: HashMap<usize, Vec<f32>>,
+    conv: HashMap<usize, Arc<KernelTensor>>,
+    fc: HashMap<usize, Arc<Vec<f32>>>,
 }
 
 impl Weights {
@@ -34,7 +40,7 @@ impl Weights {
                     if s.sparsity_pm > 0 {
                         k.sparsify(s.sparsity(), seed ^ 0x5EED);
                     }
-                    conv.insert(node.index(), k);
+                    conv.insert(node.index(), Arc::new(k));
                 }
                 LayerKind::FullyConnected { out } => {
                     let (c, h, w) = shapes[graph.predecessors(node)[0].index()];
@@ -51,7 +57,7 @@ impl Weights {
                             (((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0) * scale
                         })
                         .collect();
-                    fc.insert(node.index(), data);
+                    fc.insert(node.index(), Arc::new(data));
                 }
                 _ => {}
             }
@@ -61,17 +67,106 @@ impl Weights {
 
     /// Kernel of the conv layer at `node`.
     pub fn conv_kernel(&self, node: NodeId) -> Option<&KernelTensor> {
-        self.conv.get(&node.index())
+        self.conv.get(&node.index()).map(Arc::as_ref)
+    }
+
+    /// Shared handle to the conv kernel at `node` (the compiled schedule
+    /// keeps one per conv step so it can outlive this `Weights`).
+    pub fn conv_kernel_shared(&self, node: NodeId) -> Option<Arc<KernelTensor>> {
+        self.conv.get(&node.index()).map(Arc::clone)
     }
 
     /// Mutable kernel access (e.g. to sparsify after construction).
+    /// Copy-on-write: a kernel shared with a compiled schedule is cloned
+    /// before mutation, so existing schedules keep their taps.
     pub fn conv_kernel_mut(&mut self, node: NodeId) -> Option<&mut KernelTensor> {
-        self.conv.get_mut(&node.index())
+        self.conv.get_mut(&node.index()).map(Arc::make_mut)
     }
 
     /// Row-major `out × (c·h·w)` weight matrix of the FC layer at `node`.
     pub fn fc_matrix(&self, node: NodeId) -> Option<&[f32]> {
-        self.fc.get(&node.index()).map(Vec::as_slice)
+        self.fc.get(&node.index()).map(|m| m.as_slice())
+    }
+
+    /// Shared handle to the FC matrix at `node`.
+    pub fn fc_matrix_shared(&self, node: NodeId) -> Option<Arc<Vec<f32>>> {
+        self.fc.get(&node.index()).map(Arc::clone)
+    }
+
+    /// Encodes every parameter — and any cached int8 weight image — into
+    /// the stable wire format (see [`pbqp_dnn_tensor::wire`]). Entries
+    /// are written in ascending node order so identical weights always
+    /// produce identical bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut conv_nodes: Vec<&usize> = self.conv.keys().collect();
+        conv_nodes.sort();
+        wire::put_usize(out, conv_nodes.len());
+        for &node in conv_nodes {
+            let kernel = &self.conv[&node];
+            let (m, c, kh, kw) = kernel.dims();
+            wire::put_usize(out, node);
+            for dim in [m, c, kh, kw] {
+                wire::put_usize(out, dim);
+            }
+            wire::put_f32s(out, kernel.data());
+            // Ship the pre-quantized image when one exists, so the
+            // serving host never rescans the f32 taps for int8 layers.
+            match kernel.has_quantized() {
+                false => wire::put_u8(out, 0),
+                true => {
+                    let q = kernel.quantized();
+                    wire::put_u8(out, 1);
+                    wire::put_i8s(out, &q.data);
+                    wire::put_f32(out, q.scale);
+                    wire::put_i32s(out, &q.filter_sums);
+                }
+            }
+        }
+        let mut fc_nodes: Vec<&usize> = self.fc.keys().collect();
+        fc_nodes.sort();
+        wire::put_usize(out, fc_nodes.len());
+        for &node in fc_nodes {
+            wire::put_usize(out, node);
+            wire::put_f32s(out, &self.fc[&node]);
+        }
+    }
+
+    /// Decodes weights written by [`Weights::encode_into`], restoring any
+    /// shipped int8 weight images into the kernels' quantization caches.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or images that disagree with their
+    /// kernel's dimensions.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Weights, WireError> {
+        let mut conv = HashMap::new();
+        let n_conv = r.len_prefix(1)?;
+        for _ in 0..n_conv {
+            let node = r.usize()?;
+            let (m, c, kh, kw) = (r.usize()?, r.usize()?, r.usize()?, r.usize()?);
+            let data = r.f32s()?;
+            let kernel = KernelTensor::from_vec(m, c, kh, kw, data)
+                .map_err(|e| WireError::Corrupt(e.to_string()))?;
+            match r.u8()? {
+                0 => {}
+                1 => {
+                    let image =
+                        QuantizedKernel { data: r.i8s()?, scale: r.f32()?, filter_sums: r.i32s()? };
+                    kernel
+                        .restore_quantized(image)
+                        .map_err(|e| WireError::Corrupt(e.to_string()))?;
+                }
+                tag => return Err(WireError::Corrupt(format!("quantized-image tag {tag}"))),
+            }
+            conv.insert(node, Arc::new(kernel));
+        }
+        let mut fc = HashMap::new();
+        let n_fc = r.len_prefix(1)?;
+        for _ in 0..n_fc {
+            let node = r.usize()?;
+            fc.insert(node, Arc::new(r.f32s()?));
+        }
+        Ok(Weights { conv, fc })
     }
 }
 
@@ -101,5 +196,46 @@ mod tests {
         let conv1 = net.find("conv1").unwrap();
         assert_eq!(a.conv_kernel(conv1), b.conv_kernel(conv1));
         assert_ne!(a.conv_kernel(conv1), c.conv_kernel(conv1));
+    }
+
+    #[test]
+    fn mutation_does_not_disturb_shared_handles() {
+        let net = models::micro_alexnet();
+        let mut w = Weights::random(&net, 3);
+        let conv1 = net.conv_nodes()[0];
+        let shared = w.conv_kernel_shared(conv1).unwrap();
+        let before = shared.data().to_vec();
+        w.conv_kernel_mut(conv1).unwrap().set(0, 0, 0, 0, 1234.5);
+        assert_eq!(shared.data(), before.as_slice(), "COW must preserve the shared kernel");
+        assert_eq!(w.conv_kernel(conv1).unwrap().at(0, 0, 0, 0), 1234.5);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_taps_and_quantized_images() {
+        let net = models::micro_mixed();
+        let w = Weights::random(&net, 0xC0FFEE);
+        let conv = net.conv_nodes()[0];
+        // Materialize an int8 image on one kernel, as schedule
+        // compilation does for int8-assigned layers.
+        let q_before = w.conv_kernel(conv).unwrap().quantized().clone();
+
+        let mut buf = Vec::new();
+        w.encode_into(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let back = Weights::decode_from(&mut r).unwrap();
+        assert!(r.is_empty());
+
+        for node in net.conv_nodes() {
+            assert_eq!(back.conv_kernel(node), w.conv_kernel(node));
+        }
+        let restored = back.conv_kernel(conv).unwrap();
+        assert!(restored.has_quantized(), "shipped image must be restored");
+        assert_eq!(*restored.quantized(), q_before);
+
+        // Truncations fail cleanly.
+        for cut in [0, 1, buf.len() / 2, buf.len() - 1] {
+            let mut r = WireReader::new(&buf[..cut]);
+            assert!(Weights::decode_from(&mut r).is_err(), "prefix {cut}");
+        }
     }
 }

@@ -197,6 +197,43 @@ impl KernelTensor {
         })
     }
 
+    /// Seeds the quantization cache with a previously computed image —
+    /// the deserialization half of the shippable-artifact story: a
+    /// compiled model carries its pre-quantized weights, and loading it
+    /// restores them here so the serving host never rescans the f32 taps.
+    ///
+    /// The image must be exactly what [`KernelTensor::quantized`] would
+    /// compute (quantization is deterministic, so any artifact produced
+    /// by `quantized()` qualifies). If a cache is already present the
+    /// call is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the image's tap count
+    /// or filter-sum count disagrees with this kernel's dimensions.
+    pub fn restore_quantized(&self, q: QuantizedKernel) -> Result<(), TensorError> {
+        if q.data.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: self.data.len(),
+                actual: q.data.len(),
+            });
+        }
+        if q.filter_sums.len() != self.m {
+            return Err(TensorError::LengthMismatch {
+                expected: self.m,
+                actual: q.filter_sums.len(),
+            });
+        }
+        let _ = self.quant.set(q);
+        Ok(())
+    }
+
+    /// Whether an int8 image is already cached (pre-quantized at compile
+    /// time or restored from an artifact).
+    pub fn has_quantized(&self) -> bool {
+        self.quant.get().is_some()
+    }
+
     /// Applies a sparsity mask: zeroes every weight whose deterministic hash
     /// falls below `ratio` (0 = dense, 1 = all-zero). Used by the sparse
     /// primitive extension (§8 of the paper).

@@ -41,6 +41,7 @@ pub mod pool;
 pub mod rng;
 mod tensor;
 pub mod transform;
+pub mod wire;
 
 pub use dtype::{DType, QuantParams, Repr};
 pub use error::TensorError;

@@ -1,11 +1,13 @@
-//! Batched serving: the parallel execution engine end to end.
+//! Batched serving through the front door: one shared [`Engine`], one
+//! [`Session`] per worker thread.
 //!
-//! A serving process receives many requests for the same model. This
-//! example shows the three pieces the engine adds on top of the paper's
-//! optimizer: the plan cache (solve once, serve forever), the batched
-//! executor (one schedule amortized over N inputs, fanned over worker
-//! threads), and the wavefront scheduler (independent inception branches
-//! executed concurrently) — all bit-identical to the serial reference.
+//! A serving process receives many requests for the same model. The
+//! compiler pays the PBQP solve once (and memoizes it by artifact
+//! fingerprint), the engine shares the compiled schedule across threads,
+//! and each worker's session serves its slice of the batch out of its
+//! own warmed buffers — bit-identical to the serial reference, as
+//! always. The low-level `Executor` batch API remains available and is
+//! cross-checked at the end.
 //!
 //! ```sh
 //! cargo run --release --example batch_serving
@@ -13,61 +15,74 @@
 
 use std::time::Instant;
 
-use pbqp_dnn_cost::{AnalyticCost, MachineModel};
-use pbqp_dnn_graph::models;
-use pbqp_dnn_primitives::registry::{full_library, Registry};
-use pbqp_dnn_runtime::{Executor, Parallelism, Weights};
-use pbqp_dnn_select::{Optimizer, PlanCache, Strategy};
-use pbqp_dnn_tensor::{Layout, Tensor};
+use pbqp_dnn::prelude::*;
+use pbqp_dnn::runtime::Executor;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // The served model: a miniature inception module — a branching DAG,
     // so the wavefront scheduler has real inter-op parallelism to find.
     let net = models::micro_inception();
-    let registry = Registry::new(full_library());
-    let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
-    let optimizer = Optimizer::new(&registry, &cost);
+    let weights = Weights::random(&net, 0x5EED);
 
-    // 1. The plan cache: the first request pays the PBQP solve, every
-    //    later request is a fingerprint + map lookup.
-    let cache = PlanCache::new();
+    // 1. Compile once; recompiles of a known model are fingerprint-keyed
+    //    cache hits.
+    let compiler = Compiler::new(CompileOptions::new());
     let t0 = Instant::now();
-    cache.plan(&optimizer, &net, Strategy::Pbqp)?;
+    let model = compiler.compile(&net, &weights)?;
     let cold_us = t0.elapsed().as_secs_f64() * 1e6;
     let t1 = Instant::now();
-    let plan = cache.plan(&optimizer, &net, Strategy::Pbqp)?;
+    let _again = compiler.compile(&net, &weights)?;
     let warm_us = t1.elapsed().as_secs_f64() * 1e6;
-    println!(
-        "plan cache: cold {cold_us:.0} µs, warm {warm_us:.1} µs ({} hit / {} miss)",
-        cache.hits(),
-        cache.misses()
-    );
-    println!("{plan}");
+    let (hits, misses) = compiler.cache_stats();
+    println!("compile: cold {cold_us:.0} µs, cached {warm_us:.1} µs ({hits} hit / {misses} miss)");
+    println!("{}", model.plan());
 
-    // 2. A batch of requests, served in one call.
-    let weights = Weights::random(&net, 0x5EED);
-    let executor = Executor::new(&net, &plan, &registry, &weights);
+    // 2. A batch of requests, fanned over worker threads — one session
+    //    each, no locks, no shared mutable state.
+    let engine = model.engine();
     let (c, h, w) = net.infer_shapes()?[0];
     let batch: Vec<Tensor> =
         (0..16).map(|i| Tensor::random(c, h, w, Layout::Chw, 40 + i)).collect();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let per = batch.len().div_ceil(workers);
 
-    let par = Parallelism::available();
     let t2 = Instant::now();
-    let outputs = executor.run_batch(&batch, par)?;
+    let outputs: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batch
+            .chunks(per)
+            .map(|chunk| {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    let mut outs = Vec::new();
+                    session.infer_batch(chunk, &mut outs).expect("serving failed");
+                    outs
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
     let batch_ms = t2.elapsed().as_secs_f64() * 1e3;
-    println!("run_batch: {} items in {batch_ms:.2} ms ({par})", outputs.len());
+    println!("served {} requests on {workers} sessions in {batch_ms:.2} ms", outputs.len());
 
-    // 3. The wavefront scheduler on a single request, checked
-    //    bit-for-bit against the serial reference executor.
-    let serial = executor.run_with(&batch[0], Parallelism::serial())?;
-    let wavefront = executor.run_with(&batch[0], par.with_inter_op(4))?;
-    assert_eq!(serial.data(), wavefront.data());
-    println!("wavefront output is bit-identical to the serial reference");
+    // 3. Wavefront parallelism inside one session, checked bit-for-bit
+    //    against the serial session.
+    let mut serial = engine.session();
+    let mut wave = engine.session();
+    wave.set_parallelism(Parallelism::serial().with_inter_op(4));
+    let a = serial.infer_new(&batch[0])?;
+    let b = wave.infer_new(&batch[0])?;
+    assert_eq!(a.data(), b.data());
+    println!("wavefront session is bit-identical to the serial session");
 
-    // And every batched output matches its serial counterpart exactly.
-    for (input, out) in batch.iter().zip(&outputs) {
-        assert_eq!(executor.run(input, 1)?.data(), out.data());
+    // 4. And the power-user surface agrees exactly: the model's own plan
+    //    run through the low-level Executor batch API.
+    let registry = model.registry();
+    let executor = Executor::new(&net, model.plan(), registry, &weights);
+    let reference = executor.run_batch(&batch, Parallelism::available())?;
+    for (front, low) in outputs.iter().zip(&reference) {
+        assert_eq!(front.data(), low.data());
     }
-    println!("all {} batched outputs are bit-identical to serial runs", outputs.len());
+    println!("all {} front-door outputs match the low-level executor bit-for-bit", outputs.len());
     Ok(())
 }

@@ -1,0 +1,113 @@
+//! Edge deployment: solve on the build host, serve on the edge.
+//!
+//! The paper's pitch is "solve once, run the optimal plan forever". This
+//! example plays both ends of that pipeline in one process, with the
+//! artifact bytes as the only thing crossing the boundary:
+//!
+//! * the **build host** compiles a mixed-precision model for the
+//!   embedded machine model — profiling the full library, solving the
+//!   PBQP instance, pre-quantizing the int8 weights — and serializes the
+//!   result;
+//! * the **edge host** knows nothing but the bytes: it loads the
+//!   artifact (fingerprint-validated), never profiles, never solves, and
+//!   serves out of a warmed zero-alloc session.
+//!
+//! ```sh
+//! cargo run --release --example edge_deploy
+//! ```
+
+use std::time::Instant;
+
+use pbqp_dnn::prelude::*;
+
+/// What the build host ships: nothing but bytes.
+fn build_host(net: &DnnGraph, weights: &Weights) -> Result<Vec<u8>, Error> {
+    // The build host targets the *edge* machine model: costs are priced
+    // for where the plan will run, not where it is solved (§5.1's
+    // cross-platform deployments).
+    let options = CompileOptions::new()
+        .machine(MachineModel::arm_a57_like())
+        .threads(4)
+        .mixed_precision(true)
+        .strategy(Strategy::Pbqp);
+    let t0 = Instant::now();
+    let model = Compiler::new(options).compile(net, weights)?;
+    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let plan = model.plan();
+    println!("[build] solved in {compile_ms:.1} ms: {plan}");
+    println!(
+        "[build] {} int8 layers, {} quant/dequant edges, {} pooled activation slots",
+        plan.int8_layers().len(),
+        plan.quant_edge_count(),
+        model.activation_slots(),
+    );
+
+    let mut artifact = Vec::new();
+    model.save(&mut artifact)?;
+    println!(
+        "[build] artifact: {} bytes (fingerprint {:#018x}) — ship it",
+        artifact.len(),
+        model.fingerprint()
+    );
+    Ok(artifact)
+}
+
+/// What the edge host runs: load, validate, serve. No optimizer, no cost
+/// model, no solver anywhere in this function.
+fn edge_host(artifact: &[u8], requests: &[Tensor]) -> Result<Vec<Tensor>, Error> {
+    let t0 = Instant::now();
+    let model = CompiledModel::load(&mut &artifact[..])?;
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "[edge]  loaded + schedule recompiled in {load_ms:.2} ms ({} nodes, library {:?})",
+        model.graph().len(),
+        model.library()
+    );
+
+    let engine = model.engine();
+    let mut session = engine.session();
+    let mut outputs = Vec::new();
+    let mut out = Tensor::empty();
+    for (i, request) in requests.iter().enumerate() {
+        let t = Instant::now();
+        session.infer(request, &mut out)?;
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        let tag = if i == 0 { " (warmup — settles buffers)" } else { " (zero-alloc)" };
+        println!("[edge]  request {i}: {us:.0} µs{tag}");
+        outputs.push(out.clone());
+    }
+    Ok(outputs)
+}
+
+fn main() -> Result<(), Error> {
+    let net = models::micro_mixed();
+    let weights = Weights::random(&net, 0xED6E);
+
+    // ---- build host ---------------------------------------------------
+    let artifact = build_host(&net, &weights)?;
+
+    // Tampered artifacts never reach serving: the whole stream is
+    // checksummed (with graph-fingerprint revalidation behind it), so a
+    // flipped bit anywhere — header, plan, weight taps — is refused.
+    let mut tampered = artifact.clone();
+    tampered[15] ^= 0xFF;
+    let refused = CompiledModel::load(&mut tampered.as_slice()).unwrap_err();
+    println!("[edge]  tampered artifact refused: {refused}");
+
+    // ---- edge host ----------------------------------------------------
+    let (c, h, w) = net.infer_shapes()?[0];
+    let requests: Vec<Tensor> =
+        (0..4).map(|i| Tensor::random(c, h, w, Layout::Chw, 100 + i)).collect();
+    let outputs = edge_host(&artifact, &requests)?;
+
+    // The shipped plan computes the same function the build host's
+    // weights define — checked against the independent oracle.
+    let oracle = reference_forward(&net, &weights, &requests[0]);
+    let diff = outputs[0].max_abs_diff(&oracle)?;
+    let maxabs = oracle.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    println!("edge output vs f32 oracle: max |err| {diff:.4} (range ±{maxabs:.2})");
+    assert!(diff < 0.05 * maxabs + 0.05, "int8 error must stay within quantization budget");
+    println!("shippable-plan story holds: solve once on the build host, serve forever on the edge");
+    Ok(())
+}

@@ -10,12 +10,13 @@
 //! cargo run --release --example embedded_vision
 //! ```
 
-use pbqp_dnn_cost::{AnalyticCost, MachineModel};
-use pbqp_dnn_graph::models;
-use pbqp_dnn_primitives::registry::{full_library, Registry};
-use pbqp_dnn_select::{AssignmentKind, Optimizer, Strategy};
+use pbqp_dnn::cost::{AnalyticCost, MachineModel};
+use pbqp_dnn::graph::models;
+use pbqp_dnn::primitives::registry::{full_library, Registry};
+use pbqp_dnn::select::{AssignmentKind, Optimizer, Strategy};
+use pbqp_dnn::Error;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let registry = Registry::new(full_library());
     let net = models::alexnet();
 
@@ -43,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:10} {:32} {:32}", "layer", machines[0].name, machines[1].name);
     for node in net.conv_nodes() {
         let name = &net.layer(node).name;
-        let cell = |plan: &pbqp_dnn_select::ExecutionPlan| match plan.assignment(node) {
+        let cell = |plan: &pbqp_dnn::select::ExecutionPlan| match plan.assignment(node) {
             AssignmentKind::Conv { primitive, input_repr, output_repr, .. } => {
                 format!("{primitive} [{input_repr}->{output_repr}]")
             }

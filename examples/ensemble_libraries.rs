@@ -19,15 +19,16 @@
 //! cargo run --release --example ensemble_libraries
 //! ```
 
-use pbqp_dnn_cost::{AnalyticCost, DtGraph, MachineModel};
-use pbqp_dnn_graph::models::{self, VggVariant};
-use pbqp_dnn_primitives::registry::{full_library, Registry};
-use pbqp_dnn_primitives::Family;
-use pbqp_dnn_select::{Optimizer, Strategy};
-use pbqp_dnn_tensor::transform::DIRECT_TRANSFORMS;
-use pbqp_dnn_tensor::Layout;
+use pbqp_dnn::cost::{AnalyticCost, DtGraph, MachineModel};
+use pbqp_dnn::graph::models::{self, VggVariant};
+use pbqp_dnn::primitives::registry::{full_library, Registry};
+use pbqp_dnn::primitives::Family;
+use pbqp_dnn::select::{Optimizer, Strategy};
+use pbqp_dnn::tensor::transform::DIRECT_TRANSFORMS;
+use pbqp_dnn::tensor::Layout;
+use pbqp_dnn::Error;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let planar = [Layout::Chw, Layout::Cwh, Layout::Hcw, Layout::Chw4, Layout::Chw8];
     let lib_of = |layout: Layout| if planar.contains(&layout) { "A" } else { "B" };
 
@@ -66,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Optimizer::new(&registry, &cost).with_dt_graph(DtGraph::with_edges(isolated_edges));
     let plan_isolated = isolated.plan(&net, Strategy::Pbqp)?;
 
-    let libs_used = |plan: &pbqp_dnn_select::ExecutionPlan| {
+    let libs_used = |plan: &pbqp_dnn::select::ExecutionPlan| {
         let (mut a, mut b) = (0, 0);
         for (_, prim) in plan.selected_primitives() {
             match lib_of(registry.by_name(prim).unwrap().descriptor().input_layout) {

@@ -16,12 +16,13 @@
 
 use pbqp_dnn::cost::{AnalyticCost, MachineModel};
 use pbqp_dnn::graph::models;
+use pbqp_dnn::prelude::{CompileOptions, Compiler, Error};
 use pbqp_dnn::primitives::registry::{full_library, mixed_precision_library, Registry};
-use pbqp_dnn::runtime::{reference_forward, Executor, Weights};
+use pbqp_dnn::runtime::{reference_forward, Weights};
 use pbqp_dnn::select::{AssignmentKind, Optimizer, Strategy};
 use pbqp_dnn::tensor::{DType, Layout, Tensor};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // ---- 1. The solver mixes precisions on a published model ----------
     let mixed_reg = Registry::new(mixed_precision_library());
     let f32_reg = Registry::new(full_library());
@@ -49,27 +50,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(mixed.is_mixed_precision(), "solver should keep Winograd-friendly layers in f32");
     assert!(mixed.predicted_us <= f32_only.predicted_us);
 
-    // ---- 2. …and the runtime executes the mixed plan end to end -------
-    // A small serving network whose big strided layer tips to int8.
+    // ---- 2. …and the front door serves the mixed plan end to end ------
+    // A small serving network whose big strided layer tips to int8,
+    // compiled through the one-line mixed-precision switch.
     let g = models::micro_mixed();
 
-    let intel = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
-    let plan = Optimizer::new(&mixed_reg, &intel).plan(&g, Strategy::Pbqp)?;
-    println!("\nserving network: {plan}");
+    let model = Compiler::new(
+        CompileOptions::new().machine(MachineModel::intel_haswell_like()).mixed_precision(true),
+    )
+    .compile(&g, &Weights::random(&g, 0xFEED))?;
+    println!("\nserving network: {}", model.plan());
 
-    let weights = Weights::random(&g, 0xFEED);
-    let exec = Executor::new(&g, &plan, &mixed_reg, &weights);
+    let weights = model.weights().clone();
     let input = Tensor::random(16, 20, 20, Layout::Chw, 7);
     let oracle = reference_forward(&g, &weights, &input);
 
-    // Warm once, then serve allocation-free out of recycled storage:
-    // weights were quantized at schedule-compile time, activations
-    // quantize/dequantize through pooled staging buffers.
+    // Warm once, then serve allocation-free out of the session's
+    // recycled storage: weights were quantized at compile time,
+    // activations quantize/dequantize through pooled staging buffers.
+    let engine = model.engine();
+    let mut session = engine.session();
     let mut out = Tensor::empty();
-    exec.run_into(&input, &mut out, 1)?;
+    session.infer(&input, &mut out)?;
     for _ in 0..3 {
-        exec.run_into(&input, &mut out, 1)?;
+        session.infer(&input, &mut out)?;
     }
+    let plan = model.plan();
     let diff = out.max_abs_diff(&oracle)?;
     let maxabs = oracle.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     println!(

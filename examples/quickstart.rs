@@ -1,18 +1,15 @@
-//! Quickstart: optimize a small CNN with PBQP, inspect the selection, and
-//! run the legalized plan on real data.
+//! Quickstart: the whole front-door lifecycle on a small CNN —
+//! compile (one PBQP solve), ship (bytes), serve (zero-alloc sessions) —
+//! then a peek under the hood at the plan and the paper's baselines.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use pbqp_dnn_cost::{AnalyticCost, MachineModel};
-use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind, PoolKind};
-use pbqp_dnn_primitives::registry::{full_library, Registry};
-use pbqp_dnn_runtime::{reference_forward, Executor, Weights};
-use pbqp_dnn_select::{Optimizer, Strategy};
-use pbqp_dnn_tensor::{Layout, Tensor};
+use pbqp_dnn::prelude::*;
+use pbqp_dnn::select::Optimizer;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // 1. Describe a small convolutional network (a LeNet-ish classifier).
     let mut net = DnnGraph::new();
     let data = net.add(Layer::new("data", LayerKind::Input { c: 3, h: 32, w: 32 }));
@@ -37,37 +34,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         net.connect(a, b)?;
     }
+    let weights = Weights::random(&net, 42);
 
-    // 2. Build the primitive library (70+ routines) and a cost model.
-    let registry = Registry::new(full_library());
+    // 2. Compile: one configured front door owns the library, the cost
+    //    model and the PBQP solve.
+    let compiler = Compiler::new(CompileOptions::new().machine(MachineModel::intel_haswell_like()));
+    let model = compiler.compile(&net, &weights)?;
+    println!("{}", model.plan());
+    println!(
+        "solver: optimal = {:?}, solve time = {:.1} µs, artifact fingerprint = {:#018x}",
+        model.plan().optimal,
+        model.plan().solve_time_us,
+        model.fingerprint()
+    );
+
+    // 3. Ship: the compiled model (plan + memory plan + weights) is bytes.
+    let mut artifact = Vec::new();
+    model.save(&mut artifact)?;
+    let deployed = CompiledModel::load(&mut artifact.as_slice())?;
+    println!("artifact: {} bytes, round-trips losslessly", artifact.len());
+
+    // 4. Serve: engine shared, sessions per thread, outputs verified
+    //    against the independent textbook reference.
+    let engine = deployed.engine();
+    let mut session = engine.session();
+    let input = Tensor::random(3, 32, 32, Layout::Chw, 7);
+    let mut out = Tensor::empty();
+    session.infer(&input, &mut out)?; // warmup; later calls allocate nothing
+    session.infer(&input, &mut out)?;
+    let oracle = reference_forward(&net, &weights, &input);
+    let diff = out.max_abs_diff(&oracle)?;
+    println!("served output matches reference: max |Δ| = {diff:.2e}");
+    assert!(diff < 1e-3);
+
+    // 5. Under the hood: the low-level crates stay available — compare
+    //    the paper's §5 baselines against the PBQP selection.
+    let registry = deployed.registry();
     let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
-    println!("library: {} primitives", registry.len());
-
-    // 3. Solve for the globally optimal selection, DT costs included.
-    let optimizer = Optimizer::new(&registry, &cost);
-    let plan = optimizer.plan(&net, Strategy::Pbqp)?;
-    println!("{plan}");
-    println!("solver: optimal = {:?}, solve time = {:.1} µs", plan.optimal, plan.solve_time_us);
-
-    // 4. Compare against the baselines of the paper's §5.
+    let optimizer = Optimizer::new(registry, &cost);
+    let sum2d = optimizer.plan(&net, Strategy::Sum2d)?.predicted_us;
     for strategy in [Strategy::Sum2d, Strategy::LocalOptimalChw, Strategy::CaffeLike] {
         let p = optimizer.plan(&net, strategy)?;
         println!(
             "{:24} {:10.1} µs predicted ({:.2}x vs sum2d)",
             strategy.label(),
             p.predicted_us,
-            optimizer.plan(&net, Strategy::Sum2d)?.predicted_us / p.predicted_us
+            sum2d / p.predicted_us
         );
     }
-
-    // 5. Execute the winning plan on real data and verify it against the
-    //    textbook reference implementation.
-    let weights = Weights::random(&net, 42);
-    let input = Tensor::random(3, 32, 32, Layout::Chw, 7);
-    let out = Executor::new(&net, &plan, &registry, &weights).run(&input, 1)?;
-    let oracle = reference_forward(&net, &weights, &input);
-    let diff = out.max_abs_diff(&oracle)?;
-    println!("plan output matches reference: max |Δ| = {diff:.2e}");
-    assert!(diff < 1e-3);
+    println!(
+        "{:24} {:10.1} µs predicted ({:.2}x vs sum2d)",
+        "PBQP (this model)",
+        model.plan().predicted_us,
+        sum2d / model.plan().predicted_us
+    );
     Ok(())
 }

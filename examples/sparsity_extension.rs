@@ -11,12 +11,13 @@
 //! cargo run --release --example sparsity_extension
 //! ```
 
-use pbqp_dnn_cost::{AnalyticCost, MachineModel};
-use pbqp_dnn_graph::{ConvScenario, DnnGraph, Layer, LayerKind};
-use pbqp_dnn_primitives::registry::{full_library, Registry};
-use pbqp_dnn_runtime::{reference_forward, Executor, Weights};
-use pbqp_dnn_select::{AssignmentKind, Optimizer, Strategy};
-use pbqp_dnn_tensor::{Layout, Tensor};
+use pbqp_dnn::cost::{AnalyticCost, MachineModel};
+use pbqp_dnn::graph::{ConvScenario, DnnGraph, Layer, LayerKind};
+use pbqp_dnn::primitives::registry::{full_library, Registry};
+use pbqp_dnn::runtime::{reference_forward, Executor, Weights};
+use pbqp_dnn::select::{AssignmentKind, Optimizer, Strategy};
+use pbqp_dnn::tensor::{Layout, Tensor};
+use pbqp_dnn::Error;
 
 fn net_with_sparsity(pm: u16) -> DnnGraph {
     let mut g = DnnGraph::new();
@@ -31,7 +32,7 @@ fn net_with_sparsity(pm: u16) -> DnnGraph {
     g
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let registry = Registry::new(full_library());
     let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
     let optimizer = Optimizer::new(&registry, &cost);

@@ -1,0 +1,308 @@
+//! The front-door compiler: one configured object that turns a
+//! [`DnnGraph`] + [`Weights`] into a self-contained [`CompiledModel`].
+//!
+//! The paper's pitch is "solve once, run the optimal plan forever" — so
+//! the compile step owns everything that used to be hand-wired per
+//! caller: the primitive library, the cost source, the PBQP strategy,
+//! legalization, schedule compilation (activation memory plan, workspace
+//! sizing, weight pre-quantization) and a plan cache keyed by the
+//! artifact fingerprint, so recompiling a known model skips the solve.
+
+use std::sync::Arc;
+
+use pbqp_dnn_cost::{AnalyticCost, CostSource, MachineModel, MeasuredCost};
+use pbqp_dnn_graph::DnnGraph;
+use pbqp_dnn_primitives::registry::{full_library, mixed_precision_library, Registry};
+use pbqp_dnn_runtime::{Parallelism, Weights};
+use pbqp_dnn_select::{artifact_fingerprint, ExecutionPlan, Optimizer, PlanCache, Strategy};
+
+use crate::artifact::CompiledModel;
+use crate::Error;
+
+/// Which primitive library the compiler selects from — the only
+/// artifact-relevant registry identity, so it is what ships in the
+/// compiled model's header (the serving host rebuilds the registry from
+/// this tag; the plan then names concrete primitives inside it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimitiveLibrary {
+    /// The full f32 library (70+ routines) — the paper's inventory.
+    F32,
+    /// [`PrimitiveLibrary::F32`] plus the int8 quantized primitives: the
+    /// mixed-precision selection space of PR 3.
+    MixedPrecision,
+}
+
+impl PrimitiveLibrary {
+    /// Builds the registry this tag names.
+    pub fn registry(self) -> Registry {
+        match self {
+            PrimitiveLibrary::F32 => Registry::new(full_library()),
+            PrimitiveLibrary::MixedPrecision => Registry::new(mixed_precision_library()),
+        }
+    }
+
+    /// Stable cache/artifact key.
+    pub fn key(self) -> &'static str {
+        match self {
+            PrimitiveLibrary::F32 => "f32-full",
+            PrimitiveLibrary::MixedPrecision => "mixed-precision",
+        }
+    }
+
+    /// Stable wire code.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            PrimitiveLibrary::F32 => 0,
+            PrimitiveLibrary::MixedPrecision => 1,
+        }
+    }
+
+    /// Inverse of [`PrimitiveLibrary::code`].
+    pub(crate) fn from_code(code: u8) -> Option<PrimitiveLibrary> {
+        match code {
+            0 => Some(PrimitiveLibrary::F32),
+            1 => Some(PrimitiveLibrary::MixedPrecision),
+            _ => None,
+        }
+    }
+}
+
+/// Where layer and transformation costs come from during compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// The deterministic analytic machine model (default): pure function
+    /// of the [`MachineModel`], so plans are reproducible and cacheable.
+    Analytic,
+    /// Wall-clock profiling on the build host (the paper's methodology).
+    /// Not a pure function, so compiles bypass the plan cache.
+    Measured {
+        /// Timing repetitions per candidate (minimum kept).
+        reps: usize,
+        /// Integer spatial downscale for quick calibration runs (≥ 1).
+        scale: usize,
+    },
+}
+
+/// Builder-style configuration for a [`Compiler`]: target machine model,
+/// cost source, selection strategy, primitive library (including mixed
+/// precision), serving parallelism and the cost model's thread budget.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn::{CompileOptions, CostModel};
+/// use pbqp_dnn::cost::MachineModel;
+/// use pbqp_dnn::runtime::Parallelism;
+/// use pbqp_dnn::select::Strategy;
+///
+/// let options = CompileOptions::new()
+///     .machine(MachineModel::arm_a57_like())
+///     .threads(4)
+///     .strategy(Strategy::Pbqp)
+///     .mixed_precision(true)
+///     .parallelism(Parallelism::serial());
+/// assert_eq!(options.cost_model(), CostModel::Analytic);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    machine: MachineModel,
+    threads: usize,
+    strategy: Strategy,
+    library: PrimitiveLibrary,
+    parallelism: Parallelism,
+    cost: CostModel,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::new()
+    }
+}
+
+impl CompileOptions {
+    /// The defaults: Haswell-like machine model, 1 cost-model thread,
+    /// exact PBQP strategy, f32 library, serial serving parallelism,
+    /// analytic costs.
+    pub fn new() -> CompileOptions {
+        CompileOptions {
+            machine: MachineModel::intel_haswell_like(),
+            threads: 1,
+            strategy: Strategy::Pbqp,
+            library: PrimitiveLibrary::F32,
+            parallelism: Parallelism::serial(),
+            cost: CostModel::Analytic,
+        }
+    }
+
+    /// Replaces the target machine model costs are computed for.
+    pub fn machine(mut self, machine: MachineModel) -> CompileOptions {
+        self.machine = machine;
+        self
+    }
+
+    /// Replaces the cost model's thread budget (how many intra-op threads
+    /// the deployed primitives are priced at; clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> CompileOptions {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the selection strategy (default: exact PBQP).
+    pub fn strategy(mut self, strategy: Strategy) -> CompileOptions {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects between the f32 library and the mixed-precision superset
+    /// with the int8 primitives and quantize/dequantize edges.
+    pub fn mixed_precision(mut self, enabled: bool) -> CompileOptions {
+        self.library =
+            if enabled { PrimitiveLibrary::MixedPrecision } else { PrimitiveLibrary::F32 };
+        self
+    }
+
+    /// Replaces the default serving parallelism baked into the compiled
+    /// model (sessions can override it per thread).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> CompileOptions {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Switches to wall-clock profiled costs (the paper's methodology);
+    /// such compiles bypass the plan cache.
+    pub fn measured_costs(mut self, reps: usize, scale: usize) -> CompileOptions {
+        self.cost = CostModel::Measured { reps: reps.max(1), scale: scale.max(1) };
+        self
+    }
+
+    /// The configured cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// The configured primitive library.
+    pub fn library(&self) -> PrimitiveLibrary {
+        self.library
+    }
+
+    /// The configured selection strategy.
+    pub fn strategy_choice(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured machine model.
+    pub fn machine_model(&self) -> &MachineModel {
+        &self.machine
+    }
+}
+
+/// The front door's compile stage: owns a [`CompileOptions`] and a
+/// fingerprint-keyed [`PlanCache`], and turns (graph, weights) pairs into
+/// self-contained [`CompiledModel`]s.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn::prelude::*;
+///
+/// let net = models::micro_alexnet();
+/// let weights = Weights::random(&net, 42);
+/// let compiler = Compiler::new(CompileOptions::new());
+/// let model = compiler.compile(&net, &weights).unwrap();
+/// assert!(model.plan().predicted_us > 0.0);
+/// // Recompiling the same model is a cache hit — no second solve.
+/// let again = compiler.compile(&net, &weights).unwrap();
+/// assert_eq!(again.fingerprint(), model.fingerprint());
+/// assert_eq!(compiler.cache_stats(), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct Compiler {
+    options: CompileOptions,
+    cache: PlanCache,
+}
+
+impl Compiler {
+    /// Creates a compiler with the given options and an empty plan cache.
+    pub fn new(options: CompileOptions) -> Compiler {
+        Compiler { options, cache: PlanCache::new() }
+    }
+
+    /// The options this compiler was configured with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Plan-cache `(hits, misses)` so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    /// Compiles `graph` + `weights` into a self-contained
+    /// [`CompiledModel`]: profiles (or models) every candidate, solves
+    /// the selection under the configured strategy, legalizes the
+    /// winning assignment, compiles the execution schedule (activation
+    /// memory plan, workspace sizing) and pre-quantizes the weights of
+    /// every int8-assigned layer.
+    ///
+    /// Analytic-cost compiles are memoized by artifact fingerprint:
+    /// compiling the same (graph, strategy, machine, library) again
+    /// reuses the cached plan and skips the solve.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Graph`] for malformed graphs, [`Error::Plan`] for
+    /// infeasible selections, [`Error::Runtime`] when the weights do not
+    /// cover the graph's parameterized layers.
+    pub fn compile(&self, graph: &DnnGraph, weights: &Weights) -> Result<CompiledModel, Error> {
+        // Validate the graph before doing any expensive work.
+        graph.infer_shapes()?;
+        let options = &self.options;
+        let source: Box<dyn CostSource> = match options.cost {
+            CostModel::Analytic => {
+                Box::new(AnalyticCost::new(options.machine.clone(), options.threads))
+            }
+            CostModel::Measured { reps, scale } => {
+                Box::new(MeasuredCost::new(options.threads, reps).with_scale(scale))
+            }
+        };
+        let fingerprint = artifact_fingerprint(
+            graph,
+            options.strategy,
+            &source.cache_key(),
+            options.library.key(),
+        );
+        let registry = Arc::new(options.library.registry());
+        let solve = || Optimizer::new(&registry, source.as_ref()).plan(graph, options.strategy);
+        let (plan, fingerprint): (Arc<ExecutionPlan>, u64) = match options.cost {
+            // Analytic costs are a pure function of the fingerprint's
+            // inputs; profiled costs are wall-clock and never memoized.
+            CostModel::Analytic => {
+                (self.cache.plan_by_fingerprint(fingerprint, solve)?, fingerprint)
+            }
+            CostModel::Measured { .. } => {
+                // A measured compile is *not* a pure function of the
+                // inputs — two profiling runs of the same graph can pick
+                // different primitives — so the concrete plan bytes are
+                // folded into the fingerprint to keep the documented
+                // invariant (same fingerprint ⇒ same plan).
+                let plan = Arc::new(solve()?);
+                let mut bytes = Vec::new();
+                pbqp_dnn_select::wire::put_plan(&mut bytes, &plan);
+                use std::hash::Hasher;
+                let mut h = pbqp_dnn_graph::Fnv1a::default();
+                h.write_u64(fingerprint);
+                h.write(&bytes);
+                (plan, h.finish())
+            }
+        };
+        CompiledModel::assemble(
+            Arc::new(graph.clone()),
+            plan,
+            Arc::new(weights.clone()),
+            registry,
+            options.library,
+            options.parallelism,
+            fingerprint,
+        )
+    }
+}

@@ -1,0 +1,117 @@
+//! The unified front-door error type.
+//!
+//! Every workspace crate defines its own error enum — graphs, planning,
+//! execution, tensors — which is right for the low-level APIs but forced
+//! every example into `Box<dyn Error>`. The front door returns one
+//! [`Error`] that wraps them all with `From` impls, so `?` composes
+//! across the whole compile → serve lifecycle and callers can still
+//! match on the underlying cause (or walk [`std::error::Error::source`]).
+
+use std::fmt;
+
+use pbqp_dnn_graph::GraphError;
+use pbqp_dnn_runtime::RuntimeError;
+use pbqp_dnn_select::PlanError;
+use pbqp_dnn_tensor::TensorError;
+
+use crate::artifact::ArtifactError;
+
+/// Any failure in the front-door compile → save/load → serve lifecycle.
+#[derive(Debug)]
+pub enum Error {
+    /// The DNN graph is structurally invalid (cycles, arity, shapes).
+    Graph(GraphError),
+    /// Planning failed (infeasible PBQP instance, no legalization chain).
+    Plan(PlanError),
+    /// Schedule compilation or execution failed (unknown primitive,
+    /// missing weights, bad input).
+    Runtime(RuntimeError),
+    /// A tensor operation failed (layout conversion, shape mismatch).
+    Tensor(TensorError),
+    /// A compiled-model artifact could not be decoded or validated.
+    Artifact(ArtifactError),
+    /// An I/O error while reading or writing an artifact stream.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Plan(e) => write!(f, "planning error: {e}"),
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Artifact(e) => write!(f, "artifact error: {e}"),
+            Error::Io(e) => write!(f, "artifact I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            Error::Plan(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::Tensor(e) => Some(e),
+            Error::Artifact(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl From<TensorError> for Error {
+    fn from(e: TensorError) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<ArtifactError> for Error {
+    fn from(e: ArtifactError) -> Self {
+        Error::Artifact(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wrapping_preserves_the_source_chain() {
+        let e: Error = GraphError::Cyclic.into();
+        assert!(matches!(e, Error::Graph(GraphError::Cyclic)));
+        assert!(e.source().unwrap().to_string().contains("cyclic"));
+        assert!(e.to_string().contains("graph error"));
+
+        let e: Error = TensorError::ShapeMismatch { left: (1, 1, 1), right: (2, 2, 2) }.into();
+        assert!(e.to_string().contains("shape mismatch"));
+
+        let e: Error = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,30 +1,74 @@
-//! Front door for the PBQP-DNN workspace — a reproduction of Anderson &
+//! One front door for the PBQP-DNN system — a reproduction of Anderson &
 //! Gregg, *Optimal DNN Primitive Selection with Partitioned Boolean
-//! Quadratic Programming* (CGO 2018) — grown into a parallel batched
-//! execution engine.
+//! Quadratic Programming* (CGO 2018) — grown into a compile → ship →
+//! serve lifecycle.
 //!
-//! This facade crate re-exports every workspace crate under one name so
-//! downstream users (and the integration tests in `tests/`) can depend on
-//! a single package. The layering, bottom to top:
+//! The paper's pitch is "solve once, run the optimal plan forever". The
+//! front door makes that the API:
+//!
+//! * a [`Compiler`] (configured by [`CompileOptions`]: machine model,
+//!   cost source, strategy, primitive library including mixed precision,
+//!   parallelism) takes a [`graph::DnnGraph`] + [`runtime::Weights`] and
+//!   produces a [`CompiledModel`] — plan, activation memory plan,
+//!   pre-quantized weight images, output-conversion chains, fingerprint;
+//! * the [`CompiledModel`] ships between machines via
+//!   [`CompiledModel::save`] / [`CompiledModel::load`] — a versioned,
+//!   fingerprint-validated binary format, so a plan solved on a big
+//!   build host serves on an edge deployment;
+//! * an [`Engine`] (shared, immutable, `Sync`) hands out per-thread
+//!   [`Session`]s, each owning its buffers — warmed
+//!   [`Session::infer`](serve::Session::infer) performs **zero heap
+//!   allocations** per request.
+//!
+//! ```
+//! use pbqp_dnn::prelude::*;
+//!
+//! # fn main() -> Result<(), Error> {
+//! let net = models::micro_alexnet();
+//! let weights = Weights::random(&net, 42);
+//! let model = Compiler::new(CompileOptions::new()).compile(&net, &weights)?;   // 1. compile
+//! let mut bytes = Vec::new();
+//! model.save(&mut bytes)?;                                                     // 2. ship
+//! let mut session = CompiledModel::load(&mut bytes.as_slice())?.engine().session(); // 3. serve
+//! let (c, h, w) = net.infer_shapes()?[0];
+//! let out = session.infer_new(&Tensor::random(c, h, w, Layout::Chw, 7))?;
+//! # let _ = out;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The per-crate APIs stay public for power users (custom DT graphs,
+//! hand-built plans, direct [`runtime::Executor`] use), re-exported
+//! under one name. The layering, bottom to top:
 //!
 //! | module | crate | role |
 //! |---|---|---|
-//! | [`tensor`] | `pbqp-dnn-tensor` | dtype-generic tensors (`f32`/`i8`/`i32`) + data layouts |
+//! | [`tensor`] | `pbqp-dnn-tensor` | dtype-generic tensors (`f32`/`i8`/`i32`), layouts, wire codecs |
 //! | [`fft`] | `pbqp-dnn-fft` | radix-2 / Bluestein FFTs |
-//! | [`gemm`] | `pbqp-dnn-gemm` | blocked / packed SGEMM kernels |
+//! | [`gemm`] | `pbqp-dnn-gemm` | blocked / packed SGEMM + int8 GEMM kernels |
 //! | [`solver`] | `pbqp-solver` | exact branch-and-bound PBQP solver |
 //! | [`graph`] | `pbqp-dnn-graph` | DNN graph IR + model zoo |
 //! | [`primitives`] | `pbqp-dnn-primitives` | the 70+ convolution primitives |
 //! | [`cost`] | `pbqp-dnn-cost` | analytic / measured cost sources |
-//! | [`select`] | `pbqp-dnn-select` | PBQP instance, strategies, plan cache |
-//! | [`runtime`] | `pbqp-dnn-runtime` | serial / wavefront / batched executor |
+//! | [`select`] | `pbqp-dnn-select` | PBQP instance, strategies, plan cache, plan wire format |
+//! | [`runtime`] | `pbqp-dnn-runtime` | owned execution schedules, serial / wavefront / batched executor |
 //!
 //! See the workspace `README.md` for the paper-section map and quickstart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use pbqp_dnn_bench as bench;
+pub mod artifact;
+pub mod compile;
+pub mod error;
+pub mod prelude;
+pub mod serve;
+
+pub use artifact::{ArtifactError, CompiledModel, FORMAT_VERSION, MAGIC};
+pub use compile::{CompileOptions, Compiler, CostModel, PrimitiveLibrary};
+pub use error::Error;
+pub use serve::{Engine, Session};
+
 pub use pbqp_dnn_cost as cost;
 pub use pbqp_dnn_fft as fft;
 pub use pbqp_dnn_gemm as gemm;

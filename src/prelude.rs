@@ -1,0 +1,49 @@
+//! One import for the whole compile → ship → serve story.
+//!
+//! The prelude re-exports the front-door types ([`Compiler`],
+//! [`CompiledModel`], [`Engine`], [`Session`], [`Error`]) together with
+//! the vocabulary every caller needs around them: graph construction,
+//! tensors, weights, machine models, strategies and parallelism. The
+//! full per-crate APIs stay available under `pbqp_dnn::{tensor, graph,
+//! primitives, cost, select, runtime, …}` for power users.
+//!
+//! # Example: the whole lifecycle in three steps
+//!
+//! ```
+//! use pbqp_dnn::prelude::*;
+//!
+//! # fn main() -> Result<(), Error> {
+//! let net = models::micro_alexnet();
+//! let weights = Weights::random(&net, 42);
+//!
+//! // 1. Compile: solve the PBQP selection once, on the build host.
+//! let compiler = Compiler::new(CompileOptions::new().machine(MachineModel::arm_a57_like()));
+//! let model = compiler.compile(&net, &weights)?;
+//!
+//! // 2. Ship: the solution travels as bytes.
+//! let mut artifact = Vec::new();
+//! model.save(&mut artifact)?;
+//! let deployed = CompiledModel::load(&mut artifact.as_slice())?;
+//!
+//! // 3. Serve: shared engine, per-thread sessions, zero-alloc steady
+//! //    state after each session's first request.
+//! let engine = deployed.engine();
+//! let mut session = engine.session();
+//! let (c, h, w) = net.infer_shapes()?[0];
+//! let mut out = Tensor::empty();
+//! session.infer(&Tensor::random(c, h, w, Layout::Chw, 7), &mut out)?;
+//! assert_eq!(out.dims(), *net.infer_shapes()?.last().unwrap());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use crate::artifact::{ArtifactError, CompiledModel};
+pub use crate::compile::{CompileOptions, Compiler, CostModel, PrimitiveLibrary};
+pub use crate::error::Error;
+pub use crate::serve::{Engine, Session};
+
+pub use pbqp_dnn_cost::{AnalyticCost, MachineModel, MeasuredCost};
+pub use pbqp_dnn_graph::{models, ConvScenario, DnnGraph, Layer, LayerKind, PoolKind};
+pub use pbqp_dnn_runtime::{reference_forward, Parallelism, Weights};
+pub use pbqp_dnn_select::Strategy;
+pub use pbqp_dnn_tensor::{DType, Layout, Tensor};

@@ -1,0 +1,224 @@
+//! The serving layer: a shared [`Engine`] handing out per-thread
+//! [`Session`]s.
+//!
+//! The split mirrors the runtime's schedule/buffers design: the engine
+//! holds the immutable compiled state (schedule, plan, graph — all
+//! `Sync`, all behind [`Arc`]s), and each session owns the one piece of
+//! per-caller mutable state, its
+//! [`ExecBuffers`]. A serving process
+//! clones one engine into every worker thread, gives each a session, and
+//! after each session's first (warmup) request the steady-state loop
+//! performs **zero heap allocations** per inference — the PR 2 contract,
+//! preserved behind the front door and enforced by
+//! `tests/steady_state_alloc.rs`.
+
+use std::sync::Arc;
+
+use pbqp_dnn_graph::DnnGraph;
+use pbqp_dnn_runtime::{ExecBuffers, Parallelism, Schedule};
+use pbqp_dnn_select::ExecutionPlan;
+use pbqp_dnn_tensor::Tensor;
+
+use crate::artifact::CompiledModel;
+use crate::Error;
+
+/// A shared, immutable serving engine for one compiled model.
+///
+/// `Engine` is `Clone + Send + Sync`: hand one to every worker thread
+/// (or wrap one in an `Arc` — cloning is a few reference-count bumps
+/// either way) and create a [`Session`] per thread with
+/// [`Engine::session`].
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn::prelude::*;
+///
+/// let net = models::micro_alexnet();
+/// let weights = Weights::random(&net, 42);
+/// let model = Compiler::new(CompileOptions::new()).compile(&net, &weights).unwrap();
+/// let engine = model.engine();
+///
+/// let (c, h, w) = net.infer_shapes().unwrap()[0];
+/// let inputs: Vec<Tensor> =
+///     (0..4).map(|i| Tensor::random(c, h, w, Layout::Chw, 10 + i)).collect();
+///
+/// // Serve from two threads, one session each; results match the
+/// // engine's one-shot API bit-for-bit.
+/// let outputs: Vec<Tensor> = std::thread::scope(|scope| {
+///     inputs
+///         .chunks(2)
+///         .map(|chunk| {
+///             let engine = engine.clone();
+///             scope.spawn(move || {
+///                 let mut session = engine.session();
+///                 chunk.iter().map(|x| session.infer_new(x).unwrap()).collect::<Vec<_>>()
+///             })
+///         })
+///         .collect::<Vec<_>>()
+///         .into_iter()
+///         .flat_map(|h| h.join().unwrap())
+///         .collect()
+/// });
+/// for (input, out) in inputs.iter().zip(&outputs) {
+///     assert_eq!(engine.infer(input).unwrap().data(), out.data());
+/// }
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    schedule: Arc<Schedule>,
+    graph: Arc<DnnGraph>,
+    plan: Arc<ExecutionPlan>,
+    parallelism: Parallelism,
+}
+
+impl Engine {
+    /// Builds an engine sharing a compiled model's state.
+    pub(crate) fn from_model(model: &CompiledModel) -> Engine {
+        let (schedule, graph, plan) = model.serving_parts();
+        Engine { schedule, graph, plan, parallelism: model.parallelism() }
+    }
+
+    /// A new session owning its own warm-up-once buffer set, inheriting
+    /// the engine's parallelism.
+    pub fn session(&self) -> Session {
+        Session {
+            schedule: Arc::clone(&self.schedule),
+            parallelism: self.parallelism,
+            bufs: self.schedule.make_buffers(),
+        }
+    }
+
+    /// One-shot convenience inference: builds a transient session and an
+    /// output tensor per call. Use [`Engine::session`] for the
+    /// allocation-free steady-state loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors (bad input shape/layout, primitive
+    /// failures).
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor, Error> {
+        self.session().infer_new(input)
+    }
+
+    /// The plan this engine executes.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The network this engine serves.
+    pub fn graph(&self) -> &DnnGraph {
+        &self.graph
+    }
+
+    /// The parallelism new sessions inherit.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Returns an engine whose new sessions use `parallelism` instead of
+    /// the compiled-in default.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Engine {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.graph.len())
+            .field("parallelism", &self.parallelism)
+            .finish()
+    }
+}
+
+/// One caller's serving handle: a shared schedule plus an owned buffer
+/// set. `Session` is `Send` (move it into a worker thread) but
+/// deliberately not `Sync` — one session per thread is the model.
+///
+/// After the first (warmup) call settles buffer capacities,
+/// [`Session::infer`] and [`Session::infer_batch`] with serial
+/// parallelism perform zero heap allocations per request.
+pub struct Session {
+    schedule: Arc<Schedule>,
+    parallelism: Parallelism,
+    bufs: ExecBuffers,
+}
+
+impl Session {
+    /// Runs one forward pass, writing the (always f32) network output
+    /// into the caller-recycled `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors (bad input shape/layout, primitive
+    /// failures).
+    pub fn infer(&mut self, input: &Tensor, out: &mut Tensor) -> Result<(), Error> {
+        self.schedule.run_into(input, &mut self.bufs, out, self.parallelism)?;
+        Ok(())
+    }
+
+    /// [`Session::infer`] allocating a fresh output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn infer_new(&mut self, input: &Tensor) -> Result<Tensor, Error> {
+        let mut out = Tensor::empty();
+        self.infer(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Serves a whole batch in request order: `outs` is resized to
+    /// `inputs.len()` and each slot's storage is recycled. A warmed
+    /// session serves same-sized batches without heap allocations.
+    ///
+    /// Scaling across cores is done with one session per thread (see
+    /// [`Engine`]); within a session the batch runs serially, each item
+    /// under the session's [`Parallelism`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing item's error; earlier outputs are
+    /// already written.
+    pub fn infer_batch(&mut self, inputs: &[Tensor], outs: &mut Vec<Tensor>) -> Result<(), Error> {
+        if outs.len() != inputs.len() {
+            outs.resize_with(inputs.len(), Tensor::empty);
+        }
+        for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+            self.infer(input, out)?;
+        }
+        Ok(())
+    }
+
+    /// The parallelism this session executes under.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Replaces this session's parallelism (e.g. turn on wavefront
+    /// inter-op for a branchy graph).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("parallelism", &self.parallelism).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_sync_and_session_is_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Engine>();
+        assert_send::<Session>();
+    }
+}

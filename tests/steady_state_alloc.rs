@@ -176,4 +176,68 @@ fn steady_state_serving_performs_zero_heap_allocations() {
         "mixed-precision plan: {run_allocs} allocations across 5 steady-state run_into calls"
     );
     assert_eq!(out.data(), expected.data(), "allocation-free int8 path must stay correct");
+
+    // ---- The front door upholds the same contract -----------------------
+    // Compiler → CompiledModel → Engine → Session: a warmed session's
+    // `infer` / `infer_batch` must be allocation-free too, for a plain
+    // f32 model and for a mixed-precision one loaded from artifact bytes
+    // (the shippable-plan path, complete with restored int8 weight
+    // images).
+    use pbqp_dnn::prelude::{CompileOptions, CompiledModel, Compiler};
+
+    let f32_net = micro_alexnet();
+    let f32_weights = Weights::random(&f32_net, 0x5EED);
+    let f32_model =
+        Compiler::new(CompileOptions::new()).compile(&f32_net, &f32_weights).expect("compiles");
+
+    let mixed_model = {
+        let m = Compiler::new(CompileOptions::new().mixed_precision(true))
+            .compile(&net, &weights)
+            .expect("compiles");
+        assert!(!m.plan().int8_layers().is_empty(), "precondition: int8 selection");
+        let mut bytes = Vec::new();
+        m.save(&mut bytes).expect("saves");
+        CompiledModel::load(&mut bytes.as_slice()).expect("loads")
+    };
+
+    for (label, model, dims) in [
+        ("front-door f32", &f32_model, f32_net.infer_shapes().unwrap()[0]),
+        ("front-door mixed (loaded from artifact)", &mixed_model, (16, 20, 20)),
+    ] {
+        let (c, h, w) = dims;
+        let engine = model.engine();
+        let mut session = engine.session();
+        let input = Tensor::random(c, h, w, Layout::Chw, 0xAB);
+        let inputs: Vec<Tensor> =
+            (0..3).map(|i| Tensor::random(c, h, w, Layout::Chw, 0xB0 + i)).collect();
+        let mut out = Tensor::empty();
+        let mut outs = Vec::new();
+
+        // Warmup settles the session's buffers and output capacities.
+        session.infer(&input, &mut out).expect("warmup infer");
+        session.infer_batch(&inputs, &mut outs).expect("warmup infer_batch");
+        let expected = engine.infer(&input).expect("reference");
+
+        let before = allocs();
+        for _ in 0..5 {
+            session.infer(&input, &mut out).expect("steady infer");
+        }
+        let session_allocs = allocs() - before;
+        assert_eq!(
+            session_allocs, 0,
+            "{label}: {session_allocs} allocations across 5 steady-state Session::infer calls"
+        );
+
+        let before = allocs();
+        for _ in 0..3 {
+            session.infer_batch(&inputs, &mut outs).expect("steady infer_batch");
+        }
+        let batch_allocs = allocs() - before;
+        assert_eq!(
+            batch_allocs, 0,
+            "{label}: {batch_allocs} allocations across 3 steady-state Session::infer_batch calls"
+        );
+
+        assert_eq!(out.data(), expected.data(), "{label}: zero-alloc path must stay correct");
+    }
 }

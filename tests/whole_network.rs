@@ -74,6 +74,43 @@ fn pbqp_plan_quality_dominates_on_the_micro_networks() {
 }
 
 #[test]
+fn front_door_engine_matches_the_low_level_executor_bit_for_bit() {
+    // The Engine/Session surface is a repackaging of the same compiled
+    // schedule the Executor runs — outputs must agree exactly, for every
+    // strategy and for wavefront parallelism, on both micro networks.
+    use pbqp_dnn::prelude::{CompileOptions, Compiler, Parallelism};
+
+    for net in [micro_alexnet(), micro_inception()] {
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let weights = Weights::random(&net, 0xD00F);
+        let (c, h, w) = net.infer_shapes().unwrap()[0];
+        let input = Tensor::random(c, h, w, Layout::Chw, 0xABCD);
+        for strategy in
+            [Strategy::Pbqp, Strategy::CaffeLike, Strategy::VendorLike { vector_width: 8 }]
+        {
+            let plan = opt.plan(&net, strategy).unwrap();
+            let low_level = Executor::new(&net, &plan, &reg, &weights).run(&input, 1).unwrap();
+
+            let model = Compiler::new(CompileOptions::new().strategy(strategy))
+                .compile(&net, &weights)
+                .unwrap();
+            assert_eq!(model.plan().predicted_us.to_bits(), plan.predicted_us.to_bits());
+            let engine = model.engine();
+            let mut session = engine.session();
+            let front_door = session.infer_new(&input).unwrap();
+            assert_eq!(front_door.data(), low_level.data(), "{}", strategy.label());
+
+            // Wavefront sessions stay bit-identical to serial ones.
+            session.set_parallelism(Parallelism::serial().with_inter_op(4));
+            let wave = session.infer_new(&input).unwrap();
+            assert_eq!(wave.data(), low_level.data(), "{} wavefront", strategy.label());
+        }
+    }
+}
+
+#[test]
 fn transform_chains_in_executed_plans_are_exact() {
     // Force a plan with layout churn: vendor strategy pins blocked layouts,
     // so chains CHW -> CHWc8 -> CHW appear, and execution must still be
