@@ -1,0 +1,155 @@
+//! The operator-selection benchmark: PR 3-style plans (conv-only
+//! decisions — non-conv candidates restricted to f32, the retired
+//! "dummy nodes force f32" behavior) vs full operator-selection plans
+//! where ReLU/pool/concat/add carry int8 kernel candidates of their own —
+//! the per-PR perf artifact for retiring the dummy-node API.
+//!
+//! Reports, per micro-zoo model on the ARM machine model (the platform
+//! whose int8 advantage forms the islands):
+//!
+//! * **quant edges** — quantize/dequantize hops legalization inserted:
+//!   with int8 op kernels an island spans conv → relu → pool → conv and
+//!   interior round trips disappear;
+//! * **predicted µs** — the solver's objective (asserted: the superset
+//!   space can never be predicted slower);
+//! * **measured ns/run** — warmed `run_into` serving on this host,
+//!   reported honestly (scalar int8 kernels; see ROADMAP's SIMD item).
+//!
+//! Emits machine-readable `BENCH_PR5.json` at the repo root. Run with
+//! `cargo bench -p pbqp-dnn-bench --bench op_selection`; set
+//! `OP_SELECTION_NO_ASSERT=1` (as the CI smoke step does) to print
+//! without asserting.
+
+use pbqp_dnn_bench::harness::{fmt_duration, write_repo_artifact, Bench};
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::models::{micro_mixed, micro_resnet};
+use pbqp_dnn_graph::DnnGraph;
+use pbqp_dnn_primitives::registry::{mixed_precision_library, op_library, Registry};
+use pbqp_dnn_runtime::{Executor, Weights};
+use pbqp_dnn_select::Strategy;
+use pbqp_dnn_tensor::{Layout, Tensor};
+
+const REPS: usize = 30;
+
+struct Row {
+    model: &'static str,
+    pr3_quant_edges: usize,
+    island_quant_edges: usize,
+    pr3_predicted_us: f64,
+    island_predicted_us: f64,
+    pr3_ns: u128,
+    island_ns: u128,
+    int8_op_nodes: usize,
+}
+
+fn evaluate(name: &'static str, net: &DnnGraph, timer: &mut Bench) -> Row {
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+    // PR 3-style registry: the full mixed conv library, but non-conv
+    // candidates restricted to the f32 op kernels — every island boundary
+    // pays a dequant/requant round trip through activations.
+    let pr3_reg = Registry::with_op_kernels(mixed_precision_library(), op_library());
+    // The operator-selection registry: the same convs plus int8 op
+    // kernels, so whole subgraphs stay quantized.
+    let island_reg = Registry::new(mixed_precision_library());
+
+    let pr3_plan =
+        pbqp_dnn_select::Optimizer::new(&pr3_reg, &cost).plan(net, Strategy::Pbqp).expect("plans");
+    let island_plan = pbqp_dnn_select::Optimizer::new(&island_reg, &cost)
+        .plan(net, Strategy::Pbqp)
+        .expect("plans");
+
+    let weights = Weights::random(net, 0x0DD5);
+    let (c, h, w) = net.infer_shapes().expect("valid model")[0];
+    let input = Tensor::random(c, h, w, Layout::Chw, 9);
+    let mut out = Tensor::empty();
+
+    let pr3_exec = Executor::new(net, &pr3_plan, &pr3_reg, &weights);
+    let island_exec = Executor::new(net, &island_plan, &island_reg, &weights);
+    let pr3_ns = timer
+        .run(&format!("{name} PR3-style run_into"), || {
+            pr3_exec.run_into(&input, &mut out, 1).expect("runs");
+        })
+        .as_nanos();
+    let island_ns = timer
+        .run(&format!("{name} int8-island run_into"), || {
+            island_exec.run_into(&input, &mut out, 1).expect("runs");
+        })
+        .as_nanos();
+
+    Row {
+        model: name,
+        pr3_quant_edges: pr3_plan.quant_edge_count(),
+        island_quant_edges: island_plan.quant_edge_count(),
+        pr3_predicted_us: pr3_plan.predicted_us,
+        island_predicted_us: island_plan.predicted_us,
+        pr3_ns,
+        island_ns,
+        int8_op_nodes: island_plan.int8_op_nodes().len(),
+    }
+}
+
+fn main() {
+    let mut timer = Bench::new("op_selection").samples(REPS);
+    let models: [(&'static str, DnnGraph); 2] =
+        [("micro_mixed", micro_mixed()), ("micro_resnet", micro_resnet())];
+    let rows: Vec<Row> = models.iter().map(|(name, net)| evaluate(name, net, &mut timer)).collect();
+
+    println!("op_selection: PR 3-style (f32 dummies) vs int8-island plans (arm-a57-like model)");
+    for r in &rows {
+        println!(
+            "  {:12} quant edges {:2} -> {:2}   predicted {:9.1} -> {:9.1} µs   measured {:>10} -> {:>10}   ({} int8 op nodes)",
+            r.model,
+            r.pr3_quant_edges,
+            r.island_quant_edges,
+            r.pr3_predicted_us,
+            r.island_predicted_us,
+            fmt_duration(std::time::Duration::from_nanos(r.pr3_ns as u64)),
+            fmt_duration(std::time::Duration::from_nanos(r.island_ns as u64)),
+            r.int8_op_nodes,
+        );
+    }
+
+    let mut json =
+        String::from("{\n  \"bench\": \"op_selection\",\n  \"machine\": \"arm-a57-like\",\n");
+    json.push_str(&format!("  \"reps\": {REPS},\n  \"models\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"pr3_quant_edges\": {}, \"island_quant_edges\": {}, \"pr3_predicted_us\": {:.1}, \"island_predicted_us\": {:.1}, \"pr3_ns_per_run\": {}, \"island_ns_per_run\": {}, \"int8_op_nodes\": {}}}{}\n",
+            r.model,
+            r.pr3_quant_edges,
+            r.island_quant_edges,
+            r.pr3_predicted_us,
+            r.island_predicted_us,
+            r.pr3_ns,
+            r.island_ns,
+            r.int8_op_nodes,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match write_repo_artifact("BENCH_PR5.json", &json) {
+        Ok(path) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write BENCH_PR5.json: {e}"),
+    }
+
+    // The predicted comparison and the quant-edge drop are deterministic
+    // properties of the solve; measured wall-clock is reported, not
+    // asserted.
+    if std::env::var_os("OP_SELECTION_NO_ASSERT").is_none() {
+        for r in &rows {
+            assert!(
+                r.island_predicted_us <= r.pr3_predicted_us + 1e-6,
+                "{}: the op-selecting superset must never be predicted slower",
+                r.model
+            );
+        }
+        let resnet = rows.iter().find(|r| r.model == "micro_resnet").expect("evaluated");
+        assert!(
+            resnet.island_quant_edges < resnet.pr3_quant_edges,
+            "micro_resnet: int8 op kernels must shed quantize/dequantize edges ({} vs {})",
+            resnet.island_quant_edges,
+            resnet.pr3_quant_edges
+        );
+        assert!(resnet.int8_op_nodes > 0, "micro_resnet: relu/pool should join the island");
+    }
+}

@@ -26,7 +26,7 @@ fn main() {
             AssignmentKind::Conv { primitive, input_repr, output_repr, .. } => {
                 format!("{primitive} [{input_repr}->{output_repr}]")
             }
-            AssignmentKind::Dummy { .. } => unreachable!("conv node"),
+            _ => unreachable!("conv node"),
         };
         println!("{:8} | {:34} | {:34}", net.layer(node).name, cell(&plans[0]), cell(&plans[1]));
     }

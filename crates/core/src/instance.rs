@@ -1,12 +1,23 @@
 //! PBQP instance construction (§3.2): maps a DNN graph plus cost tables
 //! onto a [`PbqpGraph`].
+//!
+//! Every node of the DNN is a decision node over concrete candidates:
+//! conv layers select among the registry's primitives (priced by the cost
+//! table), every other operator selects among its per-class op kernels
+//! (priced directly by the cost source), and graph sources select the
+//! representation the canonical f32 input is delivered in. The paper's
+//! zero-cost "dummy node" shape (§5.2) is retired — non-conv option
+//! vectors are `Repr`-typed (f32 at every layout ∪ int8 where kernels
+//! exist), which is what lets one solve keep an int8 island quantized
+//! across ReLU and pooling layers.
 
 use std::collections::HashMap;
 
 use pbqp_dnn_cost::{CostSource, CostTable, DtGraph, DtPathTable};
-use pbqp_dnn_graph::{DnnGraph, NodeId};
+use pbqp_dnn_graph::{DnnGraph, LayerKind, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
-use pbqp_dnn_tensor::{Layout, Repr};
+use pbqp_dnn_primitives::OpSpec;
+use pbqp_dnn_tensor::{DType, Layout, Repr};
 use pbqp_solver::{CostMatrix, PbqpGraph, PbqpNodeId};
 
 /// The options behind one PBQP node.
@@ -14,8 +25,23 @@ use pbqp_solver::{CostMatrix, PbqpGraph, PbqpNodeId};
 pub(crate) enum NodeOptions {
     /// Conv node: option `i` is the `i`-th candidate primitive (by name).
     Conv(Vec<String>),
-    /// Dummy node: option `i` is `Layout::ALL[i]`.
-    Dummy,
+    /// Operator node: option `i` is the `i`-th candidate op kernel (by
+    /// name), with the spec the node instantiates.
+    Op {
+        /// Candidate kernel names, in registry order.
+        kernels: Vec<String>,
+        /// Each candidate's own execution cost in µs — the prices the
+        /// solver optimized, *excluding* any sink-boundary conversion
+        /// surcharge (which belongs to the plan's `output_conversion`,
+        /// exactly as conv costs come from the table rows). Decoding
+        /// indexes this instead of re-pricing, so a wall-clock cost
+        /// source is profiled once per candidate and the stored
+        /// `cost_us` is the very sample the solver minimized.
+        costs: Vec<f64>,
+    },
+    /// Source node: option `i` delivers the input in `Layout::ALL[i]`
+    /// (always f32 — the canonical input contract).
+    Source,
 }
 
 /// A built instance plus the decoding tables.
@@ -47,12 +73,22 @@ impl<'a> ApspCache<'a> {
     }
 }
 
+/// The spec a non-conv operator node instantiates, assembled from the
+/// graph's inferred shapes.
+pub(crate) fn op_spec(
+    graph: &DnnGraph,
+    shapes: &[(usize, usize, usize)],
+    node: NodeId,
+) -> Option<OpSpec> {
+    let inputs: Vec<_> = graph.predecessors(node).iter().map(|p| shapes[p.index()]).collect();
+    OpSpec::for_layer(&graph.layer(node).kind, inputs, shapes[node.index()])
+}
+
 /// Resolves the input/output representations of every option of one node.
 ///
-/// Conv options carry their descriptor's full `{R_in, P, R_out}` triple —
-/// including dtype, so int8 candidates participate in the same instance;
-/// dummy (non-conv) layers compute in f32, so their options remain the
-/// f32 layouts.
+/// Conv and op options carry their descriptor's full `{R_in, P, R_out}`
+/// triple — including dtype, so int8 candidates participate in the same
+/// instance; source options are the f32 layouts.
 pub(crate) fn option_reprs(registry: &Registry, options: &NodeOptions) -> Vec<(Repr, Repr)> {
     match options {
         NodeOptions::Conv(names) => names
@@ -62,57 +98,82 @@ pub(crate) fn option_reprs(registry: &Registry, options: &NodeOptions) -> Vec<(R
                 (d.input_repr(), d.output_repr())
             })
             .collect(),
-        NodeOptions::Dummy => Layout::ALL.iter().map(|&l| (Repr::f32(l), Repr::f32(l))).collect(),
+        NodeOptions::Op { kernels, .. } => kernels
+            .iter()
+            .map(|n| {
+                let d = registry.op_by_name(n).expect("op kernel from this registry").descriptor();
+                (d.input_repr(), d.output_repr())
+            })
+            .collect(),
+        NodeOptions::Source => Layout::ALL.iter().map(|&l| (Repr::f32(l), Repr::f32(l))).collect(),
     }
 }
 
 /// Builds the PBQP instance for `graph`.
 ///
-/// Conv nodes get their cost-table rows as cost vectors; dummy nodes get a
-/// zero vector over all layouts — except **input** nodes, whose vector is
-/// the cost of converting the canonical-CHW network input into each layout.
-/// Every graph edge contributes the APSP transform-cost matrix evaluated at
-/// the producer's output dimensions.
+/// Conv nodes get their cost-table rows as cost vectors; operator nodes
+/// get their kernel candidates priced by the cost source; **source**
+/// nodes get the cost of converting the canonical-CHW network input into
+/// each layout. Sink options that produce a quantized representation
+/// additionally carry their dequantization cost in the node vector, so
+/// the solver cannot pick int8 at the network boundary for free. Every
+/// graph edge contributes the APSP transform-cost matrix evaluated at the
+/// producer's output dimensions.
 pub(crate) fn build(
     graph: &DnnGraph,
     shapes: &[(usize, usize, usize)],
     registry: &Registry,
     table: &CostTable,
+    source: &dyn CostSource,
     apsp: &mut ApspCache<'_>,
-) -> BuiltInstance {
+) -> Result<BuiltInstance, crate::PlanError> {
     let mut pbqp = PbqpGraph::new();
     let mut pbqp_ids = Vec::with_capacity(graph.len());
     let mut options = Vec::with_capacity(graph.len());
 
     for node in graph.node_ids() {
-        if let Some(row) = table.for_node(node) {
-            let mut costs: Vec<f64> = row.costs.iter().map(|&(_, c)| c).collect();
+        let (mut costs, opts): (Vec<f64>, NodeOptions) = if let Some(row) = table.for_node(node) {
+            let costs: Vec<f64> = row.costs.iter().map(|&(_, c)| c).collect();
             let names: Vec<String> = row.costs.iter().map(|(n, _)| n.clone()).collect();
-            if graph.successors(node).is_empty() {
-                // Network outputs are delivered in f32: sink options that
-                // produce a quantized representation carry their
-                // dequantization cost in the node vector, so the solver
-                // cannot pick int8 at the boundary for free (f32 options
-                // add the identity, i.e. zero).
-                let t = apsp.table(shapes[node.index()]);
-                for (c, name) in costs.iter_mut().zip(&names) {
-                    let r = registry.by_name(name).expect("profiled").descriptor().output_repr();
-                    *c += t.cost(r, Repr::f32(r.layout));
+            (costs, NodeOptions::Conv(names))
+        } else if matches!(graph.layer(node).kind, LayerKind::Input { .. }) {
+            let t = apsp.table(shapes[node.index()]);
+            let costs =
+                Layout::ALL.iter().map(|&l| t.cost(Repr::f32(Layout::Chw), Repr::f32(l))).collect();
+            (costs, NodeOptions::Source)
+        } else {
+            let spec = op_spec(graph, shapes, node).expect("non-conv, non-input node");
+            let class = match graph.layer(node).kind.selection_class() {
+                pbqp_dnn_graph::SelectionClass::Op(c) => c,
+                _ => unreachable!("conv and input handled above"),
+            };
+            let cands = registry.op_candidates(class, &spec);
+            if cands.is_empty() {
+                // Possible with a hand-assembled partial op inventory
+                // (`Registry::with_op_kernels`); a Result-returning API
+                // must not panic on it.
+                return Err(crate::PlanError::NoOpKernels { class });
+            }
+            let costs: Vec<f64> = cands.iter().map(|k| source.op_cost(k.as_ref(), &spec)).collect();
+            let kernels = cands.iter().map(|k| k.descriptor().name.clone()).collect();
+            (costs.clone(), NodeOptions::Op { kernels, costs })
+        };
+
+        if graph.successors(node).is_empty() {
+            // Network outputs are delivered in f32: sink options that
+            // produce a quantized representation carry their
+            // dequantization cost in the node vector (f32 options add
+            // the identity, i.e. zero).
+            let reprs = option_reprs(registry, &opts);
+            let t = apsp.table(shapes[node.index()]);
+            for (c, (_, out)) in costs.iter_mut().zip(&reprs) {
+                if out.dtype != DType::F32 {
+                    *c += t.cost(*out, Repr::f32(out.layout));
                 }
             }
-            pbqp_ids.push(pbqp.add_node(costs));
-            options.push(NodeOptions::Conv(names));
-        } else {
-            let is_input = graph.predecessors(node).is_empty();
-            let costs: Vec<f64> = if is_input {
-                let t = apsp.table(shapes[node.index()]);
-                Layout::ALL.iter().map(|&l| t.cost(Repr::f32(Layout::Chw), Repr::f32(l))).collect()
-            } else {
-                vec![0.0; Layout::ALL.len()]
-            };
-            pbqp_ids.push(pbqp.add_node(costs));
-            options.push(NodeOptions::Dummy);
         }
+        pbqp_ids.push(pbqp.add_node(costs));
+        options.push(opts);
     }
 
     for (from, to) in graph.edges() {
@@ -126,12 +187,12 @@ pub(crate) fn build(
             .expect("nodes were just added");
     }
 
-    BuiltInstance { pbqp, pbqp_ids, options }
+    Ok(BuiltInstance { pbqp, pbqp_ids, options })
 }
 
 /// Decodes a solver selection index into the concrete layout choice of a
-/// dummy node.
-pub(crate) fn dummy_layout(selection: usize) -> Layout {
+/// source node.
+pub(crate) fn source_layout(selection: usize) -> Layout {
     Layout::ALL[selection]
 }
 

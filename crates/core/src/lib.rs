@@ -1,16 +1,24 @@
 //! Optimal DNN primitive selection with PBQP — the paper's contribution.
 //!
 //! Given a DNN graph, a primitive library and a cost source, this crate
-//! builds the PBQP instance of §3.2:
+//! builds the PBQP instance of §3.2, with **every** node a first-class
+//! decision:
 //!
 //! * every **convolution layer** becomes a PBQP node whose options are the
 //!   candidate primitives and whose costs are their profiled/modelled
 //!   execution times;
-//! * every **other layer** becomes a dummy node whose options are the
-//!   supported data layouts at zero cost (§5.2);
-//! * every **edge** carries the all-pairs-shortest-path data-layout
-//!   transformation cost matrix between the producer's output layout and
-//!   the consumer's input layout (§3.1).
+//! * every **other operator** (ReLU, pooling, LRN, concat, add, FC,
+//!   softmax, dropout) becomes a node whose options are its op-kernel
+//!   candidates over the full representation space — f32 at every layout
+//!   plus int8 where quantized kernels exist — priced by the cost
+//!   source's operator terms (the paper models these as zero-cost
+//!   layout-only dummies, §5.2; generalizing them is what lets an int8
+//!   island span conv → relu → pool → conv with no interior conversions);
+//! * every **graph source** becomes a node choosing the representation
+//!   the canonical f32 input is delivered in;
+//! * every **edge** carries the all-pairs-shortest-path
+//!   representation-transformation cost matrix between the producer's
+//!   output repr and the consumer's input repr (§3.1).
 //!
 //! Solving the instance with the exact PBQP solver and **legalizing** the
 //! winning assignment (materializing the DT chains on every edge, §3)

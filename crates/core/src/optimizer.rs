@@ -28,6 +28,13 @@ pub enum PlanError {
         /// Consumer representation.
         to: Repr,
     },
+    /// The registry's op-kernel inventory has no candidate for an
+    /// operator class the graph uses (possible with a hand-assembled
+    /// partial inventory via `Registry::with_op_kernels`).
+    NoOpKernels {
+        /// The uncovered operator class.
+        class: pbqp_dnn_graph::OpClass,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -37,6 +44,9 @@ impl fmt::Display for PlanError {
             PlanError::Pbqp(e) => write!(f, "solver error: {e}"),
             PlanError::NoLegalization { from, to } => {
                 write!(f, "no representation transformation chain from {from} to {to}")
+            }
+            PlanError::NoOpKernels { class } => {
+                write!(f, "registry has no op kernels for operator class `{class}`")
             }
         }
     }
@@ -122,7 +132,8 @@ impl<'a> Optimizer<'a> {
         let mut apsp = ApspCache::new(&self.dt, self.source);
         let (assignments, optimal, stats, solve_time_us) = match strategy {
             Strategy::Pbqp | Strategy::PbqpHeuristic => {
-                let built = instance::build(graph, shapes, self.registry, table, &mut apsp);
+                let built =
+                    instance::build(graph, shapes, self.registry, table, self.source, &mut apsp)?;
                 let solver = Solver::new().heuristic_only(strategy == Strategy::PbqpHeuristic);
                 let start = Instant::now();
                 let solution = solver.solve(&built.pbqp)?;
@@ -132,15 +143,23 @@ impl<'a> Optimizer<'a> {
                     let sel = solution.selection(built.pbqp_ids[node.index()]);
                     let kind = match options {
                         NodeOptions::Conv(names) => self.conv_assignment(table, node, &names[sel]),
-                        NodeOptions::Dummy => {
-                            AssignmentKind::Dummy { layout: instance::dummy_layout(sel) }
+                        // The instance already priced every candidate;
+                        // indexing the stored vector keeps the assignment
+                        // cost the exact sample the solver minimized (and
+                        // never re-runs a wall-clock profiler at decode
+                        // time).
+                        NodeOptions::Op { kernels, costs, .. } => {
+                            self.op_assignment(&kernels[sel], costs[sel])
+                        }
+                        NodeOptions::Source => {
+                            AssignmentKind::Source { repr: Repr::f32(instance::source_layout(sel)) }
                         }
                     };
                     assignments.push(NodeAssignment { node, kind });
                 }
                 (assignments, Some(solution.optimal), Some(solution.stats), solve_time_us)
             }
-            _ => (self.baseline_assignments(graph, table, strategy), None, None, 0.0),
+            _ => (self.baseline_assignments(graph, shapes, table, strategy)?, None, None, 0.0),
         };
 
         self.legalize(
@@ -167,13 +186,24 @@ impl<'a> Optimizer<'a> {
         }
     }
 
+    fn op_assignment(&self, name: &str, cost_us: f64) -> AssignmentKind {
+        let d = self.registry.op_by_name(name).expect("registry op kernel").descriptor();
+        AssignmentKind::Op {
+            kernel: name.to_owned(),
+            input_repr: d.input_repr(),
+            output_repr: d.output_repr(),
+            cost_us,
+        }
+    }
+
     /// Per-layer selections for the non-PBQP strategies.
     fn baseline_assignments(
         &self,
         graph: &DnnGraph,
+        shapes: &[(usize, usize, usize)],
         table: &CostTable,
         strategy: Strategy,
-    ) -> Vec<NodeAssignment> {
+    ) -> Result<Vec<NodeAssignment>, PlanError> {
         let order = graph.topo_order().expect("validated by infer_shapes");
         let mut kinds: Vec<Option<AssignmentKind>> = vec![None; graph.len()];
         for node in order {
@@ -228,24 +258,40 @@ impl<'a> Optimizer<'a> {
                     Strategy::Pbqp | Strategy::PbqpHeuristic => unreachable!("handled above"),
                 };
                 self.conv_assignment(table, node, &name)
+            } else if matches!(graph.layer(node).kind, pbqp_dnn_graph::LayerKind::Input { .. }) {
+                // Sources stay canonical under every baseline.
+                AssignmentKind::Source { repr: Repr::f32(Layout::Chw) }
             } else {
-                // Dummy layers flow their producer's layout through
-                // (baselines never pick int8, so the flowed repr is f32);
-                // sources (inputs) stay canonical.
+                // Baseline frameworks run non-conv operators in f32, in
+                // whatever layout the producer delivers (the modern
+                // framework behavior the paper's dummies abstracted):
+                // pick the f32 kernel of the node's class at that layout.
                 let layout = graph
                     .predecessors(node)
                     .first()
                     .map(|p| kinds[p.index()].as_ref().expect("topo order").output_layout())
                     .unwrap_or(Layout::Chw);
-                AssignmentKind::Dummy { layout }
+                let spec = instance::op_spec(graph, shapes, node).expect("non-conv node");
+                let class = match graph.layer(node).kind.selection_class() {
+                    pbqp_dnn_graph::SelectionClass::Op(c) => c,
+                    _ => unreachable!("conv and input handled above"),
+                };
+                let kernel = self
+                    .registry
+                    .op_candidates(class, &spec)
+                    .into_iter()
+                    .find(|k| k.descriptor().input_repr() == Repr::f32(layout))
+                    .ok_or(PlanError::NoOpKernels { class })?;
+                let cost = self.source.op_cost(kernel.as_ref(), &spec);
+                self.op_assignment(&kernel.descriptor().name, cost)
             };
             kinds[node.index()] = Some(kind);
         }
-        instance::node_ids(graph)
+        Ok(instance::node_ids(graph)
             .into_iter()
             .zip(kinds)
             .map(|(node, kind)| NodeAssignment { node, kind: kind.expect("all nodes visited") })
-            .collect()
+            .collect())
     }
 
     /// The curated subset a vendor library would ship: vectorized kernels
@@ -340,17 +386,12 @@ impl<'a> Optimizer<'a> {
             }
         }
 
-        let conv_us: f64 = assignments
-            .iter()
-            .filter_map(|a| match &a.kind {
-                AssignmentKind::Conv { cost_us, .. } => Some(*cost_us),
-                AssignmentKind::Dummy { .. } => None,
-            })
-            .sum();
+        // Node costs cover convolutions *and* operator kernels now.
+        let node_us: f64 = assignments.iter().map(|a| a.kind.cost_us()).sum();
         let transform_us: f64 = edges.iter().map(|e| e.cost_us).sum::<f64>()
             + input_conversion.iter().map(|(_, _, c)| c).sum::<f64>()
             + output_conversion.iter().map(|(_, _, c)| c).sum::<f64>();
-        let predicted_us = (conv_us + transform_us) * strategy.framework_overhead();
+        let predicted_us = (node_us + transform_us) * strategy.framework_overhead();
 
         Ok(ExecutionPlan {
             strategy,
@@ -406,6 +447,25 @@ mod tests {
                 b.label(),
                 pbqp.predicted_us,
                 plan.predicted_us
+            );
+        }
+    }
+
+    #[test]
+    fn missing_op_kernels_are_a_typed_error_not_a_panic() {
+        // `Registry::with_op_kernels` is public; a partial inventory that
+        // misses a class the graph uses must surface through the Result,
+        // for the PBQP path and for baselines alike.
+        let reg = Registry::with_op_kernels(full_library(), Vec::new());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let net = models::micro_alexnet();
+        for strategy in [Strategy::Pbqp, Strategy::Sum2d] {
+            let err = opt.plan(&net, strategy).unwrap_err();
+            assert!(
+                matches!(err, PlanError::NoOpKernels { .. }),
+                "{}: got {err}",
+                strategy.label()
             );
         }
     }

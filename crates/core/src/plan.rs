@@ -2,12 +2,18 @@ use std::fmt;
 
 use pbqp_dnn_graph::NodeId;
 use pbqp_dnn_tensor::transform::ReprTransform;
-use pbqp_dnn_tensor::{Layout, Repr};
+use pbqp_dnn_tensor::{DType, Layout, Repr};
 use pbqp_solver::SolveStats;
 
 use crate::Strategy;
 
 /// What a plan assigns to one graph node.
+///
+/// Every node carries a concrete selection: convolutions a primitive, all
+/// other operators an op kernel, and graph sources the representation the
+/// canonical network input is delivered in. (The paper's zero-cost
+/// layout-only "dummy" assignment is gone — non-conv nodes are priced
+/// `Repr`-typed decisions like everything else.)
 #[derive(Debug, Clone, PartialEq)]
 pub enum AssignmentKind {
     /// A convolution layer instantiated with a concrete primitive.
@@ -21,11 +27,23 @@ pub enum AssignmentKind {
         /// Modelled/profiled execution cost in µs.
         cost_us: f64,
     },
-    /// A non-conv layer passing data through in a chosen layout (§5.2's
-    /// zero-cost dummy nodes). Dummy layers always compute in f32.
-    Dummy {
-        /// The layout the layer operates in.
-        layout: Layout,
+    /// A non-conv operator instantiated with a concrete op kernel.
+    Op {
+        /// Op kernel name (resolvable via the registry).
+        kernel: String,
+        /// The kernel's `R_in`, required on every incoming edge.
+        input_repr: Repr,
+        /// The kernel's `R_out`.
+        output_repr: Repr,
+        /// Modelled/profiled execution cost in µs (zero for the
+        /// single-precision classes both cost sources treat as free).
+        cost_us: f64,
+    },
+    /// A network input delivering the canonical-CHW f32 input in a chosen
+    /// representation.
+    Source {
+        /// The representation the input is delivered in.
+        repr: Repr,
     },
 }
 
@@ -34,7 +52,8 @@ impl AssignmentKind {
     pub fn output_repr(&self) -> Repr {
         match self {
             AssignmentKind::Conv { output_repr, .. } => *output_repr,
-            AssignmentKind::Dummy { layout } => Repr::f32(*layout),
+            AssignmentKind::Op { output_repr, .. } => *output_repr,
+            AssignmentKind::Source { repr } => *repr,
         }
     }
 
@@ -42,7 +61,8 @@ impl AssignmentKind {
     pub fn input_repr(&self) -> Repr {
         match self {
             AssignmentKind::Conv { input_repr, .. } => *input_repr,
-            AssignmentKind::Dummy { layout } => Repr::f32(*layout),
+            AssignmentKind::Op { input_repr, .. } => *input_repr,
+            AssignmentKind::Source { repr } => *repr,
         }
     }
 
@@ -54,6 +74,14 @@ impl AssignmentKind {
     /// The layout this node requires on its input edges.
     pub fn input_layout(&self) -> Layout {
         self.input_repr().layout
+    }
+
+    /// The node's own execution cost in µs (zero for sources).
+    pub fn cost_us(&self) -> f64 {
+        match self {
+            AssignmentKind::Conv { cost_us, .. } | AssignmentKind::Op { cost_us, .. } => *cost_us,
+            AssignmentKind::Source { .. } => 0.0,
+        }
     }
 }
 
@@ -104,8 +132,9 @@ pub struct ExecutionPlan {
     /// domain even at the network boundary and an int8 terminal layer is
     /// never "free".
     pub output_conversion: Vec<(NodeId, Vec<ReprTransform>, f64)>,
-    /// Predicted whole-network latency in µs (conv costs + DT chain costs
-    /// + input conversion), times any framework overhead factor.
+    /// Predicted whole-network latency in µs (conv costs + op costs + DT
+    /// chain costs + boundary conversions), times any framework overhead
+    /// factor.
     pub predicted_us: f64,
     /// Whether the PBQP solver proved the selection optimal (`None` for
     /// non-PBQP strategies).
@@ -128,13 +157,25 @@ impl ExecutionPlan {
             .iter()
             .filter_map(|a| match &a.kind {
                 AssignmentKind::Conv { primitive, .. } => Some((a.node, primitive.as_str())),
-                AssignmentKind::Dummy { .. } => None,
+                _ => None,
             })
             .collect()
     }
 
-    /// Total µs spent in DT chains (edge legalizations plus input
-    /// conversion) — the quantity the paper shows can erase a locally
+    /// Names of the op kernels selected for non-conv operator nodes, in
+    /// node order.
+    pub fn selected_op_kernels(&self) -> Vec<(NodeId, &str)> {
+        self.assignments
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AssignmentKind::Op { kernel, .. } => Some((a.node, kernel.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total µs spent in DT chains (edge legalizations plus boundary
+    /// conversions) — the quantity the paper shows can erase a locally
     /// optimal selection's advantage (§5.8).
     pub fn transform_us(&self) -> f64 {
         self.edges.iter().map(|e| e.cost_us).sum::<f64>()
@@ -148,7 +189,18 @@ impl ExecutionPlan {
             .iter()
             .filter_map(|a| match &a.kind {
                 AssignmentKind::Conv { cost_us, .. } => Some(*cost_us),
-                AssignmentKind::Dummy { .. } => None,
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total µs spent in non-conv operator kernels.
+    pub fn op_us(&self) -> f64 {
+        self.assignments
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AssignmentKind::Op { cost_us, .. } => Some(*cost_us),
+                _ => None,
             })
             .sum()
     }
@@ -166,7 +218,20 @@ impl ExecutionPlan {
             .iter()
             .filter(|a| {
                 matches!(&a.kind, AssignmentKind::Conv { input_repr, .. }
-                    if input_repr.dtype == pbqp_dnn_tensor::DType::I8)
+                    if input_repr.dtype == DType::I8)
+            })
+            .map(|a| a.node)
+            .collect()
+    }
+
+    /// Non-conv operator nodes assigned an int8 kernel — the nodes an
+    /// int8 island crosses without leaving the quantized domain.
+    pub fn int8_op_nodes(&self) -> Vec<NodeId> {
+        self.assignments
+            .iter()
+            .filter(|a| {
+                matches!(&a.kind, AssignmentKind::Op { input_repr, .. }
+                    if input_repr.dtype == DType::I8)
             })
             .map(|a| a.node)
             .collect()
@@ -197,20 +262,33 @@ impl fmt::Display for ExecutionPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "plan [{}]: {:.1} µs predicted ({:.1} µs conv, {:.1} µs in {} transforms)",
+            "plan [{}]: {:.1} µs predicted ({:.1} µs conv, {:.1} µs ops, {:.1} µs in {} transforms)",
             self.strategy.label(),
             self.predicted_us,
             self.conv_us(),
+            self.op_us(),
             self.transform_us(),
             self.transform_count(),
         )?;
         for a in &self.assignments {
-            if let AssignmentKind::Conv { primitive, input_repr, output_repr, cost_us } = &a.kind {
-                writeln!(
+            match &a.kind {
+                AssignmentKind::Conv { primitive, input_repr, output_repr, cost_us } => writeln!(
                     f,
                     "  {}: {{{input_repr}, {primitive}, {output_repr}}} {cost_us:.1} µs",
                     a.node
-                )?;
+                )?,
+                // Keep the listing compact: only op selections that left
+                // the default f32 domain are interesting to read.
+                AssignmentKind::Op { kernel, input_repr, output_repr, cost_us }
+                    if input_repr.dtype != DType::F32 || output_repr.dtype != DType::F32 =>
+                {
+                    writeln!(
+                        f,
+                        "  {}: {{{input_repr}, {kernel}, {output_repr}}} {cost_us:.1} µs",
+                        a.node
+                    )?
+                }
+                _ => {}
             }
         }
         Ok(())

@@ -59,7 +59,12 @@ pub fn get_graph(r: &mut WireReader<'_>) -> Result<DnnGraph, WireError> {
     for _ in 0..n {
         let name = r.str()?;
         let kind = get_layer_kind(r)?;
-        ids.push(graph.add(Layer::new(name, kind)));
+        // `try_add` revalidates layer parameters (degenerate pool
+        // windows), so corrupt streams surface as WireError instead of
+        // tripping the graph API's panicking construction checks.
+        let id =
+            graph.try_add(Layer::new(name, kind)).map_err(|e| WireError::Corrupt(e.to_string()))?;
+        ids.push(id);
     }
     let edges = r.len_prefix(16)?;
     for _ in 0..edges {
@@ -105,6 +110,7 @@ fn put_layer_kind(out: &mut Vec<u8>, kind: &LayerKind) {
         }
         LayerKind::Concat => wire::put_u8(out, 7),
         LayerKind::Softmax => wire::put_u8(out, 8),
+        LayerKind::Add => wire::put_u8(out, 9),
     }
 }
 
@@ -142,6 +148,7 @@ fn get_layer_kind(r: &mut WireReader<'_>) -> Result<LayerKind, WireError> {
         6 => LayerKind::FullyConnected { out: r.usize()? },
         7 => LayerKind::Concat,
         8 => LayerKind::Softmax,
+        9 => LayerKind::Add,
         tag => return Err(WireError::Corrupt(format!("layer kind tag {tag}"))),
     })
 }
@@ -217,9 +224,16 @@ pub fn put_plan(out: &mut Vec<u8>, plan: &ExecutionPlan) {
                 wire::put_repr(out, *output_repr);
                 wire::put_f64(out, *cost_us);
             }
-            AssignmentKind::Dummy { layout } => {
+            AssignmentKind::Op { kernel, input_repr, output_repr, cost_us } => {
                 wire::put_u8(out, 1);
-                wire::put_layout(out, *layout);
+                wire::put_str(out, kernel);
+                wire::put_repr(out, *input_repr);
+                wire::put_repr(out, *output_repr);
+                wire::put_f64(out, *cost_us);
+            }
+            AssignmentKind::Source { repr } => {
+                wire::put_u8(out, 2);
+                wire::put_repr(out, *repr);
             }
         }
     }
@@ -295,7 +309,13 @@ pub fn get_plan(r: &mut WireReader<'_>, graph: &DnnGraph) -> Result<ExecutionPla
                 output_repr: wire::get_repr(r)?,
                 cost_us: r.f64()?,
             },
-            1 => AssignmentKind::Dummy { layout: wire::get_layout(r)? },
+            1 => AssignmentKind::Op {
+                kernel: r.str()?,
+                input_repr: wire::get_repr(r)?,
+                output_repr: wire::get_repr(r)?,
+                cost_us: r.f64()?,
+            },
+            2 => AssignmentKind::Source { repr: wire::get_repr(r)? },
             tag => return Err(WireError::Corrupt(format!("assignment tag {tag}"))),
         };
         assignments.push(NodeAssignment { node: id, kind });
@@ -423,6 +443,33 @@ mod tests {
             assert_eq!(back.optimal, plan.optimal);
             assert_eq!(back.solve_stats, plan.solve_stats);
             assert_eq!(back.solve_time_us.to_bits(), plan.solve_time_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_pool_windows_are_a_wire_error_not_a_panic() {
+        // A stream encoding a pool layer with the degenerate parameters
+        // `DnnGraph::add` panics on (k = 0, and pad >= k): decoding must
+        // refuse with a WireError instead of panicking — a corrupted v2
+        // artifact may carry exactly these bytes.
+        for (k, stride, pad) in [(0usize, 2usize, 0usize), (2, 0, 0), (2, 1, 5)] {
+            let mut bad = Vec::new();
+            wire::put_usize(&mut bad, 2); // two layers
+            wire::put_str(&mut bad, "data");
+            wire::put_u8(&mut bad, 0); // input
+            for d in [1usize, 4, 4] {
+                wire::put_usize(&mut bad, d);
+            }
+            wire::put_str(&mut bad, "p");
+            wire::put_u8(&mut bad, 2); // pool
+            wire::put_u8(&mut bad, 0); // max
+            wire::put_usize(&mut bad, k);
+            wire::put_usize(&mut bad, stride);
+            wire::put_usize(&mut bad, pad);
+            wire::put_usize(&mut bad, 0); // no edges
+            let mut r = WireReader::new(&bad);
+            let err = get_graph(&mut r).unwrap_err();
+            assert!(matches!(err, WireError::Corrupt(_)), "k={k} stride={stride} pad={pad}");
         }
     }
 

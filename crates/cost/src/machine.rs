@@ -44,6 +44,15 @@ pub struct MachineModel {
     /// `pmaddubsw`-style pairs on AVX2-class parts, more on NEON where
     /// `smlal` quadruples the lane count).
     pub int8_speedup: f64,
+    /// Elements per cycle a streaming f32 pointwise/pooling loop sustains
+    /// (clamps, window maxima, elementwise adds — the non-conv operator
+    /// kernels, which are bandwidth-bound far more often than
+    /// compute-bound).
+    pub pointwise_elems_per_cycle: f64,
+    /// Throughput multiplier of int8 pointwise/pool loops over their f32
+    /// forms: byte-wide compares/adds pack 4× the lanes, and the memory
+    /// half of the roofline moves a quarter of the bytes automatically.
+    pub int8_pointwise_speedup: f64,
 }
 
 impl MachineModel {
@@ -59,6 +68,8 @@ impl MachineModel {
             fma_per_cycle: 2.0,
             blas_efficiency: 1.0,
             int8_speedup: 2.2,
+            pointwise_elems_per_cycle: 4.0,
+            int8_pointwise_speedup: 2.0,
         }
     }
 
@@ -77,6 +88,8 @@ impl MachineModel {
             fma_per_cycle: 1.0,
             blas_efficiency: 0.55,
             int8_speedup: 3.0,
+            pointwise_elems_per_cycle: 2.0,
+            int8_pointwise_speedup: 3.0,
         }
     }
 

@@ -1,5 +1,5 @@
-use pbqp_dnn_graph::ConvScenario;
-use pbqp_dnn_primitives::{AlgoHint, ConvAlgorithm};
+use pbqp_dnn_graph::{ConvScenario, OpClass};
+use pbqp_dnn_primitives::{AlgoHint, ConvAlgorithm, OpKernel, OpSpec};
 use pbqp_dnn_tensor::transform::ReprTransform;
 use pbqp_dnn_tensor::DType;
 
@@ -229,6 +229,41 @@ impl CostSource for AnalyticCost {
         (compute_us.max(memory_us) + overhead_us) * self.jitter(&d.name, s)
     }
 
+    /// Roofline pricing for the non-conv operator kernels: streamed bytes
+    /// against the machine bandwidth vs per-element work against the
+    /// pointwise throughput, whichever binds. Deliberately
+    /// layout-independent — these loops stream whatever permutation they
+    /// are given — so for a single-precision registry every candidate of
+    /// an op node ties and selection behaves exactly like the paper's
+    /// zero-cost dummies; with int8 kernels in the registry the 4× byte
+    /// saving (plus the packed-compare speedup) is what lets a quantized
+    /// island cross ReLU and pooling layers instead of paying a
+    /// dequant/requant round trip.
+    fn op_cost(&self, kernel: &dyn OpKernel, spec: &OpSpec) -> f64 {
+        let d = kernel.descriptor();
+        if !d.class.is_costed() {
+            // Single-precision parameterized layers (LRN, FC, softmax,
+            // dropout) have no alternative to weigh; see
+            // `OpClass::is_costed`.
+            return 0.0;
+        }
+        let work_per_out_elem = match d.class {
+            OpClass::MaxPool | OpClass::AvgPool => (spec.window.0 * spec.window.0) as f64,
+            OpClass::Add => spec.inputs.len() as f64,
+            _ => 1.0,
+        };
+        let int8 =
+            if d.input_dtype == DType::I8 { self.machine.int8_pointwise_speedup } else { 1.0 };
+        let elems_out = spec.out_elems() as f64;
+        let compute_us = elems_out * work_per_out_elem
+            / (self.machine.freq_ghz * 1e9 * self.machine.pointwise_elems_per_cycle * int8)
+            * 1e6;
+        let bytes = spec.in_elems() as f64 * d.input_dtype.bytes() as f64
+            + elems_out * d.output_dtype.bytes() as f64;
+        let memory_us = bytes / (self.machine.bandwidth_gbs * 1e9) * 1e6;
+        compute_us.max(memory_us) + 0.5
+    }
+
     fn transform_cost(&self, t: ReprTransform, dims: (usize, usize, usize)) -> f64 {
         let elems = (dims.0 * dims.1 * dims.2) as f64;
         // Throughput class and bytes moved per element, by edge kind:
@@ -258,7 +293,7 @@ impl CostSource for AnalyticCost {
     fn cache_key(&self) -> String {
         let m = &self.machine;
         format!(
-            "analytic:{}:v{}c{}f{}l{}b{}fma{}e{}q{}:t{}",
+            "analytic:{}:v{}c{}f{}l{}b{}fma{}e{}q{}pw{}qpw{}:t{}",
             m.name,
             m.vector_width,
             m.cores,
@@ -268,6 +303,8 @@ impl CostSource for AnalyticCost {
             m.fma_per_cycle,
             m.blas_efficiency,
             m.int8_speedup,
+            m.pointwise_elems_per_cycle,
+            m.int8_pointwise_speedup,
             self.threads,
         )
     }
@@ -430,6 +467,46 @@ mod tests {
         let s = ConvScenario::new(96, 27, 27, 1, 5, 256);
         let conv = cost_of(&reg, &cost, "im2col_packed_nn", &s);
         assert!(q + dq < conv / 10.0, "edges {q}+{dq} vs conv {conv}");
+    }
+
+    #[test]
+    fn op_costs_favour_int8_and_ignore_layout() {
+        use pbqp_dnn_graph::{LayerKind, PoolKind};
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+        let relu_spec = pbqp_dnn_primitives::OpSpec::for_layer(
+            &LayerKind::Relu,
+            vec![(32, 22, 22)],
+            (32, 22, 22),
+        )
+        .unwrap();
+        // f32 candidates tie across layouts (so a single-precision
+        // registry behaves exactly like the old zero-cost dummies)…
+        let chw = cost.op_cost(reg.op_by_name("relu_chw").unwrap().as_ref(), &relu_spec);
+        let hwc = cost.op_cost(reg.op_by_name("relu_hwc").unwrap().as_ref(), &relu_spec);
+        assert!(chw > 0.0);
+        assert_eq!(chw, hwc);
+        // …and the int8 kernel undercuts them (4× fewer bytes).
+        let q = cost.op_cost(reg.op_by_name("qint8_relu_chw").unwrap().as_ref(), &relu_spec);
+        assert!(q < chw, "int8 relu {q} vs f32 {chw}");
+        // Pool work scales with the window.
+        let pool = LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 };
+        let pool_spec =
+            pbqp_dnn_primitives::OpSpec::for_layer(&pool, vec![(32, 22, 22)], (32, 11, 11))
+                .unwrap();
+        let qp = cost.op_cost(reg.op_by_name("qint8_maxpool_chw").unwrap().as_ref(), &pool_spec);
+        let fp = cost.op_cost(reg.op_by_name("maxpool_chw").unwrap().as_ref(), &pool_spec);
+        assert!(qp > 0.0 && qp < fp);
+        // Single-precision parameterized classes stay free in both
+        // sources — they have no alternative to weigh.
+        let fc_spec = pbqp_dnn_primitives::OpSpec::for_layer(
+            &LayerKind::FullyConnected { out: 10 },
+            vec![(32, 11, 11)],
+            (10, 1, 1),
+        )
+        .unwrap();
+        assert_eq!(cost.op_cost(reg.op_by_name("fc_chw").unwrap().as_ref(), &fc_spec), 0.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use std::time::Instant;
 
 use pbqp_dnn_graph::ConvScenario;
-use pbqp_dnn_primitives::ConvAlgorithm;
+use pbqp_dnn_primitives::{ConvAlgorithm, OpInputs, OpKernel, OpSpec};
 use pbqp_dnn_tensor::transform::{apply_repr_into, quantize_dynamic_into, ReprTransform};
 use pbqp_dnn_tensor::{DType, KernelTensor, Tensor};
 
@@ -49,6 +49,34 @@ impl MeasuredCost {
         t.w = (t.w / self.scale).max(t.k);
         t
     }
+
+    /// The op-spec analogue of [`MeasuredCost::scaled`]: operand spatial
+    /// dims shrink by the scale (never below the pool window), and the
+    /// output geometry is re-derived per class so the kernels' shape
+    /// checks still hold.
+    fn scaled_spec(&self, spec: &OpSpec) -> OpSpec {
+        if self.scale == 1 {
+            return spec.clone();
+        }
+        let (k, stride, pad) = spec.window;
+        let mut t = spec.clone();
+        for (_, h, w) in &mut t.inputs {
+            *h = (*h / self.scale).max(k.max(1));
+            *w = (*w / self.scale).max(k.max(1));
+        }
+        let (_, h0, w0) = t.inputs[0];
+        t.out = match t.class {
+            pbqp_dnn_graph::OpClass::MaxPool | pbqp_dnn_graph::OpClass::AvgPool => (
+                t.out.0,
+                (h0 + 2 * pad - k).div_ceil(stride) + 1,
+                (w0 + 2 * pad - k).div_ceil(stride) + 1,
+            ),
+            // Every other costed class is shape-preserving spatially
+            // (concat sums channels, add/relu are elementwise).
+            _ => (t.out.0, h0, w0),
+        };
+        t
+    }
 }
 
 impl CostSource for MeasuredCost {
@@ -78,6 +106,47 @@ impl CostSource for MeasuredCost {
         }
         // Scale measured time back up: every family is Θ(H·W) in the
         // spatial dimensions for fixed C, K, M.
+        best * (self.scale * self.scale) as f64
+    }
+
+    /// Wall-clock profiling of non-conv op kernels, matching the conv
+    /// methodology: deterministic pseudo-random operands (quantized for
+    /// int8 kernels), spatial dims shrunk by `with_scale` and the timing
+    /// extrapolated back up (every costed op class is Θ(H·W)), best of
+    /// `reps` kept. The single-precision classes both sources treat as
+    /// free (see [`pbqp_dnn_graph::OpClass::is_costed`]) stay at zero
+    /// here too — none of the costed classes carries `aux` parameters —
+    /// so analytic and measured plans decompose the same way.
+    fn op_cost(&self, kernel: &dyn OpKernel, spec: &OpSpec) -> f64 {
+        let d = kernel.descriptor();
+        if !d.class.is_costed() {
+            return 0.0;
+        }
+        let spec = self.scaled_spec(spec);
+        let operands: Vec<Tensor> = spec
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, h, w))| {
+                let f = Tensor::random(c, h, w, d.input_layout, 0xA11CE ^ i as u64);
+                if d.input_dtype == DType::I8 {
+                    let mut q = Tensor::empty_dtype(DType::I8);
+                    quantize_dynamic_into(&f, &mut q);
+                    q
+                } else {
+                    f
+                }
+            })
+            .collect();
+        let refs: Vec<&Tensor> = operands.iter().collect();
+        let mut best = f64::INFINITY;
+        for _ in 0..self.reps {
+            let start = Instant::now();
+            let out = kernel.execute(OpInputs::Slice(&refs), None, &spec);
+            let dt = start.elapsed().as_secs_f64() * 1e6;
+            assert!(out.is_ok(), "profiled op kernel failed: {:?}", out.err());
+            best = best.min(dt);
+        }
         best * (self.scale * self.scale) as f64
     }
 
@@ -135,6 +204,15 @@ mod tests {
         let s = ConvScenario::new(4, 32, 32, 1, 3, 8);
         let cost = prof.layer_cost(reg.by_name("sum2d").unwrap().as_ref(), &s);
         assert!(cost > 0.0);
+        // Op kernels honour the same spatial downscale — a scale-4 pool
+        // profile runs on shrunken tensors (and still prices > 0), with
+        // geometry re-derived so the kernel's shape checks hold.
+        use pbqp_dnn_graph::{LayerKind, PoolKind};
+        let pool = LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 };
+        let spec = OpSpec::for_layer(&pool, vec![(8, 64, 64)], (8, 31, 31)).unwrap();
+        let quick = MeasuredCost::new(1, 1).with_scale(4);
+        let kernel = reg.op_by_name("maxpool_chw").unwrap();
+        assert!(quick.op_cost(kernel.as_ref(), &spec) > 0.0);
     }
 
     #[test]

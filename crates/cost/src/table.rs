@@ -3,7 +3,7 @@ use std::fmt;
 
 use pbqp_dnn_graph::{ConvScenario, DnnGraph, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
-use pbqp_dnn_primitives::ConvAlgorithm;
+use pbqp_dnn_primitives::{ConvAlgorithm, OpKernel, OpSpec};
 use pbqp_dnn_tensor::transform::ReprTransform;
 
 /// Source of layer and data-transformation costs.
@@ -14,6 +14,19 @@ use pbqp_dnn_tensor::transform::ReprTransform;
 pub trait CostSource {
     /// Estimated/measured execution time of `prim` on `scenario`.
     fn layer_cost(&self, prim: &dyn ConvAlgorithm, scenario: &ConvScenario) -> f64;
+
+    /// Estimated/measured execution time of one non-conv operator kernel
+    /// on `spec` — what prices the per-node `Repr` option vectors of
+    /// ReLU/pool/concat/add selection nodes.
+    ///
+    /// The default keeps the paper's §5.2 behavior (non-conv layers cost
+    /// nothing); the shipped sources override it for the
+    /// multi-precision operator classes (see
+    /// [`pbqp_dnn_graph::OpClass::is_costed`]).
+    fn op_cost(&self, kernel: &dyn OpKernel, spec: &OpSpec) -> f64 {
+        let _ = (kernel, spec);
+        0.0
+    }
 
     /// Estimated/measured execution time of one direct representation
     /// transformation (layout conversion, quantize or dequantize) on a

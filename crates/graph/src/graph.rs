@@ -52,6 +52,26 @@ pub enum GraphError {
         /// Offending node name.
         node: String,
     },
+    /// Add inputs disagree on their full shape (residual merges require
+    /// exact shape agreement).
+    AddMismatch {
+        /// Offending node name.
+        node: String,
+    },
+    /// A pool layer's window parameters are degenerate: `k == 0`,
+    /// `stride == 0`, or `pad >= k` (a window that never covers any
+    /// input). Rejected at [`DnnGraph::try_add`] time, the same treatment
+    /// [`crate::ConvScenario::new`] gives conv parameters.
+    InvalidPool {
+        /// Offending node name.
+        node: String,
+        /// Window radix.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
     /// Two layers share a name; names must be unique for reporting.
     DuplicateName(String),
 }
@@ -69,6 +89,17 @@ impl fmt::Display for GraphError {
             }
             GraphError::ConcatMismatch { node } => {
                 write!(f, "concat `{node}` inputs disagree on spatial dimensions")
+            }
+            GraphError::AddMismatch { node } => {
+                write!(f, "add `{node}` inputs disagree on shape")
+            }
+            GraphError::InvalidPool { node, k, stride, pad } => {
+                write!(
+                    f,
+                    "pool `{node}` has degenerate window parameters \
+                     (k = {k}, stride = {stride}, pad = {pad}): \
+                     k and stride must be >= 1 and pad < k"
+                )
             }
             GraphError::DuplicateName(name) => write!(f, "duplicate layer name `{name}`"),
         }
@@ -111,12 +142,38 @@ impl DnnGraph {
     }
 
     /// Adds a layer and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate pool parameters (see [`DnnGraph::try_add`] for
+    /// the fallible form) — the same treatment [`ConvScenario::new`] gives
+    /// conv parameters, so malformed windows never survive construction.
     pub fn add(&mut self, layer: Layer) -> NodeId {
+        match self.try_add(layer) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`DnnGraph::add`]: validates the layer's
+    /// parameters before admitting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPool`] for a pool layer with `k == 0`,
+    /// `stride == 0` or `pad >= k` — parameters the pooling output
+    /// formulas would underflow or divide by zero on.
+    pub fn try_add(&mut self, layer: Layer) -> Result<NodeId, GraphError> {
+        if let LayerKind::Pool { k, stride, pad, .. } = layer.kind {
+            if k == 0 || stride == 0 || pad >= k {
+                return Err(GraphError::InvalidPool { node: layer.name, k, stride, pad });
+            }
+        }
         let id = NodeId(self.layers.len());
         self.layers.push(layer);
         self.succs.push(Vec::new());
         self.preds.push(Vec::new());
-        id
+        Ok(id)
     }
 
     /// Adds a directed edge `from → to`.
@@ -179,7 +236,7 @@ impl DnnGraph {
 
     /// Ids of all convolution nodes, in insertion order.
     pub fn conv_nodes(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&id| self.layer(id).kind.is_conv()).collect()
+        self.node_ids().filter(|&id| matches!(self.layer(id).kind, LayerKind::Conv(_))).collect()
     }
 
     /// Convolution scenarios keyed by node, in insertion order.
@@ -296,6 +353,20 @@ impl DnnGraph {
                         c_sum += c;
                     }
                     (c_sum, h0, w0)
+                }
+                LayerKind::Add => {
+                    // A residual merge needs at least two operands, and
+                    // elementwise addition requires exact shape agreement.
+                    if preds.len() < 2 {
+                        return Err(single(preds.len()));
+                    }
+                    let first = shapes[preds[0].0];
+                    for p in &preds[1..] {
+                        if shapes[p.0] != first {
+                            return Err(GraphError::AddMismatch { node: layer.name.clone() });
+                        }
+                    }
+                    first
                 }
             };
         }
@@ -472,6 +543,61 @@ mod tests {
         g.connect(a, cat).unwrap();
         g.connect(b, cat).unwrap();
         assert_eq!(g.infer_shapes().unwrap()[cat.index()], (5, 4, 4));
+    }
+
+    #[test]
+    fn add_requires_exact_shape_agreement() {
+        let mut g = DnnGraph::new();
+        let a = g.add(Layer::new("a", LayerKind::Input { c: 2, h: 4, w: 4 }));
+        let b = g.add(Layer::new("b", LayerKind::Input { c: 2, h: 4, w: 4 }));
+        let add = g.add(Layer::new("sum", LayerKind::Add));
+        g.connect(a, add).unwrap();
+        g.connect(b, add).unwrap();
+        assert_eq!(g.infer_shapes().unwrap()[add.index()], (2, 4, 4));
+
+        // A channel mismatch is rejected with the typed error.
+        let mut bad = DnnGraph::new();
+        let a = bad.add(Layer::new("a", LayerKind::Input { c: 2, h: 4, w: 4 }));
+        let b = bad.add(Layer::new("b", LayerKind::Input { c: 3, h: 4, w: 4 }));
+        let add = bad.add(Layer::new("sum", LayerKind::Add));
+        bad.connect(a, add).unwrap();
+        bad.connect(b, add).unwrap();
+        assert_eq!(bad.infer_shapes(), Err(GraphError::AddMismatch { node: "sum".into() }));
+
+        // A single-operand add is an arity error, not a silent identity.
+        let mut unary = DnnGraph::new();
+        let a = unary.add(Layer::new("a", LayerKind::Input { c: 2, h: 4, w: 4 }));
+        let add = unary.add(Layer::new("sum", LayerKind::Add));
+        unary.connect(a, add).unwrap();
+        assert!(matches!(unary.infer_shapes(), Err(GraphError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn degenerate_pool_windows_are_rejected_at_add_time() {
+        let pool = |k, stride, pad| {
+            Layer::new("p", LayerKind::Pool { kind: PoolKind::Max, k, stride, pad })
+        };
+        for (k, stride, pad) in [(0usize, 2usize, 0usize), (3, 0, 0), (3, 2, 3), (2, 1, 5)] {
+            let mut g = DnnGraph::new();
+            let err = g.try_add(pool(k, stride, pad)).unwrap_err();
+            assert_eq!(
+                err,
+                GraphError::InvalidPool { node: "p".into(), k, stride, pad },
+                "k={k} stride={stride} pad={pad}"
+            );
+            assert!(g.is_empty(), "rejected layers must not be admitted");
+        }
+        // Valid windows (including pad = k - 1) are accepted.
+        let mut g = DnnGraph::new();
+        assert!(g.try_add(pool(3, 2, 2)).is_ok());
+        assert!(g.try_add(Layer::new("q", LayerKind::Relu)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate window parameters")]
+    fn infallible_add_panics_on_degenerate_pool() {
+        let mut g = DnnGraph::new();
+        g.add(Layer::new("p", LayerKind::Pool { kind: PoolKind::Avg, k: 0, stride: 1, pad: 0 }));
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! DNN graph intermediate representation and the published model zoo.
 //!
 //! A DNN is a directed acyclic graph of layers (§2 of the paper). The
-//! primitive-selection problem assigns an implementation to every
-//! *convolution* layer; all other layer kinds are represented as dummy
-//! nodes that accept any layout at zero cost (§5.2).
+//! primitive-selection problem assigns an implementation to **every**
+//! layer: convolutions select among the primitive library, every other
+//! operator selects among its per-class kernel candidates over the full
+//! representation (layout × dtype) space — see
+//! [`LayerKind::selection_class`]. (The paper models non-conv layers as
+//! zero-cost dummies, §5.2; this repo generalizes them to first-class
+//! selection nodes so int8 islands can span activation layers.)
 //!
 //! The [`models`] module reconstructs the evaluation networks from their
 //! publications: AlexNet, the VGG family (A, B, C, D, E) and GoogleNet's
@@ -31,5 +35,5 @@ pub mod models;
 mod scenario;
 
 pub use graph::{DnnGraph, Fnv1a, GraphError, NodeId};
-pub use layer::{Layer, LayerKind, PoolKind};
+pub use layer::{Layer, LayerKind, OpClass, PoolKind, SelectionClass};
 pub use scenario::ConvScenario;

@@ -351,9 +351,13 @@ pub fn micro_alexnet() -> DnnGraph {
 /// A miniature mixed-precision serving chain: one big strided 5×5
 /// convolution (GEMM-bound, no Winograd/FFT candidates because of the
 /// stride — the layer shape that tips to int8 under a mixed-precision
-/// registry) feeding a pointwise tail too small to amortize a
-/// quantize/dequantize round trip. The canonical fixture shared by the
-/// mixed-precision tests, example and benchmark.
+/// registry) feeding a heavily pruned 3×3 tail whose sparse f32 CSR
+/// routines (§8) have no quantized counterpart and win outright. One
+/// solve splits the network: the dense strided head stays quantized —
+/// with the ReLU joining the island via its int8 kernel, so the interior
+/// of the island has no quantize/dequantize edges — while the sparse
+/// tail stays f32. The canonical fixture shared by the mixed-precision
+/// tests, example and benchmark.
 pub fn micro_mixed() -> DnnGraph {
     let mut g = DnnGraph::new();
     let data = g.add(Layer::new("data", LayerKind::Input { c: 16, h: 20, w: 20 }));
@@ -364,11 +368,61 @@ pub fn micro_mixed() -> DnnGraph {
     let relu = g.add(Layer::new("relu", LayerKind::Relu));
     let small = g.add(Layer::new(
         "conv_small",
-        LayerKind::Conv(ConvScenario::new(32, 8, 8, 1, 1, 8).with_pad(0)),
+        LayerKind::Conv(ConvScenario::new(32, 8, 8, 1, 3, 32).with_sparsity_pm(950)),
     ));
     g.connect(data, big).unwrap();
     g.connect(big, relu).unwrap();
     g.connect(relu, small).unwrap();
+    g
+}
+
+/// A miniature residual network: a strided int8-friendly stem
+/// (conv → relu → pool → conv, no LRN in between — the chain an int8
+/// island can span end to end once non-conv operators are first-class
+/// selection nodes), followed by a residual block whose skip edge meets
+/// the body in an elementwise [`LayerKind::Add`] merge, and a small
+/// classifier head.
+///
+/// Both stem convolutions are strided 5×5 layers (no Winograd/FFT/kn2
+/// candidates), the shape that tips to int8 under a mixed-precision
+/// registry — so on the ARM machine model the optimal plan keeps the
+/// whole stem quantized with **zero** interior quantize/dequantize edges.
+pub fn micro_resnet() -> DnnGraph {
+    let mut g = DnnGraph::new();
+    let data = g.add(Layer::new("data", LayerKind::Input { c: 16, h: 48, w: 48 }));
+    let conv1 = g.add(Layer::new(
+        "conv1",
+        LayerKind::Conv(ConvScenario::new(16, 48, 48, 2, 5, 32).with_pad(0)),
+    ));
+    let relu1 = g.add(Layer::new("relu1", LayerKind::Relu));
+    let pool1 = g
+        .add(Layer::new("pool1", LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2, pad: 0 }));
+    let conv2 = g.add(Layer::new(
+        "conv2",
+        LayerKind::Conv(ConvScenario::new(32, 11, 11, 2, 5, 48).with_pad(2)),
+    ));
+    let relu2 = g.add(Layer::new("relu2", LayerKind::Relu));
+    // Residual block: body conv vs identity skip, merged elementwise.
+    let conv3 = g.add(Layer::new("conv3", LayerKind::Conv(ConvScenario::new(48, 6, 6, 1, 3, 48))));
+    let add = g.add(Layer::new("res_add", LayerKind::Add));
+    let relu3 = g.add(Layer::new("relu3", LayerKind::Relu));
+    let fc = g.add(Layer::new("fc", LayerKind::FullyConnected { out: 10 }));
+    let prob = g.add(Layer::new("prob", LayerKind::Softmax));
+    for (a, b) in [
+        (data, conv1),
+        (conv1, relu1),
+        (relu1, pool1),
+        (pool1, conv2),
+        (conv2, relu2),
+        (relu2, conv3),
+        (conv3, add),
+        (relu2, add), // identity skip
+        (add, relu3),
+        (relu3, fc),
+        (fc, prob),
+    ] {
+        g.connect(a, b).unwrap();
+    }
     g
 }
 
@@ -496,6 +550,28 @@ mod tests {
         let vgg_flops = vgg(VggVariant::E).conv_flops();
         let alex_flops = alexnet().conv_flops();
         assert!(vgg_flops > 15 * alex_flops, "{vgg_flops} vs {alex_flops}");
+    }
+
+    #[test]
+    fn micro_resnet_validates_and_has_a_residual_merge() {
+        let net = micro_resnet();
+        let shapes = net.infer_shapes().unwrap();
+        let at = |name: &str| shapes[net.find(name).unwrap().index()];
+        assert_eq!(at("conv1"), (32, 22, 22));
+        assert_eq!(at("pool1"), (32, 11, 11));
+        assert_eq!(at("conv2"), (48, 6, 6));
+        assert_eq!(at("res_add"), (48, 6, 6));
+        assert_eq!(at("fc"), (10, 1, 1));
+        let add = net.find("res_add").unwrap();
+        assert_eq!(net.predecessors(add).len(), 2, "residual merge has body + skip");
+        // The int8-island chain exists: conv1 → relu1 → pool1 → conv2 with
+        // no LRN or other f32-only layer in between.
+        let chain = ["conv1", "relu1", "pool1", "conv2"];
+        for pair in chain.windows(2) {
+            let from = net.find(pair[0]).unwrap();
+            let to = net.find(pair[1]).unwrap();
+            assert!(net.successors(from).contains(&to), "{} -> {}", pair[0], pair[1]);
+        }
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum PrimitiveError {
         /// Element type that was supplied.
         found: DType,
     },
+    /// An op kernel cannot implement the requested operator instance
+    /// (class mismatch, missing fully-connected weights, …).
+    UnsupportedOp {
+        /// Kernel name.
+        kernel: String,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
     /// Input or kernel dimensions disagree with the scenario.
     ShapeMismatch {
         /// Primitive name.
@@ -56,6 +64,9 @@ impl fmt::Display for PrimitiveError {
             }
             PrimitiveError::WrongInputDType { primitive, expected, found } => {
                 write!(f, "primitive `{primitive}` consumes {expected} storage, input is {found}")
+            }
+            PrimitiveError::UnsupportedOp { kernel, detail } => {
+                write!(f, "op kernel `{kernel}`: {detail}")
             }
             PrimitiveError::ShapeMismatch { primitive, detail } => {
                 write!(f, "primitive `{primitive}`: {detail}")

@@ -21,6 +21,13 @@
 //! by [`registry::full_library`], and each implementation is validated in
 //! tests against [`reference::sum2d_reference`].
 //!
+//! Non-convolution operators are first-class too: every ReLU, pooling,
+//! concat, add, LRN, fully-connected and softmax layer selects among
+//! [`OpKernel`] candidates — f32 kernels at every layout plus int8
+//! kernels for the activation-memory ops — with the same
+//! `{R_in, P, R_out}` descriptor shape and exact workspace contracts as
+//! the convolutions (see the [`ops`] module and [`registry::op_library`]).
+//!
 //! # Example
 //!
 //! ```
@@ -40,7 +47,10 @@ mod error;
 mod fft_conv;
 mod im2;
 mod kn2;
+mod op;
+pub mod ops;
 mod pointwise;
+mod qops;
 mod quantized;
 pub mod reference;
 pub mod registry;
@@ -52,4 +62,5 @@ mod workspace;
 pub use algorithm::ConvAlgorithm;
 pub use descriptor::{AlgoHint, Family, PrimitiveDescriptor};
 pub use error::PrimitiveError;
+pub use op::{OpDescriptor, OpInputs, OpKernel, OpSpec};
 pub use workspace::{Workspace, WorkspaceReq};

@@ -1,0 +1,343 @@
+//! The non-convolution operator kernel API — [`ConvAlgorithm`]'s sibling
+//! for every other layer kind.
+//!
+//! The paper models non-conv layers as zero-cost dummy nodes that accept
+//! any layout (§5.2). This module retires that shape: every operator is
+//! implemented by concrete [`OpKernel`]s, each a `{R_in, P, R_out}`
+//! triple over the full representation (layout × dtype) space, so a ReLU
+//! or a pooling layer is selected by the PBQP solver exactly like a
+//! convolution — and an int8 island can span conv → relu → pool → conv
+//! without interior quantize/dequantize edges.
+//!
+//! Like the conv primitives, op kernels have exact scratch contracts:
+//! [`OpKernel::workspace_req`] declares what [`OpKernel::execute_into`]
+//! carves from the caller's [`Workspace`], keeping the zero-allocation
+//! steady state intact.
+//!
+//! [`ConvAlgorithm`]: crate::ConvAlgorithm
+
+use std::fmt;
+
+use pbqp_dnn_graph::{LayerKind, OpClass, PoolKind};
+use pbqp_dnn_tensor::{DType, Layout, Repr, Tensor};
+
+use crate::{PrimitiveError, Workspace, WorkspaceReq};
+
+/// One operator instance: the [`OpClass`] plus the geometry an
+/// [`OpKernel`] needs to execute and a cost source needs to price — the
+/// non-conv analogue of [`pbqp_dnn_graph::ConvScenario`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSpec {
+    /// The operator class.
+    pub class: OpClass,
+    /// Per-operand input dimensions `(c, h, w)`, in predecessor order.
+    pub inputs: Vec<(usize, usize, usize)>,
+    /// Output dimensions `(c, h, w)`.
+    pub out: (usize, usize, usize),
+    /// Pooling window `(k, stride, pad)`; `(1, 1, 0)` for non-pool ops.
+    pub window: (usize, usize, usize),
+}
+
+impl OpSpec {
+    /// Builds the spec for a non-conv layer given its operand and output
+    /// dimensions. Returns `None` for [`LayerKind::Input`] and
+    /// [`LayerKind::Conv`], which are not operator nodes.
+    pub fn for_layer(
+        kind: &LayerKind,
+        inputs: Vec<(usize, usize, usize)>,
+        out: (usize, usize, usize),
+    ) -> Option<OpSpec> {
+        let (class, window) = match kind {
+            LayerKind::Input { .. } | LayerKind::Conv(_) => return None,
+            LayerKind::Pool { kind: PoolKind::Max, k, stride, pad } => {
+                (OpClass::MaxPool, (*k, *stride, *pad))
+            }
+            LayerKind::Pool { kind: PoolKind::Avg, k, stride, pad } => {
+                (OpClass::AvgPool, (*k, *stride, *pad))
+            }
+            LayerKind::Relu => (OpClass::Relu, (1, 1, 0)),
+            LayerKind::Lrn => (OpClass::Lrn, (1, 1, 0)),
+            LayerKind::Dropout => (OpClass::Dropout, (1, 1, 0)),
+            LayerKind::FullyConnected { .. } => (OpClass::FullyConnected, (1, 1, 0)),
+            LayerKind::Concat => (OpClass::Concat, (1, 1, 0)),
+            LayerKind::Add => (OpClass::Add, (1, 1, 0)),
+            LayerKind::Softmax => (OpClass::Softmax, (1, 1, 0)),
+        };
+        Some(OpSpec { class, inputs, out, window })
+    }
+
+    /// Total logical input elements across all operands.
+    pub fn in_elems(&self) -> usize {
+        self.inputs.iter().map(|&(c, h, w)| c * h * w).sum()
+    }
+
+    /// Logical output elements.
+    pub fn out_elems(&self) -> usize {
+        let (c, h, w) = self.out;
+        c * h * w
+    }
+}
+
+impl fmt::Display for OpSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (c, h, w) = self.out;
+        write!(f, "{} -> {c}x{h}x{w}", self.class)?;
+        if self.class == OpClass::MaxPool || self.class == OpClass::AvgPool {
+            let (k, s, p) = self.window;
+            write!(f, " ({k}x{k}/{s} p{p})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Static description of an op kernel: the `{R_in, P, R_out}` triple over
+/// representations, mirroring
+/// [`PrimitiveDescriptor`](crate::PrimitiveDescriptor) for convolutions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDescriptor {
+    /// Unique kernel name, e.g. `"relu_hwc"` or `"qint8_maxpool_chw"`.
+    pub name: String,
+    /// The operator class the kernel implements.
+    pub class: OpClass,
+    /// Layout consumed on every operand.
+    pub input_layout: Layout,
+    /// Layout produced.
+    pub output_layout: Layout,
+    /// Element type consumed.
+    pub input_dtype: DType,
+    /// Element type produced.
+    pub output_dtype: DType,
+    /// Provenance tag (which "library" the routine belongs to).
+    pub library: &'static str,
+}
+
+impl OpDescriptor {
+    /// Creates an f32 descriptor operating in-place in one layout.
+    pub fn new(name: impl Into<String>, class: OpClass, layout: Layout) -> OpDescriptor {
+        OpDescriptor {
+            name: name.into(),
+            class,
+            input_layout: layout,
+            output_layout: layout,
+            input_dtype: DType::F32,
+            output_dtype: DType::F32,
+            library: "pbqp-dnn",
+        }
+    }
+
+    /// Sets the input and output element types (defaults are `f32`).
+    pub fn with_dtypes(mut self, input: DType, output: DType) -> OpDescriptor {
+        self.input_dtype = input;
+        self.output_dtype = output;
+        self
+    }
+
+    /// Sets the provenance library tag.
+    pub fn with_library(mut self, library: &'static str) -> OpDescriptor {
+        self.library = library;
+        self
+    }
+
+    /// The representation consumed: `{L_in, dtype_in}`.
+    pub fn input_repr(&self) -> Repr {
+        Repr { layout: self.input_layout, dtype: self.input_dtype }
+    }
+
+    /// The representation produced: `{L_out, dtype_out}`.
+    pub fn output_repr(&self) -> Repr {
+        Repr { layout: self.output_layout, dtype: self.output_dtype }
+    }
+}
+
+impl fmt::Display for OpDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{}, {}, {}}} ({})",
+            self.input_repr(),
+            self.name,
+            self.output_repr(),
+            self.class
+        )
+    }
+}
+
+/// The operands of one op-kernel execution, without forcing the caller to
+/// materialize a `Vec<&Tensor>`: the executor resolves operands out of
+/// pooled activation slots through a stack closure, keeping the
+/// steady-state serving loop allocation-free; plain callers wrap a slice.
+#[derive(Clone, Copy)]
+pub enum OpInputs<'a> {
+    /// Operands as a plain slice.
+    Slice(&'a [&'a Tensor]),
+    /// `(operand count, resolver)` — operands resolved through a callback.
+    Resolver(usize, &'a (dyn Fn(usize) -> &'a Tensor + 'a)),
+}
+
+impl<'a> OpInputs<'a> {
+    /// Number of operands.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        match self {
+            OpInputs::Slice(s) => s.len(),
+            OpInputs::Resolver(n, _) => *n,
+        }
+    }
+
+    /// The `i`-th operand.
+    pub fn at(&self, i: usize) -> &'a Tensor {
+        match self {
+            OpInputs::Slice(s) => s[i],
+            OpInputs::Resolver(_, get) => get(i),
+        }
+    }
+}
+
+impl<'a> From<&'a [&'a Tensor]> for OpInputs<'a> {
+    fn from(s: &'a [&'a Tensor]) -> Self {
+        OpInputs::Slice(s)
+    }
+}
+
+/// A non-convolution operator kernel: one concrete routine with fixed
+/// input and output representations, selected per node by the optimizer
+/// exactly like a [`ConvAlgorithm`](crate::ConvAlgorithm) is for convs.
+///
+/// Implementations are stateless and thread-safe. Parameterized operators
+/// (fully-connected) receive their weight matrix through `aux`; every
+/// other class ignores it.
+///
+/// # Example
+///
+/// ```
+/// use pbqp_dnn_graph::{LayerKind, OpClass};
+/// use pbqp_dnn_primitives::registry::{full_library, Registry};
+/// use pbqp_dnn_primitives::{OpInputs, OpSpec, Workspace};
+/// use pbqp_dnn_tensor::{Layout, Repr, Tensor};
+///
+/// let reg = Registry::new(full_library());
+/// // Candidate sets are per operator class; each candidate is a
+/// // {R_in, P, R_out} triple like a convolution primitive.
+/// let spec = OpSpec::for_layer(&LayerKind::Relu, vec![(2, 4, 4)], (2, 4, 4)).unwrap();
+/// let relu = reg
+///     .op_candidates(OpClass::Relu, &spec)
+///     .into_iter()
+///     .find(|k| k.descriptor().input_repr() == Repr::f32(Layout::Chw))
+///     .unwrap();
+///
+/// let input = Tensor::from_fn(2, 4, 4, Layout::Chw, |c, h, w| (c + h + w) as f32 - 3.0);
+/// let operands = [&input];
+/// let mut ws = Workspace::with_req(relu.workspace_req(&spec));
+/// let mut out = Tensor::empty();
+/// relu.execute_into(OpInputs::Slice(&operands), None, &spec, &mut ws, &mut out).unwrap();
+/// assert_eq!(out.at(0, 0, 0), 0.0); // negatives clamped
+/// ```
+pub trait OpKernel: Send + Sync {
+    /// Static description: name, class, `{R_in, P, R_out}`.
+    fn descriptor(&self) -> &OpDescriptor;
+
+    /// Whether this kernel can implement the spec (class match plus any
+    /// geometry constraints).
+    fn supports(&self, spec: &OpSpec) -> bool {
+        spec.class == self.descriptor().class
+    }
+
+    /// Exact scratch [`OpKernel::execute_into`] carves for this spec, per
+    /// arena — the same contract conv primitives give via
+    /// [`ConvAlgorithm::workspace_req`](crate::ConvAlgorithm::workspace_req).
+    fn workspace_req(&self, spec: &OpSpec) -> WorkspaceReq {
+        let _ = spec;
+        WorkspaceReq::ZERO
+    }
+
+    /// Runs the operator out of a caller workspace into a recycled output
+    /// tensor — the zero-allocation steady-state path.
+    ///
+    /// Every operand must be in `descriptor().input_repr()` with the
+    /// dimensions `spec.inputs` declares; the output is produced in
+    /// `descriptor().output_repr()` with dimensions `spec.out`. `aux`
+    /// carries the fully-connected weight matrix and is `None` for every
+    /// other class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimitiveError::UnsupportedOp`] when `supports` is
+    /// false or a parameterized op is missing its `aux` weights,
+    /// [`PrimitiveError::WrongInputLayout`] /
+    /// [`PrimitiveError::WrongInputDType`] /
+    /// [`PrimitiveError::ShapeMismatch`] on inconsistent operands.
+    fn execute_into(
+        &self,
+        inputs: OpInputs<'_>,
+        aux: Option<&[f32]>,
+        spec: &OpSpec,
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError>;
+
+    /// Allocating convenience wrapper around [`OpKernel::execute_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`OpKernel::execute_into`].
+    fn execute(
+        &self,
+        inputs: OpInputs<'_>,
+        aux: Option<&[f32]>,
+        spec: &OpSpec,
+    ) -> Result<Tensor, PrimitiveError> {
+        let mut ws = Workspace::new();
+        let mut out = Tensor::empty_dtype(self.descriptor().output_dtype);
+        self.execute_into(inputs, aux, spec, &mut ws, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Validates the common preconditions shared by every op kernel.
+pub(crate) fn check_op_args(
+    desc: &OpDescriptor,
+    supported: bool,
+    inputs: &OpInputs<'_>,
+    spec: &OpSpec,
+) -> Result<(), PrimitiveError> {
+    if !supported {
+        return Err(PrimitiveError::UnsupportedOp {
+            kernel: desc.name.clone(),
+            detail: format!("spec {spec} unsupported"),
+        });
+    }
+    if inputs.len() != spec.inputs.len() {
+        return Err(PrimitiveError::ShapeMismatch {
+            primitive: desc.name.clone(),
+            detail: format!(
+                "{} operands supplied, spec declares {}",
+                inputs.len(),
+                spec.inputs.len()
+            ),
+        });
+    }
+    for i in 0..inputs.len() {
+        let t = inputs.at(i);
+        if t.layout() != desc.input_layout {
+            return Err(PrimitiveError::WrongInputLayout {
+                primitive: desc.name.clone(),
+                expected: desc.input_layout,
+                found: t.layout(),
+            });
+        }
+        if t.dtype() != desc.input_dtype {
+            return Err(PrimitiveError::WrongInputDType {
+                primitive: desc.name.clone(),
+                expected: desc.input_dtype,
+                found: t.dtype(),
+            });
+        }
+        if t.dims() != spec.inputs[i] {
+            return Err(PrimitiveError::ShapeMismatch {
+                primitive: desc.name.clone(),
+                detail: format!("operand {i} dims {:?} != spec {:?}", t.dims(), spec.inputs[i]),
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,26 +1,31 @@
-//! Non-convolution layer implementations.
+//! f32 implementations of the non-convolution operators, plus the
+//! layout-generic [`OpKernel`] wrappers the registry exposes as candidate
+//! sets.
 //!
-//! These operate through the tensor's logical accessors, so they work in
-//! whatever layout the plan assigned to the layer (§5.2's "dummy nodes
-//! accepting any layout"). Convolution is the only layer dispatched to the
-//! primitive library.
-//!
-//! Every op has an `_into` form writing into a recycled output tensor —
-//! the zero-allocation path the executor's pooled buffers use; the
-//! allocating forms are thin wrappers kept for the reference oracle.
+//! The computational routines operate through the tensor's logical
+//! accessors, so one implementation serves every layout — the registry
+//! registers one kernel per `(class, layout)` pair so each candidate is a
+//! concrete `{R_in, P, R_out}` triple the optimizer can price and the
+//! legalizer can connect with DT chains. Every routine has an `_into`
+//! form writing into a recycled output tensor — the zero-allocation path
+//! the executor's pooled buffers use; the allocating forms are thin
+//! wrappers kept for the reference oracle.
 
-use pbqp_dnn_graph::PoolKind;
+use pbqp_dnn_graph::{OpClass, PoolKind};
 use pbqp_dnn_tensor::{Layout, Tensor};
 
+use crate::op::{check_op_args, OpDescriptor, OpInputs, OpKernel, OpSpec};
+use crate::{PrimitiveError, Workspace};
+
 /// Rectified linear unit.
-pub(crate) fn relu(input: &Tensor, layout: Layout) -> Tensor {
+pub fn relu(input: &Tensor, layout: Layout) -> Tensor {
     let mut out = Tensor::empty();
     relu_into(input, layout, &mut out);
     out
 }
 
 /// [`relu`] into a recycled tensor.
-pub(crate) fn relu_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
+pub fn relu_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
     debug_assert_eq!(input.layout(), layout);
     out.assign_from(input);
     for v in out.data_mut() {
@@ -29,7 +34,7 @@ pub(crate) fn relu_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
 }
 
 /// Spatial max/average pooling with Caffe's ceil output convention.
-pub(crate) fn pool(
+pub fn pool(
     input: &Tensor,
     layout: Layout,
     kind: PoolKind,
@@ -44,7 +49,7 @@ pub(crate) fn pool(
 
 /// [`pool`] into a recycled tensor.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn pool_into(
+pub fn pool_into(
     input: &Tensor,
     layout: Layout,
     kind: PoolKind,
@@ -65,7 +70,7 @@ pub(crate) fn pool_into(
                 let mut sum = 0.0f32;
                 let mut count = 0usize;
                 for i in 0..k {
-                    for j in 0..j_limit(k) {
+                    for j in 0..k {
                         let iy = (y * stride + i) as isize - pad as isize;
                         let ix = (x * stride + j) as isize - pad as isize;
                         if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
@@ -99,22 +104,16 @@ pub(crate) fn pool_into(
     }
 }
 
-// Pool windows are square; this indirection exists only to keep the loop
-// shape symmetric and grep-able.
-fn j_limit(k: usize) -> usize {
-    k
-}
-
 /// Local response normalization across channels (AlexNet/GoogleNet
 /// parameters: size 5, α = 1e-4, β = 0.75, k = 1).
-pub(crate) fn lrn(input: &Tensor, layout: Layout) -> Tensor {
+pub fn lrn(input: &Tensor, layout: Layout) -> Tensor {
     let mut out = Tensor::empty();
     lrn_into(input, layout, &mut out);
     out
 }
 
 /// [`lrn`] into a recycled tensor.
-pub(crate) fn lrn_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
+pub fn lrn_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
     const SIZE: usize = 5;
     const ALPHA: f32 = 1e-4;
     const BETA: f32 = 0.75;
@@ -142,19 +141,14 @@ pub(crate) fn lrn_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
 
 /// Fully-connected layer: flattens logically in `(c, h, w)` order and
 /// multiplies by the row-major `out × (c·h·w)` weight matrix.
-pub(crate) fn fully_connected(
-    input: &Tensor,
-    weights: &[f32],
-    out_n: usize,
-    layout: Layout,
-) -> Tensor {
+pub fn fully_connected(input: &Tensor, weights: &[f32], out_n: usize, layout: Layout) -> Tensor {
     let mut out = Tensor::empty();
     fully_connected_into(input, weights, out_n, layout, &mut out);
     out
 }
 
 /// [`fully_connected`] into a recycled tensor.
-pub(crate) fn fully_connected_into(
+pub fn fully_connected_into(
     input: &Tensor,
     weights: &[f32],
     out_n: usize,
@@ -183,7 +177,7 @@ pub(crate) fn fully_connected_into(
 }
 
 /// Channel concatenation of several same-spatial-size tensors.
-pub(crate) fn concat(inputs: &[&Tensor], layout: Layout) -> Tensor {
+pub fn concat(inputs: &[&Tensor], layout: Layout) -> Tensor {
     let (_, h, w) = inputs[0].dims();
     let c_total: usize = inputs.iter().map(|t| t.channels()).sum();
     let mut out = Tensor::empty();
@@ -198,9 +192,9 @@ pub(crate) fn concat(inputs: &[&Tensor], layout: Layout) -> Tensor {
 }
 
 /// Copies one concat operand into channels `[c_base, c_base + t.c)` of a
-/// pre-shaped output — the executor streams operands through this without
+/// pre-shaped output — the kernels stream operands through this without
 /// collecting a reference vector.
-pub(crate) fn concat_part_into(t: &Tensor, c_base: usize, out: &mut Tensor) {
+pub fn concat_part_into(t: &Tensor, c_base: usize, out: &mut Tensor) {
     let (c, h, w) = t.dims();
     debug_assert_eq!((out.height(), out.width()), (h, w), "concat inputs must agree spatially");
     for ci in 0..c {
@@ -212,15 +206,43 @@ pub(crate) fn concat_part_into(t: &Tensor, c_base: usize, out: &mut Tensor) {
     }
 }
 
+/// Elementwise sum of several same-shape tensors (the residual merge).
+pub fn add(inputs: &[&Tensor], layout: Layout) -> Tensor {
+    let mut out = Tensor::empty();
+    add_into(inputs, layout, &mut out);
+    out
+}
+
+/// [`add`] into a recycled tensor. All operands share one layout and
+/// shape, so their storage orders agree element for element (blocked
+/// padding lanes are zero on both sides), and the sum runs storage-wise.
+pub fn add_into(inputs: &[&Tensor], layout: Layout, out: &mut Tensor) {
+    debug_assert!(!inputs.is_empty());
+    debug_assert!(inputs.iter().all(|t| t.layout() == layout && t.dims() == inputs[0].dims()));
+    add_operands_into(OpInputs::Slice(inputs), out);
+}
+
+/// The shared elementwise-sum accumulation behind [`add_into`] and the
+/// f32 add kernel: seed from operand 0, accumulate the rest storage-wise.
+fn add_operands_into(inputs: OpInputs<'_>, out: &mut Tensor) {
+    out.assign_from(inputs.at(0));
+    let acc = out.data_mut();
+    for i in 1..inputs.len() {
+        for (a, &v) in acc.iter_mut().zip(inputs.at(i).data()) {
+            *a += v;
+        }
+    }
+}
+
 /// Numerically-stable softmax over the flattened tensor.
-pub(crate) fn softmax(input: &Tensor, layout: Layout) -> Tensor {
+pub fn softmax(input: &Tensor, layout: Layout) -> Tensor {
     let mut out = Tensor::empty();
     softmax_into(input, layout, &mut out);
     out
 }
 
 /// [`softmax`] into a recycled tensor.
-pub(crate) fn softmax_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
+pub fn softmax_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
     let (c, h, w) = input.dims();
     out.reuse_as(c, h, w, layout);
     out.data_mut().fill(0.0);
@@ -247,6 +269,87 @@ pub(crate) fn softmax_into(input: &Tensor, layout: Layout, out: &mut Tensor) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Layout-generic f32 kernels.
+// ---------------------------------------------------------------------
+
+/// One f32 op kernel: a `(class, layout)` instantiation of the generic
+/// logical-accessor implementations above.
+pub(crate) struct GenericF32Op {
+    desc: OpDescriptor,
+}
+
+impl GenericF32Op {
+    pub(crate) fn new(class: OpClass, layout: Layout) -> GenericF32Op {
+        let name = format!("{}_{}", class.name(), layout.name().to_ascii_lowercase());
+        GenericF32Op { desc: OpDescriptor::new(name, class, layout) }
+    }
+}
+
+impl OpKernel for GenericF32Op {
+    fn descriptor(&self) -> &OpDescriptor {
+        &self.desc
+    }
+
+    fn execute_into(
+        &self,
+        inputs: OpInputs<'_>,
+        aux: Option<&[f32]>,
+        spec: &OpSpec,
+        _ws: &mut Workspace,
+        out: &mut Tensor,
+    ) -> Result<(), PrimitiveError> {
+        check_op_args(&self.desc, self.supports(spec), &inputs, spec)?;
+        let layout = self.desc.output_layout;
+        match self.desc.class {
+            OpClass::Relu => relu_into(inputs.at(0), layout, out),
+            OpClass::MaxPool | OpClass::AvgPool => {
+                let kind =
+                    if self.desc.class == OpClass::MaxPool { PoolKind::Max } else { PoolKind::Avg };
+                let (k, stride, pad) = spec.window;
+                pool_into(inputs.at(0), layout, kind, k, stride, pad, out);
+            }
+            OpClass::Lrn => lrn_into(inputs.at(0), layout, out),
+            OpClass::Dropout => out.assign_from(inputs.at(0)),
+            OpClass::FullyConnected => {
+                let weights = aux.ok_or_else(|| PrimitiveError::UnsupportedOp {
+                    kernel: self.desc.name.clone(),
+                    detail: "fully-connected kernel needs aux weights".into(),
+                })?;
+                let (out_n, _, _) = spec.out;
+                fully_connected_into(inputs.at(0), weights, out_n, layout, out);
+            }
+            OpClass::Concat => {
+                let (c, h, w) = spec.out;
+                out.reuse_as(c, h, w, layout);
+                out.data_mut().fill(0.0);
+                let mut c_base = 0;
+                for i in 0..inputs.len() {
+                    let t = inputs.at(i);
+                    concat_part_into(t, c_base, out);
+                    c_base += t.channels();
+                }
+            }
+            OpClass::Add => add_operands_into(inputs, out),
+            OpClass::Softmax => softmax_into(inputs.at(0), layout, out),
+        }
+        Ok(())
+    }
+}
+
+/// The full f32 op-kernel inventory: one kernel per `(class, layout)`
+/// pair — the same candidate space the paper's dummy nodes offered (any
+/// layout), now as concrete priced candidates.
+pub(crate) fn all_f32() -> Vec<Box<dyn OpKernel>> {
+    let mut out: Vec<Box<dyn OpKernel>> = Vec::new();
+    for class in OpClass::ALL {
+        for layout in Layout::ALL {
+            out.push(Box::new(GenericF32Op::new(class, layout)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -305,6 +408,22 @@ mod tests {
     }
 
     #[test]
+    fn add_sums_elementwise_in_any_layout() {
+        for &layout in &[Layout::Chw, Layout::Hwc, Layout::Chw4] {
+            let a = Tensor::from_fn(3, 2, 2, layout, |c, h, w| (c + h + w) as f32);
+            let b = Tensor::from_fn(3, 2, 2, layout, |c, _, _| c as f32);
+            let s = add(&[&a, &b], layout);
+            for c in 0..3 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        assert_eq!(s.at(c, h, w), (2 * c + h + w) as f32, "{layout}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fc_computes_a_dot_product() {
         let t = Tensor::from_fn(2, 1, 2, Layout::Chw, |c, _, w| (c * 2 + w) as f32);
         // weights: one output neuron, all ones -> sum of inputs = 0+1+2+3.
@@ -338,5 +457,32 @@ mod tests {
         assert_eq!(dirty.data(), softmax(&input, Layout::Chw).data());
         lrn_into(&input, Layout::Chw, &mut dirty);
         assert_eq!(dirty.data(), lrn(&input, Layout::Chw).data());
+        let other = Tensor::random(4, 5, 5, Layout::Chw, 8);
+        add_into(&[&input, &other], Layout::Chw, &mut dirty);
+        assert_eq!(dirty.data(), add(&[&input, &other], Layout::Chw).data());
+    }
+
+    #[test]
+    fn generic_kernels_cover_every_class_and_layout() {
+        use pbqp_dnn_graph::LayerKind;
+        let kernels = all_f32();
+        assert_eq!(kernels.len(), OpClass::ALL.len() * Layout::ALL.len());
+        // A kernel executes its class: spot-check relu via the trait.
+        let relu_hwc = kernels
+            .iter()
+            .find(|k| {
+                k.descriptor().class == OpClass::Relu && k.descriptor().input_layout == Layout::Hwc
+            })
+            .unwrap();
+        let spec = OpSpec::for_layer(&LayerKind::Relu, vec![(2, 3, 3)], (2, 3, 3)).unwrap();
+        let t = Tensor::from_fn(2, 3, 3, Layout::Hwc, |c, h, w| (c + h + w) as f32 - 3.0);
+        let operands = [&t];
+        let got = relu_hwc.execute(OpInputs::Slice(&operands), None, &spec).unwrap();
+        assert_eq!(got.data(), relu(&t, Layout::Hwc).data());
+        // Wrong-layout operands are rejected, not silently misread.
+        let bad = Tensor::random(2, 3, 3, Layout::Chw, 1);
+        let operands = [&bad];
+        let err = relu_hwc.execute(OpInputs::Slice(&operands), None, &spec).unwrap_err();
+        assert!(matches!(err, PrimitiveError::WrongInputLayout { .. }));
     }
 }

@@ -9,11 +9,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pbqp_dnn_graph::ConvScenario;
+use pbqp_dnn_graph::{ConvScenario, OpClass};
+use pbqp_dnn_tensor::DType;
 
 use crate::{
-    direct, fft_conv, im2, kn2, pointwise, quantized, reference, sparse, winograd, ConvAlgorithm,
-    Family,
+    direct, fft_conv, im2, kn2, ops, pointwise, qops, quantized, reference, sparse, winograd,
+    ConvAlgorithm, Family, OpKernel, OpSpec,
 };
 
 /// Builds the complete f32 primitive library (70+ routines).
@@ -33,14 +34,39 @@ pub fn full_library() -> Vec<Arc<dyn ConvAlgorithm>> {
 /// [`full_library`] plus the int8 quantized primitives: the
 /// mixed-precision selection space. Int8 candidates only enter the PBQP
 /// instance when the caller opts into this library, so f32-only
-/// deployments are byte-for-byte unaffected.
+/// deployments are byte-for-byte unaffected. A [`Registry`] built over
+/// this library also registers the int8 **op** kernels (relu, pooling,
+/// concat, add), so quantized islands can span non-conv layers.
 pub fn mixed_precision_library() -> Vec<Arc<dyn ConvAlgorithm>> {
     let mut prims = full_library();
     prims.extend(quantized::all().into_iter().map(Arc::from));
     prims
 }
 
-/// A name-indexed view over a primitive library.
+/// The f32 op-kernel inventory: one kernel per `(class, layout)` pair —
+/// the candidate sets behind every non-conv selection node.
+pub fn op_library() -> Vec<Arc<dyn OpKernel>> {
+    ops::all_f32().into_iter().map(Arc::from).collect()
+}
+
+/// [`op_library`] plus the int8 op kernels (relu / max pool / avg pool /
+/// concat / add at the quantized layouts).
+pub fn mixed_precision_op_library() -> Vec<Arc<dyn OpKernel>> {
+    let mut kernels = op_library();
+    kernels.extend(qops::all().into_iter().map(Arc::from));
+    kernels
+}
+
+/// A name-indexed view over a primitive library: the convolution
+/// algorithms plus the per-class [`OpKernel`] candidate sets every other
+/// layer kind selects from.
+///
+/// [`Registry::new`] derives the op inventory from the conv library's
+/// precision span — f32 op kernels always, int8 op kernels exactly when
+/// the conv library carries int8 candidates (i.e. it was built from
+/// [`mixed_precision_library`]) — so the operator selection space always
+/// matches the convolution selection space. Use
+/// [`Registry::with_op_kernels`] to override explicitly.
 ///
 /// # Example
 ///
@@ -50,26 +76,50 @@ pub fn mixed_precision_library() -> Vec<Arc<dyn ConvAlgorithm>> {
 /// let reg = Registry::new(full_library());
 /// assert!(reg.by_name("sum2d").is_some());
 /// assert!(reg.len() >= 70);
+/// assert!(reg.op_by_name("relu_chw").is_some());
 /// ```
 #[derive(Clone)]
 pub struct Registry {
     prims: Vec<Arc<dyn ConvAlgorithm>>,
     by_name: HashMap<String, usize>,
+    ops: Vec<Arc<dyn OpKernel>>,
+    ops_by_name: HashMap<String, usize>,
 }
 
 impl Registry {
-    /// Indexes a library by primitive name.
+    /// Indexes a library by primitive name and registers the matching op
+    /// kernels (see the type docs for the precision-span rule).
     ///
     /// # Panics
     ///
-    /// Panics if two primitives share a name.
+    /// Panics if two primitives (or two op kernels) share a name.
     pub fn new(prims: Vec<Arc<dyn ConvAlgorithm>>) -> Registry {
+        let int8 = prims.iter().any(|p| p.descriptor().input_dtype == DType::I8);
+        let ops = if int8 { mixed_precision_op_library() } else { op_library() };
+        Registry::with_op_kernels(prims, ops)
+    }
+
+    /// Builds a registry with an explicit op-kernel inventory (tests and
+    /// ensembles; [`Registry::new`] derives it from the conv library).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two primitives (or two op kernels) share a name.
+    pub fn with_op_kernels(
+        prims: Vec<Arc<dyn ConvAlgorithm>>,
+        ops: Vec<Arc<dyn OpKernel>>,
+    ) -> Registry {
         let mut by_name = HashMap::new();
         for (ix, p) in prims.iter().enumerate() {
             let prev = by_name.insert(p.descriptor().name.clone(), ix);
             assert!(prev.is_none(), "duplicate primitive name {}", p.descriptor().name);
         }
-        Registry { prims, by_name }
+        let mut ops_by_name = HashMap::new();
+        for (ix, k) in ops.iter().enumerate() {
+            let prev = ops_by_name.insert(k.descriptor().name.clone(), ix);
+            assert!(prev.is_none(), "duplicate op kernel name {}", k.descriptor().name);
+        }
+        Registry { prims, by_name, ops, ops_by_name }
     }
 
     /// The full library in registry order.
@@ -100,6 +150,22 @@ impl Registry {
     /// All primitives of one family.
     pub fn family(&self, family: Family) -> Vec<&Arc<dyn ConvAlgorithm>> {
         self.prims.iter().filter(|p| p.descriptor().family == family).collect()
+    }
+
+    /// The full op-kernel inventory in registry order.
+    pub fn op_kernels(&self) -> &[Arc<dyn OpKernel>] {
+        &self.ops
+    }
+
+    /// Looks up an op kernel by name.
+    pub fn op_by_name(&self, name: &str) -> Option<&Arc<dyn OpKernel>> {
+        self.ops_by_name.get(name).map(|&ix| &self.ops[ix])
+    }
+
+    /// All op kernels of `class` that can implement `spec`, in registry
+    /// order — the candidate set of one non-conv selection node.
+    pub fn op_candidates(&self, class: OpClass, spec: &OpSpec) -> Vec<&Arc<dyn OpKernel>> {
+        self.ops.iter().filter(|k| k.descriptor().class == class && k.supports(spec)).collect()
     }
 }
 
@@ -197,6 +263,41 @@ mod tests {
             assert!(p.supports(&s));
         }
         assert!(mixed.by_name("qint8_im2col_chw").is_some());
+    }
+
+    #[test]
+    fn op_candidate_sets_span_layouts_and_precisions() {
+        use pbqp_dnn_graph::LayerKind;
+        let f32_reg = Registry::new(full_library());
+        let mixed = Registry::new(mixed_precision_library());
+        let spec = OpSpec::for_layer(&LayerKind::Relu, vec![(4, 8, 8)], (4, 8, 8)).unwrap();
+        // f32 registries offer every layout (the old dummy space) and
+        // nothing quantized.
+        let f32_relu = f32_reg.op_candidates(OpClass::Relu, &spec);
+        assert_eq!(f32_relu.len(), pbqp_dnn_tensor::Layout::ALL.len());
+        assert!(f32_relu.iter().all(|k| k.descriptor().input_dtype == DType::F32));
+        // The mixed registry adds int8 candidates for the activation ops…
+        let mixed_relu = mixed.op_candidates(OpClass::Relu, &spec);
+        assert_eq!(
+            mixed_relu.len(),
+            pbqp_dnn_tensor::Layout::ALL.len() + pbqp_dnn_tensor::Repr::I8_LAYOUTS.len()
+        );
+        assert!(mixed.op_by_name("qint8_relu_chw").is_some());
+        assert!(mixed.op_by_name("qint8_maxpool_hwc").is_some());
+        assert!(mixed.op_by_name("qint8_add_chw").is_some());
+        // …but the f32-only parameterized classes stay single-precision.
+        let fc_spec =
+            OpSpec::for_layer(&LayerKind::FullyConnected { out: 10 }, vec![(4, 8, 8)], (10, 1, 1))
+                .unwrap();
+        let fc = mixed.op_candidates(OpClass::FullyConnected, &fc_spec);
+        assert!(fc.iter().all(|k| k.descriptor().input_dtype == DType::F32));
+        // Every class has at least the f32 candidates.
+        for class in OpClass::ALL {
+            assert!(
+                !mixed.op_kernels().iter().all(|k| k.descriptor().class != class),
+                "class {class} has no kernels"
+            );
+        }
     }
 
     #[test]

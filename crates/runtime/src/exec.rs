@@ -5,12 +5,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use pbqp_dnn_graph::{ConvScenario, DnnGraph, GraphError, LayerKind, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
-use pbqp_dnn_primitives::{reference::sum2d_reference, ConvAlgorithm, PrimitiveError, Workspace};
+use pbqp_dnn_primitives::{
+    ops, reference::sum2d_reference, ConvAlgorithm, OpInputs, OpKernel, OpSpec, PrimitiveError,
+    Workspace,
+};
 use pbqp_dnn_select::{AssignmentKind, ExecutionPlan};
 use pbqp_dnn_tensor::transform::{apply_repr_into, to_layout_into, ReprTransform};
 use pbqp_dnn_tensor::{DType, KernelTensor, Layout, Repr, Tensor, TensorError};
 
-use crate::ops;
 use crate::weights::Weights;
 use crate::Parallelism;
 
@@ -33,6 +35,10 @@ pub enum RuntimeError {
     MissingWeights(String),
     /// The supplied network input has the wrong shape or layout.
     BadInput(String),
+    /// The plan's assignment kinds disagree with the graph's layer kinds
+    /// (e.g. a conv assignment on a pooling node) — the plan was built
+    /// for a different graph or corrupted.
+    PlanMismatch(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -44,6 +50,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UnknownPrimitive(n) => write!(f, "unknown primitive `{n}`"),
             RuntimeError::MissingWeights(n) => write!(f, "missing weights for layer `{n}`"),
             RuntimeError::BadInput(d) => write!(f, "bad network input: {d}"),
+            RuntimeError::PlanMismatch(d) => write!(f, "plan does not fit graph: {d}"),
         }
     }
 }
@@ -85,8 +92,10 @@ enum StepOp {
         chain: Vec<ReprTransform>,
         conv_base: usize,
     },
-    /// A non-conv layer computed directly in its assigned layout.
-    Dummy { kind: LayerKind, layout: Layout, fc_weights: Option<Arc<Vec<f32>>> },
+    /// A non-conv operator dispatched to its selected op kernel — like
+    /// conv steps, the kernel is a shared handle so the compiled schedule
+    /// stays self-contained.
+    Op { kernel: Arc<dyn OpKernel>, spec: OpSpec, fc_weights: Option<Arc<Vec<f32>>> },
 }
 
 /// One incoming edge of a step: where the predecessor's value lives and
@@ -280,7 +289,7 @@ impl Schedule {
                     let op = StepOp::Conv { prim: Arc::clone(prim), kernel, scenario: *s };
                     (op, (s.m, s.out_h(), s.out_w(), repr))
                 }
-                (LayerKind::Input { c, h, w }, AssignmentKind::Dummy { layout }) => {
+                (LayerKind::Input { c, h, w }, AssignmentKind::Source { repr }) => {
                     let chain = input_chains.get(&node.index()).copied().unwrap_or(&[]);
                     let conv_base = conv_shapes.len();
                     if chain.len() > 1 {
@@ -292,13 +301,24 @@ impl Schedule {
                         c: *c,
                         h: *h,
                         w: *w,
-                        layout: *layout,
+                        layout: repr.layout,
                         chain: chain.to_vec(),
                         conv_base,
                     };
-                    (op, (*c, *h, *w, Repr::f32(*layout)))
+                    (op, (*c, *h, *w, *repr))
                 }
-                (kind, AssignmentKind::Dummy { layout }) => {
+                (kind, AssignmentKind::Op { kernel, .. }) => {
+                    let op_kernel = registry
+                        .op_by_name(kernel)
+                        .ok_or_else(|| RuntimeError::UnknownPrimitive(kernel.clone()))?;
+                    let pred_dims: Vec<(usize, usize, usize)> =
+                        graph.predecessors(node).iter().map(|p| shapes[p.index()]).collect();
+                    let spec = OpSpec::for_layer(kind, pred_dims, shapes[node.index()])
+                        .ok_or_else(|| {
+                            RuntimeError::PlanMismatch(format!(
+                                "op assignment `{kernel}` on non-operator layer {kind}"
+                            ))
+                        })?;
                     let fc_weights = if let LayerKind::FullyConnected { .. } = kind {
                         Some(
                             weights
@@ -308,12 +328,16 @@ impl Schedule {
                     } else {
                         None
                     };
+                    ws_req = ws_req.max(op_kernel.workspace_req(&spec));
+                    let repr = op_kernel.descriptor().output_repr();
                     let dims = shapes[node.index()];
-                    let op = StepOp::Dummy { kind: *kind, layout: *layout, fc_weights };
-                    (op, (dims.0, dims.1, dims.2, Repr::f32(*layout)))
+                    let op = StepOp::Op { kernel: Arc::clone(op_kernel), spec, fc_weights };
+                    (op, (dims.0, dims.1, dims.2, repr))
                 }
-                (kind, AssignmentKind::Conv { .. }) => {
-                    unreachable!("conv assignment on non-conv layer {kind}")
+                (kind, assignment) => {
+                    return Err(RuntimeError::PlanMismatch(format!(
+                        "assignment {assignment:?} on layer {kind}"
+                    )))
                 }
             };
             let level = preds.iter().map(|pe| level_of[pe.buf] + 1).max().unwrap_or(0);
@@ -590,33 +614,22 @@ impl Schedule {
                     l => apply_repr_into(&convs[conv_base + l - 2], chain[l - 1], out)?,
                 }
             }
-            StepOp::Dummy { kind, layout, fc_weights } => match kind {
-                LayerKind::Relu => ops::relu_into(resolve(&step.preds[0]), *layout, out),
-                LayerKind::Pool { kind, k, stride, pad } => {
-                    ops::pool_into(resolve(&step.preds[0]), *layout, *kind, *k, *stride, *pad, out)
-                }
-                LayerKind::Lrn => ops::lrn_into(resolve(&step.preds[0]), *layout, out),
-                LayerKind::Dropout => out.assign_from(resolve(&step.preds[0])),
-                LayerKind::FullyConnected { out: out_n } => {
-                    let wts = fc_weights.as_ref().expect("resolved at compile time");
-                    ops::fully_connected_into(resolve(&step.preds[0]), wts, *out_n, *layout, out);
-                }
-                LayerKind::Concat => {
-                    let (c, h, w, repr) = step.out_shape;
-                    out.reuse_as(c, h, w, repr.layout);
-                    out.data_mut().fill(0.0);
-                    let mut c_base = 0;
-                    for pe in &step.preds {
-                        let t = resolve(pe);
-                        ops::concat_part_into(t, c_base, out);
-                        c_base += t.channels();
-                    }
-                }
-                LayerKind::Softmax => ops::softmax_into(resolve(&step.preds[0]), *layout, out),
-                LayerKind::Input { .. } | LayerKind::Conv(_) => {
-                    unreachable!("compiled as StepOp::Input / StepOp::Conv")
-                }
-            },
+            StepOp::Op { kernel, spec, fc_weights } => {
+                // Operands resolve straight out of the pooled slots (or
+                // conversion staging) through a stack closure — no
+                // per-call operand vector, so the zero-allocation
+                // steady state holds for n-ary ops too.
+                let get = |i: usize| resolve(&step.preds[i]);
+                let operands = OpInputs::Resolver(step.preds.len(), &get);
+                ws.reset();
+                kernel.execute_into(
+                    operands,
+                    fc_weights.as_ref().map(|w| w.as_slice()),
+                    spec,
+                    ws,
+                    out,
+                )?;
+            }
         }
         Ok(())
     }
@@ -999,6 +1012,7 @@ pub fn reference_forward(graph: &DnnGraph, weights: &Weights, input: &Tensor) ->
                 ops::fully_connected(inputs[0], w, *out, Layout::Chw)
             }
             LayerKind::Concat => ops::concat(&inputs, Layout::Chw),
+            LayerKind::Add => ops::add(&inputs, inputs[0].layout()),
             LayerKind::Softmax => ops::softmax(inputs[0], inputs[0].layout()),
         };
         drop(inputs);

@@ -7,10 +7,11 @@
 //! levels, with every primitive/weight lookup resolved up front):
 //!
 //! * **serial** ([`Executor::run`]) — walks the graph in topological
-//!   order, applies each edge's data-layout transformation chain,
-//!   dispatches every convolution to its selected primitive, and computes
-//!   the non-conv layers (pooling, activation, LRN, fully-connected,
-//!   concat, softmax) directly;
+//!   order, applies each edge's representation-transformation chain, and
+//!   dispatches every node to its selected kernel: convolutions to their
+//!   primitive, every other operator (pooling, activation, LRN,
+//!   fully-connected, concat, add, softmax) to the op kernel the plan
+//!   assigned — f32 or int8;
 //! * **wavefront** ([`Executor::run_with`] with `inter_op > 1`) — runs
 //!   the independent nodes of each DAG level (e.g. GoogleNet inception
 //!   branches) concurrently on scoped threads;
@@ -89,7 +90,6 @@
 #![warn(missing_docs)]
 
 mod exec;
-mod ops;
 mod par;
 mod weights;
 

@@ -48,7 +48,7 @@ fn main() -> Result<(), Error> {
             AssignmentKind::Conv { primitive, input_repr, output_repr, .. } => {
                 format!("{primitive} [{input_repr}->{output_repr}]")
             }
-            AssignmentKind::Dummy { .. } => unreachable!("conv node"),
+            _ => unreachable!("conv node"),
         };
         println!("{:10} {:32} {:32}", name, cell(&columns[0]), cell(&columns[1]));
     }

@@ -18,7 +18,7 @@
 //! | offset | field |
 //! |---|---|
 //! | 0 | magic `PBQPDNN\0` (8 bytes) |
-//! | 8 | format version (`u32`, currently 1) |
+//! | 8 | format version (`u32`, currently 2) |
 //! | 12 | graph fingerprint (`u64`, revalidated after decoding) |
 //! | 20 | artifact fingerprint (`u64`, keys plan caches) |
 //! | 28 | primitive-library code (`u8`) |
@@ -39,6 +39,13 @@
 //! and [`CompiledModel::load`] rejects every version it was not built
 //! for — artifacts are deployment artifacts, not archival formats, so
 //! there is no cross-version migration; recompile from the model instead.
+//!
+//! **Version history:** v1 encoded non-conv layers as layout-only
+//! zero-cost "dummy" assignments. v2's plan section carries full
+//! operator assignments (op kernel + `Repr` pair + cost) for every
+//! non-conv node, plus the `Add` layer kind — v1 artifacts are refused
+//! with [`ArtifactError::UnsupportedVersion`] (a clean, versioned error,
+//! never a misparse), and serving hosts should recompile from the model.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -57,8 +64,11 @@ use crate::Error;
 /// The artifact magic bytes.
 pub const MAGIC: [u8; 8] = *b"PBQPDNN\0";
 
-/// The current (and only supported) artifact format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// The current (and only supported) artifact format version. Bumped to 2
+/// when the plan wire section started encoding non-conv operator
+/// assignments (first-class operator selection); v1 artifacts are
+/// rejected with a versioned error.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Byte offset of the header's stream checksum (everything before it,
 /// plus the body after it, is what the checksum covers).

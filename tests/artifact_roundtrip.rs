@@ -74,6 +74,15 @@ fn mixed_precision_plans_round_trip_bit_identically() {
 }
 
 #[test]
+fn micro_resnet_mixed_plan_round_trips_bit_identically() {
+    // The residual network exercises the v2 wire format end to end:
+    // `Add` layer encoding, per-node op-kernel assignments (including
+    // int8 relu/pool selections) and the fan-out/fan-in edge set.
+    let mut rng = SplitMix64::new(0x0DD_B177E5);
+    check_round_trip("micro_resnet", &models::micro_resnet(), true, &mut rng);
+}
+
+#[test]
 fn loaded_mixed_model_reuses_the_shipped_weight_image() {
     // The artifact carries the pre-quantized int8 weight images; loading
     // must restore them into the kernels' caches rather than rescanning
@@ -128,6 +137,48 @@ fn bad_magic_and_wrong_version_are_rejected() {
     for junk in [&b""[..], &b"PBQP"[..], &[0u8; 64][..]] {
         assert!(CompiledModel::load(&mut <&[u8]>::clone(&junk)).is_err());
     }
+}
+
+#[test]
+fn v1_header_artifacts_are_refused_with_the_version_error() {
+    // Format v1 encoded non-conv layers as layout-only dummy
+    // assignments; v2's plan section is incompatible (op-kernel
+    // assignments, `Add` layers). A v1-header artifact must be refused
+    // with the *versioned* error — never a panic, and never a silent
+    // misparse into a wrong model — even when everything else about the
+    // stream (magic, checksum, body framing) looks perfectly valid.
+    assert_eq!(pbqp_dnn::FORMAT_VERSION, 2, "bump this fixture alongside the format");
+    let net = models::micro_resnet();
+    let model = Compiler::new(CompileOptions::new().mixed_precision(true))
+        .compile(&net, &Weights::random(&net, 7))
+        .unwrap();
+    let mut v1 = save_bytes(&model);
+    v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+
+    // With a stale checksum the version gate still fires first…
+    let err = CompiledModel::load(&mut v1.as_slice()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::Artifact(ArtifactError::UnsupportedVersion { found: 1, supported: 2 })
+        ),
+        "stale-checksum v1 header: got {err}"
+    );
+
+    // …and a checksum-consistent v1 stream is refused by the version
+    // check itself, proving rejection does not ride on the checksum.
+    refresh_checksum(&mut v1);
+    let err = CompiledModel::load(&mut v1.as_slice()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::Artifact(ArtifactError::UnsupportedVersion { found: 1, supported: 2 })
+        ),
+        "checksum-valid v1 header: got {err}"
+    );
+    // The error message names both versions for the operator.
+    let msg = err.to_string();
+    assert!(msg.contains('1') && msg.contains('2'), "unhelpful version error: {msg}");
 }
 
 /// Rewrites the header's stream checksum to match the (possibly

@@ -7,10 +7,94 @@
 
 use pbqp_dnn::cost::{AnalyticCost, MachineModel};
 use pbqp_dnn::graph::models;
-use pbqp_dnn::primitives::registry::{full_library, mixed_precision_library, Registry};
+use pbqp_dnn::primitives::registry::{full_library, mixed_precision_library, op_library, Registry};
 use pbqp_dnn::select::{AssignmentKind, Optimizer, Strategy};
 use pbqp_dnn::tensor::transform::ReprTransform;
 use pbqp_dnn::tensor::DType;
+
+/// The acceptance demo of first-class operator selection: with int8 op
+/// kernels in the candidate sets, an int8 island on the ARM machine model
+/// spans `conv → relu → pool → conv` with **zero** interior
+/// quantize/dequantize edges — and the quant-edge count strictly drops
+/// against a PR 3-style registry whose non-conv candidates are f32-only
+/// (the old "dummy nodes force f32" behavior, which made consecutive int8
+/// convs pay a dequant/requant round trip through every activation
+/// layer).
+#[test]
+fn int8_island_spans_relu_and_pool_without_interior_conversions() {
+    let net = models::micro_resnet();
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+    let mixed_reg = Registry::new(mixed_precision_library());
+    let opt = Optimizer::new(&mixed_reg, &cost);
+    let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+    assert_eq!(plan.optimal, Some(true));
+
+    // The whole stem chain is assigned int8 kernels…
+    let chain = ["conv1", "relu1", "pool1", "conv2"];
+    for name in chain {
+        let node = net.find(name).unwrap();
+        assert_eq!(
+            plan.assignment(node).input_repr().dtype,
+            DType::I8,
+            "{name} left the int8 island\n{plan}"
+        );
+    }
+    assert!(!plan.int8_op_nodes().is_empty(), "relu/pool must carry int8 kernels\n{plan}");
+
+    // …and the island's interior edges carry no conversions at all: the
+    // representations agree end to end.
+    for pair in chain.windows(2) {
+        let from = net.find(pair[0]).unwrap();
+        let to = net.find(pair[1]).unwrap();
+        let edge = plan
+            .edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .expect("island edge is a graph edge");
+        assert!(
+            edge.chain.is_empty(),
+            "{} -> {} should need no conversion, got {:?}",
+            pair[0],
+            pair[1],
+            edge.chain
+        );
+    }
+
+    // PR 3-style plans — same int8 convolutions, but f32-only op kernels
+    // (the retired dummy-node behavior) — must pay strictly more
+    // quantize/dequantize edges, and the op-selecting plan can never be
+    // predicted slower (its search space is a superset).
+    let pr3_reg = Registry::with_op_kernels(mixed_precision_library(), op_library());
+    let pr3 = Optimizer::new(&pr3_reg, &cost).plan(&net, Strategy::Pbqp).unwrap();
+    assert!(
+        plan.quant_edge_count() < pr3.quant_edge_count(),
+        "op selection must shed quant edges: {} vs PR 3-style {}",
+        plan.quant_edge_count(),
+        pr3.quant_edge_count()
+    );
+    assert!(plan.predicted_us <= pr3.predicted_us + 1e-6);
+
+    // The PBQP solve still beats every baseline strategy on the residual
+    // network.
+    let mut baselines = vec![
+        Strategy::Sum2d,
+        Strategy::LocalOptimalChw,
+        Strategy::CaffeLike,
+        Strategy::VendorLike { vector_width: 4 },
+        Strategy::PbqpHeuristic,
+    ];
+    baselines.extend(Strategy::family_bars());
+    for b in baselines {
+        let base = opt.plan(&net, b).unwrap();
+        assert!(
+            plan.predicted_us <= base.predicted_us + 1e-6,
+            "{}: PBQP {:.1} vs {:.1}",
+            b.label(),
+            plan.predicted_us,
+            base.predicted_us
+        );
+    }
+}
 
 #[test]
 fn built_in_models_get_genuinely_mixed_plans() {

@@ -159,6 +159,116 @@ fn quantize_dequantize_round_trip_properties() {
     }
 }
 
+/// Int8 op kernels (relu / max pool / avg pool / add) on random quantized
+/// tensors: each matches the f32 reference applied to the dequantized
+/// codes within the quantization error bound (≤ output scale/2 per
+/// element — relu and max pool are exact, they only reorder codes), and
+/// repeated execution out of a dirty reused workspace is bit-identical.
+#[test]
+fn int8_op_kernels_match_f32_reference_within_quant_bound() {
+    use pbqp_dnn_graph::PoolKind;
+    use pbqp_dnn_primitives::registry::Registry;
+    use pbqp_dnn_primitives::{
+        ops, registry::mixed_precision_library, OpInputs, OpSpec, Workspace,
+    };
+    use pbqp_dnn_tensor::transform::{dequantize_into, quantize_dynamic_into};
+    use pbqp_dnn_tensor::{DType, Repr};
+
+    let reg = Registry::new(mixed_precision_library());
+    let mut rng = SplitMix64::new(700);
+    for case in 0..24 {
+        let layout = Repr::I8_LAYOUTS[rng.usize(0, Repr::I8_LAYOUTS.len())];
+        let (c, h, w) = (rng.usize(1, 7), rng.usize(4, 10), rng.usize(4, 10));
+        // Quantized operand plus the dequantized image the f32 reference
+        // sees (input quantization error belongs to the input, not the
+        // op under test).
+        let quantized = |seed: u64, scale: f32| {
+            let f = Tensor::from_fn(c, h, w, layout, |ci, hi, wi| {
+                let base =
+                    Tensor::random(1, 1, 1, Layout::Chw, seed ^ ((ci * 977 + hi * 31 + wi) as u64));
+                base.at(0, 0, 0) * scale
+            });
+            let mut q = Tensor::empty_dtype(DType::I8);
+            quantize_dynamic_into(&f, &mut q);
+            let mut back = Tensor::empty();
+            dequantize_into(&q, &mut back);
+            (back, q)
+        };
+        let (fa, qa) = quantized(rng.next_u64(), 1.0 + rng.usize(0, 20) as f32);
+        let (fb, qb) = quantized(rng.next_u64(), 1.0 + rng.usize(0, 20) as f32);
+
+        // Relu: exact (monotone code clamp at the zero point).
+        {
+            let spec = OpSpec::for_layer(&LayerKind::Relu, vec![(c, h, w)], (c, h, w)).unwrap();
+            let kernel = reg
+                .op_by_name(&format!("qint8_relu_{}", layout.name().to_ascii_lowercase()))
+                .unwrap();
+            let operands = [&qa];
+            let got = kernel.execute(OpInputs::Slice(&operands), None, &spec).unwrap();
+            let mut back = Tensor::empty();
+            dequantize_into(&got, &mut back);
+            let want = ops::relu(&fa, layout);
+            assert_eq!(back.max_abs_diff(&want).unwrap(), 0.0, "case {case} relu {layout}");
+        }
+
+        // Pools: max exact, avg within half an output step.
+        for (kind, name) in [(PoolKind::Max, "maxpool"), (PoolKind::Avg, "avgpool")] {
+            let k = rng.usize(1, 4);
+            let stride = rng.usize(1, 3);
+            let pad = rng.usize(0, k);
+            let layer = LayerKind::Pool { kind, k, stride, pad };
+            let oh = (h + 2 * pad - k).div_ceil(stride) + 1;
+            let ow = (w + 2 * pad - k).div_ceil(stride) + 1;
+            let spec = OpSpec::for_layer(&layer, vec![(c, h, w)], (c, oh, ow)).unwrap();
+            let kernel = reg
+                .op_by_name(&format!("qint8_{name}_{}", layout.name().to_ascii_lowercase()))
+                .unwrap();
+            let operands = [&qa];
+            let got = kernel.execute(OpInputs::Slice(&operands), None, &spec).unwrap();
+            let mut back = Tensor::empty();
+            dequantize_into(&got, &mut back);
+            let want = ops::pool(&fa, layout, kind, k, stride, pad);
+            let diff = back.max_abs_diff(&want).unwrap();
+            let bound = match kind {
+                PoolKind::Max => 0.0,
+                PoolKind::Avg => got.qparams().scale / 2.0 + got.qparams().scale * 1e-4,
+            };
+            assert!(diff <= bound, "case {case} {name} {layout}: {diff} > {bound}");
+        }
+
+        // Add: exact f32 sums, one dynamic requantization — within half
+        // an output step of the f32 reference.
+        {
+            let spec =
+                OpSpec::for_layer(&LayerKind::Add, vec![(c, h, w), (c, h, w)], (c, h, w)).unwrap();
+            let kernel = reg
+                .op_by_name(&format!("qint8_add_{}", layout.name().to_ascii_lowercase()))
+                .unwrap();
+            let operands = [&qa, &qb];
+            let got = kernel.execute(OpInputs::Slice(&operands), None, &spec).unwrap();
+            let mut back = Tensor::empty();
+            dequantize_into(&got, &mut back);
+            let want = ops::add(&[&fa, &fb], layout);
+            let diff = back.max_abs_diff(&want).unwrap();
+            let bound = got.qparams().scale / 2.0 + got.qparams().scale * 1e-4;
+            assert!(diff <= bound, "case {case} add {layout}: {diff} > {bound}");
+
+            // Determinism across dirty scratch reuse: same codes and
+            // params from a workspace that already served other calls.
+            let mut ws = Workspace::with_req(kernel.workspace_req(&spec));
+            let mut out = Tensor::empty_dtype(DType::I8);
+            for round in 0..3 {
+                ws.reset();
+                kernel
+                    .execute_into(OpInputs::Slice(&operands), None, &spec, &mut ws, &mut out)
+                    .unwrap();
+                assert_eq!(out.data_i8(), got.data_i8(), "case {case} round {round}");
+                assert_eq!(out.qparams(), got.qparams(), "case {case} round {round}");
+            }
+        }
+    }
+}
+
 /// On random conv chains, the PBQP plan cost decomposes exactly and is
 /// never beaten by the canonical-layout local optimum.
 #[test]
@@ -190,9 +300,9 @@ fn pbqp_dominates_local_optimal_on_random_chains() {
         let lopt = opt.plan(&g, Strategy::LocalOptimalChw).unwrap();
         assert_eq!(pbqp.optimal, Some(true));
         assert!(pbqp.predicted_us <= lopt.predicted_us + 1e-6);
-        // Cost decomposition: conv + transforms == total (no overhead for
-        // the PBQP strategy).
-        let parts = pbqp.conv_us() + pbqp.transform_us();
+        // Cost decomposition: conv + op + transforms == total (no
+        // overhead for the PBQP strategy).
+        let parts = pbqp.conv_us() + pbqp.op_us() + pbqp.transform_us();
         assert!((parts - pbqp.predicted_us).abs() < 1e-6 * pbqp.predicted_us.max(1.0));
     }
 }

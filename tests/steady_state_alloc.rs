@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pbqp_dnn::cost::{AnalyticCost, MachineModel};
-use pbqp_dnn::graph::models::{micro_alexnet, micro_mixed};
+use pbqp_dnn::graph::models::{micro_alexnet, micro_mixed, micro_resnet};
 use pbqp_dnn::primitives::registry::{full_library, mixed_precision_library, Registry};
 use pbqp_dnn::runtime::{Executor, Parallelism, Weights};
 use pbqp_dnn::select::{Optimizer, Strategy};
@@ -200,9 +200,41 @@ fn steady_state_serving_performs_zero_heap_allocations() {
         CompiledModel::load(&mut bytes.as_slice()).expect("loads")
     };
 
+    // The int8-island plan: on the ARM machine model micro-resnet's stem
+    // (conv → relu → pool → conv) stays quantized end to end — the relu
+    // and pool run int8 op kernels, with **no** interior quantize or
+    // dequantize conversions — and the residual add merges two f32
+    // branches. A warmed session serving this plan must be allocation-free
+    // like every other: int8 activations live in dtype-segregated pooled
+    // slots and the op kernels carve from the workspace arenas.
+    let island_net = micro_resnet();
+    let island_weights = Weights::random(&island_net, 0x2026);
+    let island_model = Compiler::new(
+        CompileOptions::new().machine(MachineModel::arm_a57_like()).mixed_precision(true),
+    )
+    .compile(&island_net, &island_weights)
+    .expect("compiles");
+    {
+        let plan = island_model.plan();
+        assert!(
+            !plan.int8_op_nodes().is_empty(),
+            "precondition: relu/pool must join the int8 island\n{plan}"
+        );
+        for pair in ["conv1", "relu1", "pool1", "conv2"].windows(2) {
+            let from = island_net.find(pair[0]).unwrap();
+            let to = island_net.find(pair[1]).unwrap();
+            let edge = plan.edges.iter().find(|e| e.from == from && e.to == to).unwrap();
+            assert!(
+                edge.chain.is_empty(),
+                "precondition: island interior must carry no conversions"
+            );
+        }
+    }
+
     for (label, model, dims) in [
         ("front-door f32", &f32_model, f32_net.infer_shapes().unwrap()[0]),
         ("front-door mixed (loaded from artifact)", &mixed_model, (16, 20, 20)),
+        ("front-door int8 island (micro-resnet, ARM plan)", &island_model, (16, 48, 48)),
     ] {
         let (c, h, w) = dims;
         let engine = model.engine();

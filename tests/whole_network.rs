@@ -3,7 +3,7 @@
 //! against the independent reference implementation.
 
 use pbqp_dnn_cost::{AnalyticCost, MachineModel};
-use pbqp_dnn_graph::models::{micro_alexnet, micro_inception};
+use pbqp_dnn_graph::models::{micro_alexnet, micro_inception, micro_resnet};
 use pbqp_dnn_graph::DnnGraph;
 use pbqp_dnn_primitives::registry::{full_library, Registry};
 use pbqp_dnn_runtime::{reference_forward, Executor, Weights};
@@ -56,6 +56,64 @@ fn micro_alexnet_on_the_embedded_model_too() {
 #[test]
 fn micro_inception_all_strategies_compute_the_network_function() {
     check_network("micro_inception", &micro_inception(), MachineModel::intel_haswell_like());
+}
+
+#[test]
+fn micro_resnet_all_strategies_compute_the_network_function() {
+    // The residual merge (Add) flows through every strategy, layout
+    // choice and execution path like any other operator.
+    check_network("micro_resnet", &micro_resnet(), MachineModel::intel_haswell_like());
+}
+
+/// The acceptance path for first-class operator selection: the ARM-model
+/// int8-island plan (conv → relu → pool → conv quantized end to end, no
+/// interior conversions) computes the network function within the
+/// quantization budget and is executed **bit-identically** by the serial
+/// executor, the wavefront scheduler and the front door's
+/// `Session::infer`.
+#[test]
+fn int8_island_plan_executes_bit_identically_across_all_paths() {
+    use pbqp_dnn::prelude::{CompileOptions, Compiler, Parallelism};
+    use pbqp_dnn_primitives::registry::mixed_precision_library;
+
+    let net = micro_resnet();
+    let reg = Registry::new(mixed_precision_library());
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+    let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).unwrap();
+    assert!(
+        !plan.int8_op_nodes().is_empty(),
+        "precondition: relu/pool must join the int8 island\n{plan}"
+    );
+
+    let weights = Weights::random(&net, 0x7E57);
+    let input = Tensor::random(16, 48, 48, Layout::Chw, 0x1D);
+    let exec = Executor::new(&net, &plan, &reg, &weights);
+    let serial = exec.run(&input, 1).unwrap();
+
+    // Quantization error budget against the f32 oracle: the stem is
+    // int8, the residual block and head are f32.
+    let oracle = reference_forward(&net, &weights, &input);
+    let maxabs = oracle.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let diff = serial.max_abs_diff(&oracle).unwrap();
+    assert!(diff < 0.05 * maxabs + 0.05, "diff {diff} vs maxabs {maxabs}");
+
+    // Wavefront and intra-op threading never change a bit.
+    let wave = exec.run_with(&input, Parallelism::serial().with_inter_op(4)).unwrap();
+    assert_eq!(wave.data(), serial.data(), "wavefront diverged");
+    let threaded = exec.run(&input, 4).unwrap();
+    assert_eq!(threaded.data(), serial.data(), "intra-op threading diverged");
+
+    // The front door serves the same plan bit-identically.
+    let model = Compiler::new(
+        CompileOptions::new().machine(MachineModel::arm_a57_like()).mixed_precision(true),
+    )
+    .compile(&net, &weights)
+    .unwrap();
+    assert_eq!(model.plan().predicted_us.to_bits(), plan.predicted_us.to_bits());
+    let engine = model.engine();
+    let mut session = engine.session();
+    let front_door = session.infer_new(&input).unwrap();
+    assert_eq!(front_door.data(), serial.data(), "Session::infer diverged");
 }
 
 #[test]
