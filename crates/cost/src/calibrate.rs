@@ -1,0 +1,131 @@
+//! One-shot int8-vs-f32 calibration probe for the analytic machine model.
+//!
+//! The presets in [`MachineModel`](crate::MachineModel) carry *assumed*
+//! `int8_speedup` figures taken from the paper's platforms. On the build
+//! host we can do better: time the dispatched packed f32 GEMM against the
+//! dispatched quantized GEMM once (both run whatever micro-kernel
+//! [`pbqp_dnn_gemm::arch`] selects — AVX2, SSE2, or scalar) and derive
+//! the ratio that actually holds on this machine. The probe result is
+//! cached in a `OnceLock`, so every model built with
+//! [`MachineModel::with_calibrated_int8`](crate::MachineModel::with_calibrated_int8)
+//! after the first pays nothing.
+//!
+//! The probe shape (32×576 output, depth 144) is a mid-network
+//! convolution lowered through im2col — the kind of scenario whose f32/
+//! int8 choice the optimizer actually has to rank.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use pbqp_dnn_gemm::{arch, Gemm, GemmKind, QuantGemm, Trans};
+
+/// Probe GEMM shape: `m × n` output with depth `k`, sized like a
+/// mid-network conv lowered through im2col (32 filters over a 24×24
+/// spatial map with a 4·6·6 patch).
+const M: usize = 32;
+const N: usize = 576;
+const K: usize = 144;
+
+/// Result of the one-shot kernel probe: best-of-N wall times for the
+/// dispatched f32 and int8 GEMMs on the probe shape, plus the derived
+/// throughput ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Name of the instruction set the dispatcher selected for the probe
+    /// (`"avx2"`, `"sse2"`, or `"scalar"`).
+    pub isa: &'static str,
+    /// Best-of-N wall time of the packed f32 GEMM, in nanoseconds.
+    pub f32_gemm_ns: f64,
+    /// Best-of-N wall time of the quantized int8 GEMM, in nanoseconds.
+    pub int8_gemm_ns: f64,
+    /// Measured throughput multiplier of int8 over f32
+    /// (`f32_gemm_ns / int8_gemm_ns`). May be below 1.0 when the int8
+    /// path loses on this host.
+    pub int8_speedup: f64,
+}
+
+/// The cached host calibration; the first call runs the probe
+/// (a few milliseconds), later calls return the cached result.
+pub fn host_calibration() -> &'static Calibration {
+    static CAL: OnceLock<Calibration> = OnceLock::new();
+    CAL.get_or_init(probe)
+}
+
+fn probe() -> Calibration {
+    // Deterministic pseudo-random operands (splitmix64) — value content
+    // does not change GEMM timing, but zeros would let a future
+    // sparsity-aware kernel cheat.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let af: Vec<f32> = (0..M * K).map(|_| (next() % 255) as f32 / 127.0 - 1.0).collect();
+    let bf: Vec<f32> = (0..K * N).map(|_| (next() % 255) as f32 / 127.0 - 1.0).collect();
+    let aq: Vec<i8> = (0..M * K).map(|_| (next() % 255) as i8).collect();
+    let bq: Vec<i8> = (0..K * N).map(|_| (next() % 255) as i8).collect();
+
+    let gemm = Gemm::new(GemmKind::Packed);
+    let mut cf = vec![0.0f32; M * N];
+    let mut sf = vec![0.0f32; gemm.scratch_elems(Trans::N, Trans::N, M, N, K)];
+    let f32_ns = best_of(3, 5, || {
+        gemm.run_with_scratch(Trans::N, Trans::N, M, N, K, &af, &bf, 0.0, &mut cf, &mut sf);
+    });
+
+    let qgemm = QuantGemm::new();
+    let mut cq = vec![0i32; M * N];
+    let mut sq = vec![0i32; qgemm.scratch_elems(M, N, K)];
+    let int8_ns = best_of(3, 5, || {
+        qgemm.run_with_scratch(M, N, K, &aq, 3, &bq, -7, &mut cq, &mut sq);
+    });
+
+    Calibration {
+        isa: arch::active_isa().name(),
+        f32_gemm_ns: f32_ns,
+        int8_gemm_ns: int8_ns,
+        int8_speedup: f32_ns / int8_ns,
+    }
+}
+
+/// Best (minimum) wall time of `timed` runs in nanoseconds, after
+/// `warmup` discarded runs.
+fn best_of(warmup: usize, timed: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..timed {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_cached_and_sane() {
+        let a = host_calibration();
+        let b = host_calibration();
+        eprintln!("calibration: {a:?}");
+        assert!(std::ptr::eq(a, b), "probe must run once");
+        assert!(a.f32_gemm_ns > 0.0 && a.int8_gemm_ns > 0.0);
+        assert!(a.int8_speedup.is_finite() && a.int8_speedup > 0.0);
+        assert!(["avx2", "sse2", "scalar"].contains(&a.isa));
+    }
+
+    #[test]
+    fn calibrated_model_swaps_only_the_int8_ratio() {
+        let base = crate::MachineModel::intel_haswell_like();
+        let cal = base.clone().with_calibrated_int8();
+        assert_eq!(cal.int8_speedup, host_calibration().int8_speedup);
+        assert_eq!(cal.vector_width, base.vector_width);
+        assert_eq!(cal.llc_bytes, base.llc_bytes);
+    }
+}

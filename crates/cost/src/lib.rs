@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod dt;
 mod machine;
 mod model;
 mod profile;
 mod table;
 
+pub use calibrate::{host_calibration, Calibration};
 pub use dt::{DtGraph, DtPathTable};
 pub use machine::MachineModel;
 pub use model::AnalyticCost;

@@ -39,10 +39,15 @@ pub struct MachineModel {
     /// Fraction of its nominal efficiency the platform BLAS achieves
     /// (vendor GEMMs are far better tuned on x86 than on embedded parts).
     pub blas_efficiency: f64,
-    /// Throughput multiplier of int8 arithmetic over f32 (8-bit
+    /// Throughput multiplier of int8 arithmetic over f32.
+    ///
+    /// In the presets this is an **assumed** architectural figure (8-bit
     /// multiply-accumulate packs more lanes per vector: ~2× via
     /// `pmaddubsw`-style pairs on AVX2-class parts, more on NEON where
-    /// `smlal` quadruples the lane count).
+    /// `smlal` quadruples the lane count), chosen to mirror the paper's
+    /// platforms rather than measured on the build host.
+    /// [`MachineModel::with_calibrated_int8`] replaces it with the ratio
+    /// actually measured for this repo's dispatched kernels.
     pub int8_speedup: f64,
     /// Elements per cycle a streaming f32 pointwise/pooling loop sustains
     /// (clamps, window maxima, elementwise adds — the non-conv operator
@@ -91,6 +96,23 @@ impl MachineModel {
             pointwise_elems_per_cycle: 2.0,
             int8_pointwise_speedup: 3.0,
         }
+    }
+
+    /// Replaces the preset's **assumed** [`int8_speedup`] with the ratio
+    /// **measured** on the build host by the one-shot kernel probe
+    /// ([`crate::host_calibration`]): dispatched packed f32 GEMM vs
+    /// dispatched quantized GEMM on a representative conv-shaped
+    /// product. Opt-in, because a calibrated model describes *this*
+    /// machine, not the paper's platform the preset names — tests that
+    /// assert platform-specific plans keep the preset figures.
+    ///
+    /// The first call runs the probe (a few milliseconds); later calls
+    /// reuse the cached measurement.
+    ///
+    /// [`int8_speedup`]: MachineModel::int8_speedup
+    pub fn with_calibrated_int8(mut self) -> MachineModel {
+        self.int8_speedup = crate::calibrate::host_calibration().int8_speedup;
+        self
     }
 
     /// Peak single-core scalar FLOP/s (multiply and add counted

@@ -19,6 +19,11 @@ use crate::table::CostSource;
 /// [`MeasuredCost::with_scale`] optionally shrinks the spatial dimensions
 /// by an integer factor for quick calibration runs (costs scale
 /// predictably with `H × W` for every family).
+///
+/// The profiled kernels go through the runtime ISA dispatch in
+/// `pbqp_dnn_gemm::arch`, so measured costs automatically reflect
+/// whichever micro-kernel (AVX2 / SSE2 / scalar) the serving host will
+/// actually run — including under a `PBQP_DNN_FORCE_ISA` override.
 #[derive(Debug, Clone)]
 pub struct MeasuredCost {
     threads: usize,

@@ -1,0 +1,86 @@
+//! Portable scalar microkernels — the correctness reference.
+//!
+//! Every SIMD kernel in this module's siblings is differentially tested
+//! against these loops: int8 paths must match bit for bit, f32 paths
+//! within a small ULP bound (the scalar f32 kernel rounds after the
+//! multiply and after the add, which SSE2 reproduces exactly and FMA
+//! does not).
+
+use super::{Isa, Microkernel, F32_MR, F32_NR, I8_MR, I8_NR};
+
+/// The always-available scalar implementation.
+pub(super) struct ScalarKernel;
+
+impl Microkernel for ScalarKernel {
+    fn isa(&self) -> Isa {
+        Isa::Scalar
+    }
+
+    fn f32_panel(
+        &self,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        c: &mut [f32],
+        n: usize,
+        pc: usize,
+        r0: usize,
+        rh: usize,
+        j0: usize,
+        jw: usize,
+    ) {
+        let mut acc = [[0.0f32; F32_NR]; F32_MR];
+        for p in 0..pc {
+            let bp = &b_panel[p * F32_NR..p * F32_NR + F32_NR];
+            let ap = &a_panel[p * F32_MR..p * F32_MR + F32_MR];
+            for r in 0..F32_MR {
+                let av = ap[r];
+                let row = &mut acc[r];
+                for j in 0..F32_NR {
+                    row[j] += av * bp[j];
+                }
+            }
+        }
+        for r in 0..rh {
+            let c_row = &mut c[(r0 + r) * n + j0..(r0 + r) * n + j0 + jw];
+            for (cv, &av) in c_row.iter_mut().zip(acc[r].iter()) {
+                *cv += av;
+            }
+        }
+    }
+
+    fn i8_panel(
+        &self,
+        a_pairs: &[i32],
+        pc: usize,
+        b_panel: &[i8],
+        c: &mut [i32],
+        ldc: usize,
+        row0: usize,
+        rh: usize,
+        j0: usize,
+        jw: usize,
+    ) {
+        let pc2 = pc.div_ceil(2);
+        let mut acc = [[0i32; I8_NR]; I8_MR];
+        for p2 in 0..pc2 {
+            let bp = &b_panel[p2 * I8_NR * 2..(p2 + 1) * I8_NR * 2];
+            let ap = &a_pairs[p2 * I8_MR..(p2 + 1) * I8_MR];
+            for r in 0..rh {
+                // Unpack the [a1:a0] i16-pair word the packer built.
+                let pair = ap[r] as u32;
+                let a0 = i32::from(pair as u16 as i16);
+                let a1 = i32::from((pair >> 16) as u16 as i16);
+                let row = &mut acc[r];
+                for j in 0..I8_NR {
+                    row[j] += a0 * i32::from(bp[2 * j]) + a1 * i32::from(bp[2 * j + 1]);
+                }
+            }
+        }
+        for r in 0..rh {
+            let c_row = &mut c[(row0 + r) * ldc + j0..(row0 + r) * ldc + j0 + jw];
+            for (cv, &av) in c_row.iter_mut().zip(acc[r].iter()) {
+                *cv += av;
+            }
+        }
+    }
+}

@@ -26,9 +26,13 @@
 //! assert_eq!(c, [58., 64., 139., 154.]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is confined to `arch::x86` (std::arch intrinsics behind
+// runtime feature detection); everything else keeps the workspace-wide
+// no-unsafe discipline.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arch;
 mod blocked;
 mod naive;
 mod packed;
@@ -36,6 +40,7 @@ mod quant;
 
 pub use quant::QuantGemm;
 
+use arch::{Isa, Microkernel};
 use std::fmt;
 
 /// Which GEMM kernel to run.
@@ -99,6 +104,7 @@ pub enum Trans {
 pub struct Gemm {
     kind: GemmKind,
     threads: usize,
+    isa: Option<Isa>,
 }
 
 impl Default for Gemm {
@@ -108,15 +114,40 @@ impl Default for Gemm {
 }
 
 impl Gemm {
-    /// Creates a single-threaded GEMM with the given kernel.
+    /// Creates a single-threaded GEMM with the given kernel, dispatching
+    /// its packed micro-kernel to the best ISA the host supports (see
+    /// [`arch`]).
     pub fn new(kind: GemmKind) -> Gemm {
-        Gemm { kind, threads: 1 }
+        Gemm { kind, threads: 1, isa: None }
     }
 
     /// Sets the number of worker threads (minimum 1).
     pub fn threads(mut self, threads: usize) -> Gemm {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Pins the [`GemmKind::Packed`] micro-kernel to a specific ISA
+    /// instead of the dispatched one — the explicit hook the
+    /// differential tests and benches use to compare ISAs in one
+    /// process. `None` restores automatic dispatch. The naive and
+    /// blocked kinds are pure scalar loops and ignore this.
+    ///
+    /// # Panics
+    ///
+    /// `run`/`run_with_scratch` panic if the host cannot execute the
+    /// pinned ISA.
+    pub fn isa(mut self, isa: Option<Isa>) -> Gemm {
+        self.isa = isa;
+        self
+    }
+
+    fn microkernel(&self) -> &'static dyn Microkernel {
+        match self.isa {
+            None => arch::active(),
+            Some(isa) => arch::kernel_for(isa)
+                .unwrap_or_else(|| panic!("ISA {isa} is not executable on this host")),
+        }
     }
 
     /// The configured kernel.
@@ -263,7 +294,18 @@ impl Gemm {
                     t
                 }
             };
-            packed::gemm_nn_mt_ws(m, n, k, a_n, b_n, beta, c, self.threads, rest);
+            packed::gemm_nn_mt_ws(
+                self.microkernel(),
+                m,
+                n,
+                k,
+                a_n,
+                b_n,
+                beta,
+                c,
+                self.threads,
+                rest,
+            );
             return;
         }
 
@@ -329,7 +371,7 @@ impl Gemm {
                 };
                 let (a_pack, rest) = rest.split_at_mut(packed::a_pack_elems());
                 let (b_pack, _) = rest.split_at_mut(packed::b_pack_elems(n));
-                packed::gemm_nn_ws(m, n, k, a_n, b_n, beta, c, a_pack, b_pack);
+                packed::gemm_nn_ws(self.microkernel(), m, n, k, a_n, b_n, beta, c, a_pack, b_pack);
             }
         }
     }

@@ -2,11 +2,14 @@
 //!
 //! This follows the classic Goto/BLIS structure: B is packed into
 //! column panels of width [`NR`], A into row panels of height [`MR`], and
-//! the micro-kernel keeps a 4×8 accumulator block entirely in registers so
-//! the compiler can vectorize the `NR`-wide updates.
+//! the micro-kernel keeps a 4×8 accumulator block entirely in registers.
+//! The micro-kernel itself is no longer fixed: the drivers take a
+//! [`Microkernel`] selected by runtime CPU-feature dispatch (see
+//! [`crate::arch`]), so the same packing and blocking structure runs an
+//! AVX2 FMA kernel, an SSE2 kernel, or the portable scalar reference.
 
-const MR: usize = 4;
-const NR: usize = 8;
+use crate::arch::{Microkernel, F32_MR as MR, F32_NR as NR};
+
 const KC: usize = 256;
 const MC: usize = 128;
 
@@ -31,6 +34,7 @@ pub(crate) fn mt_workers(m: usize, threads: usize) -> usize {
 /// least [`b_pack_elems`]`(n)` elements.
 #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
 pub(crate) fn gemm_nn_ws(
+    mk: &dyn Microkernel,
     m: usize,
     n: usize,
     k: usize,
@@ -58,7 +62,7 @@ pub(crate) fn gemm_nn_ws(
         for i0 in (0..m).step_by(MC) {
             let ic = MC.min(m - i0);
             pack_a(a_pack, a, k, i0, ic, p0, pc);
-            macro_kernel(a_pack, b_pack, c, n, i0, ic, pc);
+            macro_kernel(mk, a_pack, b_pack, c, n, i0, ic, pc);
         }
     }
 }
@@ -80,6 +84,7 @@ pub(crate) fn gemm_nn_ws(
 /// worker).
 #[allow(clippy::too_many_arguments)] // BLAS-shaped signature
 pub(crate) fn gemm_nn_mt_ws(
+    mk: &dyn Microkernel,
     m: usize,
     n: usize,
     k: usize,
@@ -95,7 +100,7 @@ pub(crate) fn gemm_nn_mt_ws(
     let workers = mt_workers(m, threads);
     if workers <= 1 {
         let (b_pack, a_pack) = packs.split_at_mut(b_pack_elems(n));
-        return gemm_nn_ws(m, n, k, a, b, beta, c, a_pack, b_pack);
+        return gemm_nn_ws(mk, m, n, k, a, b, beta, c, a_pack, b_pack);
     }
 
     // Scale C by beta once up front, exactly like the serial kernel.
@@ -135,7 +140,7 @@ pub(crate) fn gemm_nn_mt_ws(
                     for i0 in (0..rows).step_by(MC) {
                         let ic = MC.min(rows - i0);
                         pack_a(a_pack, a, k, row0 + i0, ic, p0, pc);
-                        macro_kernel(a_pack, b_pack, c_slab, n, i0, ic, pc);
+                        macro_kernel(mk, a_pack, b_pack, c_slab, n, i0, ic, pc);
                     }
                 });
             }
@@ -176,8 +181,11 @@ fn pack_a(dst: &mut [f32], a: &[f32], k: usize, i0: usize, ic: usize, p0: usize,
     }
 }
 
-/// Runs the micro-kernel over every (row panel, column panel) pair.
+/// Runs the dispatched micro-kernel over every (row panel, column
+/// panel) pair.
+#[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    mk: &dyn Microkernel,
     a_pack: &[f32],
     b_pack: &[f32],
     c: &mut [f32],
@@ -196,42 +204,7 @@ fn macro_kernel(
             let b_panel = &b_pack[jp * pc * NR..(jp + 1) * pc * NR];
             let j0 = jp * NR;
             let jw = NR.min(n - j0);
-            micro_kernel(a_panel, b_panel, c, n, pc, r0, rh, j0, jw);
-        }
-    }
-}
-
-/// 4×8 register-blocked inner kernel: accumulates
-/// `C[r0..r0+rh, j0..j0+jw] += A_panel · B_panel`.
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn micro_kernel(
-    a_panel: &[f32],
-    b_panel: &[f32],
-    c: &mut [f32],
-    n: usize,
-    pc: usize,
-    r0: usize,
-    rh: usize,
-    j0: usize,
-    jw: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..pc {
-        let bp = &b_panel[p * NR..p * NR + NR];
-        let ap = &a_panel[p * MR..p * MR + MR];
-        for r in 0..MR {
-            let av = ap[r];
-            let row = &mut acc[r];
-            for j in 0..NR {
-                row[j] += av * bp[j];
-            }
-        }
-    }
-    for r in 0..rh {
-        let c_row = &mut c[(r0 + r) * n + j0..(r0 + r) * n + j0 + jw];
-        for (cv, &av) in c_row.iter_mut().zip(acc[r].iter()) {
-            *cv += av;
+            mk.f32_panel(a_panel, b_panel, c, n, pc, r0, rh, j0, jw);
         }
     }
 }

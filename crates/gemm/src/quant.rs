@@ -10,12 +10,22 @@
 //! ```
 //!
 //! so the hot loop is a plain `i8 × i8 → i32` product; the row/column
-//! sums live in the caller-provided scratch (see
-//! [`QuantGemm::scratch_elems`]), preserving the workspace-planner
+//! sums and the pair-packed B panels live in the caller-provided scratch
+//! (see [`QuantGemm::scratch_elems`]), preserving the workspace-planner
 //! contract of the f32 [`crate::Gemm`].
+//!
+//! The product itself runs through the runtime-dispatched
+//! [`Microkernel`] (see [`crate::arch`]): B is packed into depth-pair
+//! column panels and the per-ISA panel kernels (`_mm256_madd_epi16` on
+//! AVX2, `_mm_madd_epi16` on SSE2, a plain nest on scalar) consume two
+//! k-steps per column per step. Integer accumulation is associative, so
+//! **every ISA produces bit-identical `i32` results** — enforced by the
+//! differential kernel tests.
 
-/// A configured quantized GEMM: thread count only (one kernel flavour —
-/// a cache-blocked `i k j` nest).
+use crate::arch::{self, pack_b_i8_pairs, packed_b_i8_bytes, Isa, Microkernel, I8_MR, I8_NR};
+
+/// A configured quantized GEMM: thread count plus an optional pinned
+/// ISA (the default dispatches to the best kernel the host supports).
 ///
 /// # Example
 ///
@@ -32,16 +42,29 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QuantGemm {
     threads: usize,
+    isa: Option<Isa>,
 }
 
 /// Block width of the `k` dimension: keeps one A-row strip and the
-/// matching B panel rows in cache.
+/// matching packed B panel in cache.
 const KC: usize = 256;
 
+/// Reinterprets an `i32` scratch region as bytes for the B pack. `i8`
+/// has no invalid bit patterns and alignment 1, so this is sound for
+/// any `i32` slice; dirty contents are fine — the pack overwrites
+/// every byte it reads.
+#[allow(unsafe_code)]
+fn as_i8_mut(s: &mut [i32]) -> &mut [i8] {
+    // SAFETY: i8 is a 1-byte type valid for all bit patterns; the
+    // reinterpreted region covers exactly the same memory.
+    unsafe { core::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<i8>(), s.len() * 4) }
+}
+
 impl QuantGemm {
-    /// Creates a single-threaded quantized GEMM.
+    /// Creates a single-threaded quantized GEMM with runtime ISA
+    /// dispatch.
     pub fn new() -> QuantGemm {
-        QuantGemm { threads: 1 }
+        QuantGemm { threads: 1, isa: None }
     }
 
     /// Sets the number of worker threads (minimum 1).
@@ -50,14 +73,37 @@ impl QuantGemm {
         self
     }
 
+    /// Pins the panel kernel to a specific ISA instead of the
+    /// dispatched one (`None` restores automatic dispatch) — results
+    /// are bit-identical either way; this exists for differential tests
+    /// and benches.
+    ///
+    /// # Panics
+    ///
+    /// `run`/`run_with_scratch` panic if the host cannot execute the
+    /// pinned ISA.
+    pub fn isa(mut self, isa: Option<Isa>) -> QuantGemm {
+        self.isa = isa;
+        self
+    }
+
+    fn microkernel(&self) -> &'static dyn Microkernel {
+        match self.isa {
+            None => arch::active(),
+            Some(isa) => arch::kernel_for(isa)
+                .unwrap_or_else(|| panic!("ISA {isa} is not executable on this host")),
+        }
+    }
+
     /// `i32` scratch elements [`QuantGemm::run_with_scratch`] needs for an
     /// `m × n × k` product: the row sums of `A` and the column sums of
-    /// `B` used by the zero-point correction.
-    pub fn scratch_elems(&self, m: usize, n: usize, _k: usize) -> usize {
+    /// `B` used by the zero-point correction, plus one `KC`-deep
+    /// pair-packed B slab for the panel kernels.
+    pub fn scratch_elems(&self, m: usize, n: usize, k: usize) -> usize {
         if m == 0 || n == 0 {
             return 0;
         }
-        m + n
+        m + n + packed_b_i8_bytes(n, k.min(KC)).div_ceil(4)
     }
 
     /// Computes `C = (A − a_zp)·(B − b_zp)`.
@@ -116,7 +162,7 @@ impl QuantGemm {
         }
 
         let (rowsum, rest) = scratch.split_at_mut(m);
-        let colsum = &mut rest[..n];
+        let (colsum, pack_words) = rest.split_at_mut(n);
         if b_zp != 0 {
             for (i, slot) in rowsum.iter_mut().enumerate() {
                 *slot = a[i * k..(i + 1) * k].iter().map(|&v| i32::from(v)).sum();
@@ -137,52 +183,82 @@ impl QuantGemm {
         }
         let zz = a_zp * b_zp * k as i32;
 
+        let mk = self.microkernel();
         let c = &mut c[..m * n];
+        c.fill(0);
+        let pack_len = packed_b_i8_bytes(n, k.min(KC)).div_ceil(4);
+        let b_pack = &mut as_i8_mut(&mut pack_words[..pack_len])[..packed_b_i8_bytes(n, k.min(KC))];
+
         let threads = self.threads.max(1);
-        if threads <= 1 || m < 2 * threads {
-            product_rows(0, m, n, k, a, b, c);
-            correct_rows(0, n, a_zp, b_zp, zz, rowsum, colsum, c);
-            return;
-        }
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut c_rest = &mut *c;
-            let mut row0 = 0usize;
-            while !c_rest.is_empty() {
-                let rows = rows_per.min(c_rest.len() / n);
-                let (c_slab, next) = c_rest.split_at_mut(rows * n);
-                c_rest = next;
-                let (rs, cs) = (&*rowsum, &*colsum);
-                let start = row0;
-                scope.spawn(move || {
-                    product_rows(start, rows, n, k, a, b, c_slab);
-                    correct_rows(start, n, a_zp, b_zp, zz, rs, cs, c_slab);
+        let serial = threads <= 1 || m < 2 * threads;
+        for p0 in (0..k).step_by(KC) {
+            let pc = KC.min(k - p0);
+            pack_b_i8_pairs(b_pack, b, n, p0, pc);
+            if serial {
+                product_block(mk, a, k, 0, m, p0, pc, b_pack, c, n);
+            } else {
+                // Fan MR-aligned row slabs over scoped threads; the
+                // packed slab is shared read-only. Each element of C
+                // still accumulates its k-slabs in ascending order, and
+                // integer adds are associative anyway: bit-identical to
+                // the serial path by construction.
+                let blocks = m.div_ceil(I8_MR);
+                let blocks_per = blocks.div_ceil(threads);
+                let b_pack = &*b_pack;
+                std::thread::scope(|scope| {
+                    let mut c_rest = &mut *c;
+                    let mut row0 = 0usize;
+                    while !c_rest.is_empty() {
+                        let rows = (blocks_per * I8_MR).min(c_rest.len() / n);
+                        let (c_slab, next) = c_rest.split_at_mut(rows * n);
+                        c_rest = next;
+                        let start = row0;
+                        scope.spawn(move || {
+                            product_block(mk, a, k, start, rows, p0, pc, b_pack, c_slab, n);
+                        });
+                        row0 += rows;
+                    }
                 });
-                row0 += rows;
             }
-        });
+        }
+        correct_rows(0, n, a_zp, b_zp, zz, rowsum, colsum, c);
     }
 }
 
-/// Raw `i8·i8 → i32` product of `rows` rows of `C` starting at absolute
-/// row `row0`, blocked over `k` in [`KC`] strips.
-fn product_rows(row0: usize, rows: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
-    c.fill(0);
-    for i in 0..rows {
-        let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for k0 in (0..k).step_by(KC) {
-            let k1 = (k0 + KC).min(k);
-            for (p, &av) in a_row[k0..k1].iter().enumerate() {
-                if av == 0 {
-                    continue;
-                }
-                let av = i32::from(av);
-                let b_row = &b[(k0 + p) * n..(k0 + p) * n + n];
-                for (slot, &bv) in c_row.iter_mut().zip(b_row) {
-                    *slot += av * i32::from(bv);
-                }
-            }
+/// Accumulates one `pc`-deep k-slab into `rows` rows of `C` (a slab
+/// whose first absolute A row is `row0`; `c` indexes from that row),
+/// walking the pair-packed B panels with the dispatched kernel.
+#[allow(clippy::too_many_arguments)]
+fn product_block(
+    mk: &dyn Microkernel,
+    a: &[i8],
+    lda: usize,
+    row0: usize,
+    rows: usize,
+    p0: usize,
+    pc: usize,
+    b_pack: &[i8],
+    c: &mut [i32],
+    n: usize,
+) {
+    let panel_bytes = pc.div_ceil(2) * I8_NR * 2;
+    let col_panels = n.div_ceil(I8_NR);
+    // `c` starts at this slab's first row; offset A to match so the
+    // kernel's single row index addresses both operands.
+    let a_rows = &a[row0 * lda..];
+    // The A-side pair-broadcast block is built once per row block and
+    // shared by every column panel (it doesn't depend on j0); pc ≤ KC
+    // bounds it to a small stack buffer.
+    let mut a_pairs = [0i32; (KC / 2 + 1) * I8_MR];
+    let a_pairs = &mut a_pairs[..arch::a_i8_pairs_elems(pc)];
+    for i0 in (0..rows).step_by(I8_MR) {
+        let rh = I8_MR.min(rows - i0);
+        arch::pack_a_i8_pairs(a_pairs, a_rows, lda, i0, rh, p0, pc);
+        for jp in 0..col_panels {
+            let j0 = jp * I8_NR;
+            let jw = I8_NR.min(n - j0);
+            let b_panel = &b_pack[jp * panel_bytes..(jp + 1) * panel_bytes];
+            mk.i8_panel(a_pairs, pc, b_panel, c, n, i0, rh, j0, jw);
         }
     }
 }
@@ -292,9 +368,26 @@ mod tests {
     }
 
     #[test]
-    fn scratch_elems_covers_the_correction_sums() {
+    fn scratch_elems_covers_the_sums_and_the_pack_slab() {
         let g = QuantGemm::new();
-        assert_eq!(g.scratch_elems(4, 6, 100), 10);
+        // Correction sums (m + n) plus the KC-deep pair-packed B slab
+        // in i32 words: ceil(100/2)·2·8·ceil(6/8) bytes = 800 → 200.
+        assert_eq!(g.scratch_elems(4, 6, 100), 10 + 200);
         assert_eq!(g.scratch_elems(0, 6, 100), 0);
+        // k is clamped to one KC slab (256): deeper products reuse it.
+        assert_eq!(g.scratch_elems(4, 6, 10_000), g.scratch_elems(4, 6, 256));
+    }
+
+    #[test]
+    fn every_available_isa_is_bit_identical() {
+        let (m, n, k) = (13, 21, 77);
+        let a = fill_i8(m * k, 5);
+        let b = fill_i8(k * n, 6);
+        let want = reference(m, n, k, &a, 3, &b, -9);
+        for kernel in crate::arch::available_kernels() {
+            let mut c = vec![0i32; m * n];
+            QuantGemm::new().isa(Some(kernel.isa())).run(m, n, k, &a, 3, &b, -9, &mut c);
+            assert_eq!(c, want, "isa {}", kernel.isa());
+        }
     }
 }

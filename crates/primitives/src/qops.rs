@@ -22,6 +22,7 @@
 //!   workspace), then requantized dynamically: at most half an output
 //!   step from the f32 sum.
 
+use pbqp_dnn_gemm::arch;
 use pbqp_dnn_graph::OpClass;
 use pbqp_dnn_tensor::{DType, Layout, QuantParams, Repr, Tensor};
 
@@ -66,9 +67,9 @@ impl OpKernel for QuantRelu {
         let (c, h, w) = input.dims();
         out.reuse_as_dtype(c, h, w, self.desc.output_layout, DType::I8);
         out.set_qparams(params);
-        for (d, &q) in out.data_i8_mut().iter_mut().zip(input.data_i8()) {
-            *d = q.max(zp);
-        }
+        // `max(q, zp)` is exact on every ISA, so the dispatched SIMD
+        // kernel is bit-identical to the scalar loop.
+        arch::active().i8_relu(input.data_i8(), zp, out.data_i8_mut());
         Ok(())
     }
 }
@@ -184,15 +185,13 @@ impl OpKernel for QuantConcat {
         let mut hi = 0.0f32;
         for i in 0..inputs.len() {
             let t = inputs.at(i);
-            let p = t.qparams();
-            let (mut qmin, mut qmax) = (i8::MAX, i8::MIN);
-            for &q in t.data_i8() {
-                qmin = qmin.min(q);
-                qmax = qmax.max(q);
-            }
             if t.data_i8().is_empty() {
                 continue;
             }
+            let p = t.qparams();
+            // Exact extrema (a `min`/`max` reduction over codes), so the
+            // SIMD scan cannot change the joint range.
+            let (qmin, qmax) = arch::active().i8_minmax(t.data_i8());
             lo = lo.min(p.dequantize(qmin));
             hi = hi.max(p.dequantize(qmax));
         }

@@ -96,6 +96,42 @@ fn int8_island_spans_relu_and_pool_without_interior_conversions() {
     }
 }
 
+/// With the SIMD micro-kernels live (runtime dispatch, no override),
+/// every serving surface of a mixed-precision model — the raw serial
+/// `Executor`, a wavefront-parallel `Session::infer`, and the one-shot
+/// `Engine::infer` — produces bit-identical activations: dispatch picks
+/// one kernel per process and the int8 kernels are order-exact, so
+/// precision islands cannot introduce cross-surface drift.
+#[test]
+fn session_engine_and_executor_agree_bit_for_bit_with_simd_dispatch_active() {
+    use pbqp_dnn::gemm::arch;
+    use pbqp_dnn::prelude::*;
+    use pbqp_dnn::runtime::Executor;
+    use pbqp_dnn::tensor::rng::SplitMix64;
+
+    assert_eq!(arch::active_isa(), arch::features().best(), "dispatch must be live");
+
+    let net = models::micro_resnet();
+    let mut rng = SplitMix64::new(0x51D_CAFE);
+    let weights = Weights::random(&net, rng.next_u64());
+    let options = CompileOptions::new().machine(MachineModel::arm_a57_like()).mixed_precision(true);
+    let model = Compiler::new(options).compile(&net, &weights).expect("compiles");
+    assert!(!model.plan().int8_layers().is_empty(), "fixture must select int8 layers");
+
+    let exec = Executor::new(model.graph(), model.plan(), model.registry(), model.weights());
+    let engine = model.engine().with_parallelism(Parallelism::serial().with_inter_op(4));
+    let mut session = engine.session();
+    let (c, h, w) = net.infer_shapes().unwrap()[0];
+    let mut out = Tensor::empty();
+    for i in 0..4 {
+        let input = Tensor::random(c, h, w, Layout::Chw, rng.next_u64());
+        let serial = exec.run(&input, 1).unwrap();
+        session.infer(&input, &mut out).expect("session serves");
+        assert_eq!(out.data(), serial.data(), "input {i}: session diverged from serial executor");
+        assert_eq!(engine.infer(&input).unwrap().data(), serial.data(), "input {i}: engine");
+    }
+}
+
 #[test]
 fn built_in_models_get_genuinely_mixed_plans() {
     // Two (model, machine) pairs known to split: on the ARM model AlexNet

@@ -77,6 +77,46 @@ fn check_network(name: &str, net: &DnnGraph, rng: &mut SplitMix64, cases: usize)
     }
 }
 
+/// The same contract with the int8 kernels in play and the runtime ISA
+/// dispatch active (no override): a mixed-precision plan's quantized
+/// islands run the host's best SIMD micro-kernels, whose integer
+/// accumulation is order-exact — so wavefront and batch must still be
+/// bit-identical to serial.
+#[test]
+fn mixed_precision_parallel_modes_are_bit_identical_with_simd_dispatch_active() {
+    use pbqp_dnn::gemm::arch;
+    use pbqp_dnn::primitives::registry::mixed_precision_library;
+
+    // Precondition, not an assumption: dispatch is live and reports the
+    // strongest tier this host supports.
+    assert_eq!(arch::active_isa(), arch::features().best());
+
+    let net = pbqp_dnn::graph::models::micro_resnet();
+    let mut rng = SplitMix64::new(0x51D_D15B);
+    let reg = Registry::new(mixed_precision_library());
+    let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+    let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).unwrap();
+    assert!(!plan.int8_layers().is_empty(), "fixture must exercise the int8 kernels");
+    let weights = Weights::random(&net, rng.next_u64());
+    let exec = Executor::new(&net, &plan, &reg, &weights);
+    let (c, h, w) = net.infer_shapes().unwrap()[0];
+
+    for case in 0..4 {
+        let batch: Vec<Tensor> = (0..rng.usize(1, 5))
+            .map(|_| Tensor::random(c, h, w, Layout::Chw, rng.next_u64()))
+            .collect();
+        let par =
+            Parallelism::serial().with_inter_op(rng.usize(2, 6)).with_intra_op(rng.usize(1, 4));
+        let serial: Vec<Tensor> = batch.iter().map(|input| exec.run(input, 1).unwrap()).collect();
+        let wave = exec.run_with(&batch[0], par).unwrap();
+        assert_eq!(wave.data(), serial[0].data(), "case {case} ({par}): wavefront diverged");
+        let outs = exec.run_batch(&batch, par).unwrap();
+        for (i, (got, want)) in outs.iter().zip(&serial).enumerate() {
+            assert_eq!(got.data(), want.data(), "case {case} item {i} ({par}): batch diverged");
+        }
+    }
+}
+
 #[test]
 fn micro_alexnet_parallel_modes_are_bit_identical_to_serial() {
     let mut rng = SplitMix64::new(0xA1EC);
