@@ -174,6 +174,96 @@ impl<'a> Optimizer<'a> {
         )
     }
 
+    /// Re-plans `plan` around quarantined `(node, kernel)` pairs — the
+    /// graceful-degradation path of the serving engine. Each quarantined
+    /// node is routed away from the offending kernel to an f32 baseline
+    /// candidate: convolutions to the universal `sum2d` reference (or,
+    /// if `sum2d` itself is quarantined, the cheapest other f32
+    /// primitive), operators to their class's f32 kernel in canonical
+    /// CHW. The whole plan is then re-legalized, so every edge chain and
+    /// input/output conversion stays consistent with the new
+    /// representations — a degraded plan is a *valid* plan, just a
+    /// slower one.
+    ///
+    /// The returned plan clears `optimal` and solver stats: it is a
+    /// repair, not a solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the graph is malformed or re-legalization
+    /// cannot connect the new representations (cannot happen with the
+    /// standard DT graph, whose f32 hops are total).
+    pub fn reroute(
+        &self,
+        graph: &DnnGraph,
+        plan: &ExecutionPlan,
+        quarantined: &[(NodeId, String)],
+    ) -> Result<ExecutionPlan, PlanError> {
+        let shapes = graph.infer_shapes()?;
+        let table = self.cost_table(graph);
+        let mut apsp = ApspCache::new(&self.dt, self.source);
+        let mut assignments = plan.assignments.clone();
+        for (node, kernel) in quarantined {
+            let a = &mut assignments[node.index()];
+            match &a.kind {
+                AssignmentKind::Conv { .. } => {
+                    let name = if kernel != "sum2d" {
+                        Some("sum2d".to_owned())
+                    } else {
+                        // The reference itself is quarantined: the
+                        // cheapest remaining f32 candidate, if any.
+                        table.for_node(*node).and_then(|row| {
+                            row.costs
+                                .iter()
+                                .filter(|(n, _)| {
+                                    n != kernel
+                                        && self.registry.by_name(n).is_some_and(|p| {
+                                            p.descriptor().input_dtype == DType::F32
+                                        })
+                                })
+                                .min_by(|x, y| x.1.total_cmp(&y.1))
+                                .map(|(n, _)| n.clone())
+                        })
+                    };
+                    // No alternative at all: keep the original
+                    // assignment rather than produce no plan.
+                    if let Some(name) = name {
+                        a.kind = self.conv_assignment(&table, *node, &name);
+                    }
+                }
+                AssignmentKind::Op { .. } => {
+                    let class = match graph.layer(*node).kind.selection_class() {
+                        pbqp_dnn_graph::SelectionClass::Op(c) => c,
+                        _ => continue,
+                    };
+                    let Some(spec) = instance::op_spec(graph, &shapes, *node) else { continue };
+                    let canonical = Repr::f32(Layout::Chw);
+                    let candidates = self.registry.op_candidates(class, &spec);
+                    let pick = candidates
+                        .iter()
+                        .find(|k| {
+                            let d = k.descriptor();
+                            d.name != *kernel
+                                && d.input_repr() == canonical
+                                && d.output_repr() == canonical
+                        })
+                        .or_else(|| {
+                            candidates.iter().find(|k| {
+                                let d = k.descriptor();
+                                d.name != *kernel && d.input_repr().dtype == DType::F32
+                            })
+                        });
+                    if let Some(k) = pick {
+                        let cost = self.source.op_cost(k.as_ref(), &spec);
+                        a.kind = self.op_assignment(&k.descriptor().name, cost);
+                    }
+                }
+                AssignmentKind::Source { .. } => {}
+            }
+        }
+        self.legalize(graph, &shapes, &mut apsp, assignments, plan.strategy, None, None, 0.0)
+    }
+
     fn conv_assignment(&self, table: &CostTable, node: NodeId, name: &str) -> AssignmentKind {
         let row = table.for_node(node).expect("conv node has a cost row");
         let cost_us = row.cost_of(name).expect("selected primitive was profiled");
@@ -602,6 +692,63 @@ mod tests {
         let f32_reg = Registry::new(full_library());
         let f32_plan = Optimizer::new(&f32_reg, &cost).plan(&g, Strategy::Pbqp).unwrap();
         assert!(f32_plan.output_conversion.is_empty());
+    }
+
+    #[test]
+    fn reroute_quarantines_kernels_into_valid_f32_plans() {
+        use pbqp_dnn_primitives::registry::mixed_precision_library;
+        let reg = Registry::new(mixed_precision_library());
+        let cost = AnalyticCost::new(MachineModel::arm_a57_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        let net = models::micro_resnet();
+        let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+        let conv1 = net.find("conv1").unwrap();
+        let relu1 = net.find("relu1").unwrap();
+        let conv_kernel = match plan.assignment(conv1) {
+            AssignmentKind::Conv { primitive, .. } => primitive.clone(),
+            other => panic!("conv1 is a conv node, got {other:?}"),
+        };
+        let op_kernel = match plan.assignment(relu1) {
+            AssignmentKind::Op { kernel, .. } => kernel.clone(),
+            other => panic!("relu1 is an op node, got {other:?}"),
+        };
+        let degraded = opt
+            .reroute(&net, &plan, &[(conv1, conv_kernel.clone()), (relu1, op_kernel.clone())])
+            .unwrap();
+        // Quarantined nodes moved off the offending kernels, onto f32.
+        match degraded.assignment(conv1) {
+            AssignmentKind::Conv { primitive, input_repr, .. } => {
+                assert_eq!(primitive, "sum2d");
+                assert_ne!(*primitive, conv_kernel);
+                assert_eq!(input_repr.dtype, DType::F32);
+            }
+            other => panic!("conv1 stayed {other:?}"),
+        }
+        match degraded.assignment(relu1) {
+            AssignmentKind::Op { kernel, input_repr, .. } => {
+                assert_ne!(*kernel, op_kernel);
+                assert_eq!(input_repr.dtype, DType::F32);
+            }
+            other => panic!("relu1 stayed {other:?}"),
+        }
+        // A repair, not a solve.
+        assert_eq!(degraded.optimal, None);
+        // The degraded plan is still fully legal: every edge chain
+        // connects producer to consumer representation.
+        for e in &degraded.edges {
+            let mut cur = degraded.assignment(e.from).output_repr();
+            for hop in &e.chain {
+                assert_eq!(hop.from(), cur, "broken chain after reroute");
+                cur = hop.to();
+            }
+            assert_eq!(cur, degraded.assignment(e.to).input_repr(), "edge end after reroute");
+        }
+        // Un-quarantined nodes keep their selections.
+        for a in &plan.assignments {
+            if a.node != conv1 && a.node != relu1 {
+                assert_eq!(a.kind, degraded.assignment(a.node).clone(), "untouched node moved");
+            }
+        }
     }
 
     #[test]

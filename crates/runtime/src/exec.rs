@@ -1,7 +1,8 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use pbqp_dnn_graph::{ConvScenario, DnnGraph, GraphError, LayerKind, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
@@ -13,6 +14,7 @@ use pbqp_dnn_select::{AssignmentKind, ExecutionPlan};
 use pbqp_dnn_tensor::transform::{apply_repr_into, to_layout_into, ReprTransform};
 use pbqp_dnn_tensor::{DType, KernelTensor, Layout, Repr, Tensor, TensorError};
 
+use crate::faults;
 use crate::weights::Weights;
 use crate::Parallelism;
 
@@ -39,6 +41,46 @@ pub enum RuntimeError {
     /// (e.g. a conv assignment on a pooling node) — the plan was built
     /// for a different graph or corrupted.
     PlanMismatch(String),
+    /// A selected kernel panicked at dispatch. The unwind was contained
+    /// at the step boundary: the process, the executor and its buffer
+    /// pool all stay serviceable, and the (node, kernel) pair names the
+    /// culprit so a serving layer can quarantine it.
+    KernelPanicked {
+        /// The graph node (layer name) whose step was executing.
+        node: String,
+        /// The selected primitive/op kernel that panicked.
+        kernel: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A selected kernel reported a failure at dispatch (today only via
+    /// fault injection — real kernels either succeed or panic). Carries
+    /// the same (node, kernel) attribution as a contained panic.
+    KernelFailed {
+        /// The graph node (layer name) whose step was executing.
+        node: String,
+        /// The selected primitive/op kernel that failed.
+        kernel: String,
+        /// The failure description.
+        message: String,
+    },
+    /// A fault-injection site surfaced its injected error (see
+    /// [`crate::faults`]).
+    Injected {
+        /// The failpoint site that fired.
+        site: &'static str,
+        /// The injected error message.
+        message: String,
+    },
+    /// A panic outside kernel dispatch (edge conversion, a worker
+    /// thread, buffer checkout, schedule compile) was contained into a
+    /// typed error instead of unwinding through the caller.
+    Panicked {
+        /// Where the panic was contained.
+        context: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -51,6 +93,18 @@ impl fmt::Display for RuntimeError {
             RuntimeError::MissingWeights(n) => write!(f, "missing weights for layer `{n}`"),
             RuntimeError::BadInput(d) => write!(f, "bad network input: {d}"),
             RuntimeError::PlanMismatch(d) => write!(f, "plan does not fit graph: {d}"),
+            RuntimeError::KernelPanicked { node, kernel, message } => {
+                write!(f, "kernel `{kernel}` panicked on node `{node}` (contained): {message}")
+            }
+            RuntimeError::KernelFailed { node, kernel, message } => {
+                write!(f, "kernel `{kernel}` failed on node `{node}`: {message}")
+            }
+            RuntimeError::Injected { site, message } => {
+                write!(f, "injected fault at `{site}`: {message}")
+            }
+            RuntimeError::Panicked { context, message } => {
+                write!(f, "panic contained in {context}: {message}")
+            }
         }
     }
 }
@@ -117,6 +171,9 @@ struct PredEdge {
 /// and the pooled buffer its output lands in.
 struct Step {
     node: NodeId,
+    /// The layer's name, carried for fault attribution: a contained
+    /// kernel panic reports (node, kernel) so serving can quarantine.
+    name: String,
     /// Incoming edges in predecessor order.
     preds: Vec<PredEdge>,
     op: StepOp,
@@ -213,6 +270,9 @@ pub struct Schedule {
     out_chain: Vec<ReprTransform>,
     /// First conversion-buffer index of the output chain's staging.
     out_conv_base: usize,
+    /// The network input dims, checked before a pass touches any buffer
+    /// (`None` only for hand-built graphs without an input node).
+    input_dims: Option<(usize, usize, usize)>,
 }
 
 impl Schedule {
@@ -230,8 +290,33 @@ impl Schedule {
     ///
     /// Returns [`RuntimeError`] for malformed graphs, plans referencing
     /// primitives the registry does not contain, or parameterized layers
-    /// without weights.
+    /// without weights. A panic during compilation (or the
+    /// `schedule.compile` failpoint) is contained into a typed error —
+    /// compiling never takes the process down.
     pub fn compile(
+        graph: &DnnGraph,
+        plan: &ExecutionPlan,
+        registry: &Registry,
+        weights: &Weights,
+    ) -> Result<Schedule, RuntimeError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            if let Some(faults::Injected::Error(msg)) = faults::hit(faults::SCHEDULE_COMPILE) {
+                return Err(RuntimeError::Injected {
+                    site: faults::SCHEDULE_COMPILE,
+                    message: msg,
+                });
+            }
+            Schedule::compile_inner(graph, plan, registry, weights)
+        })) {
+            Ok(r) => r,
+            Err(p) => Err(RuntimeError::Panicked {
+                context: "schedule compile".to_owned(),
+                message: faults::panic_message(p),
+            }),
+        }
+    }
+
+    fn compile_inner(
         graph: &DnnGraph,
         plan: &ExecutionPlan,
         registry: &Registry,
@@ -254,6 +339,7 @@ impl Schedule {
         let shapes = graph.infer_shapes()?;
         let mut conv_shapes: Vec<(usize, usize, usize, Repr)> = Vec::new();
         let mut ws_req = pbqp_dnn_primitives::WorkspaceReq::ZERO;
+        let mut input_dims = None;
         for (step_ix, &node) in order.iter().enumerate() {
             let layer = graph.layer(node);
             let preds: Vec<PredEdge> = graph
@@ -290,6 +376,7 @@ impl Schedule {
                     (op, (s.m, s.out_h(), s.out_w(), repr))
                 }
                 (LayerKind::Input { c, h, w }, AssignmentKind::Source { repr }) => {
+                    input_dims = Some((*c, *h, *w));
                     let chain = input_chains.get(&node.index()).copied().unwrap_or(&[]);
                     let conv_base = conv_shapes.len();
                     if chain.len() > 1 {
@@ -346,7 +433,14 @@ impl Schedule {
                 levels.resize_with(level + 1, Vec::new);
             }
             levels[level].push(step_ix);
-            steps.push(Step { node, preds, op, out_buf: usize::MAX, out_shape });
+            steps.push(Step {
+                node,
+                name: layer.name.clone(),
+                preds,
+                op,
+                out_buf: usize::MAX,
+                out_shape,
+            });
         }
 
         let last = *order.last().expect("graph validated as non-empty");
@@ -442,6 +536,7 @@ impl Schedule {
             last_buf,
             out_chain: out_chain.to_vec(),
             out_conv_base,
+            input_dims,
         })
     }
 
@@ -468,13 +563,35 @@ impl Schedule {
         out: &mut Tensor,
         par: Parallelism,
     ) -> Result<(), RuntimeError> {
-        check_input(input)?;
+        self.check_input(input)?;
         if par.inter_op > 1 {
             self.execute_wavefront(input, par, bufs)?;
         } else {
             self.execute_serial(input, par.intra_op, bufs)?;
         }
         self.finish_output(bufs, out)
+    }
+
+    /// Validates a network input — canonical CHW layout, the compiled
+    /// input dims — *before* a pass touches any buffer, so a malformed
+    /// request (e.g. one bad member of a batch) is a typed
+    /// [`RuntimeError::BadInput`] with no partial execution.
+    pub fn check_input(&self, input: &Tensor) -> Result<(), RuntimeError> {
+        if input.layout() != Layout::Chw {
+            return Err(RuntimeError::BadInput(format!(
+                "network inputs are canonical CHW, got {}",
+                input.layout()
+            )));
+        }
+        if let Some(dims) = self.input_dims {
+            if input.dims() != dims {
+                return Err(RuntimeError::BadInput(format!(
+                    "expected input dims {dims:?}, got {:?}",
+                    input.dims()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Number of pooled activation slots in the memory plan. Liveness
@@ -498,15 +615,15 @@ impl Schedule {
         let src = &bufs.values[self.last_buf];
         match self.out_chain.len() {
             0 => out.assign_from(src),
-            1 => apply_repr_into(src, self.out_chain[0], out)?,
+            1 => apply_hop(src, self.out_chain[0], out)?,
             l => {
                 let convs = &mut bufs.convs;
                 for (j, hop) in self.out_chain[..l - 1].iter().enumerate() {
                     let (done, rest) = convs.split_at_mut(self.out_conv_base + j);
                     let s: &Tensor = if j == 0 { src } else { &done[self.out_conv_base + j - 1] };
-                    apply_repr_into(s, *hop, &mut rest[0])?;
+                    apply_hop(s, *hop, &mut rest[0])?;
                 }
-                apply_repr_into(&convs[self.out_conv_base + l - 2], self.out_chain[l - 1], out)?;
+                apply_hop(&convs[self.out_conv_base + l - 2], self.out_chain[l - 1], out)?;
             }
         }
         Ok(())
@@ -550,7 +667,7 @@ impl Schedule {
                 let (done, rest) = convs.split_at_mut(pe.conv_base + j);
                 let src: &Tensor =
                     if j == 0 { &values[pe.buf] } else { &done[pe.conv_base + j - 1] };
-                apply_repr_into(src, *hop, &mut rest[0])?;
+                apply_hop(src, *hop, &mut rest[0])?;
             }
         }
         if let StepOp::Input { chain, conv_base, .. } = &step.op {
@@ -558,7 +675,7 @@ impl Schedule {
                 for (j, hop) in chain[..chain.len() - 1].iter().enumerate() {
                     let (done, rest) = convs.split_at_mut(conv_base + j);
                     let src: &Tensor = if j == 0 { input } else { &done[conv_base + j - 1] };
-                    apply_repr_into(src, *hop, &mut rest[0])?;
+                    apply_hop(src, *hop, &mut rest[0])?;
                 }
             }
         }
@@ -590,7 +707,41 @@ impl Schedule {
         match &step.op {
             StepOp::Conv { prim, kernel, scenario } => {
                 ws.reset();
-                prim.execute_into(resolve(&step.preds[0]), kernel, scenario, intra_op, ws, out)?;
+                // The containment boundary of the tentpole: a panicking
+                // kernel (real or injected at `kernel.dispatch`) unwinds
+                // no further than its own step. The success path adds no
+                // allocation — `catch_unwind` only costs on unwind, and
+                // the disarmed failpoint is one atomic load — so the
+                // zero-allocation steady state is untouched.
+                let contained = catch_unwind(AssertUnwindSafe(|| -> Result<(), RuntimeError> {
+                    if let Some(faults::Injected::Error(msg)) = faults::hit(faults::KERNEL_DISPATCH)
+                    {
+                        return Err(RuntimeError::KernelFailed {
+                            node: step.name.clone(),
+                            kernel: prim.descriptor().name.clone(),
+                            message: msg,
+                        });
+                    }
+                    prim.execute_into(
+                        resolve(&step.preds[0]),
+                        kernel,
+                        scenario,
+                        intra_op,
+                        ws,
+                        out,
+                    )?;
+                    Ok(())
+                }));
+                match contained {
+                    Ok(r) => r?,
+                    Err(p) => {
+                        return Err(RuntimeError::KernelPanicked {
+                            node: step.name.clone(),
+                            kernel: prim.descriptor().name.clone(),
+                            message: faults::panic_message(p),
+                        })
+                    }
+                }
             }
             StepOp::Input { c, h, w, layout, chain, conv_base } => {
                 if input.dims() != (*c, *h, *w) {
@@ -610,8 +761,8 @@ impl Schedule {
                             to_layout_into(input, *layout, out);
                         }
                     }
-                    1 => apply_repr_into(input, chain[0], out)?,
-                    l => apply_repr_into(&convs[conv_base + l - 2], chain[l - 1], out)?,
+                    1 => apply_hop(input, chain[0], out)?,
+                    l => apply_hop(&convs[conv_base + l - 2], chain[l - 1], out)?,
                 }
             }
             StepOp::Op { kernel, spec, fc_weights } => {
@@ -620,15 +771,36 @@ impl Schedule {
                 // per-call operand vector, so the zero-allocation
                 // steady state holds for n-ary ops too.
                 let get = |i: usize| resolve(&step.preds[i]);
-                let operands = OpInputs::Resolver(step.preds.len(), &get);
                 ws.reset();
-                kernel.execute_into(
-                    operands,
-                    fc_weights.as_ref().map(|w| w.as_slice()),
-                    spec,
-                    ws,
-                    out,
-                )?;
+                let contained = catch_unwind(AssertUnwindSafe(|| -> Result<(), RuntimeError> {
+                    if let Some(faults::Injected::Error(msg)) = faults::hit(faults::KERNEL_DISPATCH)
+                    {
+                        return Err(RuntimeError::KernelFailed {
+                            node: step.name.clone(),
+                            kernel: kernel.descriptor().name.clone(),
+                            message: msg,
+                        });
+                    }
+                    let operands = OpInputs::Resolver(step.preds.len(), &get);
+                    kernel.execute_into(
+                        operands,
+                        fc_weights.as_ref().map(|w| w.as_slice()),
+                        spec,
+                        ws,
+                        out,
+                    )?;
+                    Ok(())
+                }));
+                match contained {
+                    Ok(r) => r?,
+                    Err(p) => {
+                        return Err(RuntimeError::KernelPanicked {
+                            node: step.name.clone(),
+                            kernel: kernel.descriptor().name.clone(),
+                            message: faults::panic_message(p),
+                        })
+                    }
+                }
             }
         }
         Ok(())
@@ -736,7 +908,21 @@ impl Schedule {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("wavefront worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // Kernel panics are already contained inside
+                        // dispatch; this maps anything that still
+                        // escapes a worker into a typed error instead
+                        // of aborting the process.
+                        h.join().unwrap_or_else(|p| {
+                            Err(RuntimeError::Panicked {
+                                context: "wavefront worker".to_owned(),
+                                message: faults::panic_message(p),
+                            })
+                        })
+                    })
+                    .collect()
             });
             // Commit every buffer back before surfacing errors so the
             // pool stays intact.
@@ -799,15 +985,75 @@ impl<'a> Executor<'a> {
         Ok(self.schedule.get_or_init(|| compiled))
     }
 
+    /// Locks the recycled-buffer pool, recovering from poison: a panic
+    /// while the pool was locked discards the recycled sets (they
+    /// rebuild from the schedule on demand) and clears the poison latch,
+    /// so one bad request can never wedge the executor forever — the old
+    /// `.expect("buffer pool poisoned")` latch turned a single
+    /// mid-flight panic into a permanently dead engine.
+    fn pool(&self) -> MutexGuard<'_, Vec<ExecBuffers>> {
+        match self.buffers.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.buffers.clear_poison();
+                let mut g = poisoned.into_inner();
+                g.clear();
+                g
+            }
+        }
+    }
+
     /// Checks a buffer set out of the pool (building one on first use),
-    /// runs `f`, and returns the set for the next run.
-    fn with_buffers<R>(&self, schedule: &Schedule, f: impl FnOnce(&mut ExecBuffers) -> R) -> R {
-        let recycled = self.buffers.lock().expect("buffer pool poisoned").pop();
+    /// runs `f`, and returns the set for the next run — unless the run
+    /// contained a panic, in which case the set is discarded (a
+    /// panicking kernel may have left buffers mid-mutation) and the next
+    /// run rebuilds a fresh one from the schedule.
+    fn with_buffers<R>(
+        &self,
+        schedule: &Schedule,
+        f: impl FnOnce(&mut ExecBuffers) -> Result<R, RuntimeError>,
+    ) -> Result<R, RuntimeError> {
+        // The checkout failpoint is evaluated *while the pool lock is
+        // held*: an injected panic here genuinely poisons the mutex,
+        // which is exactly the failure `pool()` must recover from.
+        let recycled = match catch_unwind(AssertUnwindSafe(|| {
+            let mut pool = self.pool();
+            match faults::hit(faults::BUFFER_CHECKOUT) {
+                Some(faults::Injected::Error(msg)) => {
+                    Err(RuntimeError::Injected { site: faults::BUFFER_CHECKOUT, message: msg })
+                }
+                _ => Ok(pool.pop()),
+            }
+        })) {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) => return Err(e),
+            Err(p) => {
+                return Err(RuntimeError::Panicked {
+                    context: "buffer checkout".to_owned(),
+                    message: faults::panic_message(p),
+                })
+            }
+        };
         let mut bufs = recycled.unwrap_or_else(|| schedule.make_buffers());
-        let result = f(&mut bufs);
-        let mut pool = self.buffers.lock().expect("buffer pool poisoned");
-        if pool.len() < BUFFER_POOL_CAP {
-            pool.push(bufs);
+        let result = match catch_unwind(AssertUnwindSafe(|| f(&mut bufs))) {
+            Ok(r) => r,
+            Err(p) => {
+                drop(bufs);
+                return Err(RuntimeError::Panicked {
+                    context: "forward pass".to_owned(),
+                    message: faults::panic_message(p),
+                });
+            }
+        };
+        let discard = matches!(
+            result,
+            Err(RuntimeError::KernelPanicked { .. }) | Err(RuntimeError::Panicked { .. })
+        );
+        if !discard {
+            let mut pool = self.pool();
+            if pool.len() < BUFFER_POOL_CAP {
+                pool.push(bufs);
+            }
         }
         result
     }
@@ -918,8 +1164,11 @@ impl<'a> Executor<'a> {
         outs: &mut Vec<Tensor>,
         par: Parallelism,
     ) -> Result<(), RuntimeError> {
+        let schedule = self.schedule()?;
+        // Validate the whole batch up front: one shape-mismatched
+        // member is a typed error before any item executes.
         for input in inputs {
-            check_input(input)?;
+            schedule.check_input(input)?;
         }
         if outs.len() != inputs.len() {
             outs.resize_with(inputs.len(), Tensor::empty);
@@ -927,7 +1176,6 @@ impl<'a> Executor<'a> {
         if inputs.is_empty() {
             return Ok(());
         }
-        let schedule = self.schedule()?;
         let workers = par.inter_op.min(inputs.len());
         if workers <= 1 {
             return self.with_buffers(schedule, |bufs| {
@@ -955,7 +1203,17 @@ impl<'a> Executor<'a> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(RuntimeError::Panicked {
+                            context: "batch worker".to_owned(),
+                            message: faults::panic_message(p),
+                        })
+                    })
+                })
+                .collect()
         });
         results.into_iter().collect()
     }
@@ -967,17 +1225,28 @@ impl fmt::Debug for Executor<'_> {
     }
 }
 
-/// Network inputs arrive in the canonical CHW f32 representation; plans
-/// price and carry the conversion into whatever layout the input node
-/// chose, so anything else is a caller error.
-fn check_input(input: &Tensor) -> Result<(), RuntimeError> {
-    if input.layout() != Layout::Chw {
-        return Err(RuntimeError::BadInput(format!(
-            "network inputs are canonical CHW, got {}",
-            input.layout()
-        )));
+/// Applies one representation-transformation hop under the containment
+/// contract: quantize/dequantize hops evaluate the `edge.quant`
+/// failpoint, and a panicking conversion is contained into a typed
+/// error instead of unwinding through the executor. The success path is
+/// one disarmed-failpoint atomic load plus the conversion itself — no
+/// allocation.
+fn apply_hop(src: &Tensor, hop: ReprTransform, dst: &mut Tensor) -> Result<(), RuntimeError> {
+    match catch_unwind(AssertUnwindSafe(|| -> Result<(), RuntimeError> {
+        if matches!(hop, ReprTransform::Quantize(_) | ReprTransform::Dequantize(_)) {
+            if let Some(faults::Injected::Error(msg)) = faults::hit(faults::QUANT_EDGE) {
+                return Err(RuntimeError::Injected { site: faults::QUANT_EDGE, message: msg });
+            }
+        }
+        apply_repr_into(src, hop, dst)?;
+        Ok(())
+    })) {
+        Ok(r) => r,
+        Err(p) => Err(RuntimeError::Panicked {
+            context: "edge conversion".to_owned(),
+            message: faults::panic_message(p),
+        }),
     }
-    Ok(())
 }
 
 /// Independent oracle: executes the network with the textbook reference

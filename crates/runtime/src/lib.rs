@@ -90,6 +90,7 @@
 #![warn(missing_docs)]
 
 mod exec;
+pub mod faults;
 mod par;
 mod weights;
 

@@ -53,7 +53,7 @@ use std::sync::Arc;
 
 use pbqp_dnn_graph::DnnGraph;
 use pbqp_dnn_primitives::registry::Registry;
-use pbqp_dnn_runtime::{Parallelism, Schedule, Weights};
+use pbqp_dnn_runtime::{faults, Parallelism, Schedule, Weights};
 use pbqp_dnn_select::{wire as plan_wire, ExecutionPlan};
 use pbqp_dnn_tensor::wire::{self, WireError, WireReader};
 
@@ -279,9 +279,20 @@ impl CompiledModel {
         self.schedule.activation_slots()
     }
 
-    /// Shared handles for the serving layer.
-    pub(crate) fn serving_parts(&self) -> (Arc<Schedule>, Arc<DnnGraph>, Arc<ExecutionPlan>) {
-        (Arc::clone(&self.schedule), Arc::clone(&self.graph), Arc::clone(&self.plan))
+    /// Shared handles for the serving layer: schedule, graph, plan,
+    /// weights and registry — the last two power the engine's degraded
+    /// reference path and quarantine re-planning.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn serving_parts(
+        &self,
+    ) -> (Arc<Schedule>, Arc<DnnGraph>, Arc<ExecutionPlan>, Arc<Weights>, Arc<Registry>) {
+        (
+            Arc::clone(&self.schedule),
+            Arc::clone(&self.graph),
+            Arc::clone(&self.plan),
+            Arc::clone(&self.weights),
+            Arc::clone(&self.registry),
+        )
     }
 
     /// The registry rebuilt from the library tag (power-user access).
@@ -333,9 +344,37 @@ impl CompiledModel {
     /// unsupported versions, fingerprint mismatches, truncation or
     /// corruption; [`Error::Runtime`] if the decoded plan cannot be
     /// scheduled (e.g. it names primitives this build does not ship).
+    /// A panic anywhere in decoding is contained into
+    /// [`RuntimeError::Panicked`](pbqp_dnn_runtime::RuntimeError) — a
+    /// hostile or corrupt stream can fail the load, never the process.
     pub fn load<R: Read + ?Sized>(r: &mut R) -> Result<CompiledModel, Error> {
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)?;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Self::load_bytes(bytes))) {
+            Ok(result) => result,
+            Err(payload) => Err(Error::Runtime(pbqp_dnn_runtime::RuntimeError::Panicked {
+                context: "artifact load".to_owned(),
+                message: faults::panic_message(payload),
+            })),
+        }
+    }
+
+    /// The decode stage of [`CompiledModel::load`], separated so the
+    /// `artifact.read` failpoint and the panic containment wrap all of
+    /// it.
+    fn load_bytes(mut bytes: Vec<u8>) -> Result<CompiledModel, Error> {
+        match faults::hit(faults::ARTIFACT_READ) {
+            // A short read feeds the normal truncation path: the body
+            // length check below reports `WireError::Truncated`.
+            Some(faults::Injected::ShortRead(n)) => {
+                let n = n.clamp(1, bytes.len());
+                bytes.truncate(bytes.len() - n);
+            }
+            Some(faults::Injected::Error(message)) => {
+                return Err(Error::Io(std::io::Error::other(message)));
+            }
+            None => {}
+        }
         let mut reader = WireReader::new(&bytes);
 
         let magic = reader.take(8).map_err(|_| ArtifactError::BadMagic)?;

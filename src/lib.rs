@@ -18,7 +18,12 @@
 //! * an [`Engine`] (shared, immutable, `Sync`) hands out per-thread
 //!   [`Session`]s, each owning its buffers — warmed
 //!   [`Session::infer`](serve::Session::infer) performs **zero heap
-//!   allocations** per request.
+//!   allocations** per request;
+//! * the engine is **fault-contained**: a panicking kernel is caught,
+//!   served through the bit-exact reference path, quarantined and
+//!   re-planned around — [`Engine::health`] reports the vitals, and the
+//!   [`faults`] failpoint module injects panics/errors/delays/short
+//!   reads for chaos testing (`PBQP_DNN_FAILPOINTS` env var).
 //!
 //! ```
 //! use pbqp_dnn::prelude::*;
@@ -67,7 +72,9 @@ pub mod serve;
 pub use artifact::{ArtifactError, CompiledModel, FORMAT_VERSION, MAGIC};
 pub use compile::{CompileOptions, Compiler, CostModel, PrimitiveLibrary};
 pub use error::Error;
-pub use serve::{Engine, Session};
+pub use serve::{Engine, Health, Session};
+
+pub use pbqp_dnn_runtime::faults;
 
 pub use pbqp_dnn_cost as cost;
 pub use pbqp_dnn_fft as fft;

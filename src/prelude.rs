@@ -40,7 +40,7 @@
 pub use crate::artifact::{ArtifactError, CompiledModel};
 pub use crate::compile::{CompileOptions, Compiler, CostModel, PrimitiveLibrary};
 pub use crate::error::Error;
-pub use crate::serve::{Engine, Session};
+pub use crate::serve::{Engine, Health, Session};
 
 pub use pbqp_dnn_cost::{AnalyticCost, MachineModel, MeasuredCost};
 pub use pbqp_dnn_graph::{models, ConvScenario, DnnGraph, Layer, LayerKind, PoolKind};

@@ -1,33 +1,172 @@
 //! The serving layer: a shared [`Engine`] handing out per-thread
-//! [`Session`]s.
+//! [`Session`]s, with fault containment built in.
 //!
 //! The split mirrors the runtime's schedule/buffers design: the engine
-//! holds the immutable compiled state (schedule, plan, graph — all
-//! `Sync`, all behind [`Arc`]s), and each session owns the one piece of
-//! per-caller mutable state, its
-//! [`ExecBuffers`]. A serving process
-//! clones one engine into every worker thread, gives each a session, and
-//! after each session's first (warmup) request the steady-state loop
-//! performs **zero heap allocations** per inference — the PR 2 contract,
+//! holds the compiled state (schedule, plan, graph — all `Sync`, all
+//! behind [`Arc`]s), and each session owns the one piece of per-caller
+//! mutable state, its [`ExecBuffers`]. A serving process clones one
+//! engine into every worker thread, gives each a session, and after each
+//! session's first (warmup) request the steady-state loop performs
+//! **zero heap allocations** per inference — the PR 2 contract,
 //! preserved behind the front door and enforced by
 //! `tests/steady_state_alloc.rs`.
+//!
+//! # Fault containment and graceful degradation
+//!
+//! A production engine must outlive its worst request. When a selected
+//! kernel panics or fails mid-request (real bug or injected via
+//! [`runtime::faults`](pbqp_dnn_runtime::faults)), the runtime contains
+//! it into a typed error and the session:
+//!
+//! 1. **serves the request anyway** through the bit-exact serial
+//!    reference path ([`reference_forward`]) — degraded latency, correct
+//!    answer;
+//! 2. **quarantines** the offending `(node, kernel)` pair engine-wide
+//!    and re-plans in place: the quarantined node is routed to its f32
+//!    baseline candidate and a fresh schedule is atomically swapped in
+//!    (sessions notice via one atomic generation check per request);
+//! 3. **counts** everything — [`Engine::health`] reports contained
+//!    panics, degraded serves, and the quarantine list, so an operator
+//!    can see a sick kernel before users do.
+//!
+//! The steady state pays one extra relaxed atomic load per request for
+//! all of this; nothing else changes while no fault fires.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-use pbqp_dnn_graph::DnnGraph;
-use pbqp_dnn_runtime::{ExecBuffers, Parallelism, Schedule};
-use pbqp_dnn_select::ExecutionPlan;
-use pbqp_dnn_tensor::Tensor;
+use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_graph::{DnnGraph, NodeId};
+use pbqp_dnn_primitives::registry::Registry;
+use pbqp_dnn_runtime::{
+    reference_forward, ExecBuffers, Parallelism, RuntimeError, Schedule, Weights,
+};
+use pbqp_dnn_select::{ExecutionPlan, Optimizer};
+use pbqp_dnn_tensor::transform::to_layout_into;
+use pbqp_dnn_tensor::{Layout, Tensor};
 
 use crate::artifact::CompiledModel;
 use crate::Error;
 
-/// A shared, immutable serving engine for one compiled model.
+/// The active serving state: swapped atomically (behind the `RwLock`)
+/// when a quarantine re-plan lands.
+struct ServingState {
+    schedule: Arc<Schedule>,
+    plan: Arc<ExecutionPlan>,
+    /// The layout the (always f32) network output is delivered in — the
+    /// active plan's sink layout.
+    delivered: Layout,
+}
+
+/// Engine-wide shared state: the immutable compiled inputs plus the
+/// swappable serving state and fault-health counters.
+struct Shared {
+    graph: Arc<DnnGraph>,
+    base_plan: Arc<ExecutionPlan>,
+    weights: Arc<Weights>,
+    registry: Arc<Registry>,
+    state: RwLock<ServingState>,
+    /// Bumped on every successful re-plan; sessions compare one atomic
+    /// per request and re-sync when it moves.
+    generation: AtomicU64,
+    contained_panics: AtomicU64,
+    degraded_serves: AtomicU64,
+    /// Quarantined `(node id, node name, kernel)` triples, accumulated
+    /// across the engine's lifetime.
+    quarantined: Mutex<Vec<(NodeId, String, String)>>,
+}
+
+impl Shared {
+    /// Quarantines `(node, kernel)` engine-wide and re-plans around the
+    /// full accumulated quarantine set. Never fails: if re-planning is
+    /// impossible the old state stays active and requests keep being
+    /// served (degraded through the reference path when the kernel keeps
+    /// failing).
+    fn quarantine(&self, node_name: &str, kernel: &str) {
+        let pairs = {
+            let mut q = lock_recover(&self.quarantined);
+            if q.iter().any(|(_, n, k)| n == node_name && k == kernel) {
+                return; // another session already handled this pair
+            }
+            let Some(node) = self.graph.find(node_name) else { return };
+            q.push((node, node_name.to_owned(), kernel.to_owned()));
+            q.iter().map(|(id, _, k)| (*id, k.clone())).collect::<Vec<_>>()
+        };
+        // The cost numbers only rank repair candidates — correctness of
+        // the rerouted plan never depends on them — so a transient
+        // analytic source on the rare degrade path is fine.
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let optimizer = Optimizer::new(&self.registry, &cost);
+        let Ok(plan) = optimizer.reroute(&self.graph, &self.base_plan, &pairs) else { return };
+        let Ok(schedule) = Schedule::compile(&self.graph, &plan, &self.registry, &self.weights)
+        else {
+            return;
+        };
+        let delivered = delivered_layout(&self.graph, &plan);
+        {
+            let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+            *state = ServingState { schedule: Arc::new(schedule), plan: Arc::new(plan), delivered };
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Locks a mutex, recovering from poison (the guarded values here are
+/// always coherent — single-field updates).
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// The layout a plan delivers its (always f32) network output in: the
+/// sink node's chosen layout.
+fn delivered_layout(graph: &DnnGraph, plan: &ExecutionPlan) -> Layout {
+    graph
+        .topo_order()
+        .ok()
+        .and_then(|order| order.last().copied())
+        .map(|sink| plan.assignment(sink).output_repr().layout)
+        .unwrap_or(Layout::Chw)
+}
+
+/// An engine's fault-containment vitals — see [`Engine::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// Kernel (and other) panics contained into typed errors instead of
+    /// aborting the process.
+    pub contained_panics: u64,
+    /// Requests answered through the serial reference path after their
+    /// selected kernel failed — degraded latency, correct results.
+    pub degraded_serves: u64,
+    /// Quarantined `(node, kernel)` pairs: these kernels panicked or
+    /// failed, and the active plan routes around them.
+    pub quarantined: Vec<(String, String)>,
+    /// How many times the serving plan was re-planned and swapped. `0`
+    /// means the engine is still on its compiled plan.
+    pub plan_generation: u64,
+}
+
+impl Health {
+    /// `true` while no fault has ever fired: the engine serves its
+    /// compiled plan at full speed.
+    pub fn is_pristine(&self) -> bool {
+        self.contained_panics == 0 && self.degraded_serves == 0 && self.quarantined.is_empty()
+    }
+}
+
+/// A shared serving engine for one compiled model.
 ///
 /// `Engine` is `Clone + Send + Sync`: hand one to every worker thread
 /// (or wrap one in an `Arc` — cloning is a few reference-count bumps
 /// either way) and create a [`Session`] per thread with
-/// [`Engine::session`].
+/// [`Engine::session`]. All clones share fault state: a kernel
+/// quarantined by one session's request routes every session's
+/// subsequent requests around it (see the [module docs](self)).
 ///
 /// # Example
 ///
@@ -63,29 +202,52 @@ use crate::Error;
 /// for (input, out) in inputs.iter().zip(&outputs) {
 ///     assert_eq!(engine.infer(input).unwrap().data(), out.data());
 /// }
+/// assert!(engine.health().is_pristine());
 /// ```
 #[derive(Clone)]
 pub struct Engine {
-    schedule: Arc<Schedule>,
-    graph: Arc<DnnGraph>,
-    plan: Arc<ExecutionPlan>,
+    shared: Arc<Shared>,
     parallelism: Parallelism,
 }
 
 impl Engine {
     /// Builds an engine sharing a compiled model's state.
     pub(crate) fn from_model(model: &CompiledModel) -> Engine {
-        let (schedule, graph, plan) = model.serving_parts();
-        Engine { schedule, graph, plan, parallelism: model.parallelism() }
+        let (schedule, graph, plan, weights, registry) = model.serving_parts();
+        let delivered = delivered_layout(&graph, &plan);
+        let shared = Shared {
+            graph,
+            base_plan: Arc::clone(&plan),
+            weights,
+            registry,
+            state: RwLock::new(ServingState { schedule, plan, delivered }),
+            generation: AtomicU64::new(0),
+            contained_panics: AtomicU64::new(0),
+            degraded_serves: AtomicU64::new(0),
+            quarantined: Mutex::new(Vec::new()),
+        };
+        Engine { shared: Arc::new(shared), parallelism: model.parallelism() }
     }
 
     /// A new session owning its own warm-up-once buffer set, inheriting
-    /// the engine's parallelism.
+    /// the engine's parallelism and synced to the active plan.
     pub fn session(&self) -> Session {
+        // Generation first: worst case the session re-syncs an
+        // already-current state on its first request, never serves a
+        // newer state under an older generation forever.
+        let generation = self.shared.generation.load(Ordering::Acquire);
+        let (schedule, delivered) = {
+            let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+            (Arc::clone(&state.schedule), state.delivered)
+        };
+        let bufs = schedule.make_buffers();
         Session {
-            schedule: Arc::clone(&self.schedule),
+            shared: Arc::clone(&self.shared),
             parallelism: self.parallelism,
-            bufs: self.schedule.make_buffers(),
+            generation,
+            delivered,
+            schedule,
+            bufs,
         }
     }
 
@@ -96,19 +258,46 @@ impl Engine {
     /// # Errors
     ///
     /// Propagates execution errors (bad input shape/layout, primitive
-    /// failures).
+    /// failures). Contained kernel panics are *not* errors here — the
+    /// request is served through the reference path (see the
+    /// [module docs](self)).
     pub fn infer(&self, input: &Tensor) -> Result<Tensor, Error> {
         self.session().infer_new(input)
     }
 
-    /// The plan this engine executes.
+    /// The plan this engine was compiled with. Quarantine re-planning
+    /// never mutates it — see [`Engine::active_plan`] for what is
+    /// serving right now.
     pub fn plan(&self) -> &ExecutionPlan {
-        &self.plan
+        &self.shared.base_plan
+    }
+
+    /// The plan currently serving: the compiled plan, or the latest
+    /// quarantine re-route.
+    pub fn active_plan(&self) -> Arc<ExecutionPlan> {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(&state.plan)
     }
 
     /// The network this engine serves.
     pub fn graph(&self) -> &DnnGraph {
-        &self.graph
+        &self.shared.graph
+    }
+
+    /// This engine's fault-containment vitals: contained panics,
+    /// degraded serves, the quarantine list, and the active plan
+    /// generation. All clones of an engine share one set of vitals.
+    pub fn health(&self) -> Health {
+        let quarantined = lock_recover(&self.shared.quarantined)
+            .iter()
+            .map(|(_, node, kernel)| (node.clone(), kernel.clone()))
+            .collect();
+        Health {
+            contained_panics: self.shared.contained_panics.load(Ordering::Relaxed),
+            degraded_serves: self.shared.degraded_serves.load(Ordering::Relaxed),
+            quarantined,
+            plan_generation: self.shared.generation.load(Ordering::Relaxed),
+        }
     }
 
     /// The parallelism new sessions inherit.
@@ -127,8 +316,9 @@ impl Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("nodes", &self.graph.len())
+            .field("nodes", &self.shared.graph.len())
             .field("parallelism", &self.parallelism)
+            .field("generation", &self.shared.generation.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -139,23 +329,101 @@ impl std::fmt::Debug for Engine {
 ///
 /// After the first (warmup) call settles buffer capacities,
 /// [`Session::infer`] and [`Session::infer_batch`] with serial
-/// parallelism perform zero heap allocations per request.
+/// parallelism perform zero heap allocations per request. If a kernel
+/// fails mid-request the session recovers per the engine's containment
+/// contract (see the [module docs](self)); the recovery path allocates,
+/// the steady state does not.
 pub struct Session {
-    schedule: Arc<Schedule>,
+    shared: Arc<Shared>,
     parallelism: Parallelism,
+    /// The engine generation this session's schedule corresponds to.
+    generation: u64,
+    delivered: Layout,
+    schedule: Arc<Schedule>,
     bufs: ExecBuffers,
 }
 
 impl Session {
+    /// Re-syncs to the engine's active plan if a quarantine re-plan
+    /// landed since this session last looked. One relaxed atomic load in
+    /// the common (unchanged) case.
+    fn refresh(&mut self) {
+        let generation = self.shared.generation.load(Ordering::Acquire);
+        if generation == self.generation {
+            return;
+        }
+        {
+            let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+            self.schedule = Arc::clone(&state.schedule);
+            self.delivered = state.delivered;
+        }
+        self.bufs = self.schedule.make_buffers();
+        self.generation = generation;
+    }
+
     /// Runs one forward pass, writing the (always f32) network output
     /// into the caller-recycled `out`.
     ///
     /// # Errors
     ///
-    /// Propagates execution errors (bad input shape/layout, primitive
-    /// failures).
+    /// Propagates bad-input and plan errors. A kernel panic or failure
+    /// is *recovered*, not propagated: the request is served through the
+    /// bit-exact reference path, the kernel is quarantined engine-wide,
+    /// and [`Engine::health`] records the incident.
     pub fn infer(&mut self, input: &Tensor, out: &mut Tensor) -> Result<(), Error> {
-        self.schedule.run_into(input, &mut self.bufs, out, self.parallelism)?;
+        self.refresh();
+        match self.schedule.run_into(input, &mut self.bufs, out, self.parallelism) {
+            Ok(()) => Ok(()),
+            Err(e) => self.recover(e, input, out),
+        }
+    }
+
+    /// The containment path: rebuild state the failure may have dirtied,
+    /// quarantine attributable kernel faults, and serve the request
+    /// through the reference oracle.
+    fn recover(
+        &mut self,
+        err: RuntimeError,
+        input: &Tensor,
+        out: &mut Tensor,
+    ) -> Result<(), Error> {
+        match err {
+            RuntimeError::KernelPanicked { node, kernel, .. } => {
+                self.shared.contained_panics.fetch_add(1, Ordering::Relaxed);
+                // A panicking kernel may have left buffers mid-mutation.
+                self.bufs = self.schedule.make_buffers();
+                self.shared.quarantine(&node, &kernel);
+                self.degraded_serve(input, out)
+            }
+            RuntimeError::KernelFailed { node, kernel, .. } => {
+                self.shared.quarantine(&node, &kernel);
+                self.degraded_serve(input, out)
+            }
+            RuntimeError::Panicked { .. } => {
+                // Contained, but with no kernel to attribute (worker
+                // thread, edge conversion, buffer checkout): serve
+                // degraded, nothing to quarantine.
+                self.shared.contained_panics.fetch_add(1, Ordering::Relaxed);
+                self.bufs = self.schedule.make_buffers();
+                self.degraded_serve(input, out)
+            }
+            other => Err(other.into()),
+        }
+    }
+
+    /// Serves a request through the bit-exact serial reference path,
+    /// delivered in the active plan's output layout.
+    fn degraded_serve(&mut self, input: &Tensor, out: &mut Tensor) -> Result<(), Error> {
+        let reference = reference_forward(&self.shared.graph, &self.shared.weights, input);
+        // Sync to any re-plan the failure just triggered, so this
+        // response's layout matches what subsequent requests deliver.
+        self.refresh();
+        if reference.layout() == self.delivered {
+            out.assign_from(&reference);
+        } else {
+            to_layout_into(&reference, self.delivered, out);
+        }
+        self.shared.degraded_serves.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -174,15 +442,31 @@ impl Session {
     /// `inputs.len()` and each slot's storage is recycled. A warmed
     /// session serves same-sized batches without heap allocations.
     ///
+    /// The whole batch is validated up front: an empty batch or a
+    /// shape-mismatched member is a typed
+    /// [`RuntimeError::BadInput`] before any item executes.
+    ///
     /// Scaling across cores is done with one session per thread (see
     /// [`Engine`]); within a session the batch runs serially, each item
     /// under the session's [`Parallelism`].
     ///
     /// # Errors
     ///
-    /// Returns the first failing item's error; earlier outputs are
+    /// [`RuntimeError::BadInput`] (wrapped in [`Error::Runtime`]) for an
+    /// empty batch or any malformed member — detected before execution.
+    /// Otherwise the first failing item's error; earlier outputs are
     /// already written.
     pub fn infer_batch(&mut self, inputs: &[Tensor], outs: &mut Vec<Tensor>) -> Result<(), Error> {
+        if inputs.is_empty() {
+            return Err(RuntimeError::BadInput(
+                "empty batch: infer_batch needs at least one input".to_owned(),
+            )
+            .into());
+        }
+        self.refresh();
+        for input in inputs {
+            self.schedule.check_input(input)?;
+        }
         if outs.len() != inputs.len() {
             outs.resize_with(inputs.len(), Tensor::empty);
         }
@@ -206,7 +490,10 @@ impl Session {
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Session").field("parallelism", &self.parallelism).finish()
+        f.debug_struct("Session")
+            .field("parallelism", &self.parallelism)
+            .field("generation", &self.generation)
+            .finish()
     }
 }
 
@@ -220,5 +507,33 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send_sync::<Engine>();
         assert_send::<Session>();
+    }
+
+    #[test]
+    fn empty_and_mismatched_batches_are_typed_errors() {
+        use crate::{CompileOptions, Compiler};
+        use pbqp_dnn_graph::models;
+
+        let net = models::micro_alexnet();
+        let weights = Weights::random(&net, 42);
+        let model = Compiler::new(CompileOptions::new()).compile(&net, &weights).unwrap();
+        let mut session = model.engine().session();
+        let (c, h, w) = net.infer_shapes().unwrap()[0];
+
+        let mut outs = Vec::new();
+        let err = session.infer_batch(&[], &mut outs).unwrap_err();
+        assert!(matches!(err, Error::Runtime(RuntimeError::BadInput(_))), "empty batch: got {err}");
+
+        let good = Tensor::random(c, h, w, Layout::Chw, 7);
+        let bad = Tensor::random(c, h + 1, w, Layout::Chw, 8);
+        let err = session.infer_batch(&[good.clone(), bad, good.clone()], &mut outs).unwrap_err();
+        assert!(
+            matches!(err, Error::Runtime(RuntimeError::BadInput(_))),
+            "mismatched member: got {err}"
+        );
+
+        // The session still serves after both rejections.
+        session.infer_batch(std::slice::from_ref(&good), &mut outs).unwrap();
+        assert_eq!(outs.len(), 1);
     }
 }

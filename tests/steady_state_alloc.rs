@@ -272,4 +272,32 @@ fn steady_state_serving_performs_zero_heap_allocations() {
 
         assert_eq!(out.data(), expected.data(), "{label}: zero-alloc path must stay correct");
     }
+
+    // ---- Failpoints cost nothing unless they fire -----------------------
+    // The serving path is instrumented with fault-injection sites
+    // (kernel dispatch, quant edges, buffer checkout). Disarmed, each is
+    // one relaxed atomic load — the zero-allocation assertions above
+    // already ran through them. Stronger: even with an *unrelated* site
+    // armed (so every probe takes the registry-lookup slow path), a
+    // warmed serving loop still performs zero heap allocations.
+    use pbqp_dnn::faults;
+    let engine = f32_model.engine();
+    let mut session = engine.session();
+    let (c, h, w) = f32_net.infer_shapes().unwrap()[0];
+    let input = Tensor::random(c, h, w, Layout::Chw, 0xCD);
+    let mut out = Tensor::empty();
+    session.infer(&input, &mut out).expect("warmup infer");
+
+    faults::arm(faults::ARTIFACT_READ, "every:error(not on the serving path)").expect("arms");
+    let before = allocs();
+    for _ in 0..5 {
+        session.infer(&input, &mut out).expect("steady infer with unrelated site armed");
+    }
+    let armed_allocs = allocs() - before;
+    faults::disarm_all();
+    assert_eq!(
+        armed_allocs, 0,
+        "armed-but-unrelated failpoint: {armed_allocs} allocations across 5 serves"
+    );
+    assert!(engine.health().is_pristine(), "no fault ever fired on the serving path");
 }
