@@ -1,0 +1,49 @@
+//! The gateway's typed error vocabulary.
+
+use std::fmt;
+
+/// Why the gateway could not (or will not) serve a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// No model with this fingerprint is registered.
+    UnknownModel(u64),
+    /// Backpressure: the model's admission queue is at capacity. The
+    /// caller should shed or retry later — the gateway never buffers
+    /// beyond the configured bound.
+    Overloaded {
+        /// The model whose queue is full.
+        fingerprint: u64,
+        /// Requests currently waiting.
+        queued: usize,
+        /// The configured [`queue_cap`](crate::BatchConfig::queue_cap).
+        limit: usize,
+    },
+    /// The input failed the model's admission check (wrong shape,
+    /// layout or dtype) — rejected at the door so it cannot fail the
+    /// batch it would have been coalesced into.
+    BadRequest(String),
+    /// The gateway is shutting down; queued requests are answered with
+    /// this instead of being dropped silently.
+    ShuttingDown,
+    /// The batch this request was coalesced into failed to execute
+    /// (including injected `gateway.flush` faults).
+    Inference(String),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::UnknownModel(fp) => {
+                write!(f, "no model registered under fingerprint {fp:#018x}")
+            }
+            GatewayError::Overloaded { fingerprint, queued, limit } => {
+                write!(f, "model {fingerprint:#018x} overloaded: {queued} queued (limit {limit})")
+            }
+            GatewayError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            GatewayError::ShuttingDown => write!(f, "gateway is shutting down"),
+            GatewayError::Inference(msg) => write!(f, "batch execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}

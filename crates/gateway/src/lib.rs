@@ -1,0 +1,591 @@
+//! Adaptive cross-request batching gateway: multi-tenant serving with
+//! SLO-bounded dynamic batches.
+//!
+//! A [`Gateway`] owns a fleet of serving engines behind a model registry
+//! keyed by artifact fingerprint. Callers [`submit`](Gateway::submit)
+//! single requests and the gateway **coalesces compatible requests into
+//! dynamic batches**, flushed through the fused batch execution path
+//! (`Session::infer_batch_into` — all items' im2col patch matrices
+//! stacked into one wide GEMM), which is where cross-request batching
+//! beats per-request serving on throughput. Coalescing is bounded by a
+//! per-model SLO ([`BatchConfig`]): a batch flushes **early** the moment
+//! it reaches `max_batch`, and **by deadline** when the first request's
+//! batch window expires, so no request waits longer than the window for
+//! company. Admission is bounded too: past `queue_cap` waiting requests,
+//! submits are rejected with [`GatewayError::Overloaded`] — backpressure,
+//! not unbounded buffering.
+//!
+//! Everything is built on std threads (no async runtime): a worker pool
+//! parks on a condvar'd job queue, and a dedicated timer thread drains a
+//! monotonic-clock deadline wheel. The timer thread only *enqueues*
+//! flush jobs — inference never runs on it, so a slow flush blocks one
+//! worker, never the wheel.
+//!
+//! # Hot swap
+//!
+//! Re-registering a model under an existing fingerprint atomically
+//! replaces the serving engine and bumps the model's **generation**.
+//! Every request is stamped with the generation current at admission and
+//! holds its version alive; a flush drains a maximal same-generation run,
+//! so batches never mix generations and in-flight requests are served —
+//! bit-exactly — by the engine that admitted them. Zero requests are
+//! dropped or double-served across a swap.
+//!
+//! # Observability
+//!
+//! [`Gateway::stats`] reports per-model admission/rejection/serve
+//! counters, flush-cause attribution, an honest batch-size histogram and
+//! exact p50/p99 latency; [`Gateway::health`] passes through the serving
+//! engine's fault-containment vitals. The `gateway.flush` failpoint
+//! ([`pbqp_dnn::faults`]) injects delays/errors/panics into the flush
+//! path for chaos testing.
+//!
+//! # Example
+//!
+//! ```
+//! use pbqp_dnn::prelude::*;
+//! use pbqp_dnn_gateway::{BatchConfig, Gateway};
+//! use std::time::Duration;
+//!
+//! let net = models::micro_alexnet();
+//! let weights = Weights::random(&net, 42);
+//! let model = Compiler::new(CompileOptions::new()).compile(&net, &weights).unwrap();
+//!
+//! let gateway = Gateway::new();
+//! let fp = gateway.register_with(
+//!     &model,
+//!     BatchConfig::new().with_max_batch(4).with_window(Duration::from_micros(200)),
+//! );
+//!
+//! // Submit a burst; the gateway coalesces them into fused batches.
+//! let (c, h, w) = net.infer_shapes().unwrap()[0];
+//! let inputs: Vec<Tensor> =
+//!     (0..4).map(|i| Tensor::random(c, h, w, Layout::Chw, 7 + i)).collect();
+//! let tickets: Vec<_> =
+//!     inputs.iter().map(|x| gateway.submit(fp, x.clone()).unwrap()).collect();
+//!
+//! // Await each response: bit-identical to serving the input alone.
+//! let engine = model.engine();
+//! for (input, ticket) in inputs.iter().zip(tickets) {
+//!     let response = ticket.wait().unwrap();
+//!     assert_eq!(response.output.data(), engine.infer(input).unwrap().data());
+//!     assert_eq!(response.generation, 0);
+//! }
+//!
+//! let stats = gateway.stats(fp).unwrap();
+//! assert_eq!(stats.served, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod stats;
+mod ticket;
+mod timer;
+
+pub use config::BatchConfig;
+pub use error::GatewayError;
+pub use stats::ModelStats;
+pub use ticket::{Response, Ticket};
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pbqp_dnn::faults;
+use pbqp_dnn::tensor::Tensor;
+use pbqp_dnn::{CompiledModel, Engine, Health, Session};
+
+use stats::StatsInner;
+use ticket::TicketCell;
+use timer::Deadlines;
+
+/// One registered engine generation. Requests hold their admitted
+/// version alive across a hot-swap, so the swap never drops them.
+struct ModelVersion {
+    engine: Engine,
+    generation: u64,
+}
+
+/// A queued request: its input, its completion handle, the version that
+/// admitted it, and when — the latency clock starts at admission.
+struct PendingRequest {
+    input: Tensor,
+    cell: Arc<TicketCell>,
+    version: Arc<ModelVersion>,
+    admitted: Instant,
+}
+
+/// One model's admission queue plus the deadline arming sequence. A
+/// fired deadline whose seq no longer matches `armed_seq` is stale (its
+/// batch already flushed) and is dropped.
+struct PendingQueue {
+    items: VecDeque<PendingRequest>,
+    armed_seq: u64,
+}
+
+/// Everything the gateway holds per registered fingerprint.
+struct ModelEntry {
+    config: BatchConfig,
+    pending: Mutex<PendingQueue>,
+    current: RwLock<Arc<ModelVersion>>,
+    stats: StatsInner,
+}
+
+impl ModelEntry {
+    fn current_version(&self) -> Arc<ModelVersion> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Why a flush job was enqueued — attributed in the stats.
+#[derive(Debug, Clone, Copy)]
+enum FlushCause {
+    Size,
+    Deadline,
+}
+
+struct Job {
+    fingerprint: u64,
+    cause: FlushCause,
+}
+
+/// State shared by the gateway handle, the worker pool and the timer
+/// thread.
+struct Inner {
+    registry: RwLock<HashMap<u64, Arc<ModelEntry>>>,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    deadlines: Deadlines,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            registry: RwLock::new(HashMap::new()),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            deadlines: Deadlines::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn entry(&self, fingerprint: u64) -> Option<Arc<ModelEntry>> {
+        self.registry.read().unwrap_or_else(|e| e.into_inner()).get(&fingerprint).cloned()
+    }
+
+    fn enqueue(&self, job: Job) {
+        let mut jobs = lock_recover(&self.jobs);
+        jobs.push_back(job);
+        self.jobs_cv.notify_one();
+    }
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The adaptive batching gateway — see the [crate docs](self) for the
+/// serving model and the [example](self#example) for the submit/await
+/// flow.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// A gateway with the default worker pool (2 flush workers + the
+    /// timer thread).
+    pub fn new() -> Gateway {
+        Gateway::with_workers(2)
+    }
+
+    /// A gateway with `workers` flush workers (clamped to at least 1)
+    /// plus the timer thread. Workers are where batches execute; more
+    /// workers overlap flushes of different models on multi-core hosts.
+    pub fn with_workers(workers: usize) -> Gateway {
+        let inner = Arc::new(Inner::new());
+        let mut threads = Vec::new();
+        for i in 0..workers.max(1) {
+            let worker_inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gateway-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_inner))
+                    .expect("spawn gateway worker"),
+            );
+        }
+        let timer_inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name("gateway-timer".to_owned())
+                .spawn(move || timer_loop(&timer_inner))
+                .expect("spawn gateway timer"),
+        );
+        Gateway { inner, threads }
+    }
+
+    /// Registers `model` under its artifact fingerprint with the default
+    /// [`BatchConfig`], or **hot-swaps** it in if the fingerprint is
+    /// already registered. Returns the fingerprint (the submit key).
+    ///
+    /// A hot-swap atomically replaces the serving engine and bumps the
+    /// model's generation. Requests already admitted keep their
+    /// generation's engine (no drops, no mixed batches); requests
+    /// admitted after the swap are served by the new engine. The
+    /// original registration's `BatchConfig` stays in force.
+    pub fn register(&self, model: &CompiledModel) -> u64 {
+        self.register_with(model, BatchConfig::new())
+    }
+
+    /// [`Gateway::register`] with an explicit batching policy (ignored
+    /// on hot-swap — the first registration's policy stays).
+    pub fn register_with(&self, model: &CompiledModel, config: BatchConfig) -> u64 {
+        let fingerprint = model.fingerprint();
+        let engine = model.engine();
+        let mut registry = self.inner.registry.write().unwrap_or_else(|e| e.into_inner());
+        match registry.get(&fingerprint) {
+            Some(entry) => {
+                let mut current = entry.current.write().unwrap_or_else(|e| e.into_inner());
+                let generation = current.generation + 1;
+                *current = Arc::new(ModelVersion { engine, generation });
+            }
+            None => {
+                registry.insert(
+                    fingerprint,
+                    Arc::new(ModelEntry {
+                        config,
+                        pending: Mutex::new(PendingQueue { items: VecDeque::new(), armed_seq: 0 }),
+                        current: RwLock::new(Arc::new(ModelVersion { engine, generation: 0 })),
+                        stats: StatsInner::new(),
+                    }),
+                );
+            }
+        }
+        fingerprint
+    }
+
+    /// Submits one request for the model registered under `fingerprint`
+    /// and returns its completion [`Ticket`]. The request is validated
+    /// at the door, stamped with the current generation, and coalesced
+    /// with compatible requests into the next batch flush (early at
+    /// `max_batch`, by deadline at the batch window).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownModel`] for an unregistered fingerprint,
+    /// [`GatewayError::BadRequest`] when the input fails the model's
+    /// admission check, [`GatewayError::Overloaded`] when the model's
+    /// queue is at capacity, [`GatewayError::ShuttingDown`] after
+    /// shutdown began.
+    pub fn submit(&self, fingerprint: u64, input: Tensor) -> Result<Ticket, GatewayError> {
+        if self.inner.shutdown.load(Ordering::Relaxed) {
+            return Err(GatewayError::ShuttingDown);
+        }
+        let entry = self.inner.entry(fingerprint).ok_or(GatewayError::UnknownModel(fingerprint))?;
+        let version = entry.current_version();
+        version
+            .engine
+            .validate_input(&input)
+            .map_err(|e| GatewayError::BadRequest(e.to_string()))?;
+        let cell = TicketCell::new();
+        let (flush_now, arm) = {
+            let mut pending = lock_recover(&entry.pending);
+            if pending.items.len() >= entry.config.queue_cap {
+                entry.stats.reject();
+                return Err(GatewayError::Overloaded {
+                    fingerprint,
+                    queued: pending.items.len(),
+                    limit: entry.config.queue_cap,
+                });
+            }
+            pending.items.push_back(PendingRequest {
+                input,
+                cell: Arc::clone(&cell),
+                version,
+                admitted: Instant::now(),
+            });
+            entry.stats.admit();
+            let len = pending.items.len();
+            if len % entry.config.max_batch == 0 {
+                // A full batch is ready (or another multiple of one is
+                // backed up behind a busy worker): flush now. No
+                // deadline to arm — the batch is already leaving, and
+                // any leftover run re-arms its own window when drained.
+                (true, None)
+            } else if len == 1 {
+                // First of a new batch: open its SLO window.
+                pending.armed_seq += 1;
+                (false, Some((Instant::now() + entry.config.window, pending.armed_seq)))
+            } else {
+                (false, None)
+            }
+        };
+        if flush_now {
+            self.inner.enqueue(Job { fingerprint, cause: FlushCause::Size });
+        }
+        if let Some((at, seq)) = arm {
+            self.inner.deadlines.arm(at, fingerprint, seq);
+        }
+        Ok(Ticket { cell })
+    }
+
+    /// Submit-and-wait convenience: blocks the calling thread until the
+    /// request's batch flushes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Gateway::submit`] plus anything the serving
+    /// side reports through the ticket.
+    pub fn infer(&self, fingerprint: u64, input: Tensor) -> Result<Response, GatewayError> {
+        self.submit(fingerprint, input)?.wait()
+    }
+
+    /// A point-in-time statistics snapshot for one model, or `None` if
+    /// the fingerprint is unregistered.
+    pub fn stats(&self, fingerprint: u64) -> Option<ModelStats> {
+        let entry = self.inner.entry(fingerprint)?;
+        let generation = entry.current_version().generation;
+        Some(entry.stats.snapshot(generation))
+    }
+
+    /// Zeroes one model's statistics counters and latency samples —
+    /// registration, pending requests and the generation counter are
+    /// untouched. Returns `false` if the fingerprint is unregistered.
+    /// Useful for separating a warmup phase from a measured one.
+    pub fn reset_stats(&self, fingerprint: u64) -> bool {
+        match self.inner.entry(fingerprint) {
+            Some(entry) => {
+                entry.stats.reset();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The serving engine's fault-containment vitals for one model (the
+    /// current generation's engine), next to the gateway's own
+    /// [`stats`](Gateway::stats).
+    pub fn health(&self, fingerprint: u64) -> Option<Health> {
+        Some(self.inner.entry(fingerprint)?.current_version().engine.health())
+    }
+
+    /// The generation currently serving `fingerprint` (0 until the
+    /// first hot-swap).
+    pub fn generation(&self, fingerprint: u64) -> Option<u64> {
+        Some(self.inner.entry(fingerprint)?.current_version().generation)
+    }
+
+    /// The registered model fingerprints (unordered).
+    pub fn models(&self) -> Vec<u64> {
+        self.inner.registry.read().unwrap_or_else(|e| e.into_inner()).keys().copied().collect()
+    }
+
+    /// Stops the worker pool and the timer thread, waits for in-flight
+    /// flushes to complete, and answers every still-queued request with
+    /// [`GatewayError::ShuttingDown`] — nothing is dropped silently.
+    /// Dropping the gateway does the same.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.jobs_cv.notify_all();
+        self.inner.deadlines.interrupt();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        let registry = self.inner.registry.read().unwrap_or_else(|e| e.into_inner());
+        for entry in registry.values() {
+            let mut pending = lock_recover(&entry.pending);
+            for request in pending.items.drain(..) {
+                request.cell.fulfill(Err(GatewayError::ShuttingDown));
+            }
+        }
+    }
+}
+
+impl Default for Gateway {
+    fn default() -> Gateway {
+        Gateway::new()
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("models", &self.models().len())
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+/// Per-worker session cache: one warmed session per model, rebuilt when
+/// the generation it was warmed for is superseded (or when a contained
+/// panic may have dirtied it).
+#[derive(Default)]
+struct SessionCache {
+    sessions: HashMap<u64, (u64, Session)>,
+}
+
+impl SessionCache {
+    fn session_for(&mut self, fingerprint: u64, version: &Arc<ModelVersion>) -> &mut Session {
+        let slot = self
+            .sessions
+            .entry(fingerprint)
+            .or_insert_with(|| (version.generation, version.engine.session()));
+        if slot.0 != version.generation {
+            *slot = (version.generation, version.engine.session());
+        }
+        &mut slot.1
+    }
+
+    fn evict(&mut self, fingerprint: u64) {
+        self.sessions.remove(&fingerprint);
+    }
+}
+
+/// Flush workers: park on the job queue, drain and serve batches.
+fn worker_loop(inner: &Inner) {
+    let mut cache = SessionCache::default();
+    loop {
+        let job = {
+            let mut jobs = lock_recover(&inner.jobs);
+            loop {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = inner.jobs_cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        flush(inner, &job, &mut cache);
+    }
+}
+
+/// The timer thread: fires due batch windows by **enqueuing** flush
+/// jobs. Inference never runs here — see the [`timer`] module docs.
+fn timer_loop(inner: &Inner) {
+    while let Some((fingerprint, seq)) = inner.deadlines.next_due(&inner.shutdown) {
+        let Some(entry) = inner.entry(fingerprint) else { continue };
+        let due = {
+            let pending = lock_recover(&entry.pending);
+            pending.armed_seq == seq && !pending.items.is_empty()
+        };
+        if due {
+            inner.enqueue(Job { fingerprint, cause: FlushCause::Deadline });
+        }
+    }
+}
+
+/// Serves one flush job: drain a maximal same-generation FIFO run (at
+/// most `max_batch`), execute it as one fused batch, fulfill the
+/// tickets. The `gateway.flush` failpoint sits on the serve side so an
+/// injected delay blocks this worker — never the deadline wheel — and
+/// an injected panic is contained to this batch's tickets.
+fn flush(inner: &Inner, job: &Job, cache: &mut SessionCache) {
+    let Some(entry) = inner.entry(job.fingerprint) else { return };
+    let (run, rearm, more) = {
+        let mut pending = lock_recover(&entry.pending);
+        if pending.items.is_empty() {
+            return; // a stale job; its batch already flushed
+        }
+        let generation = pending.items[0].version.generation;
+        let n = pending
+            .items
+            .iter()
+            .take_while(|r| r.version.generation == generation)
+            .take(entry.config.max_batch)
+            .count();
+        let run: Vec<PendingRequest> = pending.items.drain(..n).collect();
+        let mut rearm = None;
+        let mut more = false;
+        if !pending.items.is_empty() {
+            // Leftovers (later arrivals or a different generation) start
+            // a fresh window; bumping the seq cancels any stale deadline
+            // still in the wheel for the batch just drained.
+            pending.armed_seq += 1;
+            rearm = Some((Instant::now() + entry.config.window, pending.armed_seq));
+            more = pending.items.len() >= entry.config.max_batch;
+        }
+        (run, rearm, more)
+    };
+    if let Some((at, seq)) = rearm {
+        inner.deadlines.arm(at, job.fingerprint, seq);
+    }
+    if more {
+        inner.enqueue(Job { fingerprint: job.fingerprint, cause: FlushCause::Size });
+    }
+
+    let version = Arc::clone(&run[0].version);
+    let batch = run.len();
+    let mut inputs = Vec::with_capacity(batch);
+    let mut metas = Vec::with_capacity(batch);
+    for request in run {
+        inputs.push(request.input);
+        metas.push((request.cell, request.admitted));
+    }
+    let mut outs: Vec<Tensor> = (0..batch).map(|_| Tensor::empty()).collect();
+    let session = cache.session_for(job.fingerprint, &version);
+    let served = catch_unwind(AssertUnwindSafe(|| -> Result<(), GatewayError> {
+        if let Some(faults::Injected::Error(msg)) = faults::hit(faults::GATEWAY_FLUSH) {
+            return Err(GatewayError::Inference(format!("injected flush fault: {msg}")));
+        }
+        session
+            .infer_batch_into(&inputs, &mut outs)
+            .map_err(|e| GatewayError::Inference(e.to_string()))
+    }));
+    match served {
+        Ok(Ok(())) => {
+            entry.stats.record_batch(batch, matches!(job.cause, FlushCause::Deadline));
+            for ((cell, admitted), output) in metas.into_iter().zip(outs) {
+                let latency = admitted.elapsed();
+                entry.stats.record_latency_us(latency.as_micros() as u64);
+                cell.fulfill(Ok(Response {
+                    output,
+                    generation: version.generation,
+                    batch_size: batch,
+                    latency,
+                }));
+            }
+        }
+        Ok(Err(err)) => {
+            for (cell, _) in metas {
+                cell.fulfill(Err(err.clone()));
+            }
+        }
+        Err(panic) => {
+            // The session may be mid-mutation: rebuild it next flush.
+            cache.evict(job.fingerprint);
+            let msg = panic_message(&panic);
+            for (cell, _) in metas {
+                cell.fulfill(Err(GatewayError::Inference(format!("flush panicked: {msg}"))));
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,81 @@
+//! Request completion: a submitted request hands back a [`Ticket`];
+//! whichever worker flushes its batch fulfills the ticket with a
+//! [`Response`] (or a typed error).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use pbqp_dnn::tensor::Tensor;
+
+use crate::GatewayError;
+
+/// One served request: the network output plus the serving provenance a
+/// multi-tenant caller cares about.
+#[derive(Debug)]
+pub struct Response {
+    /// The network output, in the serving plan's delivery layout.
+    pub output: Tensor,
+    /// The model generation that served this request — the one current
+    /// at admission, even if a hot-swap landed while the request was
+    /// queued.
+    pub generation: u64,
+    /// How many requests the flush coalesced this one with (1 = served
+    /// alone).
+    pub batch_size: usize,
+    /// Admission-to-completion latency.
+    pub latency: Duration,
+}
+
+/// The one-shot slot a worker fulfills and a caller awaits.
+pub(crate) struct TicketCell {
+    slot: Mutex<Option<Result<Response, GatewayError>>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    pub(crate) fn new() -> Arc<TicketCell> {
+        Arc::new(TicketCell { slot: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    /// Writes the result, first writer wins; later fulfillments (e.g. a
+    /// shutdown sweep racing a completing flush) are dropped.
+    pub(crate) fn fulfill(&self, result: Result<Response, GatewayError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(result);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A pending request's completion handle. Blocking [`Ticket::wait`]
+/// parks the calling thread until a flush worker serves the batch the
+/// request was coalesced into.
+pub struct Ticket {
+    pub(crate) cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the serving side reported: [`GatewayError::Inference`]
+    /// when the coalesced batch failed, [`GatewayError::ShuttingDown`]
+    /// when the gateway was torn down first.
+    pub fn wait(self) -> Result<Response, GatewayError> {
+        let mut slot = self.cell.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cell.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}

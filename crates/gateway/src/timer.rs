@@ -1,0 +1,95 @@
+//! The deadline wheel: a monotonic-clock min-heap of pending batch
+//! windows, drained by one dedicated timer thread.
+//!
+//! The timer thread **only enqueues flush jobs** — it never executes
+//! inference. A slow (or fault-delayed) flush therefore blocks a worker,
+//! never the wheel: other models' deadlines keep firing on time. That
+//! invariant is what the `gateway.flush` chaos suite pins down.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One armed batch window: fires `(fingerprint, seq)` at `at`. The seq
+/// lets a fire that arrives after its batch already flushed be
+/// recognized as stale and dropped.
+type Deadline = Reverse<(Instant, u64, u64)>;
+
+/// The shared wheel state: producers arm deadlines, the timer thread
+/// blocks on the earliest one.
+pub(crate) struct Deadlines {
+    heap: Mutex<BinaryHeap<Deadline>>,
+    cv: Condvar,
+}
+
+impl Deadlines {
+    pub(crate) fn new() -> Deadlines {
+        Deadlines { heap: Mutex::new(BinaryHeap::new()), cv: Condvar::new() }
+    }
+
+    /// Arms a deadline; wakes the timer thread if this one is now the
+    /// earliest.
+    pub(crate) fn arm(&self, at: Instant, fingerprint: u64, seq: u64) {
+        let mut heap = self.heap.lock().unwrap_or_else(|e| e.into_inner());
+        heap.push(Reverse((at, fingerprint, seq)));
+        self.cv.notify_one();
+    }
+
+    /// Wakes the timer thread so it can observe a shutdown flag.
+    pub(crate) fn interrupt(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the earliest deadline is due and returns its
+    /// `(fingerprint, seq)`, or `None` once `shutdown` is set.
+    pub(crate) fn next_due(&self, shutdown: &AtomicBool) -> Option<(u64, u64)> {
+        let mut heap = self.heap.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            match heap.peek() {
+                None => {
+                    heap = self.cv.wait(heap).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(Reverse((at, _, _))) => {
+                    let now = Instant::now();
+                    if *at <= now {
+                        let Reverse((_, fingerprint, seq)) = heap.pop().expect("peeked");
+                        return Some((fingerprint, seq));
+                    }
+                    let wait = *at - now;
+                    let (guard, _) =
+                        self.cv.wait_timeout(heap, wait).unwrap_or_else(|e| e.into_inner());
+                    heap = guard;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn earliest_deadline_fires_first() {
+        let wheel = Deadlines::new();
+        let now = Instant::now();
+        wheel.arm(now + Duration::from_millis(30), 2, 20);
+        wheel.arm(now + Duration::from_millis(5), 1, 10);
+        let shutdown = AtomicBool::new(false);
+        assert_eq!(wheel.next_due(&shutdown), Some((1, 10)));
+        assert_eq!(wheel.next_due(&shutdown), Some((2, 20)));
+    }
+
+    #[test]
+    fn shutdown_interrupts_an_idle_wheel() {
+        let wheel = Deadlines::new();
+        let shutdown = AtomicBool::new(true);
+        assert_eq!(wheel.next_due(&shutdown), None);
+    }
+}

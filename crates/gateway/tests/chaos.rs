@@ -1,0 +1,158 @@
+//! Chaos drills for the `gateway.flush` failpoint.
+//!
+//! The load-bearing invariants under an injected slow flush:
+//!
+//! 1. **Backpressure bounds hold** — the hammered model's queue never
+//!    grows past its cap; excess load is rejected with a typed
+//!    `Overloaded`, not buffered.
+//! 2. **The timer wheel is never stalled** — the timer thread only
+//!    enqueues flush jobs, so while every flush sleeps in a worker, a
+//!    *different* model's deadline flushes keep being scheduled and
+//!    (eventually) served. Nothing deadlocks; every admitted request
+//!    completes.
+//!
+//! Failpoints are process-global state and libtest runs tests in
+//! parallel threads, so every drill serializes on [`FAULT_LOCK`].
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pbqp_dnn::graph::models;
+use pbqp_dnn::prelude::*;
+use pbqp_dnn::{faults, CompiledModel};
+use pbqp_dnn_gateway::{BatchConfig, Gateway, GatewayError};
+
+/// Serializes the drills: armed failpoints are process-global.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn compile(net: &pbqp_dnn::graph::DnnGraph, seed: u64) -> CompiledModel {
+    let weights = Weights::random(net, seed);
+    Compiler::new(CompileOptions::new()).compile(net, &weights).expect("compiles")
+}
+
+#[test]
+fn slow_flushes_keep_backpressure_bounded_and_other_models_flushing() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let alex = models::micro_alexnet();
+    let mixed = models::micro_mixed();
+    let hammered = compile(&alex, 60);
+    let bystander = compile(&mixed, 61);
+    let (hc, hh, hw) = alex.infer_shapes().expect("shapes")[0];
+    let (bc, bh, bw) = mixed.infer_shapes().expect("shapes")[0];
+
+    let gateway = Gateway::with_workers(2);
+    let fp_hammered = gateway.register_with(
+        &hammered,
+        BatchConfig::new()
+            .with_max_batch(4)
+            .with_window(Duration::from_millis(1))
+            .with_queue_cap(8),
+    );
+    let fp_bystander = gateway.register_with(
+        &bystander,
+        BatchConfig::new().with_max_batch(4).with_window(Duration::from_millis(2)),
+    );
+
+    // Every flush — either model's — sleeps 25 ms in its worker.
+    faults::arm(faults::GATEWAY_FLUSH, "every:delay(25)").expect("arms");
+
+    // Open-loop hammer: submit far faster than delayed flushes can
+    // drain. Keep every admitted ticket; count the typed rejections.
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..120u64 {
+        match gateway.submit(fp_hammered, Tensor::random(hc, hh, hw, Layout::Chw, 1000 + i)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(GatewayError::Overloaded { queued, limit, .. }) => {
+                assert!(
+                    queued <= limit,
+                    "backpressure bound violated under slow flushes: {queued} queued > cap {limit}"
+                );
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+        // Interleave a bystander request every 12 submits; its window
+        // deadline must keep firing even while workers sleep.
+        if i % 12 == 0 {
+            tickets.push(
+                gateway
+                    .submit(fp_bystander, Tensor::random(bc, bh, bw, Layout::Chw, 2000 + i))
+                    .expect("the bystander's small queue never fills"),
+            );
+        }
+        std::thread::sleep(Duration::from_micros(300));
+    }
+
+    // With ≥25 ms per flush, 2 workers and ~36 ms of submission, the
+    // 8-deep queue must have overflowed — the drill is vacuous otherwise.
+    assert!(rejected > 0, "load was too light to exercise backpressure");
+
+    // Every admitted request completes: flushes are slow, never stuck.
+    for ticket in tickets {
+        ticket.wait().expect("admitted requests are served despite injected delays");
+    }
+    faults::disarm_all();
+
+    let hammered_stats = gateway.stats(fp_hammered).expect("registered");
+    assert_eq!(hammered_stats.rejected, rejected);
+    assert_eq!(
+        hammered_stats.served, hammered_stats.admitted,
+        "every admitted hammered request was served"
+    );
+
+    // The timer wheel stayed live: the bystander's lone requests can
+    // only flush by deadline, and they did — while every worker was
+    // repeatedly captive in 25 ms injected sleeps.
+    let bystander_stats = gateway.stats(fp_bystander).expect("registered");
+    assert_eq!(bystander_stats.served, bystander_stats.admitted);
+    assert!(bystander_stats.served >= 10);
+    assert!(
+        bystander_stats.flushed_by_deadline > 0,
+        "bystander deadlines must keep firing while flushes sleep"
+    );
+
+    // The injected delay is not a fault the engines should have seen.
+    assert!(gateway.health(fp_hammered).expect("registered").is_pristine());
+    assert!(gateway.health(fp_bystander).expect("registered").is_pristine());
+}
+
+#[test]
+fn injected_flush_errors_and_panics_fail_only_their_batch() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let net = models::micro_alexnet();
+    let model = compile(&net, 62);
+    let (c, h, w) = net.infer_shapes().expect("shapes")[0];
+    let gateway = Gateway::with_workers(1);
+    let fp = gateway.register_with(
+        &model,
+        BatchConfig::new().with_max_batch(2).with_window(Duration::from_millis(1)),
+    );
+
+    // First flush fails with an injected error; the gateway stays up.
+    faults::arm(faults::GATEWAY_FLUSH, "nth(1):error(injected outage)").expect("arms");
+    let err = gateway
+        .infer(fp, Tensor::random(c, h, w, Layout::Chw, 70))
+        .expect_err("first flush is poisoned");
+    assert!(
+        matches!(&err, GatewayError::Inference(msg) if msg.contains("injected outage")),
+        "got {err}"
+    );
+    let ok = gateway.infer(fp, Tensor::random(c, h, w, Layout::Chw, 71)).expect("recovered");
+    assert_eq!(ok.batch_size, 1);
+
+    // A panicking flush is contained to its batch's tickets too.
+    faults::arm(faults::GATEWAY_FLUSH, "nth(1):panic(flush blew up)").expect("arms");
+    let err = gateway
+        .infer(fp, Tensor::random(c, h, w, Layout::Chw, 72))
+        .expect_err("panicked flush fails its batch");
+    assert!(matches!(&err, GatewayError::Inference(msg) if msg.contains("panicked")), "got {err}");
+    faults::disarm_all();
+
+    // The worker survived the panic and serves on.
+    let ok = gateway.infer(fp, Tensor::random(c, h, w, Layout::Chw, 73)).expect("still serving");
+    assert_eq!(ok.generation, 0);
+    let stats = gateway.stats(fp).expect("registered");
+    assert_eq!(stats.admitted, 4);
+    assert_eq!(stats.served, 2, "the two poisoned batches failed, the two healthy ones served");
+}

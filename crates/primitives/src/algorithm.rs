@@ -89,6 +89,80 @@ pub trait ConvAlgorithm: Send + Sync {
         ws: &mut Workspace,
         out: &mut Tensor,
     ) -> Result<(), PrimitiveError>;
+
+    /// Whether [`ConvAlgorithm::execute_batch_into`] fuses a whole batch
+    /// into wider kernel calls — amortizing per-call kernel re-layouts
+    /// and GEMM packing across items — instead of looping them. The
+    /// runtime only routes a step through the batched entry point when
+    /// this is `true`; everything else batches at the schedule level.
+    fn fuses_batch(&self) -> bool {
+        false
+    }
+
+    /// Exact scratch one [`ConvAlgorithm::execute_batch_into`] call over
+    /// `batch` items carves, per arena. Defaults to the single-item
+    /// requirement: the provided per-item loop reuses the same scratch
+    /// for every item.
+    fn batch_workspace_req(&self, scenario: &ConvScenario, batch: usize) -> WorkspaceReq {
+        let _ = batch;
+        self.workspace_req(scenario)
+    }
+
+    /// Runs the convolution over `batch` independent inputs of the same
+    /// scenario — the cross-request coalescing entry point the serving
+    /// gateway's dynamic batches execute through.
+    ///
+    /// `input_of(i)` resolves the `i`-th input (a resolver rather than a
+    /// slice, so a caller holding each item in its own buffer set can
+    /// batch without assembling — and allocating — an operand vector);
+    /// `outs[i]` is re-shaped in place via [`Tensor::reuse_as`] and
+    /// receives the `i`-th output. `outs` must hold exactly `batch`
+    /// tensors.
+    ///
+    /// The provided default loops [`ConvAlgorithm::execute_into`] per
+    /// item (resetting `ws` between items). Overrides fuse the batch
+    /// into wider kernel calls; every item's result must stay
+    /// **bit-identical** to what `execute_into` produces for it alone.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ConvAlgorithm::execute_into`], checked per
+    /// item; [`PrimitiveError::ShapeMismatch`] when `outs.len() !=
+    /// batch`.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_batch_into<'a>(
+        &self,
+        batch: usize,
+        input_of: &dyn Fn(usize) -> &'a Tensor,
+        kernel: &KernelTensor,
+        scenario: &ConvScenario,
+        threads: usize,
+        ws: &mut Workspace,
+        outs: &mut [Tensor],
+    ) -> Result<(), PrimitiveError> {
+        check_batch_outs(self.descriptor(), batch, outs)?;
+        for (i, out) in outs.iter_mut().enumerate() {
+            ws.reset();
+            self.execute_into(input_of(i), kernel, scenario, threads, ws, out)?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates the `outs.len() == batch` contract of
+/// [`ConvAlgorithm::execute_batch_into`].
+pub(crate) fn check_batch_outs(
+    desc: &PrimitiveDescriptor,
+    batch: usize,
+    outs: &[Tensor],
+) -> Result<(), PrimitiveError> {
+    if outs.len() != batch {
+        return Err(PrimitiveError::ShapeMismatch {
+            primitive: desc.name.clone(),
+            detail: format!("batch of {batch} inputs but {} output slots", outs.len()),
+        });
+    }
+    Ok(())
 }
 
 /// Validates the common preconditions shared by every primitive.

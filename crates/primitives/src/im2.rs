@@ -84,18 +84,36 @@ impl Im2Conv {
     /// `[y0, y1)` (im2col order: patch element `(c, i, j)` is the row)
     /// into workspace-carved `b`.
     fn build_col(&self, input: &Tensor, s: &ConvScenario, y0: usize, y1: usize, b: &mut [f32]) {
+        let cols = (y1 - y0) * s.out_w();
+        self.build_col_at(input, s, y0, y1, b, cols, 0);
+    }
+
+    /// [`Im2Conv::build_col`] writing into a sub-block of a wider patch
+    /// matrix: rows have `row_stride` columns and this item's block
+    /// starts at column `col0` — how a fused batch stacks `B` items'
+    /// patch matrices side by side for one wide GEMM.
+    #[allow(clippy::too_many_arguments)]
+    fn build_col_at(
+        &self,
+        input: &Tensor,
+        s: &ConvScenario,
+        y0: usize,
+        y1: usize,
+        b: &mut [f32],
+        row_stride: usize,
+        col0: usize,
+    ) {
         let ow = s.out_w();
-        let cols = (y1 - y0) * ow;
         for c in 0..s.c {
             for i in 0..s.k {
                 for j in 0..s.k {
                     let r = (c * s.k + i) * s.k + j;
-                    let row = &mut b[r * cols..(r + 1) * cols];
+                    let base = r * row_stride + col0;
                     for y in y0..y1 {
                         let iy = (y * s.stride + i) as isize - s.pad as isize;
                         for x in 0..ow {
                             let ix = (x * s.stride + j) as isize - s.pad as isize;
-                            row[(y - y0) * ow + x] = padded_at(input, c, iy, ix);
+                            b[base + (y - y0) * ow + x] = padded_at(input, c, iy, ix);
                         }
                     }
                 }
@@ -164,6 +182,47 @@ impl Im2Conv {
             }
             Im2Shape::ColStrip8 => (ckk * 8 * ow, 0, s.m * 8 * ow),
             Im2Shape::RowStrip8 => (8 * ow * ckk, s.m * ckk, 0),
+        }
+    }
+
+    /// `(b_elems, a_elems, c_elems)` scratch partition of one **fused**
+    /// batched execute over `batch` items: the stacked Toeplitz matrix,
+    /// the (once-per-batch) kernel re-layout, and the wide GEMM staging
+    /// output that is scattered back into per-item tensors.
+    fn batch_scratch_parts(&self, s: &ConvScenario, batch: usize) -> (usize, usize, usize) {
+        let p = s.out_h() * s.out_w();
+        let ckk = s.c * s.k * s.k;
+        match self.shape {
+            Im2Shape::Col | Im2Shape::ColFromHcw | Im2Shape::ColToHwc => (
+                ckk * p * batch,
+                if self.kernel_transposed { s.m * ckk } else { 0 },
+                s.m * p * batch,
+            ),
+            Im2Shape::Row | Im2Shape::RowToChw => {
+                let a = s.m * ckk * if self.kernel_transposed { 1 } else { 2 };
+                (p * batch * ckk, a, p * batch * s.m)
+            }
+            // Strip-mined variants keep their bounded workspace and loop
+            // per item instead of fusing.
+            Im2Shape::ColStrip8 | Im2Shape::RowStrip8 => self.scratch_parts(s),
+        }
+    }
+
+    /// GEMM packing scratch of the one wide call a fused batch makes.
+    fn batch_gemm_scratch(&self, s: &ConvScenario, gemm: &Gemm, batch: usize) -> usize {
+        let p = s.out_h() * s.out_w();
+        let ckk = s.c * s.k * s.k;
+        let kt = self.kernel_transposed;
+        match self.shape {
+            Im2Shape::Col | Im2Shape::ColFromHcw | Im2Shape::ColToHwc => {
+                let ta = if kt { Trans::T } else { Trans::N };
+                gemm.scratch_elems(ta, Trans::N, s.m, p * batch, ckk)
+            }
+            Im2Shape::Row | Im2Shape::RowToChw => {
+                let tb = if kt { Trans::T } else { Trans::N };
+                gemm.scratch_elems(Trans::N, tb, p * batch, s.m, ckk)
+            }
+            Im2Shape::ColStrip8 | Im2Shape::RowStrip8 => self.gemm_scratch(s, gemm),
         }
     }
 
@@ -369,6 +428,150 @@ impl ConvAlgorithm for Im2Conv {
         ws.reals.release(mark);
         Ok(())
     }
+
+    fn fuses_batch(&self) -> bool {
+        !matches!(self.shape, Im2Shape::ColStrip8 | Im2Shape::RowStrip8)
+    }
+
+    fn batch_workspace_req(&self, s: &ConvScenario, batch: usize) -> WorkspaceReq {
+        if !self.fuses_batch() || batch <= 1 {
+            return self.workspace_req(s);
+        }
+        let (b, a, c) = self.batch_scratch_parts(s, batch);
+        let gemm = Gemm::new(self.gemm);
+        WorkspaceReq::f32s(b + a + c + self.batch_gemm_scratch(s, &gemm, batch))
+    }
+
+    /// The fused batch path: all `batch` items' Toeplitz matrices are
+    /// stacked into one wide patch matrix (columns for the im2col
+    /// shapes, rows for im2row) and multiplied against the kernel in a
+    /// **single GEMM** — the kernel re-layout/transpose happens once per
+    /// batch instead of once per item, and the GEMM's packed panels are
+    /// amortized over every item. Each item's slice of the wide result
+    /// is bit-identical to its single-item [`Im2Conv::execute_into`]
+    /// output: stacking only widens the GEMM's independent dimension and
+    /// never reorders any element's k-accumulation.
+    fn execute_batch_into<'a>(
+        &self,
+        batch: usize,
+        input_of: &dyn Fn(usize) -> &'a Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+        ws: &mut Workspace,
+        outs: &mut [Tensor],
+    ) -> Result<(), PrimitiveError> {
+        crate::algorithm::check_batch_outs(&self.desc, batch, outs)?;
+        if !self.fuses_batch() || batch <= 1 {
+            for (i, out) in outs.iter_mut().enumerate() {
+                ws.reset();
+                self.execute_into(input_of(i), kernel, s, threads, ws, out)?;
+            }
+            return Ok(());
+        }
+        for i in 0..batch {
+            check_args(&self.desc, true, input_of(i), kernel, s)?;
+        }
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let p = oh * ow;
+        let ckk = s.c * s.k * s.k;
+        let gemm = Gemm::new(self.gemm).threads(threads);
+        for out in outs.iter_mut() {
+            out.reuse_as(s.m, oh, ow, self.desc.output_layout);
+        }
+
+        let mark = ws.reals.mark();
+        let (b_elems, a_elems, c_elems) = self.batch_scratch_parts(s, batch);
+        let [b, a, c, gbuf] =
+            ws.reals.take([b_elems, a_elems, c_elems, self.batch_gemm_scratch(s, &gemm, batch)]);
+
+        match self.shape {
+            Im2Shape::Col | Im2Shape::ColFromHcw | Im2Shape::ColToHwc => {
+                // Items side by side: one (C·K²) × (B·OH·OW) matrix.
+                let n = p * batch;
+                for i in 0..batch {
+                    self.build_col_at(input_of(i), s, 0, oh, b, n, i * p);
+                }
+                if self.kernel_transposed {
+                    transpose_into(kernel.data(), s.m, ckk, a);
+                    gemm.run_with_scratch(Trans::T, Trans::N, s.m, n, ckk, a, b, 0.0, c, gbuf);
+                } else {
+                    gemm.run_with_scratch(
+                        Trans::N,
+                        Trans::N,
+                        s.m,
+                        n,
+                        ckk,
+                        kernel.data(),
+                        b,
+                        0.0,
+                        c,
+                        gbuf,
+                    );
+                }
+                for (i, out) in outs.iter_mut().enumerate() {
+                    let data = out.data_mut();
+                    if self.shape == Im2Shape::ColToHwc {
+                        for m in 0..s.m {
+                            let row = &c[m * n + i * p..m * n + (i + 1) * p];
+                            for (pp, &v) in row.iter().enumerate() {
+                                data[pp * s.m + m] = v;
+                            }
+                        }
+                    } else {
+                        for m in 0..s.m {
+                            data[m * p..(m + 1) * p]
+                                .copy_from_slice(&c[m * n + i * p..m * n + (i + 1) * p]);
+                        }
+                    }
+                }
+            }
+            Im2Shape::Row | Im2Shape::RowToChw => {
+                // Items stacked vertically: one (B·OH·OW) × (K²·C)
+                // matrix — contiguous per item, so the single-item
+                // builder writes each block in place.
+                let rows = p * batch;
+                for i in 0..batch {
+                    self.build_row(input_of(i), s, 0, oh, &mut b[i * p * ckk..(i + 1) * p * ckk]);
+                }
+                let (akkc, at) = a.split_at_mut(s.m * ckk);
+                self.kernel_kkc(kernel, s, akkc);
+                if self.kernel_transposed {
+                    gemm.run_with_scratch(
+                        Trans::N,
+                        Trans::T,
+                        rows,
+                        s.m,
+                        ckk,
+                        b,
+                        akkc,
+                        0.0,
+                        c,
+                        gbuf,
+                    );
+                } else {
+                    transpose_into(akkc, s.m, ckk, at);
+                    gemm.run_with_scratch(Trans::N, Trans::N, rows, s.m, ckk, b, at, 0.0, c, gbuf);
+                }
+                for (i, out) in outs.iter_mut().enumerate() {
+                    let data = out.data_mut();
+                    let blk = &c[i * p * s.m..(i + 1) * p * s.m];
+                    if self.shape == Im2Shape::Row {
+                        data.copy_from_slice(blk);
+                    } else {
+                        for pp in 0..p {
+                            for m in 0..s.m {
+                                data[m * p + pp] = blk[pp * s.m + m];
+                            }
+                        }
+                    }
+                }
+            }
+            Im2Shape::ColStrip8 | Im2Shape::RowStrip8 => unreachable!("strip variants do not fuse"),
+        }
+        ws.reals.release(mark);
+        Ok(())
+    }
 }
 
 /// All im2-family primitives for the registry.
@@ -446,5 +649,45 @@ mod tests {
     #[test]
     fn family_size() {
         assert_eq!(all().len(), 17);
+    }
+
+    #[test]
+    fn fused_batch_is_bit_identical_to_per_item_execution() {
+        for prim in all() {
+            for s in scenarios() {
+                let lin = prim.descriptor().input_layout;
+                let inputs: Vec<Tensor> = (0..5)
+                    .map(|i| Tensor::random(s.c, s.h, s.w, Layout::Chw, 100 + i).to_layout(lin))
+                    .collect();
+                let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 23);
+                let mut ws = Workspace::with_req(prim.batch_workspace_req(&s, inputs.len()));
+                let mut outs: Vec<Tensor> = (0..inputs.len()).map(|_| Tensor::empty()).collect();
+                let get = |i: usize| &inputs[i];
+                prim.execute_batch_into(inputs.len(), &get, &kernel, &s, 1, &mut ws, &mut outs)
+                    .unwrap();
+                for (input, out) in inputs.iter().zip(&outs) {
+                    let solo = prim.execute(input, &kernel, &s, 1).unwrap();
+                    assert_eq!(
+                        solo.data(),
+                        out.data(),
+                        "{} on {s}: fused batch diverged from per-item bits",
+                        prim.descriptor().name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_outs_len_mismatch_is_a_typed_error() {
+        let prim = Im2Conv::new("x", Im2Shape::Col, GemmKind::Packed, false);
+        let s = ConvScenario::new(3, 8, 9, 1, 3, 4);
+        let input = Tensor::random(s.c, s.h, s.w, Layout::Chw, 1);
+        let kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 2);
+        let mut ws = Workspace::new();
+        let mut outs = vec![Tensor::empty(); 2];
+        let get = |_: usize| &input;
+        let err = prim.execute_batch_into(3, &get, &kernel, &s, 1, &mut ws, &mut outs).unwrap_err();
+        assert!(matches!(err, PrimitiveError::ShapeMismatch { .. }));
     }
 }

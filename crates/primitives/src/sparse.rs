@@ -114,6 +114,36 @@ fn spmm_add_csr(
     }
 }
 
+/// Builds the `(C·K²) × cols` im2col patch matrix of one image into a
+/// (possibly wider) row-major buffer: rows have `row_stride` columns and
+/// this image's block starts at `col0` — shared by the single-item
+/// execute (`row_stride == cols`, `col0 == 0`) and the fused batch path,
+/// which stacks several images' patch matrices side by side.
+fn build_patch_cols(
+    input: &Tensor,
+    s: &ConvScenario,
+    b: &mut [f32],
+    row_stride: usize,
+    col0: usize,
+) {
+    let (oh, ow) = (s.out_h(), s.out_w());
+    for c in 0..s.c {
+        for i in 0..s.k {
+            for j in 0..s.k {
+                let r = (c * s.k + i) * s.k + j;
+                let base = r * row_stride + col0;
+                for y in 0..oh {
+                    let iy = (y * s.stride + i) as isize - s.pad as isize;
+                    for x in 0..ow {
+                        let ix = (x * s.stride + j) as isize - s.pad as isize;
+                        b[base + y * ow + x] = padded_at(input, c, iy, ix);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Which dense family the sparse routine mirrors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum SparseVariant {
@@ -200,21 +230,7 @@ impl ConvAlgorithm for SparseConv {
                 // Kernel storage order is exactly M × (C·K²).
                 fill_csr(kernel.data(), s.m, ckk, row_ptr, col_idx, values);
                 let cols = oh * ow;
-                for c in 0..s.c {
-                    for i in 0..s.k {
-                        for j in 0..s.k {
-                            let r = (c * s.k + i) * s.k + j;
-                            let row = &mut b[r * cols..(r + 1) * cols];
-                            for y in 0..oh {
-                                let iy = (y * s.stride + i) as isize - s.pad as isize;
-                                for x in 0..ow {
-                                    let ix = (x * s.stride + j) as isize - s.pad as isize;
-                                    row[y * ow + x] = padded_at(input, c, iy, ix);
-                                }
-                            }
-                        }
-                    }
-                }
+                build_patch_cols(input, s, b, cols, 0);
                 spmm_add_csr(s.m, row_ptr, col_idx, values, b, cols, out.data_mut());
             }
             SparseVariant::Kn2row => {
@@ -264,6 +280,81 @@ impl ConvAlgorithm for SparseConv {
         ws.indices.release(imark);
         Ok(())
     }
+
+    fn fuses_batch(&self) -> bool {
+        self.variant == SparseVariant::Im2col
+    }
+
+    fn batch_workspace_req(&self, s: &ConvScenario, batch: usize) -> WorkspaceReq {
+        if !self.fuses_batch() || batch <= 1 {
+            return self.workspace_req(s);
+        }
+        let ckk = s.c * s.k * s.k;
+        let p = s.out_h() * s.out_w();
+        WorkspaceReq {
+            f32_elems: ckk * p * batch + s.m * ckk + s.m * p * batch,
+            index_elems: (s.m + 1) + s.m * ckk,
+            ..WorkspaceReq::ZERO
+        }
+    }
+
+    /// Fused batch path for the im2col variant: the CSR structure is
+    /// built **once per batch** instead of once per item (the dense
+    /// kernel scan is pure per-call overhead), and all items' patch
+    /// matrices stack into one wide sparse × dense multiply. Per-item
+    /// results are bit-identical to [`SparseConv::execute_into`]: the
+    /// per-element accumulation order over stored non-zeros does not
+    /// depend on which columns sit beside an item's block.
+    fn execute_batch_into<'a>(
+        &self,
+        batch: usize,
+        input_of: &dyn Fn(usize) -> &'a Tensor,
+        kernel: &KernelTensor,
+        s: &ConvScenario,
+        threads: usize,
+        ws: &mut Workspace,
+        outs: &mut [Tensor],
+    ) -> Result<(), PrimitiveError> {
+        crate::algorithm::check_batch_outs(&self.desc, batch, outs)?;
+        if !self.fuses_batch() || batch <= 1 {
+            for (i, out) in outs.iter_mut().enumerate() {
+                ws.reset();
+                self.execute_into(input_of(i), kernel, s, threads, ws, out)?;
+            }
+            return Ok(());
+        }
+        for i in 0..batch {
+            check_args(&self.desc, self.supports(s), input_of(i), kernel, s)?;
+        }
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let p = oh * ow;
+        let ckk = s.c * s.k * s.k;
+        for out in outs.iter_mut() {
+            out.reuse_as(s.m, oh, ow, Layout::Chw);
+        }
+        let fmark = ws.reals.mark();
+        let imark = ws.indices.mark();
+        let [b, values, c] = ws.reals.take([ckk * p * batch, s.m * ckk, s.m * p * batch]);
+        let [row_ptr, col_idx] = ws.indices.take([s.m + 1, s.m * ckk]);
+        fill_csr(kernel.data(), s.m, ckk, row_ptr, col_idx, values);
+        let cols = p * batch;
+        for i in 0..batch {
+            build_patch_cols(input_of(i), s, b, cols, i * p);
+        }
+        // Arena carves are zero-filled, so the accumulate-into contract
+        // holds for the staging output exactly as for a fresh tensor.
+        spmm_add_csr(s.m, row_ptr, col_idx, values, b, cols, c);
+        for (i, out) in outs.iter_mut().enumerate() {
+            let data = out.data_mut();
+            for m in 0..s.m {
+                data[m * p..(m + 1) * p]
+                    .copy_from_slice(&c[m * cols + i * p..m * cols + (i + 1) * p]);
+            }
+        }
+        ws.reals.release(fmark);
+        ws.indices.release(imark);
+        Ok(())
+    }
 }
 
 /// All sparse-family primitives for the registry.
@@ -305,6 +396,41 @@ mod tests {
         let mut c = [0.0f32; 4];
         csr.spmm_add(&b, 2, &mut c);
         assert_eq!(c, [1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn fused_batch_is_bit_identical_to_per_item_execution() {
+        let batch = 5usize;
+        let scenarios = [
+            ConvScenario::new(4, 9, 9, 1, 3, 5).with_sparsity_pm(700),
+            ConvScenario::new(2, 11, 11, 2, 3, 3).with_pad(0).with_sparsity_pm(500),
+            ConvScenario::new(3, 8, 8, 1, 1, 6).with_sparsity_pm(900),
+        ];
+        for prim in all() {
+            for (si, s) in scenarios.iter().enumerate() {
+                if !prim.supports(s) {
+                    continue;
+                }
+                let mut kernel = KernelTensor::random(s.m, s.c, s.k, s.k, 40 + si as u64);
+                kernel.sparsify(s.sparsity(), 41 + si as u64);
+                let inputs: Vec<Tensor> = (0..batch)
+                    .map(|i| Tensor::random(s.c, s.h, s.w, Layout::Chw, 100 + (si * 10 + i) as u64))
+                    .collect();
+                let mut ws = Workspace::new();
+                let mut outs: Vec<Tensor> = (0..batch).map(|_| Tensor::empty()).collect();
+                prim.execute_batch_into(batch, &|i| &inputs[i], &kernel, s, 1, &mut ws, &mut outs)
+                    .unwrap();
+                for (i, out) in outs.iter().enumerate() {
+                    let solo = prim.execute(&inputs[i], &kernel, s, 1).unwrap();
+                    assert_eq!(
+                        solo.data(),
+                        out.data(),
+                        "{} scenario #{si} item {i}: fused batch diverged from solo run",
+                        prim.descriptor().name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

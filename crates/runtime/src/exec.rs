@@ -205,6 +205,48 @@ pub struct ExecBuffers {
     wave_ws: Vec<Workspace>,
 }
 
+/// Per-item buffer sets plus the shared fused-batch scratch for one
+/// caller running dynamic batches through
+/// [`Schedule::run_batch_fused_into`] — the buffer half of cross-request
+/// coalescing.
+///
+/// Each batch item owns a full [`ExecBuffers`] (its activations stay
+/// live independently across the level-major walk); fused conv steps
+/// additionally carve their stacked patch matrices and wide-GEMM staging
+/// from the one shared [`Workspace`]. Sets, workspace and the output
+/// staging vector all grow to the high-watermark batch size once and are
+/// reused afterwards, so a warmed serving loop batches without heap
+/// allocations.
+#[derive(Default)]
+pub struct BatchBuffers {
+    /// One buffer set per in-flight batch item.
+    sets: Vec<ExecBuffers>,
+    /// Shared scratch for fused (cross-item) primitive calls.
+    ws: Workspace,
+    /// Staging for per-item output tensors taken out of their pools
+    /// while a fused step borrows every set immutably.
+    staged: Vec<Tensor>,
+}
+
+impl BatchBuffers {
+    /// An empty set; capacities settle on first use.
+    pub fn new() -> BatchBuffers {
+        BatchBuffers::default()
+    }
+
+    /// Grows to serve `batch` items of `schedule`: missing per-item
+    /// buffer sets are materialized and the fused workspace is reserved
+    /// to the peak fused-step requirement. Idempotent at or below the
+    /// current watermark.
+    pub fn ensure(&mut self, schedule: &Schedule, batch: usize) {
+        if self.sets.len() < batch {
+            self.sets.resize_with(batch, || schedule.make_buffers());
+            self.ws.reserve(schedule.batch_ws_req(batch));
+            self.staged.reserve(batch);
+        }
+    }
+}
+
 /// A plan compiled against its graph, registry and weights: topological
 /// step order, wavefront levels, every per-run lookup (primitive
 /// resolution, edge chains, weight references) hoisted out of the
@@ -570,6 +612,138 @@ impl Schedule {
             self.execute_serial(input, par.intra_op, bufs)?;
         }
         self.finish_output(bufs, out)
+    }
+
+    /// Peak fused-batch workspace across the schedule's batch-fusing
+    /// conv steps for `batch` simultaneous items (the shared-scratch
+    /// half of [`BatchBuffers`]; per-item steps use each set's own
+    /// workspace).
+    pub fn batch_ws_req(&self, batch: usize) -> pbqp_dnn_primitives::WorkspaceReq {
+        let mut req = pbqp_dnn_primitives::WorkspaceReq::ZERO;
+        for step in &self.steps {
+            if let StepOp::Conv { prim, scenario, .. } = &step.op {
+                if prim.fuses_batch() {
+                    req = req.max(prim.batch_workspace_req(scenario, batch));
+                }
+            }
+        }
+        req
+    }
+
+    /// Runs a whole batch of independent inputs through the schedule
+    /// **level-major**, fusing compatible conv steps across items: where
+    /// the selected primitive supports it (the im2col/im2row GEMM
+    /// family), all items' patch matrices stack into one wide GEMM call,
+    /// amortizing kernel re-layouts and packed panels over the batch —
+    /// the mechanism that makes dynamic request coalescing beat
+    /// per-request serving on throughput. Every other step (ops, layout
+    /// conversions, non-fusing primitives) runs per item in input order.
+    ///
+    /// `outs[i]` receives item `i`'s output via its recycled storage.
+    /// Results are **bit-identical** per item to [`Schedule::run_into`]:
+    /// fusing only widens a GEMM's independent dimension and never
+    /// reorders any element's accumulation.
+    ///
+    /// Panics at kernel dispatch (real or injected) are contained
+    /// exactly like the serial path's, with the same (node, kernel)
+    /// attribution.
+    ///
+    /// # Errors
+    ///
+    /// Validates every input up front (one malformed member fails the
+    /// batch before anything executes) and propagates the first
+    /// execution error.
+    pub fn run_batch_fused_into(
+        &self,
+        inputs: &[Tensor],
+        bufs: &mut BatchBuffers,
+        outs: &mut [Tensor],
+        intra_op: usize,
+    ) -> Result<(), RuntimeError> {
+        for input in inputs {
+            self.check_input(input)?;
+        }
+        if outs.len() != inputs.len() {
+            return Err(RuntimeError::BadInput(format!(
+                "batch of {} inputs but {} output slots",
+                inputs.len(),
+                outs.len()
+            )));
+        }
+        bufs.ensure(self, inputs.len());
+        for step in &self.steps {
+            self.eval_batch_step(step, inputs, bufs, intra_op)?;
+        }
+        for (set, out) in bufs.sets.iter_mut().zip(outs.iter_mut()) {
+            self.finish_output(set, out)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates one step for every batch item: through the fused
+    /// batched primitive entry point when the step's primitive supports
+    /// it and the batch is real, per item otherwise.
+    fn eval_batch_step(
+        &self,
+        step: &Step,
+        inputs: &[Tensor],
+        bufs: &mut BatchBuffers,
+        intra_op: usize,
+    ) -> Result<(), RuntimeError> {
+        let batch = inputs.len();
+        let fuse = batch > 1 && matches!(&step.op, StepOp::Conv { prim, .. } if prim.fuses_batch());
+        if !fuse {
+            for (i, input) in inputs.iter().enumerate() {
+                self.eval_into(step, &mut bufs.sets[i], input, intra_op)?;
+            }
+            return Ok(());
+        }
+        let StepOp::Conv { prim, kernel, scenario } = &step.op else { unreachable!() };
+        for (i, input) in inputs.iter().enumerate() {
+            let set = &mut bufs.sets[i];
+            self.run_conversions(step, &set.values, &mut set.convs, input)?;
+        }
+        // Take every item's output slot out of its pool so all sets can
+        // then be borrowed immutably as the fused call's inputs
+        // (liveness guarantees no live predecessor shares the slot).
+        let BatchBuffers { sets, ws, staged } = bufs;
+        staged.clear();
+        for set in sets[..batch].iter_mut() {
+            staged.push(std::mem::replace(&mut set.values[step.out_buf], Tensor::empty()));
+        }
+        let sets_ro: &[ExecBuffers] = &sets[..batch];
+        let pe = &step.preds[0];
+        let resolve = |i: usize| -> &Tensor {
+            match pe.chain.len() {
+                0 => &sets_ro[i].values[pe.buf],
+                l => &sets_ro[i].convs[pe.conv_base + l - 1],
+            }
+        };
+        ws.reset();
+        let contained = catch_unwind(AssertUnwindSafe(|| -> Result<(), RuntimeError> {
+            if let Some(faults::Injected::Error(msg)) = faults::hit(faults::KERNEL_DISPATCH) {
+                return Err(RuntimeError::KernelFailed {
+                    node: step.name.clone(),
+                    kernel: prim.descriptor().name.clone(),
+                    message: msg,
+                });
+            }
+            prim.execute_batch_into(batch, &resolve, kernel, scenario, intra_op, ws, staged)?;
+            Ok(())
+        }));
+        // Commit every slot back before surfacing errors so the pools
+        // stay intact.
+        for (set, out) in bufs.sets[..batch].iter_mut().zip(bufs.staged.drain(..)) {
+            set.values[step.out_buf] = out;
+        }
+        match contained {
+            Ok(r) => r,
+            Err(p) => Err(RuntimeError::KernelPanicked {
+                node: step.name.clone(),
+                kernel: prim.descriptor().name.clone(),
+                message: faults::panic_message(p),
+            }),
+        }
     }
 
     /// Validates a network input — canonical CHW layout, the compiled
@@ -1405,6 +1579,70 @@ mod tests {
                 assert_eq!(one.data(), out.data(), "{par}");
             }
         }
+    }
+
+    #[test]
+    fn fused_batch_run_is_bit_identical_to_serial_across_models() {
+        use pbqp_dnn_graph::models;
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let opt = Optimizer::new(&reg, &cost);
+        for (net, seed) in [
+            (mini_inception(), 71),
+            (models::micro_mixed(), 72),
+            (models::micro_alexnet(), 73),
+            (models::micro_resnet(), 74),
+        ] {
+            let plan = opt.plan(&net, Strategy::Pbqp).unwrap();
+            let weights = Weights::random(&net, seed);
+            let schedule = Schedule::compile(&net, &plan, &reg, &weights).unwrap();
+            let (c, h, w) = net.infer_shapes().unwrap()[0];
+            let mut bufs = BatchBuffers::new();
+            // Varying batch sizes across rounds: the buffer sets and the
+            // fused workspace grow to the watermark and recycle.
+            for (round, batch) in [4usize, 1, 7, 3].into_iter().enumerate() {
+                let inputs: Vec<Tensor> = (0..batch)
+                    .map(|i| {
+                        Tensor::random(c, h, w, Layout::Chw, seed * 100 + (round * 10 + i) as u64)
+                    })
+                    .collect();
+                let mut outs = vec![Tensor::empty(); batch];
+                schedule.run_batch_fused_into(&inputs, &mut bufs, &mut outs, 1).unwrap();
+                let mut solo_bufs = schedule.make_buffers();
+                let mut solo = Tensor::empty();
+                for (input, out) in inputs.iter().zip(&outs) {
+                    schedule
+                        .run_into(input, &mut solo_bufs, &mut solo, Parallelism::serial())
+                        .unwrap();
+                    assert_eq!(
+                        solo.data(),
+                        out.data(),
+                        "fused batch diverged from serial (round {round}, batch {batch})"
+                    );
+                    assert_eq!(solo.layout(), out.layout());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_run_rejects_mismatched_outs_and_bad_members() {
+        let net = mini_inception();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let plan = Optimizer::new(&reg, &cost).plan(&net, Strategy::Pbqp).unwrap();
+        let weights = Weights::random(&net, 81);
+        let schedule = Schedule::compile(&net, &plan, &reg, &weights).unwrap();
+        let mut bufs = BatchBuffers::new();
+        let good = Tensor::random(4, 12, 12, Layout::Chw, 1);
+        let bad = Tensor::random(4, 9, 9, Layout::Chw, 2);
+        let mut outs = vec![Tensor::empty(); 2];
+        let err = schedule
+            .run_batch_fused_into(&[good.clone(), bad], &mut bufs, &mut outs, 1)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::BadInput(_)), "{err}");
+        let err = schedule.run_batch_fused_into(&[good], &mut bufs, &mut outs, 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::BadInput(_)), "{err}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`BUFFER_CHECKOUT`] | executor buffer-pool checkout (inside the pool lock) |
 //! | [`SCHEDULE_COMPILE`] | `Schedule::compile` entry |
 //! | [`ARTIFACT_READ`] | the compiled-artifact load path (facade) |
+//! | [`GATEWAY_FLUSH`] | serving-gateway batch flush, before the fused batch executes |
 //!
 //! # Spec syntax
 //!
@@ -82,10 +83,16 @@ pub const SCHEDULE_COMPILE: &str = "schedule.compile";
 /// The compiled-artifact load path (`CompiledModel::load` in the
 /// facade) — the one site where `short-read(n)` truncates real bytes.
 pub const ARTIFACT_READ: &str = "artifact.read";
+/// The serving gateway's batch flush, evaluated on the worker thread
+/// just before a coalesced batch executes — `delay(ms)` here models a
+/// slow flush (the chaos suite proves it cannot stall the timer wheel
+/// or breach backpressure bounds), `error`/`panic` model a flush that
+/// fails after requests were admitted.
+pub const GATEWAY_FLUSH: &str = "gateway.flush";
 
 /// Every registered failpoint site, for exhaustive chaos sweeps.
 pub const SITES: &[&str] =
-    &[KERNEL_DISPATCH, QUANT_EDGE, BUFFER_CHECKOUT, SCHEDULE_COMPILE, ARTIFACT_READ];
+    &[KERNEL_DISPATCH, QUANT_EDGE, BUFFER_CHECKOUT, SCHEDULE_COMPILE, ARTIFACT_READ, GATEWAY_FLUSH];
 
 /// Sentinel: the env var has not been consulted yet.
 const UNINIT: usize = usize::MAX;

@@ -94,6 +94,6 @@ pub mod faults;
 mod par;
 mod weights;
 
-pub use exec::{reference_forward, ExecBuffers, Executor, RuntimeError, Schedule};
+pub use exec::{reference_forward, BatchBuffers, ExecBuffers, Executor, RuntimeError, Schedule};
 pub use par::Parallelism;
 pub use weights::Weights;

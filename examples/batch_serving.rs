@@ -1,22 +1,24 @@
-//! Batched serving through the front door: one shared [`Engine`], one
-//! [`Session`] per worker thread.
+//! Batched serving through the gateway: one [`Gateway`] coalescing many
+//! concurrent callers into fused batch inference under a latency SLO.
 //!
 //! A serving process receives many requests for the same model. The
 //! compiler pays the PBQP solve once (and memoizes it by artifact
-//! fingerprint), the engine shares the compiled schedule across threads,
-//! and each worker's session serves its slice of the batch out of its
-//! own warmed buffers — bit-identical to the serial reference, as
-//! always. The low-level `Executor` batch API remains available and is
-//! cross-checked at the end.
+//! fingerprint); the gateway admits requests into a bounded queue,
+//! coalesces whatever arrives inside the batching window into one fused
+//! [`Session::infer_batch`] call, and answers every ticket with the
+//! generation that admitted it — bit-identical to the serial reference,
+//! as always. The manual thread-per-slice pattern this example used to
+//! demonstrate is still available (the gateway is built on it), but the
+//! gateway is the front door for multi-tenant serving.
 //!
 //! ```sh
 //! cargo run --release --example batch_serving
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pbqp_dnn::prelude::*;
-use pbqp_dnn::runtime::Executor;
+use pbqp_dnn_gateway::{BatchConfig, Gateway, GatewayError};
 
 fn main() -> Result<(), Error> {
     // The served model: a miniature inception module — a branching DAG,
@@ -37,52 +39,107 @@ fn main() -> Result<(), Error> {
     println!("compile: cold {cold_us:.0} µs, cached {warm_us:.1} µs ({hits} hit / {misses} miss)");
     println!("{}", model.plan());
 
-    // 2. A batch of requests, fanned over worker threads — one session
-    //    each, no locks, no shared mutable state.
-    let engine = model.engine();
-    let (c, h, w) = net.infer_shapes()?[0];
-    let batch: Vec<Tensor> =
-        (0..16).map(|i| Tensor::random(c, h, w, Layout::Chw, 40 + i)).collect();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
-    let per = batch.len().div_ceil(workers);
+    // 2. Register the model under its artifact fingerprint. The batching
+    //    knobs are per model: a flush fires when `max_batch` requests
+    //    have coalesced or when the oldest waiter has been queued for
+    //    the window, whichever comes first — so the window is the
+    //    batching tax on p99, not a fixed delay on every request.
+    let gateway = Gateway::with_workers(2);
+    let fp = gateway.register_with(
+        &model,
+        BatchConfig::new()
+            .with_max_batch(8)
+            .with_window(Duration::from_micros(500))
+            .with_queue_cap(64),
+    );
+    println!("registered fingerprint {fp:#018x}");
 
+    // 3. Concurrent callers submit and block on their tickets — the
+    //    gateway coalesces across them. Here 4 caller threads each send
+    //    16 requests; every response carries its serving provenance.
+    let (c, h, w) = net.infer_shapes()?[0];
+    let inputs: Vec<Tensor> =
+        (0..16).map(|i| Tensor::random(c, h, w, Layout::Chw, 40 + i)).collect();
     let t2 = Instant::now();
-    let outputs: Vec<Tensor> = std::thread::scope(|scope| {
-        let handles: Vec<_> = batch
-            .chunks(per)
-            .map(|chunk| {
-                let engine = engine.clone();
-                scope.spawn(move || {
-                    let mut session = engine.session();
-                    let mut outs = Vec::new();
-                    session.infer_batch(chunk, &mut outs).expect("serving failed");
-                    outs
+    let served: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    inputs
+                        .iter()
+                        .map(|input| {
+                            let ticket = gateway
+                                .submit(fp, input.clone())
+                                .expect("queue_cap admits this load");
+                            ticket.wait().expect("request served")
+                        })
+                        .count()
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        handles.into_iter().map(|h| h.join().expect("caller panicked")).sum()
     });
     let batch_ms = t2.elapsed().as_secs_f64() * 1e3;
-    println!("served {} requests on {workers} sessions in {batch_ms:.2} ms", outputs.len());
+    println!("served {served} requests through the gateway in {batch_ms:.2} ms");
 
-    // 3. Wavefront parallelism inside one session, checked bit-for-bit
-    //    against the serial session.
-    let mut serial = engine.session();
-    let mut wave = engine.session();
-    wave.set_parallelism(Parallelism::serial().with_inter_op(4));
-    let a = serial.infer_new(&batch[0])?;
-    let b = wave.infer_new(&batch[0])?;
-    assert_eq!(a.data(), b.data());
-    println!("wavefront session is bit-identical to the serial session");
+    // 4. The stats ledger says how much coalescing actually happened:
+    //    the batch-size histogram, flush-cause split and exact latency
+    //    percentiles — the same numbers BENCH_PR8 reports.
+    let stats = gateway.stats(fp).expect("registered");
+    println!(
+        "batches {} (by size {}, by deadline {}), mean batch {:.2}, \
+         p50 {} µs, p99 {} µs, histogram {:?}",
+        stats.batches,
+        stats.flushed_by_size,
+        stats.flushed_by_deadline,
+        stats.mean_batch_size(),
+        stats.p50_latency_us,
+        stats.p99_latency_us,
+        stats.batch_histogram,
+    );
+    assert_eq!(stats.served, served as u64);
+    assert_eq!(stats.rejected, 0);
 
-    // 4. And the power-user surface agrees exactly: the model's own plan
-    //    run through the low-level Executor batch API.
-    let registry = model.registry();
-    let executor = Executor::new(&net, model.plan(), registry, &weights);
-    let reference = executor.run_batch(&batch, Parallelism::available())?;
-    for (front, low) in outputs.iter().zip(&reference) {
-        assert_eq!(front.data(), low.data());
+    // 5. Hot-swap: re-registering the same fingerprint bumps the model
+    //    generation with zero dropped requests; every response names the
+    //    generation that admitted it.
+    let swapped = compiler.compile(&net, &Weights::random(&net, 0xF00D))?;
+    assert_eq!(swapped.fingerprint(), fp, "weights do not perturb the fingerprint");
+    gateway.register(&swapped);
+    let response = gateway.infer(fp, inputs[0].clone()).expect("served by the new generation");
+    println!(
+        "hot-swapped to generation {} (batch of {}, {} µs)",
+        response.generation,
+        response.batch_size,
+        response.latency.as_micros(),
+    );
+    assert_eq!(response.generation, 1);
+
+    // 6. Bit-exactness through the gateway: the coalesced path must
+    //    match a fresh single-request session of the same generation.
+    let reference = swapped.engine().infer(&inputs[0])?;
+    assert_eq!(response.output.data(), reference.data());
+    println!("gateway output matches the single-request engine bit-for-bit");
+
+    // 7. Backpressure is typed, not silent: past `queue_cap` the gateway
+    //    sheds with `Overloaded` instead of buffering unboundedly.
+    let tiny = Gateway::with_workers(1);
+    tiny.register_with(&model, BatchConfig::new().with_queue_cap(1).with_max_batch(1));
+    let _held = tiny.submit(fp, inputs[0].clone()).expect("first fits");
+    let mut sheds = 0;
+    for input in &inputs {
+        match tiny.submit(fp, input.clone()) {
+            Err(GatewayError::Overloaded { queued, limit, .. }) => {
+                if sheds == 0 {
+                    println!("backpressure: shed with Overloaded ({queued} queued, limit {limit})");
+                }
+                sheds += 1;
+            }
+            Ok(ticket) => drop(ticket.wait()),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
     }
-    println!("all {} front-door outputs match the low-level executor bit-for-bit", outputs.len());
+    assert!(sheds > 0, "the tiny queue must shed under this burst");
+    assert!(gateway.health(fp).expect("registered").is_pristine());
     Ok(())
 }

@@ -39,7 +39,7 @@ use pbqp_dnn_cost::{AnalyticCost, MachineModel};
 use pbqp_dnn_graph::{DnnGraph, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
 use pbqp_dnn_runtime::{
-    reference_forward, ExecBuffers, Parallelism, RuntimeError, Schedule, Weights,
+    reference_forward, BatchBuffers, ExecBuffers, Parallelism, RuntimeError, Schedule, Weights,
 };
 use pbqp_dnn_select::{ExecutionPlan, Optimizer};
 use pbqp_dnn_tensor::transform::to_layout_into;
@@ -248,6 +248,7 @@ impl Engine {
             delivered,
             schedule,
             bufs,
+            batch_bufs: BatchBuffers::new(),
         }
     }
 
@@ -263,6 +264,21 @@ impl Engine {
     /// [module docs](self)).
     pub fn infer(&self, input: &Tensor) -> Result<Tensor, Error> {
         self.session().infer_new(input)
+    }
+
+    /// Validates `input` against the active schedule's expected shape,
+    /// layout and dtype **without executing** — the admission check a
+    /// request gateway runs before queuing, so one malformed request is
+    /// rejected at the door instead of failing the batch it would have
+    /// been coalesced into.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadInput`] (wrapped in [`Error::Runtime`])
+    /// describing the mismatch.
+    pub fn validate_input(&self, input: &Tensor) -> Result<(), Error> {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        state.schedule.check_input(input).map_err(Into::into)
     }
 
     /// The plan this engine was compiled with. Quarantine re-planning
@@ -341,6 +357,7 @@ pub struct Session {
     delivered: Layout,
     schedule: Arc<Schedule>,
     bufs: ExecBuffers,
+    batch_bufs: BatchBuffers,
 }
 
 impl Session {
@@ -358,6 +375,7 @@ impl Session {
             self.delivered = state.delivered;
         }
         self.bufs = self.schedule.make_buffers();
+        self.batch_bufs = BatchBuffers::new();
         self.generation = generation;
     }
 
@@ -439,24 +457,55 @@ impl Session {
     }
 
     /// Serves a whole batch in request order: `outs` is resized to
-    /// `inputs.len()` and each slot's storage is recycled. A warmed
-    /// session serves same-sized batches without heap allocations.
+    /// `inputs.len()` and each slot's storage is recycled. Delegates to
+    /// [`Session::infer_batch_into`] — see there for the fused execution
+    /// and containment contract.
     ///
-    /// The whole batch is validated up front: an empty batch or a
-    /// shape-mismatched member is a typed
-    /// [`RuntimeError::BadInput`] before any item executes.
+    /// # Errors
     ///
-    /// Scaling across cores is done with one session per thread (see
-    /// [`Engine`]); within a session the batch runs serially, each item
-    /// under the session's [`Parallelism`].
+    /// Same contract as [`Session::infer_batch_into`].
+    pub fn infer_batch(&mut self, inputs: &[Tensor], outs: &mut Vec<Tensor>) -> Result<(), Error> {
+        if outs.len() != inputs.len() {
+            outs.resize_with(inputs.len(), Tensor::empty);
+        }
+        self.infer_batch_into(inputs, outs)
+    }
+
+    /// Serves a whole batch through the **fused** execution path,
+    /// writing item `i`'s output into the caller-recycled `outs[i]` —
+    /// the zero-allocation batch entry point the gateway's dynamic
+    /// batches flush through.
+    ///
+    /// Conv steps whose selected primitive supports it (the
+    /// im2col/im2row GEMM family, sparse im2col) execute the whole batch
+    /// as one wide GEMM, amortizing kernel re-layouts and packed panels
+    /// across items; every other step runs per item. Each item's result
+    /// is **bit-identical** to serving it alone through
+    /// [`Session::infer`]. After a warmup at the largest batch size, a
+    /// steady-state loop over batches of at most that size performs zero
+    /// heap allocations (proven by `tests/steady_state_alloc.rs`).
+    ///
+    /// The whole batch is validated up front: an empty batch, a
+    /// shape-mismatched member, or `outs.len() != inputs.len()` is a
+    /// typed [`RuntimeError::BadInput`] before any item executes.
+    ///
+    /// If a kernel fails or panics mid-batch, the session falls back to
+    /// serving every item through the serial path, which recovers per
+    /// the engine's containment contract (quarantine + degraded serve —
+    /// see the [module docs](self)); the recovery path allocates, the
+    /// steady state does not.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::BadInput`] (wrapped in [`Error::Runtime`]) for an
-    /// empty batch or any malformed member — detected before execution.
-    /// Otherwise the first failing item's error; earlier outputs are
-    /// already written.
-    pub fn infer_batch(&mut self, inputs: &[Tensor], outs: &mut Vec<Tensor>) -> Result<(), Error> {
+    /// empty batch, a malformed member, or mismatched `outs` length —
+    /// detected before execution. Otherwise the first non-containable
+    /// error; earlier outputs are already written.
+    pub fn infer_batch_into(
+        &mut self,
+        inputs: &[Tensor],
+        outs: &mut [Tensor],
+    ) -> Result<(), Error> {
         if inputs.is_empty() {
             return Err(RuntimeError::BadInput(
                 "empty batch: infer_batch needs at least one input".to_owned(),
@@ -464,16 +513,29 @@ impl Session {
             .into());
         }
         self.refresh();
-        for input in inputs {
-            self.schedule.check_input(input)?;
+        match self.schedule.run_batch_fused_into(
+            inputs,
+            &mut self.batch_bufs,
+            outs,
+            self.parallelism.intra_op,
+        ) {
+            Ok(()) => Ok(()),
+            Err(e @ RuntimeError::BadInput(_)) => Err(e.into()),
+            Err(_) => {
+                // A kernel failed or panicked mid-batch: the shared
+                // buffer sets may be dirty, so rebuild them and replay
+                // the batch item-by-item through the serial path. A
+                // deterministic fault re-fires there and is contained
+                // per item (quarantined, served degraded); a one-shot
+                // injected fault replays clean. Either way every slot
+                // ends up with its item's correct output.
+                self.batch_bufs = BatchBuffers::new();
+                for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+                    self.infer(input, out)?;
+                }
+                Ok(())
+            }
         }
-        if outs.len() != inputs.len() {
-            outs.resize_with(inputs.len(), Tensor::empty);
-        }
-        for (input, out) in inputs.iter().zip(outs.iter_mut()) {
-            self.infer(input, out)?;
-        }
-        Ok(())
     }
 
     /// The parallelism this session executes under.

@@ -270,7 +270,33 @@ fn steady_state_serving_performs_zero_heap_allocations() {
             "{label}: {batch_allocs} allocations across 3 steady-state Session::infer_batch calls"
         );
 
+        // The gateway's flush path: caller-owned output slots through
+        // `infer_batch_into`, fused conv steps and all. Smaller batches
+        // reuse the warmed capacity, so a gateway flushing *up to* the
+        // warmed batch size stays allocation-free too.
+        let before = allocs();
+        for _ in 0..3 {
+            session.infer_batch_into(&inputs, &mut outs).expect("steady infer_batch_into");
+            session.infer_batch_into(&inputs[..2], &mut outs[..2]).expect("steady partial batch");
+        }
+        let into_allocs = allocs() - before;
+        assert_eq!(
+            into_allocs, 0,
+            "{label}: {into_allocs} allocations across steady-state infer_batch_into calls"
+        );
+
         assert_eq!(out.data(), expected.data(), "{label}: zero-alloc path must stay correct");
+
+        // Fused batching must not cost bit-exactness: every batch slot
+        // matches serving that input alone.
+        for (input, batched) in inputs.iter().zip(&outs) {
+            let solo = engine.infer(input).expect("solo reference");
+            assert_eq!(
+                solo.data(),
+                batched.data(),
+                "{label}: fused batch output diverged from solo serve"
+            );
+        }
     }
 
     // ---- Failpoints cost nothing unless they fire -----------------------
