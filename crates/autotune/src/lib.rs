@@ -1,0 +1,529 @@
+//! Online re-optimization: re-solve PBQP primitive selection against
+//! costs observed from live traffic.
+//!
+//! The paper selects primitives from *measured* per-node costs, profiled
+//! offline on the build host (§3.1). But a measured-cost compile is
+//! orders of magnitude slower than loading a shipped artifact, and a
+//! profile taken on one host goes stale on another — so a serving host
+//! starts from the shipped (possibly analytic, possibly mis-modeled)
+//! plan and corrects it online:
+//!
+//! 1. the executor's live profiler (`pbqp_dnn_runtime::sampler`) samples
+//!    per-step kernel latencies from production requests;
+//! 2. the summaries are folded into an
+//!    [`ObservedTable`] (engine-lifetime,
+//!    keyed by `(node, kernel)`);
+//! 3. when the [trigger policy](AutotuneConfig::should_trigger) fires —
+//!    observed costs diverge from the plan's predictions, enough samples
+//!    exist, the cooldown elapsed — [`resolve`] re-runs the PBQP solve
+//!    on a background thread against a fill table (probed or analytic)
+//!    overridden by the observed costs;
+//! 4. the candidate is validated (legalized by construction, quarantined
+//!    kernels excluded, predicted win over the re-priced serving plan)
+//!    and the engine hot-swaps it through the same generation-counted
+//!    serving state fault quarantine uses.
+//!
+//! The loop is a *damped* fixed-point iteration on the cost table: EMA
+//! smoothing, per-pair minimum-sample gates, the cooldown, and the
+//! win margin are the guards that make it settle on a plan instead of
+//! oscillating between near-ties.
+//!
+//! This crate is the policy/solve layer; the thread, the sampler wiring
+//! and the swap itself live in the `pbqp-dnn` facade
+//! (`Engine::enable_autotune`).
+//!
+//! # Example
+//!
+//! A host whose machine model wildly overstates the int8 speedup serves
+//! a mis-modeled plan; one background resolve against an honest fill
+//! table produces a validated replacement:
+//!
+//! ```
+//! use pbqp_dnn_autotune::{resolve, AutotuneConfig, CandidateFill};
+//! use pbqp_dnn_cost::{AnalyticCost, CostTable, MachineModel, ObservedTable};
+//! use pbqp_dnn_graph::models;
+//! use pbqp_dnn_primitives::registry::{mixed_precision_library, Registry};
+//! use pbqp_dnn_select::{Optimizer, Strategy};
+//!
+//! let graph = models::micro_alexnet();
+//! let registry = Registry::new(mixed_precision_library());
+//!
+//! // The shipped plan came from a model asserting int8 is 40× faster.
+//! let mut wrong = MachineModel::intel_haswell_like();
+//! wrong.int8_speedup = 40.0;
+//! let shipped = Optimizer::new(&registry, &AnalyticCost::new(wrong, 1))
+//!     .plan(&graph, Strategy::Pbqp)
+//!     .unwrap();
+//!
+//! // Background resolve against an honest analytic fill (a real engine
+//! // would also fold observed live costs in).
+//! let config = AutotuneConfig::new()
+//!     .with_fill(CandidateFill::Analytic(MachineModel::intel_haswell_like()));
+//! let resolution =
+//!     resolve(&graph, &registry, &ObservedTable::new(), &shipped, &[], &config).unwrap();
+//! assert!(resolution.changed, "the honest table prices the int8 sweep out");
+//! assert!(resolution.improves && resolution.candidate_us < resolution.current_us);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use pbqp_dnn_cost::{
+    AnalyticCost, CostSource, CostTable, MachineModel, MeasuredCost, ObservedStat, ObservedTable,
+};
+use pbqp_dnn_graph::{DnnGraph, NodeId};
+use pbqp_dnn_primitives::registry::Registry;
+use pbqp_dnn_runtime::faults;
+use pbqp_dnn_runtime::sampler::StepSummary;
+use pbqp_dnn_runtime::StepMeta;
+use pbqp_dnn_select::{ExecutionPlan, Optimizer, PlanError, Strategy};
+
+/// The cost written over quarantined `(node, kernel)` table entries so
+/// the solver never selects them. Large but finite — PBQP matrix
+/// reductions stay numerically sane where an infinity would not.
+const QUARANTINE_PENALTY_US: f64 = 1e12;
+
+/// How a background re-solve prices the candidates live traffic has
+/// never run. Observed costs can only cover the kernels the serving
+/// plan selected; every other candidate needs a *fill* cost.
+#[derive(Debug, Clone)]
+pub enum CandidateFill {
+    /// Probe candidates with the paper's wall-clock profiler
+    /// ([`MeasuredCost`]) on the background thread — the honest default:
+    /// fill and observed costs share wall-clock units.
+    Probe {
+        /// Best-of-`reps` repetitions per probe.
+        reps: usize,
+        /// Spatial down-scale factor for the probe (Θ(H·W)
+        /// extrapolation), 1 = full size.
+        scale: usize,
+    },
+    /// Price unobserved candidates with the deterministic analytic model
+    /// — instant, but analytic µs and observed wall-clock µs mix units,
+    /// so prefer this only for tests and deterministic policy checks.
+    Analytic(MachineModel),
+}
+
+/// Configuration for the online re-optimization loop: sampling, trigger
+/// policy, candidate validation, and fill source.
+#[derive(Debug, Clone)]
+pub struct AutotuneConfig {
+    /// Record every `sample_rate`-th step evaluation (1 = every step).
+    pub sample_rate: u32,
+    /// Total observed samples required before any re-solve triggers.
+    pub min_samples: u64,
+    /// Per-`(node, kernel)` samples required before an observation
+    /// overrides the fill cost or counts toward divergence.
+    pub min_node_samples: u64,
+    /// Mean relative divergence (observed vs. predicted per-node costs)
+    /// at which a re-solve triggers.
+    pub divergence_threshold: f64,
+    /// Minimum time between re-solve attempts.
+    pub cooldown: Duration,
+    /// How often the background thread folds samples and evaluates the
+    /// trigger.
+    pub poll_interval: Duration,
+    /// Fractional predicted win a candidate must show over the re-priced
+    /// serving plan to be swapped in (hysteresis against near-ties).
+    pub min_win: f64,
+    /// How unobserved candidates are priced.
+    pub fill: CandidateFill,
+}
+
+impl Default for AutotuneConfig {
+    fn default() -> AutotuneConfig {
+        AutotuneConfig {
+            sample_rate: 4,
+            min_samples: 64,
+            min_node_samples: 8,
+            divergence_threshold: 0.25,
+            cooldown: Duration::from_millis(500),
+            poll_interval: Duration::from_millis(25),
+            min_win: 0.02,
+            fill: CandidateFill::Probe { reps: 3, scale: 1 },
+        }
+    }
+}
+
+impl AutotuneConfig {
+    /// The default configuration (probe fill, 1-in-4 sampling).
+    pub fn new() -> AutotuneConfig {
+        AutotuneConfig::default()
+    }
+
+    /// Sets the step-sampling rate (1 = every step evaluation).
+    pub fn with_sample_rate(mut self, rate: u32) -> AutotuneConfig {
+        self.sample_rate = rate.max(1);
+        self
+    }
+
+    /// Sets the total-sample trigger gate.
+    pub fn with_min_samples(mut self, samples: u64) -> AutotuneConfig {
+        self.min_samples = samples;
+        self
+    }
+
+    /// Sets the per-pair sample gate for overrides and divergence.
+    pub fn with_min_node_samples(mut self, samples: u64) -> AutotuneConfig {
+        self.min_node_samples = samples;
+        self
+    }
+
+    /// Sets the divergence trigger threshold.
+    pub fn with_divergence_threshold(mut self, threshold: f64) -> AutotuneConfig {
+        self.divergence_threshold = threshold;
+        self
+    }
+
+    /// Sets the minimum time between re-solve attempts.
+    pub fn with_cooldown(mut self, cooldown: Duration) -> AutotuneConfig {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Sets the background thread's polling interval.
+    pub fn with_poll_interval(mut self, interval: Duration) -> AutotuneConfig {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Sets the predicted-win margin a swap must clear.
+    pub fn with_min_win(mut self, win: f64) -> AutotuneConfig {
+        self.min_win = win;
+        self
+    }
+
+    /// Sets how unobserved candidates are priced.
+    pub fn with_fill(mut self, fill: CandidateFill) -> AutotuneConfig {
+        self.fill = fill;
+        self
+    }
+
+    /// The trigger policy: re-solve only when enough samples exist, the
+    /// observed/predicted divergence is measurable and over threshold,
+    /// and the cooldown since the last attempt has elapsed.
+    pub fn should_trigger(
+        &self,
+        samples: u64,
+        divergence: Option<f64>,
+        since_last: Option<Duration>,
+    ) -> bool {
+        if samples < self.min_samples {
+            return false;
+        }
+        let Some(d) = divergence else { return false };
+        if d < self.divergence_threshold {
+            return false;
+        }
+        match since_last {
+            Some(elapsed) => elapsed >= self.cooldown,
+            None => true,
+        }
+    }
+}
+
+/// Errors from a background re-solve.
+#[derive(Debug)]
+pub enum AutotuneError {
+    /// The `autotune.resolve` failpoint surfaced an injected error.
+    Injected(String),
+    /// The re-solve panicked (real or injected); the unwind was
+    /// contained here — the serving engine keeps its current generation.
+    Panicked(String),
+    /// The PBQP re-solve or re-legalization failed.
+    Plan(PlanError),
+}
+
+impl fmt::Display for AutotuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutotuneError::Injected(msg) => {
+                write!(f, "injected fault at `autotune.resolve`: {msg}")
+            }
+            AutotuneError::Panicked(msg) => write!(f, "re-solve panicked (contained): {msg}"),
+            AutotuneError::Plan(e) => write!(f, "re-solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for AutotuneError {}
+
+impl From<PlanError> for AutotuneError {
+    fn from(e: PlanError) -> Self {
+        AutotuneError::Plan(e)
+    }
+}
+
+/// The outcome of one background re-solve: the candidate plan plus the
+/// comparison that decides whether it is worth swapping in.
+#[derive(Debug)]
+pub struct Resolution {
+    /// The re-solved candidate plan (legalized, quarantine-clean).
+    pub plan: ExecutionPlan,
+    /// The candidate priced under the resolve table (µs).
+    pub candidate_us: f64,
+    /// The *serving* plan re-priced under the same table (µs) — the
+    /// honest comparison basis; its original `predicted_us` may be in
+    /// different units entirely.
+    pub current_us: f64,
+    /// Whether the candidate's selected kernels differ from the serving
+    /// plan's (if not, the loop has converged).
+    pub changed: bool,
+    /// Whether the candidate clears the configured win margin.
+    pub improves: bool,
+}
+
+/// The `(node, kernel, predicted µs)` entries of a plan's conv and
+/// operator selections — the divergence comparison basis.
+pub fn predicted_selections(plan: &ExecutionPlan) -> Vec<(NodeId, String, f64)> {
+    use pbqp_dnn_select::AssignmentKind;
+    plan.assignments
+        .iter()
+        .filter_map(|a| match &a.kind {
+            AssignmentKind::Conv { primitive, cost_us, .. } => {
+                Some((a.node, primitive.clone(), *cost_us))
+            }
+            AssignmentKind::Op { kernel, cost_us, .. } => Some((a.node, kernel.clone(), *cost_us)),
+            AssignmentKind::Source { .. } => None,
+        })
+        .collect()
+}
+
+/// Folds a sampler snapshot into an observed table using the schedule's
+/// step metadata for `(node, kernel)` attribution. The input step (no
+/// selectable kernel) and unsampled steps are skipped; re-folding the
+/// same sampler is idempotent because summaries are cumulative.
+pub fn fold_observations(
+    observed: &mut ObservedTable,
+    meta: &[StepMeta],
+    summaries: &[StepSummary],
+) {
+    for (m, s) in meta.iter().zip(summaries) {
+        if s.count > 0 && m.kernel != "input" {
+            observed.record(
+                m.node,
+                &m.kernel,
+                ObservedStat { samples: s.count, ema_us: s.ema_us, p50_us: s.p50_us },
+            );
+        }
+    }
+}
+
+/// Runs one background re-solve: build the resolve table (fill +
+/// observed overrides + quarantine penalties), re-run the PBQP solve,
+/// route around any quarantined selection the penalties could not
+/// exclude (operator kernels are priced by the source, not the table),
+/// and price both the candidate and the serving plan on the same basis.
+///
+/// Evaluates the [`faults::AUTOTUNE_RESOLVE`] failpoint first and
+/// contains any panic (real or injected): a failed re-solve returns a
+/// typed error and the caller keeps serving its current generation.
+///
+/// # Errors
+///
+/// [`AutotuneError::Injected`]/[`AutotuneError::Panicked`] for injected
+/// or contained faults, [`AutotuneError::Plan`] if the solve or
+/// re-legalization fails.
+pub fn resolve(
+    graph: &DnnGraph,
+    registry: &Registry,
+    observed: &ObservedTable,
+    current: &ExecutionPlan,
+    quarantined: &[(NodeId, String)],
+    config: &AutotuneConfig,
+) -> Result<Resolution, AutotuneError> {
+    let contained = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(faults::Injected::Error(msg)) = faults::hit(faults::AUTOTUNE_RESOLVE) {
+            return Err(AutotuneError::Injected(msg));
+        }
+        resolve_inner(graph, registry, observed, current, quarantined, config)
+    }));
+    match contained {
+        Ok(r) => r,
+        Err(p) => Err(AutotuneError::Panicked(faults::panic_message(p))),
+    }
+}
+
+fn resolve_inner(
+    graph: &DnnGraph,
+    registry: &Registry,
+    observed: &ObservedTable,
+    current: &ExecutionPlan,
+    quarantined: &[(NodeId, String)],
+    config: &AutotuneConfig,
+) -> Result<Resolution, AutotuneError> {
+    let shapes = graph.infer_shapes().map_err(PlanError::from)?;
+    let source: Box<dyn CostSource> = match &config.fill {
+        CandidateFill::Probe { reps, scale } => {
+            Box::new(MeasuredCost::new(1, (*reps).max(1)).with_scale((*scale).max(1)))
+        }
+        CandidateFill::Analytic(machine) => Box::new(AnalyticCost::new(machine.clone(), 1)),
+    };
+    let optimizer = Optimizer::new(registry, source.as_ref());
+
+    let fill = CostTable::profile(graph, registry, source.as_ref());
+    let mut table = observed.fold_into(&fill, config.min_node_samples);
+    for (node, kernel) in quarantined {
+        // Conv candidates are priced out of selection here; operator
+        // kernels are priced by the source and handled below.
+        table.set_cost(*node, kernel, QUARANTINE_PENALTY_US);
+    }
+
+    let mut candidate = optimizer.plan_with_table(graph, &shapes, &table, Strategy::Pbqp)?;
+    if selects_any(&candidate, quarantined) {
+        candidate = optimizer.reroute(graph, &candidate, quarantined)?;
+        debug_assert!(!selects_any(&candidate, quarantined));
+    }
+
+    let candidate_us = optimizer.price_plan(graph, &shapes, &table, &candidate);
+    let current_us = optimizer.price_plan(graph, &shapes, &table, current);
+    let changed = selections(&candidate) != selections(current);
+    let improves = changed && candidate_us < current_us * (1.0 - config.min_win);
+    Ok(Resolution { plan: candidate, candidate_us, current_us, changed, improves })
+}
+
+/// A plan's selected `(node, kernel)` pairs, convs and ops together.
+fn selections(plan: &ExecutionPlan) -> Vec<(NodeId, String)> {
+    plan.selected_primitives()
+        .into_iter()
+        .chain(plan.selected_op_kernels())
+        .map(|(n, k)| (n, k.to_owned()))
+        .collect()
+}
+
+/// Whether `plan` selects any of the given `(node, kernel)` pairs.
+fn selects_any(plan: &ExecutionPlan, pairs: &[(NodeId, String)]) -> bool {
+    if pairs.is_empty() {
+        return false;
+    }
+    selections(plan).iter().any(|(n, k)| pairs.iter().any(|(qn, qk)| qn == n && qk == k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbqp_dnn_graph::models;
+    use pbqp_dnn_primitives::registry::mixed_precision_library;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Failpoints are process-global; every test that calls `resolve`
+    /// serializes on this so an armed site never leaks across tests.
+    fn guard() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        let g = GUARD.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner());
+        faults::disarm_all();
+        g
+    }
+
+    fn setup() -> (DnnGraph, Registry) {
+        (models::micro_alexnet(), Registry::new(mixed_precision_library()))
+    }
+
+    fn shipped(graph: &DnnGraph, registry: &Registry, int8_speedup: f64) -> ExecutionPlan {
+        let mut machine = MachineModel::intel_haswell_like();
+        machine.int8_speedup = int8_speedup;
+        let cost = AnalyticCost::new(machine, 1);
+        Optimizer::new(registry, &cost).plan(graph, Strategy::Pbqp).unwrap()
+    }
+
+    fn analytic_config() -> AutotuneConfig {
+        AutotuneConfig::new().with_fill(CandidateFill::Analytic(MachineModel::intel_haswell_like()))
+    }
+
+    #[test]
+    fn trigger_policy_gates_on_samples_divergence_and_cooldown() {
+        let c = AutotuneConfig::new()
+            .with_min_samples(10)
+            .with_divergence_threshold(0.5)
+            .with_cooldown(Duration::from_secs(1));
+        assert!(!c.should_trigger(9, Some(9.0), None), "sample gate");
+        assert!(!c.should_trigger(100, None, None), "no measurable divergence");
+        assert!(!c.should_trigger(100, Some(0.4), None), "under threshold");
+        assert!(c.should_trigger(100, Some(0.6), None), "first attempt has no cooldown");
+        assert!(!c.should_trigger(100, Some(0.6), Some(Duration::from_millis(10))), "cooldown");
+        assert!(c.should_trigger(100, Some(0.6), Some(Duration::from_secs(2))));
+    }
+
+    #[test]
+    fn resolve_corrects_a_mis_modeled_plan_and_converges() {
+        let _g = guard();
+        let (graph, registry) = setup();
+        let wrong = shipped(&graph, &registry, 40.0);
+        let config = analytic_config();
+
+        let r = resolve(&graph, &registry, &ObservedTable::new(), &wrong, &[], &config).unwrap();
+        assert!(r.changed && r.improves, "{} vs {}", r.candidate_us, r.current_us);
+        assert!(r.candidate_us < r.current_us);
+
+        // Resolving again from the corrected plan is a fixed point.
+        let again =
+            resolve(&graph, &registry, &ObservedTable::new(), &r.plan, &[], &config).unwrap();
+        assert!(!again.changed, "the corrected plan is stable under the same table");
+        assert!(!again.improves);
+    }
+
+    #[test]
+    fn resolve_refuses_quarantined_kernels() {
+        let _g = guard();
+        let (graph, registry) = setup();
+        let honest = shipped(&graph, &registry, 2.2);
+        let config = analytic_config();
+        let r = resolve(&graph, &registry, &ObservedTable::new(), &honest, &[], &config).unwrap();
+
+        // Quarantine everything the candidate selected; the next resolve
+        // must route around all of it.
+        let banned = selections(&r.plan);
+        assert!(!banned.is_empty());
+        let r2 =
+            resolve(&graph, &registry, &ObservedTable::new(), &r.plan, &banned, &config).unwrap();
+        assert!(!selects_any(&r2.plan, &banned));
+    }
+
+    #[test]
+    fn observed_overrides_steer_the_solve() {
+        let _g = guard();
+        let (graph, registry) = setup();
+        let honest = shipped(&graph, &registry, 2.2);
+        let config = analytic_config().with_min_node_samples(1);
+
+        // Claim every currently selected conv kernel is catastrophically
+        // slow; the re-solve must move off all of them.
+        let mut observed = ObservedTable::new();
+        for (node, name) in honest.selected_primitives() {
+            observed.record(node, name, ObservedStat { samples: 100, ema_us: 5e8, p50_us: 5e8 });
+        }
+        let r = resolve(&graph, &registry, &observed, &honest, &[], &config).unwrap();
+        assert!(r.changed);
+        let before: Vec<_> = honest.selected_primitives();
+        for (node, name) in r.plan.selected_primitives() {
+            assert!(
+                !before.iter().any(|(n, k)| *n == node && *k == name),
+                "conv {node:?} still on poisoned kernel {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_resolve_faults_are_typed_and_contained() {
+        let _g = guard();
+        let (graph, registry) = setup();
+        let plan = shipped(&graph, &registry, 2.2);
+        let config = analytic_config();
+
+        faults::arm(faults::AUTOTUNE_RESOLVE, "every:error(boom)").unwrap();
+        let err =
+            resolve(&graph, &registry, &ObservedTable::new(), &plan, &[], &config).unwrap_err();
+        assert!(matches!(err, AutotuneError::Injected(ref m) if m == "boom"), "{err}");
+
+        faults::arm(faults::AUTOTUNE_RESOLVE, "every:panic(kaboom)").unwrap();
+        let err =
+            resolve(&graph, &registry, &ObservedTable::new(), &plan, &[], &config).unwrap_err();
+        assert!(matches!(err, AutotuneError::Panicked(ref m) if m.contains("kaboom")), "{err}");
+        faults::disarm(faults::AUTOTUNE_RESOLVE);
+    }
+}

@@ -174,6 +174,61 @@ impl<'a> Optimizer<'a> {
         )
     }
 
+    /// Prices an existing plan's selections under `table` and this
+    /// optimizer's source, ignoring the costs baked into the plan: conv
+    /// selections are looked up in `table` (falling back to the baked
+    /// cost for candidates the table does not carry), operator kernels
+    /// are re-priced through [`CostSource::op_cost`], and every
+    /// legalization hop through [`CostSource::transform_cost`].
+    ///
+    /// This is the autotuner's comparator: a re-solve candidate's
+    /// `predicted_us` and the *serving* plan's are incomparable when they
+    /// came from different cost sources (analytic µs are idealized,
+    /// observed µs are wall clock), so both are re-priced on one basis
+    /// before a swap is considered.
+    pub fn price_plan(
+        &self,
+        graph: &DnnGraph,
+        shapes: &[(usize, usize, usize)],
+        table: &CostTable,
+        plan: &ExecutionPlan,
+    ) -> f64 {
+        let mut node_us = 0.0;
+        for a in &plan.assignments {
+            match &a.kind {
+                AssignmentKind::Conv { primitive, cost_us, .. } => {
+                    node_us += table
+                        .for_node(a.node)
+                        .and_then(|row| row.cost_of(primitive))
+                        .unwrap_or(*cost_us);
+                }
+                AssignmentKind::Op { kernel, cost_us, .. } => {
+                    let priced = instance::op_spec(graph, shapes, a.node).and_then(|spec| {
+                        self.registry
+                            .op_by_name(kernel)
+                            .map(|k| self.source.op_cost(k.as_ref(), &spec))
+                    });
+                    node_us += priced.unwrap_or(*cost_us);
+                }
+                AssignmentKind::Source { .. } => {}
+            }
+        }
+        let mut transform_us = 0.0;
+        for e in &plan.edges {
+            let dims = shapes[e.from.index()];
+            for hop in &e.chain {
+                transform_us += self.source.transform_cost(*hop, dims);
+            }
+        }
+        for (node, chain, _) in plan.input_conversion.iter().chain(&plan.output_conversion) {
+            let dims = shapes[node.index()];
+            for hop in chain {
+                transform_us += self.source.transform_cost(*hop, dims);
+            }
+        }
+        (node_us + transform_us) * plan.strategy.framework_overhead()
+    }
+
     /// Re-plans `plan` around quarantined `(node, kernel)` pairs — the
     /// graceful-degradation path of the serving engine. Each quarantined
     /// node is routed away from the offending kernel to an f32 baseline

@@ -24,6 +24,7 @@ pub mod calibrate;
 pub mod dt;
 mod machine;
 mod model;
+mod observed;
 mod profile;
 mod table;
 
@@ -31,5 +32,6 @@ pub use calibrate::{host_calibration, Calibration};
 pub use dt::{DtGraph, DtPathTable};
 pub use machine::MachineModel;
 pub use model::AnalyticCost;
+pub use observed::{ObservedStat, ObservedTable};
 pub use profile::MeasuredCost;
 pub use table::{CostSource, CostTable, LayerCosts};

@@ -1,0 +1,224 @@
+//! Observed costs from live traffic.
+//!
+//! The paper's cost tables come from offline profiling on the build
+//! host; an [`ObservedTable`] is the *online* equivalent — per
+//! `(node, kernel)` latency summaries sampled from production requests
+//! (see `pbqp_dnn_runtime::sampler`), accumulated across serving
+//! generations so knowledge about a kernel survives the plan that
+//! selected it being swapped out.
+//!
+//! Two consumers:
+//!
+//! * [`ObservedTable::divergence`] — how far live reality has drifted
+//!   from the serving plan's predicted per-node costs, the re-solve
+//!   trigger signal;
+//! * [`ObservedTable::fold_into`] — overriding a profiled fill table's
+//!   entries with observed medians (minimum-sample gated) to build the
+//!   table a background PBQP re-solve prices against. Only *seen*
+//!   `(node, kernel)` pairs are overridden: live traffic can only
+//!   observe the kernels the current plan runs, so unseen candidates
+//!   keep their fill costs — the damped half of the
+//!   profile→re-solve→swap fixed-point iteration.
+
+use std::collections::HashMap;
+
+use pbqp_dnn_graph::NodeId;
+
+use crate::CostTable;
+
+/// Observed costs never fold in below this (µs): a zero cost would let
+/// the solver treat a kernel as free and destabilize the iteration.
+const MIN_COST_US: f64 = 1e-6;
+
+/// One `(node, kernel)` pair's live latency summary — cumulative sample
+/// count, exponentially-smoothed mean, and median of recent samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedStat {
+    /// Samples behind this summary.
+    pub samples: u64,
+    /// Exponentially-smoothed latency, µs.
+    pub ema_us: f64,
+    /// Median of the most recent samples, µs.
+    pub p50_us: f64,
+}
+
+impl ObservedStat {
+    /// The cost this observation contributes to a table: the median
+    /// (robust against scheduler pauses inflating a mean), floored away
+    /// from zero.
+    pub fn cost_us(&self) -> f64 {
+        self.p50_us.max(MIN_COST_US)
+    }
+}
+
+/// Live latency summaries keyed by `(node, kernel)`, engine-lifetime:
+/// re-recording a pair replaces its summary (sampler summaries are
+/// cumulative), and pairs from retired serving generations persist
+/// until the same pair is observed again.
+#[derive(Debug, Clone, Default)]
+pub struct ObservedTable {
+    entries: HashMap<(usize, String), ObservedStat>,
+}
+
+impl ObservedTable {
+    /// An empty table.
+    pub fn new() -> ObservedTable {
+        ObservedTable::default()
+    }
+
+    /// Replaces the summary for `(node, kernel)` — summaries are
+    /// cumulative, so folding the same sampler repeatedly is idempotent.
+    /// Zero-sample summaries are ignored.
+    pub fn record(&mut self, node: NodeId, kernel: &str, stat: ObservedStat) {
+        if stat.samples == 0 {
+            return;
+        }
+        self.entries.insert((node.index(), kernel.to_owned()), stat);
+    }
+
+    /// The summary for `(node, kernel)`, if observed.
+    pub fn get(&self, node: NodeId, kernel: &str) -> Option<&ObservedStat> {
+        self.entries.get(&(node.index(), kernel.to_owned()))
+    }
+
+    /// Number of observed `(node, kernel)` pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total samples across all pairs — the autotuner's minimum-sample
+    /// trigger gate reads this.
+    pub fn total_samples(&self) -> u64 {
+        self.entries.values().map(|s| s.samples).sum()
+    }
+
+    /// A copy of `base` with every observed `(node, kernel)` entry that
+    /// has at least `min_samples` samples overridden by its observed
+    /// cost. Unseen candidates keep their fill costs.
+    pub fn fold_into(&self, base: &CostTable, min_samples: u64) -> CostTable {
+        let mut out = base.clone();
+        for layer in base.layers() {
+            let node = layer.node;
+            for (name, _) in layer.costs.clone() {
+                if let Some(stat) = self.entries.get(&(node.index(), name.clone())) {
+                    if stat.samples >= min_samples.max(1) {
+                        out.set_cost(node, &name, stat.cost_us());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean relative divergence between observed costs and the plan's
+    /// predictions, over the plan's selected `(node, kernel, predicted
+    /// µs)` entries with at least `min_samples` observations (entries
+    /// predicted free are skipped — a relative error against zero is
+    /// meaningless). `None` until at least one entry qualifies.
+    ///
+    /// This is the trigger signal: an analytic plan on a host the model
+    /// mis-describes shows large divergence immediately; a plan solved
+    /// from observed costs converges toward zero.
+    pub fn divergence(&self, predicted: &[(NodeId, String, f64)], min_samples: u64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (node, kernel, predicted_us) in predicted {
+            if *predicted_us <= 0.0 {
+                continue;
+            }
+            let Some(stat) = self.entries.get(&(node.index(), kernel.clone())) else { continue };
+            if stat.samples < min_samples.max(1) {
+                continue;
+            }
+            sum += (stat.cost_us() - predicted_us).abs() / predicted_us;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyticCost, MachineModel};
+    use pbqp_dnn_graph::models;
+    use pbqp_dnn_primitives::registry::{full_library, Registry};
+
+    fn fill() -> (CostTable, Vec<NodeId>) {
+        let graph = models::micro_alexnet();
+        let reg = Registry::new(full_library());
+        let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
+        let table = CostTable::profile(&graph, &reg, &cost);
+        let nodes = table.layers().iter().map(|l| l.node).collect();
+        (table, nodes)
+    }
+
+    fn stat(samples: u64, us: f64) -> ObservedStat {
+        ObservedStat { samples, ema_us: us, p50_us: us }
+    }
+
+    #[test]
+    fn record_replaces_cumulative_summaries() {
+        let (_, nodes) = fill();
+        let mut obs = ObservedTable::new();
+        obs.record(nodes[0], "sum2d", stat(4, 10.0));
+        obs.record(nodes[0], "sum2d", stat(9, 12.0));
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs.total_samples(), 9);
+        assert_eq!(obs.get(nodes[0], "sum2d").unwrap().p50_us, 12.0);
+        obs.record(nodes[0], "other", stat(0, 1.0));
+        assert_eq!(obs.len(), 1, "zero-sample summaries are ignored");
+    }
+
+    #[test]
+    fn fold_overrides_only_seen_pairs_past_the_sample_gate() {
+        let (base, nodes) = fill();
+        let mut obs = ObservedTable::new();
+        obs.record(nodes[0], "sum2d", stat(3, 777.0));
+        obs.record(nodes[1], "sum2d", stat(100, 555.0));
+
+        let folded = obs.fold_into(&base, 10);
+        let row0 = folded.for_node(nodes[0]).unwrap();
+        let row1 = folded.for_node(nodes[1]).unwrap();
+        let base0 = base.for_node(nodes[0]).unwrap();
+        assert_eq!(
+            row0.cost_of("sum2d"),
+            base0.cost_of("sum2d"),
+            "under the sample gate the fill cost survives"
+        );
+        assert_eq!(row1.cost_of("sum2d"), Some(555.0));
+        // Unseen candidates keep their fill costs.
+        let (best, _) = base.for_node(nodes[1]).unwrap().best();
+        if best != "sum2d" {
+            assert_eq!(row1.cost_of(best), base.for_node(nodes[1]).unwrap().cost_of(best));
+        }
+    }
+
+    #[test]
+    fn divergence_measures_relative_drift_over_covered_selections() {
+        let (_, nodes) = fill();
+        let mut obs = ObservedTable::new();
+        assert_eq!(obs.divergence(&[(nodes[0], "sum2d".into(), 10.0)], 1), None);
+
+        obs.record(nodes[0], "sum2d", stat(50, 20.0));
+        obs.record(nodes[1], "sum2d", stat(50, 10.0));
+        let predicted = vec![
+            (nodes[0], String::from("sum2d"), 10.0),  // 100% off
+            (nodes[1], String::from("sum2d"), 10.0),  // exact
+            (nodes[1], String::from("unseen"), 10.0), // not covered
+        ];
+        let d = obs.divergence(&predicted, 1).unwrap();
+        assert!((d - 0.5).abs() < 1e-9, "mean of 1.0 and 0.0: {d}");
+        assert_eq!(obs.divergence(&predicted, 51), None, "sample gate applies per pair");
+    }
+
+    #[test]
+    fn observed_costs_never_fold_in_at_zero() {
+        assert!(stat(5, 0.0).cost_us() > 0.0);
+    }
+}

@@ -121,6 +121,22 @@ impl CostTable {
         self.by_node.get(&node.index()).map(|&ix| &self.layers[ix])
     }
 
+    /// Overrides the cost of candidate `name` on `node`'s row, returning
+    /// whether both existed. This is how *observed* costs (live traffic)
+    /// and policy penalties (quarantined kernels) are folded into a
+    /// profiled fill table before a re-solve — the table stays a plain
+    /// §3.1 cost table, only its numbers change.
+    pub fn set_cost(&mut self, node: NodeId, name: &str, cost: f64) -> bool {
+        let Some(&ix) = self.by_node.get(&node.index()) else { return false };
+        match self.layers[ix].costs.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => {
+                entry.1 = cost;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Serializes to the simple line-oriented text format:
     /// `layer <node> <scenario>` then `  <prim> <µs>` lines.
     pub fn to_text(&self) -> String {

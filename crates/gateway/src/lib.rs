@@ -351,8 +351,10 @@ impl Gateway {
     /// the fingerprint is unregistered.
     pub fn stats(&self, fingerprint: u64) -> Option<ModelStats> {
         let entry = self.inner.entry(fingerprint)?;
-        let generation = entry.current_version().generation;
-        Some(entry.stats.snapshot(generation))
+        let version = entry.current_version();
+        let generation = version.generation;
+        let engine_plan_generation = version.engine.health().plan_generation;
+        Some(entry.stats.snapshot(generation, engine_plan_generation))
     }
 
     /// Zeroes one model's statistics counters and latency samples —

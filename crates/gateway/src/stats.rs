@@ -36,6 +36,11 @@ pub struct ModelStats {
     pub p99_latency_us: u64,
     /// The model generation currently serving (bumped per hot-swap).
     pub generation: u64,
+    /// The serving engine's *plan* generation: bumped whenever the
+    /// engine re-plans in place (fault quarantine or an autotune
+    /// re-optimization). Orthogonal to `generation`, which tracks
+    /// whole-artifact model swaps through the gateway.
+    pub engine_plan_generation: u64,
 }
 
 impl ModelStats {
@@ -118,7 +123,7 @@ impl StatsInner {
         self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
-    pub(crate) fn snapshot(&self, generation: u64) -> ModelStats {
+    pub(crate) fn snapshot(&self, generation: u64, engine_plan_generation: u64) -> ModelStats {
         let histogram = self.histogram.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let mut lat = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).clone();
         lat.sort_unstable();
@@ -133,6 +138,7 @@ impl StatsInner {
             p50_latency_us: percentile(&lat, 0.50),
             p99_latency_us: percentile(&lat, 0.99),
             generation,
+            engine_plan_generation,
         }
     }
 }
@@ -166,7 +172,7 @@ mod tests {
         stats.record_batch(4, false);
         stats.record_batch(4, false);
         stats.record_batch(1, true);
-        let snap = stats.snapshot(3);
+        let snap = stats.snapshot(3, 2);
         assert_eq!(snap.batches, 3);
         assert_eq!(snap.served, 9);
         assert_eq!(snap.flushed_by_size, 2);
@@ -174,6 +180,7 @@ mod tests {
         assert_eq!(snap.batch_histogram[4], 2);
         assert_eq!(snap.batch_histogram[1], 1);
         assert_eq!(snap.generation, 3);
+        assert_eq!(snap.engine_plan_generation, 2);
         assert!((snap.mean_batch_size() - 3.0).abs() < 1e-9);
     }
 }

@@ -15,6 +15,7 @@ use pbqp_dnn_tensor::transform::{apply_repr_into, to_layout_into, ReprTransform}
 use pbqp_dnn_tensor::{DType, KernelTensor, Layout, Repr, Tensor, TensorError};
 
 use crate::faults;
+use crate::sampler::{self, SamplerState};
 use crate::weights::Weights;
 use crate::Parallelism;
 
@@ -184,6 +185,21 @@ struct Step {
     out_shape: (usize, usize, usize, Repr),
 }
 
+/// One step's identity for observers: the node it computes, the layer
+/// name, and the kernel the plan selected for it. Returned by
+/// [`Schedule::step_meta`], index-aligned with a live-profiler sampler's
+/// per-step reservoirs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepMeta {
+    /// The graph node this step computes.
+    pub node: NodeId,
+    /// The layer name (fault/observation attribution).
+    pub name: String,
+    /// The selected kernel's name (`"input"` for the input step, which
+    /// runs no selectable kernel).
+    pub kernel: String,
+}
+
 /// Per-worker execution state: the pooled activation buffers, conversion
 /// staging tensors and primitive scratch workspace for one in-flight
 /// forward pass. Created by [`Schedule::make_buffers`] (or recycled from
@@ -203,6 +219,30 @@ pub struct ExecBuffers {
     /// Extra per-worker workspaces for wavefront levels, grown to the
     /// fan-out width on first use and reused across levels and runs.
     wave_ws: Vec<Workspace>,
+    /// Live-profiler recording state, attached by an autotuning engine
+    /// ([`ExecBuffers::attach_sampler`]); `None` everywhere else, and in
+    /// particular for per-item batch sets — the fused batch path shares
+    /// its timing attribution problem with wavefront fan-out and is left
+    /// unsampled.
+    sampler: Option<SamplerState>,
+}
+
+impl ExecBuffers {
+    /// Attaches a live-profiler recording state to this buffer set: the
+    /// owning worker starts timestamping sampled step dispatches into
+    /// `state`'s preallocated reservoirs and merging them into its shared
+    /// [`crate::sampler::Sampler`] once per run. Replaces any previous
+    /// state (a hot-swap attaches a fresh one so `(node, kernel)`
+    /// attribution follows the new schedule).
+    pub fn attach_sampler(&mut self, state: SamplerState) {
+        self.sampler = Some(state);
+    }
+
+    /// Detaches the live-profiler state, returning the buffer set to
+    /// plain unsampled execution.
+    pub fn detach_sampler(&mut self) {
+        self.sampler = None;
+    }
 }
 
 /// Per-item buffer sets plus the shared fused-batch scratch for one
@@ -611,6 +651,13 @@ impl Schedule {
         } else {
             self.execute_serial(input, par.intra_op, bufs)?;
         }
+        if sampler::active() {
+            // Merge this run's local reservoirs into the shared sampler;
+            // a contended merge is deferred, never blocking the request.
+            if let Some(state) = bufs.sampler.as_mut() {
+                state.flush();
+            }
+        }
         self.finish_output(bufs, out)
     }
 
@@ -671,8 +718,8 @@ impl Schedule {
             )));
         }
         bufs.ensure(self, inputs.len());
-        for step in &self.steps {
-            self.eval_batch_step(step, inputs, bufs, intra_op)?;
+        for (six, step) in self.steps.iter().enumerate() {
+            self.eval_batch_step(six, step, inputs, bufs, intra_op)?;
         }
         for (set, out) in bufs.sets.iter_mut().zip(outs.iter_mut()) {
             self.finish_output(set, out)?;
@@ -685,6 +732,7 @@ impl Schedule {
     /// it and the batch is real, per item otherwise.
     fn eval_batch_step(
         &self,
+        six: usize,
         step: &Step,
         inputs: &[Tensor],
         bufs: &mut BatchBuffers,
@@ -694,7 +742,7 @@ impl Schedule {
         let fuse = batch > 1 && matches!(&step.op, StepOp::Conv { prim, .. } if prim.fuses_batch());
         if !fuse {
             for (i, input) in inputs.iter().enumerate() {
-                self.eval_into(step, &mut bufs.sets[i], input, intra_op)?;
+                self.eval_into(six, step, &mut bufs.sets[i], input, intra_op)?;
             }
             return Ok(());
         }
@@ -780,6 +828,32 @@ impl Schedule {
         self.levels.len()
     }
 
+    /// Number of steps — the reservoir count a live-profiler
+    /// [`crate::sampler::Sampler`] for this schedule must be sized to.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Per-step metadata, index-aligned with the sampler's reservoir
+    /// slots: which node each step computes and the kernel the plan
+    /// selected for it. This is the map from raw step timings back to
+    /// the `(node, kernel)` pairs an observed-cost table is keyed by.
+    pub fn step_meta(&self) -> Vec<StepMeta> {
+        self.steps
+            .iter()
+            .map(|step| {
+                let kernel = match &step.op {
+                    StepOp::Conv { prim, .. } => prim.descriptor().name.clone(),
+                    StepOp::Op { kernel, .. } => kernel.descriptor().name.clone(),
+                    // The input step runs no selectable kernel; its
+                    // timings exist but map to no plan decision.
+                    StepOp::Input { .. } => String::from("input"),
+                };
+                StepMeta { node: step.node, name: step.name.clone(), kernel }
+            })
+            .collect()
+    }
+
     /// Delivers the network output into `out`: a plain recycled copy when
     /// the terminal value is already f32, otherwise the plan's output
     /// conversion chain (dequantization), staged through the dedicated
@@ -824,7 +898,13 @@ impl Schedule {
                 t
             })
             .collect();
-        ExecBuffers { values, convs, ws: Workspace::with_req(self.ws_req), wave_ws: Vec::new() }
+        ExecBuffers {
+            values,
+            convs,
+            ws: Workspace::with_req(self.ws_req),
+            wave_ws: Vec::new(),
+            sampler: None,
+        }
     }
 
     /// Runs a step's edge legalization chains (and the input node's
@@ -981,9 +1061,11 @@ impl Schedule {
     }
 
     /// Evaluates one step entirely: conversions, then computation into
-    /// the step's pooled output buffer.
+    /// the step's pooled output buffer. `six` is the step's index in
+    /// `self.steps` — the live profiler's reservoir slot.
     fn eval_into(
         &self,
+        six: usize,
         step: &Step,
         bufs: &mut ExecBuffers,
         input: &Tensor,
@@ -994,6 +1076,14 @@ impl Schedule {
         // can be borrowed immutably as inputs (liveness guarantees no
         // live predecessor shares this slot). `Tensor::empty` is free.
         let mut out = std::mem::replace(&mut bufs.values[step.out_buf], Tensor::empty());
+        // The live-profiler gate: with no sampling engine in the process
+        // this is a single relaxed atomic load; armed, the rate gate
+        // decides whether this evaluation gets timestamped.
+        let sampling = if sampler::active() {
+            bufs.sampler.as_mut().and_then(SamplerState::begin)
+        } else {
+            None
+        };
         let result = self.dispatch_into(
             step,
             &bufs.values,
@@ -1003,6 +1093,14 @@ impl Schedule {
             &mut bufs.ws,
             &mut out,
         );
+        if let Some(started) = sampling {
+            // Only successful dispatches feed the observed-cost table.
+            if result.is_ok() {
+                if let Some(state) = bufs.sampler.as_mut() {
+                    state.record(six, started);
+                }
+            }
+        }
         bufs.values[step.out_buf] = out;
         result
     }
@@ -1015,8 +1113,8 @@ impl Schedule {
         intra_op: usize,
         bufs: &mut ExecBuffers,
     ) -> Result<(), RuntimeError> {
-        for step in &self.steps {
-            self.eval_into(step, bufs, input, intra_op)?;
+        for (six, step) in self.steps.iter().enumerate() {
+            self.eval_into(six, step, bufs, input, intra_op)?;
         }
         Ok(())
     }
@@ -1032,7 +1130,7 @@ impl Schedule {
         for level in &self.levels {
             if level.len() <= 1 || par.inter_op <= 1 {
                 for &six in level {
-                    self.eval_into(&self.steps[six], bufs, input, par.intra_op)?;
+                    self.eval_into(six, &self.steps[six], bufs, input, par.intra_op)?;
                 }
                 continue;
             }

@@ -23,6 +23,7 @@
 //! | [`SCHEDULE_COMPILE`] | `Schedule::compile` entry |
 //! | [`ARTIFACT_READ`] | the compiled-artifact load path (facade) |
 //! | [`GATEWAY_FLUSH`] | serving-gateway batch flush, before the fused batch executes |
+//! | [`AUTOTUNE_RESOLVE`] | background re-optimization solve (autotune), before the PBQP re-solve runs |
 //!
 //! # Spec syntax
 //!
@@ -89,10 +90,23 @@ pub const ARTIFACT_READ: &str = "artifact.read";
 /// or breach backpressure bounds), `error`/`panic` model a flush that
 /// fails after requests were admitted.
 pub const GATEWAY_FLUSH: &str = "gateway.flush";
+/// The autotuner's background re-solve, evaluated off the serving path
+/// just before the PBQP re-optimization runs — `panic`/`error` here
+/// model a solver blow-up on live-observed costs; the chaos suite proves
+/// the failure is contained (serving continues on the old generation,
+/// health reports it, the next trigger retries).
+pub const AUTOTUNE_RESOLVE: &str = "autotune.resolve";
 
 /// Every registered failpoint site, for exhaustive chaos sweeps.
-pub const SITES: &[&str] =
-    &[KERNEL_DISPATCH, QUANT_EDGE, BUFFER_CHECKOUT, SCHEDULE_COMPILE, ARTIFACT_READ, GATEWAY_FLUSH];
+pub const SITES: &[&str] = &[
+    KERNEL_DISPATCH,
+    QUANT_EDGE,
+    BUFFER_CHECKOUT,
+    SCHEDULE_COMPILE,
+    ARTIFACT_READ,
+    GATEWAY_FLUSH,
+    AUTOTUNE_RESOLVE,
+];
 
 /// Sentinel: the env var has not been consulted yet.
 const UNINIT: usize = usize::MAX;

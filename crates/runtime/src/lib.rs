@@ -92,8 +92,11 @@
 mod exec;
 pub mod faults;
 mod par;
+pub mod sampler;
 mod weights;
 
-pub use exec::{reference_forward, BatchBuffers, ExecBuffers, Executor, RuntimeError, Schedule};
+pub use exec::{
+    reference_forward, BatchBuffers, ExecBuffers, Executor, RuntimeError, Schedule, StepMeta,
+};
 pub use par::Parallelism;
 pub use weights::Weights;

@@ -1,0 +1,306 @@
+//! Live step-latency sampling for online re-optimization.
+//!
+//! The paper's methodology prices primitives from *measured* per-node
+//! costs, but a measured-cost compile is orders of magnitude slower than
+//! an artifact load — so a serving host ships an analytic (possibly
+//! mis-modeled) plan and corrects it *online*: this module timestamps a
+//! configurable fraction of per-step kernel dispatches into preallocated
+//! per-worker reservoirs, and a background re-optimizer folds the
+//! summaries into an observed-cost table (see `pbqp_dnn_autotune`).
+//!
+//! The discipline mirrors [`crate::faults`]:
+//!
+//! * **disabled** (no engine sampling anywhere in the process), the step
+//!   path pays exactly **one relaxed atomic load** — [`active`];
+//! * **armed**, a sampled step pays two `Instant` reads and a handful of
+//!   plain arithmetic writes into reservoirs preallocated at attach
+//!   time, so the zero-allocation steady state is preserved (enforced by
+//!   `tests/steady_state_alloc.rs`);
+//! * reservoirs are **per worker** ([`SamplerState`] lives inside a
+//!   worker's `ExecBuffers`) and are merged into the shared [`Sampler`]
+//!   once per run through a `try_lock` — a contended merge is deferred
+//!   to the next run, never blocking the serving path.
+//!
+//! Sampling never changes results: the serial/wavefront/batch bit-identity
+//! contracts are timing-blind, and only successful dispatches are
+//! recorded.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Shared per-step ring capacity: the p50 basis keeps the most recent
+/// `RING` samples per step.
+const RING: usize = 64;
+/// Per-worker local reservoir capacity per step between flushes. A flush
+/// happens once per run and a step is sampled at most once per run, so
+/// the ring only wraps when merges are repeatedly deferred; the count
+/// stays honest either way.
+const LOCAL: usize = 8;
+/// EMA smoothing factor: the guarded mixing step that keeps the
+/// profile→re-solve→swap loop a *damped* fixed-point iteration instead
+/// of oscillating between plans.
+const EMA_ALPHA: f64 = 0.2;
+
+/// Number of live [`Sampler`]s in the process. The disabled fast path on
+/// every step is one relaxed load of this.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether any engine in the process is sampling. One relaxed atomic
+/// load — the entire disabled-sampler overhead on the step path.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// One step's merged latency summary — what the background re-optimizer
+/// folds into the observed-cost table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSummary {
+    /// Samples recorded for this step (cumulative).
+    pub count: u64,
+    /// Exponentially-smoothed step latency in µs.
+    pub ema_us: f64,
+    /// Median of the most recent samples (up to the ring capacity).
+    pub p50_us: f64,
+}
+
+/// Shared per-step accumulator.
+struct Slot {
+    count: u64,
+    ema_us: f64,
+    ring: [f32; RING],
+    ring_len: u16,
+    ring_pos: u16,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { count: 0, ema_us: 0.0, ring: [0.0; RING], ring_len: 0, ring_pos: 0 }
+    }
+
+    fn push(&mut self, us: f64) {
+        self.ema_us =
+            if self.count == 0 { us } else { EMA_ALPHA * us + (1.0 - EMA_ALPHA) * self.ema_us };
+        self.count += 1;
+        self.ring[self.ring_pos as usize] = us as f32;
+        self.ring_pos = (self.ring_pos + 1) % RING as u16;
+        self.ring_len = (self.ring_len + 1).min(RING as u16);
+    }
+}
+
+/// The shared half of a live profiler: one per engine *per serving
+/// generation* (a hot-swap changes which kernel each step runs, so a
+/// fresh sampler keeps `(node, kernel)` attribution exact). Sessions
+/// attach per-worker [`SamplerState`]s created by [`Sampler::state`];
+/// the background thread reads [`Sampler::snapshot`].
+pub struct Sampler {
+    rate: u32,
+    slots: Mutex<Vec<Slot>>,
+    total: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler for a schedule of `steps` steps, recording every
+    /// `rate`-th step evaluation (clamped to at least 1). Registers the
+    /// process-wide [`active`] gate for its lifetime.
+    pub fn new(steps: usize, rate: u32) -> Arc<Sampler> {
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+        Arc::new(Sampler {
+            rate: rate.max(1),
+            slots: Mutex::new((0..steps).map(|_| Slot::new()).collect()),
+            total: AtomicU64::new(0),
+        })
+    }
+
+    /// A per-worker recording state with all reservoirs preallocated —
+    /// attaching it to a worker's buffers adds nothing to the
+    /// steady-state allocation count.
+    pub fn state(self: &Arc<Sampler>) -> SamplerState {
+        let steps = self.slots.lock().unwrap_or_else(|e| e.into_inner()).len();
+        SamplerState {
+            shared: Arc::clone(self),
+            tick: 0,
+            counts: vec![0; steps],
+            rings: vec![0.0; steps * LOCAL],
+            ring_lens: vec![0; steps],
+        }
+    }
+
+    /// Merged per-step summaries, index-aligned with the schedule's
+    /// steps. Allocates — background/observer use only.
+    pub fn snapshot(&self) -> Vec<StepSummary> {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots
+            .iter()
+            .map(|s| {
+                let mut recent: Vec<f32> = s.ring[..s.ring_len as usize].to_vec();
+                recent.sort_by(f32::total_cmp);
+                let p50 = if recent.is_empty() { 0.0 } else { recent[recent.len() / 2] as f64 };
+                StepSummary { count: s.count, ema_us: s.ema_us, p50_us: p50 }
+            })
+            .collect()
+    }
+
+    /// Samples merged into the shared accumulator so far.
+    pub fn total_samples(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The configured sampling rate (every `rate`-th step evaluation).
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One worker's recording state: the rate-gate counter plus fixed-size
+/// local reservoirs, preallocated by [`Sampler::state`]. Lives inside
+/// the worker's `ExecBuffers`; recording and flushing never allocate.
+pub struct SamplerState {
+    shared: Arc<Sampler>,
+    tick: u32,
+    /// Per-step sample counts since the last flush.
+    counts: Vec<u32>,
+    /// Per-step sample values (µs), `LOCAL` slots per step, flattened.
+    rings: Vec<f32>,
+    /// Per-step occupancy of `rings` (wraps at `LOCAL`; `counts` stays
+    /// honest when a deferred flush lets a ring wrap).
+    ring_lens: Vec<u8>,
+}
+
+impl SamplerState {
+    /// The rate gate: advances the tick and starts a timestamp when this
+    /// evaluation is sampled.
+    #[inline]
+    pub(crate) fn begin(&mut self) -> Option<Instant> {
+        self.tick = self.tick.wrapping_add(1);
+        self.tick.is_multiple_of(self.shared.rate).then(Instant::now)
+    }
+
+    /// Records one sampled step latency into the local reservoir.
+    pub(crate) fn record(&mut self, step: usize, started: Instant) {
+        if step >= self.counts.len() {
+            return; // stale state raced a swap; drop the sample
+        }
+        let us = started.elapsed().as_secs_f64() * 1e6;
+        let len = self.ring_lens[step] as usize;
+        self.rings[step * LOCAL + len % LOCAL] = us as f32;
+        self.ring_lens[step] = (len + 1).min(LOCAL) as u8;
+        self.counts[step] = self.counts[step].saturating_add(1);
+    }
+
+    /// Merges the local reservoirs into the shared accumulator. Uses
+    /// `try_lock`: if the background thread (or another worker) holds the
+    /// lock, the merge is deferred to the next run — the serving path
+    /// never blocks on sampling.
+    pub(crate) fn flush(&mut self) {
+        let Ok(mut slots) = self.shared.slots.try_lock() else { return };
+        let mut merged = 0u64;
+        for (step, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let slot = &mut slots[step];
+            let len = self.ring_lens[step] as usize;
+            for i in 0..len {
+                slot.push(self.rings[step * LOCAL + i] as f64);
+            }
+            // Samples a wrapped ring dropped still count.
+            slot.count += count as u64 - len as u64;
+            merged += count as u64;
+        }
+        drop(slots);
+        if merged > 0 {
+            self.shared.total.fetch_add(merged, Ordering::Relaxed);
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            self.ring_lens.iter_mut().for_each(|l| *l = 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn gate_tracks_live_samplers() {
+        let before = active();
+        let s = Sampler::new(4, 1);
+        assert!(active());
+        drop(s);
+        // Other tests in this binary may hold samplers; only assert the
+        // delta restored.
+        assert_eq!(active(), before);
+    }
+
+    #[test]
+    fn rate_gates_and_summaries_merge() {
+        let sampler = Sampler::new(3, 2);
+        let mut state = sampler.state();
+        let mut recorded = 0;
+        for _ in 0..10 {
+            if let Some(t0) = state.begin() {
+                state.record(1, t0);
+                recorded += 1;
+            }
+        }
+        assert_eq!(recorded, 5, "rate 2 samples every other tick");
+        state.flush();
+        assert_eq!(sampler.total_samples(), 5);
+        let snap = sampler.snapshot();
+        assert_eq!(snap[0].count, 0);
+        assert_eq!(snap[1].count, 5);
+        assert!(snap[1].ema_us >= 0.0 && snap[1].p50_us >= 0.0);
+        assert_eq!(snap[2].count, 0);
+    }
+
+    #[test]
+    fn deferred_flush_keeps_counts_honest() {
+        let sampler = Sampler::new(1, 1);
+        let mut state = sampler.state();
+        // Hold the shared lock so flushes defer, and overfill the local
+        // ring: the wrap drops sample *values*, never counts.
+        for _ in 0..3 {
+            for _ in 0..LOCAL + 4 {
+                let t0 = state.begin().unwrap();
+                state.record(0, t0);
+            }
+            let held = sampler.slots.lock().unwrap();
+            state.flush(); // deferred
+            drop(held);
+        }
+        state.flush();
+        assert_eq!(sampler.total_samples(), 3 * (LOCAL as u64 + 4));
+        let snap = sampler.snapshot();
+        assert_eq!(snap[0].count, 3 * (LOCAL as u64 + 4));
+    }
+
+    #[test]
+    fn ema_is_damped_toward_recent_samples() {
+        let mut slot = Slot::new();
+        for _ in 0..50 {
+            slot.push(100.0);
+        }
+        assert!((slot.ema_us - 100.0).abs() < 1e-6);
+        slot.push(200.0);
+        let after = slot.ema_us;
+        assert!(after > 100.0 && after < 140.0, "one outlier moves the EMA by at most α: {after}");
+    }
+
+    #[test]
+    fn stale_state_from_before_a_swap_drops_out_of_range_steps() {
+        let sampler = Sampler::new(2, 1);
+        let mut state = sampler.state();
+        let t0 = Instant::now() - Duration::from_micros(5);
+        state.record(7, t0);
+        state.flush();
+        assert_eq!(sampler.total_samples(), 0);
+    }
+}

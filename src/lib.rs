@@ -23,7 +23,14 @@
 //!   served through the bit-exact reference path, quarantined and
 //!   re-planned around — [`Engine::health`] reports the vitals, and the
 //!   [`faults`] failpoint module injects panics/errors/delays/short
-//!   reads for chaos testing (`PBQP_DNN_FAILPOINTS` env var).
+//!   reads for chaos testing (`PBQP_DNN_FAILPOINTS` env var);
+//! * the engine **re-optimizes online**:
+//!   [`Engine::enable_autotune`](serve::Engine::enable_autotune) samples
+//!   live per-step kernel latencies (one relaxed atomic load per step
+//!   while off), folds them into an observed-cost table, re-solves the
+//!   PBQP selection on a background thread when reality diverges from
+//!   the plan's predictions, and hot-swaps validated improvements
+//!   through the same generation-counted serving state.
 //!
 //! ```
 //! use pbqp_dnn::prelude::*;
@@ -56,7 +63,8 @@
 //! | [`primitives`] | `pbqp-dnn-primitives` | the 70+ convolution primitives |
 //! | [`cost`] | `pbqp-dnn-cost` | analytic / measured cost sources |
 //! | [`select`] | `pbqp-dnn-select` | PBQP instance, strategies, plan cache, plan wire format |
-//! | [`runtime`] | `pbqp-dnn-runtime` | owned execution schedules, serial / wavefront / batched executor |
+//! | [`runtime`] | `pbqp-dnn-runtime` | owned execution schedules, serial / wavefront / batched executor, live sampler |
+//! | [`autotune`] | `pbqp-dnn-autotune` | online re-optimization: observed costs, background re-solve, swap policy |
 //!
 //! See the workspace `README.md` for the paper-section map and quickstart.
 
@@ -74,8 +82,10 @@ pub use compile::{CompileOptions, Compiler, CostModel, PrimitiveLibrary};
 pub use error::Error;
 pub use serve::{Engine, Health, Session};
 
+pub use pbqp_dnn_autotune::{AutotuneConfig, CandidateFill};
 pub use pbqp_dnn_runtime::faults;
 
+pub use pbqp_dnn_autotune as autotune;
 pub use pbqp_dnn_cost as cost;
 pub use pbqp_dnn_fft as fft;
 pub use pbqp_dnn_gemm as gemm;

@@ -42,6 +42,7 @@ pub use crate::compile::{CompileOptions, Compiler, CostModel, PrimitiveLibrary};
 pub use crate::error::Error;
 pub use crate::serve::{Engine, Health, Session};
 
+pub use pbqp_dnn_autotune::{AutotuneConfig, CandidateFill};
 pub use pbqp_dnn_cost::{AnalyticCost, MachineModel, MeasuredCost};
 pub use pbqp_dnn_graph::{models, ConvScenario, DnnGraph, Layer, LayerKind, PoolKind};
 pub use pbqp_dnn_runtime::{reference_forward, Parallelism, Weights};

@@ -31,13 +31,30 @@
 //!
 //! The steady state pays one extra relaxed atomic load per request for
 //! all of this; nothing else changes while no fault fires.
+//!
+//! # Online re-optimization
+//!
+//! [`Engine::enable_autotune`] turns the same swap machinery into a
+//! *self-correcting* serving loop (see
+//! [`autotune`](pbqp_dnn_autotune)): sessions sample live per-step
+//! kernel latencies into preallocated reservoirs (one relaxed atomic
+//! load per step while sampling is off anywhere in the process), a
+//! background thread folds the summaries into an observed-cost table,
+//! and when observed reality diverges far enough from the serving plan's
+//! predictions it re-runs the PBQP solve off-thread and hot-swaps a
+//! validated winner — never selecting a quarantined kernel, never
+//! blocking an in-flight request. [`Engine::health`] reports the loop's
+//! vitals: samples, divergence, re-optimization and failure counts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, Weak};
+use std::time::Instant;
 
-use pbqp_dnn_cost::{AnalyticCost, MachineModel};
+use pbqp_dnn_autotune::{fold_observations, predicted_selections, AutotuneConfig};
+use pbqp_dnn_cost::{AnalyticCost, MachineModel, ObservedTable};
 use pbqp_dnn_graph::{DnnGraph, NodeId};
 use pbqp_dnn_primitives::registry::Registry;
+use pbqp_dnn_runtime::sampler::Sampler;
 use pbqp_dnn_runtime::{
     reference_forward, BatchBuffers, ExecBuffers, Parallelism, RuntimeError, Schedule, Weights,
 };
@@ -49,13 +66,17 @@ use crate::artifact::CompiledModel;
 use crate::Error;
 
 /// The active serving state: swapped atomically (behind the `RwLock`)
-/// when a quarantine re-plan lands.
+/// when a quarantine re-plan or an autotune re-optimization lands.
 struct ServingState {
     schedule: Arc<Schedule>,
     plan: Arc<ExecutionPlan>,
     /// The layout the (always f32) network output is delivered in — the
     /// active plan's sink layout.
     delivered: Layout,
+    /// The live profiler for this generation, present while autotuning.
+    /// Fresh per generation: a swap changes which kernel each step runs,
+    /// so reusing reservoirs would mis-attribute timings.
+    sampler: Option<Arc<Sampler>>,
 }
 
 /// Engine-wide shared state: the immutable compiled inputs plus the
@@ -74,6 +95,33 @@ struct Shared {
     /// Quarantined `(node id, node name, kernel)` triples, accumulated
     /// across the engine's lifetime.
     quarantined: Mutex<Vec<(NodeId, String, String)>>,
+    /// Online re-optimization state, set once by
+    /// [`Engine::enable_autotune`].
+    autotune: OnceLock<Arc<AutotuneState>>,
+}
+
+/// The autotune half of the shared engine state: the observed-cost
+/// table, the trigger bookkeeping, and the loop's health counters.
+struct AutotuneState {
+    config: AutotuneConfig,
+    /// Live `(node, kernel)` latency summaries, engine-lifetime.
+    observed: Mutex<ObservedTable>,
+    /// Successful background re-optimizations swapped in.
+    reoptimizations: AtomicU64,
+    /// Failed or refused re-solve attempts (injected faults, contained
+    /// panics, plan/compile errors, quarantine-refused swaps).
+    failures: AtomicU64,
+    /// Bit pattern of the last computed divergence (`f64::to_bits`);
+    /// NaN until the first measurable comparison.
+    last_divergence: AtomicU64,
+    /// Samples of the *current* generation's sampler already folded into
+    /// `observed` — [`Engine::health`] adds the unfolded remainder so
+    /// sampling is visible before the background thread's next poll.
+    folded_current: AtomicU64,
+    /// When the last re-solve was attempted (success or failure) — the
+    /// cooldown basis, set at attempt time so a failed attempt retries
+    /// on the next post-cooldown trigger rather than immediately.
+    last_attempt: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -94,7 +142,10 @@ impl Shared {
         };
         // The cost numbers only rank repair candidates — correctness of
         // the rerouted plan never depends on them — so a transient
-        // analytic source on the rare degrade path is fine.
+        // analytic source on the rare degrade path is fine. Rerouting
+        // from the base plan may discard an autotuned improvement; the
+        // next autotune trigger re-solves around the quarantine and wins
+        // it back.
         let cost = AnalyticCost::new(MachineModel::intel_haswell_like(), 1);
         let optimizer = Optimizer::new(&self.registry, &cost);
         let Ok(plan) = optimizer.reroute(&self.graph, &self.base_plan, &pairs) else { return };
@@ -102,12 +153,149 @@ impl Shared {
         else {
             return;
         };
+        // Best-effort install: when every alternative for a node is
+        // itself quarantined, the reroute keeps the least-bad kernel —
+        // serving (degraded through the reference path when it keeps
+        // failing) beats refusing to re-plan at all.
+        self.install_plan(plan, schedule, false);
+    }
+
+    /// The single gate every plan swap goes through — quarantine
+    /// reroutes and autotune re-optimizations alike — so concurrent
+    /// swaps arbitrate to one consistent generation. Holds the
+    /// quarantine lock across validation, the state write and the
+    /// generation bump. With `refuse_quarantined` (the autotune path) a
+    /// plan that selects a quarantined kernel is refused (`None`): the
+    /// quarantine it races either already installed a repaired plan or
+    /// will immediately after, and an optimization must never resurrect
+    /// a failing kernel.
+    ///
+    /// Returns the new generation on success.
+    fn install_plan(
+        &self,
+        plan: ExecutionPlan,
+        schedule: Schedule,
+        refuse_quarantined: bool,
+    ) -> Option<u64> {
+        // Lock order everywhere: quarantine list before serving state.
+        let q = lock_recover(&self.quarantined);
+        if refuse_quarantined {
+            let dirty = plan
+                .selected_primitives()
+                .into_iter()
+                .chain(plan.selected_op_kernels())
+                .any(|(node, kernel)| q.iter().any(|(qn, _, qk)| *qn == node && qk == kernel));
+            if dirty {
+                return None;
+            }
+        }
         let delivered = delivered_layout(&self.graph, &plan);
+        // Preserve the outgoing generation's observations: its sampler
+        // retires with the swap, so fold its final summaries now.
+        if let Some(at) = self.autotune.get() {
+            let folded = {
+                let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+                state.sampler.as_ref().map(|s| (state.schedule.step_meta(), s.snapshot()))
+            };
+            if let Some((meta, summaries)) = folded {
+                fold_observations(&mut lock_recover(&at.observed), &meta, &summaries);
+            }
+            at.folded_current.store(0, Ordering::Relaxed);
+        }
+        let sampler = self
+            .autotune
+            .get()
+            .map(|at| Sampler::new(schedule.step_count(), at.config.sample_rate));
         {
             let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
-            *state = ServingState { schedule: Arc::new(schedule), plan: Arc::new(plan), delivered };
+            *state = ServingState {
+                schedule: Arc::new(schedule),
+                plan: Arc::new(plan),
+                delivered,
+                sampler,
+            };
         }
-        self.generation.fetch_add(1, Ordering::Release);
+        let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
+        drop(q);
+        Some(generation)
+    }
+
+    /// One background autotune poll: fold the current sampler into the
+    /// observed table, update the divergence signal, and when the
+    /// trigger policy fires run a re-solve and install a validated
+    /// winner. Every failure path is contained — the engine keeps
+    /// serving its current generation and the next post-cooldown trigger
+    /// retries.
+    fn autotune_tick(&self) {
+        let Some(at) = self.autotune.get() else { return };
+        let (schedule, plan, sampler) = {
+            let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+            (Arc::clone(&state.schedule), Arc::clone(&state.plan), state.sampler.clone())
+        };
+        let Some(sampler) = sampler else { return };
+
+        let total = sampler.total_samples();
+        let meta = schedule.step_meta();
+        let summaries = sampler.snapshot();
+        let (samples, divergence) = {
+            let mut observed = lock_recover(&at.observed);
+            fold_observations(&mut observed, &meta, &summaries);
+            at.folded_current.store(total, Ordering::Relaxed);
+            let predicted = predicted_selections(&plan);
+            (observed.total_samples(), observed.divergence(&predicted, at.config.min_node_samples))
+        };
+        if let Some(d) = divergence {
+            at.last_divergence.store(d.to_bits(), Ordering::Relaxed);
+        }
+        let since_last = lock_recover(&at.last_attempt).map(|t| t.elapsed());
+        if !at.config.should_trigger(samples, divergence, since_last) {
+            return;
+        }
+        *lock_recover(&at.last_attempt) = Some(Instant::now());
+
+        let quarantined: Vec<(NodeId, String)> =
+            lock_recover(&self.quarantined).iter().map(|(id, _, k)| (*id, k.clone())).collect();
+        let observed = lock_recover(&at.observed).clone();
+        match pbqp_dnn_autotune::resolve(
+            &self.graph,
+            &self.registry,
+            &observed,
+            &plan,
+            &quarantined,
+            &at.config,
+        ) {
+            Ok(r) if r.improves => {
+                let installed =
+                    Schedule::compile(&self.graph, &r.plan, &self.registry, &self.weights)
+                        .ok()
+                        .and_then(|schedule| self.install_plan(r.plan, schedule, true));
+                match installed {
+                    Some(_) => {
+                        at.reoptimizations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        at.failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Converged, or the candidate's win is inside the margin:
+            // not a failure, just nothing worth swapping.
+            Ok(_) => {}
+            Err(_) => {
+                at.failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The background re-optimizer loop: polls until its engine is dropped
+/// (the `Weak` stops upgrading), never holding a strong reference that
+/// would keep a retired engine alive.
+fn autotune_loop(shared: Weak<Shared>, poll: std::time::Duration) {
+    loop {
+        std::thread::sleep(poll);
+        let Some(shared) = shared.upgrade() else { return };
+        shared.autotune_tick();
     }
 }
 
@@ -134,8 +322,9 @@ fn delivered_layout(graph: &DnnGraph, plan: &ExecutionPlan) -> Layout {
         .unwrap_or(Layout::Chw)
 }
 
-/// An engine's fault-containment vitals — see [`Engine::health`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// An engine's fault-containment and autotune vitals — see
+/// [`Engine::health`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Health {
     /// Kernel (and other) panics contained into typed errors instead of
     /// aborting the process.
@@ -146,9 +335,25 @@ pub struct Health {
     /// Quarantined `(node, kernel)` pairs: these kernels panicked or
     /// failed, and the active plan routes around them.
     pub quarantined: Vec<(String, String)>,
-    /// How many times the serving plan was re-planned and swapped. `0`
-    /// means the engine is still on its compiled plan.
+    /// How many times the serving plan was re-planned and swapped
+    /// (quarantine reroutes and autotune re-optimizations both count).
+    /// `0` means the engine is still on its compiled plan.
     pub plan_generation: u64,
+    /// Live-profiler samples observed so far: the folded observed-cost
+    /// table plus the current generation's not-yet-folded sampler.
+    /// Always `0` while autotune is off.
+    pub samples: u64,
+    /// The latest observed-vs-predicted cost divergence (mean relative
+    /// error over sufficiently-sampled selections), `None` until
+    /// measurable or while autotune is off.
+    pub divergence: Option<f64>,
+    /// Background re-optimizations successfully swapped in.
+    pub reoptimizations: u64,
+    /// Background re-solve attempts that failed or were refused
+    /// (injected faults, contained panics, plan/compile errors,
+    /// quarantine-refused swaps). The loop keeps serving the current
+    /// generation and retries after the cooldown.
+    pub autotune_failures: u64,
 }
 
 impl Health {
@@ -220,13 +425,49 @@ impl Engine {
             base_plan: Arc::clone(&plan),
             weights,
             registry,
-            state: RwLock::new(ServingState { schedule, plan, delivered }),
+            state: RwLock::new(ServingState { schedule, plan, delivered, sampler: None }),
             generation: AtomicU64::new(0),
             contained_panics: AtomicU64::new(0),
             degraded_serves: AtomicU64::new(0),
             quarantined: Mutex::new(Vec::new()),
+            autotune: OnceLock::new(),
         };
         Engine { shared: Arc::new(shared), parallelism: model.parallelism() }
+    }
+
+    /// Turns on online re-optimization: live traffic is sampled, and a
+    /// background thread re-solves the PBQP selection against observed
+    /// costs and hot-swaps validated improvements (see the
+    /// [module docs](self) and [`pbqp_dnn_autotune`]).
+    ///
+    /// Can be enabled once per engine; returns `false` (and changes
+    /// nothing) if autotune is already on. Enabling bumps the serving
+    /// generation so existing sessions attach the sampler on their next
+    /// request — a one-time buffer rebuild per session, after which the
+    /// zero-allocation steady state holds again, sampling included.
+    pub fn enable_autotune(&self, config: AutotuneConfig) -> bool {
+        let state = AutotuneState {
+            config: config.clone(),
+            observed: Mutex::new(ObservedTable::new()),
+            reoptimizations: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            last_divergence: AtomicU64::new(f64::NAN.to_bits()),
+            folded_current: AtomicU64::new(0),
+            last_attempt: Mutex::new(None),
+        };
+        if self.shared.autotune.set(Arc::new(state)).is_err() {
+            return false;
+        }
+        {
+            let mut state = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
+            state.sampler = Some(Sampler::new(state.schedule.step_count(), config.sample_rate));
+        }
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        let weak = Arc::downgrade(&self.shared);
+        std::thread::Builder::new()
+            .name("pbqp-autotune".to_owned())
+            .spawn(move || autotune_loop(weak, config.poll_interval))
+            .is_ok()
     }
 
     /// A new session owning its own warm-up-once buffer set, inheriting
@@ -236,17 +477,21 @@ impl Engine {
         // already-current state on its first request, never serves a
         // newer state under an older generation forever.
         let generation = self.shared.generation.load(Ordering::Acquire);
-        let (schedule, delivered) = {
+        let (schedule, delivered, sampler) = {
             let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
-            (Arc::clone(&state.schedule), state.delivered)
+            (Arc::clone(&state.schedule), state.delivered, state.sampler.clone())
         };
-        let bufs = schedule.make_buffers();
+        let mut bufs = schedule.make_buffers();
+        if let Some(s) = &sampler {
+            bufs.attach_sampler(s.state());
+        }
         Session {
             shared: Arc::clone(&self.shared),
             parallelism: self.parallelism,
             generation,
             delivered,
             schedule,
+            sampler,
             bufs,
             batch_bufs: BatchBuffers::new(),
         }
@@ -300,19 +545,46 @@ impl Engine {
         &self.shared.graph
     }
 
-    /// This engine's fault-containment vitals: contained panics,
-    /// degraded serves, the quarantine list, and the active plan
-    /// generation. All clones of an engine share one set of vitals.
+    /// This engine's fault-containment and autotune vitals: contained
+    /// panics, degraded serves, the quarantine list, the active plan
+    /// generation, and — with [`Engine::enable_autotune`] on — the
+    /// sampling/re-optimization counters. All clones of an engine share
+    /// one set of vitals.
     pub fn health(&self) -> Health {
         let quarantined = lock_recover(&self.shared.quarantined)
             .iter()
             .map(|(_, node, kernel)| (node.clone(), kernel.clone()))
             .collect();
+        let (samples, divergence, reoptimizations, autotune_failures) =
+            match self.shared.autotune.get() {
+                Some(at) => {
+                    let folded = lock_recover(&at.observed).total_samples();
+                    let pending = {
+                        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+                        state.sampler.as_ref().map_or(0, |s| {
+                            s.total_samples()
+                                .saturating_sub(at.folded_current.load(Ordering::Relaxed))
+                        })
+                    };
+                    let d = f64::from_bits(at.last_divergence.load(Ordering::Relaxed));
+                    (
+                        folded + pending,
+                        (!d.is_nan()).then_some(d),
+                        at.reoptimizations.load(Ordering::Relaxed),
+                        at.failures.load(Ordering::Relaxed),
+                    )
+                }
+                None => (0, None, 0, 0),
+            };
         Health {
             contained_panics: self.shared.contained_panics.load(Ordering::Relaxed),
             degraded_serves: self.shared.degraded_serves.load(Ordering::Relaxed),
             quarantined,
             plan_generation: self.shared.generation.load(Ordering::Relaxed),
+            samples,
+            divergence,
+            reoptimizations,
+            autotune_failures,
         }
     }
 
@@ -356,14 +628,17 @@ pub struct Session {
     generation: u64,
     delivered: Layout,
     schedule: Arc<Schedule>,
+    /// This generation's live profiler (autotune on), used to re-attach
+    /// a recording state whenever the buffer set is rebuilt.
+    sampler: Option<Arc<Sampler>>,
     bufs: ExecBuffers,
     batch_bufs: BatchBuffers,
 }
 
 impl Session {
-    /// Re-syncs to the engine's active plan if a quarantine re-plan
-    /// landed since this session last looked. One relaxed atomic load in
-    /// the common (unchanged) case.
+    /// Re-syncs to the engine's active plan if a re-plan (quarantine or
+    /// autotune) landed since this session last looked. One relaxed
+    /// atomic load in the common (unchanged) case.
     fn refresh(&mut self) {
         let generation = self.shared.generation.load(Ordering::Acquire);
         if generation == self.generation {
@@ -373,10 +648,20 @@ impl Session {
             let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
             self.schedule = Arc::clone(&state.schedule);
             self.delivered = state.delivered;
+            self.sampler = state.sampler.clone();
         }
-        self.bufs = self.schedule.make_buffers();
+        self.rebuild_bufs();
         self.batch_bufs = BatchBuffers::new();
         self.generation = generation;
+    }
+
+    /// Replaces the buffer set (a panic may have dirtied it, or the plan
+    /// moved), re-attaching the live-profiler state when sampling.
+    fn rebuild_bufs(&mut self) {
+        self.bufs = self.schedule.make_buffers();
+        if let Some(s) = &self.sampler {
+            self.bufs.attach_sampler(s.state());
+        }
     }
 
     /// Runs one forward pass, writing the (always f32) network output
@@ -409,7 +694,7 @@ impl Session {
             RuntimeError::KernelPanicked { node, kernel, .. } => {
                 self.shared.contained_panics.fetch_add(1, Ordering::Relaxed);
                 // A panicking kernel may have left buffers mid-mutation.
-                self.bufs = self.schedule.make_buffers();
+                self.rebuild_bufs();
                 self.shared.quarantine(&node, &kernel);
                 self.degraded_serve(input, out)
             }
@@ -422,7 +707,7 @@ impl Session {
                 // thread, edge conversion, buffer checkout): serve
                 // degraded, nothing to quarantine.
                 self.shared.contained_panics.fetch_add(1, Ordering::Relaxed);
-                self.bufs = self.schedule.make_buffers();
+                self.rebuild_bufs();
                 self.degraded_serve(input, out)
             }
             other => Err(other.into()),

@@ -15,6 +15,7 @@
 //! `crates/runtime/tests/containment.rs`).
 
 use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use pbqp_dnn::prelude::*;
 use pbqp_dnn::{faults, CompiledModel};
@@ -257,6 +258,70 @@ fn artifact_load_faults_are_typed_and_transient() {
     let loaded = CompiledModel::load(&mut bytes.as_slice()).expect("clean load");
     let out = loaded.engine().infer(&input).expect("clean serve");
     assert_eq!(out.data(), baseline.data());
+}
+
+#[test]
+fn autotune_resolve_faults_are_contained_and_the_next_trigger_retries() {
+    let _g = guard();
+
+    // Mis-modeled compile so the autotune loop genuinely wants to
+    // re-solve the moment it has observations.
+    let net = models::micro_alexnet();
+    let weights = Weights::random(&net, 42);
+    let mut wrong = MachineModel::intel_haswell_like();
+    wrong.int8_speedup = 30.0;
+    let model = Compiler::new(CompileOptions::new().machine(wrong).mixed_precision(true))
+        .compile(&net, &weights)
+        .expect("compiles");
+    let engine = model.engine();
+
+    // Every background re-solve panics (injected) until disarmed.
+    faults::arm(faults::AUTOTUNE_RESOLVE, "every:panic(resolve chaos)").unwrap();
+    assert!(engine.enable_autotune(
+        AutotuneConfig::new()
+            .with_sample_rate(1)
+            .with_min_samples(4)
+            .with_min_node_samples(1)
+            .with_divergence_threshold(0.01)
+            .with_cooldown(Duration::from_millis(10))
+            .with_poll_interval(Duration::from_millis(5))
+            .with_fill(CandidateFill::Analytic(MachineModel::intel_haswell_like())),
+    ));
+
+    let (c, h, w) = net.infer_shapes().unwrap()[0];
+    let input = Tensor::random(c, h, w, Layout::Chw, 7);
+    let mut session = engine.session();
+
+    // Serving continues on the old generation through repeated contained
+    // background failures; health reports every one of them.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let failed = quiet(|| loop {
+        session.infer_new(&input).expect("serving continues through re-solve failures");
+        let h = engine.health();
+        if h.autotune_failures >= 2 {
+            break h;
+        }
+        assert!(Instant::now() < deadline, "injected resolve fault never surfaced: {h:?}");
+    });
+    assert_eq!(failed.reoptimizations, 0, "{failed:?}");
+    assert_eq!(failed.plan_generation, 1, "enable bump only — failures swap nothing: {failed:?}");
+
+    // Disarm: the next post-cooldown trigger retries and lands a swap.
+    faults::disarm_all();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let healed = quiet(|| loop {
+        session.infer_new(&input).expect("serving continues across the swap");
+        let h = engine.health();
+        if h.reoptimizations >= 1 {
+            break h;
+        }
+        assert!(Instant::now() < deadline, "post-disarm retry never landed: {h:?}");
+    });
+    assert!(healed.plan_generation >= 2, "{healed:?}");
+    assert_eq!(
+        healed.contained_panics, 0,
+        "background re-solve panics are autotune failures, not serving-path panics: {healed:?}"
+    );
 }
 
 #[test]

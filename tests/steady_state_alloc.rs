@@ -326,4 +326,55 @@ fn steady_state_serving_performs_zero_heap_allocations() {
         "armed-but-unrelated failpoint: {armed_allocs} allocations across 5 serves"
     );
     assert!(engine.health().is_pristine(), "no fault ever fired on the serving path");
+    drop(session);
+    drop(engine);
+
+    // ---- Live sampling costs no allocations either ----------------------
+    // Everything above ran with sampling disabled: the per-step overhead
+    // was exactly one relaxed atomic load of the process-wide gate. Now
+    // arm it — with autotune on, a sampled step records into reservoirs
+    // preallocated at attach time, so even sampling *every* step keeps
+    // the warmed serving loop allocation-free. An infinite divergence
+    // threshold keeps the background thread observing without ever
+    // swapping a plan mid-measurement.
+    use pbqp_dnn::prelude::AutotuneConfig;
+    use pbqp_dnn::runtime::sampler;
+    use std::time::{Duration, Instant};
+
+    assert!(!sampler::active(), "the whole suite above ran with the sampler gate off");
+    let engine = f32_model.engine();
+    assert!(engine.enable_autotune(
+        AutotuneConfig::new()
+            .with_sample_rate(1)
+            .with_divergence_threshold(f64::INFINITY)
+            .with_poll_interval(Duration::from_millis(50)),
+    ));
+    assert!(sampler::active(), "enabling autotune arms the process-wide gate");
+    let mut session = engine.session();
+    let mut out = Tensor::empty();
+    session.infer(&input, &mut out).expect("warmup infer under sampling");
+
+    let before = allocs();
+    for _ in 0..5 {
+        session.infer(&input, &mut out).expect("steady sampled infer");
+    }
+    let sampled_allocs = allocs() - before;
+    assert_eq!(
+        sampled_allocs, 0,
+        "armed sampler: {sampled_allocs} allocations across 5 steady-state serves"
+    );
+    let health = engine.health();
+    assert!(health.samples > 0, "sampling observed the serves: {health:?}");
+    assert_eq!(health.reoptimizations, 0, "infinite divergence threshold never swaps");
+
+    // Retiring the engine retires its sampler: the gate falls back to
+    // the one-relaxed-load disabled state for the rest of the process
+    // (the background thread lets go within one poll interval).
+    drop(session);
+    drop(engine);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while sampler::active() {
+        assert!(Instant::now() < deadline, "sampler gate stuck on after engine drop");
+        std::thread::sleep(Duration::from_millis(5));
+    }
 }
